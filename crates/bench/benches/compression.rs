@@ -1,0 +1,41 @@
+//! Compression-overhead micro-benchmarks (the paper's §II-D point that compression "is
+//! not a zero-cost operation"): compress/decompress cost of each baseline on a
+//! model-sized gradient, for comparison with SelSync's ~µs Δ(g_i) tracking cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selsync_bench::synthetic_gradient;
+use selsync_compress::{decompress_dense, Compressor, RandomK, SignSgd, TernGrad, TopK};
+use selsync_nn::model::ModelKind;
+use std::hint::black_box;
+
+fn bench_compressors(c: &mut Criterion) {
+    let grad = synthetic_gradient(ModelKind::VggLike);
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(30);
+    group.bench_function("topk_1pct", |b| {
+        let mut comp = TopK::new(0.01);
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.bench_function("randomk_1pct", |b| {
+        let mut comp = RandomK::new(0.01, 7, true);
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.bench_function("signsgd", |b| {
+        let mut comp = SignSgd::new();
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.bench_function("terngrad", |b| {
+        let mut comp = TernGrad::new(3);
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let grad = synthetic_gradient(ModelKind::VggLike);
+    let payload = TopK::new(0.01).compress(&grad);
+    c.bench_function("decompress_topk_1pct", |b| b.iter(|| decompress_dense(black_box(&payload))));
+}
+
+criterion_group!(benches, bench_compressors, bench_decompress);
+criterion_main!(benches);

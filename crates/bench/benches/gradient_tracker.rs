@@ -1,0 +1,37 @@
+//! Fig. 8a as a criterion micro-benchmark: the per-iteration cost of the Δ(g_i)
+//! computation (gradient statistic + EWMA smoothing + relative change) as a function of
+//! the EWMA window size, on gradients sized like each model analogue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selsync::tracker::{GradStatistic, GradientTracker};
+use selsync_bench::synthetic_gradient;
+use selsync_nn::model::ModelKind;
+use std::hint::black_box;
+
+fn bench_tracker_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_g_update");
+    for kind in [ModelKind::ResNetLike, ModelKind::TransformerLike] {
+        let grad = synthetic_gradient(kind);
+        for window in [25usize, 50, 100, 200] {
+            let id = format!("{}_w{window}", kind.paper_name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &window, |b, &w| {
+                let mut tracker = GradientTracker::new(GradStatistic::SqNorm, 0.16, w);
+                b.iter(|| tracker.update(black_box(&grad)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let grad = synthetic_gradient(ModelKind::VggLike);
+    c.bench_function("statistic_sq_norm", |b| {
+        b.iter(|| GradStatistic::SqNorm.evaluate(black_box(&grad)))
+    });
+    c.bench_function("statistic_variance", |b| {
+        b.iter(|| GradStatistic::Variance.evaluate(black_box(&grad)))
+    });
+}
+
+criterion_group!(benches, bench_tracker_windows, bench_statistics);
+criterion_main!(benches);

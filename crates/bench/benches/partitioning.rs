@@ -1,0 +1,30 @@
+//! Fig. 8b as a criterion micro-benchmark: DefDP vs SelDP partition construction time at
+//! the paper's dataset cardinalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selsync_data::partition::{build_all, PartitionScheme};
+use std::hint::black_box;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_build");
+    group.sample_size(10);
+    let datasets = [("cifar", 50_000usize), ("imagenet", 1_281_167), ("wikitext", 2_900_000)];
+    for (name, samples) in datasets {
+        for scheme in [PartitionScheme::DefDp, PartitionScheme::SelDp] {
+            let id = format!("{name}_{}", scheme.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &samples, |b, &n| {
+                b.iter(|| build_all(black_box(scheme), black_box(n), 16));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_drawing(c: &mut Criterion) {
+    let mut part =
+        selsync_data::partition::WorkerPartition::build(PartitionScheme::SelDp, 1_281_167, 16, 3);
+    c.bench_function("next_batch_32", |b| b.iter(|| part.next_batch(black_box(32))));
+}
+
+criterion_group!(benches, bench_partitioning, bench_batch_drawing);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the tensor substrate's hot kernels (matmul variants, softmax),
+//! which dominate per-step compute time in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selsync_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128, 256] {
+        let a = Tensor::from_fn(n, n, |r, c| ((r * 7 + c) % 11) as f32 * 0.1 - 0.5);
+        let b = Tensor::from_fn(n, n, |r, c| ((r + 3 * c) % 13) as f32 * 0.1 - 0.6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transposed");
+    group.sample_size(20);
+    let x = Tensor::from_fn(64, 128, |r, c| ((r + c) % 7) as f32 * 0.1);
+    let dy = Tensor::from_fn(64, 96, |r, c| ((r * c) % 5) as f32 * 0.01);
+    let w = Tensor::from_fn(128, 96, |r, c| ((r + 2 * c) % 9) as f32 * 0.05);
+    group.bench_function("dW = X^T dY (matmul_at)", |b| {
+        b.iter(|| ops::matmul_at(black_box(&x), black_box(&dy)).unwrap())
+    });
+    group.bench_function("dX = dY W^T (matmul_bt)", |b| {
+        b.iter(|| ops::matmul_bt(black_box(&dy), black_box(&w)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_softmax_and_norms(c: &mut Criterion) {
+    let logits = Tensor::from_fn(256, 1000, |r, c| ((r * 13 + c * 7) % 23) as f32 * 0.1);
+    c.bench_function("softmax_rows 256x1000", |b| {
+        b.iter(|| ops::softmax_rows(black_box(&logits)))
+    });
+    let grad = Tensor::from_fn(1, 100_000, |_, c| (c % 97) as f32 * 1e-4);
+    c.bench_function("sq_norm 100k", |b| b.iter(|| ops::sq_norm(black_box(&grad))));
+}
+
+criterion_group!(benches, bench_matmul, bench_backward_products, bench_softmax_and_norms);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10 of the paper: SelSync (δ=0.25, SelDP) with gradient aggregation
+//! vs parameter aggregation.
+
+use selsync_bench::{emit, fig10_ga_vs_pa, Scale};
+
+fn main() {
+    emit("fig10_ga_vs_pa", "Fig. 10 — gradient vs parameter aggregation under SelSync", &fig10_ga_vs_pa(Scale::from_env()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11 of the paper: the distribution of a ResNet-like layer's weights
+//! under BSP, SelSync with parameter aggregation and SelSync with gradient aggregation.
+//! PA should track BSP's distribution closely; GA drifts.
+
+use selsync_bench::{emit, fig11_weight_distribution, Scale};
+
+fn main() {
+    emit("fig11_weight_distribution", "Fig. 11 — weight distributions: BSP vs PA vs GA", &fig11_weight_distribution(Scale::from_env()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 1 of the paper: (a) relative training throughput vs cluster size
+//! over a 5 Gbps parameter-server setup, and (b) FedAvg accuracy on IID vs non-IID data.
+
+use selsync_bench::{emit, fig1a_relative_throughput, fig1b_fedavg_iid_vs_noniid, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit("fig1a_relative_throughput", "Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)", &fig1a_relative_throughput());
+    emit("fig1b_fedavg_iid_vs_noniid", "Fig. 1b — FedAvg on IID vs non-IID data", &fig1b_fedavg_iid_vs_noniid(scale));
+}

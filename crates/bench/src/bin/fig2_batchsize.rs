@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2 of the paper: per-iteration compute time (2a) and memory use (2b)
+//! as the per-worker batch size grows, on a Tesla K80 profile.
+
+use selsync_bench::{emit, fig2_batchsize_costs};
+
+fn main() {
+    emit("fig2_batchsize_costs", "Fig. 2 — compute time and memory vs batch size (Tesla K80)", &fig2_batchsize_costs());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 3 of the paper: kernel density estimates of layer gradients early vs
+//! late in training (gradients shrink and concentrate near zero as training progresses).
+
+use selsync_bench::{emit, fig3_gradient_kde, Scale};
+
+fn main() {
+    emit("fig3_gradient_kde", "Fig. 3 — gradient distribution early vs late in training", &fig3_gradient_kde(Scale::from_env()));
+}

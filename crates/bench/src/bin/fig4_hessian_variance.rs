@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4 of the paper: the largest Hessian eigenvalue tracks the (cheap)
+//! first-order gradient variance along a training trajectory.
+
+use selsync_bench::{emit, fig4_hessian_vs_variance, Scale};
+
+fn main() {
+    emit("fig4_hessian_variance", "Fig. 4 — Hessian top eigenvalue vs gradient variance", &fig4_hessian_vs_variance(Scale::from_env()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5 of the paper: the relative gradient change Δ(g_i) plotted against
+//! the test metric over BSP training, for all four workloads.
+
+use selsync_bench::{emit, fig5_gradchange_vs_convergence, Scale};
+
+fn main() {
+    emit("fig5_gradchange_convergence", "Fig. 5 — Δ(g_i) vs convergence under BSP", &fig5_gradchange_vs_convergence(Scale::from_env()));
+}

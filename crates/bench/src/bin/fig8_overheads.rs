@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8 of the paper: (a) the per-iteration overhead of computing Δ(g_i)
+//! for different EWMA windows, and (b) the one-time DefDP vs SelDP partitioning cost.
+
+use selsync_bench::{emit, fig8a_tracker_overhead, fig8b_partitioning_overhead};
+
+fn main() {
+    emit("fig8a_tracker_overhead", "Fig. 8a — Δ(g_i) computation overhead vs EWMA window", &fig8a_tracker_overhead());
+    emit("fig8b_partitioning_overhead", "Fig. 8b — DefDP vs SelDP partitioning time", &fig8b_partitioning_overhead());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 9 of the paper: SelSync (δ=0.25, gradient aggregation) trained with
+//! the SelDP circular-queue partitioning vs the default DefDP partitioning.
+
+use selsync_bench::{emit, fig9_seldp_vs_defdp, Scale};
+
+fn main() {
+    emit("fig9_seldp_vs_defdp", "Fig. 9 — SelSync with SelDP vs DefDP", &fig9_seldp_vs_defdp(Scale::from_env()));
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table I of the paper: BSP, FedAvg (4 configs), SSP (2 thresholds) and
+//! SelSync (δ = 0.3, 0.5) across the four workloads — iterations, LSSR, final metric,
+//! convergence difference vs BSP and speedups.
+//!
+//! Pass model names as arguments to restrict the sweep (e.g. `table1_comparison resnet vgg`),
+//! and set `SELSYNC_SCALE=full` for the paper-scale 16-worker configuration.
+
+use selsync_bench::{emit, table1_comparison, Scale};
+use selsync_nn::model::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let models: Vec<ModelKind> = if args.is_empty() {
+        ModelKind::all().to_vec()
+    } else {
+        ModelKind::all()
+            .into_iter()
+            .filter(|k| args.iter().any(|a| k.paper_name().to_lowercase().contains(a)))
+            .collect()
+    };
+    if models.is_empty() {
+        eprintln!("no model matched {:?}; expected substrings of: ResNet101, VGG11, AlexNet, Transformer", args);
+        std::process::exit(1);
+    }
+    let scale = Scale::from_env();
+    eprintln!("running Table I for {models:?} at {scale:?} scale — this trains 9 configurations per model");
+    emit("table1_comparison", "Table I — BSP / FedAvg / SSP / SelSync comparison", &table1_comparison(&models, scale));
+}

@@ -1,0 +1,30 @@
+//! # selsync-comm
+//!
+//! Communication substrate for the SelSync reproduction.
+//!
+//! The paper's system runs 16 GPU workers and one parameter-server process connected by
+//! a 5 Gbps NIC, using PyTorch RPC. Here the *control flow* is executed for real between
+//! OS threads inside one process, and the *duration* of each transfer is supplied by an
+//! analytical cost model:
+//!
+//! * [`ps`] — an in-memory parameter server holding the flat global parameter vector,
+//!   with blocking synchronous aggregation rounds (BSP / SelSync / FedAvg) and
+//!   non-blocking push/pull (SSP).
+//! * [`collective`] — thread rendezvous collectives: the 1-bit-per-worker `all-gather`
+//!   used by SelSync's synchronization-status exchange (Alg. 1, line 12), an
+//!   all-reduce, and a barrier.
+//! * [`netmodel`] — the analytical network cost model (bandwidth, latency, PS incast,
+//!   ring all-reduce) that converts nominal transfer sizes into simulated seconds. All
+//!   throughput/speedup numbers in the benchmark harness come from this model, with the
+//!   same accounting applied to every algorithm.
+//! * [`cluster`] — a small harness for running a closure on `N` worker threads and
+//!   collecting the per-worker results.
+
+pub mod cluster;
+pub mod collective;
+pub mod netmodel;
+pub mod ps;
+
+pub use collective::Collective;
+pub use netmodel::NetworkModel;
+pub use ps::ParameterServer;

@@ -1,0 +1,145 @@
+//! Analytical network cost model.
+//!
+//! The reproduction does not have a 5 Gbps testbed, so synchronization *durations* are
+//! computed from an analytical model while the synchronization *logic* runs for real.
+//! The model is deliberately simple and is applied identically to every algorithm, so
+//! relative comparisons (the paper's speedup columns and throughput curves) are
+//! meaningful:
+//!
+//! * Parameter-server exchange: all `N` workers push `bytes` to the PS over a shared
+//!   link and pull the averaged result back, so the PS-side link moves `2·N·bytes`.
+//! * Ring all-reduce: the classical `2·(N-1)/N · bytes` per-link volume plus
+//!   latency terms per step.
+//! * Status-bit all-gather: `N-1` bits per worker — latency-dominated, matching the
+//!   2–4 ms the paper measured.
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency description of the cluster interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Link bandwidth in bits per second (the paper's NIC: 5 Gbps).
+    pub bandwidth_bps: f64,
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Fixed per-synchronization software overhead in seconds (serialization, RPC
+    /// dispatch); keeps small messages from looking free.
+    pub software_overhead_s: f64,
+}
+
+impl NetworkModel {
+    /// The paper's testbed: 5 Gbps NIC between docker-swarm containers.
+    pub fn paper_5gbps() -> Self {
+        NetworkModel { bandwidth_bps: 5.0e9, latency_s: 1.0e-3, software_overhead_s: 2.0e-3 }
+    }
+
+    /// A faster datacenter network (for sensitivity/ablation experiments).
+    pub fn datacenter_25gbps() -> Self {
+        NetworkModel { bandwidth_bps: 25.0e9, latency_s: 0.2e-3, software_overhead_s: 1.0e-3 }
+    }
+
+    /// Seconds to move `bytes` across one link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+
+    /// Seconds for a full parameter-server synchronization of `bytes` per worker across
+    /// `workers` workers: the PS link carries `workers·bytes` in (push) and
+    /// `workers·bytes` out (pull), serialised because the PS NIC is shared.
+    pub fn ps_sync_time(&self, bytes: u64, workers: usize) -> f64 {
+        if workers == 0 {
+            return 0.0;
+        }
+        let volume_bits = 2.0 * workers as f64 * bytes as f64 * 8.0;
+        self.software_overhead_s + 2.0 * self.latency_s + volume_bits / self.bandwidth_bps
+    }
+
+    /// Seconds for a bandwidth-optimal ring all-reduce of `bytes` across `workers`.
+    pub fn ring_allreduce_time(&self, bytes: u64, workers: usize) -> f64 {
+        if workers <= 1 {
+            return 0.0;
+        }
+        let n = workers as f64;
+        let volume_bits = 2.0 * (n - 1.0) / n * bytes as f64 * 8.0;
+        self.software_overhead_s + 2.0 * (n - 1.0) * self.latency_s + volume_bits / self.bandwidth_bps
+    }
+
+    /// Seconds for the 1-bit-per-worker synchronization-status all-gather (Alg. 1,
+    /// line 12). Latency dominated; the payload is `workers-1` bits per worker.
+    pub fn status_allgather_time(&self, workers: usize) -> f64 {
+        if workers <= 1 {
+            return 0.0;
+        }
+        let bits = (workers - 1) as f64;
+        2.0 * self.latency_s + bits / self.bandwidth_bps
+    }
+
+    /// Seconds for a point-to-point transfer of `bytes` (data-injection pulls).
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.transfer_time(bytes)
+    }
+
+    /// Seconds for an asynchronous push *or* pull of `bytes` between one worker and the
+    /// PS (SSP-style, not aggregated): one direction only.
+    pub fn ps_one_way_time(&self, bytes: u64) -> f64 {
+        self.software_overhead_s / 2.0 + self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_sync_scales_linearly_with_workers() {
+        let net = NetworkModel::paper_5gbps();
+        let t4 = net.ps_sync_time(100 * 1024 * 1024, 4);
+        let t16 = net.ps_sync_time(100 * 1024 * 1024, 16);
+        assert!(t16 > 3.5 * t4 && t16 < 4.5 * t4, "t4={t4} t16={t16}");
+    }
+
+    #[test]
+    fn ring_allreduce_volume_saturates_with_workers() {
+        let net = NetworkModel::paper_5gbps();
+        // Per-link volume approaches 2*bytes as N grows, so time grows only via latency.
+        let t2 = net.ring_allreduce_time(1024 * 1024 * 1024, 2);
+        let t16 = net.ring_allreduce_time(1024 * 1024 * 1024, 16);
+        assert!(t16 < t2 * 2.5, "t2={t2} t16={t16}");
+        assert!(net.ring_allreduce_time(1024, 1) == 0.0);
+    }
+
+    #[test]
+    fn ring_beats_ps_for_large_clusters() {
+        let net = NetworkModel::paper_5gbps();
+        let bytes = 507 * 1024 * 1024; // VGG11
+        assert!(net.ring_allreduce_time(bytes, 16) < net.ps_sync_time(bytes, 16));
+    }
+
+    #[test]
+    fn status_allgather_is_milliseconds() {
+        // The paper reports ~2-4 ms for the flags exchange on 16 workers.
+        let net = NetworkModel::paper_5gbps();
+        let t = net.status_allgather_time(16);
+        assert!(t > 1.0e-3 && t < 5.0e-3, "t={t}");
+        assert_eq!(net.status_allgather_time(1), 0.0);
+    }
+
+    #[test]
+    fn transfer_of_vgg_takes_seconds_on_5gbps() {
+        // 507 MB at 5 Gbps is ~0.85 s one way; the PS round trip for 16 workers is tens of
+        // seconds, which is why Fig. 1a shows VGG11 scaling so poorly.
+        let net = NetworkModel::paper_5gbps();
+        let one_way = net.transfer_time(507 * 1024 * 1024);
+        assert!(one_way > 0.7 && one_way < 1.2, "{one_way}");
+        let full = net.ps_sync_time(507 * 1024 * 1024, 16);
+        assert!(full > 20.0, "{full}");
+    }
+
+    #[test]
+    fn faster_network_is_faster() {
+        let slow = NetworkModel::paper_5gbps();
+        let fast = NetworkModel::datacenter_25gbps();
+        let b = 200 * 1024 * 1024;
+        assert!(fast.ps_sync_time(b, 16) < slow.ps_sync_time(b, 16));
+    }
+}

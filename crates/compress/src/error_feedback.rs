@@ -1,0 +1,96 @@
+//! Error-feedback (residual accumulation) wrapper.
+//!
+//! Biased compressors (Top-k in particular) only converge reliably when the discarded
+//! residual is added back into the next step's gradient. The wrapper keeps the residual
+//! memory and exposes the same [`Compressor`] interface.
+
+use crate::{decompress_dense, Compressed, Compressor};
+
+/// Wrap any compressor with residual error feedback.
+pub struct ErrorFeedback<C: Compressor> {
+    inner: C,
+    residual: Vec<f32>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// Wrap `inner` with an initially empty residual.
+    pub fn new(inner: C) -> Self {
+        ErrorFeedback { inner, residual: Vec::new() }
+    }
+
+    /// Current residual memory (empty before the first compression).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+impl<C: Compressor> Compressor for ErrorFeedback<C> {
+    fn compress(&mut self, grad: &[f32]) -> Compressed {
+        if self.residual.len() != grad.len() {
+            self.residual = vec![0.0; grad.len()];
+        }
+        // Compensated gradient = gradient + carried residual.
+        let compensated: Vec<f32> = grad.iter().zip(self.residual.iter()).map(|(g, r)| g + r).collect();
+        let payload = self.inner.compress(&compensated);
+        let transmitted = decompress_dense(&payload);
+        for ((r, &c), &t) in self.residual.iter_mut().zip(compensated.iter()).zip(transmitted.iter()) {
+            *r = c - t;
+        }
+        payload
+    }
+
+    fn name(&self) -> &'static str {
+        "error_feedback"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::TopK;
+
+    #[test]
+    fn residual_carries_dropped_mass() {
+        let mut ef = ErrorFeedback::new(TopK::new(0.25));
+        let grad = vec![10.0, 1.0, 1.0, 1.0];
+        let p = ef.compress(&grad);
+        let sent = decompress_dense(&p);
+        // Only the big coordinate is sent; the dropped ones live in the residual.
+        assert_eq!(sent[0], 10.0);
+        assert_eq!(ef.residual()[0], 0.0);
+        assert_eq!(&ef.residual()[1..], &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn every_coordinate_is_eventually_transmitted() {
+        // With error feedback, a persistently small coordinate accumulates until it wins
+        // the top-k selection; the total transmitted mass approaches the total gradient mass.
+        let mut ef = ErrorFeedback::new(TopK::new(0.25));
+        let grad = vec![4.0, 1.0, 1.0, 1.0];
+        let mut transmitted_sum = vec![0.0f32; 4];
+        for _ in 0..12 {
+            let p = ef.compress(&grad);
+            for (t, d) in transmitted_sum.iter_mut().zip(decompress_dense(&p)) {
+                *t += d;
+            }
+        }
+        // After 12 rounds each small coordinate (contributing 12 total) must have been
+        // sent at least a few times.
+        for &t in &transmitted_sum[1..] {
+            assert!(t > 5.0, "transmitted {transmitted_sum:?}");
+        }
+    }
+
+    #[test]
+    fn compensated_sum_is_conserved() {
+        // grad + old_residual == transmitted + new_residual  (exact bookkeeping identity)
+        let mut ef = ErrorFeedback::new(TopK::new(0.5));
+        let g1 = vec![3.0, -2.0, 0.5, 0.1];
+        let p1 = ef.compress(&g1);
+        let sent1 = decompress_dense(&p1);
+        let lhs: Vec<f32> = g1.clone();
+        for i in 0..4 {
+            assert!((lhs[i] - (sent1[i] + ef.residual()[i])).abs() < 1e-6);
+        }
+    }
+}

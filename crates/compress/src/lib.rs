@@ -1,0 +1,160 @@
+//! # selsync-compress
+//!
+//! Gradient-compression baselines from the paper's related-work discussion (§II-D).
+//!
+//! SelSync itself does not compress gradients — it skips communication entirely on
+//! low-significance steps — but the paper positions it against sparsification
+//! (Top-k / DGC), quantization (signSGD, TernGrad) and low-rank methods, and notes that
+//! compression "is not a zero-cost operation". This crate implements the standard
+//! baselines so the benchmark harness can compare communication volumes and
+//! compression/decompression overheads, and so downstream users can combine SelSync's
+//! selective synchronization with compressed synchronization steps.
+//!
+//! All compressors implement the [`Compressor`] trait: `compress` produces a
+//! [`Compressed`] payload with a well-defined wire size, and `decompress` reconstructs a
+//! dense vector. The [`error_feedback::ErrorFeedback`] wrapper adds the standard
+//! residual-accumulation loop that keeps biased compressors convergent.
+
+pub mod error_feedback;
+pub mod randomk;
+pub mod signsgd;
+pub mod terngrad;
+pub mod topk;
+
+pub use error_feedback::ErrorFeedback;
+pub use randomk::RandomK;
+pub use signsgd::SignSgd;
+pub use terngrad::TernGrad;
+pub use topk::TopK;
+
+/// A compressed gradient payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Compressed {
+    /// Sparse representation: selected indices and their values.
+    Sparse {
+        /// Length of the original dense vector.
+        dim: usize,
+        /// Indices of the transmitted coordinates.
+        indices: Vec<u32>,
+        /// Values at those coordinates.
+        values: Vec<f32>,
+    },
+    /// Sign representation: one bit per coordinate plus a single scale.
+    Signs {
+        /// Length of the original dense vector.
+        dim: usize,
+        /// Per-coordinate signs packed as booleans (`true` = positive).
+        signs: Vec<bool>,
+        /// Scale applied to every reconstructed coordinate.
+        scale: f32,
+    },
+    /// Ternary representation: {-1, 0, +1} per coordinate plus a single scale.
+    Ternary {
+        /// Length of the original dense vector.
+        dim: usize,
+        /// Per-coordinate ternary levels.
+        levels: Vec<i8>,
+        /// Scale applied to non-zero coordinates.
+        scale: f32,
+    },
+}
+
+impl Compressed {
+    /// Bytes this payload would occupy on the wire (indices 4 B, values 4 B, signs 1 bit,
+    /// ternary levels 2 bits, scales 4 B).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Compressed::Sparse { indices, values, .. } => 4 * indices.len() + 4 * values.len() + 8,
+            Compressed::Signs { signs, .. } => signs.len().div_ceil(8) + 4 + 8,
+            Compressed::Ternary { levels, .. } => levels.len().div_ceil(4) + 4 + 8,
+        }
+    }
+
+    /// Length of the original dense vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            Compressed::Sparse { dim, .. } | Compressed::Signs { dim, .. } | Compressed::Ternary { dim, .. } => *dim,
+        }
+    }
+}
+
+/// A lossy gradient compressor.
+pub trait Compressor: Send {
+    /// Compress a dense gradient.
+    fn compress(&mut self, grad: &[f32]) -> Compressed;
+
+    /// Reconstruct a dense gradient from a payload produced by this compressor.
+    fn decompress(&self, payload: &Compressed) -> Vec<f32> {
+        decompress_dense(payload)
+    }
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared dense reconstruction used by every compressor.
+pub fn decompress_dense(payload: &Compressed) -> Vec<f32> {
+    match payload {
+        Compressed::Sparse { dim, indices, values } => {
+            let mut out = vec![0.0f32; *dim];
+            for (&i, &v) in indices.iter().zip(values.iter()) {
+                out[i as usize] = v;
+            }
+            out
+        }
+        Compressed::Signs { dim, signs, scale } => {
+            let mut out = vec![0.0f32; *dim];
+            for (o, &s) in out.iter_mut().zip(signs.iter()) {
+                *o = if s { *scale } else { -*scale };
+            }
+            out
+        }
+        Compressed::Ternary { dim, levels, scale } => {
+            let mut out = vec![0.0f32; *dim];
+            for (o, &l) in out.iter_mut().zip(levels.iter()) {
+                *o = l as f32 * scale;
+            }
+            out
+        }
+    }
+}
+
+/// Compression ratio achieved by a payload relative to dense f32 transmission.
+pub fn compression_ratio(payload: &Compressed) -> f64 {
+    let dense = payload.dim() * 4;
+    dense as f64 / payload.wire_bytes().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_wire_bytes_counts_pairs() {
+        let p = Compressed::Sparse { dim: 100, indices: vec![1, 2, 3], values: vec![0.1, 0.2, 0.3] };
+        assert_eq!(p.wire_bytes(), 3 * 4 + 3 * 4 + 8);
+        assert_eq!(p.dim(), 100);
+    }
+
+    #[test]
+    fn signs_pack_to_one_bit() {
+        let p = Compressed::Signs { dim: 16, signs: vec![true; 16], scale: 1.0 };
+        assert_eq!(p.wire_bytes(), 2 + 4 + 8);
+    }
+
+    #[test]
+    fn compression_ratio_is_relative_to_dense() {
+        let p = Compressed::Sparse { dim: 1000, indices: vec![0; 10], values: vec![0.0; 10] };
+        assert!(compression_ratio(&p) > 40.0);
+    }
+
+    #[test]
+    fn dense_reconstruction_of_each_variant() {
+        let sparse = Compressed::Sparse { dim: 4, indices: vec![1, 3], values: vec![2.0, -1.0] };
+        assert_eq!(decompress_dense(&sparse), vec![0.0, 2.0, 0.0, -1.0]);
+        let signs = Compressed::Signs { dim: 3, signs: vec![true, false, true], scale: 0.5 };
+        assert_eq!(decompress_dense(&signs), vec![0.5, -0.5, 0.5]);
+        let tern = Compressed::Ternary { dim: 3, levels: vec![1, 0, -1], scale: 2.0 };
+        assert_eq!(decompress_dense(&tern), vec![2.0, 0.0, -2.0]);
+    }
+}

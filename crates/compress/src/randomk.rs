@@ -1,0 +1,80 @@
+//! Random-k sparsification: transmit a uniformly random subset of coordinates.
+//!
+//! A cheaper (no selection cost) but noisier alternative to Top-k; included as the
+//! sparsification strawman the compression literature compares against.
+
+use crate::{Compressed, Compressor};
+use selsync_tensor::rng::{self, SelRng};
+
+/// Transmit a random `fraction` of coordinates, scaled by `1/fraction` so the
+/// compression is unbiased in expectation.
+#[derive(Debug, Clone)]
+pub struct RandomK {
+    /// Fraction of coordinates to keep, in `(0, 1]`.
+    pub fraction: f32,
+    rng: SelRng,
+    unbiased: bool,
+}
+
+impl RandomK {
+    /// Create a Random-k compressor. `unbiased` rescales kept values by `1/fraction`.
+    pub fn new(fraction: f32, seed: u64, unbiased: bool) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        RandomK { fraction, rng: rng::seeded(seed), unbiased }
+    }
+}
+
+impl Compressor for RandomK {
+    fn compress(&mut self, grad: &[f32]) -> Compressed {
+        let dim = grad.len();
+        let k = ((dim as f32 * self.fraction).ceil() as usize).clamp(1, dim);
+        let mut indices = rng::sample_without_replacement(&mut self.rng, dim, k);
+        indices.sort_unstable();
+        let scale = if self.unbiased { 1.0 / self.fraction } else { 1.0 };
+        let values = indices.iter().map(|&i| grad[i] * scale).collect();
+        Compressed::Sparse { dim, indices: indices.into_iter().map(|i| i as u32).collect(), values }
+    }
+
+    fn name(&self) -> &'static str {
+        "randomk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompress_dense;
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let mut c = RandomK::new(0.25, 1, false);
+        let grad = vec![1.0; 100];
+        if let Compressed::Sparse { indices, .. } = c.compress(&grad) {
+            assert_eq!(indices.len(), 25);
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn unbiased_scaling_preserves_expected_sum() {
+        let grad = vec![1.0; 1000];
+        let mut sums = 0.0;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut c = RandomK::new(0.1, seed, true);
+            let dense = decompress_dense(&c.compress(&grad));
+            sums += dense.iter().sum::<f32>();
+        }
+        let mean_sum = sums / trials as f32;
+        assert!((mean_sum - 1000.0).abs() < 1.0, "mean sum {mean_sum}");
+    }
+
+    #[test]
+    fn different_seeds_pick_different_coordinates() {
+        let grad = vec![1.0; 100];
+        let a = RandomK::new(0.1, 1, false).compress(&grad);
+        let b = RandomK::new(0.1, 2, false).compress(&grad);
+        assert_ne!(a, b);
+    }
+}

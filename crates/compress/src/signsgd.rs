@@ -1,0 +1,70 @@
+//! signSGD quantization (Bernstein et al.): transmit only the sign of each coordinate
+//! plus a single scale (the mean absolute value), achieving ~32x compression.
+
+use crate::{Compressed, Compressor};
+
+/// Sign quantizer with mean-magnitude scaling.
+#[derive(Debug, Clone, Default)]
+pub struct SignSgd;
+
+impl SignSgd {
+    /// Create a signSGD compressor.
+    pub fn new() -> Self {
+        SignSgd
+    }
+}
+
+impl Compressor for SignSgd {
+    fn compress(&mut self, grad: &[f32]) -> Compressed {
+        let dim = grad.len();
+        let scale = if dim == 0 { 0.0 } else { grad.iter().map(|g| g.abs()).sum::<f32>() / dim as f32 };
+        let signs = grad.iter().map(|&g| g >= 0.0).collect();
+        Compressed::Signs { dim, signs, scale }
+    }
+
+    fn name(&self) -> &'static str {
+        "signsgd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compression_ratio, decompress_dense};
+
+    #[test]
+    fn signs_and_scale_are_correct() {
+        let mut c = SignSgd::new();
+        let grad = vec![2.0, -4.0, 6.0, -8.0];
+        let p = c.compress(&grad);
+        let dense = decompress_dense(&p);
+        // Scale = mean |g| = 5.
+        assert_eq!(dense, vec![5.0, -5.0, 5.0, -5.0]);
+    }
+
+    #[test]
+    fn achieves_roughly_32x_compression() {
+        let mut c = SignSgd::new();
+        let grad = vec![0.5; 4096];
+        let p = c.compress(&grad);
+        let ratio = compression_ratio(&p);
+        assert!(ratio > 25.0 && ratio < 33.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn preserves_descent_direction() {
+        // The reconstructed vector must have positive inner product with the original.
+        let mut c = SignSgd::new();
+        let grad: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.7).sin()).collect();
+        let dense = decompress_dense(&c.compress(&grad));
+        let dot: f32 = grad.iter().zip(dense.iter()).map(|(a, b)| a * b).sum();
+        assert!(dot > 0.0);
+    }
+
+    #[test]
+    fn empty_gradient_is_handled() {
+        let mut c = SignSgd::new();
+        let p = c.compress(&[]);
+        assert_eq!(decompress_dense(&p), Vec::<f32>::new());
+    }
+}

@@ -1,0 +1,101 @@
+//! TernGrad quantization (Wen et al.): stochastic ternarisation of the gradient to
+//! {-1, 0, +1} scaled by the maximum magnitude. Unbiased in expectation.
+
+use crate::{Compressed, Compressor};
+use rand::Rng;
+use selsync_tensor::rng::{self, SelRng};
+
+/// Stochastic ternary quantizer.
+#[derive(Debug, Clone)]
+pub struct TernGrad {
+    rng: SelRng,
+}
+
+impl TernGrad {
+    /// Create a TernGrad compressor with a deterministic RNG.
+    pub fn new(seed: u64) -> Self {
+        TernGrad { rng: rng::seeded(seed) }
+    }
+}
+
+impl Compressor for TernGrad {
+    fn compress(&mut self, grad: &[f32]) -> Compressed {
+        let dim = grad.len();
+        let scale = grad.iter().fold(0.0f32, |m, g| m.max(g.abs()));
+        let levels = if scale == 0.0 {
+            vec![0i8; dim]
+        } else {
+            grad.iter()
+                .map(|&g| {
+                    // P(level = sign(g)) = |g| / scale, else 0 — unbiased: E[level*scale] = g.
+                    let p = (g.abs() / scale).clamp(0.0, 1.0);
+                    if self.rng.gen::<f32>() < p {
+                        if g >= 0.0 {
+                            1i8
+                        } else {
+                            -1i8
+                        }
+                    } else {
+                        0i8
+                    }
+                })
+                .collect()
+        };
+        Compressed::Ternary { dim, levels, scale }
+    }
+
+    fn name(&self) -> &'static str {
+        "terngrad"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compression_ratio, decompress_dense};
+
+    #[test]
+    fn levels_are_ternary_and_scale_is_max() {
+        let mut c = TernGrad::new(7);
+        let grad = vec![0.5, -2.0, 1.0, 0.0];
+        let p = c.compress(&grad);
+        if let Compressed::Ternary { levels, scale, .. } = &p {
+            assert_eq!(*scale, 2.0);
+            assert!(levels.iter().all(|&l| l == -1 || l == 0 || l == 1));
+        } else {
+            panic!("expected ternary");
+        }
+    }
+
+    #[test]
+    fn quantization_is_unbiased_in_expectation() {
+        let grad = vec![1.0f32, -0.5, 0.25, 0.0];
+        let trials = 4000;
+        let mut acc = vec![0.0f32; 4];
+        for seed in 0..trials {
+            let mut c = TernGrad::new(seed);
+            let dense = decompress_dense(&c.compress(&grad));
+            for (a, d) in acc.iter_mut().zip(dense.iter()) {
+                *a += d;
+            }
+        }
+        for (a, &g) in acc.iter().zip(grad.iter()) {
+            let mean = a / trials as f32;
+            assert!((mean - g).abs() < 0.05, "mean {mean} vs {g}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_stays_zero() {
+        let mut c = TernGrad::new(1);
+        let dense = decompress_dense(&c.compress(&[0.0; 16]));
+        assert!(dense.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn compression_ratio_is_high() {
+        let mut c = TernGrad::new(3);
+        let grad = vec![0.3; 4096];
+        assert!(compression_ratio(&c.compress(&grad)) > 10.0);
+    }
+}

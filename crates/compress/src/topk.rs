@@ -1,0 +1,103 @@
+//! Top-k sparsification (DGC / Top-k of §II-D).
+//!
+//! Transmits only the `k` largest-magnitude coordinates of the gradient together with
+//! their indices.
+
+use crate::{Compressed, Compressor};
+
+/// Keep the `fraction` largest-magnitude coordinates (at least one).
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// Fraction of coordinates to keep, in `(0, 1]`.
+    pub fraction: f32,
+}
+
+impl TopK {
+    /// Create a Top-k compressor keeping `fraction` of the coordinates.
+    pub fn new(fraction: f32) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        TopK { fraction }
+    }
+
+    fn k_for(&self, dim: usize) -> usize {
+        ((dim as f32 * self.fraction).ceil() as usize).clamp(1, dim)
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&mut self, grad: &[f32]) -> Compressed {
+        let dim = grad.len();
+        let k = self.k_for(dim);
+        // Select the k largest |g| coordinates via a partial sort of indices.
+        let mut idx: Vec<u32> = (0..dim as u32).collect();
+        idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+            grad[b as usize]
+                .abs()
+                .partial_cmp(&grad[a as usize].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx.sort_unstable();
+        let values = idx.iter().map(|&i| grad[i as usize]).collect();
+        Compressed::Sparse { dim, indices: idx, values }
+    }
+
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompress_dense;
+
+    #[test]
+    fn selects_largest_magnitudes() {
+        let mut c = TopK::new(0.5);
+        let grad = vec![0.1, -5.0, 0.2, 3.0, -0.05, 0.0];
+        let p = c.compress(&grad);
+        if let Compressed::Sparse { indices, values, .. } = &p {
+            assert_eq!(indices.len(), 3);
+            assert!(indices.contains(&1) && indices.contains(&3));
+            assert_eq!(values.len(), 3);
+        } else {
+            panic!("expected sparse payload");
+        }
+        let dense = decompress_dense(&p);
+        assert_eq!(dense[1], -5.0);
+        assert_eq!(dense[3], 3.0);
+        assert_eq!(dense[4], 0.0);
+    }
+
+    #[test]
+    fn full_fraction_is_lossless() {
+        let mut c = TopK::new(1.0);
+        let grad = vec![1.0, -2.0, 3.0];
+        let p = c.compress(&grad);
+        assert_eq!(decompress_dense(&p), grad);
+    }
+
+    #[test]
+    fn at_least_one_coordinate_is_kept() {
+        let mut c = TopK::new(0.001);
+        let grad = vec![0.0, 0.0, 7.0, 0.0];
+        let p = c.compress(&grad);
+        let dense = decompress_dense(&p);
+        assert_eq!(dense[2], 7.0);
+    }
+
+    #[test]
+    fn wire_size_shrinks_with_fraction() {
+        let grad: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let a = TopK::new(0.01).compress(&grad).wire_bytes();
+        let b = TopK::new(0.5).compress(&grad).wire_bytes();
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fraction_rejected() {
+        let _ = TopK::new(0.0);
+    }
+}

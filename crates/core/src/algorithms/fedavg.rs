@@ -1,0 +1,115 @@
+//! Federated Averaging (§II-B): workers train locally and, `1/E` times per epoch, a
+//! random fraction `C` of them average their *parameters*; the averaged model is
+//! broadcast to every worker.
+
+use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::report::RunReport;
+use crate::sim::Simulator;
+use selsync_tensor::rng;
+
+/// Run FedAvg for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not FedAvg.
+pub fn run(cfg: &TrainConfig) -> RunReport {
+    let (c, e) = match cfg.algorithm {
+        AlgorithmSpec::FedAvg { c, e } => (c, e),
+        _ => panic!("fedavg::run called with a non-FedAvg configuration"),
+    };
+    assert!((0.0..=1.0).contains(&c) && c > 0.0, "participation fraction C must be in (0, 1]");
+    assert!(e > 0.0, "synchronization factor E must be positive");
+
+    let mut sim = Simulator::new(cfg);
+    let n = sim.num_workers();
+    let wire = sim.nominal().wire_bytes;
+    // Aggregation happens every E * steps_per_epoch iterations (E=0.25 => 4x per epoch).
+    let sync_interval = ((cfg.steps_per_epoch() as f32 * e).round() as usize).max(1);
+    let participants = ((c * n as f32).ceil() as usize).clamp(1, n);
+    let algo_name = cfg.algorithm.name();
+
+    for it in 0..cfg.iterations {
+        let lr = sim.lr_at(it);
+        let mut max_delta = 0.0f32;
+        for w in 0..n {
+            let (idx, _) = sim.next_batch(w);
+            let (_, g) = sim.compute_gradient(w, &idx);
+            max_delta = max_delta.max(sim.track_delta(w, &g));
+            sim.apply_update(w, &g, lr);
+        }
+        let compute = sim.step_compute_seconds();
+
+        let is_sync_step = (it + 1) % sync_interval == 0;
+        if is_sync_step {
+            // Select C·N participants uniformly at random (the paper's client sampling).
+            let chosen = rng::sample_without_replacement(&mut sim.rng, n, participants);
+            let avg = sim.average_params_of(&chosen);
+            sim.set_all_params(&avg);
+            let comm = sim.ps_sync_seconds(participants);
+            sim.account_step(compute, comm, 2 * participants as u64 * wire, true);
+        } else {
+            sim.account_step(compute, 0.0, 0, false);
+        }
+
+        if sim.should_eval(it) {
+            let global = sim.average_params();
+            sim.record_eval(it, &global, max_delta);
+        }
+    }
+    sim.finalize(algo_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_nn::model::ModelKind;
+
+    fn cfg(c: f32, e: f32) -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        cfg.iterations = 32;
+        cfg.eval_every = 8;
+        cfg.train_samples = 512;
+        cfg.test_samples = 64;
+        cfg.eval_samples = 64;
+        cfg.batch_size = 8;
+        cfg.algorithm = AlgorithmSpec::FedAvg { c, e };
+        cfg
+    }
+
+    #[test]
+    fn fedavg_has_high_lssr() {
+        // steps_per_epoch = 512 / 32 = 16; E = 0.5 -> sync every 8 steps -> 4 syncs in 32.
+        let report = run(&cfg(1.0, 0.5));
+        assert_eq!(report.sync_steps, 4);
+        assert_eq!(report.local_steps, 28);
+        assert!(report.lssr > 0.8);
+    }
+
+    #[test]
+    fn smaller_e_means_more_frequent_synchronization() {
+        let frequent = run(&cfg(1.0, 0.25));
+        let infrequent = run(&cfg(1.0, 0.5));
+        assert!(frequent.sync_steps > infrequent.sync_steps);
+        assert!(frequent.comm_time_s > infrequent.comm_time_s);
+    }
+
+    #[test]
+    fn partial_participation_moves_fewer_bytes() {
+        let all = run(&cfg(1.0, 0.5));
+        let half = run(&cfg(0.5, 0.5));
+        assert!(half.bytes_communicated < all.bytes_communicated);
+    }
+
+    #[test]
+    fn fedavg_is_faster_than_bsp() {
+        let fed = run(&cfg(1.0, 0.25));
+        let mut bsp_cfg = cfg(1.0, 0.25);
+        bsp_cfg.algorithm = AlgorithmSpec::Bsp;
+        let bsp = crate::algorithms::bsp::run(&bsp_cfg);
+        assert!(fed.sim_time_s < bsp.sim_time_s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_algorithm_spec_panics() {
+        let mut c = cfg(1.0, 0.5);
+        c.algorithm = AlgorithmSpec::Bsp;
+        let _ = run(&c);
+    }
+}

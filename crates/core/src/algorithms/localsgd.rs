@@ -1,0 +1,69 @@
+//! Pure local SGD: workers never communicate (the `δ ≥ M` limit of SelSync, Fig. 6).
+//! Included as the degenerate baseline; the evaluated "global" model is the average of
+//! the worker replicas at evaluation time only (the averaging is *not* fed back).
+
+use crate::config::TrainConfig;
+use crate::report::RunReport;
+use crate::sim::Simulator;
+
+/// Run local-SGD for `cfg.iterations` iterations.
+pub fn run(cfg: &TrainConfig) -> RunReport {
+    let mut sim = Simulator::new(cfg);
+    let n = sim.num_workers();
+
+    for it in 0..cfg.iterations {
+        let lr = sim.lr_at(it);
+        let mut max_delta = 0.0f32;
+        for w in 0..n {
+            let (idx, _) = sim.next_batch(w);
+            let (_, g) = sim.compute_gradient(w, &idx);
+            max_delta = max_delta.max(sim.track_delta(w, &g));
+            sim.apply_update(w, &g, lr);
+        }
+        let compute = sim.step_compute_seconds();
+        sim.account_step(compute, 0.0, 0, false);
+
+        if sim.should_eval(it) {
+            let avg = sim.average_params();
+            sim.record_eval(it, &avg, max_delta);
+        }
+    }
+    sim.finalize("LocalSGD".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgorithmSpec;
+    use selsync_nn::model::ModelKind;
+
+    fn cfg() -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 2);
+        cfg.iterations = 30;
+        cfg.eval_every = 10;
+        cfg.train_samples = 256;
+        cfg.test_samples = 64;
+        cfg.eval_samples = 64;
+        cfg.batch_size = 8;
+        cfg.algorithm = AlgorithmSpec::LocalSgd;
+        cfg
+    }
+
+    #[test]
+    fn local_sgd_never_communicates() {
+        let report = run(&cfg());
+        assert_eq!(report.lssr, 1.0);
+        assert_eq!(report.sync_steps, 0);
+        assert_eq!(report.comm_time_s, 0.0);
+        assert_eq!(report.bytes_communicated, 0);
+    }
+
+    #[test]
+    fn local_sgd_is_faster_than_bsp_in_simulated_time() {
+        let local = run(&cfg());
+        let mut bsp_cfg = cfg();
+        bsp_cfg.algorithm = AlgorithmSpec::Bsp;
+        let bsp = crate::algorithms::bsp::run(&bsp_cfg);
+        assert!(local.sim_time_s < bsp.sim_time_s);
+    }
+}

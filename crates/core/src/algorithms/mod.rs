@@ -1,0 +1,68 @@
+//! Distributed training algorithm drivers.
+//!
+//! All drivers share the [`crate::sim::Simulator`] harness, so they differ only in
+//! *when* and *what* they aggregate — exactly the axis the paper studies:
+//!
+//! | Driver | Aggregation rule | Paper section |
+//! |---|---|---|
+//! | [`bsp`] | every step, all workers | §II-A |
+//! | [`localsgd`] | never | §III-B (δ ≥ M limit) |
+//! | [`fedavg`] | every `E·steps_per_epoch` steps, `C·N` random workers | §II-B |
+//! | [`ssp`] | asynchronous push/pull with a staleness bound | §II-C |
+//! | [`selsync`] | whenever any worker's `Δ(g_i) ≥ δ` | §III |
+//!
+//! [`run`] dispatches on [`AlgorithmSpec`] and returns a [`RunReport`].
+
+pub mod bsp;
+pub mod fedavg;
+pub mod localsgd;
+pub mod selsync;
+pub mod ssp;
+
+use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::report::RunReport;
+
+/// Run the algorithm selected by `cfg.algorithm` and return its report.
+pub fn run(cfg: &TrainConfig) -> RunReport {
+    match cfg.algorithm {
+        AlgorithmSpec::Bsp => bsp::run(cfg),
+        AlgorithmSpec::LocalSgd => localsgd::run(cfg),
+        AlgorithmSpec::FedAvg { .. } => fedavg::run(cfg),
+        AlgorithmSpec::Ssp { .. } => ssp::run(cfg),
+        AlgorithmSpec::SelSync { .. } => selsync::run(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_nn::model::ModelKind;
+
+    fn tiny(algo: AlgorithmSpec) -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 2);
+        cfg.iterations = 12;
+        cfg.eval_every = 6;
+        cfg.train_samples = 256;
+        cfg.test_samples = 64;
+        cfg.eval_samples = 64;
+        cfg.batch_size = 8;
+        cfg.algorithm = algo;
+        cfg
+    }
+
+    #[test]
+    fn dispatcher_selects_each_algorithm() {
+        for (algo, label) in [
+            (AlgorithmSpec::Bsp, "BSP"),
+            (AlgorithmSpec::LocalSgd, "LocalSGD"),
+            (AlgorithmSpec::FedAvg { c: 1.0, e: 0.5 }, "FedAvg"),
+            (AlgorithmSpec::Ssp { staleness: 8 }, "SSP"),
+            (AlgorithmSpec::selsync(0.3), "SelSync"),
+        ] {
+            let report = run(&tiny(algo));
+            assert!(report.algorithm.starts_with(label), "{}", report.algorithm);
+            assert_eq!(report.iterations, 12);
+            assert!(!report.history.is_empty());
+        }
+    }
+}

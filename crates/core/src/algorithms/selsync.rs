@@ -1,0 +1,192 @@
+//! SelSync (§III, Alg. 1): δ-based selective synchronization.
+//!
+//! Per iteration, every worker computes its gradient and its relative gradient change
+//! `Δ(g_i)`; the cluster exchanges one status bit per worker (all-gather) and
+//! synchronizes if **any** bit is set:
+//!
+//! * **Parameter aggregation** (the SelSync default): each worker first applies its
+//!   local update, then parameters are pushed to the PS, averaged, and pulled back
+//!   (Alg. 1 lines 9, 14–15).
+//! * **Gradient aggregation** (the Fig. 9/10 comparison mode): on a synchronized step
+//!   the averaged gradient is applied by every worker to its own (possibly diverged)
+//!   replica; on local steps the worker applies its own gradient.
+//!
+//! Data-injection (non-IID) and the SelDP partitioning are handled by the simulator.
+
+use crate::aggregation::{self, AggregationMode};
+use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::policy::{SyncDecision, SyncPolicy};
+use crate::report::RunReport;
+use crate::sim::Simulator;
+
+/// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
+pub fn run(cfg: &TrainConfig) -> RunReport {
+    let (delta, aggregation_mode) = match cfg.algorithm {
+        AlgorithmSpec::SelSync { delta, aggregation, .. } => (delta, aggregation),
+        _ => panic!("selsync::run called with a non-SelSync configuration"),
+    };
+    let policy = SyncPolicy::new(delta);
+    let algo_name = cfg.algorithm.name();
+
+    let mut sim = Simulator::new(cfg);
+    let n = sim.num_workers();
+    let wire = sim.nominal().wire_bytes;
+
+    for it in 0..cfg.iterations {
+        let lr = sim.lr_at(it);
+
+        // Phase 1: every worker computes its gradient and Δ(g_i) on its next mini-batch.
+        let mut grads = Vec::with_capacity(n);
+        let mut deltas = Vec::with_capacity(n);
+        let mut injected_bytes = 0u64;
+        for w in 0..n {
+            let (idx, inj) = sim.next_batch(w);
+            injected_bytes += inj;
+            let (_, g) = sim.compute_gradient(w, &idx);
+            deltas.push(sim.track_delta(w, &g));
+            grads.push(g);
+        }
+        let cluster_delta = deltas.iter().cloned().fold(0.0f32, f32::max);
+
+        // Phase 2: 1-bit status all-gather and the cluster-level decision.
+        let flags = policy.flags_from_deltas(&deltas);
+        let decision = policy.decide(&flags);
+        let mut comm = sim.status_allgather_seconds();
+        let mut bytes = injected_bytes + n as u64; // the flag bits themselves (≈1 B/worker)
+        if injected_bytes > 0 {
+            comm += cfg.network.p2p_time(injected_bytes);
+        }
+
+        // Phase 3: apply updates according to the decision and aggregation mode.
+        match (decision, aggregation_mode) {
+            (SyncDecision::Local, _) => {
+                for w in 0..n {
+                    sim.apply_update(w, &grads[w], lr);
+                }
+            }
+            (SyncDecision::Synchronize, AggregationMode::Parameter) => {
+                // Alg. 1: local update first, then push parameters and pull the average.
+                for w in 0..n {
+                    sim.apply_update(w, &grads[w], lr);
+                }
+                let avg = sim.average_params();
+                sim.set_all_params(&avg);
+                comm += sim.ps_sync_seconds(n);
+                bytes += 2 * n as u64 * wire;
+            }
+            (SyncDecision::Synchronize, AggregationMode::Gradient) => {
+                // Gradients are averaged on the PS and applied locally by each worker.
+                let avg_grad = aggregation::average(&grads);
+                for w in 0..n {
+                    sim.apply_update(w, &avg_grad, lr);
+                }
+                comm += sim.ps_sync_seconds(n);
+                bytes += 2 * n as u64 * wire;
+            }
+        }
+
+        let compute = sim.step_compute_seconds();
+        sim.account_step(compute, comm, bytes, decision == SyncDecision::Synchronize);
+
+        if sim.should_eval(it) {
+            // The evaluated global model is the replica average (identical to any single
+            // replica right after a PA synchronization).
+            let global = sim.average_params();
+            sim.record_eval(it, &global, cluster_delta);
+        }
+    }
+    sim.finalize(algo_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_data::partition::PartitionScheme;
+    use selsync_nn::model::ModelKind;
+
+    fn cfg(algo: AlgorithmSpec) -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        cfg.iterations = 40;
+        cfg.eval_every = 10;
+        cfg.train_samples = 512;
+        cfg.test_samples = 128;
+        cfg.eval_samples = 128;
+        cfg.batch_size = 8;
+        cfg.algorithm = algo;
+        cfg
+    }
+
+    #[test]
+    fn delta_zero_behaves_like_bsp() {
+        // δ = 0 means every step satisfies Δ(g_i) ≥ δ, so LSSR must be 0.
+        let report = run(&cfg(AlgorithmSpec::selsync(0.0)));
+        assert_eq!(report.lssr, 0.0);
+        assert_eq!(report.sync_steps, 40);
+    }
+
+    #[test]
+    fn huge_delta_behaves_like_local_sgd() {
+        let report = run(&cfg(AlgorithmSpec::selsync(1e9)));
+        assert_eq!(report.local_steps, 40);
+        assert!(report.lssr > 0.99);
+        // Only the status all-gather is charged, which is orders of magnitude cheaper
+        // than parameter exchange.
+        assert!(report.comm_time_s < 1.0);
+    }
+
+    #[test]
+    fn moderate_delta_mixes_local_and_sync_steps() {
+        let report = run(&cfg(AlgorithmSpec::selsync(0.05)));
+        assert!(report.sync_steps > 0, "some steps must synchronize");
+        assert!(report.local_steps > 0, "some steps must stay local");
+        assert!(report.lssr > 0.0 && report.lssr < 1.0);
+    }
+
+    #[test]
+    fn higher_delta_gives_higher_lssr() {
+        let low = run(&cfg(AlgorithmSpec::selsync(0.02)));
+        let high = run(&cfg(AlgorithmSpec::selsync(0.3)));
+        assert!(high.lssr >= low.lssr, "lssr {} vs {}", high.lssr, low.lssr);
+        assert!(high.comm_time_s <= low.comm_time_s);
+    }
+
+    #[test]
+    fn selsync_is_faster_than_bsp_for_same_iterations() {
+        let sel = run(&cfg(AlgorithmSpec::selsync(0.1)));
+        let mut bsp_cfg = cfg(AlgorithmSpec::selsync(0.1));
+        bsp_cfg.algorithm = AlgorithmSpec::Bsp;
+        let bsp = crate::algorithms::bsp::run(&bsp_cfg);
+        assert!(sel.sim_time_s < bsp.sim_time_s);
+        assert!(sel.raw_time_speedup(&bsp) > 1.0);
+    }
+
+    #[test]
+    fn parameter_and_gradient_aggregation_both_run() {
+        let pa = run(&cfg(AlgorithmSpec::selsync(0.05)));
+        let ga = run(&cfg(AlgorithmSpec::selsync_ga(0.05)));
+        assert!(pa.final_loss.is_finite());
+        assert!(ga.final_loss.is_finite());
+        assert!(pa.algorithm.contains("PA"));
+        assert!(ga.algorithm.contains("GA"));
+    }
+
+    #[test]
+    fn seldp_and_defdp_both_supported() {
+        let mut c = cfg(AlgorithmSpec::selsync(0.3));
+        c.partition = PartitionScheme::DefDp;
+        let defdp = run(&c);
+        c.partition = PartitionScheme::SelDp;
+        let seldp = run(&c);
+        assert!(defdp.final_loss.is_finite() && seldp.final_loss.is_finite());
+    }
+
+    #[test]
+    fn non_iid_with_injection_accounts_injection_bytes() {
+        let mut c = cfg(AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3));
+        c.workers = 10;
+        c.non_iid_labels_per_worker = Some(1);
+        let report = run(&c);
+        assert!(report.bytes_communicated > 0);
+        assert!(report.final_loss.is_finite());
+    }
+}

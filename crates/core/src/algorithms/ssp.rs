@@ -1,0 +1,141 @@
+//! Stale-Synchronous Parallel training (§II-C).
+//!
+//! Workers push updates to the PS asynchronously and keep training on a locally cached
+//! copy of the global model; the cache is only refreshed periodically, so the gradients
+//! pushed to the PS are computed against *stale* parameters. A staleness threshold `s`
+//! bounds how far the fastest worker may run ahead of the slowest: when exceeded, the
+//! fast worker blocks (its simulated clock advances to the slowest worker's).
+//!
+//! Modelling notes (documented in DESIGN.md): the simulator is sequential, so "fast" and
+//! "slow" workers are expressed through per-worker compute-time multipliers (the last
+//! worker is a 1.4× straggler, as in the paper's heterogeneity discussion), and cache
+//! refreshes happen every `s/4` steps — the staleness a worker sees therefore grows with
+//! the threshold, which reproduces the paper's observation that deep models degrade
+//! under SSP while shallow ones tolerate it.
+
+use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::report::RunReport;
+use crate::sim::Simulator;
+
+/// Run SSP for `cfg.iterations` per-worker iterations. Panics if `cfg.algorithm` is not SSP.
+pub fn run(cfg: &TrainConfig) -> RunReport {
+    let staleness = match cfg.algorithm {
+        AlgorithmSpec::Ssp { staleness } => staleness.max(1),
+        _ => panic!("ssp::run called with a non-SSP configuration"),
+    };
+    let algo_name = cfg.algorithm.name();
+
+    let mut sim = Simulator::new(cfg);
+    let n = sim.num_workers();
+    let wire = sim.nominal().wire_bytes;
+    // Global model lives on the PS; workers keep cached copies in their replica slots.
+    let mut global = sim.workers[0].params.clone();
+    // The last worker is a straggler (1.4x slower), the others are mildly heterogeneous.
+    let speeds: Vec<f64> =
+        (0..n).map(|w| if w == n - 1 { 1.4 } else { 1.0 + 0.05 * (w % 3) as f64 }).collect();
+    let refresh_every = (staleness / 4).max(1);
+
+    let mut worker_time = vec![0.0f64; n];
+    let mut steps_since_refresh = vec![0usize; n];
+    let base_compute = sim.step_compute_seconds();
+    let push_time = sim.ps_one_way_seconds();
+    let mut max_delta = 0.0f32;
+
+    for it in 0..cfg.iterations {
+        let lr = sim.lr_at(it);
+        for w in 0..n {
+            // Staleness bound: a worker that is too far ahead waits for the slowest.
+            let min_progress = sim.workers.iter().map(|ws| ws.progress).min().unwrap_or(0);
+            if sim.workers[w].progress > min_progress + staleness {
+                let slowest_time = worker_time.iter().cloned().fold(0.0f64, f64::max);
+                worker_time[w] = worker_time[w].max(slowest_time);
+            }
+
+            let (idx, _) = sim.next_batch(w);
+            let (_, g) = sim.compute_gradient(w, &idx);
+            max_delta = max_delta.max(sim.track_delta(w, &g));
+            // Push: apply this worker's (stale) gradient directly to the global model.
+            for (p, &gi) in global.iter_mut().zip(g.iter()) {
+                *p -= lr * gi;
+            }
+            // The worker also advances its own cached copy with its local gradient.
+            sim.apply_update(w, &g, lr);
+            steps_since_refresh[w] += 1;
+            let mut comm = push_time;
+            if steps_since_refresh[w] >= refresh_every {
+                // Pull: refresh the cached copy from the global model.
+                sim.workers[w].params.copy_from_slice(&global);
+                sim.workers[w].optimizer.reset();
+                steps_since_refresh[w] = 0;
+                comm += push_time;
+            }
+            worker_time[w] += base_compute * speeds[w] + comm;
+        }
+        // Account the wall-clock of this round as the slowest worker's progress and the
+        // communication as 2 one-way transfers per worker (push + amortised pull).
+        let round_compute = base_compute * speeds.iter().cloned().fold(0.0f64, f64::max);
+        let round_comm = push_time * n as f64 * (1.0 + 1.0 / refresh_every as f64);
+        // SSP never performs a blocking aggregation, so LSSR does not apply; we record
+        // the steps as local (communication time is still charged).
+        sim.account_step(round_compute, round_comm, (n as u64) * wire, false);
+
+        if sim.should_eval(it) {
+            let snapshot = global.clone();
+            sim.record_eval(it, &snapshot, max_delta);
+            max_delta = 0.0;
+        }
+    }
+    sim.finalize(algo_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_nn::model::ModelKind;
+
+    fn cfg(staleness: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::AlexLike, 3);
+        cfg.iterations = 30;
+        cfg.eval_every = 10;
+        cfg.train_samples = 384;
+        cfg.test_samples = 64;
+        cfg.eval_samples = 64;
+        cfg.batch_size = 8;
+        cfg.algorithm = AlgorithmSpec::Ssp { staleness };
+        cfg
+    }
+
+    #[test]
+    fn ssp_runs_and_reports_progress() {
+        let report = run(&cfg(16));
+        assert_eq!(report.iterations, 30);
+        assert!(report.final_loss.is_finite());
+        assert!(report.comm_time_s > 0.0);
+        assert!(report.bytes_communicated > 0);
+    }
+
+    #[test]
+    fn ssp_avoids_the_full_ps_aggregation_cost() {
+        let ssp = run(&cfg(16));
+        let mut bsp_cfg = cfg(16);
+        bsp_cfg.algorithm = AlgorithmSpec::Bsp;
+        let bsp = crate::algorithms::bsp::run(&bsp_cfg);
+        assert!(ssp.comm_time_s < bsp.comm_time_s);
+    }
+
+    #[test]
+    fn ssp_learns_on_a_shallow_model() {
+        // The paper finds SSP works well for AlexNet; the analogue should at least improve.
+        let report = run(&cfg(8));
+        let first = report.history.first().unwrap().test_metric;
+        assert!(report.best_metric >= first);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_spec_panics() {
+        let mut c = cfg(8);
+        c.algorithm = AlgorithmSpec::Bsp;
+        let _ = run(&c);
+    }
+}

@@ -1,0 +1,278 @@
+//! Experiment configuration.
+//!
+//! A [`TrainConfig`] fully describes one training run: the model analogue, the cluster
+//! size, the data partitioning, the algorithm (BSP / FedAvg / SSP / local-SGD /
+//! SelSync), optimizer and learning-rate schedule, and the network/device cost models
+//! used for simulated timing. Every run is deterministic given its `seed`.
+
+use crate::aggregation::AggregationMode;
+use selsync_comm::netmodel::NetworkModel;
+use selsync_data::injection::DataInjection;
+use selsync_data::partition::PartitionScheme;
+use selsync_nn::cost::DeviceProfile;
+use selsync_nn::model::ModelKind;
+use selsync_nn::schedule::LrSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Which first-order optimizer to instantiate per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerSpec {
+    /// `"sgd"` or `"adam"` semantics.
+    pub adam: bool,
+    /// Momentum (SGD only).
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl OptimizerSpec {
+    /// SGD with momentum and weight decay.
+    pub fn sgd(momentum: f32, weight_decay: f32) -> Self {
+        OptimizerSpec { adam: false, momentum, weight_decay }
+    }
+
+    /// Adam with weight decay.
+    pub fn adam(weight_decay: f32) -> Self {
+        OptimizerSpec { adam: true, momentum: 0.0, weight_decay }
+    }
+
+    /// Instantiate the optimizer.
+    pub fn build(&self) -> Box<dyn selsync_nn::optim::Optimizer> {
+        if self.adam {
+            Box::new(selsync_nn::optim::Adam::new(self.weight_decay))
+        } else {
+            Box::new(selsync_nn::optim::Sgd::new(self.momentum, self.weight_decay))
+        }
+    }
+}
+
+/// The distributed training algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// Bulk-synchronous parallel: aggregate every step.
+    Bsp,
+    /// Pure local SGD: never aggregate.
+    LocalSgd,
+    /// Federated averaging with participation fraction `c` and synchronization factor
+    /// `e` (updates are aggregated `1/e` times per epoch from `c·N` randomly chosen
+    /// workers).
+    FedAvg {
+        /// Fraction of workers participating in each aggregation.
+        c: f32,
+        /// Synchronization factor E (aggregation happens every `E · steps_per_epoch` steps).
+        e: f32,
+    },
+    /// Stale-synchronous parallel with the given staleness bound (in iterations).
+    Ssp {
+        /// Maximum allowed lead of the fastest worker over the slowest.
+        staleness: usize,
+    },
+    /// SelSync with threshold `delta`, aggregation mode and optional data-injection for
+    /// non-IID data.
+    SelSync {
+        /// Relative-gradient-change threshold δ.
+        delta: f32,
+        /// Parameter vs gradient aggregation during synchronization steps.
+        aggregation: AggregationMode,
+        /// Optional randomized data-injection (α, β) for non-IID data.
+        injection: Option<DataInjection>,
+    },
+}
+
+impl AlgorithmSpec {
+    /// SelSync with parameter aggregation and no data-injection (the paper's default).
+    pub fn selsync(delta: f32) -> Self {
+        AlgorithmSpec::SelSync { delta, aggregation: AggregationMode::Parameter, injection: None }
+    }
+
+    /// SelSync with gradient aggregation (for the GA-vs-PA comparison, Fig. 10).
+    pub fn selsync_ga(delta: f32) -> Self {
+        AlgorithmSpec::SelSync { delta, aggregation: AggregationMode::Gradient, injection: None }
+    }
+
+    /// SelSync with data-injection `(α, β, δ)` (the paper's non-IID configuration).
+    pub fn selsync_injected(alpha: f32, beta: f32, delta: f32) -> Self {
+        AlgorithmSpec::SelSync {
+            delta,
+            aggregation: AggregationMode::Parameter,
+            injection: Some(DataInjection::new(alpha, beta)),
+        }
+    }
+
+    /// Human-readable name used in reports (matches the paper's table labels).
+    pub fn name(&self) -> String {
+        match self {
+            AlgorithmSpec::Bsp => "BSP".to_string(),
+            AlgorithmSpec::LocalSgd => "LocalSGD".to_string(),
+            AlgorithmSpec::FedAvg { c, e } => format!("FedAvg({c},{e})"),
+            AlgorithmSpec::Ssp { staleness } => format!("SSP(s={staleness})"),
+            AlgorithmSpec::SelSync { delta, aggregation, injection } => {
+                let agg = match aggregation {
+                    AggregationMode::Parameter => "PA",
+                    AggregationMode::Gradient => "GA",
+                };
+                match injection {
+                    Some(inj) => format!("SelSync({},{},{delta},{agg})", inj.alpha, inj.beta),
+                    None => format!("SelSync(d={delta},{agg})"),
+                }
+            }
+        }
+    }
+}
+
+/// Full description of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Which paper workload to train.
+    pub model: ModelKind,
+    /// Number of workers in the cluster.
+    pub workers: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Number of training iterations to run.
+    pub iterations: usize,
+    /// Evaluate on the held-out set every this many iterations.
+    pub eval_every: usize,
+    /// Maximum number of test samples used per evaluation (caps evaluation cost).
+    pub eval_samples: usize,
+    /// Number of training samples to synthesise.
+    pub train_samples: usize,
+    /// Number of held-out test samples to synthesise.
+    pub test_samples: usize,
+    /// RNG seed controlling data, initialisation and all stochastic decisions.
+    pub seed: u64,
+    /// IID partitioning scheme (DefDP or SelDP).
+    pub partition: PartitionScheme,
+    /// If set, data is split non-IID with this many labels per worker instead of IID
+    /// partitioning.
+    pub non_iid_labels_per_worker: Option<usize>,
+    /// The training algorithm.
+    pub algorithm: AlgorithmSpec,
+    /// Per-worker optimizer.
+    pub optimizer: OptimizerSpec,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// EWMA window for the gradient tracker (Fig. 8a sweeps this).
+    pub ewma_window: usize,
+    /// Network cost model used for simulated communication time.
+    pub network: NetworkModel,
+    /// Device profile used for simulated compute time.
+    pub device: DeviceProfile,
+}
+
+impl TrainConfig {
+    /// Per-model default optimizer and learning-rate schedule for the *small analogue*
+    /// models. The shapes follow the paper's §IV-A setup (SGD+momentum with step decay
+    /// for ResNet/VGG/Transformer, Adam with a fixed LR for AlexNet); the absolute
+    /// values are re-tuned for the small substitute models.
+    pub fn default_hyper(model: ModelKind) -> (OptimizerSpec, LrSchedule) {
+        match model {
+            ModelKind::ResNetLike => (
+                OptimizerSpec::sgd(0.9, 4e-4),
+                LrSchedule::StepIterDecay { base_lr: 0.05, every_iters: 1500, factor: 0.5 },
+            ),
+            ModelKind::VggLike => (
+                OptimizerSpec::sgd(0.9, 5e-4),
+                LrSchedule::StepIterDecay { base_lr: 0.05, every_iters: 1500, factor: 0.5 },
+            ),
+            ModelKind::AlexLike => (OptimizerSpec::adam(0.0), LrSchedule::Constant { lr: 1e-3 }),
+            ModelKind::TransformerLike => (
+                OptimizerSpec::sgd(0.9, 0.0),
+                LrSchedule::StepIterDecay { base_lr: 0.2, every_iters: 1000, factor: 0.8 },
+            ),
+        }
+    }
+
+    /// A small, fast configuration suitable for tests, examples and doc-tests.
+    pub fn small(model: ModelKind, workers: usize) -> Self {
+        let (optimizer, lr) = Self::default_hyper(model);
+        TrainConfig {
+            model,
+            workers,
+            batch_size: 16,
+            iterations: 300,
+            eval_every: 50,
+            eval_samples: 256,
+            train_samples: 2048,
+            test_samples: 512,
+            seed: 42,
+            partition: PartitionScheme::SelDp,
+            non_iid_labels_per_worker: None,
+            algorithm: AlgorithmSpec::Bsp,
+            optimizer,
+            lr,
+            ewma_window: 25,
+            network: NetworkModel::paper_5gbps(),
+            device: DeviceProfile::v100(),
+        }
+    }
+
+    /// The configuration used by the benchmark harness: the paper's 16-worker cluster,
+    /// batch 32, larger synthetic datasets and more iterations.
+    pub fn paper(model: ModelKind) -> Self {
+        let mut cfg = Self::small(model, 16);
+        cfg.batch_size = 32;
+        cfg.iterations = 3000;
+        cfg.eval_every = 100;
+        cfg.train_samples = 16_384;
+        cfg.test_samples = 2_048;
+        cfg.eval_samples = 1_024;
+        cfg
+    }
+
+    /// Steps per (global) epoch: one pass of the cluster over the training set.
+    pub fn steps_per_epoch(&self) -> usize {
+        let global_batch = self.batch_size * self.workers.max(1);
+        (self.train_samples / global_batch.max(1)).max(1)
+    }
+
+    /// Epoch index of a given iteration.
+    pub fn epoch_of(&self, iteration: usize) -> usize {
+        iteration / self.steps_per_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_match_paper_labels() {
+        assert_eq!(AlgorithmSpec::Bsp.name(), "BSP");
+        assert_eq!(AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }.name(), "FedAvg(1,0.25)");
+        assert_eq!(AlgorithmSpec::Ssp { staleness: 100 }.name(), "SSP(s=100)");
+        assert_eq!(AlgorithmSpec::selsync(0.3).name(), "SelSync(d=0.3,PA)");
+        assert_eq!(AlgorithmSpec::selsync_ga(0.25).name(), "SelSync(d=0.25,GA)");
+        assert_eq!(AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3).name(), "SelSync(0.5,0.5,0.3,PA)");
+    }
+
+    #[test]
+    fn small_config_is_consistent() {
+        let cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        assert_eq!(cfg.workers, 4);
+        assert!(cfg.steps_per_epoch() > 0);
+        assert_eq!(cfg.epoch_of(0), 0);
+        assert!(cfg.epoch_of(cfg.steps_per_epoch()) == 1);
+    }
+
+    #[test]
+    fn paper_config_uses_16_workers_and_batch_32() {
+        let cfg = TrainConfig::paper(ModelKind::VggLike);
+        assert_eq!(cfg.workers, 16);
+        assert_eq!(cfg.batch_size, 32);
+        assert!(cfg.iterations >= 1000);
+    }
+
+    #[test]
+    fn alexnet_uses_adam_with_constant_lr() {
+        let (opt, lr) = TrainConfig::default_hyper(ModelKind::AlexLike);
+        assert!(opt.adam);
+        assert_eq!(lr, LrSchedule::Constant { lr: 1e-3 });
+    }
+
+    #[test]
+    fn optimizer_spec_builds_the_right_optimizer() {
+        assert_eq!(OptimizerSpec::adam(0.0).build().name(), "adam");
+        assert_eq!(OptimizerSpec::sgd(0.9, 0.0).build().name(), "sgd");
+    }
+}

@@ -1,0 +1,55 @@
+//! # selsync
+//!
+//! A Rust reproduction of **"Accelerating Distributed ML Training via Selective
+//! Synchronization"** (Tyagi & Swany, IEEE CLUSTER 2023).
+//!
+//! SelSync is a semi-synchronous data-parallel training scheme: on every iteration each
+//! worker measures how much its gradient is changing (the relative gradient change
+//! `Δ(g_i)`, Eqn. 2 of the paper) and the cluster synchronizes **only** on the
+//! iterations where at least one worker's change exceeds a threshold `δ`; all other
+//! iterations apply purely local SGD updates. Combined with parameter (rather than
+//! gradient) aggregation and the SelDP circular-queue data partitioning, this converges
+//! to BSP-level accuracy while eliminating most of the communication.
+//!
+//! Crate layout:
+//!
+//! * [`tracker`] — the per-worker `Δ(g_i)` tracker (EWMA-smoothed gradient statistic).
+//! * [`policy`] — the `δ` decision rule (Fig. 6): `Δ(g_i) ≥ δ` ⇒ synchronize.
+//! * [`aggregation`] — parameter vs gradient aggregation (§III-C).
+//! * [`config`] — experiment configuration: model, cluster, algorithm, schedules.
+//! * [`report`] — per-run results (LSSR, accuracy/perplexity, simulated time, history).
+//! * [`sim`] — the deterministic single-process cluster simulator that all algorithm
+//!   drivers share (compute is real, communication time comes from the cost model).
+//! * [`algorithms`] — training drivers: BSP, local SGD, FedAvg, SSP and SelSync.
+//! * [`threaded`] — a thread-per-worker SelSync/BSP driver over the real parameter
+//!   server and collectives of `selsync-comm` (used by integration tests).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use selsync::config::{AlgorithmSpec, TrainConfig};
+//! use selsync::algorithms::run;
+//! use selsync_nn::model::ModelKind;
+//!
+//! // A small SelSync run: 4 workers, δ = 0.3, parameter aggregation, SelDP.
+//! let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+//! cfg.algorithm = AlgorithmSpec::selsync(0.3);
+//! cfg.iterations = 120;
+//! let report = run(&cfg);
+//! assert_eq!(report.iterations, 120);
+//! ```
+
+pub mod aggregation;
+pub mod algorithms;
+pub mod config;
+pub mod policy;
+pub mod report;
+pub mod sim;
+pub mod threaded;
+pub mod tracker;
+
+pub use aggregation::AggregationMode;
+pub use config::{AlgorithmSpec, TrainConfig};
+pub use policy::{SyncDecision, SyncPolicy};
+pub use report::RunReport;
+pub use tracker::GradientTracker;

@@ -1,0 +1,120 @@
+//! The δ-threshold decision rule (§III-B, Fig. 6 of the paper).
+//!
+//! A worker wants to synchronize when its relative gradient change `Δ(g_i)` is at least
+//! `δ`; the *cluster* synchronizes when **any** worker wants to (the decision is shared
+//! through a 1-bit-per-worker all-gather). `δ = 0` degenerates to BSP (every step
+//! synchronizes); `δ ≥ max Δ(g_i)` degenerates to pure local-SGD.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the per-step decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncDecision {
+    /// Aggregate updates across all workers this step.
+    Synchronize,
+    /// Apply updates locally only.
+    Local,
+}
+
+/// The δ rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncPolicy {
+    /// Relative-gradient-change threshold. `0` = BSP, large = local-SGD.
+    pub delta: f32,
+}
+
+impl SyncPolicy {
+    /// Create a policy with threshold `delta` (must be non-negative and finite).
+    pub fn new(delta: f32) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "delta must be a finite non-negative number");
+        SyncPolicy { delta }
+    }
+
+    /// Pure-BSP policy (synchronize every step).
+    pub fn bsp() -> Self {
+        SyncPolicy { delta: 0.0 }
+    }
+
+    /// Whether a single worker with relative gradient change `delta_g` wants to
+    /// synchronize (Alg. 1, line 10).
+    pub fn worker_wants_sync(&self, delta_g: f32) -> bool {
+        delta_g >= self.delta
+    }
+
+    /// Cluster-level decision given every worker's wish bit (the flags array after the
+    /// all-gather, Alg. 1, line 13): synchronize if any bit is set.
+    pub fn decide(&self, flags: &[bool]) -> SyncDecision {
+        if flags.iter().any(|&f| f) {
+            SyncDecision::Synchronize
+        } else {
+            SyncDecision::Local
+        }
+    }
+
+    /// Convenience: per-worker wish bits from per-worker `Δ(g_i)` values.
+    pub fn flags_from_deltas(&self, deltas: &[f32]) -> Vec<bool> {
+        deltas.iter().map(|&d| self.worker_wants_sync(d)).collect()
+    }
+
+    /// One-shot cluster decision straight from the per-worker deltas.
+    pub fn decide_from_deltas(&self, deltas: &[f32]) -> SyncDecision {
+        self.decide(&self.flags_from_deltas(deltas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delta_is_bsp() {
+        let p = SyncPolicy::bsp();
+        // Every Δ(g_i) ≥ 0, so every step synchronizes.
+        assert_eq!(p.decide_from_deltas(&[0.0, 0.0, 0.0]), SyncDecision::Synchronize);
+        assert_eq!(p.decide_from_deltas(&[0.001]), SyncDecision::Synchronize);
+    }
+
+    #[test]
+    fn huge_delta_is_local_sgd() {
+        let p = SyncPolicy::new(1e9);
+        assert_eq!(p.decide_from_deltas(&[0.5, 3.0, 100.0]), SyncDecision::Local);
+    }
+
+    #[test]
+    fn any_single_worker_forces_synchronization() {
+        let p = SyncPolicy::new(0.25);
+        assert_eq!(p.decide_from_deltas(&[0.1, 0.1, 0.3, 0.05]), SyncDecision::Synchronize);
+        assert_eq!(p.decide_from_deltas(&[0.1, 0.1, 0.2, 0.05]), SyncDecision::Local);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let p = SyncPolicy::new(0.25);
+        assert!(p.worker_wants_sync(0.25));
+        assert!(!p.worker_wants_sync(0.2499));
+    }
+
+    #[test]
+    fn flags_map_one_to_one() {
+        let p = SyncPolicy::new(0.5);
+        assert_eq!(p.flags_from_deltas(&[0.4, 0.6, 0.5]), vec![false, true, true]);
+    }
+
+    #[test]
+    fn monotonicity_in_delta() {
+        // Raising δ can only turn Synchronize decisions into Local ones, never the reverse.
+        let deltas = [0.1f32, 0.35, 0.2];
+        let mut last_sync = true;
+        for &d in &[0.0f32, 0.2, 0.3, 0.4, 1.0] {
+            let sync = SyncPolicy::new(d).decide_from_deltas(&deltas) == SyncDecision::Synchronize;
+            assert!(!(sync && !last_sync), "sync decisions must be monotone non-increasing in delta");
+            last_sync = sync;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_delta_rejected() {
+        let _ = SyncPolicy::new(-0.1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-run results and the derived quantities the paper's Table I reports.
+
+use selsync_nn::model::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point along a training trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Training iteration at which the evaluation happened.
+    pub iteration: usize,
+    /// Simulated wall-clock seconds elapsed so far.
+    pub sim_time_s: f64,
+    /// Training loss of the most recent step.
+    pub train_loss: f32,
+    /// Loss on the held-out set.
+    pub test_loss: f32,
+    /// Task metric on the held-out set (accuracy % or perplexity).
+    pub test_metric: f32,
+    /// Cluster-maximum relative gradient change `Δ(g_i)` at this iteration.
+    pub delta_g: f32,
+    /// Learning rate in effect.
+    pub lr: f32,
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm label (e.g. `"SelSync(d=0.3,PA)"`).
+    pub algorithm: String,
+    /// The workload trained.
+    pub model: ModelKind,
+    /// Whether larger `final_metric` is better (accuracy) or worse (perplexity).
+    pub higher_is_better: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Steps that were applied locally only.
+    pub local_steps: u64,
+    /// Steps that synchronized across workers.
+    pub sync_steps: u64,
+    /// Local-to-synchronous step ratio (Eqn. 4).
+    pub lssr: f64,
+    /// Final held-out metric.
+    pub final_metric: f32,
+    /// Best held-out metric seen at any evaluation.
+    pub best_metric: f32,
+    /// Final held-out loss.
+    pub final_loss: f32,
+    /// Largest `Δ(g_i)` observed (the paper's `M`).
+    pub max_delta: f32,
+    /// Total simulated wall-clock time (compute + communication).
+    pub sim_time_s: f64,
+    /// Simulated time spent communicating.
+    pub comm_time_s: f64,
+    /// Simulated time spent computing.
+    pub compute_time_s: f64,
+    /// Bytes moved over the (simulated) network.
+    pub bytes_communicated: u64,
+    /// Evaluation history.
+    pub history: Vec<EvalPoint>,
+}
+
+impl RunReport {
+    /// Simulated time at which this run first reached `target` (metric ≥ target for
+    /// accuracy-style metrics, ≤ target for perplexity-style ones). `None` if never.
+    pub fn time_to_target(&self, target: f32) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|p| {
+                if self.higher_is_better {
+                    p.test_metric >= target
+                } else {
+                    p.test_metric <= target
+                }
+            })
+            .map(|p| p.sim_time_s)
+    }
+
+    /// Iteration at which this run first reached `target` (same convention as
+    /// [`Self::time_to_target`]).
+    pub fn iterations_to_target(&self, target: f32) -> Option<usize> {
+        self.history
+            .iter()
+            .find(|p| {
+                if self.higher_is_better {
+                    p.test_metric >= target
+                } else {
+                    p.test_metric <= target
+                }
+            })
+            .map(|p| p.iteration)
+    }
+
+    /// The paper's "Conv. Diff." column: this run's final metric minus the baseline's
+    /// (sign-adjusted so positive always means "outperformed the baseline").
+    pub fn convergence_diff(&self, baseline: &RunReport) -> f32 {
+        if self.higher_is_better {
+            self.final_metric - baseline.final_metric
+        } else {
+            baseline.final_metric - self.final_metric
+        }
+    }
+
+    /// Whether this run matched or beat the baseline's final metric.
+    pub fn outperforms(&self, baseline: &RunReport) -> bool {
+        self.convergence_diff(baseline) >= 0.0
+    }
+
+    /// The paper's "Overall speedup" column: ratio of the baseline's simulated time to
+    /// reach its own final metric to this run's simulated time to reach that same
+    /// metric. `None` when this run never reaches the baseline's metric.
+    pub fn speedup_to_baseline_target(&self, baseline: &RunReport) -> Option<f64> {
+        let target = baseline.final_metric;
+        let own = self.time_to_target(target)?;
+        let base = baseline
+            .time_to_target(target)
+            .unwrap_or(baseline.sim_time_s)
+            .max(f64::EPSILON);
+        Some(base / own.max(f64::EPSILON))
+    }
+
+    /// Wall-clock speedup over a baseline for the *same number of iterations* (ratio of
+    /// per-run simulated time), a secondary view used in the throughput figures.
+    pub fn raw_time_speedup(&self, baseline: &RunReport) -> f64 {
+        if self.sim_time_s <= 0.0 {
+            return 0.0;
+        }
+        baseline.sim_time_s / self.sim_time_s
+    }
+
+    /// Communication reduction implied by the LSSR (Eqn. 4 discussion): `1/(1-LSSR)`.
+    pub fn communication_reduction(&self) -> f64 {
+        if (1.0 - self.lssr).abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - self.lssr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(higher: bool, metrics: &[(usize, f64, f32)], final_metric: f32, time: f64) -> RunReport {
+        RunReport {
+            algorithm: "test".into(),
+            model: ModelKind::ResNetLike,
+            higher_is_better: higher,
+            iterations: 100,
+            local_steps: 50,
+            sync_steps: 50,
+            lssr: 0.5,
+            final_metric,
+            best_metric: final_metric,
+            final_loss: 1.0,
+            max_delta: 1.0,
+            sim_time_s: time,
+            comm_time_s: time / 2.0,
+            compute_time_s: time / 2.0,
+            bytes_communicated: 0,
+            history: metrics
+                .iter()
+                .map(|&(it, t, m)| EvalPoint {
+                    iteration: it,
+                    sim_time_s: t,
+                    train_loss: 0.0,
+                    test_loss: 0.0,
+                    test_metric: m,
+                    delta_g: 0.0,
+                    lr: 0.1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn time_to_target_respects_metric_direction() {
+        let acc = mk(true, &[(10, 1.0, 50.0), (20, 2.0, 80.0), (30, 3.0, 90.0)], 90.0, 3.0);
+        assert_eq!(acc.time_to_target(75.0), Some(2.0));
+        assert_eq!(acc.time_to_target(95.0), None);
+        let ppl = mk(false, &[(10, 1.0, 200.0), (20, 2.0, 120.0), (30, 3.0, 90.0)], 90.0, 3.0);
+        assert_eq!(ppl.time_to_target(130.0), Some(2.0));
+        assert_eq!(ppl.iterations_to_target(95.0), Some(30));
+    }
+
+    #[test]
+    fn convergence_diff_sign_is_positive_when_better() {
+        let bsp = mk(true, &[], 90.0, 10.0);
+        let better = mk(true, &[], 91.0, 5.0);
+        assert!((better.convergence_diff(&bsp) - 1.0).abs() < 1e-6);
+        assert!(better.outperforms(&bsp));
+        let bsp_ppl = mk(false, &[], 90.0, 10.0);
+        let better_ppl = mk(false, &[], 85.0, 5.0);
+        assert!(better_ppl.convergence_diff(&bsp_ppl) > 0.0);
+    }
+
+    #[test]
+    fn speedup_uses_time_to_the_baselines_metric() {
+        let bsp = mk(true, &[(50, 8.0, 90.0)], 90.0, 10.0);
+        let fast = mk(true, &[(30, 2.0, 90.5)], 90.5, 4.0);
+        let s = fast.speedup_to_baseline_target(&bsp).unwrap();
+        assert!((s - 4.0).abs() < 1e-9, "{s}");
+        // A run that never reaches the target has no speedup entry (the "-" cells).
+        let slow = mk(true, &[(30, 2.0, 70.0)], 70.0, 4.0);
+        assert!(slow.speedup_to_baseline_target(&bsp).is_none());
+    }
+
+    #[test]
+    fn raw_speedup_and_comm_reduction() {
+        let a = mk(true, &[], 90.0, 10.0);
+        let b = mk(true, &[], 90.0, 2.0);
+        assert!((b.raw_time_speedup(&a) - 5.0).abs() < 1e-9);
+        assert!((a.communication_reduction() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Thread-per-worker SelSync/BSP driver over the real communication substrate.
+//!
+//! The sequential simulator in [`crate::sim`] is what the benchmark harness uses (it is
+//! deterministic and lets the cost model supply timing), but the synchronization *logic*
+//! of Alg. 1 — the 1-bit status all-gather, the blocking parameter-server round, the
+//! "any worker can force a synchronization" rule — deserves to be exercised with real
+//! concurrency. This module runs each worker on its own OS thread against the
+//! [`selsync_comm`] parameter server and collectives. It is used by the integration
+//! tests and the `collectives` criterion bench; it reports metrics but not simulated
+//! time (wall-clock on the host is meaningless for the paper's comparisons).
+
+use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::policy::SyncPolicy;
+use crate::tracker::{GradStatistic, GradientTracker};
+use selsync_comm::cluster::{run_cluster, ClusterHandles};
+use selsync_data::partition::WorkerPartition;
+use selsync_data::synthetic::{gaussian_mixture, markov_tokens, MixtureSpec, TokenSpec};
+use selsync_metrics::lssr::LssrCounter;
+use selsync_nn::model::{ModelKind, PaperModel, TaskKind};
+use serde::{Deserialize, Serialize};
+
+/// Result of a threaded run, per worker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadedWorkerReport {
+    /// Worker id.
+    pub worker: usize,
+    /// Steps that synchronized.
+    pub sync_steps: u64,
+    /// Steps that stayed local.
+    pub local_steps: u64,
+    /// Final training loss observed by this worker.
+    pub final_loss: f32,
+    /// L2 distance between this worker's final parameters and the PS global vector
+    /// (0 after a final synchronization under parameter aggregation).
+    pub distance_to_global: f32,
+}
+
+/// Run SelSync (or BSP via δ=0) with one OS thread per worker over the real parameter
+/// server and collectives. Returns one report per worker.
+pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
+    let delta = match cfg.algorithm {
+        AlgorithmSpec::SelSync { delta, .. } => delta,
+        AlgorithmSpec::Bsp => 0.0,
+        _ => panic!("threaded driver supports SelSync and BSP only"),
+    };
+    let n = cfg.workers;
+    let seed = cfg.seed;
+    let model_kind = cfg.model;
+    let batch = cfg.batch_size;
+    let iterations = cfg.iterations;
+    let partition_scheme = cfg.partition;
+    let train_samples = cfg.train_samples;
+    let ewma_window = cfg.ewma_window;
+    let lr = cfg.lr.base_lr();
+
+    // Shared immutable dataset built once and shared by reference across threads.
+    let proto = PaperModel::build(model_kind, seed);
+    let dataset = match proto.task {
+        TaskKind::Classification { .. } => {
+            let spec = match model_kind {
+                ModelKind::ResNetLike => MixtureSpec::cifar10_like(train_samples),
+                ModelKind::VggLike => MixtureSpec::cifar100_like(train_samples),
+                _ => MixtureSpec::imagenet_like(train_samples),
+            };
+            gaussian_mixture(&spec, seed ^ 0xDA7A)
+        }
+        TaskKind::LanguageModel { .. } => {
+            markov_tokens(&TokenSpec::wikitext_like(train_samples), seed ^ 0xDA7A)
+        }
+    };
+    let init_params = proto.params_flat();
+    let dataset = &dataset;
+
+    run_cluster(n, init_params.clone(), move |worker, handles: ClusterHandles| {
+        let mut model = PaperModel::build(model_kind, seed);
+        // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
+        let mut params = handles.ps.pull();
+        model.set_params_flat(&params);
+        let mut partition = WorkerPartition::build(partition_scheme, dataset.len(), n, worker);
+        let mut tracker = GradientTracker::new(
+            GradStatistic::SqNorm,
+            (n as f32 / 100.0).clamp(0.01, 1.0),
+            ewma_window,
+        );
+        let policy = SyncPolicy::new(delta);
+        let mut counter = LssrCounter::new();
+        let mut last_loss = 0.0f32;
+
+        for _ in 0..iterations {
+            let indices = partition.next_batch(batch);
+            let (x, y) = dataset.batch(&indices);
+            model.set_params_flat(&params);
+            let stats = model.forward_backward(&x, &y);
+            last_loss = stats.loss;
+            let grads = model.grads_flat();
+            let delta_g = tracker.update(&grads);
+
+            // Local SGD update (Alg. 1 line 9).
+            for (p, g) in params.iter_mut().zip(grads.iter()) {
+                *p -= lr * g;
+            }
+
+            // 1-bit status all-gather followed by the cluster decision (lines 10–13).
+            let wants_sync = policy.worker_wants_sync(delta_g);
+            let flags = handles.collective.allgather_flags(worker, wants_sync);
+            if flags.iter().any(|&f| f) {
+                // Push local parameters, pull the average (lines 14–15).
+                params = handles.ps.sync_round(&params, n);
+                counter.record_sync();
+            } else {
+                counter.record_local();
+            }
+        }
+
+        let global = handles.ps.pull();
+        let distance: f32 = params
+            .iter()
+            .zip(global.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        ThreadedWorkerReport {
+            worker,
+            sync_steps: counter.sync_steps,
+            local_steps: counter.local_steps,
+            final_loss: last_loss,
+            distance_to_global: distance,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(delta: f32, workers: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, workers);
+        cfg.iterations = 25;
+        cfg.batch_size = 8;
+        cfg.train_samples = 256;
+        cfg.algorithm = AlgorithmSpec::selsync(delta);
+        cfg
+    }
+
+    #[test]
+    fn all_workers_agree_on_the_synchronization_schedule() {
+        let reports = run_threaded_selsync(&cfg(0.05, 4));
+        assert_eq!(reports.len(), 4);
+        let first = (reports[0].sync_steps, reports[0].local_steps);
+        for r in &reports {
+            assert_eq!((r.sync_steps, r.local_steps), first, "worker {} diverged", r.worker);
+            assert_eq!(r.sync_steps + r.local_steps, 25);
+        }
+    }
+
+    #[test]
+    fn delta_zero_synchronizes_every_step_across_threads() {
+        let mut c = cfg(0.0, 3);
+        c.algorithm = AlgorithmSpec::Bsp;
+        let reports = run_threaded_selsync(&c);
+        for r in &reports {
+            assert_eq!(r.sync_steps, 25);
+            assert_eq!(r.local_steps, 0);
+            // After a final synchronization every worker equals the PS state.
+            assert!(r.distance_to_global < 1e-4, "distance {}", r.distance_to_global);
+        }
+    }
+
+    #[test]
+    fn huge_delta_never_synchronizes_across_threads() {
+        let reports = run_threaded_selsync(&cfg(1e9, 3));
+        for r in &reports {
+            assert_eq!(r.sync_steps, 0);
+            assert_eq!(r.local_steps, 25);
+        }
+    }
+}

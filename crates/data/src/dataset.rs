@@ -1,0 +1,145 @@
+//! In-memory datasets and batching.
+
+use selsync_tensor::Tensor;
+
+/// An in-memory supervised dataset: a `(n, d)` input tensor and `n` integer targets.
+///
+/// For classification tasks the rows are feature vectors; for the language-model task
+/// the rows are token-id contexts (stored as `f32`) and the target is the next token.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    inputs: Tensor,
+    targets: Vec<usize>,
+    /// Nominal serialized size of one sample in bytes (used to cost data-injection
+    /// transfers; e.g. ~3 KB for CIFAR images, 10–150 KB for ImageNet).
+    pub sample_bytes: usize,
+    /// Number of distinct classes (or vocabulary size for LM data).
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Create a dataset from parts. Panics if `inputs.rows() != targets.len()`.
+    pub fn new(inputs: Tensor, targets: Vec<usize>, num_classes: usize, sample_bytes: usize) -> Self {
+        assert_eq!(inputs.rows(), targets.len(), "inputs/targets length mismatch");
+        Dataset { inputs, targets, sample_bytes, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Feature dimensionality of one sample.
+    pub fn input_dim(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// All inputs.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// Materialise the batch with the given sample indices.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let x = self.inputs.gather_rows(indices);
+        let y = indices.iter().map(|&i| self.targets[i]).collect();
+        (x, y)
+    }
+
+    /// Split into `(train, test)` datasets at `train_fraction` (deterministic split on
+    /// index order; callers shuffle beforehand if they need randomised splits).
+    pub fn split(&self, train_fraction: f32) -> (Dataset, Dataset) {
+        let n_train = ((self.len() as f32) * train_fraction).round() as usize;
+        let n_train = n_train.min(self.len());
+        let train_idx: Vec<usize> = (0..n_train).collect();
+        let test_idx: Vec<usize> = (n_train..self.len()).collect();
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Dataset restricted to the given indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (inputs, targets) = self.batch(indices);
+        Dataset { inputs, targets, sample_bytes: self.sample_bytes, num_classes: self.num_classes }
+    }
+
+    /// Number of samples per class label.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &t in &self.targets {
+            if t < counts.len() {
+                counts[t] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_with_label(&self, label: usize) -> Vec<usize> {
+        self.targets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| if t == label { Some(i) } else { None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        Dataset::new(inputs, vec![0, 1, 0, 1, 2, 2], 3, 100)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.input_dim(), 2);
+        assert_eq!(d.num_classes, 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn batch_gathers_rows_and_labels() {
+        let d = toy();
+        let (x, y) = d.batch(&[4, 0]);
+        assert_eq!(x.row(0), &[8.0, 9.0]);
+        assert_eq!(x.row(1), &[0.0, 1.0]);
+        assert_eq!(y, vec![2, 0]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy();
+        let (train, test) = d.split(0.5);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.targets(), &[0, 1, 0]);
+        assert_eq!(test.targets(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn label_histogram_and_label_lookup() {
+        let d = toy();
+        assert_eq!(d.label_histogram(), vec![2, 2, 2]);
+        assert_eq!(d.indices_with_label(2), vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(Tensor::zeros(3, 2), vec![0, 1], 2, 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! Randomized data-injection for non-IID training (§III-E of the paper).
+//!
+//! In data-injection a random subset of workers share part of their mini-batch with the
+//! others on every iteration. A configuration is the tuple `(α, β)`:
+//!
+//! * `α` — fraction of workers randomly selected as donors each iteration,
+//! * `β` — fraction of a worker's batch that is shared.
+//!
+//! To keep the effective batch size at the originally configured `b`, the per-worker
+//! local batch is reduced to `b' = b / (1 + α·β·N)` (Eqn. 3). The communication cost per
+//! iteration is `α·β·N·b'` samples, which is negligible next to model exchange — the
+//! module reports it so the experiment harness can account for it.
+
+use rand::Rng;
+use selsync_tensor::rng;
+use serde::{Deserialize, Serialize};
+
+/// A data-injection configuration `(α, β)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataInjection {
+    /// Fraction of workers selected as donors on each iteration.
+    pub alpha: f32,
+    /// Fraction of the (adjusted) batch shared by each donor.
+    pub beta: f32,
+}
+
+/// The samples a worker trains on for one iteration under data-injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedBatch {
+    /// Indices drawn from the worker's own shard.
+    pub local_indices: Vec<usize>,
+    /// `(donor_worker, index)` pairs pulled from other workers' shards.
+    pub injected: Vec<(usize, usize)>,
+    /// Bytes transferred to this worker for the injected samples.
+    pub bytes_received: usize,
+}
+
+impl DataInjection {
+    /// Create a configuration; both fractions must lie in `[0, 1]`.
+    pub fn new(alpha: f32, beta: f32) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        DataInjection { alpha, beta }
+    }
+
+    /// Adjusted per-worker batch size `b' = b / (1 + αβN)` (Eqn. 3), at least 1.
+    pub fn adjusted_batch_size(&self, batch: usize, num_workers: usize) -> usize {
+        let denom = 1.0 + self.alpha * self.beta * num_workers as f32;
+        ((batch as f32 / denom).round() as usize).max(1)
+    }
+
+    /// Number of donor workers selected each iteration (`⌈α·N⌉`).
+    pub fn donors(&self, num_workers: usize) -> usize {
+        ((self.alpha * num_workers as f32).ceil() as usize).min(num_workers)
+    }
+
+    /// Samples each donor contributes to a receiving worker (`⌈β·b'⌉`).
+    pub fn samples_per_donor(&self, adjusted_batch: usize) -> usize {
+        (self.beta * adjusted_batch as f32).ceil() as usize
+    }
+
+    /// Assemble worker `receiver`'s batch for one iteration.
+    ///
+    /// `shards[w]` is the pool of indices owned by worker `w` (a non-IID shard);
+    /// `cursor[w]` is each worker's rotating position in its own shard so repeated calls
+    /// walk through the data. `sample_bytes` is the serialized size of one sample.
+    pub fn assemble_batch(
+        &self,
+        receiver: usize,
+        shards: &[Vec<usize>],
+        cursors: &mut [usize],
+        batch: usize,
+        sample_bytes: usize,
+        rng_: &mut rng::SelRng,
+    ) -> InjectedBatch {
+        let num_workers = shards.len();
+        assert_eq!(cursors.len(), num_workers);
+        let b_prime = self.adjusted_batch_size(batch, num_workers);
+
+        // Local portion: walk the receiver's own shard circularly.
+        let mut local = Vec::with_capacity(b_prime);
+        let own = &shards[receiver];
+        for _ in 0..b_prime.min(own.len().max(1)) {
+            if own.is_empty() {
+                break;
+            }
+            local.push(own[cursors[receiver] % own.len()]);
+            cursors[receiver] = (cursors[receiver] + 1) % own.len().max(1);
+        }
+
+        // Injected portion: pick ⌈αN⌉ random donor workers (excluding the receiver when
+        // possible) and pull ⌈β·b'⌉ samples from each, chosen at random positions.
+        let donors = self.donors(num_workers);
+        let per_donor = self.samples_per_donor(b_prime);
+        let mut injected = Vec::new();
+        if donors > 0 && per_donor > 0 && num_workers > 1 {
+            let candidates: Vec<usize> = (0..num_workers).filter(|&w| w != receiver).collect();
+            let chosen = rng::sample_without_replacement(rng_, candidates.len(), donors.min(candidates.len()));
+            for ci in chosen {
+                let donor = candidates[ci];
+                let pool = &shards[donor];
+                if pool.is_empty() {
+                    continue;
+                }
+                for _ in 0..per_donor {
+                    let pick = pool[rng_.gen_range(0..pool.len())];
+                    injected.push((donor, pick));
+                }
+            }
+        }
+        let bytes_received = injected.len() * sample_bytes;
+        InjectedBatch { local_indices: local, injected, bytes_received }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjusted_batch_matches_paper_examples() {
+        // Paper §IV-E: b = 32, N = 10 non-IID workers.
+        // (0.5, 0.5): b' = 32 / (1 + 0.25 * 10) = 9.14 -> 9 (paper reports 11 with N=6 effective
+        // worker count; we follow Eqn. 3 exactly).
+        let c = DataInjection::new(0.5, 0.5);
+        assert_eq!(c.adjusted_batch_size(32, 10), 9);
+        let c2 = DataInjection::new(0.75, 0.75);
+        // 32 / (1 + 0.5625*10) = 4.8 -> 5
+        assert_eq!(c2.adjusted_batch_size(32, 10), 5);
+        // Degenerate no-injection config keeps the batch unchanged.
+        let c3 = DataInjection::new(0.0, 0.0);
+        assert_eq!(c3.adjusted_batch_size(32, 10), 32);
+    }
+
+    #[test]
+    fn adjusted_batch_never_zero() {
+        let c = DataInjection::new(1.0, 1.0);
+        assert_eq!(c.adjusted_batch_size(2, 64), 1);
+    }
+
+    #[test]
+    fn donor_and_per_donor_counts() {
+        let c = DataInjection::new(0.5, 0.5);
+        assert_eq!(c.donors(16), 8);
+        assert_eq!(c.samples_per_donor(9), 5);
+        assert_eq!(DataInjection::new(0.0, 0.5).donors(16), 0);
+    }
+
+    #[test]
+    fn assemble_batch_mixes_local_and_foreign_samples() {
+        let c = DataInjection::new(0.5, 0.5);
+        // 4 workers, each owning a disjoint range of 100 indices.
+        let shards: Vec<Vec<usize>> = (0..4).map(|w| (w * 100..(w + 1) * 100).collect()).collect();
+        let mut cursors = vec![0usize; 4];
+        let mut r = rng::seeded(9);
+        let batch = c.assemble_batch(0, &shards, &mut cursors, 32, 3 * 1024, &mut r);
+        // Local samples come from worker 0's shard.
+        assert!(batch.local_indices.iter().all(|&i| i < 100));
+        assert!(!batch.local_indices.is_empty());
+        // Injected samples come from other shards.
+        assert!(!batch.injected.is_empty());
+        assert!(batch.injected.iter().all(|&(w, i)| w != 0 && i >= w * 100 && i < (w + 1) * 100));
+        assert_eq!(batch.bytes_received, batch.injected.len() * 3 * 1024);
+    }
+
+    #[test]
+    fn no_injection_config_pulls_nothing() {
+        let c = DataInjection::new(0.0, 0.0);
+        let shards: Vec<Vec<usize>> = (0..4).map(|w| (w * 10..(w + 1) * 10).collect()).collect();
+        let mut cursors = vec![0usize; 4];
+        let mut r = rng::seeded(1);
+        let batch = c.assemble_batch(2, &shards, &mut cursors, 8, 100, &mut r);
+        assert!(batch.injected.is_empty());
+        assert_eq!(batch.bytes_received, 0);
+        assert_eq!(batch.local_indices.len(), 8);
+    }
+
+    #[test]
+    fn injection_improves_label_coverage() {
+        // Receiver owns only label-0 samples; with injection it should see other labels.
+        use crate::synthetic::{gaussian_mixture, MixtureSpec};
+        use crate::noniid::label_sharded;
+        let d = gaussian_mixture(&MixtureSpec::cifar10_like(500), 3);
+        let split = label_sharded(&d, 10, 1);
+        let c = DataInjection::new(0.5, 0.5);
+        let mut cursors = vec![0usize; 10];
+        let mut r = rng::seeded(4);
+        let batch = c.assemble_batch(0, &split.per_worker, &mut cursors, 32, d.sample_bytes, &mut r);
+        let mut labels: Vec<usize> = batch
+            .local_indices
+            .iter()
+            .copied()
+            .chain(batch.injected.iter().map(|&(_, i)| i))
+            .map(|i| d.targets()[i])
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert!(labels.len() > 1, "injection should bring in other labels");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_alpha_panics() {
+        let _ = DataInjection::new(1.5, 0.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # selsync-data
+//!
+//! Data substrate for the SelSync reproduction: synthetic datasets standing in for
+//! CIFAR10/100, ImageNet-1K and WikiText-103, plus the partitioning machinery the paper
+//! introduces.
+//!
+//! * [`dataset`] — in-memory datasets (`inputs` tensor + integer targets) with batching.
+//! * [`synthetic`] — deterministic generators: Gaussian-mixture classification tasks and
+//!   a Markov-chain token stream for the language model.
+//! * [`partition`] — **DefDP** (default contiguous partitioning) and **SelDP** (the
+//!   paper's circular-queue partitioning, §III-D / Fig. 7).
+//! * [`noniid`] — label-sharded non-IID splits (e.g. 1 label per worker for CIFAR10).
+//! * [`injection`] — randomized data-injection for non-IID training (§III-E, Eqn. 3).
+//!
+//! The substitution rationale: all of the paper's partitioning and injection machinery
+//! operates on *sample indices and labels*, never on pixel/token content, so synthetic
+//! datasets with the same cardinalities and label structure exercise identical code
+//! paths.
+
+pub mod dataset;
+pub mod injection;
+pub mod noniid;
+pub mod partition;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use injection::DataInjection;
+pub use partition::{PartitionScheme, WorkerPartition};

@@ -1,0 +1,116 @@
+//! Non-IID (label-sharded) data splits.
+//!
+//! The paper's non-IID experiments (§II-B, §IV-E / Fig. 1b and Fig. 12) split CIFAR10
+//! across 10 workers with **1 label per worker** and CIFAR100 with **10 labels per
+//! worker**. This module reproduces exactly that: each worker receives all samples of
+//! its assigned label set and nothing else.
+
+use crate::dataset::Dataset;
+
+/// Assignment of sample indices to workers under a label-sharded split.
+#[derive(Debug, Clone)]
+pub struct NonIidSplit {
+    /// `per_worker[w]` = indices of the samples owned by worker `w`.
+    pub per_worker: Vec<Vec<usize>>,
+    /// `labels_per_worker[w]` = labels assigned to worker `w`.
+    pub labels_per_worker: Vec<Vec<usize>>,
+}
+
+/// Split `dataset` across `num_workers` workers giving each worker `labels_per_worker`
+/// distinct labels (labels are dealt round-robin in label order, as in the paper's
+/// 1-label-per-worker CIFAR10 and 10-labels-per-worker CIFAR100 settings).
+pub fn label_sharded(dataset: &Dataset, num_workers: usize, labels_per_worker: usize) -> NonIidSplit {
+    assert!(num_workers > 0);
+    assert!(
+        labels_per_worker * num_workers >= dataset.num_classes,
+        "label shards ({labels_per_worker} x {num_workers}) cannot cover {} classes",
+        dataset.num_classes
+    );
+    let mut labels: Vec<Vec<usize>> = vec![Vec::new(); num_workers];
+    for label in 0..dataset.num_classes {
+        let w = (label / labels_per_worker) % num_workers;
+        labels[w].push(label);
+    }
+    let per_worker: Vec<Vec<usize>> = labels
+        .iter()
+        .map(|ls| {
+            let mut idx: Vec<usize> = ls.iter().flat_map(|&l| dataset.indices_with_label(l)).collect();
+            idx.sort_unstable();
+            idx
+        })
+        .collect();
+    NonIidSplit { per_worker, labels_per_worker: labels }
+}
+
+/// Degree of label imbalance of a worker's shard: 1.0 means the worker sees exactly one
+/// label, approaching 0 as the shard covers all labels uniformly.
+pub fn skewness(dataset: &Dataset, indices: &[usize]) -> f32 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; dataset.num_classes];
+    for &i in indices {
+        counts[dataset.targets()[i]] += 1;
+    }
+    let present = counts.iter().filter(|&&c| c > 0).count() as f32;
+    1.0 - (present - 1.0) / (dataset.num_classes.max(2) - 1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_mixture, MixtureSpec};
+
+    fn cifar10ish() -> Dataset {
+        gaussian_mixture(&MixtureSpec::cifar10_like(500), 1)
+    }
+
+    #[test]
+    fn one_label_per_worker_matches_paper_setting() {
+        let d = cifar10ish();
+        let split = label_sharded(&d, 10, 1);
+        assert_eq!(split.per_worker.len(), 10);
+        for (w, idx) in split.per_worker.iter().enumerate() {
+            assert!(!idx.is_empty());
+            // Every sample on worker w has the single label assigned to w.
+            let label = split.labels_per_worker[w][0];
+            assert!(idx.iter().all(|&i| d.targets()[i] == label));
+            assert!((skewness(&d, idx) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_samples_exactly_once() {
+        let d = cifar10ish();
+        let split = label_sharded(&d, 10, 1);
+        let mut all: Vec<usize> = split.per_worker.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ten_labels_per_worker_on_cifar100_like() {
+        let d = gaussian_mixture(&MixtureSpec::cifar100_like(1000), 2);
+        let split = label_sharded(&d, 10, 10);
+        for (w, labels) in split.labels_per_worker.iter().enumerate() {
+            assert_eq!(labels.len(), 10, "worker {w}");
+        }
+        let skew = skewness(&d, &split.per_worker[0]);
+        assert!(skew > 0.85 && skew < 1.0, "skew {skew}");
+    }
+
+    #[test]
+    fn iid_shard_has_low_skewness() {
+        let d = cifar10ish();
+        // A contiguous index range contains every label (labels are assigned round-robin).
+        let iid_slice: Vec<usize> = (0..100).collect();
+        assert!(skewness(&d, &iid_slice) < 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insufficient_label_coverage_panics() {
+        let d = cifar10ish();
+        let _ = label_sharded(&d, 3, 1); // 3 workers x 1 label < 10 classes
+    }
+}

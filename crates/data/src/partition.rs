@@ -1,0 +1,212 @@
+//! Data partitioning schemes: DefDP and SelDP (§III-D, Fig. 7 of the paper).
+//!
+//! * **DefDP** (default data-partitioning) splits the sample indices into `N` disjoint
+//!   contiguous chunks; worker `n` only ever sees chunk `n`. This is the standard
+//!   partitioning used by BSP and is what the paper shows breaks down under
+//!   semi-synchronous training (Fig. 9).
+//! * **SelDP** (SelSync data-partitioning) gives every worker the *whole* index
+//!   sequence, organised as a circular queue of the same `N` chunks whose head is
+//!   rotated to the worker's own chunk. Every worker can learn from all data during
+//!   local phases, and when a step does synchronize the workers are positioned over
+//!   distinct chunks, so no two workers redundantly process the same chunk on a given
+//!   iteration.
+//!
+//! The partitioners operate purely on indices, so the same code serves the synthetic
+//! datasets here and would serve real datasets unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// Which partitioning scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Default partitioning: disjoint contiguous chunks, one per worker.
+    DefDp,
+    /// SelSync partitioning: full circular queue rotated by worker rank.
+    SelDp,
+}
+
+impl PartitionScheme {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionScheme::DefDp => "DefDP",
+            PartitionScheme::SelDp => "SelDP",
+        }
+    }
+}
+
+/// A worker's view of the training data: an ordered sequence of sample indices plus a
+/// cursor that yields successive mini-batches, wrapping around at the end of the
+/// sequence (one wrap = one local epoch).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerPartition {
+    /// Worker id (rank) this partition belongs to.
+    pub worker: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    /// How many times the cursor has wrapped (completed passes over `order`).
+    pub epochs_completed: usize,
+}
+
+impl WorkerPartition {
+    /// Build the partition for `worker` out of `num_samples` samples split across
+    /// `num_workers` workers under `scheme`.
+    pub fn build(scheme: PartitionScheme, num_samples: usize, num_workers: usize, worker: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        assert!(worker < num_workers, "worker id {worker} out of range for {num_workers} workers");
+        let chunks = chunk_boundaries(num_samples, num_workers);
+        let order = match scheme {
+            PartitionScheme::DefDp => {
+                let (start, end) = chunks[worker];
+                (start..end).collect()
+            }
+            PartitionScheme::SelDp => {
+                // Circular queue of all chunks, head rotated to this worker's chunk.
+                let mut order = Vec::with_capacity(num_samples);
+                for k in 0..num_workers {
+                    let (start, end) = chunks[(worker + k) % num_workers];
+                    order.extend(start..end);
+                }
+                order
+            }
+        };
+        WorkerPartition { worker, order, cursor: 0, epochs_completed: 0 }
+    }
+
+    /// The full ordered index sequence.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of samples this worker can draw from before wrapping.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Draw the next mini-batch of `batch_size` indices, wrapping circularly.
+    pub fn next_batch(&mut self, batch_size: usize) -> Vec<usize> {
+        assert!(!self.order.is_empty(), "cannot sample from an empty partition");
+        let mut out = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            out.push(self.order[self.cursor]);
+            self.cursor += 1;
+            if self.cursor == self.order.len() {
+                self.cursor = 0;
+                self.epochs_completed += 1;
+            }
+        }
+        out
+    }
+
+    /// Reset the cursor to the head of the queue.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.epochs_completed = 0;
+    }
+}
+
+/// `(start, end)` boundaries of the `num_workers` contiguous chunks of `num_samples`
+/// samples; the first `num_samples % num_workers` chunks get one extra sample.
+pub fn chunk_boundaries(num_samples: usize, num_workers: usize) -> Vec<(usize, usize)> {
+    let base = num_samples / num_workers;
+    let extra = num_samples % num_workers;
+    let mut out = Vec::with_capacity(num_workers);
+    let mut start = 0;
+    for w in 0..num_workers {
+        let len = base + usize::from(w < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Build the partitions for every worker at once (what the preprocessing stage does
+/// before training; its cost is Fig. 8b of the paper).
+pub fn build_all(scheme: PartitionScheme, num_samples: usize, num_workers: usize) -> Vec<WorkerPartition> {
+    (0..num_workers).map(|w| WorkerPartition::build(scheme, num_samples, num_workers, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_boundaries_cover_everything() {
+        let b = chunk_boundaries(10, 3);
+        assert_eq!(b, vec![(0, 4), (4, 7), (7, 10)]);
+        let b = chunk_boundaries(8, 4);
+        assert_eq!(b, vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+    }
+
+    #[test]
+    fn defdp_partitions_are_disjoint_and_complete() {
+        let parts = build_all(PartitionScheme::DefDp, 100, 4);
+        let mut all: Vec<usize> = parts.iter().flat_map(|p| p.order().to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert!(parts.iter().all(|p| p.len() == 25));
+    }
+
+    #[test]
+    fn seldp_gives_every_worker_all_samples() {
+        let parts = build_all(PartitionScheme::SelDp, 100, 4);
+        for p in &parts {
+            let mut sorted = p.order().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "worker {} sees all data", p.worker);
+        }
+    }
+
+    #[test]
+    fn seldp_heads_are_distinct_chunks() {
+        // Paper Fig. 7b: worker k's queue starts at chunk k, so on a synchronized first
+        // iteration no two workers read the same chunk.
+        let parts = build_all(PartitionScheme::SelDp, 16, 4);
+        assert_eq!(&parts[0].order()[..4], &[0, 1, 2, 3]);
+        assert_eq!(&parts[1].order()[..4], &[4, 5, 6, 7]);
+        assert_eq!(&parts[2].order()[..4], &[8, 9, 10, 11]);
+        assert_eq!(&parts[3].order()[..4], &[12, 13, 14, 15]);
+        // And the queue is circular: worker 3 continues into chunk 0.
+        assert_eq!(&parts[3].order()[4..8], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn next_batch_wraps_and_counts_epochs() {
+        let mut p = WorkerPartition::build(PartitionScheme::DefDp, 10, 2, 0);
+        assert_eq!(p.len(), 5);
+        let b1 = p.next_batch(3);
+        assert_eq!(b1, vec![0, 1, 2]);
+        let b2 = p.next_batch(3);
+        assert_eq!(b2, vec![3, 4, 0]);
+        assert_eq!(p.epochs_completed, 1);
+        p.reset();
+        assert_eq!(p.next_batch(2), vec![0, 1]);
+        assert_eq!(p.epochs_completed, 0);
+    }
+
+    #[test]
+    fn uneven_sample_counts_are_distributed() {
+        let parts = build_all(PartitionScheme::DefDp, 11, 4);
+        let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+        let total: usize = lens.iter().sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_out_of_range_panics() {
+        let _ = WorkerPartition::build(PartitionScheme::DefDp, 10, 2, 2);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(PartitionScheme::DefDp.name(), "DefDP");
+        assert_eq!(PartitionScheme::SelDp.name(), "SelDP");
+    }
+}

@@ -1,0 +1,82 @@
+//! Gradient-variance tracking — the cheap first-order proxy for Hessian-based
+//! critical-period detection (Fig. 4 of the paper).
+
+/// Population variance of the gradient coordinates of a single step.
+///
+/// This is the quantity the paper's `RelativeGradChange` tracks per iteration (it is
+/// computed "for free" from the gradient produced by backpropagation).
+pub fn gradient_variance(grad: &[f32]) -> f32 {
+    if grad.is_empty() {
+        return 0.0;
+    }
+    let n = grad.len() as f32;
+    let mean = grad.iter().sum::<f32>() / n;
+    grad.iter().map(|g| (g - mean).powi(2)).sum::<f32>() / n
+}
+
+/// Squared L2 norm of the gradient (the alternative significance statistic of Eqn. 2).
+pub fn gradient_sq_norm(grad: &[f32]) -> f32 {
+    grad.iter().map(|g| g * g).sum()
+}
+
+/// Variance of per-worker gradients around their mean — the "gradient noise" between
+/// workers that the paper cites as a statistical-efficiency signal (§III-A).
+pub fn inter_worker_variance(worker_grads: &[Vec<f32>]) -> f32 {
+    if worker_grads.is_empty() || worker_grads[0].is_empty() {
+        return 0.0;
+    }
+    let dim = worker_grads[0].len();
+    let n = worker_grads.len() as f32;
+    let mut mean = vec![0.0f32; dim];
+    for g in worker_grads {
+        assert_eq!(g.len(), dim, "all worker gradients must have equal length");
+        for (m, &x) in mean.iter_mut().zip(g.iter()) {
+            *m += x;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    let mut total = 0.0f32;
+    for g in worker_grads {
+        for (m, &x) in mean.iter().zip(g.iter()) {
+            total += (x - m).powi(2);
+        }
+    }
+    total / (n * dim as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_of_constant_gradient_is_zero() {
+        assert_eq!(gradient_variance(&[0.5; 100]), 0.0);
+        assert_eq!(gradient_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_closed_form() {
+        let v = gradient_variance(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((v - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sq_norm_matches_definition() {
+        assert_eq!(gradient_sq_norm(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn identical_workers_have_zero_inter_worker_variance() {
+        let grads = vec![vec![1.0, -1.0, 0.5]; 8];
+        assert_eq!(inter_worker_variance(&grads), 0.0);
+    }
+
+    #[test]
+    fn disagreement_increases_inter_worker_variance() {
+        let agree = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let disagree = vec![vec![1.0, 1.0], vec![-1.0, -1.0]];
+        assert!(inter_worker_variance(&disagree) > inter_worker_variance(&agree));
+    }
+}

@@ -1,0 +1,211 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 3 of the paper plots KDEs of a layer's gradients at early vs late epochs, and
+//! Fig. 11 compares KDEs of model weights under BSP / parameter aggregation / gradient
+//! aggregation. This module provides the estimator the corresponding figure binaries
+//! use.
+
+/// A kernel density estimate evaluated on a fixed grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KdeCurve {
+    /// Grid points where the density is evaluated.
+    pub xs: Vec<f32>,
+    /// Estimated density at each grid point.
+    pub density: Vec<f32>,
+    /// Bandwidth used.
+    pub bandwidth: f32,
+}
+
+/// Silverman's rule-of-thumb bandwidth for a Gaussian kernel.
+pub fn silverman_bandwidth(samples: &[f32]) -> f32 {
+    let n = samples.len().max(1) as f32;
+    let mean = samples.iter().sum::<f32>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+    let std = var.sqrt();
+    let bw = 1.06 * std * n.powf(-0.2);
+    if bw <= 0.0 || !bw.is_finite() {
+        1e-3
+    } else {
+        bw
+    }
+}
+
+/// Estimate the density of `samples` with a Gaussian kernel on `grid_points` evenly
+/// spaced points spanning the sample range (padded by one bandwidth on each side).
+///
+/// Uses Silverman's bandwidth unless `bandwidth` is supplied.
+pub fn gaussian_kde(samples: &[f32], grid_points: usize, bandwidth: Option<f32>) -> KdeCurve {
+    assert!(grid_points >= 2, "need at least two grid points");
+    if samples.is_empty() {
+        return KdeCurve { xs: vec![0.0; grid_points], density: vec![0.0; grid_points], bandwidth: 1.0 };
+    }
+    let bw = bandwidth.unwrap_or_else(|| silverman_bandwidth(samples)).max(1e-9);
+    let min = samples.iter().cloned().fold(f32::INFINITY, f32::min) - bw;
+    let max = samples.iter().cloned().fold(f32::NEG_INFINITY, f32::max) + bw;
+    let step = (max - min) / (grid_points - 1) as f32;
+    let norm = 1.0 / (samples.len() as f32 * bw * (2.0 * std::f32::consts::PI).sqrt());
+
+    let xs: Vec<f32> = (0..grid_points).map(|i| min + step * i as f32).collect();
+    let density: Vec<f32> = xs
+        .iter()
+        .map(|&x| {
+            samples
+                .iter()
+                .map(|&s| {
+                    let z = (x - s) / bw;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f32>()
+                * norm
+        })
+        .collect();
+    KdeCurve { xs, density, bandwidth: bw }
+}
+
+impl KdeCurve {
+    /// Numerical integral of the density over the grid (trapezoid rule); ~1 for a good fit.
+    pub fn integral(&self) -> f32 {
+        let mut total = 0.0;
+        for i in 1..self.xs.len() {
+            let dx = self.xs[i] - self.xs[i - 1];
+            total += 0.5 * (self.density[i] + self.density[i - 1]) * dx;
+        }
+        total
+    }
+
+    /// Grid point with the highest density (the mode).
+    pub fn mode(&self) -> f32 {
+        self.xs
+            .iter()
+            .zip(self.density.iter())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(&x, _)| x)
+            .unwrap_or(0.0)
+    }
+
+    /// Width of the smallest grid interval containing `fraction` of the total density
+    /// mass around the mode — a robust "spread" proxy used to compare early vs late
+    /// gradient distributions (Fig. 3: late-epoch gradients concentrate near zero).
+    pub fn mass_width(&self, fraction: f32) -> f32 {
+        let total = self.integral().max(1e-12);
+        let mode_idx = self
+            .density
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut lo = mode_idx;
+        let mut hi = mode_idx;
+        let mut mass = 0.0f32;
+        while mass / total < fraction && (lo > 0 || hi < self.xs.len() - 1) {
+            // Greedily expand toward the side with higher density.
+            let left = if lo > 0 { self.density[lo - 1] } else { -1.0 };
+            let right = if hi < self.xs.len() - 1 { self.density[hi + 1] } else { -1.0 };
+            if left >= right && lo > 0 {
+                let dx = self.xs[lo] - self.xs[lo - 1];
+                mass += 0.5 * (self.density[lo] + self.density[lo - 1]) * dx;
+                lo -= 1;
+            } else if hi < self.xs.len() - 1 {
+                let dx = self.xs[hi + 1] - self.xs[hi];
+                mass += 0.5 * (self.density[hi] + self.density[hi + 1]) * dx;
+                hi += 1;
+            } else {
+                break;
+            }
+        }
+        self.xs[hi] - self.xs[lo]
+    }
+}
+
+/// Symmetrised total-variation-style distance between two KDE curves evaluated on their
+/// own grids; used to compare weight distributions (BSP vs PA vs GA, Fig. 11). The
+/// curves are re-evaluated on a common grid by linear interpolation.
+pub fn kde_distance(a: &KdeCurve, b: &KdeCurve) -> f32 {
+    let lo = a.xs[0].min(b.xs[0]);
+    let hi = a.xs.last().unwrap().max(*b.xs.last().unwrap());
+    let points = 256;
+    let step = (hi - lo) / (points - 1) as f32;
+    let mut dist = 0.0;
+    for i in 0..points {
+        let x = lo + step * i as f32;
+        dist += (interp(a, x) - interp(b, x)).abs() * step;
+    }
+    0.5 * dist
+}
+
+fn interp(c: &KdeCurve, x: f32) -> f32 {
+    if x <= c.xs[0] || x >= *c.xs.last().unwrap() {
+        return 0.0;
+    }
+    let idx = c.xs.partition_point(|&g| g < x).max(1);
+    let (x0, x1) = (c.xs[idx - 1], c.xs[idx]);
+    let (y0, y1) = (c.density[idx - 1], c.density[idx]);
+    let t = (x - x0) / (x1 - x0).max(1e-12);
+    y0 + t * (y1 - y0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normal_samples(n: usize, mean: f32, std: f32, seed: u64) -> Vec<f32> {
+        // Simple LCG + Box-Muller to avoid a dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let u1: f32 = next().clamp(1e-6, 1.0);
+                let u2: f32 = next();
+                mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn density_integrates_to_about_one() {
+        let s = normal_samples(2000, 0.0, 1.0, 3);
+        let kde = gaussian_kde(&s, 200, None);
+        let integral = kde.integral();
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn mode_is_near_the_true_mean() {
+        let s = normal_samples(5000, 2.0, 0.5, 7);
+        let kde = gaussian_kde(&s, 300, None);
+        assert!((kde.mode() - 2.0).abs() < 0.2, "mode {}", kde.mode());
+    }
+
+    #[test]
+    fn narrower_distributions_have_smaller_mass_width() {
+        let wide = gaussian_kde(&normal_samples(3000, 0.0, 1.0, 1), 200, None);
+        let narrow = gaussian_kde(&normal_samples(3000, 0.0, 0.1, 2), 200, None);
+        assert!(narrow.mass_width(0.9) < wide.mass_width(0.9));
+    }
+
+    #[test]
+    fn identical_distributions_have_near_zero_distance() {
+        let a = gaussian_kde(&normal_samples(2000, 0.0, 1.0, 5), 200, None);
+        let b = gaussian_kde(&normal_samples(2000, 0.0, 1.0, 6), 200, None);
+        let c = gaussian_kde(&normal_samples(2000, 3.0, 1.0, 7), 200, None);
+        assert!(kde_distance(&a, &b) < 0.1);
+        assert!(kde_distance(&a, &c) > 0.5);
+    }
+
+    #[test]
+    fn empty_samples_yield_zero_density() {
+        let kde = gaussian_kde(&[], 10, None);
+        assert!(kde.density.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn explicit_bandwidth_is_respected() {
+        let s = vec![0.0, 1.0, 2.0];
+        let kde = gaussian_kde(&s, 50, Some(0.25));
+        assert_eq!(kde.bandwidth, 0.25);
+    }
+}

@@ -1,0 +1,24 @@
+//! # selsync-metrics
+//!
+//! Metrics and reporting utilities shared by the training algorithms and the experiment
+//! harness:
+//!
+//! * [`ewma`] — exponentially weighted moving average, used to smooth the per-iteration
+//!   gradient statistics before computing the relative gradient change `Δ(g_i)` (§III-A).
+//! * [`kde`] — Gaussian kernel density estimation for the gradient / weight distribution
+//!   figures (Fig. 3 and Fig. 11).
+//! * [`lssr`] — the local-to-synchronous step ratio (Eqn. 4) and the communication
+//!   reduction it implies.
+//! * [`stats`] — streaming mean/variance and simple descriptive statistics.
+//! * [`throughput`] — samples-per-second accounting used for the scaling figure (Fig. 1a).
+//! * [`table`] — minimal markdown/CSV table emission for the figure/table binaries.
+
+pub mod ewma;
+pub mod kde;
+pub mod lssr;
+pub mod stats;
+pub mod table;
+pub mod throughput;
+
+pub use ewma::Ewma;
+pub use lssr::LssrCounter;

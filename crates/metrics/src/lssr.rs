@@ -1,0 +1,106 @@
+//! Local-to-synchronous step ratio (LSSR), Eqn. 4 of the paper.
+//!
+//! `LSSR = steps_local / (steps_local + steps_bsp)`. BSP has LSSR 0 (every step
+//! synchronizes); pure local-SGD has LSSR 1. The communication reduction relative to BSP
+//! for the same number of iterations is `1 / (1 - LSSR)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Running counter of local vs synchronized steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LssrCounter {
+    /// Number of steps applied locally only.
+    pub local_steps: u64,
+    /// Number of steps that performed a synchronization (BSP-style aggregation).
+    pub sync_steps: u64,
+}
+
+impl LssrCounter {
+    /// New counter with no steps recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one local step.
+    pub fn record_local(&mut self) {
+        self.local_steps += 1;
+    }
+
+    /// Record one synchronized step.
+    pub fn record_sync(&mut self) {
+        self.sync_steps += 1;
+    }
+
+    /// Total steps recorded.
+    pub fn total(&self) -> u64 {
+        self.local_steps + self.sync_steps
+    }
+
+    /// The LSSR value (0 when no steps have been recorded).
+    pub fn lssr(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.local_steps as f64 / total as f64
+        }
+    }
+
+    /// Communication reduction relative to BSP for the same number of iterations:
+    /// `1 / (1 - LSSR)`. Returns `f64::INFINITY` for pure local training.
+    pub fn communication_reduction(&self) -> f64 {
+        let l = self.lssr();
+        if (1.0 - l).abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - l)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_has_zero_lssr() {
+        let mut c = LssrCounter::new();
+        for _ in 0..100 {
+            c.record_sync();
+        }
+        assert_eq!(c.lssr(), 0.0);
+        assert_eq!(c.communication_reduction(), 1.0);
+    }
+
+    #[test]
+    fn pure_local_has_lssr_one() {
+        let mut c = LssrCounter::new();
+        for _ in 0..50 {
+            c.record_local();
+        }
+        assert_eq!(c.lssr(), 1.0);
+        assert!(c.communication_reduction().is_infinite());
+    }
+
+    #[test]
+    fn mixed_ratio_matches_formula() {
+        let mut c = LssrCounter::new();
+        for _ in 0..90 {
+            c.record_local();
+        }
+        for _ in 0..10 {
+            c.record_sync();
+        }
+        assert!((c.lssr() - 0.9).abs() < 1e-12);
+        // LSSR 0.9 => 10x communication reduction (the paper's example).
+        assert!((c.communication_reduction() - 10.0).abs() < 1e-9);
+        assert_eq!(c.total(), 100);
+    }
+
+    #[test]
+    fn empty_counter_is_zero() {
+        let c = LssrCounter::new();
+        assert_eq!(c.lssr(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+}

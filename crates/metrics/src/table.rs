@@ -1,0 +1,103 @@
+//! Minimal report-table emission (markdown and CSV) for the figure/table binaries.
+//!
+//! The experiment binaries print the same rows/series the paper reports; this keeps the
+//! formatting in one place and testable.
+
+/// A simple rectangular table with a header row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; panics if the arity does not match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Format a float with a fixed number of decimals (helper for the binaries).
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new(vec!["model", "speedup"]);
+        t.push_row(vec!["ResNet101", "2.03"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| model | speedup |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| ResNet101 | 2.03 |"));
+    }
+
+    #[test]
+    fn csv_round() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["3", "4"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(2.0, 0), "2");
+    }
+}

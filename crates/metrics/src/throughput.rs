@@ -1,0 +1,76 @@
+//! Training-throughput accounting (samples processed per second of simulated time).
+//!
+//! Fig. 1a of the paper plots throughput relative to a single worker as the cluster
+//! grows. In this reproduction per-iteration times come from the analytical network cost
+//! model; this module just does the bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates samples processed and simulated seconds elapsed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    /// Total training samples processed (across all workers).
+    pub samples: u64,
+    /// Total simulated wall-clock seconds elapsed.
+    pub seconds: f64,
+}
+
+impl ThroughputMeter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one iteration that processed `samples` samples in `seconds` of simulated time.
+    pub fn record(&mut self, samples: u64, seconds: f64) {
+        self.samples += samples;
+        self.seconds += seconds;
+    }
+
+    /// Samples per second (0 if no time elapsed).
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / self.seconds
+        }
+    }
+
+    /// Throughput relative to a baseline meter (e.g. the 1-worker run in Fig. 1a).
+    pub fn relative_to(&self, baseline: &ThroughputMeter) -> f64 {
+        let base = baseline.samples_per_sec();
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.samples_per_sec() / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_samples_over_seconds() {
+        let mut m = ThroughputMeter::new();
+        m.record(320, 2.0);
+        m.record(320, 2.0);
+        assert!((m.samples_per_sec() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_throughput() {
+        let mut base = ThroughputMeter::new();
+        base.record(100, 1.0);
+        let mut big = ThroughputMeter::new();
+        big.record(300, 1.0);
+        assert!((big.relative_to(&base) - 3.0).abs() < 1e-9);
+        assert_eq!(base.relative_to(&ThroughputMeter::new()), 0.0);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        assert_eq!(ThroughputMeter::new().samples_per_sec(), 0.0);
+    }
+}

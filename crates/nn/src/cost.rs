@@ -1,0 +1,100 @@
+//! Analytical compute/memory cost model for the paper-scale workloads.
+//!
+//! Fig. 2 of the paper measures per-iteration compute time and GPU memory as the
+//! per-worker batch size grows (the argument against scaling SSP's batch to `N·b`).
+//! We have no K80 GPU, so we reproduce the *shape* of those curves from the nominal
+//! per-sample FLOP and activation-byte footprints carried by each
+//! [`crate::model::PaperModel`], evaluated against a configurable [`DeviceProfile`].
+
+use crate::model::NominalFootprint;
+use serde::{Deserialize, Serialize};
+
+/// A simple accelerator profile (sustained throughput and memory capacity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Sustained single-precision throughput in FLOP/s.
+    pub flops_per_sec: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Human-readable device name.
+    pub name: String,
+}
+
+impl DeviceProfile {
+    /// NVIDIA Tesla K80 (the device of Fig. 2): ~4.1 TFLOP/s FP32 (one GK210), 12 GB.
+    pub fn tesla_k80() -> Self {
+        DeviceProfile { flops_per_sec: 4.1e12 * 0.35, memory_bytes: 12 * 1024 * 1024 * 1024, name: "Tesla K80".to_string() }
+    }
+
+    /// NVIDIA V100 (the training cluster of §IV-A): ~14 TFLOP/s FP32, 16 GB.
+    pub fn v100() -> Self {
+        DeviceProfile {
+            flops_per_sec: 14.0e12 * 0.4,
+            memory_bytes: 16 * 1024 * 1024 * 1024,
+            name: "V100".to_string(),
+        }
+    }
+}
+
+/// Estimated compute time, in milliseconds, for one training iteration over `batch`
+/// samples (forward + backward).
+pub fn compute_time_ms(nominal: &NominalFootprint, batch: usize, device: &DeviceProfile) -> f64 {
+    let flops = nominal.flops_per_sample as f64 * batch as f64;
+    // A fixed per-iteration launch/framework overhead keeps small batches from looking free.
+    let overhead_ms = 2.0;
+    overhead_ms + flops / device.flops_per_sec * 1e3
+}
+
+/// Estimated training-time memory footprint, in bytes, for one iteration over `batch`
+/// samples: parameters + gradients + optimizer state (3× wire size) plus activations.
+pub fn memory_bytes(nominal: &NominalFootprint, batch: usize) -> u64 {
+    nominal.wire_bytes * 3 + nominal.activation_bytes_per_sample * batch as u64
+}
+
+/// Whether a batch of the given size fits in device memory (the Transformer in Fig. 2
+/// fails with OOM beyond batch 64 on the 12 GB K80).
+pub fn fits_in_memory(nominal: &NominalFootprint, batch: usize, device: &DeviceProfile) -> bool {
+    memory_bytes(nominal, batch) <= device.memory_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelKind, PaperModel};
+
+    #[test]
+    fn compute_time_grows_with_batch() {
+        let m = PaperModel::build(ModelKind::ResNetLike, 1);
+        let dev = DeviceProfile::tesla_k80();
+        let t32 = compute_time_ms(&m.nominal, 32, &dev);
+        let t1024 = compute_time_ms(&m.nominal, 1024, &dev);
+        assert!(t1024 > t32 * 10.0, "{t32} vs {t1024}");
+    }
+
+    #[test]
+    fn resnet_is_the_most_compute_heavy() {
+        let dev = DeviceProfile::tesla_k80();
+        let times: Vec<f64> = ModelKind::all()
+            .iter()
+            .map(|&k| compute_time_ms(&PaperModel::build(k, 1).nominal, 256, &dev))
+            .collect();
+        // ResNet101 (index 0) is the deepest / slowest per sample in Fig. 2a.
+        assert!(times[0] >= times[1] && times[0] >= times[2]);
+    }
+
+    #[test]
+    fn transformer_ooms_beyond_batch_64_on_k80() {
+        let m = PaperModel::build(ModelKind::TransformerLike, 1);
+        let dev = DeviceProfile::tesla_k80();
+        assert!(fits_in_memory(&m.nominal, 64, &dev));
+        assert!(!fits_in_memory(&m.nominal, 128, &dev));
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_batch() {
+        let m = PaperModel::build(ModelKind::AlexLike, 1);
+        let m64 = memory_bytes(&m.nominal, 64);
+        let m128 = memory_bytes(&m.nominal, 128);
+        assert_eq!(m128 - m64, m.nominal.activation_bytes_per_sample * 64);
+    }
+}

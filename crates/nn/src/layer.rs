@@ -1,0 +1,726 @@
+//! Layers with hand-written forward/backward passes.
+//!
+//! Each layer caches whatever it needs from the forward pass to compute gradients in the
+//! backward pass (the usual tape-free, layer-local autodiff used before general autograd
+//! engines). Correctness of every backward pass is certified by the finite-difference
+//! checks in [`crate::gradcheck`] and the unit tests below.
+
+use selsync_tensor::{ops, rng, Tensor};
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and their parameter gradients. Gradients are accumulated
+/// by [`Layer::backward`] and reset with [`Layer::zero_grads`]. The distributed training
+/// algorithms never touch layers directly; they use the flattened vector interface on
+/// [`crate::model::Sequential`].
+pub trait Layer: Send {
+    /// Short human-readable layer name (used in gradient KDE plots, Fig. 3/11).
+    fn name(&self) -> &'static str;
+
+    /// Forward pass. `train` enables training-only behaviour (e.g. dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: given `dL/d output`, accumulate parameter gradients and return
+    /// `dL/d input`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable references to this layer's parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable references to this layer's parameter tensors (same order as [`Layer::params`]).
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Immutable references to this layer's gradient tensors (same order as [`Layer::params`]).
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Reset all accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Total number of scalar parameters in this layer.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer: `Y = X W + b` with `W` of shape `(in_dim, out_dim)`.
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Create a Linear layer with He-normal weights and zero bias.
+    pub fn new(rng_: &mut rng::SelRng, in_dim: usize, out_dim: usize) -> Self {
+        Linear {
+            weight: selsync_tensor::init::he_normal(rng_, in_dim, out_dim),
+            bias: Tensor::zeros(1, out_dim),
+            grad_weight: Tensor::zeros(in_dim, out_dim),
+            grad_bias: Tensor::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = ops::matmul(input, &self.weight).expect("linear forward shape");
+        let out = ops::add_row_broadcast(&out, &self.bias).expect("linear bias broadcast");
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward called before forward");
+        // dW += X^T dY ; db += column sums of dY ; dX = dY W^T
+        let dw = ops::matmul_at(input, grad_output).expect("linear dW");
+        ops::axpy(1.0, &dw, &mut self.grad_weight).expect("accumulate dW");
+        let db = ops::sum_rows(grad_output);
+        ops::axpy(1.0, &db, &mut self.grad_bias).expect("accumulate db");
+        ops::matmul_bt(grad_output, &self.weight).expect("linear dX")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Create a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(|x| x.max(0.0));
+        if train {
+            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward called before forward");
+        ops::hadamard(grad_output, mask).expect("relu backward shape")
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Create a Tanh activation.
+    pub fn new() -> Self {
+        Tanh { cached_output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(|x| x.tanh());
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.cached_output.as_ref().expect("backward called before forward");
+        let deriv = out.map(|y| 1.0 - y * y);
+        ops::hadamard(grad_output, &deriv).expect("tanh backward shape")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+/// Inverted dropout: during training, zeroes activations with probability `p` and scales
+/// the survivors by `1/(1-p)`; a no-op at evaluation time.
+pub struct Dropout {
+    p: f32,
+    rng: rng::SelRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Create a dropout layer with drop probability `p` and its own deterministic RNG.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, rng: rng::seeded(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.rows(), input.cols());
+        {
+            use rand::Rng;
+            for m in mask.data_mut() {
+                *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+            }
+        }
+        let out = ops::hadamard(input, &mask).expect("dropout forward shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => ops::hadamard(grad_output, mask).expect("dropout backward shape"),
+            None => grad_output.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+/// Layer normalisation over the feature dimension of each row, with learnable scale
+/// (`gamma`) and shift (`beta`).
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    eps: f32,
+    cached_normed: Option<Tensor>,
+    cached_inv_std: Option<Vec<f32>>,
+}
+
+impl LayerNorm {
+    /// Create a LayerNorm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones(1, dim),
+            beta: Tensor::zeros(1, dim),
+            grad_gamma: Tensor::zeros(1, dim),
+            grad_beta: Tensor::zeros(1, dim),
+            eps: 1e-5,
+            cached_normed: None,
+            cached_inv_std: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (rows, cols) = input.shape();
+        let mut normed = Tensor::zeros(rows, cols);
+        let mut inv_stds = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = input.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for (c, &x) in row.iter().enumerate() {
+                normed.set(r, c, (x - mean) * inv_std);
+            }
+        }
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set(r, c, normed.get(r, c) * self.gamma.get(0, c) + self.beta.get(0, c));
+            }
+        }
+        if train {
+            self.cached_normed = Some(normed);
+            self.cached_inv_std = Some(inv_stds);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let normed = self.cached_normed.as_ref().expect("backward called before forward");
+        let inv_stds = self.cached_inv_std.as_ref().expect("backward called before forward");
+        let (rows, cols) = grad_output.shape();
+        let n = cols as f32;
+        let mut grad_input = Tensor::zeros(rows, cols);
+
+        for c in 0..cols {
+            let mut gg = 0.0f32;
+            let mut gb = 0.0f32;
+            for r in 0..rows {
+                gg += grad_output.get(r, c) * normed.get(r, c);
+                gb += grad_output.get(r, c);
+            }
+            self.grad_gamma.set(0, c, self.grad_gamma.get(0, c) + gg);
+            self.grad_beta.set(0, c, self.grad_beta.get(0, c) + gb);
+        }
+
+        // Standard layer-norm backward: for each row,
+        //   dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat * xhat))
+        // where dxhat = dy * gamma.
+        for r in 0..rows {
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for c in 0..cols {
+                let dxhat = grad_output.get(r, c) * self.gamma.get(0, c);
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * normed.get(r, c);
+            }
+            let inv_std = inv_stds[r];
+            for c in 0..cols {
+                let dxhat = grad_output.get(r, c) * self.gamma.get(0, c);
+                let dx = (inv_std / n) * (n * dxhat - sum_dxhat - normed.get(r, c) * sum_dxhat_xhat);
+                grad_input.set(r, c, dx);
+            }
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.map_inplace(|_| 0.0);
+        self.grad_beta.map_inplace(|_| 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+/// Token-embedding lookup.
+///
+/// Input is a `(batch, tokens)` tensor whose entries are token ids stored as `f32`;
+/// output is `(batch, tokens * dim)` with per-token embeddings concatenated along the
+/// feature axis. The gradient is scatter-added into the embedding table.
+pub struct Embedding {
+    table: Tensor,
+    grad_table: Tensor,
+    dim: usize,
+    cached_ids: Option<Vec<Vec<usize>>>,
+}
+
+impl Embedding {
+    /// Create an embedding table of shape `(vocab, dim)` with small normal init.
+    pub fn new(rng_: &mut rng::SelRng, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            table: selsync_tensor::init::normal(rng_, vocab, dim, 0.0, 0.1),
+            grad_table: Tensor::zeros(vocab, dim),
+            dim,
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (batch, tokens) = input.shape();
+        let vocab = self.table.rows();
+        let mut out = Tensor::zeros(batch, tokens * self.dim);
+        let mut ids = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let mut row_ids = Vec::with_capacity(tokens);
+            for t in 0..tokens {
+                let id = (input.get(b, t).round().max(0.0) as usize).min(vocab - 1);
+                row_ids.push(id);
+                let emb = self.table.row(id);
+                out.row_mut(b)[t * self.dim..(t + 1) * self.dim].copy_from_slice(emb);
+            }
+            ids.push(row_ids);
+        }
+        if train {
+            self.cached_ids = Some(ids);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let ids = self.cached_ids.as_ref().expect("backward called before forward");
+        let batch = ids.len();
+        let tokens = if batch > 0 { ids[0].len() } else { 0 };
+        for (b, row_ids) in ids.iter().enumerate() {
+            for (t, &id) in row_ids.iter().enumerate() {
+                let slice = &grad_output.row(b)[t * self.dim..(t + 1) * self.dim];
+                let dst = self.grad_table.row_mut(id);
+                for (d, &g) in dst.iter_mut().zip(slice.iter()) {
+                    *d += g;
+                }
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the input shape.
+        Tensor::zeros(batch, tokens)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.table]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.table]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_table]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_table.map_inplace(|_| 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attention pooling
+// ---------------------------------------------------------------------------
+
+/// Single-head additive attention pooling over a token sequence.
+///
+/// Input is the `(batch, tokens * dim)` output of an [`Embedding`] layer. Each row is
+/// interpreted as `tokens` vectors of size `dim`; a learned query vector `q` scores each
+/// token (`s_t = q · e_t`), scores are soft-maxed into attention weights `α`, and the
+/// output is the attention-weighted sum `Σ α_t e_t` of shape `(batch, dim)`. This is the
+/// attention mechanism of the paper's Transformer encoder reduced to a pooling head —
+/// small enough for hand-written gradients, but it preserves the softmax-attention
+/// training dynamics (sharp early perplexity drop, §IV of the paper).
+pub struct AttentionPool {
+    query: Tensor,
+    grad_query: Tensor,
+    dim: usize,
+    tokens: usize,
+    cached_input: Option<Tensor>,
+    cached_alpha: Option<Tensor>,
+}
+
+impl AttentionPool {
+    /// Create an attention-pooling head over `tokens` vectors of size `dim`.
+    pub fn new(rng_: &mut rng::SelRng, tokens: usize, dim: usize) -> Self {
+        AttentionPool {
+            query: selsync_tensor::init::normal(rng_, 1, dim, 0.0, 0.2),
+            grad_query: Tensor::zeros(1, dim),
+            dim,
+            tokens,
+            cached_input: None,
+            cached_alpha: None,
+        }
+    }
+}
+
+impl Layer for AttentionPool {
+    fn name(&self) -> &'static str {
+        "attention_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.rows();
+        assert_eq!(input.cols(), self.tokens * self.dim, "attention pool input width");
+        let q = self.query.row(0);
+        let mut alpha = Tensor::zeros(batch, self.tokens);
+        let mut out = Tensor::zeros(batch, self.dim);
+        for b in 0..batch {
+            let row = input.row(b);
+            // scores
+            let mut scores = vec![0.0f32; self.tokens];
+            for t in 0..self.tokens {
+                let e = &row[t * self.dim..(t + 1) * self.dim];
+                scores[t] = e.iter().zip(q.iter()).map(|(x, y)| x * y).sum();
+            }
+            // softmax
+            let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                denom += *s;
+            }
+            for (t, s) in scores.iter().enumerate() {
+                alpha.set(b, t, s / denom);
+            }
+            // weighted sum
+            for t in 0..self.tokens {
+                let a = alpha.get(b, t);
+                let e = &row[t * self.dim..(t + 1) * self.dim];
+                for (o, &x) in out.row_mut(b).iter_mut().zip(e.iter()) {
+                    *o += a * x;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+            self.cached_alpha = Some(alpha);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward called before forward");
+        let alpha = self.cached_alpha.as_ref().expect("backward called before forward");
+        let batch = input.rows();
+        let q = self.query.row(0).to_vec();
+        let mut grad_input = Tensor::zeros(batch, self.tokens * self.dim);
+
+        for b in 0..batch {
+            let row = input.row(b);
+            let dout = grad_output.row(b);
+            // dα_t = dout · e_t
+            let mut dalpha = vec![0.0f32; self.tokens];
+            for t in 0..self.tokens {
+                let e = &row[t * self.dim..(t + 1) * self.dim];
+                dalpha[t] = e.iter().zip(dout.iter()).map(|(x, y)| x * y).sum();
+            }
+            // softmax backward: ds_t = α_t (dα_t - Σ_j α_j dα_j)
+            let dot: f32 = (0..self.tokens).map(|t| alpha.get(b, t) * dalpha[t]).sum();
+            let ds: Vec<f32> = (0..self.tokens).map(|t| alpha.get(b, t) * (dalpha[t] - dot)).collect();
+            // dq += Σ_t ds_t e_t ; de_t = α_t dout + ds_t q
+            for t in 0..self.tokens {
+                let e = &row[t * self.dim..(t + 1) * self.dim];
+                for d in 0..self.dim {
+                    self.grad_query.set(0, d, self.grad_query.get(0, d) + ds[t] * e[d]);
+                }
+                let gi = &mut grad_input.row_mut(b)[t * self.dim..(t + 1) * self.dim];
+                for d in 0..self.dim {
+                    gi[d] = alpha.get(b, t) * dout[d] + ds[t] * q[d];
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.query]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.query]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_query]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_query.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_tensor::rng::seeded;
+
+    #[test]
+    fn linear_forward_shapes_and_bias() {
+        let mut rng = seeded(1);
+        let mut l = Linear::new(&mut rng, 4, 3);
+        // Force known weights.
+        l.params_mut()[0].map_inplace(|_| 0.0);
+        l.params_mut()[1].map_inplace(|_| 1.5);
+        let x = Tensor::ones(2, 4);
+        let y = l.forward(&x, false);
+        assert_eq!(y.shape(), (2, 3));
+        assert!(y.data().iter().all(|&v| (v - 1.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_backward_accumulates() {
+        let mut rng = seeded(2);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::ones(4, 3);
+        let _ = l.forward(&x, true);
+        let dy = Tensor::ones(4, 2);
+        let _ = l.backward(&dy);
+        // dW = X^T dY = all 4s, db = 4
+        assert!(l.grads()[0].data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        assert!(l.grads()[1].data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        // Second backward accumulates.
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&dy);
+        assert!(l.grads()[0].data().iter().all(|&v| (v - 8.0).abs() < 1e-6));
+        l.zero_grads();
+        assert!(l.grads()[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Tensor::ones(1, 4);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_identity() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(1, 2, vec![0.0, 0.5]).unwrap();
+        let y = t.forward(&x, true);
+        assert!((y.get(0, 0)).abs() < 1e-6);
+        let dx = t.backward(&Tensor::ones(1, 2));
+        assert!((dx.get(0, 0) - 1.0).abs() < 1e-6); // tanh'(0) = 1
+        assert!(dx.get(0, 1) < 1.0);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_scales() {
+        let mut d = Dropout::new(0.5, 99);
+        let x = Tensor::ones(8, 16);
+        let y_eval = d.forward(&x, false);
+        assert_eq!(y_eval, x);
+        let y_train = d.forward(&x, true);
+        // Every surviving activation is scaled by 2.
+        assert!(y_train.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let kept = y_train.data().iter().filter(|&&v| v > 0.0).count();
+        assert!(kept > 0 && kept < y_train.len());
+    }
+
+    #[test]
+    fn layernorm_rows_are_normalised() {
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::from_fn(3, 6, |r, c| (r * 6 + c) as f32);
+        let y = ln.forward(&x, true);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 6.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_and_scatter_grad() {
+        let mut rng = seeded(3);
+        let mut e = Embedding::new(&mut rng, 10, 4);
+        let ids = Tensor::from_vec(2, 3, vec![0.0, 1.0, 2.0, 2.0, 2.0, 9.0]).unwrap();
+        let out = e.forward(&ids, true);
+        assert_eq!(out.shape(), (2, 12));
+        // Row 0 token 1 equals table row 1.
+        assert_eq!(&out.row(0)[4..8], e.params()[0].row(1));
+        let dy = Tensor::ones(2, 12);
+        let dx = e.backward(&dy);
+        assert_eq!(dx.shape(), (2, 3));
+        // Token 2 appears three times, so its grad row sums to 3 per dim.
+        assert!(e.grads()[0].row(2).iter().all(|&v| (v - 3.0).abs() < 1e-6));
+        assert!(e.grads()[0].row(5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn attention_pool_outputs_convex_combination() {
+        let mut rng = seeded(4);
+        let mut a = AttentionPool::new(&mut rng, 3, 2);
+        // Tokens: (1,0), (0,1), (1,1)
+        let x = Tensor::from_vec(1, 6, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let y = a.forward(&x, true);
+        assert_eq!(y.shape(), (1, 2));
+        // Output coordinates lie within the convex hull of token coordinates: [0, 1].
+        assert!(y.data().iter().all(|&v| v >= 0.0 && v <= 1.0));
+        let dx = a.backward(&Tensor::ones(1, 2));
+        assert_eq!(dx.shape(), (1, 6));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = seeded(5);
+        let l = Linear::new(&mut rng, 10, 20);
+        assert_eq!(l.param_count(), 10 * 20 + 20);
+        let e = Embedding::new(&mut rng, 50, 8);
+        assert_eq!(e.param_count(), 400);
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # selsync-nn
+//!
+//! Neural-network substrate for the SelSync reproduction.
+//!
+//! The paper trains four PyTorch models (ResNet101, VGG11, AlexNet and a small
+//! Transformer LM). This crate provides the equivalent *from-scratch* substrate:
+//!
+//! * [`layer`] — layers with hand-written forward/backward passes (Linear, ReLU, Tanh,
+//!   Dropout, LayerNorm, Embedding, attention pooling),
+//! * [`model`] — [`model::Sequential`] networks, residual blocks, and the four
+//!   paper-model analogues ([`model::PaperModel`]) together with their *nominal*
+//!   communication sizes and compute/memory cost estimates used by the network model,
+//! * [`loss`] — softmax cross-entropy, accuracy (top-1/top-k) and perplexity,
+//! * [`optim`] — SGD (momentum + weight decay) and Adam operating on flattened
+//!   parameter/gradient vectors, exactly the representation the distributed algorithms
+//!   exchange,
+//! * [`schedule`] — the learning-rate schedules used in the paper's §IV-A,
+//! * [`gradcheck`] — finite-difference gradient verification used heavily by the test
+//!   suite to certify that the hand-written backward passes are correct.
+//!
+//! The substrate is intentionally small but *correct*: gradient-checking tests cover
+//! every layer, and the distributed algorithms in the `selsync` crate treat models only
+//! through the flat parameter/gradient interface, so they are independent of which model
+//! is being trained.
+
+pub mod cost;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod schedule;
+
+pub use layer::Layer;
+pub use model::{ModelKind, PaperModel, Sequential};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use schedule::LrSchedule;

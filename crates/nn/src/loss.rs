@@ -1,0 +1,147 @@
+//! Loss functions and evaluation metrics.
+//!
+//! The paper reports top-1 accuracy (ResNet101/VGG11), top-5 accuracy (AlexNet) and test
+//! perplexity (Transformer). All of them derive from softmax cross-entropy, which is the
+//! only training loss we need.
+
+use selsync_tensor::{ops, Tensor};
+
+/// Softmax cross-entropy over logits.
+///
+/// Returns `(mean loss, dL/dlogits)` for a batch. Targets are class indices.
+/// The gradient is the standard `(softmax - one_hot) / batch`.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch between logits and targets");
+    let probs = ops::softmax_rows(logits);
+    let batch = logits.rows() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        let p = probs.get(r, t).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, t, grad.get(r, t) - 1.0);
+    }
+    grad.map_inplace(|x| x / batch);
+    (loss / batch, grad)
+}
+
+/// Mean-squared-error loss. Returns `(mean loss, dL/dpred)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "MSE shape mismatch");
+    let n = pred.len() as f32;
+    let diff = ops::sub(pred, target).expect("mse diff");
+    let loss = ops::sq_norm(&diff) / n;
+    let grad = ops::scale(&diff, 2.0 / n);
+    (loss, grad)
+}
+
+/// Fraction of rows whose arg-max prediction equals the target (top-1 accuracy, in %).
+pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let preds = ops::argmax_rows(logits);
+    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    100.0 * correct as f32 / targets.len() as f32
+}
+
+/// Fraction of rows whose target appears among the `k` highest logits (top-k accuracy, in %).
+pub fn topk_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let target_score = row[t];
+        // Count how many classes strictly beat the target; ties resolved in the target's favour.
+        let better = row.iter().filter(|&&x| x > target_score).count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    100.0 * correct as f32 / targets.len() as f32
+}
+
+/// Perplexity corresponding to a mean cross-entropy `loss` (`exp(loss)`), the metric the
+/// paper reports for the Transformer on WikiText-103.
+pub fn perplexity(loss: f32) -> f32 {
+    loss.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        // Very confident, correct logits.
+        let logits = Tensor::from_vec(2, 3, vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_classes() {
+        let logits = Tensor::zeros(4, 10);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_fn(3, 5, |r, c| (r as f32) * 0.3 - (c as f32) * 0.1);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2, 4]);
+        for r in 0..3 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let base = Tensor::from_fn(2, 4, |r, c| 0.25 * (r as f32 + 1.0) * (c as f32 - 1.5));
+        let targets = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&base, &targets);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut plus = base.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = base.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &targets);
+                let (lm, _) = softmax_cross_entropy(&minus, &targets);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((num - grad.get(r, c)).abs() < 1e-3, "({r},{c}): {num} vs {}", grad.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn mse_basic() {
+        let pred = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let target = Tensor::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_metrics() {
+        let logits =
+            Tensor::from_vec(3, 3, vec![3.0, 2.0, 1.0, 1.0, 3.0, 2.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(top1_accuracy(&logits, &[0, 1, 2]), 100.0);
+        assert!((top1_accuracy(&logits, &[1, 1, 2]) - 66.666_664).abs() < 1e-3);
+        // Target is 2nd-highest everywhere -> top-2 accuracy is 100%.
+        assert_eq!(topk_accuracy(&logits, &[1, 2, 1], 2), 100.0);
+        assert_eq!(topk_accuracy(&logits, &[2, 0, 0], 2), 0.0);
+    }
+
+    #[test]
+    fn perplexity_is_exp_of_loss() {
+        assert!((perplexity(0.0) - 1.0).abs() < 1e-6);
+        assert!((perplexity(2.0) - 2.0f32.exp()).abs() < 1e-4);
+    }
+}

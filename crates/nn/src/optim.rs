@@ -1,0 +1,208 @@
+//! Optimizers operating on flattened parameter/gradient vectors.
+//!
+//! The distributed algorithms exchange *flat* `Vec<f32>` parameter and gradient vectors
+//! (that is what the parameter server stores and what collectives reduce), so the
+//! optimizers work directly on those vectors rather than on per-layer tensors. The
+//! paper's configurations need SGD with momentum + weight decay (ResNet101, VGG11,
+//! Transformer) and Adam (AlexNet).
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer over flat parameter vectors.
+pub trait Optimizer: Send {
+    /// Apply one update step: `params` are modified in place using `grads` and the
+    /// supplied learning rate.
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32);
+
+    /// Reset internal state (momentum / moment estimates).
+    fn reset(&mut self);
+
+    /// Name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled L2 weight decay.
+///
+/// Update: `v = momentum * v + (g + weight_decay * w)`, `w -= lr * v`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        Sgd { momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            let v = self.momentum * self.velocity[i] + g;
+            self.velocity[i] = v;
+            params[i] -= lr * v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2014), used by the paper for AlexNet on ImageNet-1K.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Exponential decay rate for the first moment.
+    pub beta1: f32,
+    /// Exponential decay rate for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the conventional defaults (β1=0.9, β2=0.999).
+    pub fn new(weight_decay: f32) -> Self {
+        Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// Construct the optimizer named by `spec` ("sgd" / "adam"), used by experiment configs.
+pub fn by_name(spec: &str, momentum: f32, weight_decay: f32) -> Box<dyn Optimizer> {
+    match spec {
+        "adam" => Box::new(Adam::new(weight_decay)),
+        _ => Box::new(Sgd::new(momentum, weight_decay)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = Sgd::new(0.0, 0.0);
+        let mut params = vec![1.0, 2.0];
+        opt.step(&mut params, &[0.5, -0.5], 0.1);
+        assert!((params[0] - 0.95).abs() < 1e-6);
+        assert!((params[1] - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut params = vec![0.0];
+        opt.step(&mut params, &[1.0], 1.0);
+        assert!((params[0] + 1.0).abs() < 1e-6); // v = 1
+        opt.step(&mut params, &[1.0], 1.0);
+        assert!((params[0] + 2.9).abs() < 1e-6); // v = 1.9
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params_with_zero_grad() {
+        let mut opt = Sgd::new(0.0, 0.1);
+        let mut params = vec![10.0];
+        opt.step(&mut params, &[0.0], 0.5);
+        assert!((params[0] - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise f(w) = (w - 3)^2 with Adam.
+        let mut opt = Adam::new(0.0);
+        let mut w = vec![0.0f32];
+        for _ in 0..2000 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.step(&mut w, &[g], 0.05);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut w = vec![-5.0f32];
+        for _ in 0..500 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.step(&mut w, &[g], 0.01);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0], 1.0);
+        opt.reset();
+        let mut p2 = vec![0.0];
+        opt.step(&mut p2, &[1.0], 1.0);
+        assert!((p2[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn by_name_selects_optimizer() {
+        assert_eq!(by_name("adam", 0.0, 0.0).name(), "adam");
+        assert_eq!(by_name("sgd", 0.9, 0.0).name(), "sgd");
+        assert_eq!(by_name("anything-else", 0.9, 0.0).name(), "sgd");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.0, 0.0);
+        let mut p = vec![0.0, 1.0];
+        opt.step(&mut p, &[1.0], 0.1);
+    }
+}

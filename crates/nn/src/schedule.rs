@@ -1,0 +1,114 @@
+//! Learning-rate schedules used in the paper's experimental setup (§IV-A).
+//!
+//! * ResNet101: lr 0.1 decayed ×0.1 after epochs 110 and 150,
+//! * VGG11: lr 0.01 decayed ×0.1 after epochs 50 and 75,
+//! * AlexNet: fixed lr 1e-4 (Adam),
+//! * Transformer: lr 2.0 decayed ×0.8 every 2000 iterations.
+//!
+//! The learning-rate decay points are where the paper observes spikes in `Δ(g_i)`
+//! (Fig. 5), so the schedules matter for reproducing the shape of those curves.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated per iteration (with the epoch supplied by the caller).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Multiply the base lr by `factor` after each listed epoch milestone.
+    StepEpochDecay {
+        /// Base learning rate.
+        base_lr: f32,
+        /// Epochs after which the lr is multiplied by `factor` (ascending).
+        milestones: Vec<usize>,
+        /// Multiplicative decay factor applied at each milestone.
+        factor: f32,
+    },
+    /// Multiply the base lr by `factor` every `every_iters` iterations.
+    StepIterDecay {
+        /// Base learning rate.
+        base_lr: f32,
+        /// Decay period in iterations.
+        every_iters: usize,
+        /// Multiplicative decay factor.
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at a given `epoch` and global `iteration`.
+    pub fn lr_at(&self, epoch: usize, iteration: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::StepEpochDecay { base_lr, milestones, factor } => {
+                let decays = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
+                base_lr * factor.powi(decays)
+            }
+            LrSchedule::StepIterDecay { base_lr, every_iters, factor } => {
+                if *every_iters == 0 {
+                    return *base_lr;
+                }
+                let decays = (iteration / every_iters) as i32;
+                base_lr * factor.powi(decays)
+            }
+        }
+    }
+
+    /// Base learning rate before any decay.
+    pub fn base_lr(&self) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::StepEpochDecay { base_lr, .. } => *base_lr,
+            LrSchedule::StepIterDecay { base_lr, .. } => *base_lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.lr_at(0, 0), 0.01);
+        assert_eq!(s.lr_at(500, 1_000_000), 0.01);
+    }
+
+    #[test]
+    fn epoch_decay_applies_at_milestones() {
+        let s = LrSchedule::StepEpochDecay { base_lr: 0.1, milestones: vec![110, 150], factor: 0.1 };
+        assert!((s.lr_at(0, 0) - 0.1).abs() < 1e-8);
+        assert!((s.lr_at(109, 0) - 0.1).abs() < 1e-8);
+        assert!((s.lr_at(110, 0) - 0.01).abs() < 1e-8);
+        assert!((s.lr_at(150, 0) - 0.001).abs() < 1e-8);
+        assert!((s.lr_at(200, 0) - 0.001).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iter_decay_applies_every_period() {
+        let s = LrSchedule::StepIterDecay { base_lr: 2.0, every_iters: 2000, factor: 0.8 };
+        assert!((s.lr_at(0, 0) - 2.0).abs() < 1e-6);
+        assert!((s.lr_at(0, 1999) - 2.0).abs() < 1e-6);
+        assert!((s.lr_at(0, 2000) - 1.6).abs() < 1e-6);
+        assert!((s.lr_at(0, 4000) - 1.28).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_period_is_constant() {
+        let s = LrSchedule::StepIterDecay { base_lr: 1.0, every_iters: 0, factor: 0.5 };
+        assert_eq!(s.lr_at(3, 123), 1.0);
+    }
+
+    #[test]
+    fn base_lr_accessor() {
+        assert_eq!(LrSchedule::Constant { lr: 0.3 }.base_lr(), 0.3);
+        assert_eq!(
+            LrSchedule::StepEpochDecay { base_lr: 0.1, milestones: vec![], factor: 0.5 }.base_lr(),
+            0.1
+        );
+    }
+}

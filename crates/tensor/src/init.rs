@@ -1,0 +1,79 @@
+//! Weight initialisation schemes.
+//!
+//! The paper's models are standard vision / language networks whose training dynamics in
+//! the early epochs (large, volatile gradients — §II-E of the paper) depend on sensible
+//! initialisation. We provide the conventional schemes used by PyTorch defaults.
+
+use crate::rng;
+use crate::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng_: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut t = Tensor::zeros(fan_in, fan_out);
+    rng::fill_uniform(rng_, t.data_mut(), -a, a);
+    t
+}
+
+/// Kaiming/He normal initialisation: `N(0, sqrt(2 / fan_in))`, suited to ReLU networks.
+pub fn he_normal(rng_: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::zeros(fan_in, fan_out);
+    rng::fill_normal(rng_, t.data_mut(), 0.0, std);
+    t
+}
+
+/// Plain normal initialisation `N(mean, std^2)` with an arbitrary shape.
+pub fn normal(rng_: &mut impl Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    rng::fill_normal(rng_, t.data_mut(), mean, std);
+    t
+}
+
+/// Plain uniform initialisation `U(lo, hi)` with an arbitrary shape.
+pub fn uniform(rng_: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    rng::fill_uniform(rng_, t.data_mut(), lo, hi);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut r = seeded(1);
+        let t = xavier_uniform(&mut r, 64, 32);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert_eq!(t.shape(), (64, 32));
+        assert!(t.data().iter().all(|&x| x >= -a && x <= a));
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut r = seeded(2);
+        let t = he_normal(&mut r, 256, 256);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var: f32 = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        let expected = 2.0 / 256.0;
+        assert!(mean.abs() < 0.01);
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut r = seeded(3);
+        let t = uniform(&mut r, 10, 10, -0.5, 0.25);
+        assert!(t.data().iter().all(|&x| x >= -0.5 && x < 0.25));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_seed() {
+        let a = normal(&mut seeded(9), 4, 4, 0.0, 1.0);
+        let b = normal(&mut seeded(9), 4, 4, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! # selsync-tensor
+//!
+//! Dense numerical substrate for the SelSync reproduction.
+//!
+//! The crate provides a small, fast, row-major 2-D [`Tensor`] of `f32` values together
+//! with the linear-algebra and elementwise operations the neural-network substrate
+//! (`selsync-nn`) needs: matrix multiplication (rayon-parallel for large operands),
+//! transposed products, broadcasts, reductions, norms and softmax.
+//!
+//! Design notes:
+//!
+//! * Everything is `f32`: the paper's workloads are single-precision DNN training.
+//! * Tensors are plain owned buffers (`Vec<f32>`); views are expressed as row slices.
+//!   This keeps the API small and the aliasing story trivial, which matters because the
+//!   communication substrate moves flattened parameter/gradient vectors between threads.
+//! * All random initialisation goes through seedable RNGs ([`rng`]) so experiments and
+//!   tests are deterministic.
+
+pub mod init;
+pub mod ops;
+pub mod rng;
+pub mod tensor;
+
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given a buffer whose length does not match the shape.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: (usize, usize),
+        /// Tensor shape.
+        shape: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,380 @@
+//! Linear-algebra and elementwise operations on [`Tensor`].
+//!
+//! Matrix products are the compute hot path of the neural-network substrate; the plain
+//! `matmul` switches to a rayon-parallel row partitioning once the output is large
+//! enough to amortise the fork-join overhead (see the Rayon guidance in the hpc-parallel
+//! coding guides). Everything else is written as straightforward, allocation-conscious
+//! loops over row slices.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Minimum number of output elements before `matmul` uses the rayon-parallel path.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+#[inline]
+fn shape_err(op: &'static str, a: &Tensor, b: &Tensor) -> TensorError {
+    TensorError::ShapeMismatch { op, lhs: a.shape(), rhs: b.shape() }
+}
+
+/// Dense matrix product `A (m x k) * B (k x n) -> (m x n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.cols() != b.rows() {
+        return Err(shape_err("matmul", a, b));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+
+    let compute_row = |a_row: &[f32], out_row: &mut [f32]| {
+        // k-outer loop with axpy-style inner loop: streams through B row-by-row, which is
+        // cache-friendly for row-major storage and auto-vectorises well.
+        for (p, &a_val) in a_row.iter().enumerate().take(k) {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_val * b_val;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        let a_data = a.data();
+        out.data_mut()
+            .par_chunks_mut(n)
+            .zip(a_data.par_chunks(k))
+            .for_each(|(out_row, a_row)| compute_row(a_row, out_row));
+    } else {
+        for r in 0..m {
+            let a_row = a.row(r);
+            // Split borrow: copy out row pointer via index math through data_mut.
+            let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+            compute_row(a_row, out_row);
+        }
+    }
+    Ok(out)
+}
+
+/// Product with the second operand transposed: `A (m x k) * B^T` where `B` is `(n x k)`.
+///
+/// This is the shape needed for the backward pass of a linear layer
+/// (`dX = dY * W^T`) without materialising the transpose.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.cols() != b.cols() {
+        return Err(shape_err("matmul_bt", a, b));
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    for r in 0..m {
+        let a_row = a.row(r);
+        let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(c);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *o = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Product with the first operand transposed: `A^T * B` where `A` is `(k x m)`, `B` is `(k x n)`.
+///
+/// This is the shape needed for the weight gradient of a linear layer (`dW = X^T * dY`).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rows() != b.rows() {
+        return Err(shape_err("matmul_at", a, b));
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
+            for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_val * b_val;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Materialised transpose.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = a.shape();
+    Tensor::from_fn(n, m, |r, c| a.get(c, r))
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = a.clone();
+    out.zip_mut_with(b, |x, y| x + y)?;
+    Ok(out)
+}
+
+/// Elementwise difference `a - b`.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = a.clone();
+    out.zip_mut_with(b, |x, y| x - y)?;
+    Ok(out)
+}
+
+/// Elementwise (Hadamard) product `a ⊙ b`.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = a.clone();
+    out.zip_mut_with(b, |x, y| x * y)?;
+    Ok(out)
+}
+
+/// Scale every element by `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place AXPY: `y += alpha * x`.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    y.zip_mut_with(x, |yi, xi| yi + alpha * xi)
+}
+
+/// Broadcast-add a `1 x n` row vector to every row of an `m x n` tensor.
+pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Result<Tensor> {
+    if row.rows() != 1 || row.cols() != a.cols() {
+        return Err(shape_err("add_row_broadcast", a, row));
+    }
+    let mut out = a.clone();
+    let r = row.data();
+    for i in 0..out.rows() {
+        for (o, &b) in out.row_mut(i).iter_mut().zip(r.iter()) {
+            *o += b;
+        }
+    }
+    Ok(out)
+}
+
+/// Sum over rows, producing a `1 x n` row vector (used for bias gradients).
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for (o, &x) in out.row_mut(0).iter_mut().zip(a.row(r).iter()) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Sum of all elements.
+pub fn sum(a: &Tensor) -> f32 {
+    a.data().iter().sum()
+}
+
+/// Mean of all elements.
+pub fn mean(a: &Tensor) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    sum(a) / a.len() as f32
+}
+
+/// Population variance of all elements.
+pub fn variance(a: &Tensor) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.data().iter().map(|x| (x - m).powi(2)).sum::<f32>() / a.len() as f32
+}
+
+/// Squared L2 norm of all elements.
+pub fn sq_norm(a: &Tensor) -> f32 {
+    a.data().iter().map(|x| x * x).sum()
+}
+
+/// L2 norm of all elements.
+pub fn norm_l2(a: &Tensor) -> f32 {
+    sq_norm(a).sqrt()
+}
+
+/// Dot product of two tensors viewed as flat vectors.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.len() != b.len() {
+        return Err(shape_err("dot", a, b));
+    }
+    Ok(a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).sum())
+}
+
+/// Row-wise softmax (numerically stabilised with the row max).
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            denom += *x;
+        }
+        let inv = 1.0 / denom;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element in each row.
+pub fn argmax_rows(a: &Tensor) -> Vec<usize> {
+    a.rows_iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|(_, x), (_, y)| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Clip every element to `[-limit, limit]` (gradient clipping).
+pub fn clip(a: &mut Tensor, limit: f32) {
+    a.map_inplace(|x| x.clamp(-limit, limit));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial_shape() {
+        // Large enough to trigger the rayon path.
+        let a = Tensor::from_fn(80, 70, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let b = Tensor::from_fn(70, 90, |r, c| ((r + 3 * c) % 7) as f32 - 3.0);
+        let c = matmul(&a, &b).unwrap();
+        // Spot-check a few entries against a straightforward triple loop.
+        for &(i, j) in &[(0usize, 0usize), (13, 57), (79, 89), (40, 1)] {
+            let mut acc = 0.0f32;
+            for p in 0..70 {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            assert!((c.get(i, j) - acc).abs() < 1e-3, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::from_fn(4, 6, |r, c| (r as f32) - (c as f32) * 0.5);
+        let b = Tensor::from_fn(5, 6, |r, c| (r * c) as f32 * 0.1);
+        let direct = matmul_bt(&a, &b).unwrap();
+        let via_t = matmul(&a, &transpose(&b)).unwrap();
+        for (x, y) in direct.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::from_fn(6, 4, |r, c| (r + c) as f32 * 0.3);
+        let b = Tensor::from_fn(6, 5, |r, c| (r as f32) - (c as f32));
+        let direct = matmul_at(&a, &b).unwrap();
+        let via_t = matmul(&transpose(&a), &b).unwrap();
+        for (x, y) in direct.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn add_sub_hadamard_scale() {
+        let a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[4., 5., 6.]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5., 7., 9.]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[3., 3., 3.]);
+        assert_eq!(hadamard(&a, &b).unwrap().data(), &[4., 10., 18.]);
+        assert_eq!(scale(&a, 2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = t(1, 3, &[1., 1., 1.]);
+        let mut y = t(1, 3, &[1., 2., 3.]);
+        axpy(0.5, &x, &mut y).unwrap();
+        assert_eq!(y.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let bias = t(1, 3, &[10., 20., 30.]);
+        let c = add_row_broadcast(&a, &bias).unwrap();
+        assert_eq!(c.data(), &[11., 22., 33., 14., 25., 36.]);
+        assert_eq!(sum_rows(&a).data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(sum(&a), 10.0);
+        assert_eq!(mean(&a), 2.5);
+        assert!((variance(&a) - 1.25).abs() < 1e-6);
+        assert_eq!(sq_norm(&a), 30.0);
+        assert!((norm_l2(&a) - 30.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(dot(&a, &a).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let a = t(2, 3, &[1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let total: f32 = s.row(r).iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+            assert!(s.row(r).iter().all(|&x| x > 0.0));
+        }
+        // Larger logits get larger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = t(1, 3, &[1000., 1001., 1002.]);
+        let s = softmax_rows(&a);
+        assert!(s.data().iter().all(|x| x.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_and_clip() {
+        let a = t(2, 3, &[1., 5., 2., -3., -1., -2.]);
+        assert_eq!(argmax_rows(&a), vec![1, 1]);
+        let mut b = t(1, 3, &[-10., 0.5, 10.]);
+        clip(&mut b, 1.0);
+        assert_eq!(b.data(), &[-1.0, 0.5, 1.0]);
+    }
+}

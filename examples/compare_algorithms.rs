@@ -1,0 +1,63 @@
+//! A miniature version of the paper's Table I: run BSP, FedAvg, SSP and SelSync on the
+//! same workload and print iterations, LSSR, final metric, convergence difference and
+//! speedup versus BSP.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::metrics::table::{fmt_f, Table};
+use selsync_repro::nn::model::ModelKind;
+
+fn main() {
+    let mut cfg = TrainConfig::small(ModelKind::VggLike, 8);
+    cfg.iterations = 500;
+    cfg.eval_every = 100;
+    cfg.train_samples = 4096;
+    cfg.test_samples = 512;
+
+    let algorithms_to_run = vec![
+        AlgorithmSpec::Bsp,
+        AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 },
+        AlgorithmSpec::FedAvg { c: 0.5, e: 0.25 },
+        AlgorithmSpec::Ssp { staleness: 100 },
+        AlgorithmSpec::selsync(0.3),
+        AlgorithmSpec::selsync(0.5),
+    ];
+
+    let mut reports = Vec::new();
+    for algo in algorithms_to_run {
+        let mut c = cfg.clone();
+        c.algorithm = algo;
+        eprintln!("running {} ...", algo.name());
+        reports.push(algorithms::run(&c));
+    }
+    let bsp = reports[0].clone();
+
+    let mut table = Table::new(vec![
+        "Method",
+        "Iterations",
+        "LSSR",
+        "Acc. (%)",
+        "Conv. Diff.",
+        "Outperforms BSP?",
+        "Speedup (same iters)",
+    ]);
+    for r in &reports {
+        let lssr = if r.algorithm.starts_with("SSP") { "-".to_string() } else { fmt_f(r.lssr, 3) };
+        table.push_row(vec![
+            r.algorithm.clone(),
+            r.iterations.to_string(),
+            lssr,
+            fmt_f(r.final_metric as f64, 2),
+            format!("{:+.2}", r.convergence_diff(&bsp)),
+            if r.algorithm == "BSP" { "N/A".into() } else { r.outperforms(&bsp).to_string() },
+            format!("{:.2}x", r.raw_time_speedup(&bsp)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("(VGG11 analogue on the CIFAR100-like synthetic task, 8 simulated workers)");
+}

@@ -1,0 +1,49 @@
+//! Non-IID training with randomized data-injection (§III-E / Fig. 12 of the paper).
+//!
+//! Ten workers each hold samples of a *single* class (the paper's 1-label-per-worker
+//! CIFAR10 split). Plain FedAvg struggles in this regime; SelSync with data-injection
+//! `(α, β, δ)` recovers most of the lost accuracy. This example runs FedAvg and three
+//! injection configurations and prints their final accuracies.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example noniid_injection
+//! ```
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::nn::model::ModelKind;
+
+fn main() {
+    let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 10);
+    cfg.iterations = 400;
+    cfg.eval_every = 100;
+    cfg.train_samples = 4000;
+    cfg.test_samples = 500;
+    cfg.non_iid_labels_per_worker = Some(1); // each worker sees exactly one CIFAR10-like label
+
+    let configs: Vec<(String, AlgorithmSpec)> = vec![
+        ("FedAvg(1,0.25)".into(), AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }),
+        ("SelSync(0.5,0.5,0.05)".into(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.05)),
+        ("SelSync(0.5,0.5,0.3)".into(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3)),
+        ("SelSync(0.75,0.75,0.3)".into(), AlgorithmSpec::selsync_injected(0.75, 0.75, 0.3)),
+    ];
+
+    println!("Non-IID CIFAR10-like task, 10 workers, 1 label per worker\n");
+    for (label, algo) in configs {
+        let mut c = cfg.clone();
+        c.algorithm = algo;
+        let report = algorithms::run(&c);
+        println!(
+            "{label:<24} final accuracy = {:>6.2}%   best = {:>6.2}%   LSSR = {:.3}   injected+sync data = {:.2} GB",
+            report.final_metric,
+            report.best_metric,
+            report.lssr,
+            report.bytes_communicated as f64 / 1e9,
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 12): accuracy improves as (α, β) grow, and every \
+         injection configuration beats plain FedAvg on this label-sharded split."
+    );
+}

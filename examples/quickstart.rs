@@ -1,0 +1,66 @@
+//! Quickstart: train the ResNet101 analogue with SelSync on a simulated 8-worker
+//! cluster and compare it against BSP.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::nn::model::ModelKind;
+
+fn main() {
+    // A modest configuration so the example finishes in a few seconds.
+    let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 8);
+    cfg.iterations = 600;
+    cfg.eval_every = 100;
+    cfg.train_samples = 4096;
+    cfg.test_samples = 512;
+
+    println!("== BSP baseline ==");
+    cfg.algorithm = AlgorithmSpec::Bsp;
+    let bsp = algorithms::run(&cfg);
+    print_report(&bsp);
+
+    println!("\n== SelSync (delta = 0.3, parameter aggregation, SelDP) ==");
+    cfg.algorithm = AlgorithmSpec::selsync(0.3);
+    let sel = algorithms::run(&cfg);
+    print_report(&sel);
+
+    println!("\n== Summary ==");
+    println!(
+        "SelSync LSSR = {:.3} (communication reduced {:.1}x), accuracy diff vs BSP = {:+.2}%, \
+         simulated-time speedup for the same iterations = {:.2}x",
+        sel.lssr,
+        sel.communication_reduction(),
+        sel.convergence_diff(&bsp),
+        sel.raw_time_speedup(&bsp),
+    );
+    if let Some(speedup) = sel.speedup_to_baseline_target(&bsp) {
+        println!("Speedup to reach BSP's final accuracy: {speedup:.2}x");
+    } else {
+        println!("SelSync did not reach BSP's final accuracy within this (short) run.");
+    }
+}
+
+fn print_report(report: &selsync_repro::core::report::RunReport) {
+    println!(
+        "algorithm={} iterations={} lssr={:.3} final_metric={:.2} sim_time={:.1}s \
+         (compute {:.1}s + comm {:.1}s), data moved = {:.1} GB",
+        report.algorithm,
+        report.iterations,
+        report.lssr,
+        report.final_metric,
+        report.sim_time_s,
+        report.compute_time_s,
+        report.comm_time_s,
+        report.bytes_communicated as f64 / 1e9,
+    );
+    for p in &report.history {
+        println!(
+            "  iter {:>5}  t={:>8.1}s  loss={:.3}  metric={:.2}  delta_g={:.4}  lr={:.4}",
+            p.iteration, p.sim_time_s, p.test_loss, p.test_metric, p.delta_g, p.lr
+        );
+    }
+}
