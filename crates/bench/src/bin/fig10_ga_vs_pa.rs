@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig10_ga_vs_pa, Scale};
 
 fn main() {
-    emit("fig10_ga_vs_pa", "Fig. 10 — gradient vs parameter aggregation under SelSync", &fig10_ga_vs_pa(Scale::from_env()));
+    emit(
+        "fig10_ga_vs_pa",
+        "Fig. 10 — gradient vs parameter aggregation under SelSync",
+        &fig10_ga_vs_pa(Scale::from_env()),
+    );
 }

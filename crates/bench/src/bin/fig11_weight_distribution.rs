@@ -5,5 +5,9 @@
 use selsync_bench::{emit, fig11_weight_distribution, Scale};
 
 fn main() {
-    emit("fig11_weight_distribution", "Fig. 11 — weight distributions: BSP vs PA vs GA", &fig11_weight_distribution(Scale::from_env()));
+    emit(
+        "fig11_weight_distribution",
+        "Fig. 11 — weight distributions: BSP vs PA vs GA",
+        &fig11_weight_distribution(Scale::from_env()),
+    );
 }

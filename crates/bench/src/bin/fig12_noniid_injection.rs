@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig12_noniid_injection, Scale};
 
 fn main() {
-    emit("fig12_noniid_injection", "Fig. 12 — data-injection vs FedAvg on non-IID data", &fig12_noniid_injection(Scale::from_env()));
+    emit(
+        "fig12_noniid_injection",
+        "Fig. 12 — data-injection vs FedAvg on non-IID data",
+        &fig12_noniid_injection(Scale::from_env()),
+    );
 }

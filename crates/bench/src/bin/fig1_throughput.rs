@@ -5,6 +5,14 @@ use selsync_bench::{emit, fig1a_relative_throughput, fig1b_fedavg_iid_vs_noniid,
 
 fn main() {
     let scale = Scale::from_env();
-    emit("fig1a_relative_throughput", "Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)", &fig1a_relative_throughput());
-    emit("fig1b_fedavg_iid_vs_noniid", "Fig. 1b — FedAvg on IID vs non-IID data", &fig1b_fedavg_iid_vs_noniid(scale));
+    emit(
+        "fig1a_relative_throughput",
+        "Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)",
+        &fig1a_relative_throughput(),
+    );
+    emit(
+        "fig1b_fedavg_iid_vs_noniid",
+        "Fig. 1b — FedAvg on IID vs non-IID data",
+        &fig1b_fedavg_iid_vs_noniid(scale),
+    );
 }

@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig2_batchsize_costs};
 
 fn main() {
-    emit("fig2_batchsize_costs", "Fig. 2 — compute time and memory vs batch size (Tesla K80)", &fig2_batchsize_costs());
+    emit(
+        "fig2_batchsize_costs",
+        "Fig. 2 — compute time and memory vs batch size (Tesla K80)",
+        &fig2_batchsize_costs(),
+    );
 }

@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig3_gradient_kde, Scale};
 
 fn main() {
-    emit("fig3_gradient_kde", "Fig. 3 — gradient distribution early vs late in training", &fig3_gradient_kde(Scale::from_env()));
+    emit(
+        "fig3_gradient_kde",
+        "Fig. 3 — gradient distribution early vs late in training",
+        &fig3_gradient_kde(Scale::from_env()),
+    );
 }

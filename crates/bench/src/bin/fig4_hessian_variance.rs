@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig4_hessian_vs_variance, Scale};
 
 fn main() {
-    emit("fig4_hessian_variance", "Fig. 4 — Hessian top eigenvalue vs gradient variance", &fig4_hessian_vs_variance(Scale::from_env()));
+    emit(
+        "fig4_hessian_variance",
+        "Fig. 4 — Hessian top eigenvalue vs gradient variance",
+        &fig4_hessian_vs_variance(Scale::from_env()),
+    );
 }

@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig5_gradchange_vs_convergence, Scale};
 
 fn main() {
-    emit("fig5_gradchange_convergence", "Fig. 5 — Δ(g_i) vs convergence under BSP", &fig5_gradchange_vs_convergence(Scale::from_env()));
+    emit(
+        "fig5_gradchange_convergence",
+        "Fig. 5 — Δ(g_i) vs convergence under BSP",
+        &fig5_gradchange_vs_convergence(Scale::from_env()),
+    );
 }

@@ -4,6 +4,14 @@
 use selsync_bench::{emit, fig8a_tracker_overhead, fig8b_partitioning_overhead};
 
 fn main() {
-    emit("fig8a_tracker_overhead", "Fig. 8a — Δ(g_i) computation overhead vs EWMA window", &fig8a_tracker_overhead());
-    emit("fig8b_partitioning_overhead", "Fig. 8b — DefDP vs SelDP partitioning time", &fig8b_partitioning_overhead());
+    emit(
+        "fig8a_tracker_overhead",
+        "Fig. 8a — Δ(g_i) computation overhead vs EWMA window",
+        &fig8a_tracker_overhead(),
+    );
+    emit(
+        "fig8b_partitioning_overhead",
+        "Fig. 8b — DefDP vs SelDP partitioning time",
+        &fig8b_partitioning_overhead(),
+    );
 }

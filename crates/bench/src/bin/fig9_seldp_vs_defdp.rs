@@ -4,5 +4,9 @@
 use selsync_bench::{emit, fig9_seldp_vs_defdp, Scale};
 
 fn main() {
-    emit("fig9_seldp_vs_defdp", "Fig. 9 — SelSync with SelDP vs DefDP", &fig9_seldp_vs_defdp(Scale::from_env()));
+    emit(
+        "fig9_seldp_vs_defdp",
+        "Fig. 9 — SelSync with SelDP vs DefDP",
+        &fig9_seldp_vs_defdp(Scale::from_env()),
+    );
 }

@@ -8,19 +8,71 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("regenerating all figures/tables at {scale:?} scale");
 
-    emit("fig1a_relative_throughput", "Fig. 1a — relative throughput vs cluster size", &fig1a_relative_throughput());
-    emit("fig1b_fedavg_iid_vs_noniid", "Fig. 1b — FedAvg IID vs non-IID", &fig1b_fedavg_iid_vs_noniid(scale));
-    emit("fig2_batchsize_costs", "Fig. 2 — compute/memory vs batch size", &fig2_batchsize_costs());
-    emit("fig3_gradient_kde", "Fig. 3 — gradient KDE early vs late", &fig3_gradient_kde(scale));
-    emit("fig4_hessian_variance", "Fig. 4 — Hessian eigenvalue vs gradient variance", &fig4_hessian_vs_variance(scale));
-    emit("fig5_gradchange_convergence", "Fig. 5 — Δ(g_i) vs convergence", &fig5_gradchange_vs_convergence(scale));
-    emit("fig8a_tracker_overhead", "Fig. 8a — Δ(g_i) overhead vs window", &fig8a_tracker_overhead());
-    emit("fig8b_partitioning_overhead", "Fig. 8b — partitioning overhead", &fig8b_partitioning_overhead());
-    emit("fig9_seldp_vs_defdp", "Fig. 9 — SelDP vs DefDP", &fig9_seldp_vs_defdp(scale));
-    emit("fig10_ga_vs_pa", "Fig. 10 — GA vs PA", &fig10_ga_vs_pa(scale));
-    emit("fig11_weight_distribution", "Fig. 11 — weight distributions", &fig11_weight_distribution(scale));
-    emit("fig12_noniid_injection", "Fig. 12 — non-IID data-injection", &fig12_noniid_injection(scale));
-    emit("table1_comparison", "Table I — algorithm comparison", &table1_comparison(&ModelKind::all(), scale));
+    emit(
+        "fig1a_relative_throughput",
+        "Fig. 1a — relative throughput vs cluster size",
+        &fig1a_relative_throughput(),
+    );
+    emit(
+        "fig1b_fedavg_iid_vs_noniid",
+        "Fig. 1b — FedAvg IID vs non-IID",
+        &fig1b_fedavg_iid_vs_noniid(scale),
+    );
+    emit(
+        "fig2_batchsize_costs",
+        "Fig. 2 — compute/memory vs batch size",
+        &fig2_batchsize_costs(),
+    );
+    emit(
+        "fig3_gradient_kde",
+        "Fig. 3 — gradient KDE early vs late",
+        &fig3_gradient_kde(scale),
+    );
+    emit(
+        "fig4_hessian_variance",
+        "Fig. 4 — Hessian eigenvalue vs gradient variance",
+        &fig4_hessian_vs_variance(scale),
+    );
+    emit(
+        "fig5_gradchange_convergence",
+        "Fig. 5 — Δ(g_i) vs convergence",
+        &fig5_gradchange_vs_convergence(scale),
+    );
+    emit(
+        "fig8a_tracker_overhead",
+        "Fig. 8a — Δ(g_i) overhead vs window",
+        &fig8a_tracker_overhead(),
+    );
+    emit(
+        "fig8b_partitioning_overhead",
+        "Fig. 8b — partitioning overhead",
+        &fig8b_partitioning_overhead(),
+    );
+    emit(
+        "fig9_seldp_vs_defdp",
+        "Fig. 9 — SelDP vs DefDP",
+        &fig9_seldp_vs_defdp(scale),
+    );
+    emit(
+        "fig10_ga_vs_pa",
+        "Fig. 10 — GA vs PA",
+        &fig10_ga_vs_pa(scale),
+    );
+    emit(
+        "fig11_weight_distribution",
+        "Fig. 11 — weight distributions",
+        &fig11_weight_distribution(scale),
+    );
+    emit(
+        "fig12_noniid_injection",
+        "Fig. 12 — non-IID data-injection",
+        &fig12_noniid_injection(scale),
+    );
+    emit(
+        "table1_comparison",
+        "Table I — algorithm comparison",
+        &table1_comparison(&ModelKind::all(), scale),
+    );
 
     eprintln!("done; CSVs written to bench_results/");
 }

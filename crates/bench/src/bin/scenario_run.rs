@@ -1,0 +1,102 @@
+//! Run one scenario — built-in or a TOML file — through every algorithm arm and print
+//! the deterministic comparison report.
+//!
+//! ```text
+//! scenario_run --list                         # list built-in scenarios
+//! scenario_run transient-straggler            # run a built-in
+//! scenario_run path/to/custom.toml            # run a scenario file
+//! scenario_run transient-straggler --seed 7   # override the seed
+//! scenario_run transient-straggler --out r.md # also write the report to a file
+//! scenario_run --dump crash-rejoin            # print a built-in as TOML
+//! ```
+//!
+//! Same scenario + same seed ⇒ byte-identical report, so piping the output to a file
+//! and diffing against a recorded run is a regression test.
+
+use selsync_scenario::{builtin, library, runner, Scenario, BUILTIN_NAMES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario_run <builtin-name | file.toml> [--seed N] [--out FILE]\n\
+         \x20      scenario_run --list\n\
+         \x20      scenario_run --dump <builtin-name>\n\
+         built-ins: {}",
+        BUILTIN_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn load(spec: &str) -> Result<Scenario, String> {
+    if spec.ends_with(".toml") {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        Scenario::from_toml_str(&text)
+    } else {
+        builtin(spec).ok_or_else(|| {
+            format!("unknown built-in scenario {spec:?} (try --list, or pass a .toml file)")
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--list" {
+        for scenario in library::all_builtin() {
+            println!("{:22} {}", scenario.name, scenario.description);
+        }
+        return;
+    }
+    if args[0] == "--dump" {
+        let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+        match builtin(name) {
+            Some(s) => print!("{}", s.to_toml_string()),
+            None => {
+                eprintln!("unknown built-in scenario {name:?}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let mut scenario = match load(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                scenario.seed = v.parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let report = match runner::run_scenario(&scenario) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let text = report.render();
+    print!("{text}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

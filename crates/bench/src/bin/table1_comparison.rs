@@ -15,14 +15,24 @@ fn main() {
     } else {
         ModelKind::all()
             .into_iter()
-            .filter(|k| args.iter().any(|a| k.paper_name().to_lowercase().contains(a)))
+            .filter(|k| {
+                args.iter()
+                    .any(|a| k.paper_name().to_lowercase().contains(a))
+            })
             .collect()
     };
     if models.is_empty() {
-        eprintln!("no model matched {:?}; expected substrings of: ResNet101, VGG11, AlexNet, Transformer", args);
+        eprintln!(
+            "no model matched {:?}; expected substrings of: ResNet101, VGG11, AlexNet, Transformer",
+            args
+        );
         std::process::exit(1);
     }
     let scale = Scale::from_env();
     eprintln!("running Table I for {models:?} at {scale:?} scale — this trains 9 configurations per model");
-    emit("table1_comparison", "Table I — BSP / FedAvg / SSP / SelSync comparison", &table1_comparison(&models, scale));
+    emit(
+        "table1_comparison",
+        "Table I — BSP / FedAvg / SSP / SelSync comparison",
+        &table1_comparison(&models, scale),
+    );
 }

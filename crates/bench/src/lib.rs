@@ -104,14 +104,22 @@ pub fn fig1a_relative_throughput() -> Table {
     let batch = 32usize;
     let cluster_sizes = [1usize, 2, 4, 8, 16];
 
-    let mut table =
-        Table::new(vec!["model", "workers", "throughput_samples_per_s", "relative_throughput"]);
+    let mut table = Table::new(vec![
+        "model",
+        "workers",
+        "throughput_samples_per_s",
+        "relative_throughput",
+    ]);
     for kind in ModelKind::all() {
         let m = PaperModel::build(kind, 1);
         let tc = compute_time_ms(&m.nominal, batch, &device) / 1e3;
         let single = batch as f64 / tc;
         for &n in &cluster_sizes {
-            let ts = if n == 1 { 0.0 } else { net.ps_sync_time(m.nominal.wire_bytes, n) };
+            let ts = if n == 1 {
+                0.0
+            } else {
+                net.ps_sync_time(m.nominal.wire_bytes, n)
+            };
             let throughput = (n * batch) as f64 / (tc + ts);
             table.push_row(vec![
                 kind.paper_name().to_string(),
@@ -132,16 +140,27 @@ pub fn fig1a_relative_throughput() -> Table {
 /// with 1 label per worker, VGG-like/CIFAR100-like with 10 labels per worker, 10 workers).
 pub fn fig1b_fedavg_iid_vs_noniid(scale: Scale) -> Table {
     let mut table = Table::new(vec!["model", "data", "final_accuracy_%", "best_accuracy_%"]);
-    for (kind, labels_per_worker) in [(ModelKind::ResNetLike, 1usize), (ModelKind::VggLike, 10usize)] {
+    for (kind, labels_per_worker) in [
+        (ModelKind::ResNetLike, 1usize),
+        (ModelKind::VggLike, 10usize),
+    ] {
         for noniid in [false, true] {
             let mut cfg = experiment_config(kind, scale);
             cfg.workers = 10;
             cfg.algorithm = AlgorithmSpec::FedAvg { c: 1.0, e: 0.1 };
-            cfg.non_iid_labels_per_worker = if noniid { Some(labels_per_worker) } else { None };
+            cfg.non_iid_labels_per_worker = if noniid {
+                Some(labels_per_worker)
+            } else {
+                None
+            };
             let report = algorithms::run(&cfg);
             table.push_row(vec![
                 kind.paper_name().to_string(),
-                if noniid { "non-IID".to_string() } else { "IID".to_string() },
+                if noniid {
+                    "non-IID".to_string()
+                } else {
+                    "IID".to_string()
+                },
                 fmt_f(report.final_metric as f64, 2),
                 fmt_f(report.best_metric as f64, 2),
             ]);
@@ -158,8 +177,13 @@ pub fn fig1b_fedavg_iid_vs_noniid(scale: Scale) -> Table {
 /// from the nominal model footprints.
 pub fn fig2_batchsize_costs() -> Table {
     let device = DeviceProfile::tesla_k80();
-    let mut table =
-        Table::new(vec!["model", "batch_size", "compute_time_ms", "memory_GB", "fits_in_12GB"]);
+    let mut table = Table::new(vec![
+        "model",
+        "batch_size",
+        "compute_time_ms",
+        "memory_GB",
+        "fits_in_12GB",
+    ]);
     for kind in ModelKind::all() {
         let m = PaperModel::build(kind, 1);
         for batch in [32usize, 64, 128, 256, 512, 1024] {
@@ -201,8 +225,9 @@ pub fn fig3_gradient_kde(scale: Scale) -> Table {
         let mut early = Vec::new();
         let mut late = Vec::new();
         for step in 0..steps {
-            let idx: Vec<usize> =
-                (0..cfg.batch_size).map(|i| (step * cfg.batch_size + i) % data.len()).collect();
+            let idx: Vec<usize> = (0..cfg.batch_size)
+                .map(|i| (step * cfg.batch_size + i) % data.len())
+                .collect();
             let (x, y) = data.batch(&idx);
             model.forward_backward(&x, &y);
             let grads = model.grads_flat();
@@ -245,7 +270,12 @@ pub fn fig4_hessian_vs_variance(scale: Scale) -> Table {
 
     let steps = scale.iterations().min(300);
     let sample_every = (steps / 10).max(1);
-    let mut table = Table::new(vec!["model", "step", "hessian_top_eigenvalue", "gradient_variance"]);
+    let mut table = Table::new(vec![
+        "model",
+        "step",
+        "hessian_top_eigenvalue",
+        "gradient_variance",
+    ]);
     for kind in [ModelKind::ResNetLike, ModelKind::VggLike] {
         let mut cfg = experiment_config(kind, scale);
         cfg.workers = 1;
@@ -253,8 +283,9 @@ pub fn fig4_hessian_vs_variance(scale: Scale) -> Table {
         let mut model = PaperModel::build(kind, 31);
         let mut opt = cfg.optimizer.build();
         for step in 0..steps {
-            let idx: Vec<usize> =
-                (0..cfg.batch_size).map(|i| (step * cfg.batch_size + i) % data.len()).collect();
+            let idx: Vec<usize> = (0..cfg.batch_size)
+                .map(|i| (step * cfg.batch_size + i) % data.len())
+                .collect();
             let (x, y) = data.batch(&idx);
             model.forward_backward(&x, &y);
             let grads = model.grads_flat();
@@ -315,7 +346,9 @@ pub fn fig8a_tracker_overhead() -> Table {
     for kind in ModelKind::all() {
         let model = PaperModel::build(kind, 1);
         let dim = model.param_count();
-        let grad: Vec<f32> = (0..dim).map(|i| ((i * 37) % 97) as f32 * 1e-3 - 0.05).collect();
+        let grad: Vec<f32> = (0..dim)
+            .map(|i| ((i * 37) % 97) as f32 * 1e-3 - 0.05)
+            .collect();
         for window in [25usize, 50, 100, 200] {
             let mut tracker = GradientTracker::new(GradStatistic::SqNorm, 0.16, window);
             let reps = 2000;
@@ -324,7 +357,11 @@ pub fn fig8a_tracker_overhead() -> Table {
                 let _ = tracker.update(&grad);
             }
             let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
-            table.push_row(vec![kind.paper_name().to_string(), window.to_string(), fmt_f(us, 2)]);
+            table.push_row(vec![
+                kind.paper_name().to_string(),
+                window.to_string(),
+                fmt_f(us, 2),
+            ]);
         }
     }
     table
@@ -365,7 +402,13 @@ pub fn fig8b_partitioning_overhead() -> Table {
 /// Fig. 9: SelSync (δ = 0.25, gradient aggregation during the sync phase, as in the
 /// paper's figure) trained with SelDP vs DefDP, for all four models.
 pub fn fig9_seldp_vs_defdp(scale: Scale) -> Table {
-    let mut table = Table::new(vec!["model", "partitioning", "final_metric", "best_metric", "lssr"]);
+    let mut table = Table::new(vec![
+        "model",
+        "partitioning",
+        "final_metric",
+        "best_metric",
+        "lssr",
+    ]);
     for kind in ModelKind::all() {
         for scheme in [PartitionScheme::SelDp, PartitionScheme::DefDp] {
             let mut cfg = experiment_config(kind, scale);
@@ -390,11 +433,18 @@ pub fn fig9_seldp_vs_defdp(scale: Scale) -> Table {
 
 /// Fig. 10: SelSync (δ = 0.25, SelDP) with gradient vs parameter aggregation.
 pub fn fig10_ga_vs_pa(scale: Scale) -> Table {
-    let mut table = Table::new(vec!["model", "aggregation", "final_metric", "best_metric", "lssr"]);
+    let mut table = Table::new(vec![
+        "model",
+        "aggregation",
+        "final_metric",
+        "best_metric",
+        "lssr",
+    ]);
     for kind in ModelKind::all() {
-        for (label, algo) in
-            [("PA", AlgorithmSpec::selsync(0.25)), ("GA", AlgorithmSpec::selsync_ga(0.25))]
-        {
+        for (label, algo) in [
+            ("PA", AlgorithmSpec::selsync(0.25)),
+            ("GA", AlgorithmSpec::selsync_ga(0.25)),
+        ] {
             let report = run_algo(kind, algo, scale);
             table.push_row(vec![
                 kind.paper_name().to_string(),
@@ -434,9 +484,18 @@ pub fn fig11_weight_distribution(scale: Scale) -> Table {
         snapshots.push((label.to_string(), mid, fin));
     }
 
-    let mut table = Table::new(vec!["run", "checkpoint", "kde_mass_width_90", "kde_distance_to_bsp"]);
+    let mut table = Table::new(vec![
+        "run",
+        "checkpoint",
+        "kde_mass_width_90",
+        "kde_distance_to_bsp",
+    ]);
     for (phase_idx, phase) in ["mid", "final"].iter().enumerate() {
-        let bsp_sample = if phase_idx == 0 { &snapshots[0].1 } else { &snapshots[0].2 };
+        let bsp_sample = if phase_idx == 0 {
+            &snapshots[0].1
+        } else {
+            &snapshots[0].2
+        };
         let bsp_kde = gaussian_kde(bsp_sample, 128, None);
         for (label, mid, fin) in &snapshots {
             let sample = if phase_idx == 0 { mid } else { fin };
@@ -466,7 +525,9 @@ fn run_with_weight_snapshots(
 
     let (delta, aggregation, is_bsp) = match cfg.algorithm {
         AlgorithmSpec::Bsp => (0.0, AggregationMode::Gradient, true),
-        AlgorithmSpec::SelSync { delta, aggregation, .. } => (delta, aggregation, false),
+        AlgorithmSpec::SelSync {
+            delta, aggregation, ..
+        } => (delta, aggregation, false),
         _ => panic!("run_with_weight_snapshots supports BSP and SelSync only"),
     };
     let policy = SyncPolicy::new(delta);
@@ -522,14 +583,34 @@ fn run_with_weight_snapshots(
 /// Fig. 12: FedAvg vs SelSync with data-injection `(α, β, δ)` on label-sharded non-IID
 /// data (ResNet-like/CIFAR10-like and VGG-like/CIFAR100-like).
 pub fn fig12_noniid_injection(scale: Scale) -> Table {
-    let mut table =
-        Table::new(vec!["model", "method", "final_accuracy_%", "best_accuracy_%", "lssr"]);
-    for (kind, labels) in [(ModelKind::ResNetLike, 1usize), (ModelKind::VggLike, 10usize)] {
+    let mut table = Table::new(vec![
+        "model",
+        "method",
+        "final_accuracy_%",
+        "best_accuracy_%",
+        "lssr",
+    ]);
+    for (kind, labels) in [
+        (ModelKind::ResNetLike, 1usize),
+        (ModelKind::VggLike, 10usize),
+    ] {
         let methods: Vec<(String, AlgorithmSpec)> = vec![
-            ("FedAvg(1,0.25)".to_string(), AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }),
-            ("(0.5,0.5,0.05)".to_string(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.05)),
-            ("(0.5,0.5,0.3)".to_string(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3)),
-            ("(0.75,0.75,0.3)".to_string(), AlgorithmSpec::selsync_injected(0.75, 0.75, 0.3)),
+            (
+                "FedAvg(1,0.25)".to_string(),
+                AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 },
+            ),
+            (
+                "(0.5,0.5,0.05)".to_string(),
+                AlgorithmSpec::selsync_injected(0.5, 0.5, 0.05),
+            ),
+            (
+                "(0.5,0.5,0.3)".to_string(),
+                AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3),
+            ),
+            (
+                "(0.75,0.75,0.3)".to_string(),
+                AlgorithmSpec::selsync_injected(0.75, 0.75, 0.3),
+            ),
         ];
         for (label, algo) in methods {
             let mut cfg = experiment_config(kind, scale);
@@ -606,10 +687,26 @@ fn push_table1_row(table: &mut Table, kind: ModelKind, report: &RunReport, bsp: 
         report.iterations.to_string(),
         lssr,
         fmt_f(report.final_metric as f64, 2),
-        if is_bsp { "0.00".to_string() } else { format!("{:+.2}", report.convergence_diff(bsp)) },
-        if is_bsp { "N/A".to_string() } else { report.outperforms(bsp).to_string() },
-        if is_bsp { "1.00x".to_string() } else { format!("{:.2}x", report.raw_time_speedup(bsp)) },
-        if is_bsp { "1.00x".to_string() } else { speedup_target },
+        if is_bsp {
+            "0.00".to_string()
+        } else {
+            format!("{:+.2}", report.convergence_diff(bsp))
+        },
+        if is_bsp {
+            "N/A".to_string()
+        } else {
+            report.outperforms(bsp).to_string()
+        },
+        if is_bsp {
+            "1.00x".to_string()
+        } else {
+            format!("{:.2}x", report.raw_time_speedup(bsp))
+        },
+        if is_bsp {
+            "1.00x".to_string()
+        } else {
+            speedup_target
+        },
     ]);
 }
 
@@ -632,9 +729,10 @@ pub fn build_training_data(kind: ModelKind, cfg: &TrainConfig) -> selsync_data::
             };
             gaussian_mixture(&spec, cfg.seed ^ 0xDA7A)
         }
-        TaskKind::LanguageModel { .. } => {
-            markov_tokens(&TokenSpec::wikitext_like(cfg.train_samples), cfg.seed ^ 0xDA7A)
-        }
+        TaskKind::LanguageModel { .. } => markov_tokens(
+            &TokenSpec::wikitext_like(cfg.train_samples),
+            cfg.seed ^ 0xDA7A,
+        ),
     }
 }
 
@@ -642,7 +740,9 @@ pub fn build_training_data(kind: ModelKind, cfg: &TrainConfig) -> selsync_data::
 /// criterion micro-benchmarks.
 pub fn synthetic_gradient(kind: ModelKind) -> Vec<f32> {
     let dim = PaperModel::build(kind, 1).param_count();
-    (0..dim).map(|i| (((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5) * 0.01).collect()
+    (0..dim)
+        .map(|i| (((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5) * 0.01)
+        .collect()
 }
 
 /// A deterministic input batch for micro-benchmarks.
@@ -663,10 +763,16 @@ mod tests {
     fn fig1a_shows_sublinear_scaling() {
         let t = fig1a_relative_throughput();
         assert_eq!(t.len(), 4 * 5);
-        let row =
-            t.rows.iter().find(|r| r[0] == "VGG11" && r[1] == "16").expect("VGG11/16 row present");
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "VGG11" && r[1] == "16")
+            .expect("VGG11/16 row present");
         let rel: f64 = row[3].parse().unwrap();
-        assert!(rel < 8.0, "relative throughput {rel} should be far from linear");
+        assert!(
+            rel < 8.0,
+            "relative throughput {rel} should be far from linear"
+        );
     }
 
     #[test]
@@ -686,7 +792,10 @@ mod tests {
         assert_eq!(t.len(), 8);
         for row in &t.rows {
             let ms: f64 = row[3].parse().unwrap();
-            assert!(ms < 10_000.0, "partitioning should take seconds at most, got {ms} ms");
+            assert!(
+                ms < 10_000.0,
+                "partitioning should take seconds at most, got {ms} ms"
+            );
         }
     }
 

@@ -45,7 +45,10 @@ where
                 scope.spawn(move || f(w, h))
             })
             .collect();
-        joins.into_iter().map(|j| j.join().expect("worker thread panicked")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker thread panicked"))
+            .collect()
     })
 }
 

@@ -6,6 +6,7 @@
 //! generation-counted rendezvous among the worker threads, plus a plain barrier.
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 
 /// A reusable set of collectives for a fixed group of `n` workers.
 pub struct Collective {
@@ -13,6 +14,94 @@ pub struct Collective {
     flags: Rendezvous<Vec<bool>>,
     reduce: Rendezvous<Vec<f32>>,
     barrier: Rendezvous<()>,
+    elastic_flags: ElasticRounds<bool>,
+}
+
+/// Round-keyed rendezvous for *elastic* membership: each round is identified by an
+/// explicit round id (the training iteration), so a worker that skipped earlier rounds
+/// (it was crashed) can never close or corrupt a round it was not part of, and a slow
+/// waiter can never miss its result to a later round overwriting it. Rounds are removed
+/// once every participant has consumed the result, so memory stays bounded by the
+/// number of concurrently open rounds.
+struct ElasticRounds<T: Clone> {
+    state: Mutex<HashMap<u64, ElasticRound<T>>>,
+    cv: Condvar,
+}
+
+struct ElasticRound<T: Clone> {
+    contributions: Vec<Option<T>>,
+    arrived: usize,
+    expected: usize,
+    result: Option<Vec<T>>,
+    consumed: usize,
+}
+
+impl<T: Clone> ElasticRounds<T> {
+    fn new() -> Self {
+        ElasticRounds {
+            state: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Contribute `value` for `worker` to `round` and block until the round's
+    /// `expected` participants have all contributed. Returns the full `group_size`-wide
+    /// result with `fill` substituted for absent workers.
+    fn run(
+        &self,
+        round: u64,
+        worker: usize,
+        group_size: usize,
+        expected: usize,
+        value: T,
+        fill: T,
+    ) -> Vec<T> {
+        assert!(
+            expected > 0,
+            "an elastic round needs at least one participant"
+        );
+        assert!(worker < group_size, "worker id out of range");
+        let mut s = self.state.lock();
+        let slot = s.entry(round).or_insert_with(|| ElasticRound {
+            contributions: (0..group_size).map(|_| None).collect(),
+            arrived: 0,
+            expected,
+            result: None,
+            consumed: 0,
+        });
+        assert_eq!(
+            slot.expected, expected,
+            "mismatched membership in elastic round {round}"
+        );
+        assert!(
+            slot.contributions[worker].is_none(),
+            "worker {worker} contributed twice"
+        );
+        slot.contributions[worker] = Some(value);
+        slot.arrived += 1;
+        if slot.arrived == slot.expected {
+            let combined: Vec<T> = slot
+                .contributions
+                .iter()
+                .map(|c| c.clone().unwrap_or_else(|| fill.clone()))
+                .collect();
+            slot.result = Some(combined);
+            self.cv.notify_all();
+        }
+        loop {
+            if let Some(slot) = s.get_mut(&round) {
+                if let Some(result) = &slot.result {
+                    let out = result.clone();
+                    slot.consumed += 1;
+                    if slot.consumed == slot.expected {
+                        s.remove(&round);
+                    }
+                    return out;
+                }
+            }
+            self.cv.wait(&mut s);
+        }
+    }
 }
 
 /// Internal generation-counted rendezvous: workers deposit a contribution, the last one
@@ -45,7 +134,10 @@ impl<T: Clone> Rendezvous<T> {
     fn run(&self, worker: usize, value: T, combine: impl FnOnce(&[Option<T>]) -> T) -> T {
         let mut s = self.state.lock();
         assert!(worker < s.contributions.len(), "worker id out of range");
-        assert!(s.contributions[worker].is_none(), "worker {worker} contributed twice in one round");
+        assert!(
+            s.contributions[worker].is_none(),
+            "worker {worker} contributed twice in one round"
+        );
         s.contributions[worker] = Some(value);
         s.arrived += 1;
         let my_gen = s.generation;
@@ -81,6 +173,7 @@ impl Collective {
             flags: Rendezvous::new(n),
             reduce: Rendezvous::new(n),
             barrier: Rendezvous::new(n),
+            elastic_flags: ElasticRounds::new(),
         }
     }
 
@@ -93,8 +186,27 @@ impl Collective {
     /// indexed by worker id. This is the `allgather_status` of Alg. 1.
     pub fn allgather_flags(&self, worker: usize, flag: bool) -> Vec<bool> {
         self.flags.run(worker, vec![flag], |contrib| {
-            contrib.iter().map(|c| c.as_ref().map(|v| v[0]).unwrap_or(false)).collect()
+            contrib
+                .iter()
+                .map(|c| c.as_ref().map(|v| v[0]).unwrap_or(false))
+                .collect()
         })
+    }
+
+    /// All-gather of one boolean per worker among an elastic subset of `expected` live
+    /// workers at the explicitly identified `round` (fault injection: crashed workers
+    /// skip rounds entirely, so rounds must be round-keyed rather than generation
+    /// counted). Absent workers' flags read `false`; the returned array is still
+    /// indexed by worker id over the full group.
+    pub fn allgather_flags_among(
+        &self,
+        round: u64,
+        worker: usize,
+        flag: bool,
+        expected: usize,
+    ) -> Vec<bool> {
+        self.elastic_flags
+            .run(round, worker, self.n, expected, flag, false)
     }
 
     /// All-reduce (mean) over equal-length `f32` vectors: every worker receives the
@@ -102,10 +214,19 @@ impl Collective {
     pub fn allreduce_mean(&self, worker: usize, value: Vec<f32>) -> Vec<f32> {
         let n = self.n as f32;
         self.reduce.run(worker, value, move |contrib| {
-            let dim = contrib.iter().flatten().next().map(|v| v.len()).unwrap_or(0);
+            let dim = contrib
+                .iter()
+                .flatten()
+                .next()
+                .map(|v| v.len())
+                .unwrap_or(0);
             let mut out = vec![0.0f32; dim];
             for c in contrib.iter().flatten() {
-                assert_eq!(c.len(), dim, "allreduce contributions must have equal length");
+                assert_eq!(
+                    c.len(),
+                    dim,
+                    "allreduce contributions must have equal length"
+                );
                 for (o, &x) in out.iter_mut().zip(c.iter()) {
                     *o += x;
                 }
@@ -203,5 +324,45 @@ mod tests {
     #[test]
     fn world_size_reported() {
         assert_eq!(Collective::new(7).world_size(), 7);
+    }
+
+    #[test]
+    fn elastic_flags_tolerate_a_worker_skipping_rounds() {
+        // Worker 2 is "crashed" for rounds 1..3: it skips them entirely and races ahead
+        // to round 3 — the round-keyed rendezvous must neither deadlock nor let the
+        // skipped rounds be closed by the wrong membership.
+        let coll = Arc::new(Collective::new(3));
+        let c = Arc::clone(&coll);
+        let results = spawn_workers(3, move |w| {
+            let mut gathered = Vec::new();
+            for round in 0..5u64 {
+                let crashed = w == 2 && (1..3).contains(&round);
+                if crashed {
+                    continue;
+                }
+                let expected = if (1..3).contains(&round) { 2 } else { 3 };
+                let flags = c.allgather_flags_among(round, w, w == 0, expected);
+                gathered.push((round, flags));
+            }
+            gathered
+        });
+        for (w, gathered) in results.into_iter().enumerate() {
+            let expected_rounds: Vec<u64> = if w == 2 {
+                vec![0, 3, 4]
+            } else {
+                (0..5).collect()
+            };
+            assert_eq!(
+                gathered.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+                expected_rounds
+            );
+            for (round, flags) in gathered {
+                // Worker 0's flag is always set; worker 2's contribution is absent
+                // (reads false) during its crash window.
+                assert!(flags[0], "round {round}");
+                assert!(!flags[1], "round {round}");
+                assert!(!flags[2], "round {round}");
+            }
+        }
     }
 }

@@ -30,12 +30,20 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// The paper's testbed: 5 Gbps NIC between docker-swarm containers.
     pub fn paper_5gbps() -> Self {
-        NetworkModel { bandwidth_bps: 5.0e9, latency_s: 1.0e-3, software_overhead_s: 2.0e-3 }
+        NetworkModel {
+            bandwidth_bps: 5.0e9,
+            latency_s: 1.0e-3,
+            software_overhead_s: 2.0e-3,
+        }
     }
 
     /// A faster datacenter network (for sensitivity/ablation experiments).
     pub fn datacenter_25gbps() -> Self {
-        NetworkModel { bandwidth_bps: 25.0e9, latency_s: 0.2e-3, software_overhead_s: 1.0e-3 }
+        NetworkModel {
+            bandwidth_bps: 25.0e9,
+            latency_s: 0.2e-3,
+            software_overhead_s: 1.0e-3,
+        }
     }
 
     /// Seconds to move `bytes` across one link.
@@ -61,7 +69,9 @@ impl NetworkModel {
         }
         let n = workers as f64;
         let volume_bits = 2.0 * (n - 1.0) / n * bytes as f64 * 8.0;
-        self.software_overhead_s + 2.0 * (n - 1.0) * self.latency_s + volume_bits / self.bandwidth_bps
+        self.software_overhead_s
+            + 2.0 * (n - 1.0) * self.latency_s
+            + volume_bits / self.bandwidth_bps
     }
 
     /// Seconds for the 1-bit-per-worker synchronization-status all-gather (Alg. 1,

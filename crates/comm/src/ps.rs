@@ -13,12 +13,35 @@
 //!   scaled deltas to the global state whenever they finish a step.
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
 
 /// Shared-memory parameter server over a flat `f32` vector.
 pub struct ParameterServer {
     global: RwLock<Vec<f32>>,
     round: Mutex<RoundState>,
     round_cv: Condvar,
+    elastic: Mutex<ElasticState>,
+    elastic_cv: Condvar,
+}
+
+/// Shared state of all open elastic rounds, plus the newest round whose mean has been
+/// written to the global vector. Rounds complete in *completion* order, which under
+/// disjoint live-worker sets can differ from round order — a worker that skipped rounds
+/// can finish round `k` while a slower worker is still closing round `k-1`; the
+/// `last_global_round` guard keeps the older mean from overwriting the newer one.
+struct ElasticState {
+    rounds: HashMap<u64, ElasticRound>,
+    last_global_round: Option<u64>,
+}
+
+/// State of one round-keyed elastic aggregation round (membership may differ round to
+/// round when workers crash and rejoin).
+struct ElasticRound {
+    accum: Vec<f32>,
+    arrived: usize,
+    expected: usize,
+    result: Option<Vec<f32>>,
+    consumed: usize,
 }
 
 struct RoundState {
@@ -44,6 +67,11 @@ impl ParameterServer {
                 finished: None,
             }),
             round_cv: Condvar::new(),
+            elastic: Mutex::new(ElasticState {
+                rounds: HashMap::new(),
+                last_global_round: None,
+            }),
+            elastic_cv: Condvar::new(),
         }
     }
 
@@ -81,9 +109,16 @@ impl ParameterServer {
     ///
     /// All participants of one round must pass the same `participants` count.
     pub fn sync_round(&self, contribution: &[f32], participants: usize) -> Vec<f32> {
-        assert!(participants > 0, "a synchronization round needs at least one participant");
+        assert!(
+            participants > 0,
+            "a synchronization round needs at least one participant"
+        );
         let mut state = self.round.lock();
-        assert_eq!(contribution.len(), state.accum.len(), "contribution dimension mismatch");
+        assert_eq!(
+            contribution.len(),
+            state.accum.len(),
+            "contribution dimension mismatch"
+        );
 
         // If a previous round just finished and its result has been fully consumed,
         // `finished` may still hold it; a new round starts when contributions == 0.
@@ -93,7 +128,10 @@ impl ParameterServer {
                 *a = 0.0;
             }
         } else {
-            assert_eq!(state.expected, participants, "mismatched participant counts in one round");
+            assert_eq!(
+                state.expected, participants,
+                "mismatched participant counts in one round"
+            );
         }
 
         for (a, &c) in state.accum.iter_mut().zip(contribution.iter()) {
@@ -125,6 +163,70 @@ impl ParameterServer {
                     return result.clone();
                 }
             }
+        }
+    }
+
+    /// Participate in a blocking aggregation round with **elastic membership**: only the
+    /// workers alive at this training iteration contribute, and the round is keyed by
+    /// the explicit `round` id rather than an implicit generation counter, so crashed
+    /// workers that skip rounds can neither close nor corrupt rounds they were not part
+    /// of. Averages over the present workers only; the average becomes the new global
+    /// vector. All participants of one round must pass the same `participants` count.
+    pub fn sync_round_elastic(
+        &self,
+        round: u64,
+        contribution: &[f32],
+        participants: usize,
+    ) -> Vec<f32> {
+        assert!(
+            participants > 0,
+            "a synchronization round needs at least one participant"
+        );
+        let dim = self.dim();
+        assert_eq!(contribution.len(), dim, "contribution dimension mismatch");
+        let mut guard = self.elastic.lock();
+        let state = &mut *guard;
+        let slot = state.rounds.entry(round).or_insert_with(|| ElasticRound {
+            accum: vec![0.0; dim],
+            arrived: 0,
+            expected: participants,
+            result: None,
+            consumed: 0,
+        });
+        assert_eq!(
+            slot.expected, participants,
+            "mismatched membership in elastic round {round}"
+        );
+        for (a, &c) in slot.accum.iter_mut().zip(contribution.iter()) {
+            *a += c;
+        }
+        slot.arrived += 1;
+        if slot.arrived == slot.expected {
+            let n = slot.expected as f32;
+            let mean: Vec<f32> = slot.accum.iter().map(|&x| x / n).collect();
+            // Only the newest completed round may define the global vector: an older
+            // round completing late (its last participant was slower) must not clobber
+            // a newer round's mean.
+            if state.last_global_round.is_none_or(|r| round >= r) {
+                let mut g = self.global.write();
+                g.copy_from_slice(&mean);
+                state.last_global_round = Some(round);
+            }
+            slot.result = Some(mean);
+            self.elastic_cv.notify_all();
+        }
+        loop {
+            if let Some(slot) = guard.rounds.get_mut(&round) {
+                if let Some(result) = &slot.result {
+                    let out = result.clone();
+                    slot.consumed += 1;
+                    if slot.consumed == slot.expected {
+                        guard.rounds.remove(&round);
+                    }
+                    return out;
+                }
+            }
+            self.elastic_cv.wait(&mut guard);
         }
     }
 }
@@ -171,7 +273,9 @@ mod tests {
         let mut handles = Vec::new();
         for w in 0..workers {
             let ps = Arc::clone(&ps);
-            handles.push(std::thread::spawn(move || ps.sync_round(&[w as f32, 1.0], workers)));
+            handles.push(std::thread::spawn(move || {
+                ps.sync_round(&[w as f32, 1.0], workers)
+            }));
         }
         let expected_mean = (0..workers).sum::<usize>() as f32 / workers as f32;
         for h in handles {
@@ -204,5 +308,68 @@ mod tests {
     fn dimension_mismatch_panics() {
         let ps = ParameterServer::new(vec![0.0; 2]);
         ps.push_delta(&[1.0], 1.0);
+    }
+
+    #[test]
+    fn elastic_rounds_average_over_present_workers_only() {
+        // Round 0: all 4 workers. Round 1: worker 3 crashed — only 3 contribute, and
+        // the average is over those 3. Worker 3 skips straight to round 2 after
+        // rejoining; membership is per-round, so nothing deadlocks.
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 1]));
+        let mut handles = Vec::new();
+        for w in 0..4usize {
+            let ps = Arc::clone(&ps);
+            handles.push(std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for round in 0..3u64 {
+                    if w == 3 && round == 1 {
+                        continue;
+                    }
+                    let expected = if round == 1 { 3 } else { 4 };
+                    let avg = ps.sync_round_elastic(round, &[(w + 1) as f32], expected);
+                    results.push((round, avg[0]));
+                }
+                results
+            }));
+        }
+        let all: Vec<Vec<(u64, f32)>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (w, results) in all.into_iter().enumerate() {
+            for (round, avg) in results {
+                let expected = match round {
+                    1 => (1.0 + 2.0 + 3.0) / 3.0,
+                    _ => (1.0 + 2.0 + 3.0 + 4.0) / 4.0,
+                };
+                assert!(
+                    (avg - expected).abs() < 1e-6,
+                    "worker {w} round {round}: {avg}"
+                );
+            }
+        }
+        // The last round's average is the stored global state.
+        assert!((ps.pull()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_completing_older_round_does_not_clobber_the_global() {
+        // Disjoint live sets let rounds complete out of order: a worker alone in round
+        // 5 closes it before the worker alone in round 3 arrives. The global vector
+        // must keep round 5's mean.
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        let newer = ps.sync_round_elastic(5, &[50.0], 1);
+        assert_eq!(newer, vec![50.0]);
+        let older = ps.sync_round_elastic(3, &[30.0], 1);
+        assert_eq!(
+            older,
+            vec![30.0],
+            "the round itself still returns its own mean"
+        );
+        assert_eq!(
+            ps.pull(),
+            vec![50.0],
+            "global must stay at the newest round's mean"
+        );
+        // A genuinely newer round still advances the global.
+        ps.sync_round_elastic(7, &[70.0], 1);
+        assert_eq!(ps.pull(), vec![70.0]);
     }
 }

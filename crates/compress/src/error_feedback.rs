@@ -15,7 +15,10 @@ pub struct ErrorFeedback<C: Compressor> {
 impl<C: Compressor> ErrorFeedback<C> {
     /// Wrap `inner` with an initially empty residual.
     pub fn new(inner: C) -> Self {
-        ErrorFeedback { inner, residual: Vec::new() }
+        ErrorFeedback {
+            inner,
+            residual: Vec::new(),
+        }
     }
 
     /// Current residual memory (empty before the first compression).
@@ -30,10 +33,19 @@ impl<C: Compressor> Compressor for ErrorFeedback<C> {
             self.residual = vec![0.0; grad.len()];
         }
         // Compensated gradient = gradient + carried residual.
-        let compensated: Vec<f32> = grad.iter().zip(self.residual.iter()).map(|(g, r)| g + r).collect();
+        let compensated: Vec<f32> = grad
+            .iter()
+            .zip(self.residual.iter())
+            .map(|(g, r)| g + r)
+            .collect();
         let payload = self.inner.compress(&compensated);
         let transmitted = decompress_dense(&payload);
-        for ((r, &c), &t) in self.residual.iter_mut().zip(compensated.iter()).zip(transmitted.iter()) {
+        for ((r, &c), &t) in self
+            .residual
+            .iter_mut()
+            .zip(compensated.iter())
+            .zip(transmitted.iter())
+        {
             *r = c - t;
         }
         payload

@@ -64,7 +64,9 @@ impl Compressed {
     /// ternary levels 2 bits, scales 4 B).
     pub fn wire_bytes(&self) -> usize {
         match self {
-            Compressed::Sparse { indices, values, .. } => 4 * indices.len() + 4 * values.len() + 8,
+            Compressed::Sparse {
+                indices, values, ..
+            } => 4 * indices.len() + 4 * values.len() + 8,
             Compressed::Signs { signs, .. } => signs.len().div_ceil(8) + 4 + 8,
             Compressed::Ternary { levels, .. } => levels.len().div_ceil(4) + 4 + 8,
         }
@@ -73,7 +75,9 @@ impl Compressed {
     /// Length of the original dense vector.
     pub fn dim(&self) -> usize {
         match self {
-            Compressed::Sparse { dim, .. } | Compressed::Signs { dim, .. } | Compressed::Ternary { dim, .. } => *dim,
+            Compressed::Sparse { dim, .. }
+            | Compressed::Signs { dim, .. }
+            | Compressed::Ternary { dim, .. } => *dim,
         }
     }
 }
@@ -95,7 +99,11 @@ pub trait Compressor: Send {
 /// Shared dense reconstruction used by every compressor.
 pub fn decompress_dense(payload: &Compressed) -> Vec<f32> {
     match payload {
-        Compressed::Sparse { dim, indices, values } => {
+        Compressed::Sparse {
+            dim,
+            indices,
+            values,
+        } => {
             let mut out = vec![0.0f32; *dim];
             for (&i, &v) in indices.iter().zip(values.iter()) {
                 out[i as usize] = v;
@@ -131,30 +139,54 @@ mod tests {
 
     #[test]
     fn sparse_wire_bytes_counts_pairs() {
-        let p = Compressed::Sparse { dim: 100, indices: vec![1, 2, 3], values: vec![0.1, 0.2, 0.3] };
+        let p = Compressed::Sparse {
+            dim: 100,
+            indices: vec![1, 2, 3],
+            values: vec![0.1, 0.2, 0.3],
+        };
         assert_eq!(p.wire_bytes(), 3 * 4 + 3 * 4 + 8);
         assert_eq!(p.dim(), 100);
     }
 
     #[test]
     fn signs_pack_to_one_bit() {
-        let p = Compressed::Signs { dim: 16, signs: vec![true; 16], scale: 1.0 };
+        let p = Compressed::Signs {
+            dim: 16,
+            signs: vec![true; 16],
+            scale: 1.0,
+        };
         assert_eq!(p.wire_bytes(), 2 + 4 + 8);
     }
 
     #[test]
     fn compression_ratio_is_relative_to_dense() {
-        let p = Compressed::Sparse { dim: 1000, indices: vec![0; 10], values: vec![0.0; 10] };
+        let p = Compressed::Sparse {
+            dim: 1000,
+            indices: vec![0; 10],
+            values: vec![0.0; 10],
+        };
         assert!(compression_ratio(&p) > 40.0);
     }
 
     #[test]
     fn dense_reconstruction_of_each_variant() {
-        let sparse = Compressed::Sparse { dim: 4, indices: vec![1, 3], values: vec![2.0, -1.0] };
+        let sparse = Compressed::Sparse {
+            dim: 4,
+            indices: vec![1, 3],
+            values: vec![2.0, -1.0],
+        };
         assert_eq!(decompress_dense(&sparse), vec![0.0, 2.0, 0.0, -1.0]);
-        let signs = Compressed::Signs { dim: 3, signs: vec![true, false, true], scale: 0.5 };
+        let signs = Compressed::Signs {
+            dim: 3,
+            signs: vec![true, false, true],
+            scale: 0.5,
+        };
         assert_eq!(decompress_dense(&signs), vec![0.5, -0.5, 0.5]);
-        let tern = Compressed::Ternary { dim: 3, levels: vec![1, 0, -1], scale: 2.0 };
+        let tern = Compressed::Ternary {
+            dim: 3,
+            levels: vec![1, 0, -1],
+            scale: 2.0,
+        };
         assert_eq!(decompress_dense(&tern), vec![2.0, 0.0, -2.0]);
     }
 }

@@ -19,8 +19,15 @@ pub struct RandomK {
 impl RandomK {
     /// Create a Random-k compressor. `unbiased` rescales kept values by `1/fraction`.
     pub fn new(fraction: f32, seed: u64, unbiased: bool) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
-        RandomK { fraction, rng: rng::seeded(seed), unbiased }
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        RandomK {
+            fraction,
+            rng: rng::seeded(seed),
+            unbiased,
+        }
     }
 }
 
@@ -30,9 +37,17 @@ impl Compressor for RandomK {
         let k = ((dim as f32 * self.fraction).ceil() as usize).clamp(1, dim);
         let mut indices = rng::sample_without_replacement(&mut self.rng, dim, k);
         indices.sort_unstable();
-        let scale = if self.unbiased { 1.0 / self.fraction } else { 1.0 };
+        let scale = if self.unbiased {
+            1.0 / self.fraction
+        } else {
+            1.0
+        };
         let values = indices.iter().map(|&i| grad[i] * scale).collect();
-        Compressed::Sparse { dim, indices: indices.into_iter().map(|i| i as u32).collect(), values }
+        Compressed::Sparse {
+            dim,
+            indices: indices.into_iter().map(|i| i as u32).collect(),
+            values,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -17,7 +17,11 @@ impl SignSgd {
 impl Compressor for SignSgd {
     fn compress(&mut self, grad: &[f32]) -> Compressed {
         let dim = grad.len();
-        let scale = if dim == 0 { 0.0 } else { grad.iter().map(|g| g.abs()).sum::<f32>() / dim as f32 };
+        let scale = if dim == 0 {
+            0.0
+        } else {
+            grad.iter().map(|g| g.abs()).sum::<f32>() / dim as f32
+        };
         let signs = grad.iter().map(|&g| g >= 0.0).collect();
         Compressed::Signs { dim, signs, scale }
     }

@@ -14,7 +14,9 @@ pub struct TernGrad {
 impl TernGrad {
     /// Create a TernGrad compressor with a deterministic RNG.
     pub fn new(seed: u64) -> Self {
-        TernGrad { rng: rng::seeded(seed) }
+        TernGrad {
+            rng: rng::seeded(seed),
+        }
     }
 }
 
@@ -71,7 +73,7 @@ mod tests {
     fn quantization_is_unbiased_in_expectation() {
         let grad = vec![1.0f32, -0.5, 0.25, 0.0];
         let trials = 4000;
-        let mut acc = vec![0.0f32; 4];
+        let mut acc = [0.0f32; 4];
         for seed in 0..trials {
             let mut c = TernGrad::new(seed);
             let dense = decompress_dense(&c.compress(&grad));

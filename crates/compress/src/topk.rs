@@ -15,7 +15,10 @@ pub struct TopK {
 impl TopK {
     /// Create a Top-k compressor keeping `fraction` of the coordinates.
     pub fn new(fraction: f32) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         TopK { fraction }
     }
 
@@ -39,7 +42,11 @@ impl Compressor for TopK {
         idx.truncate(k);
         idx.sort_unstable();
         let values = idx.iter().map(|&i| grad[i as usize]).collect();
-        Compressed::Sparse { dim, indices: idx, values }
+        Compressed::Sparse {
+            dim,
+            indices: idx,
+            values,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -57,7 +64,10 @@ mod tests {
         let mut c = TopK::new(0.5);
         let grad = vec![0.1, -5.0, 0.2, 3.0, -0.05, 0.0];
         let p = c.compress(&grad);
-        if let Compressed::Sparse { indices, values, .. } = &p {
+        if let Compressed::Sparse {
+            indices, values, ..
+        } = &p
+        {
             assert_eq!(indices.len(), 3);
             assert!(indices.contains(&1) && indices.contains(&3));
             assert_eq!(values.len(), 3);

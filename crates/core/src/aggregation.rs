@@ -51,6 +51,26 @@ pub fn average(vectors: &[Vec<f32>]) -> Vec<f32> {
     out
 }
 
+/// Element-wise mean over the `present` subset of `vectors` (elastic membership: only
+/// the workers alive at a synchronization step contribute to the PS-side reduce).
+pub fn average_present<V: AsRef<[f32]>>(vectors: &[V], present: &[usize]) -> Vec<f32> {
+    assert!(!present.is_empty(), "cannot average zero present workers");
+    let dim = vectors[present[0]].as_ref().len();
+    let mut out = vec![0.0f32; dim];
+    for &m in present {
+        let v = vectors[m].as_ref();
+        assert_eq!(v.len(), dim, "all vectors must have the same length");
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o += x;
+        }
+    }
+    let n = present.len() as f32;
+    for o in out.iter_mut() {
+        *o /= n;
+    }
+    out
+}
+
 /// Mean pairwise divergence (RMS distance) between worker replicas — the quantity PA
 /// bounds and GA lets grow (used by tests and the Fig. 11 analysis).
 pub fn replica_divergence(replicas: &[Vec<f32>]) -> f32 {
@@ -61,7 +81,11 @@ pub fn replica_divergence(replicas: &[Vec<f32>]) -> f32 {
     let dim = mean.len() as f32;
     let mut total = 0.0f32;
     for r in replicas {
-        let sq: f32 = r.iter().zip(mean.iter()).map(|(a, b)| (a - b).powi(2)).sum();
+        let sq: f32 = r
+            .iter()
+            .zip(mean.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
         total += sq / dim;
     }
     (total / replicas.len() as f32).sqrt()
@@ -112,14 +136,34 @@ mod tests {
         // Applying the same averaged gradient to diverged replicas leaves their pairwise
         // distances unchanged — this is exactly why GA underperforms PA in the paper.
         let replicas = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let avg_grad = vec![0.5, -0.5];
+        let avg_grad = [0.5, -0.5];
         let post: Vec<Vec<f32>> = replicas
             .iter()
-            .map(|r| r.iter().zip(avg_grad.iter()).map(|(p, g)| p - 0.1 * g).collect())
+            .map(|r| {
+                r.iter()
+                    .zip(avg_grad.iter())
+                    .map(|(p, g)| p - 0.1 * g)
+                    .collect()
+            })
             .collect();
         let before = replica_divergence(&replicas);
         let after = replica_divergence(&post);
         assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_present_ignores_crashed_workers() {
+        let replicas = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![100.0, 100.0]];
+        assert_eq!(average_present(&replicas, &[0, 1]), vec![2.0, 3.0]);
+        assert_eq!(average_present(&replicas, &[2]), vec![100.0, 100.0]);
+        // Full membership matches the plain average.
+        assert_eq!(average_present(&replicas, &[0, 1, 2]), average(&replicas));
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_present_of_nobody_panics() {
+        let _ = average_present(&[vec![1.0]], &[]);
     }
 
     #[test]

@@ -9,33 +9,45 @@ use crate::sim::Simulator;
 /// Run BSP for `cfg.iterations` iterations.
 pub fn run(cfg: &TrainConfig) -> RunReport {
     let mut sim = Simulator::new(cfg);
-    let n = sim.num_workers();
     let wire = sim.nominal().wire_bytes;
+    // Latest aggregated model (what the PS would hold); rejoining workers pull it.
+    let mut global = sim.workers[0].params.clone();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
-        let mut grads = Vec::with_capacity(n);
+        let (present, rejoin_comm, rejoin_bytes) = sim.begin_round(it, &global);
+        if present.is_empty() {
+            sim.account_step(0.0, 0.0, 0, false);
+            continue;
+        }
+
+        let mut grads = Vec::with_capacity(present.len());
         let mut max_delta = 0.0f32;
         let mut injected_bytes = 0u64;
-        for w in 0..n {
+        for &w in &present {
             let (idx, inj) = sim.next_batch(w);
             injected_bytes += inj;
             let (_, g) = sim.compute_gradient(w, &idx);
             max_delta = max_delta.max(sim.track_delta(w, &g));
             grads.push(g);
         }
-        // Aggregate gradients on the PS and apply the averaged gradient everywhere.
+        // Aggregate gradients on the PS and apply the averaged gradient to the present
+        // workers; crashed workers keep their stale replicas. The PS global is the
+        // present replicas' average — after a crash-rejoin the replicas can diverge
+        // (the rejoiner's momentum was reset), so no single replica is "the" model.
         let avg = aggregation::average(&grads);
-        for w in 0..n {
+        for &w in &present {
             sim.apply_update(w, &avg, lr);
         }
-        let compute = sim.step_compute_seconds();
-        let comm = sim.ps_sync_seconds(n);
-        sim.account_step(compute, comm, 2 * n as u64 * wire + injected_bytes, true);
+        global = sim.average_params_of(&present);
+        let compute = sim.round_compute_seconds(it);
+        let comm = sim.ps_sync_seconds_at(it, present.len()) + rejoin_comm;
+        let bytes = 2 * present.len() as u64 * wire + injected_bytes + rejoin_bytes;
+        sim.account_step(compute, comm, bytes, true);
 
         if sim.should_eval(it) {
-            let global = sim.workers[0].params.clone();
-            sim.record_eval(it, &global, max_delta);
+            let snapshot = global.clone();
+            sim.record_eval(it, &snapshot, max_delta);
         }
     }
     sim.finalize("BSP".to_string())
@@ -73,7 +85,10 @@ mod tests {
         let report = run(&cfg());
         let first = report.history.first().unwrap().test_metric;
         let best = report.best_metric;
-        assert!(best > first, "accuracy should improve: first {first}, best {best}");
+        assert!(
+            best > first,
+            "accuracy should improve: first {first}, best {best}"
+        );
         assert!(report.final_loss.is_finite());
     }
 

@@ -13,7 +13,10 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         AlgorithmSpec::FedAvg { c, e } => (c, e),
         _ => panic!("fedavg::run called with a non-FedAvg configuration"),
     };
-    assert!((0.0..=1.0).contains(&c) && c > 0.0, "participation fraction C must be in (0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&c) && c > 0.0,
+        "participation fraction C must be in (0, 1]"
+    );
     assert!(e > 0.0, "synchronization factor E must be positive");
 
     let mut sim = Simulator::new(cfg);
@@ -23,33 +26,48 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let sync_interval = ((cfg.steps_per_epoch() as f32 * e).round() as usize).max(1);
     let participants = ((c * n as f32).ceil() as usize).clamp(1, n);
     let algo_name = cfg.algorithm.name();
+    // Latest aggregated model; rejoining workers pull it from the PS.
+    let mut global = sim.workers[0].params.clone();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
+        let (present, rejoin_comm, rejoin_bytes) = sim.begin_round(it, &global);
+        if present.is_empty() {
+            sim.account_step(0.0, 0.0, 0, false);
+            continue;
+        }
+
         let mut max_delta = 0.0f32;
-        for w in 0..n {
+        for &w in &present {
             let (idx, _) = sim.next_batch(w);
             let (_, g) = sim.compute_gradient(w, &idx);
             max_delta = max_delta.max(sim.track_delta(w, &g));
             sim.apply_update(w, &g, lr);
         }
-        let compute = sim.step_compute_seconds();
+        let compute = sim.round_compute_seconds(it);
 
         let is_sync_step = (it + 1) % sync_interval == 0;
         if is_sync_step {
-            // Select C·N participants uniformly at random (the paper's client sampling).
-            let chosen = rng::sample_without_replacement(&mut sim.rng, n, participants);
+            // Select C·N participants uniformly at random among the present workers
+            // (the paper's client sampling).
+            let k = participants.min(present.len());
+            let chosen: Vec<usize> =
+                rng::sample_without_replacement(&mut sim.rng, present.len(), k)
+                    .into_iter()
+                    .map(|i| present[i])
+                    .collect();
             let avg = sim.average_params_of(&chosen);
-            sim.set_all_params(&avg);
-            let comm = sim.ps_sync_seconds(participants);
-            sim.account_step(compute, comm, 2 * participants as u64 * wire, true);
+            sim.set_params_of(&present, &avg);
+            global.copy_from_slice(&avg);
+            let comm = sim.ps_sync_seconds_at(it, k) + rejoin_comm;
+            sim.account_step(compute, comm, 2 * k as u64 * wire + rejoin_bytes, true);
         } else {
-            sim.account_step(compute, 0.0, 0, false);
+            sim.account_step(compute, rejoin_comm, rejoin_bytes, false);
         }
 
         if sim.should_eval(it) {
-            let global = sim.average_params();
-            sim.record_eval(it, &global, max_delta);
+            let snapshot = sim.average_params_of(&present);
+            sim.record_eval(it, &snapshot, max_delta);
         }
     }
     sim.finalize(algo_name)

@@ -9,22 +9,28 @@ use crate::sim::Simulator;
 /// Run local-SGD for `cfg.iterations` iterations.
 pub fn run(cfg: &TrainConfig) -> RunReport {
     let mut sim = Simulator::new(cfg);
-    let n = sim.num_workers();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
+        // Crashed workers simply pause; with no PS there is nothing to pull on rejoin,
+        // so they resume from their stale replicas.
+        let present = sim.present_workers(it);
+        if present.is_empty() {
+            sim.account_step(0.0, 0.0, 0, false);
+            continue;
+        }
         let mut max_delta = 0.0f32;
-        for w in 0..n {
+        for &w in &present {
             let (idx, _) = sim.next_batch(w);
             let (_, g) = sim.compute_gradient(w, &idx);
             max_delta = max_delta.max(sim.track_delta(w, &g));
             sim.apply_update(w, &g, lr);
         }
-        let compute = sim.step_compute_seconds();
+        let compute = sim.round_compute_seconds(it);
         sim.account_step(compute, 0.0, 0, false);
 
         if sim.should_eval(it) {
-            let avg = sim.average_params();
+            let avg = sim.average_params_of(&present);
             sim.record_eval(it, &avg, max_delta);
         }
     }

@@ -22,24 +22,35 @@ use crate::sim::Simulator;
 /// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
 pub fn run(cfg: &TrainConfig) -> RunReport {
     let (delta, aggregation_mode) = match cfg.algorithm {
-        AlgorithmSpec::SelSync { delta, aggregation, .. } => (delta, aggregation),
+        AlgorithmSpec::SelSync {
+            delta, aggregation, ..
+        } => (delta, aggregation),
         _ => panic!("selsync::run called with a non-SelSync configuration"),
     };
     let policy = SyncPolicy::new(delta);
     let algo_name = cfg.algorithm.name();
 
     let mut sim = Simulator::new(cfg);
-    let n = sim.num_workers();
     let wire = sim.nominal().wire_bytes;
+    // Latest synchronized model; rejoining workers pull it from the PS.
+    let mut global = sim.workers[0].params.clone();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
+        let (present, rejoin_comm, rejoin_bytes) = sim.begin_round(it, &global);
+        if present.is_empty() {
+            sim.account_step(0.0, 0.0, 0, false);
+            continue;
+        }
+        let mut comm = rejoin_comm;
+        let mut bytes = rejoin_bytes;
 
-        // Phase 1: every worker computes its gradient and Δ(g_i) on its next mini-batch.
-        let mut grads = Vec::with_capacity(n);
-        let mut deltas = Vec::with_capacity(n);
+        // Phase 1: every present worker computes its gradient and Δ(g_i) on its next
+        // mini-batch.
+        let mut grads = Vec::with_capacity(present.len());
+        let mut deltas = Vec::with_capacity(present.len());
         let mut injected_bytes = 0u64;
-        for w in 0..n {
+        for &w in &present {
             let (idx, inj) = sim.next_batch(w);
             injected_bytes += inj;
             let (_, g) = sim.compute_gradient(w, &idx);
@@ -48,51 +59,56 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         }
         let cluster_delta = deltas.iter().cloned().fold(0.0f32, f32::max);
 
-        // Phase 2: 1-bit status all-gather and the cluster-level decision.
+        // Phase 2: 1-bit status all-gather among the present workers and the
+        // cluster-level decision.
         let flags = policy.flags_from_deltas(&deltas);
         let decision = policy.decide(&flags);
-        let mut comm = sim.status_allgather_seconds();
-        let mut bytes = injected_bytes + n as u64; // the flag bits themselves (≈1 B/worker)
+        comm += sim.status_allgather_seconds_at(it, present.len());
+        bytes += injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
         if injected_bytes > 0 {
-            comm += cfg.network.p2p_time(injected_bytes);
+            comm += sim.network_at(it).p2p_time(injected_bytes);
         }
 
         // Phase 3: apply updates according to the decision and aggregation mode.
         match (decision, aggregation_mode) {
             (SyncDecision::Local, _) => {
-                for w in 0..n {
-                    sim.apply_update(w, &grads[w], lr);
+                for (i, &w) in present.iter().enumerate() {
+                    sim.apply_update(w, &grads[i], lr);
                 }
             }
             (SyncDecision::Synchronize, AggregationMode::Parameter) => {
                 // Alg. 1: local update first, then push parameters and pull the average.
-                for w in 0..n {
-                    sim.apply_update(w, &grads[w], lr);
+                for (i, &w) in present.iter().enumerate() {
+                    sim.apply_update(w, &grads[i], lr);
                 }
-                let avg = sim.average_params();
-                sim.set_all_params(&avg);
-                comm += sim.ps_sync_seconds(n);
-                bytes += 2 * n as u64 * wire;
+                let avg = sim.average_params_of(&present);
+                sim.set_params_of(&present, &avg);
+                global.copy_from_slice(&avg);
+                comm += sim.ps_sync_seconds_at(it, present.len());
+                bytes += 2 * present.len() as u64 * wire;
             }
             (SyncDecision::Synchronize, AggregationMode::Gradient) => {
                 // Gradients are averaged on the PS and applied locally by each worker.
+                // GA keeps replicas diverged by design, so the PS global is the present
+                // replicas' average, not any single replica.
                 let avg_grad = aggregation::average(&grads);
-                for w in 0..n {
+                for &w in &present {
                     sim.apply_update(w, &avg_grad, lr);
                 }
-                comm += sim.ps_sync_seconds(n);
-                bytes += 2 * n as u64 * wire;
+                global = sim.average_params_of(&present);
+                comm += sim.ps_sync_seconds_at(it, present.len());
+                bytes += 2 * present.len() as u64 * wire;
             }
         }
 
-        let compute = sim.step_compute_seconds();
+        let compute = sim.round_compute_seconds(it);
         sim.account_step(compute, comm, bytes, decision == SyncDecision::Synchronize);
 
         if sim.should_eval(it) {
-            // The evaluated global model is the replica average (identical to any single
-            // replica right after a PA synchronization).
-            let global = sim.average_params();
-            sim.record_eval(it, &global, cluster_delta);
+            // The evaluated global model is the present replicas' average (identical to
+            // any single present replica right after a PA synchronization).
+            let snapshot = sim.average_params_of(&present);
+            sim.record_eval(it, &snapshot, cluster_delta);
         }
     }
     sim.finalize(algo_name)
@@ -136,9 +152,22 @@ mod tests {
 
     #[test]
     fn moderate_delta_mixes_local_and_sync_steps() {
-        let report = run(&cfg(AlgorithmSpec::selsync(0.05)));
-        assert!(report.sync_steps > 0, "some steps must synchronize");
-        assert!(report.local_steps > 0, "some steps must stay local");
+        // At this tiny scale the Δ(g_i) distribution is narrow, so derive a "moderate"
+        // threshold from the observed range rather than hardcoding one: a δ just below
+        // the maximum observed Δ(g_i) must leave some steps above it (synchronizing)
+        // and some below it (local).
+        let calibration = run(&cfg(AlgorithmSpec::selsync(0.0)));
+        assert!(calibration.max_delta > 0.0);
+        let moderate = calibration.max_delta * 0.95;
+        let report = run(&cfg(AlgorithmSpec::selsync(moderate)));
+        assert!(
+            report.sync_steps > 0,
+            "some steps must synchronize (delta {moderate})"
+        );
+        assert!(
+            report.local_steps > 0,
+            "some steps must stay local (delta {moderate})"
+        );
         assert!(report.lssr > 0.0 && report.lssr < 1.0);
     }
 
@@ -178,6 +207,57 @@ mod tests {
         c.partition = PartitionScheme::SelDp;
         let seldp = run(&c);
         assert!(defdp.final_loss.is_finite() && seldp.final_loss.is_finite());
+    }
+
+    #[test]
+    fn crash_rejoin_keeps_selsync_running_with_fewer_workers() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        let mut c = cfg(AlgorithmSpec::selsync(0.0));
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: 3,
+            start: 10,
+            rejoin: Some(30),
+        });
+        let faulty = run(&c);
+        let clean = run(&cfg(AlgorithmSpec::selsync(0.0)));
+        // δ=0 still synchronizes every step, but the crash window moves fewer bytes
+        // (3-worker rounds instead of 4-worker rounds for 20 iterations).
+        assert_eq!(faulty.sync_steps, 40);
+        assert!(faulty.bytes_communicated < clean.bytes_communicated);
+        assert!(faulty.final_loss.is_finite());
+    }
+
+    #[test]
+    fn transient_straggler_stretches_simulated_time() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        let mut c = cfg(AlgorithmSpec::selsync(0.0));
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Slowdown {
+            worker: 1,
+            start: 0,
+            duration: 40,
+            factor: 3.0,
+        });
+        let slow = run(&c);
+        let clean = run(&cfg(AlgorithmSpec::selsync(0.0)));
+        // Synchronous rounds run at the straggler's pace: 3x the compute time.
+        assert!((slow.compute_time_s - 3.0 * clean.compute_time_s).abs() < 1e-9);
+        // Communication is unaffected by a compute straggler.
+        assert!((slow.comm_time_s - clean.comm_time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_network_inflates_only_communication_time() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        let mut c = cfg(AlgorithmSpec::selsync(0.0));
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::BandwidthDegradation {
+            start: 0,
+            duration: 40,
+            factor: 0.25,
+        });
+        let degraded = run(&c);
+        let clean = run(&cfg(AlgorithmSpec::selsync(0.0)));
+        assert!(degraded.comm_time_s > 2.0 * clean.comm_time_s);
+        assert!((degraded.compute_time_s - clean.compute_time_s).abs() < 1e-9);
     }
 
     #[test]

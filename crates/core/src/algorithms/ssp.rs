@@ -7,12 +7,18 @@
 //! fast worker blocks (its simulated clock advances to the slowest worker's).
 //!
 //! Modelling notes (documented in DESIGN.md): the simulator is sequential, so "fast" and
-//! "slow" workers are expressed through per-worker compute-time multipliers (the last
-//! worker is a 1.4× straggler, as in the paper's heterogeneity discussion), and cache
+//! "slow" workers are expressed through per-worker compute-time multipliers supplied by
+//! the [`crate::conditions::ClusterConditions`] heterogeneity profile — when the run
+//! configures no profile at all (`base_speed` empty), the paper's default applies
+//! ([`ClusterConditions::paper_straggler`]: the last worker is a 1.4× straggler, as in
+//! the heterogeneity discussion). An explicit profile — including an explicitly
+//! homogeneous `[1.0, …]` one, as scenario files compile to — is honoured verbatim so
+//! every algorithm arm of a scenario comparison runs on the same cluster. Cache
 //! refreshes happen every `s/4` steps — the staleness a worker sees therefore grows with
 //! the threshold, which reproduces the paper's observation that deep models degrade
 //! under SSP while shallow ones tolerate it.
 
+use crate::conditions::ClusterConditions;
 use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::report::RunReport;
 use crate::sim::Simulator;
@@ -30,22 +36,57 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let wire = sim.nominal().wire_bytes;
     // Global model lives on the PS; workers keep cached copies in their replica slots.
     let mut global = sim.workers[0].params.clone();
-    // The last worker is a straggler (1.4x slower), the others are mildly heterogeneous.
-    let speeds: Vec<f64> =
-        (0..n).map(|w| if w == n - 1 { 1.4 } else { 1.0 + 0.05 * (w % 3) as f64 }).collect();
+    // Worker speeds come from the configured heterogeneity profile; only when none is
+    // configured at all does the paper's default apply (last worker a 1.4× straggler,
+    // others mildly mixed). An explicit all-1.0 profile stays homogeneous. Scheduled
+    // faults from the configuration are honoured either way.
+    let conditions = {
+        let mut c = cfg.conditions.clone();
+        if c.base_speed.is_empty() {
+            c.base_speed = ClusterConditions::paper_straggler(n).base_speed;
+        }
+        c
+    };
     let refresh_every = (staleness / 4).max(1);
 
     let mut worker_time = vec![0.0f64; n];
     let mut steps_since_refresh = vec![0usize; n];
+    // Rejoin detection compares against the last *processed* round, exactly like
+    // `Simulator::begin_round` in the other drivers — a per-worker previous-presence
+    // vector would miss crashes spanning an all-absent round.
+    let mut last_processed: Option<usize> = None;
     let base_compute = sim.step_compute_seconds();
-    let push_time = sim.ps_one_way_seconds();
     let mut max_delta = 0.0f32;
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
-        for w in 0..n {
+        let push_time = sim.ps_one_way_seconds_at(it);
+        let present = conditions.present_workers(n, it);
+        if present.is_empty() {
+            sim.account_step(0.0, 0.0, 0, false);
+            last_processed = Some(it);
+            continue;
+        }
+        let mut rejoin_comm = 0.0f64;
+        let mut rejoin_bytes = 0u64;
+        for &w in &present {
+            let was_absent = last_processed.is_some_and(|prev| !conditions.is_present(w, prev));
+            if was_absent {
+                // Rejoin: pull the current global model (an extra one-way transfer,
+                // charged both to this worker's clock and to the round's accounting).
+                sim.rejoin_worker(w, &global);
+                steps_since_refresh[w] = 0;
+                worker_time[w] += push_time;
+                rejoin_comm += push_time;
+                rejoin_bytes += wire;
+            }
+
             // Staleness bound: a worker that is too far ahead waits for the slowest.
-            let min_progress = sim.workers.iter().map(|ws| ws.progress).min().unwrap_or(0);
+            let min_progress = present
+                .iter()
+                .map(|&p| sim.workers[p].progress)
+                .min()
+                .unwrap_or(0);
             if sim.workers[w].progress > min_progress + staleness {
                 let slowest_time = worker_time.iter().cloned().fold(0.0f64, f64::max);
                 worker_time[w] = worker_time[w].max(slowest_time);
@@ -69,16 +110,23 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                 steps_since_refresh[w] = 0;
                 comm += push_time;
             }
-            worker_time[w] += base_compute * speeds[w] + comm;
+            worker_time[w] += base_compute * conditions.compute_multiplier(w, it) + comm;
         }
-        // Account the wall-clock of this round as the slowest worker's progress and the
-        // communication as 2 one-way transfers per worker (push + amortised pull).
-        let round_compute = base_compute * speeds.iter().cloned().fold(0.0f64, f64::max);
-        let round_comm = push_time * n as f64 * (1.0 + 1.0 / refresh_every as f64);
+        // Account the wall-clock of this round as the slowest present worker's progress
+        // and the communication as 2 one-way transfers per present worker (push +
+        // amortised pull).
+        let round_compute = base_compute * conditions.slowest_present_multiplier(n, it);
+        let round_comm = push_time * present.len() as f64 * (1.0 + 1.0 / refresh_every as f64);
         // SSP never performs a blocking aggregation, so LSSR does not apply; we record
         // the steps as local (communication time is still charged).
-        sim.account_step(round_compute, round_comm, (n as u64) * wire, false);
+        sim.account_step(
+            round_compute,
+            round_comm + rejoin_comm,
+            (present.len() as u64) * wire + rejoin_bytes,
+            false,
+        );
 
+        last_processed = Some(it);
         if sim.should_eval(it) {
             let snapshot = global.clone();
             sim.record_eval(it, &snapshot, max_delta);
@@ -129,6 +177,73 @@ mod tests {
         let report = run(&cfg(8));
         let first = report.history.first().unwrap().test_metric;
         assert!(report.best_metric >= first);
+    }
+
+    #[test]
+    fn explicit_uniform_profile_disables_the_default_straggler() {
+        use crate::conditions::ClusterConditions;
+        // No profile at all -> paper default (last worker 1.4x). An explicit all-1.0
+        // profile (what scenario files compile to) must stay homogeneous so every
+        // scenario arm runs on the same cluster.
+        let default_run = run(&cfg(8));
+        let mut uniform = cfg(8);
+        uniform.conditions = ClusterConditions::with_speeds(vec![1.0; 3]);
+        let uniform_run = run(&uniform);
+        let ratio = default_run.compute_time_s / uniform_run.compute_time_s;
+        assert!(
+            (ratio - 1.4).abs() < 1e-9,
+            "straggler stretch ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rejoin_pull_is_accounted_in_comm_bytes() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        let mut c = cfg(8);
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: 1,
+            start: 5,
+            rejoin: Some(10),
+        });
+        let report = run(&c);
+        let wire = selsync_nn::model::PaperModel::build(ModelKind::AlexLike, c.seed)
+            .nominal
+            .wire_bytes;
+        // 25 iterations with 3 present workers, 5 with 2, plus one rejoin pull.
+        assert_eq!(report.bytes_communicated, (25 * 3 + 5 * 2 + 1) * wire);
+    }
+
+    #[test]
+    fn rejoin_is_detected_across_an_all_absent_round() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        // Both workers of a 2-worker cluster are absent at iteration 5; worker 0 is
+        // absent *only* there. Its rejoin at iteration 6 must still be detected (a
+        // previous-presence vector frozen across the empty round would miss it).
+        let mut c = cfg(8);
+        c.workers = 2;
+        c.conditions = ClusterConditions::uniform()
+            .with_fault(FaultEvent::Crash {
+                worker: 0,
+                start: 5,
+                rejoin: Some(6),
+            })
+            .with_fault(FaultEvent::Crash {
+                worker: 1,
+                start: 5,
+                rejoin: Some(8),
+            });
+        let report = run(&c);
+        let wire = selsync_nn::model::PaperModel::build(ModelKind::AlexLike, c.seed)
+            .nominal
+            .wire_bytes;
+        // 5 two-worker rounds, 1 empty round, 2 one-worker rounds, 22 two-worker
+        // rounds, plus exactly two rejoin pulls (worker 0 at 6, worker 1 at 8).
+        let present_transfers = 5 * 2 + 2 + 22 * 2;
+        let rejoin_pulls = 2;
+        assert_eq!(
+            report.bytes_communicated,
+            (present_transfers + rejoin_pulls) * wire
+        );
     }
 
     #[test]

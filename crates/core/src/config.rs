@@ -6,6 +6,7 @@
 //! used for simulated timing. Every run is deterministic given its `seed`.
 
 use crate::aggregation::AggregationMode;
+use crate::conditions::ClusterConditions;
 use selsync_comm::netmodel::NetworkModel;
 use selsync_data::injection::DataInjection;
 use selsync_data::partition::PartitionScheme;
@@ -28,12 +29,20 @@ pub struct OptimizerSpec {
 impl OptimizerSpec {
     /// SGD with momentum and weight decay.
     pub fn sgd(momentum: f32, weight_decay: f32) -> Self {
-        OptimizerSpec { adam: false, momentum, weight_decay }
+        OptimizerSpec {
+            adam: false,
+            momentum,
+            weight_decay,
+        }
     }
 
     /// Adam with weight decay.
     pub fn adam(weight_decay: f32) -> Self {
-        OptimizerSpec { adam: true, momentum: 0.0, weight_decay }
+        OptimizerSpec {
+            adam: true,
+            momentum: 0.0,
+            weight_decay,
+        }
     }
 
     /// Instantiate the optimizer.
@@ -41,7 +50,10 @@ impl OptimizerSpec {
         if self.adam {
             Box::new(selsync_nn::optim::Adam::new(self.weight_decay))
         } else {
-            Box::new(selsync_nn::optim::Sgd::new(self.momentum, self.weight_decay))
+            Box::new(selsync_nn::optim::Sgd::new(
+                self.momentum,
+                self.weight_decay,
+            ))
         }
     }
 }
@@ -82,12 +94,20 @@ pub enum AlgorithmSpec {
 impl AlgorithmSpec {
     /// SelSync with parameter aggregation and no data-injection (the paper's default).
     pub fn selsync(delta: f32) -> Self {
-        AlgorithmSpec::SelSync { delta, aggregation: AggregationMode::Parameter, injection: None }
+        AlgorithmSpec::SelSync {
+            delta,
+            aggregation: AggregationMode::Parameter,
+            injection: None,
+        }
     }
 
     /// SelSync with gradient aggregation (for the GA-vs-PA comparison, Fig. 10).
     pub fn selsync_ga(delta: f32) -> Self {
-        AlgorithmSpec::SelSync { delta, aggregation: AggregationMode::Gradient, injection: None }
+        AlgorithmSpec::SelSync {
+            delta,
+            aggregation: AggregationMode::Gradient,
+            injection: None,
+        }
     }
 
     /// SelSync with data-injection `(α, β, δ)` (the paper's non-IID configuration).
@@ -106,7 +126,11 @@ impl AlgorithmSpec {
             AlgorithmSpec::LocalSgd => "LocalSGD".to_string(),
             AlgorithmSpec::FedAvg { c, e } => format!("FedAvg({c},{e})"),
             AlgorithmSpec::Ssp { staleness } => format!("SSP(s={staleness})"),
-            AlgorithmSpec::SelSync { delta, aggregation, injection } => {
+            AlgorithmSpec::SelSync {
+                delta,
+                aggregation,
+                injection,
+            } => {
                 let agg = match aggregation {
                     AggregationMode::Parameter => "PA",
                     AggregationMode::Gradient => "GA",
@@ -158,6 +182,9 @@ pub struct TrainConfig {
     pub network: NetworkModel,
     /// Device profile used for simulated compute time.
     pub device: DeviceProfile,
+    /// Cluster imperfections: device heterogeneity and the timed fault schedule.
+    /// Uniform (homogeneous, fault-free) by default; scenario files populate it.
+    pub conditions: ClusterConditions,
 }
 
 impl TrainConfig {
@@ -169,17 +196,28 @@ impl TrainConfig {
         match model {
             ModelKind::ResNetLike => (
                 OptimizerSpec::sgd(0.9, 4e-4),
-                LrSchedule::StepIterDecay { base_lr: 0.05, every_iters: 1500, factor: 0.5 },
+                LrSchedule::StepIterDecay {
+                    base_lr: 0.05,
+                    every_iters: 1500,
+                    factor: 0.5,
+                },
             ),
             ModelKind::VggLike => (
                 OptimizerSpec::sgd(0.9, 5e-4),
-                LrSchedule::StepIterDecay { base_lr: 0.05, every_iters: 1500, factor: 0.5 },
+                LrSchedule::StepIterDecay {
+                    base_lr: 0.05,
+                    every_iters: 1500,
+                    factor: 0.5,
+                },
             ),
             ModelKind::AlexLike => (OptimizerSpec::adam(0.0), LrSchedule::Constant { lr: 1e-3 }),
-            ModelKind::TransformerLike => (
-                OptimizerSpec::sgd(0.9, 0.0),
-                LrSchedule::StepIterDecay { base_lr: 0.2, every_iters: 1000, factor: 0.8 },
-            ),
+            // Adam with a flat LR: the attention-pooling LM analogue underfits badly
+            // under SGD+momentum (the embedding table receives sparse, attention-scaled
+            // gradients), matching the common practice of training Transformers with
+            // adaptive optimizers.
+            ModelKind::TransformerLike => {
+                (OptimizerSpec::adam(0.0), LrSchedule::Constant { lr: 3e-3 })
+            }
         }
     }
 
@@ -204,6 +242,7 @@ impl TrainConfig {
             ewma_window: 25,
             network: NetworkModel::paper_5gbps(),
             device: DeviceProfile::v100(),
+            conditions: ClusterConditions::uniform(),
         }
     }
 
@@ -239,11 +278,17 @@ mod tests {
     #[test]
     fn algorithm_names_match_paper_labels() {
         assert_eq!(AlgorithmSpec::Bsp.name(), "BSP");
-        assert_eq!(AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }.name(), "FedAvg(1,0.25)");
+        assert_eq!(
+            AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }.name(),
+            "FedAvg(1,0.25)"
+        );
         assert_eq!(AlgorithmSpec::Ssp { staleness: 100 }.name(), "SSP(s=100)");
         assert_eq!(AlgorithmSpec::selsync(0.3).name(), "SelSync(d=0.3,PA)");
         assert_eq!(AlgorithmSpec::selsync_ga(0.25).name(), "SelSync(d=0.25,GA)");
-        assert_eq!(AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3).name(), "SelSync(0.5,0.5,0.3,PA)");
+        assert_eq!(
+            AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3).name(),
+            "SelSync(0.5,0.5,0.3,PA)"
+        );
     }
 
     #[test]

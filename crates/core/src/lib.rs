@@ -15,6 +15,8 @@
 //!
 //! * [`tracker`] — the per-worker `Δ(g_i)` tracker (EWMA-smoothed gradient statistic).
 //! * [`policy`] — the `δ` decision rule (Fig. 6): `Δ(g_i) ≥ δ` ⇒ synchronize.
+//! * [`conditions`] — cluster imperfections: device heterogeneity profiles and timed
+//!   fault schedules (stragglers, crashes, network degradation) shared by every driver.
 //! * [`aggregation`] — parameter vs gradient aggregation (§III-C).
 //! * [`config`] — experiment configuration: model, cluster, algorithm, schedules.
 //! * [`report`] — per-run results (LSSR, accuracy/perplexity, simulated time, history).
@@ -41,6 +43,7 @@
 
 pub mod aggregation;
 pub mod algorithms;
+pub mod conditions;
 pub mod config;
 pub mod policy;
 pub mod report;
@@ -49,6 +52,7 @@ pub mod threaded;
 pub mod tracker;
 
 pub use aggregation::AggregationMode;
+pub use conditions::{ClusterConditions, FaultEvent};
 pub use config::{AlgorithmSpec, TrainConfig};
 pub use policy::{SyncDecision, SyncPolicy};
 pub use report::RunReport;

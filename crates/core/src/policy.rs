@@ -26,7 +26,10 @@ pub struct SyncPolicy {
 impl SyncPolicy {
     /// Create a policy with threshold `delta` (must be non-negative and finite).
     pub fn new(delta: f32) -> Self {
-        assert!(delta >= 0.0 && delta.is_finite(), "delta must be a finite non-negative number");
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "delta must be a finite non-negative number"
+        );
         SyncPolicy { delta }
     }
 
@@ -70,21 +73,33 @@ mod tests {
     fn zero_delta_is_bsp() {
         let p = SyncPolicy::bsp();
         // Every Δ(g_i) ≥ 0, so every step synchronizes.
-        assert_eq!(p.decide_from_deltas(&[0.0, 0.0, 0.0]), SyncDecision::Synchronize);
+        assert_eq!(
+            p.decide_from_deltas(&[0.0, 0.0, 0.0]),
+            SyncDecision::Synchronize
+        );
         assert_eq!(p.decide_from_deltas(&[0.001]), SyncDecision::Synchronize);
     }
 
     #[test]
     fn huge_delta_is_local_sgd() {
         let p = SyncPolicy::new(1e9);
-        assert_eq!(p.decide_from_deltas(&[0.5, 3.0, 100.0]), SyncDecision::Local);
+        assert_eq!(
+            p.decide_from_deltas(&[0.5, 3.0, 100.0]),
+            SyncDecision::Local
+        );
     }
 
     #[test]
     fn any_single_worker_forces_synchronization() {
         let p = SyncPolicy::new(0.25);
-        assert_eq!(p.decide_from_deltas(&[0.1, 0.1, 0.3, 0.05]), SyncDecision::Synchronize);
-        assert_eq!(p.decide_from_deltas(&[0.1, 0.1, 0.2, 0.05]), SyncDecision::Local);
+        assert_eq!(
+            p.decide_from_deltas(&[0.1, 0.1, 0.3, 0.05]),
+            SyncDecision::Synchronize
+        );
+        assert_eq!(
+            p.decide_from_deltas(&[0.1, 0.1, 0.2, 0.05]),
+            SyncDecision::Local
+        );
     }
 
     #[test]
@@ -97,7 +112,10 @@ mod tests {
     #[test]
     fn flags_map_one_to_one() {
         let p = SyncPolicy::new(0.5);
-        assert_eq!(p.flags_from_deltas(&[0.4, 0.6, 0.5]), vec![false, true, true]);
+        assert_eq!(
+            p.flags_from_deltas(&[0.4, 0.6, 0.5]),
+            vec![false, true, true]
+        );
     }
 
     #[test]
@@ -107,7 +125,10 @@ mod tests {
         let mut last_sync = true;
         for &d in &[0.0f32, 0.2, 0.3, 0.4, 1.0] {
             let sync = SyncPolicy::new(d).decide_from_deltas(&deltas) == SyncDecision::Synchronize;
-            assert!(!(sync && !last_sync), "sync decisions must be monotone non-increasing in delta");
+            assert!(
+                !sync || last_sync,
+                "sync decisions must be monotone non-increasing in delta"
+            );
             last_sync = sync;
         }
     }

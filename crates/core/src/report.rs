@@ -175,10 +175,20 @@ mod tests {
 
     #[test]
     fn time_to_target_respects_metric_direction() {
-        let acc = mk(true, &[(10, 1.0, 50.0), (20, 2.0, 80.0), (30, 3.0, 90.0)], 90.0, 3.0);
+        let acc = mk(
+            true,
+            &[(10, 1.0, 50.0), (20, 2.0, 80.0), (30, 3.0, 90.0)],
+            90.0,
+            3.0,
+        );
         assert_eq!(acc.time_to_target(75.0), Some(2.0));
         assert_eq!(acc.time_to_target(95.0), None);
-        let ppl = mk(false, &[(10, 1.0, 200.0), (20, 2.0, 120.0), (30, 3.0, 90.0)], 90.0, 3.0);
+        let ppl = mk(
+            false,
+            &[(10, 1.0, 200.0), (20, 2.0, 120.0), (30, 3.0, 90.0)],
+            90.0,
+            3.0,
+        );
         assert_eq!(ppl.time_to_target(130.0), Some(2.0));
         assert_eq!(ppl.iterations_to_target(95.0), Some(30));
     }

@@ -76,6 +76,8 @@ pub struct Simulator {
     pub rng: SelRng,
     last_train_loss: f32,
     max_delta_seen: f32,
+    /// The last iteration [`Self::begin_round`] processed (rejoin detection).
+    last_round: Option<usize>,
 }
 
 impl Simulator {
@@ -158,6 +160,7 @@ impl Simulator {
             rng: rng::derived(cfg.seed, 0xC1A5),
             last_train_loss: 0.0,
             max_delta_seen: 0.0,
+            last_round: None,
         }
     }
 
@@ -188,8 +191,11 @@ impl Simulator {
         // Non-IID path (with or without injection).
         if self.workers[worker].shard.is_some() {
             if let Some(inj) = self.injection {
-                let shards: Vec<Vec<usize>> =
-                    self.workers.iter().map(|w| w.shard.clone().unwrap_or_default()).collect();
+                let shards: Vec<Vec<usize>> = self
+                    .workers
+                    .iter()
+                    .map(|w| w.shard.clone().unwrap_or_default())
+                    .collect();
                 let mut cursors: Vec<usize> = self.workers.iter().map(|w| w.shard_cursor).collect();
                 let assembled = inj.assemble_batch(
                     worker,
@@ -219,7 +225,10 @@ impl Simulator {
         }
         // IID path: walk the worker's (shuffled) DefDP/SelDP traversal circularly.
         let w = &mut self.workers[worker];
-        let traversal = w.iid_traversal.as_ref().expect("IID worker must have a traversal order");
+        let traversal = w
+            .iid_traversal
+            .as_ref()
+            .expect("IID worker must have a traversal order");
         let mut indices = Vec::with_capacity(batch);
         let mut cursor = w.shard_cursor;
         for _ in 0..batch {
@@ -264,9 +273,8 @@ impl Simulator {
 
     /// Average of a subset of workers' parameters (FedAvg participation).
     pub fn average_params_of(&self, worker_ids: &[usize]) -> Vec<f32> {
-        let replicas: Vec<Vec<f32>> =
-            worker_ids.iter().map(|&w| self.workers[w].params.clone()).collect();
-        aggregation::average(&replicas)
+        let replicas: Vec<&[f32]> = self.workers.iter().map(|w| w.params.as_slice()).collect();
+        aggregation::average_present(&replicas, worker_ids)
     }
 
     /// Overwrite every worker replica with `params` (the post-aggregation broadcast).
@@ -307,7 +315,10 @@ impl Simulator {
             seen += count;
             start = end;
         }
-        BatchStats { loss: (loss_acc / seen as f64) as f32, metric: (metric_acc / seen as f64) as f32 }
+        BatchStats {
+            loss: (loss_acc / seen as f64) as f32,
+            metric: (metric_acc / seen as f64) as f32,
+        }
     }
 
     /// Per-iteration compute time (seconds) for one worker's batch on the configured
@@ -318,7 +329,9 @@ impl Simulator {
 
     /// Seconds for a full PS synchronization of the nominal model across `participants`.
     pub fn ps_sync_seconds(&self, participants: usize) -> f64 {
-        self.cfg.network.ps_sync_time(self.model.nominal.wire_bytes, participants)
+        self.cfg
+            .network
+            .ps_sync_time(self.model.nominal.wire_bytes, participants)
     }
 
     /// Seconds for the 1-bit status all-gather.
@@ -328,7 +341,105 @@ impl Simulator {
 
     /// Seconds for a one-way PS push or pull by a single worker (SSP).
     pub fn ps_one_way_seconds(&self) -> f64 {
-        self.cfg.network.ps_one_way_time(self.model.nominal.wire_bytes)
+        self.cfg
+            .network
+            .ps_one_way_time(self.model.nominal.wire_bytes)
+    }
+
+    // --- cluster-condition hooks (heterogeneity and fault injection) ---------------
+
+    /// Compute-time multiplier of `worker` at `iteration` under the configured cluster
+    /// conditions (1.0 on a homogeneous, fault-free cluster).
+    pub fn compute_multiplier(&self, worker: usize, iteration: usize) -> f64 {
+        self.cfg.conditions.compute_multiplier(worker, iteration)
+    }
+
+    /// Whether `worker` is alive at `iteration`.
+    pub fn is_present(&self, worker: usize, iteration: usize) -> bool {
+        self.cfg.conditions.is_present(worker, iteration)
+    }
+
+    /// The alive workers at `iteration`, in worker order.
+    pub fn present_workers(&self, iteration: usize) -> Vec<usize> {
+        self.cfg
+            .conditions
+            .present_workers(self.workers.len(), iteration)
+    }
+
+    /// Wall-clock seconds of one synchronous compute round at `iteration`: the batch
+    /// compute time stretched by the slowest present worker's multiplier.
+    pub fn round_compute_seconds(&self, iteration: usize) -> f64 {
+        self.step_compute_seconds()
+            * self
+                .cfg
+                .conditions
+                .slowest_present_multiplier(self.workers.len(), iteration)
+    }
+
+    /// The network model in effect at `iteration` (base model plus active degradations).
+    pub fn network_at(&self, iteration: usize) -> selsync_comm::NetworkModel {
+        self.cfg.conditions.network_at(iteration, &self.cfg.network)
+    }
+
+    /// Seconds for a full PS synchronization across `participants` under the network
+    /// conditions at `iteration`.
+    pub fn ps_sync_seconds_at(&self, iteration: usize, participants: usize) -> f64 {
+        self.network_at(iteration)
+            .ps_sync_time(self.model.nominal.wire_bytes, participants)
+    }
+
+    /// Seconds for the 1-bit status all-gather among `participants` under the network
+    /// conditions at `iteration`.
+    pub fn status_allgather_seconds_at(&self, iteration: usize, participants: usize) -> f64 {
+        self.network_at(iteration)
+            .status_allgather_time(participants)
+    }
+
+    /// Seconds for a one-way PS push or pull under the network conditions at `iteration`.
+    pub fn ps_one_way_seconds_at(&self, iteration: usize) -> f64 {
+        self.network_at(iteration)
+            .ps_one_way_time(self.model.nominal.wire_bytes)
+    }
+
+    /// Overwrite the replicas of `worker_ids` with `params` (a broadcast restricted to
+    /// the present workers; crashed workers keep their stale state).
+    pub fn set_params_of(&mut self, worker_ids: &[usize], params: &[f32]) {
+        for &w in worker_ids {
+            self.workers[w].params.copy_from_slice(params);
+        }
+    }
+
+    /// Bring a rejoining worker back: overwrite its replica with `params` (the PS pull
+    /// on rejoin) and reset its optimizer and `Δ(g_i)` tracker state, neither of which
+    /// survived the crash (the threaded driver restarts its tracker the same way).
+    pub fn rejoin_worker(&mut self, worker: usize, params: &[f32]) {
+        self.workers[worker].params.copy_from_slice(params);
+        self.workers[worker].optimizer.reset();
+        self.workers[worker].tracker.reset();
+        self.workers[worker].last_delta = 0.0;
+    }
+
+    /// Begin a synchronous round at `iteration` for drivers with a PS rejoin path:
+    /// returns the present workers, and for every worker that was absent at the
+    /// previously processed round and is back now, performs the rejoin pull from
+    /// `global` ([`Self::rejoin_worker`]) and accounts the one-way transfer. Returns
+    /// `(present, rejoin_comm_seconds, rejoin_bytes)` for the caller to fold into the
+    /// round's accounting.
+    pub fn begin_round(&mut self, iteration: usize, global: &[f32]) -> (Vec<usize>, f64, u64) {
+        let present = self.present_workers(iteration);
+        let mut comm_s = 0.0f64;
+        let mut bytes = 0u64;
+        if let Some(prev) = self.last_round {
+            for &w in &present {
+                if !self.is_present(w, prev) {
+                    self.rejoin_worker(w, global);
+                    comm_s += self.ps_one_way_seconds_at(iteration);
+                    bytes += self.nominal().wire_bytes;
+                }
+            }
+        }
+        self.last_round = Some(iteration);
+        (present, comm_s, bytes)
     }
 
     /// Account one step's simulated time and bytes. `sync_bytes` should include every
@@ -353,7 +464,7 @@ impl Simulator {
 
     /// Record an evaluation point for `iteration` using the supplied parameters.
     pub fn record_eval(&mut self, iteration: usize, params: &[f32], cluster_delta: f32) {
-        let stats = self.evaluate_params(&params.to_vec());
+        let stats = self.evaluate_params(params);
         let point = EvalPoint {
             iteration,
             sim_time_s: self.compute_time_s + self.comm_time_s,
@@ -368,7 +479,7 @@ impl Simulator {
 
     /// Whether `iteration` is an evaluation iteration.
     pub fn should_eval(&self, iteration: usize) -> bool {
-        iteration % self.cfg.eval_every.max(1) == 0 || iteration + 1 == self.cfg.iterations
+        iteration.is_multiple_of(self.cfg.eval_every.max(1)) || iteration + 1 == self.cfg.iterations
     }
 
     /// Simulated time elapsed so far.
@@ -381,9 +492,15 @@ impl Simulator {
         let higher = self.higher_is_better();
         let last = self.history.last().copied();
         let best = if higher {
-            self.history.iter().map(|p| p.test_metric).fold(f32::NEG_INFINITY, f32::max)
+            self.history
+                .iter()
+                .map(|p| p.test_metric)
+                .fold(f32::NEG_INFINITY, f32::max)
         } else {
-            self.history.iter().map(|p| p.test_metric).fold(f32::INFINITY, f32::min)
+            self.history
+                .iter()
+                .map(|p| p.test_metric)
+                .fold(f32::INFINITY, f32::min)
         };
         RunReport {
             algorithm,
@@ -412,7 +529,10 @@ impl Simulator {
         use selsync_nn::layer::Layer;
         self.model.set_params_flat(params);
         let tensors = self.model.network().params();
-        tensors.get(idx).map(|t| t.data().to_vec()).unwrap_or_default()
+        tensors
+            .get(idx)
+            .map(|t| t.data().to_vec())
+            .unwrap_or_default()
     }
 }
 
@@ -422,8 +542,12 @@ fn build_datasets(cfg: &TrainConfig) -> (Dataset, Dataset) {
     match model.task {
         TaskKind::Classification { .. } => {
             let spec = match cfg.model {
-                ModelKind::ResNetLike => MixtureSpec::cifar10_like(cfg.train_samples + cfg.test_samples),
-                ModelKind::VggLike => MixtureSpec::cifar100_like(cfg.train_samples + cfg.test_samples),
+                ModelKind::ResNetLike => {
+                    MixtureSpec::cifar10_like(cfg.train_samples + cfg.test_samples)
+                }
+                ModelKind::VggLike => {
+                    MixtureSpec::cifar100_like(cfg.train_samples + cfg.test_samples)
+                }
                 _ => MixtureSpec::imagenet_like(cfg.train_samples + cfg.test_samples),
             };
             let all = synthetic::gaussian_mixture(&spec, cfg.seed ^ 0xDA7A);
@@ -477,7 +601,10 @@ mod tests {
         let mut labels: Vec<usize> = idx.iter().map(|&i| sim.train.targets()[i]).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert!(labels.len() <= 4, "DefDP batch should be label-skewed, saw {labels:?}");
+        assert!(
+            labels.len() <= 4,
+            "DefDP batch should be label-skewed, saw {labels:?}"
+        );
     }
 
     #[test]

@@ -8,6 +8,20 @@
 //! [`selsync_comm`] parameter server and collectives. It is used by the integration
 //! tests and the `collectives` criterion bench; it reports metrics but not simulated
 //! time (wall-clock on the host is meaningless for the paper's comparisons).
+//!
+//! Fault injection: the driver honours the crash windows of
+//! [`crate::conditions::ClusterConditions`]. The schedule is a pure function of
+//! `(worker, iteration)`, so every live thread derives the same membership without
+//! coordination; collective and PS rounds are keyed by the iteration id
+//! ([`selsync_comm::Collective::allgather_flags_among`] /
+//! [`selsync_comm::ParameterServer::sync_round_elastic`]), which makes skipping rounds
+//! safe. A rejoining worker pulls the current global model and restarts its tracker —
+//! in-memory state does not survive a crash. Note that the rejoin pull reads whatever
+//! the PS holds *at that wall-clock moment* (the crashed thread skips its absent
+//! iterations instantly while live workers are still training), exactly as on a real
+//! cluster — so the pulled snapshot, unlike everything schedule-driven, is not
+//! deterministic. The simulator is the bit-reproducible backend; this driver exercises
+//! the real concurrency.
 
 use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::policy::SyncPolicy;
@@ -52,6 +66,7 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
     let train_samples = cfg.train_samples;
     let ewma_window = cfg.ewma_window;
     let lr = cfg.lr.base_lr();
+    let conditions = cfg.conditions.clone();
 
     // Shared immutable dataset built once and shared by reference across threads.
     let proto = PaperModel::build(model_kind, seed);
@@ -71,62 +86,88 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
     let init_params = proto.params_flat();
     let dataset = &dataset;
 
-    run_cluster(n, init_params.clone(), move |worker, handles: ClusterHandles| {
-        let mut model = PaperModel::build(model_kind, seed);
-        // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
-        let mut params = handles.ps.pull();
-        model.set_params_flat(&params);
-        let mut partition = WorkerPartition::build(partition_scheme, dataset.len(), n, worker);
-        let mut tracker = GradientTracker::new(
-            GradStatistic::SqNorm,
-            (n as f32 / 100.0).clamp(0.01, 1.0),
-            ewma_window,
-        );
-        let policy = SyncPolicy::new(delta);
-        let mut counter = LssrCounter::new();
-        let mut last_loss = 0.0f32;
-
-        for _ in 0..iterations {
-            let indices = partition.next_batch(batch);
-            let (x, y) = dataset.batch(&indices);
+    run_cluster(
+        n,
+        init_params.clone(),
+        move |worker, handles: ClusterHandles| {
+            let mut model = PaperModel::build(model_kind, seed);
+            // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
+            let mut params = handles.ps.pull();
             model.set_params_flat(&params);
-            let stats = model.forward_backward(&x, &y);
-            last_loss = stats.loss;
-            let grads = model.grads_flat();
-            let delta_g = tracker.update(&grads);
+            let mut partition = WorkerPartition::build(partition_scheme, dataset.len(), n, worker);
+            let new_tracker = || {
+                GradientTracker::new(
+                    GradStatistic::SqNorm,
+                    (n as f32 / 100.0).clamp(0.01, 1.0),
+                    ewma_window,
+                )
+            };
+            let mut tracker = new_tracker();
+            let policy = SyncPolicy::new(delta);
+            let mut counter = LssrCounter::new();
+            let mut last_loss = 0.0f32;
+            let mut was_present = true;
 
-            // Local SGD update (Alg. 1 line 9).
-            for (p, g) in params.iter_mut().zip(grads.iter()) {
-                *p -= lr * g;
+            for it in 0..iterations {
+                // Crash windows: an absent worker skips the round entirely — no compute, no
+                // collectives. Every live worker derives the same membership from the
+                // deterministic schedule, so the round-keyed rendezvous stays consistent.
+                if !conditions.is_present(worker, it) {
+                    was_present = false;
+                    continue;
+                }
+                let active = conditions.present_workers(n, it).len();
+                if !was_present {
+                    // Rejoin: pull the current global model; tracker state did not survive.
+                    params = handles.ps.pull();
+                    tracker = new_tracker();
+                    was_present = true;
+                }
+
+                let indices = partition.next_batch(batch);
+                let (x, y) = dataset.batch(&indices);
+                model.set_params_flat(&params);
+                let stats = model.forward_backward(&x, &y);
+                last_loss = stats.loss;
+                let grads = model.grads_flat();
+                let delta_g = tracker.update(&grads);
+
+                // Local SGD update (Alg. 1 line 9).
+                for (p, g) in params.iter_mut().zip(grads.iter()) {
+                    *p -= lr * g;
+                }
+
+                // 1-bit status all-gather followed by the cluster decision (lines 10–13),
+                // restricted to the live workers of this iteration.
+                let wants_sync = policy.worker_wants_sync(delta_g);
+                let flags = handles
+                    .collective
+                    .allgather_flags_among(it as u64, worker, wants_sync, active);
+                if flags.iter().any(|&f| f) {
+                    // Push local parameters, pull the average (lines 14–15).
+                    params = handles.ps.sync_round_elastic(it as u64, &params, active);
+                    counter.record_sync();
+                } else {
+                    counter.record_local();
+                }
             }
 
-            // 1-bit status all-gather followed by the cluster decision (lines 10–13).
-            let wants_sync = policy.worker_wants_sync(delta_g);
-            let flags = handles.collective.allgather_flags(worker, wants_sync);
-            if flags.iter().any(|&f| f) {
-                // Push local parameters, pull the average (lines 14–15).
-                params = handles.ps.sync_round(&params, n);
-                counter.record_sync();
-            } else {
-                counter.record_local();
+            let global = handles.ps.pull();
+            let distance: f32 = params
+                .iter()
+                .zip(global.iter())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt();
+            ThreadedWorkerReport {
+                worker,
+                sync_steps: counter.sync_steps,
+                local_steps: counter.local_steps,
+                final_loss: last_loss,
+                distance_to_global: distance,
             }
-        }
-
-        let global = handles.ps.pull();
-        let distance: f32 = params
-            .iter()
-            .zip(global.iter())
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f32>()
-            .sqrt();
-        ThreadedWorkerReport {
-            worker,
-            sync_steps: counter.sync_steps,
-            local_steps: counter.local_steps,
-            final_loss: last_loss,
-            distance_to_global: distance,
-        }
-    })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -148,7 +189,12 @@ mod tests {
         assert_eq!(reports.len(), 4);
         let first = (reports[0].sync_steps, reports[0].local_steps);
         for r in &reports {
-            assert_eq!((r.sync_steps, r.local_steps), first, "worker {} diverged", r.worker);
+            assert_eq!(
+                (r.sync_steps, r.local_steps),
+                first,
+                "worker {} diverged",
+                r.worker
+            );
             assert_eq!(r.sync_steps + r.local_steps, 25);
         }
     }
@@ -162,7 +208,11 @@ mod tests {
             assert_eq!(r.sync_steps, 25);
             assert_eq!(r.local_steps, 0);
             // After a final synchronization every worker equals the PS state.
-            assert!(r.distance_to_global < 1e-4, "distance {}", r.distance_to_global);
+            assert!(
+                r.distance_to_global < 1e-4,
+                "distance {}",
+                r.distance_to_global
+            );
         }
     }
 
@@ -172,6 +222,33 @@ mod tests {
         for r in &reports {
             assert_eq!(r.sync_steps, 0);
             assert_eq!(r.local_steps, 25);
+        }
+    }
+
+    #[test]
+    fn crash_and_rejoin_across_threads_keeps_the_cluster_consistent() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        // BSP (δ=0) with worker 2 crashed for iterations 5..15: the live workers keep
+        // synchronizing among themselves, the crashed worker misses exactly 10 rounds,
+        // and after its rejoin-pull everybody finishes on the PS state.
+        let mut c = cfg(0.0, 3);
+        c.algorithm = AlgorithmSpec::Bsp;
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: 2,
+            start: 5,
+            rejoin: Some(15),
+        });
+        let reports = run_threaded_selsync(&c);
+        assert_eq!(reports[0].sync_steps, 25);
+        assert_eq!(reports[1].sync_steps, 25);
+        assert_eq!(reports[2].sync_steps, 15, "crashed worker misses 10 rounds");
+        for r in &reports {
+            assert!(
+                r.distance_to_global < 1e-4,
+                "worker {} should end on the PS state, distance {}",
+                r.worker,
+                r.distance_to_global
+            );
         }
     }
 }

@@ -178,7 +178,10 @@ mod tests {
         }
         let quiet = t.last_delta();
         let spike = t.update(&[10.0; 10]);
-        assert!(spike > 10.0 * quiet.max(1e-6), "spike {spike} vs quiet {quiet}");
+        assert!(
+            spike > 10.0 * quiet.max(1e-6),
+            "spike {spike} vs quiet {quiet}"
+        );
         assert!(t.max_delta() >= spike);
     }
 

@@ -19,9 +19,23 @@ pub struct Dataset {
 
 impl Dataset {
     /// Create a dataset from parts. Panics if `inputs.rows() != targets.len()`.
-    pub fn new(inputs: Tensor, targets: Vec<usize>, num_classes: usize, sample_bytes: usize) -> Self {
-        assert_eq!(inputs.rows(), targets.len(), "inputs/targets length mismatch");
-        Dataset { inputs, targets, sample_bytes, num_classes }
+    pub fn new(
+        inputs: Tensor,
+        targets: Vec<usize>,
+        num_classes: usize,
+        sample_bytes: usize,
+    ) -> Self {
+        assert_eq!(
+            inputs.rows(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
+        Dataset {
+            inputs,
+            targets,
+            sample_bytes,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -69,7 +83,12 @@ impl Dataset {
     /// Dataset restricted to the given indices.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let (inputs, targets) = self.batch(indices);
-        Dataset { inputs, targets, sample_bytes: self.sample_bytes, num_classes: self.num_classes }
+        Dataset {
+            inputs,
+            targets,
+            sample_bytes: self.sample_bytes,
+            num_classes: self.num_classes,
+        }
     }
 
     /// Number of samples per class label.

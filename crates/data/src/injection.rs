@@ -95,7 +95,11 @@ impl DataInjection {
         let mut injected = Vec::new();
         if donors > 0 && per_donor > 0 && num_workers > 1 {
             let candidates: Vec<usize> = (0..num_workers).filter(|&w| w != receiver).collect();
-            let chosen = rng::sample_without_replacement(rng_, candidates.len(), donors.min(candidates.len()));
+            let chosen = rng::sample_without_replacement(
+                rng_,
+                candidates.len(),
+                donors.min(candidates.len()),
+            );
             for ci in chosen {
                 let donor = candidates[ci];
                 let pool = &shards[donor];
@@ -109,7 +113,11 @@ impl DataInjection {
             }
         }
         let bytes_received = injected.len() * sample_bytes;
-        InjectedBatch { local_indices: local, injected, bytes_received }
+        InjectedBatch {
+            local_indices: local,
+            injected,
+            bytes_received,
+        }
     }
 }
 
@@ -159,7 +167,10 @@ mod tests {
         assert!(!batch.local_indices.is_empty());
         // Injected samples come from other shards.
         assert!(!batch.injected.is_empty());
-        assert!(batch.injected.iter().all(|&(w, i)| w != 0 && i >= w * 100 && i < (w + 1) * 100));
+        assert!(batch
+            .injected
+            .iter()
+            .all(|&(w, i)| w != 0 && i >= w * 100 && i < (w + 1) * 100));
         assert_eq!(batch.bytes_received, batch.injected.len() * 3 * 1024);
     }
 
@@ -178,14 +189,21 @@ mod tests {
     #[test]
     fn injection_improves_label_coverage() {
         // Receiver owns only label-0 samples; with injection it should see other labels.
-        use crate::synthetic::{gaussian_mixture, MixtureSpec};
         use crate::noniid::label_sharded;
+        use crate::synthetic::{gaussian_mixture, MixtureSpec};
         let d = gaussian_mixture(&MixtureSpec::cifar10_like(500), 3);
         let split = label_sharded(&d, 10, 1);
         let c = DataInjection::new(0.5, 0.5);
         let mut cursors = vec![0usize; 10];
         let mut r = rng::seeded(4);
-        let batch = c.assemble_batch(0, &split.per_worker, &mut cursors, 32, d.sample_bytes, &mut r);
+        let batch = c.assemble_batch(
+            0,
+            &split.per_worker,
+            &mut cursors,
+            32,
+            d.sample_bytes,
+            &mut r,
+        );
         let mut labels: Vec<usize> = batch
             .local_indices
             .iter()

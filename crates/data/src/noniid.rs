@@ -19,7 +19,11 @@ pub struct NonIidSplit {
 /// Split `dataset` across `num_workers` workers giving each worker `labels_per_worker`
 /// distinct labels (labels are dealt round-robin in label order, as in the paper's
 /// 1-label-per-worker CIFAR10 and 10-labels-per-worker CIFAR100 settings).
-pub fn label_sharded(dataset: &Dataset, num_workers: usize, labels_per_worker: usize) -> NonIidSplit {
+pub fn label_sharded(
+    dataset: &Dataset,
+    num_workers: usize,
+    labels_per_worker: usize,
+) -> NonIidSplit {
     assert!(num_workers > 0);
     assert!(
         labels_per_worker * num_workers >= dataset.num_classes,
@@ -34,12 +38,18 @@ pub fn label_sharded(dataset: &Dataset, num_workers: usize, labels_per_worker: u
     let per_worker: Vec<Vec<usize>> = labels
         .iter()
         .map(|ls| {
-            let mut idx: Vec<usize> = ls.iter().flat_map(|&l| dataset.indices_with_label(l)).collect();
+            let mut idx: Vec<usize> = ls
+                .iter()
+                .flat_map(|&l| dataset.indices_with_label(l))
+                .collect();
             idx.sort_unstable();
             idx
         })
         .collect();
-    NonIidSplit { per_worker, labels_per_worker: labels }
+    NonIidSplit {
+        per_worker,
+        labels_per_worker: labels,
+    }
 }
 
 /// Degree of label imbalance of a worker's shard: 1.0 means the worker sees exactly one

@@ -51,9 +51,17 @@ pub struct WorkerPartition {
 impl WorkerPartition {
     /// Build the partition for `worker` out of `num_samples` samples split across
     /// `num_workers` workers under `scheme`.
-    pub fn build(scheme: PartitionScheme, num_samples: usize, num_workers: usize, worker: usize) -> Self {
+    pub fn build(
+        scheme: PartitionScheme,
+        num_samples: usize,
+        num_workers: usize,
+        worker: usize,
+    ) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        assert!(worker < num_workers, "worker id {worker} out of range for {num_workers} workers");
+        assert!(
+            worker < num_workers,
+            "worker id {worker} out of range for {num_workers} workers"
+        );
         let chunks = chunk_boundaries(num_samples, num_workers);
         let order = match scheme {
             PartitionScheme::DefDp => {
@@ -70,7 +78,12 @@ impl WorkerPartition {
                 order
             }
         };
-        WorkerPartition { worker, order, cursor: 0, epochs_completed: 0 }
+        WorkerPartition {
+            worker,
+            order,
+            cursor: 0,
+            epochs_completed: 0,
+        }
     }
 
     /// The full ordered index sequence.
@@ -90,7 +103,10 @@ impl WorkerPartition {
 
     /// Draw the next mini-batch of `batch_size` indices, wrapping circularly.
     pub fn next_batch(&mut self, batch_size: usize) -> Vec<usize> {
-        assert!(!self.order.is_empty(), "cannot sample from an empty partition");
+        assert!(
+            !self.order.is_empty(),
+            "cannot sample from an empty partition"
+        );
         let mut out = Vec::with_capacity(batch_size);
         for _ in 0..batch_size {
             out.push(self.order[self.cursor]);
@@ -127,8 +143,14 @@ pub fn chunk_boundaries(num_samples: usize, num_workers: usize) -> Vec<(usize, u
 
 /// Build the partitions for every worker at once (what the preprocessing stage does
 /// before training; its cost is Fig. 8b of the paper).
-pub fn build_all(scheme: PartitionScheme, num_samples: usize, num_workers: usize) -> Vec<WorkerPartition> {
-    (0..num_workers).map(|w| WorkerPartition::build(scheme, num_samples, num_workers, w)).collect()
+pub fn build_all(
+    scheme: PartitionScheme,
+    num_samples: usize,
+    num_workers: usize,
+) -> Vec<WorkerPartition> {
+    (0..num_workers)
+        .map(|w| WorkerPartition::build(scheme, num_samples, num_workers, w))
+        .collect()
 }
 
 #[cfg(test)]
@@ -158,7 +180,12 @@ mod tests {
         for p in &parts {
             let mut sorted = p.order().to_vec();
             sorted.sort_unstable();
-            assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "worker {} sees all data", p.worker);
+            assert_eq!(
+                sorted,
+                (0..100).collect::<Vec<_>>(),
+                "worker {} sees all data",
+                p.worker
+            );
         }
     }
 

@@ -29,7 +29,11 @@ pub struct ModelBatchOracle<'a> {
 impl<'a> ModelBatchOracle<'a> {
     /// Create an oracle over a fixed `(inputs, targets)` batch.
     pub fn new(model: &'a mut PaperModel, inputs: &'a Tensor, targets: &'a [usize]) -> Self {
-        ModelBatchOracle { model, inputs, targets }
+        ModelBatchOracle {
+            model,
+            inputs,
+            targets,
+        }
     }
 }
 
@@ -62,14 +66,22 @@ pub fn hessian_vector_product(
     }
     // Perturb along the *unit* direction for numerical stability, then rescale.
     let step = eps / norm;
-    let plus: Vec<f32> = params.iter().zip(v.iter()).map(|(p, d)| p + step * d).collect();
-    let minus: Vec<f32> = params.iter().zip(v.iter()).map(|(p, d)| p - step * d).collect();
+    let plus: Vec<f32> = params
+        .iter()
+        .zip(v.iter())
+        .map(|(p, d)| p + step * d)
+        .collect();
+    let minus: Vec<f32> = params
+        .iter()
+        .zip(v.iter())
+        .map(|(p, d)| p - step * d)
+        .collect();
     let g_plus = oracle.gradient_at(&plus);
     let g_minus = oracle.gradient_at(&minus);
     g_plus
         .iter()
         .zip(g_minus.iter())
-        .map(|(gp, gm)| (gp - gm) / (2.0 * step) )
+        .map(|(gp, gm)| (gp - gm) / (2.0 * step))
         .collect()
 }
 
@@ -97,13 +109,19 @@ mod tests {
 
     #[test]
     fn hvp_of_quadratic_matches_matrix_product() {
-        let a = vec![vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 0.5], vec![0.0, 0.5, 1.0]];
+        let a = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 0.5],
+            vec![0.0, 0.5, 1.0],
+        ];
         let mut oracle = QuadraticOracle { a: a.clone() };
         let params = vec![0.3, -0.2, 0.7];
         let v = vec![1.0, 2.0, -1.0];
         let hv = hessian_vector_product(&mut oracle, &params, &v, 1e-3);
-        let expected: Vec<f32> =
-            a.iter().map(|row| row.iter().zip(v.iter()).map(|(aij, x)| aij * x).sum()).collect();
+        let expected: Vec<f32> = a
+            .iter()
+            .map(|row| row.iter().zip(v.iter()).map(|(aij, x)| aij * x).sum())
+            .collect();
         for (h, e) in hv.iter().zip(expected.iter()) {
             assert!((h - e).abs() < 1e-2, "{h} vs {e}");
         }
@@ -111,7 +129,9 @@ mod tests {
 
     #[test]
     fn zero_direction_gives_zero_product() {
-        let mut oracle = QuadraticOracle { a: vec![vec![1.0, 0.0], vec![0.0, 1.0]] };
+        let mut oracle = QuadraticOracle {
+            a: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        };
         let hv = hessian_vector_product(&mut oracle, &[1.0, 1.0], &[0.0, 0.0], 1e-3);
         assert_eq!(hv, vec![0.0, 0.0]);
     }

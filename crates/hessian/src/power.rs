@@ -37,7 +37,11 @@ pub fn top_eigenvalue(
         let hv = hessian_vector_product(oracle, params, &v, 1e-2);
         // Rayleigh quotient with the current unit vector.
         let new_eigen: f32 = v.iter().zip(hv.iter()).map(|(a, b)| a * b).sum();
-        delta = if eigen.abs() > 1e-12 { ((new_eigen - eigen) / eigen).abs() } else { f32::INFINITY };
+        delta = if eigen.abs() > 1e-12 {
+            ((new_eigen - eigen) / eigen).abs()
+        } else {
+            f32::INFINITY
+        };
         eigen = new_eigen;
         let norm: f32 = hv.iter().map(|x| x * x).sum::<f32>().sqrt();
         if norm < 1e-12 {
@@ -52,7 +56,11 @@ pub fn top_eigenvalue(
             break;
         }
     }
-    EigenEstimate { eigenvalue: eigen, iterations: iters, final_delta: delta }
+    EigenEstimate {
+        eigenvalue: eigen,
+        iterations: iters,
+        final_delta: delta,
+    }
 }
 
 fn normalize(v: &mut [f32]) {
@@ -74,7 +82,11 @@ mod tests {
 
     impl GradientOracle for QuadraticOracle {
         fn gradient_at(&mut self, params: &[f32]) -> Vec<f32> {
-            self.diag.iter().zip(params.iter()).map(|(d, p)| d * p).collect()
+            self.diag
+                .iter()
+                .zip(params.iter())
+                .map(|(d, p)| d * p)
+                .collect()
         }
         fn dim(&self) -> usize {
             self.diag.len()
@@ -83,7 +95,9 @@ mod tests {
 
     #[test]
     fn recovers_dominant_diagonal_entry() {
-        let mut oracle = QuadraticOracle { diag: vec![1.0, 5.0, 2.0, 0.5] };
+        let mut oracle = QuadraticOracle {
+            diag: vec![1.0, 5.0, 2.0, 0.5],
+        };
         let params = vec![0.0; 4];
         let est = top_eigenvalue(&mut oracle, &params, 100, 1e-4, 7);
         assert!((est.eigenvalue - 5.0).abs() < 0.1, "{est:?}");
@@ -103,12 +117,17 @@ mod tests {
         use selsync_nn::model::{ModelKind, PaperModel};
         use selsync_tensor::Tensor;
         let mut model = PaperModel::build(ModelKind::ResNetLike, 5);
-        let x = Tensor::from_fn(8, model.input_dim(), |r, c| (((r * 5 + c) % 7) as f32 - 3.0) * 0.3);
+        let x = Tensor::from_fn(8, model.input_dim(), |r, c| {
+            (((r * 5 + c) % 7) as f32 - 3.0) * 0.3
+        });
         let y: Vec<usize> = (0..8).map(|i| i % 10).collect();
         let params = model.params_flat();
         let mut oracle = ModelBatchOracle::new(&mut model, &x, &y);
         let est = top_eigenvalue(&mut oracle, &params, 8, 1e-2, 3);
         assert!(est.eigenvalue.is_finite());
-        assert!(est.eigenvalue > 0.0, "cross-entropy Hessian should have a positive top eigenvalue");
+        assert!(
+            est.eigenvalue > 0.0,
+            "cross-entropy Hessian should have a positive top eigenvalue"
+        );
     }
 }

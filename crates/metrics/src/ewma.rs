@@ -27,9 +27,17 @@ pub struct Ewma {
 impl Ewma {
     /// Create an EWMA with the given smoothing `factor` and history `window`.
     pub fn new(factor: f32, window: usize) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "EWMA factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "EWMA factor must be in (0, 1]"
+        );
         assert!(window > 0, "EWMA window must be positive");
-        Ewma { factor, window, history: VecDeque::with_capacity(window), smoothed: None }
+        Ewma {
+            factor,
+            window,
+            history: VecDeque::with_capacity(window),
+            smoothed: None,
+        }
     }
 
     /// The paper's default configuration for an `n_workers` cluster: window 25,

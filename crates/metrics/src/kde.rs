@@ -37,9 +37,15 @@ pub fn silverman_bandwidth(samples: &[f32]) -> f32 {
 pub fn gaussian_kde(samples: &[f32], grid_points: usize, bandwidth: Option<f32>) -> KdeCurve {
     assert!(grid_points >= 2, "need at least two grid points");
     if samples.is_empty() {
-        return KdeCurve { xs: vec![0.0; grid_points], density: vec![0.0; grid_points], bandwidth: 1.0 };
+        return KdeCurve {
+            xs: vec![0.0; grid_points],
+            density: vec![0.0; grid_points],
+            bandwidth: 1.0,
+        };
     }
-    let bw = bandwidth.unwrap_or_else(|| silverman_bandwidth(samples)).max(1e-9);
+    let bw = bandwidth
+        .unwrap_or_else(|| silverman_bandwidth(samples))
+        .max(1e-9);
     let min = samples.iter().cloned().fold(f32::INFINITY, f32::min) - bw;
     let max = samples.iter().cloned().fold(f32::NEG_INFINITY, f32::max) + bw;
     let step = (max - min) / (grid_points - 1) as f32;
@@ -59,7 +65,11 @@ pub fn gaussian_kde(samples: &[f32], grid_points: usize, bandwidth: Option<f32>)
                 * norm
         })
         .collect();
-    KdeCurve { xs, density, bandwidth: bw }
+    KdeCurve {
+        xs,
+        density,
+        bandwidth: bw,
+    }
 }
 
 impl KdeCurve {
@@ -101,7 +111,11 @@ impl KdeCurve {
         while mass / total < fraction && (lo > 0 || hi < self.xs.len() - 1) {
             // Greedily expand toward the side with higher density.
             let left = if lo > 0 { self.density[lo - 1] } else { -1.0 };
-            let right = if hi < self.xs.len() - 1 { self.density[hi + 1] } else { -1.0 };
+            let right = if hi < self.xs.len() - 1 {
+                self.density[hi + 1]
+            } else {
+                -1.0
+            };
             if left >= right && lo > 0 {
                 let dx = self.xs[lo] - self.xs[lo - 1];
                 mass += 0.5 * (self.density[lo] + self.density[lo - 1]) * dx;
@@ -153,7 +167,9 @@ mod tests {
         // Simple LCG + Box-Muller to avoid a dependency here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
         (0..n)

@@ -15,7 +15,13 @@ pub struct Streaming {
 impl Streaming {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Streaming { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Streaming {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add an observation.

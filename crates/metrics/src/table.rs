@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Create a table with the given headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics if the arity does not match the headers.
@@ -97,7 +100,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(std::f64::consts::PI, 2), "3.14");
         assert_eq!(fmt_f(2.0, 0), "2");
     }
 }

@@ -23,7 +23,11 @@ pub struct DeviceProfile {
 impl DeviceProfile {
     /// NVIDIA Tesla K80 (the device of Fig. 2): ~4.1 TFLOP/s FP32 (one GK210), 12 GB.
     pub fn tesla_k80() -> Self {
-        DeviceProfile { flops_per_sec: 4.1e12 * 0.35, memory_bytes: 12 * 1024 * 1024 * 1024, name: "Tesla K80".to_string() }
+        DeviceProfile {
+            flops_per_sec: 4.1e12 * 0.35,
+            memory_bytes: 12 * 1024 * 1024 * 1024,
+            name: "Tesla K80".to_string(),
+        }
     }
 
     /// NVIDIA V100 (the training cluster of §IV-A): ~14 TFLOP/s FP32, 16 GB.

@@ -89,7 +89,11 @@ pub fn check_gradients(
 
     // Restore original parameters.
     net.set_params_flat(&base_params);
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, checked }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +103,9 @@ mod tests {
     use selsync_tensor::rng::seeded;
 
     fn class_batch(dim: usize, classes: usize, batch: usize) -> (Tensor, Vec<usize>) {
-        let x = Tensor::from_fn(batch, dim, |r, c| (((r * 13 + c * 7) % 9) as f32 - 4.0) * 0.25);
+        let x = Tensor::from_fn(batch, dim, |r, c| {
+            (((r * 13 + c * 7) % 9) as f32 - 4.0) * 0.25
+        });
         let y = (0..batch).map(|i| (i * 5 + 1) % classes).collect();
         (x, y)
     }

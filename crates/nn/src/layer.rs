@@ -99,7 +99,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward called before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
         // dW += X^T dY ; db += column sums of dY ; dX = dY W^T
         let dw = ops::matmul_at(input, grad_output).expect("linear dW");
         ops::axpy(1.0, &dw, &mut self.grad_weight).expect("accumulate dW");
@@ -171,7 +174,9 @@ pub struct Tanh {
 impl Tanh {
     /// Create a Tanh activation.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 
@@ -189,7 +194,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.cached_output.as_ref().expect("backward called before forward");
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
         let deriv = out.map(|y| 1.0 - y * y);
         ops::hadamard(grad_output, &deriv).expect("tanh backward shape")
     }
@@ -210,8 +218,15 @@ pub struct Dropout {
 impl Dropout {
     /// Create a dropout layer with drop probability `p` and its own deterministic RNG.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, rng: rng::seeded(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: rng::seeded(seed),
+            mask: None,
+        }
     }
 }
 
@@ -231,7 +246,11 @@ impl Layer for Dropout {
         {
             use rand::Rng;
             for m in mask.data_mut() {
-                *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+                *m = if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                };
             }
         }
         let out = ops::hadamard(input, &mask).expect("dropout forward shape");
@@ -300,7 +319,11 @@ impl Layer for LayerNorm {
         let mut out = Tensor::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
-                out.set(r, c, normed.get(r, c) * self.gamma.get(0, c) + self.beta.get(0, c));
+                out.set(
+                    r,
+                    c,
+                    normed.get(r, c) * self.gamma.get(0, c) + self.beta.get(0, c),
+                );
             }
         }
         if train {
@@ -311,8 +334,14 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let normed = self.cached_normed.as_ref().expect("backward called before forward");
-        let inv_stds = self.cached_inv_std.as_ref().expect("backward called before forward");
+        let normed = self
+            .cached_normed
+            .as_ref()
+            .expect("backward called before forward");
+        let inv_stds = self
+            .cached_inv_std
+            .as_ref()
+            .expect("backward called before forward");
         let (rows, cols) = grad_output.shape();
         let n = cols as f32;
         let mut grad_input = Tensor::zeros(rows, cols);
@@ -331,7 +360,7 @@ impl Layer for LayerNorm {
         // Standard layer-norm backward: for each row,
         //   dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat * xhat))
         // where dxhat = dy * gamma.
-        for r in 0..rows {
+        for (r, &inv_std) in inv_stds.iter().enumerate().take(rows) {
             let mut sum_dxhat = 0.0f32;
             let mut sum_dxhat_xhat = 0.0f32;
             for c in 0..cols {
@@ -339,10 +368,10 @@ impl Layer for LayerNorm {
                 sum_dxhat += dxhat;
                 sum_dxhat_xhat += dxhat * normed.get(r, c);
             }
-            let inv_std = inv_stds[r];
             for c in 0..cols {
                 let dxhat = grad_output.get(r, c) * self.gamma.get(0, c);
-                let dx = (inv_std / n) * (n * dxhat - sum_dxhat - normed.get(r, c) * sum_dxhat_xhat);
+                let dx =
+                    (inv_std / n) * (n * dxhat - sum_dxhat - normed.get(r, c) * sum_dxhat_xhat);
                 grad_input.set(r, c, dx);
             }
         }
@@ -432,7 +461,10 @@ impl Layer for Embedding {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let ids = self.cached_ids.as_ref().expect("backward called before forward");
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
         let batch = ids.len();
         let tokens = if batch > 0 { ids[0].len() } else { 0 };
         for (b, row_ids) in ids.iter().enumerate() {
@@ -481,6 +513,13 @@ impl Layer for Embedding {
 pub struct AttentionPool {
     query: Tensor,
     grad_query: Tensor,
+    /// Learnable per-position score bias (1 x tokens). Content scores alone cannot
+    /// distinguish *where* a token sits in the context, which makes next-token
+    /// prediction on Markov data impossible beyond the unigram floor; the bias is
+    /// initialised as a recency ramp (ALiBi-style) so the pool starts out focused on
+    /// the most recent tokens and can sharpen or flatten that focus during training.
+    pos_bias: Tensor,
+    grad_pos_bias: Tensor,
     dim: usize,
     tokens: usize,
     cached_input: Option<Tensor>,
@@ -490,9 +529,12 @@ pub struct AttentionPool {
 impl AttentionPool {
     /// Create an attention-pooling head over `tokens` vectors of size `dim`.
     pub fn new(rng_: &mut rng::SelRng, tokens: usize, dim: usize) -> Self {
+        let pos_bias = Tensor::from_fn(1, tokens, |_, t| (t as f32 - (tokens - 1) as f32) * 2.0);
         AttentionPool {
             query: selsync_tensor::init::normal(rng_, 1, dim, 0.0, 0.2),
             grad_query: Tensor::zeros(1, dim),
+            pos_bias,
+            grad_pos_bias: Tensor::zeros(1, tokens),
             dim,
             tokens,
             cached_input: None,
@@ -508,7 +550,11 @@ impl Layer for AttentionPool {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.tokens * self.dim, "attention pool input width");
+        assert_eq!(
+            input.cols(),
+            self.tokens * self.dim,
+            "attention pool input width"
+        );
         let q = self.query.row(0);
         let mut alpha = Tensor::zeros(batch, self.tokens);
         let mut out = Tensor::zeros(batch, self.dim);
@@ -518,7 +564,8 @@ impl Layer for AttentionPool {
             let mut scores = vec![0.0f32; self.tokens];
             for t in 0..self.tokens {
                 let e = &row[t * self.dim..(t + 1) * self.dim];
-                scores[t] = e.iter().zip(q.iter()).map(|(x, y)| x * y).sum();
+                let content: f32 = e.iter().zip(q.iter()).map(|(x, y)| x * y).sum();
+                scores[t] = content + self.pos_bias.get(0, t);
             }
             // softmax
             let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -547,8 +594,14 @@ impl Layer for AttentionPool {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward called before forward");
-        let alpha = self.cached_alpha.as_ref().expect("backward called before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let alpha = self
+            .cached_alpha
+            .as_ref()
+            .expect("backward called before forward");
         let batch = input.rows();
         let q = self.query.row(0).to_vec();
         let mut grad_input = Tensor::zeros(batch, self.tokens * self.dim);
@@ -564,16 +617,21 @@ impl Layer for AttentionPool {
             }
             // softmax backward: ds_t = α_t (dα_t - Σ_j α_j dα_j)
             let dot: f32 = (0..self.tokens).map(|t| alpha.get(b, t) * dalpha[t]).sum();
-            let ds: Vec<f32> = (0..self.tokens).map(|t| alpha.get(b, t) * (dalpha[t] - dot)).collect();
-            // dq += Σ_t ds_t e_t ; de_t = α_t dout + ds_t q
+            let ds: Vec<f32> = (0..self.tokens)
+                .map(|t| alpha.get(b, t) * (dalpha[t] - dot))
+                .collect();
+            // dq += Σ_t ds_t e_t ; db_t += ds_t ; de_t = α_t dout + ds_t q
             for t in 0..self.tokens {
                 let e = &row[t * self.dim..(t + 1) * self.dim];
-                for d in 0..self.dim {
-                    self.grad_query.set(0, d, self.grad_query.get(0, d) + ds[t] * e[d]);
+                for (d, &ed) in e.iter().enumerate() {
+                    self.grad_query
+                        .set(0, d, self.grad_query.get(0, d) + ds[t] * ed);
                 }
+                self.grad_pos_bias
+                    .set(0, t, self.grad_pos_bias.get(0, t) + ds[t]);
                 let gi = &mut grad_input.row_mut(b)[t * self.dim..(t + 1) * self.dim];
-                for d in 0..self.dim {
-                    gi[d] = alpha.get(b, t) * dout[d] + ds[t] * q[d];
+                for (d, g) in gi.iter_mut().enumerate() {
+                    *g = alpha.get(b, t) * dout[d] + ds[t] * q[d];
                 }
             }
         }
@@ -581,19 +639,20 @@ impl Layer for AttentionPool {
     }
 
     fn params(&self) -> Vec<&Tensor> {
-        vec![&self.query]
+        vec![&self.query, &self.pos_bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.query]
+        vec![&mut self.query, &mut self.pos_bias]
     }
 
     fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.grad_query]
+        vec![&self.grad_query, &self.grad_pos_bias]
     }
 
     fn zero_grads(&mut self) {
         self.grad_query.map_inplace(|_| 0.0);
+        self.grad_pos_bias.map_inplace(|_| 0.0);
     }
 }
 
@@ -664,7 +723,10 @@ mod tests {
         assert_eq!(y_eval, x);
         let y_train = d.forward(&x, true);
         // Every surviving activation is scaled by 2.
-        assert!(y_train.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y_train
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         let kept = y_train.data().iter().filter(|&&v| v > 0.0).count();
         assert!(kept > 0 && kept < y_train.len());
     }
@@ -708,7 +770,7 @@ mod tests {
         let y = a.forward(&x, true);
         assert_eq!(y.shape(), (1, 2));
         // Output coordinates lie within the convex hull of token coordinates: [0, 1].
-        assert!(y.data().iter().all(|&v| v >= 0.0 && v <= 1.0));
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         let dx = a.backward(&Tensor::ones(1, 2));
         assert_eq!(dx.shape(), (1, 6));
         assert!(dx.data().iter().all(|v| v.is_finite()));

@@ -11,7 +11,11 @@ use selsync_tensor::{ops, Tensor};
 /// Returns `(mean loss, dL/dlogits)` for a batch. Targets are class indices.
 /// The gradient is the standard `(softmax - one_hot) / batch`.
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.rows(), targets.len(), "batch size mismatch between logits and targets");
+    assert_eq!(
+        logits.rows(),
+        targets.len(),
+        "batch size mismatch between logits and targets"
+    );
     let probs = ops::softmax_rows(logits);
     let batch = logits.rows() as f32;
     let mut loss = 0.0f32;
@@ -41,7 +45,11 @@ pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
         return 0.0;
     }
     let preds = ops::argmax_rows(logits);
-    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     100.0 * correct as f32 / targets.len() as f32
 }
 
@@ -114,7 +122,11 @@ mod tests {
                 let (lp, _) = softmax_cross_entropy(&plus, &targets);
                 let (lm, _) = softmax_cross_entropy(&minus, &targets);
                 let num = (lp - lm) / (2.0 * eps);
-                assert!((num - grad.get(r, c)).abs() < 1e-3, "({r},{c}): {num} vs {}", grad.get(r, c));
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-3,
+                    "({r},{c}): {num} vs {}",
+                    grad.get(r, c)
+                );
             }
         }
     }

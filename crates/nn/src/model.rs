@@ -99,7 +99,11 @@ impl Sequential {
     ///
     /// Panics if the length does not match the model's parameter count.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             for p in layer.params_mut() {
@@ -144,7 +148,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn grads(&self) -> Vec<&Tensor> {
@@ -178,14 +185,16 @@ impl Layer for Residual {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let fx = self.inner.forward(input, train);
         let mut out = input.clone();
-        out.zip_mut_with(&fx, |x, y| x + y).expect("residual shapes must match");
+        out.zip_mut_with(&fx, |x, y| x + y)
+            .expect("residual shapes must match");
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let through = self.inner.backward(grad_output);
         let mut out = grad_output.clone();
-        out.zip_mut_with(&through, |x, y| x + y).expect("residual backward shapes");
+        out.zip_mut_with(&through, |x, y| x + y)
+            .expect("residual backward shapes");
         out
     }
 
@@ -226,7 +235,12 @@ pub enum ModelKind {
 impl ModelKind {
     /// All four workloads, in the order the paper lists them.
     pub fn all() -> [ModelKind; 4] {
-        [ModelKind::ResNetLike, ModelKind::VggLike, ModelKind::AlexLike, ModelKind::TransformerLike]
+        [
+            ModelKind::ResNetLike,
+            ModelKind::VggLike,
+            ModelKind::AlexLike,
+            ModelKind::TransformerLike,
+        ]
     }
 
     /// Paper-facing display name.
@@ -329,7 +343,10 @@ impl PaperModel {
                 net.push(Box::new(Linear::new(&mut r, hidden, 10)));
                 PaperModel {
                     kind,
-                    task: TaskKind::Classification { classes: 10, topk: 1 },
+                    task: TaskKind::Classification {
+                        classes: 10,
+                        topk: 1,
+                    },
                     nominal: NominalFootprint {
                         wire_bytes: 170 * 1024 * 1024, // ~44.5M params ≈ 170 MB
                         flops_per_sample: 7_800_000_000,
@@ -350,7 +367,10 @@ impl PaperModel {
                 net.push(Box::new(Linear::new(&mut r, hidden, 100)));
                 PaperModel {
                     kind,
-                    task: TaskKind::Classification { classes: 100, topk: 1 },
+                    task: TaskKind::Classification {
+                        classes: 100,
+                        topk: 1,
+                    },
                     nominal: NominalFootprint {
                         wire_bytes: 507 * 1024 * 1024, // paper: 507 MB VGG11
                         flops_per_sample: 900_000_000,
@@ -370,7 +390,10 @@ impl PaperModel {
                     .with(Box::new(Linear::new(&mut r, hidden, 200)));
                 PaperModel {
                     kind,
-                    task: TaskKind::Classification { classes: 200, topk: 5 },
+                    task: TaskKind::Classification {
+                        classes: 200,
+                        topk: 5,
+                    },
                     nominal: NominalFootprint {
                         wire_bytes: 244 * 1024 * 1024, // ~61M params ≈ 244 MB
                         flops_per_sample: 1_400_000_000,
@@ -554,7 +577,10 @@ mod tests {
             assert!(stats.loss.is_finite(), "{kind:?} loss");
             let grads = m.grads_flat();
             assert_eq!(grads.len(), m.param_count());
-            assert!(grads.iter().any(|&g| g != 0.0), "{kind:?} should produce nonzero grads");
+            assert!(
+                grads.iter().any(|&g| g != 0.0),
+                "{kind:?} should produce nonzero grads"
+            );
             let eval = m.evaluate(&x, &targets);
             assert!(eval.loss.is_finite());
         }
@@ -564,7 +590,11 @@ mod tests {
     fn training_reduces_loss_on_fixed_batch() {
         // A few SGD steps on a fixed batch must reduce the loss for every model family.
         use crate::optim::{Optimizer, Sgd};
-        for kind in [ModelKind::ResNetLike, ModelKind::VggLike, ModelKind::AlexLike] {
+        for kind in [
+            ModelKind::ResNetLike,
+            ModelKind::VggLike,
+            ModelKind::AlexLike,
+        ] {
             let mut m = PaperModel::build(kind, 7);
             let batch = 16;
             let x = Tensor::from_fn(batch, m.input_dim(), |r, c| {
@@ -587,8 +617,16 @@ mod tests {
 
     #[test]
     fn metric_names_and_direction() {
-        assert_eq!(PaperModel::build(ModelKind::ResNetLike, 1).task.metric_name(), "top1_accuracy_%");
-        assert_eq!(PaperModel::build(ModelKind::AlexLike, 1).task.metric_name(), "topk_accuracy_%");
+        assert_eq!(
+            PaperModel::build(ModelKind::ResNetLike, 1)
+                .task
+                .metric_name(),
+            "top1_accuracy_%"
+        );
+        assert_eq!(
+            PaperModel::build(ModelKind::AlexLike, 1).task.metric_name(),
+            "topk_accuracy_%"
+        );
         let lm = PaperModel::build(ModelKind::TransformerLike, 1);
         assert_eq!(lm.task.metric_name(), "perplexity");
         assert!(!lm.task.higher_is_better());

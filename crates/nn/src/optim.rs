@@ -36,7 +36,11 @@ pub struct Sgd {
 impl Sgd {
     /// Create an SGD optimizer.
     pub fn new(momentum: f32, weight_decay: f32) -> Self {
-        Sgd { momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -82,7 +86,15 @@ pub struct Adam {
 impl Adam {
     /// Create an Adam optimizer with the conventional defaults (β1=0.9, β2=0.999).
     pub fn new(weight_decay: f32) -> Self {
-        Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 }
 

@@ -43,11 +43,19 @@ impl LrSchedule {
     pub fn lr_at(&self, epoch: usize, iteration: usize) -> f32 {
         match self {
             LrSchedule::Constant { lr } => *lr,
-            LrSchedule::StepEpochDecay { base_lr, milestones, factor } => {
+            LrSchedule::StepEpochDecay {
+                base_lr,
+                milestones,
+                factor,
+            } => {
                 let decays = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
                 base_lr * factor.powi(decays)
             }
-            LrSchedule::StepIterDecay { base_lr, every_iters, factor } => {
+            LrSchedule::StepIterDecay {
+                base_lr,
+                every_iters,
+                factor,
+            } => {
                 if *every_iters == 0 {
                     return *base_lr;
                 }
@@ -80,7 +88,11 @@ mod tests {
 
     #[test]
     fn epoch_decay_applies_at_milestones() {
-        let s = LrSchedule::StepEpochDecay { base_lr: 0.1, milestones: vec![110, 150], factor: 0.1 };
+        let s = LrSchedule::StepEpochDecay {
+            base_lr: 0.1,
+            milestones: vec![110, 150],
+            factor: 0.1,
+        };
         assert!((s.lr_at(0, 0) - 0.1).abs() < 1e-8);
         assert!((s.lr_at(109, 0) - 0.1).abs() < 1e-8);
         assert!((s.lr_at(110, 0) - 0.01).abs() < 1e-8);
@@ -90,7 +102,11 @@ mod tests {
 
     #[test]
     fn iter_decay_applies_every_period() {
-        let s = LrSchedule::StepIterDecay { base_lr: 2.0, every_iters: 2000, factor: 0.8 };
+        let s = LrSchedule::StepIterDecay {
+            base_lr: 2.0,
+            every_iters: 2000,
+            factor: 0.8,
+        };
         assert!((s.lr_at(0, 0) - 2.0).abs() < 1e-6);
         assert!((s.lr_at(0, 1999) - 2.0).abs() < 1e-6);
         assert!((s.lr_at(0, 2000) - 1.6).abs() < 1e-6);
@@ -99,7 +115,11 @@ mod tests {
 
     #[test]
     fn zero_period_is_constant() {
-        let s = LrSchedule::StepIterDecay { base_lr: 1.0, every_iters: 0, factor: 0.5 };
+        let s = LrSchedule::StepIterDecay {
+            base_lr: 1.0,
+            every_iters: 0,
+            factor: 0.5,
+        };
         assert_eq!(s.lr_at(3, 123), 1.0);
     }
 
@@ -107,7 +127,12 @@ mod tests {
     fn base_lr_accessor() {
         assert_eq!(LrSchedule::Constant { lr: 0.3 }.base_lr(), 0.3);
         assert_eq!(
-            LrSchedule::StepEpochDecay { base_lr: 0.1, milestones: vec![], factor: 0.5 }.base_lr(),
+            LrSchedule::StepEpochDecay {
+                base_lr: 0.1,
+                milestones: vec![],
+                factor: 0.5
+            }
+            .base_lr(),
             0.1
         );
     }

@@ -1,0 +1,148 @@
+//! The fault injector: a validated, compiled view of a [`Scenario`]'s cluster
+//! imperfections, driven by the simulated clock (training iteration).
+//!
+//! Compilation happens once up front: the declarative [`crate::schema::FaultSpec`]s
+//! become runtime [`selsync::conditions::FaultEvent`]s, the schedule is validated
+//! against the topology, and the result plugs into both execution backends — the
+//! sequential [`selsync::sim::Simulator`] and the thread-per-worker driver in
+//! [`selsync::threaded`] — through `TrainConfig::conditions`. Because everything is a
+//! pure function of `(worker, iteration)`, both backends observe exactly the same
+//! cluster imperfections without any coordination.
+
+use crate::schema::Scenario;
+use selsync::conditions::ClusterConditions;
+use selsync_comm::NetworkModel;
+
+/// A compiled, validated fault schedule for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    conditions: ClusterConditions,
+    workers: usize,
+    iterations: usize,
+    base_network: NetworkModel,
+}
+
+impl FaultInjector {
+    /// Compile and validate a scenario's conditions.
+    pub fn compile(scenario: &Scenario) -> Result<Self, String> {
+        scenario.validate()?;
+        Ok(FaultInjector {
+            conditions: scenario.to_conditions(),
+            workers: scenario.workers,
+            iterations: scenario.iterations,
+            base_network: scenario.network.to_model(),
+        })
+    }
+
+    /// The compiled runtime conditions (what `TrainConfig::conditions` carries).
+    pub fn conditions(&self) -> &ClusterConditions {
+        &self.conditions
+    }
+
+    /// Compute-time multiplier of `worker` at `iteration`.
+    pub fn compute_multiplier(&self, worker: usize, iteration: usize) -> f64 {
+        self.conditions.compute_multiplier(worker, iteration)
+    }
+
+    /// Whether `worker` is alive at `iteration`.
+    pub fn is_present(&self, worker: usize, iteration: usize) -> bool {
+        self.conditions.is_present(worker, iteration)
+    }
+
+    /// The live workers at `iteration`.
+    pub fn present_workers(&self, iteration: usize) -> Vec<usize> {
+        self.conditions.present_workers(self.workers, iteration)
+    }
+
+    /// The network model in effect at `iteration`.
+    pub fn network_at(&self, iteration: usize) -> NetworkModel {
+        self.conditions.network_at(iteration, &self.base_network)
+    }
+
+    /// Deterministic one-line-per-event timeline of the schedule, for reports.
+    pub fn timeline(&self) -> String {
+        if self.conditions.faults.is_empty() && !self.conditions.has_heterogeneity() {
+            return "steady cluster: homogeneous devices, no faults".to_string();
+        }
+        let mut lines = Vec::new();
+        if self.conditions.has_heterogeneity() {
+            let speeds: Vec<String> = self
+                .conditions
+                .base_speed
+                .iter()
+                .map(|s| format!("{s}"))
+                .collect();
+            lines.push(format!("device speeds: [{}]", speeds.join(", ")));
+        }
+        for fault in &self.conditions.faults {
+            lines.push(fault.describe());
+        }
+        lines.join("\n")
+    }
+
+    /// Number of iterations the schedule was validated against.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Cluster size the schedule was validated against.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FaultSpec;
+
+    #[test]
+    fn compile_validates_and_exposes_queries() {
+        let mut s = Scenario::base("injector-test", 4, 200);
+        s.faults = vec![
+            FaultSpec::Slowdown {
+                worker: 2,
+                start: 50,
+                duration: 50,
+                factor: 2.0,
+            },
+            FaultSpec::Crash {
+                worker: 0,
+                start: 80,
+                rejoin: Some(120),
+            },
+            FaultSpec::Bandwidth {
+                start: 0,
+                duration: 10,
+                factor: 0.5,
+            },
+        ];
+        let inj = FaultInjector::compile(&s).unwrap();
+        assert_eq!(inj.compute_multiplier(2, 75), 2.0);
+        assert_eq!(inj.compute_multiplier(2, 150), 1.0);
+        assert!(!inj.is_present(0, 100));
+        assert_eq!(inj.present_workers(100), vec![1, 2, 3]);
+        assert!(inj.network_at(5).bandwidth_bps < inj.network_at(50).bandwidth_bps);
+        let timeline = inj.timeline();
+        assert!(timeline.contains("worker 2 slows 2x"), "{timeline}");
+        assert!(timeline.contains("worker 0 crashes at 80"), "{timeline}");
+    }
+
+    #[test]
+    fn compile_rejects_invalid_scenarios() {
+        let mut s = Scenario::base("bad", 2, 100);
+        s.faults = vec![FaultSpec::Crash {
+            worker: 5,
+            start: 0,
+            rejoin: None,
+        }];
+        assert!(FaultInjector::compile(&s).is_err());
+    }
+
+    #[test]
+    fn steady_timeline_reads_steady() {
+        let s = Scenario::base("steady-ish", 4, 100);
+        let inj = FaultInjector::compile(&s).unwrap();
+        assert!(inj.timeline().contains("steady cluster"));
+    }
+}

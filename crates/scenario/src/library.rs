@@ -1,0 +1,164 @@
+//! Built-in scenario library.
+//!
+//! Five canonical cluster shapes, each small enough to run in seconds yet shaped to
+//! surface the regime it is named after. All are constructed programmatically (so they
+//! are always in sync with the schema) and serialize to TOML via
+//! [`Scenario::to_toml_string`] — `scenario_run --dump <name>` prints them as starting
+//! points for custom files.
+
+use crate::schema::{FaultSpec, Scenario};
+
+/// Names of the built-in scenarios, in canonical order.
+pub const BUILTIN_NAMES: [&str; 5] = [
+    "steady",
+    "transient-straggler",
+    "degraded-network",
+    "crash-rejoin",
+    "heterogeneous-fleet",
+];
+
+/// Look up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    match name {
+        "steady" => Some(steady()),
+        "transient-straggler" => Some(transient_straggler()),
+        "degraded-network" => Some(degraded_network()),
+        "crash-rejoin" => Some(crash_rejoin()),
+        "heterogeneous-fleet" => Some(heterogeneous_fleet()),
+        _ => None,
+    }
+}
+
+/// All built-in scenarios, in canonical order.
+pub fn all_builtin() -> Vec<Scenario> {
+    BUILTIN_NAMES
+        .iter()
+        .map(|n| builtin(n).expect("builtin name"))
+        .collect()
+}
+
+/// Homogeneous, fault-free baseline: the shape every other scenario deviates from.
+pub fn steady() -> Scenario {
+    let mut s = Scenario::base("steady", 6, 240);
+    s.description = "Homogeneous fault-free cluster: the control arm.".into();
+    s
+}
+
+/// One worker slows 3.5× for the middle third of the run — the classic transient
+/// straggler that stretches every synchronous round it participates in.
+pub fn transient_straggler() -> Scenario {
+    let mut s = Scenario::base("transient-straggler", 6, 240);
+    s.description = "Worker 5 computes 3.5x slower during the middle third of the run.".into();
+    s.faults = vec![FaultSpec::Slowdown {
+        worker: 5,
+        start: 80,
+        duration: 80,
+        factor: 3.5,
+    }];
+    s
+}
+
+/// Bandwidth collapses to 20% and latency spikes for a long window: synchronization
+/// becomes expensive exactly where SelSync can skip it.
+pub fn degraded_network() -> Scenario {
+    let mut s = Scenario::base("degraded-network", 6, 240);
+    s.description = "Bandwidth x0.2 and +10ms latency during iterations 60..180.".into();
+    s.faults = vec![
+        FaultSpec::Bandwidth {
+            start: 60,
+            duration: 120,
+            factor: 0.2,
+        },
+        FaultSpec::Latency {
+            start: 60,
+            duration: 120,
+            extra_ms: 10.0,
+        },
+    ];
+    s
+}
+
+/// One worker crashes and later rejoins; another leaves for good near the end. The
+/// cluster must keep training over the live subset (elastic membership).
+pub fn crash_rejoin() -> Scenario {
+    let mut s = Scenario::base("crash-rejoin", 6, 240);
+    s.description =
+        "Worker 2 crashes at 60 and rejoins at 140; worker 4 leaves for good at 200.".into();
+    s.faults = vec![
+        FaultSpec::Crash {
+            worker: 2,
+            start: 60,
+            rejoin: Some(140),
+        },
+        FaultSpec::Crash {
+            worker: 4,
+            start: 200,
+            rejoin: None,
+        },
+    ];
+    s
+}
+
+/// A permanently mixed fleet (three device generations), the regime where a fixed
+/// synchronous pace is always set by the slowest device.
+pub fn heterogeneous_fleet() -> Scenario {
+    let mut s = Scenario::base("heterogeneous-fleet", 6, 240);
+    s.description = "Three device generations: speeds [1.0, 1.0, 1.15, 1.15, 1.3, 1.5].".into();
+    s.heterogeneity = vec![1.0, 1.0, 1.15, 1.15, 1.3, 1.5];
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::FaultInjector;
+
+    #[test]
+    fn all_builtins_are_valid_and_named_consistently() {
+        let all = all_builtin();
+        assert_eq!(all.len(), BUILTIN_NAMES.len());
+        for (scenario, name) in all.iter().zip(BUILTIN_NAMES.iter()) {
+            assert_eq!(&scenario.name, name);
+            assert!(
+                !scenario.description.is_empty(),
+                "{name} needs a description"
+            );
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            FaultInjector::compile(scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn builtins_round_trip_through_toml() {
+        for scenario in all_builtin() {
+            let text = scenario.to_toml_string();
+            let parsed = crate::schema::Scenario::from_toml_str(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert_eq!(scenario, parsed, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn builtins_cover_the_advertised_regimes() {
+        assert!(steady().faults.is_empty() && steady().heterogeneity.is_empty());
+        assert!(matches!(
+            transient_straggler().faults[..],
+            [FaultSpec::Slowdown { factor, .. }] if factor > 1.0
+        ));
+        assert!(degraded_network()
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::Bandwidth { factor, .. } if *factor < 1.0)));
+        assert!(crash_rejoin().faults.iter().any(|f| matches!(
+            f,
+            FaultSpec::Crash {
+                rejoin: Some(_),
+                ..
+            }
+        )));
+        assert!(heterogeneous_fleet().heterogeneity.iter().any(|&s| s > 1.0));
+    }
+}

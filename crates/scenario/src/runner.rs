@@ -1,0 +1,217 @@
+//! The scenario comparison runner.
+//!
+//! Runs BSP, SSP, FedAvg, local SGD and SelSync over one scenario with *identical*
+//! accounting — same workload, same seed, same conditions, same cost models — and
+//! renders a deterministic comparison report. Same scenario + same seed ⇒ byte-identical
+//! report text, which is what turns recorded seeds into regression tests.
+
+use crate::injector::FaultInjector;
+use crate::schema::Scenario;
+use selsync::algorithms;
+use selsync::config::AlgorithmSpec;
+use selsync::report::RunReport;
+use selsync_metrics::table::{fmt_f, Table};
+
+/// The algorithm arms every scenario comparison runs, in canonical order.
+pub fn algorithm_arms(delta: f32) -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::Bsp,
+        AlgorithmSpec::Ssp { staleness: 24 },
+        AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 },
+        AlgorithmSpec::LocalSgd,
+        AlgorithmSpec::selsync(delta),
+    ]
+}
+
+/// All per-algorithm reports for one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Deterministic fault-timeline summary.
+    pub timeline: String,
+    /// One report per arm, in [`algorithm_arms`] order.
+    pub runs: Vec<RunReport>,
+}
+
+/// Run every algorithm arm over `scenario` and collect the reports.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let injector = FaultInjector::compile(scenario)?;
+    let runs = algorithm_arms(scenario.delta)
+        .into_iter()
+        .map(|algo| algorithms::run(&scenario.train_config(algo)))
+        .collect();
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        seed: scenario.seed,
+        timeline: injector.timeline(),
+        runs,
+    })
+}
+
+impl ScenarioReport {
+    /// The BSP arm (always the first).
+    pub fn bsp(&self) -> &RunReport {
+        &self.runs[0]
+    }
+
+    /// The SelSync arm (always the last).
+    pub fn selsync(&self) -> &RunReport {
+        self.runs.last().expect("runs are never empty")
+    }
+
+    /// The first run whose algorithm label starts with `prefix`.
+    pub fn run_named(&self, prefix: &str) -> Option<&RunReport> {
+        self.runs.iter().find(|r| r.algorithm.starts_with(prefix))
+    }
+
+    /// SelSync's simulated-time speedup over BSP for the same iteration count.
+    pub fn selsync_raw_speedup(&self) -> f64 {
+        self.selsync().raw_time_speedup(self.bsp())
+    }
+
+    /// SelSync's speedup to reach BSP's final metric (`None` if it never does).
+    pub fn selsync_target_speedup(&self) -> Option<f64> {
+        self.selsync().speedup_to_baseline_target(self.bsp())
+    }
+
+    /// Render the full report as deterministic text (fixed-precision numbers, stable
+    /// ordering; no clocks, no paths).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# scenario: {} (seed {})\n",
+            self.scenario, self.seed
+        ));
+        if !self.description.is_empty() {
+            out.push_str(&format!("{}\n", self.description));
+        }
+        out.push_str("\n## cluster timeline\n");
+        out.push_str(&self.timeline);
+        out.push('\n');
+
+        let higher = self.bsp().higher_is_better;
+        out.push_str(&format!(
+            "\n## per-algorithm results ({} is better)\n\n",
+            if higher {
+                "higher metric"
+            } else {
+                "lower metric"
+            }
+        ));
+        let mut table = Table::new(vec![
+            "algorithm",
+            "final_metric",
+            "best_metric",
+            "lssr",
+            "sim_time_s",
+            "compute_s",
+            "comm_s",
+            "comm_MB",
+        ]);
+        for run in &self.runs {
+            table.push_row(vec![
+                run.algorithm.clone(),
+                fmt_f(run.final_metric as f64, 3),
+                fmt_f(run.best_metric as f64, 3),
+                fmt_f(run.lssr, 4),
+                fmt_f(run.sim_time_s, 3),
+                fmt_f(run.compute_time_s, 3),
+                fmt_f(run.comm_time_s, 3),
+                fmt_f(run.bytes_communicated as f64 / (1024.0 * 1024.0), 1),
+            ]);
+        }
+        out.push_str(&table.to_markdown());
+
+        out.push_str("\n## selsync vs bsp\n");
+        out.push_str(&format!(
+            "same-iterations speedup: {}x\n",
+            fmt_f(self.selsync_raw_speedup(), 3)
+        ));
+        let target = self.bsp().final_metric;
+        match self.selsync_target_speedup() {
+            Some(s) => {
+                let bsp_t = self
+                    .bsp()
+                    .time_to_target(target)
+                    .unwrap_or(self.bsp().sim_time_s);
+                let sel_t = self.selsync().time_to_target(target).unwrap_or(f64::NAN);
+                out.push_str(&format!(
+                    "time-to-BSP-final-metric ({}): BSP {}s -> SelSync {}s, speedup {}x\n",
+                    fmt_f(target as f64, 3),
+                    fmt_f(bsp_t, 3),
+                    fmt_f(sel_t, 3),
+                    fmt_f(s, 3),
+                ));
+            }
+            None => out.push_str(&format!(
+                "time-to-BSP-final-metric ({}): SelSync never reached it\n",
+                fmt_f(target as f64, 3),
+            )),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        let mut s = Scenario::base("runner-test", 3, 24);
+        s.train_samples = 384;
+        s.test_samples = 96;
+        s.eval_samples = 96;
+        s.batch_size = 8;
+        s.eval_every = 6;
+        s
+    }
+
+    #[test]
+    fn runner_produces_all_arms_with_identical_workload() {
+        let report = run_scenario(&tiny_scenario()).unwrap();
+        assert_eq!(report.runs.len(), 5);
+        assert!(report.bsp().algorithm.starts_with("BSP"));
+        assert!(report.selsync().algorithm.starts_with("SelSync"));
+        assert!(report.run_named("SSP").is_some());
+        assert!(report.run_named("FedAvg").is_some());
+        assert!(report.run_named("LocalSGD").is_some());
+        for run in &report.runs {
+            assert_eq!(run.iterations, 24, "{}", run.algorithm);
+            assert!(run.final_loss.is_finite(), "{}", run.algorithm);
+        }
+        // Every arm runs on the same (here: explicitly homogeneous) cluster — SSP must
+        // not fall back to its profile-less paper-straggler default inside a scenario.
+        let bsp = report.bsp();
+        let ssp = report.run_named("SSP").unwrap();
+        assert!(
+            (bsp.compute_time_s - ssp.compute_time_s).abs() < 1e-9,
+            "scenario arms must share one cluster: BSP {} vs SSP {}",
+            bsp.compute_time_s,
+            ssp.compute_time_s
+        );
+    }
+
+    #[test]
+    fn rendered_report_is_deterministic() {
+        let a = run_scenario(&tiny_scenario()).unwrap().render();
+        let b = run_scenario(&tiny_scenario()).unwrap().render();
+        assert_eq!(a, b);
+        assert!(a.contains("# scenario: runner-test (seed 42)"));
+        assert!(a.contains("same-iterations speedup"));
+    }
+
+    #[test]
+    fn different_seeds_render_differently() {
+        let mut s = tiny_scenario();
+        let a = run_scenario(&s).unwrap().render();
+        s.seed = 43;
+        let b = run_scenario(&s).unwrap().render();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,631 @@
+//! The declarative scenario schema and its TOML binding.
+//!
+//! A [`Scenario`] fully describes one reproducible experiment over an imperfect
+//! cluster: the workload (model, batch size, iterations, dataset sizes), the cluster
+//! topology and per-worker device heterogeneity, the base network, the SelSync δ, and a
+//! timed fault schedule. `scenario + seed` determines every bit of the resulting run
+//! reports, so a scenario file doubles as a regression-test fixture.
+
+use crate::toml::{self, Document, Table, Value};
+use selsync::conditions::{ClusterConditions, FaultEvent};
+use selsync::config::TrainConfig;
+use selsync_comm::NetworkModel;
+use selsync_nn::model::ModelKind;
+
+/// Declarative description of a fault, mirroring
+/// [`selsync::conditions::FaultEvent`] with file-friendly field names and units.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// `kind = "slowdown"`: worker computes `factor`× slower during the window.
+    Slowdown {
+        /// Affected worker.
+        worker: usize,
+        /// First affected iteration.
+        start: usize,
+        /// Window length in iterations.
+        duration: usize,
+        /// Compute-time multiplier.
+        factor: f64,
+    },
+    /// `kind = "crash"`: worker is absent from `start` until `rejoin` (forever if
+    /// omitted).
+    Crash {
+        /// Affected worker.
+        worker: usize,
+        /// First absent iteration.
+        start: usize,
+        /// First iteration back, if any.
+        rejoin: Option<usize>,
+    },
+    /// `kind = "bandwidth"`: cluster-wide bandwidth multiplied by `factor` (< 1 =
+    /// degraded) during the window.
+    Bandwidth {
+        /// First affected iteration.
+        start: usize,
+        /// Window length in iterations.
+        duration: usize,
+        /// Bandwidth multiplier.
+        factor: f64,
+    },
+    /// `kind = "latency"`: `extra_ms` added to one-way latency during the window.
+    Latency {
+        /// First affected iteration.
+        start: usize,
+        /// Window length in iterations.
+        duration: usize,
+        /// Added one-way latency in milliseconds.
+        extra_ms: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Compile to the runtime event type.
+    pub fn to_event(&self) -> FaultEvent {
+        match *self {
+            FaultSpec::Slowdown {
+                worker,
+                start,
+                duration,
+                factor,
+            } => FaultEvent::Slowdown {
+                worker,
+                start,
+                duration,
+                factor,
+            },
+            FaultSpec::Crash {
+                worker,
+                start,
+                rejoin,
+            } => FaultEvent::Crash {
+                worker,
+                start,
+                rejoin,
+            },
+            FaultSpec::Bandwidth {
+                start,
+                duration,
+                factor,
+            } => FaultEvent::BandwidthDegradation {
+                start,
+                duration,
+                factor,
+            },
+            FaultSpec::Latency {
+                start,
+                duration,
+                extra_ms,
+            } => FaultEvent::LatencySpike {
+                start,
+                duration,
+                extra_latency_s: extra_ms / 1e3,
+            },
+        }
+    }
+}
+
+/// Base network description in file-friendly units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Link bandwidth in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl NetworkSpec {
+    /// The paper's 5 Gbps testbed.
+    pub fn paper() -> Self {
+        NetworkSpec {
+            bandwidth_gbps: 5.0,
+            latency_ms: 1.0,
+        }
+    }
+
+    /// Compile to the cost-model type (software overhead keeps the paper's value).
+    pub fn to_model(&self) -> NetworkModel {
+        let mut net = NetworkModel::paper_5gbps();
+        net.bandwidth_bps = self.bandwidth_gbps * 1e9;
+        net.latency_s = self.latency_ms / 1e3;
+        net
+    }
+}
+
+/// A declarative, deterministic experiment over an imperfect cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used in reports and file names).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// RNG seed: same scenario + same seed ⇒ bit-identical reports.
+    pub seed: u64,
+    /// Cluster size.
+    pub workers: usize,
+    /// Workload model (`"resnet"`, `"vgg"`, `"alexnet"`, `"transformer"`).
+    pub model: ModelKind,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Held-out set size.
+    pub test_samples: usize,
+    /// Evaluate every this many iterations.
+    pub eval_every: usize,
+    /// Evaluation sample cap.
+    pub eval_samples: usize,
+    /// SelSync threshold δ used by the SelSync arm of the comparison.
+    pub delta: f32,
+    /// Base interconnect.
+    pub network: NetworkSpec,
+    /// Per-worker base speed multipliers (empty = homogeneous fleet).
+    pub heterogeneity: Vec<f64>,
+    /// Timed fault schedule.
+    pub faults: Vec<FaultSpec>,
+}
+
+fn model_name(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::ResNetLike => "resnet",
+        ModelKind::VggLike => "vgg",
+        ModelKind::AlexLike => "alexnet",
+        ModelKind::TransformerLike => "transformer",
+    }
+}
+
+fn model_from_name(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "resnet" => Ok(ModelKind::ResNetLike),
+        "vgg" => Ok(ModelKind::VggLike),
+        "alexnet" => Ok(ModelKind::AlexLike),
+        "transformer" => Ok(ModelKind::TransformerLike),
+        other => Err(format!(
+            "unknown model {other:?} (expected resnet | vgg | alexnet | transformer)"
+        )),
+    }
+}
+
+fn get_usize(t: &Table, key: &str, ctx: &str) -> Result<usize, String> {
+    let v = t
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?;
+    let i = v
+        .as_int()
+        .ok_or_else(|| format!("{ctx}: {key} must be an integer"))?;
+    usize::try_from(i).map_err(|_| format!("{ctx}: {key} must be non-negative"))
+}
+
+fn get_f64(t: &Table, key: &str, ctx: &str) -> Result<f64, String> {
+    t.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_float()
+        .ok_or_else(|| format!("{ctx}: {key} must be a number"))
+}
+
+fn get_str<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a str, String> {
+    t.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: {key} must be a string"))
+}
+
+impl Scenario {
+    /// A minimal steady scenario with the given shape; callers adjust fields from here.
+    pub fn base(name: &str, workers: usize, iterations: usize) -> Self {
+        Scenario {
+            name: name.to_string(),
+            description: String::new(),
+            seed: 42,
+            workers,
+            model: ModelKind::ResNetLike,
+            batch_size: 16,
+            iterations,
+            train_samples: 2048,
+            test_samples: 512,
+            eval_every: (iterations / 10).max(1),
+            eval_samples: 256,
+            delta: 0.3,
+            network: NetworkSpec::paper(),
+            heterogeneity: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Compile the heterogeneity profile + fault schedule to runtime conditions.
+    ///
+    /// The compiled profile is always *explicit* (an omitted `[heterogeneity]` section
+    /// becomes `[1.0; workers]`): a scenario fully specifies its cluster, so no driver
+    /// default — such as SSP's paper straggler for profile-less configs — may leak into
+    /// a scenario comparison. Every algorithm arm runs on the same cluster.
+    pub fn to_conditions(&self) -> ClusterConditions {
+        let speeds = if self.heterogeneity.is_empty() {
+            vec![1.0; self.workers]
+        } else {
+            self.heterogeneity.clone()
+        };
+        let mut c = ClusterConditions::with_speeds(speeds);
+        for fault in &self.faults {
+            c.faults.push(fault.to_event());
+        }
+        c
+    }
+
+    /// The fully-specified training configuration for one algorithm arm. Every arm gets
+    /// identical workload, data, seed, network and conditions — only the algorithm
+    /// differs, which is what makes the comparison meaningful.
+    pub fn train_config(&self, algorithm: selsync::config::AlgorithmSpec) -> TrainConfig {
+        let mut cfg = TrainConfig::small(self.model, self.workers);
+        cfg.batch_size = self.batch_size;
+        cfg.iterations = self.iterations;
+        cfg.eval_every = self.eval_every;
+        cfg.eval_samples = self.eval_samples;
+        cfg.train_samples = self.train_samples;
+        cfg.test_samples = self.test_samples;
+        cfg.seed = self.seed;
+        cfg.network = self.network.to_model();
+        cfg.conditions = self.to_conditions();
+        cfg.algorithm = algorithm;
+        cfg
+    }
+
+    /// Check internal consistency (worker ids, windows, at least one live worker).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.workers == 0 {
+            return Err("scenario needs at least one worker".into());
+        }
+        if self.iterations == 0 {
+            return Err("scenario needs at least one iteration".into());
+        }
+        if self.batch_size == 0 || self.train_samples == 0 || self.test_samples == 0 {
+            return Err("batch size and dataset sizes must be positive".into());
+        }
+        if !(self.delta >= 0.0 && self.delta.is_finite()) {
+            return Err("delta must be a finite non-negative number".into());
+        }
+        // Written so NaN fails the checks (`NaN > 0.0` and `NaN >= 0.0` are false).
+        let network_ok = self.network.bandwidth_gbps > 0.0
+            && self.network.bandwidth_gbps.is_finite()
+            && self.network.latency_ms >= 0.0
+            && self.network.latency_ms.is_finite();
+        if !network_ok {
+            return Err("network needs finite positive bandwidth and non-negative latency".into());
+        }
+        self.to_conditions().validate(self.workers, self.iterations)
+    }
+
+    /// Serialize to canonical TOML.
+    pub fn to_toml_string(&self) -> String {
+        let mut doc = Document::new();
+        let mut s = Table::new();
+        s.set("name", Value::Str(self.name.clone()));
+        s.set("description", Value::Str(self.description.clone()));
+        s.set("seed", Value::Int(self.seed as i64));
+        s.set("workers", Value::Int(self.workers as i64));
+        s.set("model", Value::Str(model_name(self.model).to_string()));
+        s.set("batch_size", Value::Int(self.batch_size as i64));
+        s.set("iterations", Value::Int(self.iterations as i64));
+        s.set("train_samples", Value::Int(self.train_samples as i64));
+        s.set("test_samples", Value::Int(self.test_samples as i64));
+        s.set("eval_every", Value::Int(self.eval_every as i64));
+        s.set("eval_samples", Value::Int(self.eval_samples as i64));
+        // Serialize the shortest f32 representation (a raw f32→f64 cast would print
+        // 0.3 as 0.30000001192092896); parsing back through f64 reproduces the f32.
+        let delta_shortest: f64 = format!("{}", self.delta)
+            .parse()
+            .unwrap_or(self.delta as f64);
+        s.set("delta", Value::Float(delta_shortest));
+        doc.sections.push(("scenario".to_string(), s));
+
+        let mut net = Table::new();
+        net.set("bandwidth_gbps", Value::Float(self.network.bandwidth_gbps));
+        net.set("latency_ms", Value::Float(self.network.latency_ms));
+        doc.sections.push(("network".to_string(), net));
+
+        if !self.heterogeneity.is_empty() {
+            let mut h = Table::new();
+            h.set(
+                "speeds",
+                Value::Array(
+                    self.heterogeneity
+                        .iter()
+                        .map(|&s| Value::Float(s))
+                        .collect(),
+                ),
+            );
+            doc.sections.push(("heterogeneity".to_string(), h));
+        }
+
+        for fault in &self.faults {
+            let mut t = Table::new();
+            match *fault {
+                FaultSpec::Slowdown {
+                    worker,
+                    start,
+                    duration,
+                    factor,
+                } => {
+                    t.set("kind", Value::Str("slowdown".into()));
+                    t.set("worker", Value::Int(worker as i64));
+                    t.set("start", Value::Int(start as i64));
+                    t.set("duration", Value::Int(duration as i64));
+                    t.set("factor", Value::Float(factor));
+                }
+                FaultSpec::Crash {
+                    worker,
+                    start,
+                    rejoin,
+                } => {
+                    t.set("kind", Value::Str("crash".into()));
+                    t.set("worker", Value::Int(worker as i64));
+                    t.set("start", Value::Int(start as i64));
+                    if let Some(r) = rejoin {
+                        t.set("rejoin", Value::Int(r as i64));
+                    }
+                }
+                FaultSpec::Bandwidth {
+                    start,
+                    duration,
+                    factor,
+                } => {
+                    t.set("kind", Value::Str("bandwidth".into()));
+                    t.set("start", Value::Int(start as i64));
+                    t.set("duration", Value::Int(duration as i64));
+                    t.set("factor", Value::Float(factor));
+                }
+                FaultSpec::Latency {
+                    start,
+                    duration,
+                    extra_ms,
+                } => {
+                    t.set("kind", Value::Str("latency".into()));
+                    t.set("start", Value::Int(start as i64));
+                    t.set("duration", Value::Int(duration as i64));
+                    t.set("extra_ms", Value::Float(extra_ms));
+                }
+            }
+            doc.table_arrays.push(("fault".to_string(), t));
+        }
+        toml::serialize(&doc)
+    }
+
+    /// Parse a scenario from TOML text.
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        let doc = toml::parse(text).map_err(|e| e.to_string())?;
+        let s = doc
+            .section("scenario")
+            .ok_or("missing [scenario] section")?;
+        let ctx = "[scenario]";
+        let name = get_str(s, "name", ctx)?.to_string();
+        let description = s
+            .get("description")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let seed = get_usize(s, "seed", ctx)? as u64;
+        let workers = get_usize(s, "workers", ctx)?;
+        let model = model_from_name(get_str(s, "model", ctx)?)?;
+        let batch_size = get_usize(s, "batch_size", ctx)?;
+        let iterations = get_usize(s, "iterations", ctx)?;
+        let train_samples = get_usize(s, "train_samples", ctx)?;
+        let test_samples = get_usize(s, "test_samples", ctx)?;
+        let eval_every = get_usize(s, "eval_every", ctx)?;
+        let eval_samples = get_usize(s, "eval_samples", ctx)?;
+        let delta = get_f64(s, "delta", ctx)? as f32;
+
+        let network = match doc.section("network") {
+            Some(n) => NetworkSpec {
+                bandwidth_gbps: get_f64(n, "bandwidth_gbps", "[network]")?,
+                latency_ms: get_f64(n, "latency_ms", "[network]")?,
+            },
+            None => NetworkSpec::paper(),
+        };
+
+        let heterogeneity = match doc.section("heterogeneity") {
+            Some(h) => {
+                let arr = h
+                    .get("speeds")
+                    .and_then(|v| v.as_array())
+                    .ok_or("[heterogeneity]: speeds must be an array")?;
+                arr.iter()
+                    .map(|v| {
+                        v.as_float()
+                            .ok_or("[heterogeneity]: speeds must be numbers".into())
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?
+            }
+            None => Vec::new(),
+        };
+
+        let mut faults = Vec::new();
+        for (i, t) in doc.tables_named("fault").into_iter().enumerate() {
+            let ctx = format!("[[fault]] #{i}");
+            let fault = match get_str(t, "kind", &ctx)? {
+                "slowdown" => FaultSpec::Slowdown {
+                    worker: get_usize(t, "worker", &ctx)?,
+                    start: get_usize(t, "start", &ctx)?,
+                    duration: get_usize(t, "duration", &ctx)?,
+                    factor: get_f64(t, "factor", &ctx)?,
+                },
+                "crash" => FaultSpec::Crash {
+                    worker: get_usize(t, "worker", &ctx)?,
+                    start: get_usize(t, "start", &ctx)?,
+                    rejoin: match t.get("rejoin") {
+                        Some(v) => Some(
+                            v.as_int()
+                                .and_then(|i| usize::try_from(i).ok())
+                                .ok_or(format!("{ctx}: rejoin must be a non-negative integer"))?,
+                        ),
+                        None => None,
+                    },
+                },
+                "bandwidth" => FaultSpec::Bandwidth {
+                    start: get_usize(t, "start", &ctx)?,
+                    duration: get_usize(t, "duration", &ctx)?,
+                    factor: get_f64(t, "factor", &ctx)?,
+                },
+                "latency" => FaultSpec::Latency {
+                    start: get_usize(t, "start", &ctx)?,
+                    duration: get_usize(t, "duration", &ctx)?,
+                    extra_ms: get_f64(t, "extra_ms", &ctx)?,
+                },
+                other => {
+                    return Err(format!(
+                        "{ctx}: unknown fault kind {other:?} \
+                         (expected slowdown | crash | bandwidth | latency)"
+                    ))
+                }
+            };
+            faults.push(fault);
+        }
+
+        let scenario = Scenario {
+            name,
+            description,
+            seed,
+            workers,
+            model,
+            batch_size,
+            iterations,
+            train_samples,
+            test_samples,
+            eval_every,
+            eval_samples,
+            delta,
+            network,
+            heterogeneity,
+            faults,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        let mut s = Scenario::base("unit-test", 4, 100);
+        s.description = "schema unit test".into();
+        s.heterogeneity = vec![1.0, 1.1, 1.0, 1.4];
+        s.faults = vec![
+            FaultSpec::Slowdown {
+                worker: 3,
+                start: 20,
+                duration: 30,
+                factor: 3.0,
+            },
+            FaultSpec::Crash {
+                worker: 1,
+                start: 40,
+                rejoin: Some(60),
+            },
+            FaultSpec::Crash {
+                worker: 2,
+                start: 90,
+                rejoin: None,
+            },
+            FaultSpec::Bandwidth {
+                start: 10,
+                duration: 25,
+                factor: 0.25,
+            },
+            FaultSpec::Latency {
+                start: 10,
+                duration: 25,
+                extra_ms: 15.0,
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity() {
+        let s = sample();
+        let text = s.to_toml_string();
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s, parsed);
+        // Canonical serialization is a fixed point.
+        assert_eq!(text, parsed.to_toml_string());
+    }
+
+    #[test]
+    fn conditions_compilation_matches_schema() {
+        let s = sample();
+        let c = s.to_conditions();
+        assert_eq!(c.base_speed, vec![1.0, 1.1, 1.0, 1.4]);
+        assert_eq!(c.faults.len(), 5);
+        assert!(
+            (c.compute_multiplier(3, 25) - 4.2).abs() < 1e-12,
+            "1.4 base x 3.0 slowdown"
+        );
+        assert!(!c.is_present(1, 50));
+        assert!(c.is_present(1, 60));
+        assert!(!c.is_present(2, 95));
+        let base = NetworkModel::paper_5gbps();
+        let net = c.network_at(12, &base);
+        assert_eq!(net.bandwidth_bps, base.bandwidth_bps * 0.25);
+        assert!((net.latency_s - (base.latency_s + 0.015)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_config_carries_the_whole_scenario() {
+        let s = sample();
+        let cfg = s.train_config(selsync::config::AlgorithmSpec::selsync(s.delta));
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.iterations, 100);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.conditions, s.to_conditions());
+    }
+
+    #[test]
+    fn validation_rejects_broken_scenarios() {
+        let mut s = sample();
+        s.faults.push(FaultSpec::Slowdown {
+            worker: 99,
+            start: 0,
+            duration: 1,
+            factor: 2.0,
+        });
+        assert!(s.validate().is_err());
+
+        let mut s2 = sample();
+        s2.workers = 0;
+        assert!(s2.validate().is_err());
+
+        let mut s3 = sample();
+        s3.delta = f32::NAN;
+        assert!(s3.validate().is_err());
+
+        let mut s4 = sample();
+        s4.network.bandwidth_gbps = f64::NAN;
+        assert!(s4.validate().is_err());
+        let mut s5 = sample();
+        s5.network.latency_ms = f64::INFINITY;
+        assert!(s5.validate().is_err());
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for kind in ModelKind::all() {
+            assert_eq!(model_from_name(model_name(kind)).unwrap(), kind);
+        }
+        assert!(model_from_name("gpt5").is_err());
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        assert!(Scenario::from_toml_str("x = 1")
+            .unwrap_err()
+            .contains("[scenario]"));
+        let text = sample().to_toml_string().replace("model = \"resnet\"", "");
+        assert!(Scenario::from_toml_str(&text)
+            .unwrap_err()
+            .contains("model"));
+    }
+}

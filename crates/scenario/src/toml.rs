@@ -1,0 +1,518 @@
+//! Minimal TOML codec for scenario files.
+//!
+//! The workspace builds offline, so instead of the `toml`/`serde` stack this module
+//! implements the subset scenario files need: top-level key/value pairs, `[section]`
+//! tables, `[[section]]` arrays of tables, and string / integer / float / boolean /
+//! array values, with `#` comments. The serializer emits a canonical form (floats always
+//! carry a decimal point or exponent), so `parse ∘ serialize` is the identity on parsed
+//! documents — the property the scenario round-trip tests pin down.
+
+use std::fmt;
+
+/// A TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float (serialized with a decimal point or exponent so it re-parses as float).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A homogeneous or heterogeneous array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as f64 (accepts both floats and integers, as TOML writers often
+    /// drop the fractional part of a whole number).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered table of key/value pairs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Set `key` (replacing an existing entry of the same name).
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A parsed TOML document: root-level entries, named `[sections]`, and `[[arrays]]` of
+/// tables, each in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    /// Key/value pairs before the first header.
+    pub root: Table,
+    /// `[name]` sections in file order.
+    pub sections: Vec<(String, Table)>,
+    /// `[[name]]` array-of-table entries in file order.
+    pub table_arrays: Vec<(String, Table)>,
+}
+
+impl Document {
+    /// Empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// The first `[name]` section, if present.
+    pub fn section(&self, name: &str) -> Option<&Table> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// All `[[name]]` tables, in file order.
+    pub fn tables_named(&self, name: &str) -> Vec<&Table> {
+        self.table_arrays
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line where parsing failed (0 for structural errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a TOML document (the subset described in the module docs).
+pub fn parse(text: &str) -> Result<Document, TomlError> {
+    enum Target {
+        Root,
+        Section(usize),
+        ArrayTable(usize),
+    }
+    let mut doc = Document::new();
+    let mut target = Target::Root;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty table-array name"));
+            }
+            doc.table_arrays.push((name.to_string(), Table::new()));
+            target = Target::ArrayTable(doc.table_arrays.len() - 1);
+        } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty section name"));
+            }
+            if doc.sections.iter().any(|(n, _)| n == name) {
+                return Err(err(lineno, format!("duplicate section [{name}]")));
+            }
+            doc.sections.push((name.to_string(), Table::new()));
+            target = Target::Section(doc.sections.len() - 1);
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err(lineno, format!("invalid key {key:?}")));
+            }
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = match target {
+                Target::Root => &mut doc.root,
+                Target::Section(i) => &mut doc.sections[i].1,
+                Target::ArrayTable(i) => &mut doc.table_arrays[i].1,
+            };
+            if table.get(key).is_some() {
+                return Err(err(lineno, format!("duplicate key {key:?}")));
+            }
+            table.set(key, value);
+        } else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value` or a header, got {line:?}"),
+            ));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, TomlError> {
+    if text.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, _) = parse_string_body(rest, lineno)?;
+        return Ok(Value::Str(s));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    // Numbers. TOML allows underscores as digit separators.
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+        cleaned
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(lineno, format!("invalid float {text:?}")))
+    } else {
+        cleaned
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(lineno, format!("invalid value {text:?}")))
+    }
+}
+
+/// Parse a string body up to the closing quote, handling `\"`, `\\`, `\n`, `\t`.
+/// Returns the unescaped content; trailing characters after the closing quote are
+/// rejected by the caller's context (we only accept whole-value strings).
+fn parse_string_body(rest: &str, lineno: usize) -> Result<(String, usize), TomlError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                if !rest[i + 1..].trim().is_empty() {
+                    return Err(err(lineno, "unexpected text after closing quote"));
+                }
+                return Ok((out, i + 1));
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "unsupported escape \\{}",
+                            other.map(|(_, c)| c).unwrap_or(' ')
+                        ),
+                    ))
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+/// Split an array body on top-level commas (commas inside nested arrays or strings do
+/// not split).
+fn split_top_level(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                current.push(c);
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth = depth.saturating_sub(1),
+            ',' if !in_string && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                escaped = false;
+                continue;
+            }
+            _ => {}
+        }
+        escaped = false;
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Serialize a document to canonical TOML (the inverse of [`parse`] on its image).
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for (k, v) in doc.root.entries() {
+        out.push_str(&format!("{k} = {}\n", fmt_value(v)));
+    }
+    for (name, table) in &doc.sections {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("[{name}]\n"));
+        for (k, v) in table.entries() {
+            out.push_str(&format!("{k} = {}\n", fmt_value(v)));
+        }
+    }
+    for (name, table) in &doc.table_arrays {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("[[{name}]]\n"));
+        for (k, v) in table.entries() {
+            out.push_str(&format!("{k} = {}\n", fmt_value(v)));
+        }
+    }
+    out
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t");
+            format!("\"{escaped}\"")
+        }
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Rust's shortest round-trip float formatting, forced to re-parse as a
+            // float: whole numbers get an explicit `.0`.
+            let s = format!("{f}");
+            if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(fmt_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a scenario-ish document
+title = "hello # not a comment"
+count = 3
+
+[network]
+bandwidth_gbps = 5.0
+latency_ms = 1.5   # trailing comment
+fast = false
+
+[profile]
+speeds = [1.0, 1.05, 1.4]
+ids = [1, 2, 3]
+
+[[fault]]
+kind = "slowdown"
+worker = 7
+factor = 3.5
+
+[[fault]]
+kind = "crash"
+worker = 2
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_scalars() {
+        let doc = parse(SAMPLE).unwrap();
+        assert_eq!(
+            doc.root.get("title").unwrap().as_str(),
+            Some("hello # not a comment")
+        );
+        assert_eq!(doc.root.get("count").unwrap().as_int(), Some(3));
+        let net = doc.section("network").unwrap();
+        assert_eq!(net.get("bandwidth_gbps").unwrap().as_float(), Some(5.0));
+        assert_eq!(net.get("latency_ms").unwrap().as_float(), Some(1.5));
+        assert_eq!(net.get("fast").unwrap().as_bool(), Some(false));
+        let speeds = doc
+            .section("profile")
+            .unwrap()
+            .get("speeds")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(speeds.len(), 3);
+        assert_eq!(speeds[2].as_float(), Some(1.4));
+        let faults = doc.tables_named("fault");
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].get("kind").unwrap().as_str(), Some("slowdown"));
+        assert_eq!(faults[1].get("worker").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity() {
+        let doc = parse(SAMPLE).unwrap();
+        let text = serialize(&doc);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(doc, reparsed);
+        // And serialization is a fixed point after one round.
+        assert_eq!(text, serialize(&reparsed));
+    }
+
+    #[test]
+    fn whole_floats_keep_their_floatness() {
+        let mut doc = Document::new();
+        doc.root.set("x", Value::Float(3.0));
+        doc.root.set("y", Value::Float(2.5e-3));
+        let text = serialize(&doc);
+        assert!(text.contains("x = 3.0"), "{text}");
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let mut doc = Document::new();
+        doc.root
+            .set("s", Value::Str("a \"quoted\" piece\nwith\\slash".into()));
+        let reparsed = parse(&serialize(&doc)).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("x = ").is_err());
+        assert!(parse("x = \"unterminated").is_err());
+        assert!(parse("[dup]\n[dup]").is_err());
+        assert!(parse("x = 1\nx = 2").is_err());
+    }
+
+    #[test]
+    fn underscored_integers_parse() {
+        let doc = parse("n = 1_000_000").unwrap();
+        assert_eq!(doc.root.get("n").unwrap().as_int(), Some(1_000_000));
+    }
+}

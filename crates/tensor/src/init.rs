@@ -60,14 +60,17 @@ mod tests {
         let var: f32 = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
         let expected = 2.0 / 256.0;
         assert!(mean.abs() < 0.01);
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
     fn uniform_respects_range() {
         let mut r = seeded(3);
         let t = uniform(&mut r, 10, 10, -0.5, 0.25);
-        assert!(t.data().iter().all(|&x| x >= -0.5 && x < 0.25));
+        assert!(t.data().iter().all(|&x| (-0.5..0.25).contains(&x)));
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")

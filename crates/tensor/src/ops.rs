@@ -14,7 +14,11 @@ const PAR_THRESHOLD: usize = 64 * 64;
 
 #[inline]
 fn shape_err(op: &'static str, a: &Tensor, b: &Tensor) -> TensorError {
-    TensorError::ShapeMismatch { op, lhs: a.shape(), rhs: b.shape() }
+    TensorError::ShapeMismatch {
+        op,
+        lhs: a.shape(),
+        rhs: b.shape(),
+    }
 }
 
 /// Dense matrix product `A (m x k) * B (k x n) -> (m x n)`.
@@ -209,7 +213,11 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
     if a.len() != b.len() {
         return Err(shape_err("dot", a, b));
     }
-    Ok(a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).sum())
+    Ok(a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| x * y)
+        .sum())
 }
 
 /// Row-wise softmax (numerically stabilised with the row max).

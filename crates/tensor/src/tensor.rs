@@ -18,7 +18,11 @@ pub struct Tensor {
 impl Tensor {
     /// Create a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a tensor filled with ones.
@@ -28,7 +32,11 @@ impl Tensor {
 
     /// Create a tensor filled with a constant `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a tensor from an existing buffer in row-major order.
@@ -36,7 +44,10 @@ impl Tensor {
     /// Returns an error if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { rows, cols, data })
     }
@@ -54,7 +65,11 @@ impl Tensor {
 
     /// Build a `1 x n` row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Tensor { rows: 1, cols: values.len(), data: values.to_vec() }
+        Tensor {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -107,7 +122,10 @@ impl Tensor {
     /// Checked element access.
     pub fn try_get(&self, r: usize, c: usize) -> Result<f32> {
         if r >= self.rows || c >= self.cols {
-            return Err(TensorError::IndexOutOfBounds { index: (r, c), shape: self.shape() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: (r, c),
+                shape: self.shape(),
+            });
         }
         Ok(self.data[r * self.cols + c])
     }
@@ -147,7 +165,11 @@ impl Tensor {
 
     /// Apply `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Apply `f` to every element in place.
@@ -175,9 +197,16 @@ impl Tensor {
     /// Reshape without copying. Errors if the element count changes.
     pub fn reshape(self, rows: usize, cols: usize) -> Result<Tensor> {
         if rows * cols != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: self.data.len(),
+            });
         }
-        Ok(Tensor { rows, cols, data: self.data })
+        Ok(Tensor {
+            rows,
+            cols,
+            data: self.data,
+        })
     }
 
     /// Number of bytes occupied by the element buffer (used by the network cost model).
@@ -203,7 +232,10 @@ mod tests {
         assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(2, 2, vec![1.0; 3]),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 3 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 

@@ -47,14 +47,22 @@ fn main() {
         "Speedup (same iters)",
     ]);
     for r in &reports {
-        let lssr = if r.algorithm.starts_with("SSP") { "-".to_string() } else { fmt_f(r.lssr, 3) };
+        let lssr = if r.algorithm.starts_with("SSP") {
+            "-".to_string()
+        } else {
+            fmt_f(r.lssr, 3)
+        };
         table.push_row(vec![
             r.algorithm.clone(),
             r.iterations.to_string(),
             lssr,
             fmt_f(r.final_metric as f64, 2),
             format!("{:+.2}", r.convergence_diff(&bsp)),
-            if r.algorithm == "BSP" { "N/A".into() } else { r.outperforms(&bsp).to_string() },
+            if r.algorithm == "BSP" {
+                "N/A".into()
+            } else {
+                r.outperforms(&bsp).to_string()
+            },
             format!("{:.2}x", r.raw_time_speedup(&bsp)),
         ]);
     }

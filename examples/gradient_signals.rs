@@ -8,13 +8,13 @@
 //! ```
 
 use selsync_repro::core::tracker::{GradStatistic, GradientTracker};
+use selsync_repro::data::synthetic::{gaussian_mixture, MixtureSpec};
 use selsync_repro::hessian::hvp::ModelBatchOracle;
 use selsync_repro::hessian::power::top_eigenvalue;
 use selsync_repro::hessian::variance::gradient_variance;
 use selsync_repro::metrics::kde::gaussian_kde;
 use selsync_repro::nn::model::{ModelKind, PaperModel};
 use selsync_repro::nn::optim::{Optimizer, Sgd};
-use selsync_repro::data::synthetic::{gaussian_mixture, MixtureSpec};
 
 fn main() {
     let mut model = PaperModel::build(ModelKind::ResNetLike, 7);
@@ -29,7 +29,9 @@ fn main() {
 
     println!("step,loss,delta_g,grad_variance,hessian_top_eig");
     for step in 0..steps {
-        let indices: Vec<usize> = (0..batch).map(|i| (step * batch + i) % data.len()).collect();
+        let indices: Vec<usize> = (0..batch)
+            .map(|i| (step * batch + i) % data.len())
+            .collect();
         let (x, y) = data.batch(&indices);
         let stats = model.forward_backward(&x, &y);
         let grads = model.grads_flat();

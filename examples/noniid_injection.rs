@@ -23,10 +23,22 @@ fn main() {
     cfg.non_iid_labels_per_worker = Some(1); // each worker sees exactly one CIFAR10-like label
 
     let configs: Vec<(String, AlgorithmSpec)> = vec![
-        ("FedAvg(1,0.25)".into(), AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 }),
-        ("SelSync(0.5,0.5,0.05)".into(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.05)),
-        ("SelSync(0.5,0.5,0.3)".into(), AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3)),
-        ("SelSync(0.75,0.75,0.3)".into(), AlgorithmSpec::selsync_injected(0.75, 0.75, 0.3)),
+        (
+            "FedAvg(1,0.25)".into(),
+            AlgorithmSpec::FedAvg { c: 1.0, e: 0.25 },
+        ),
+        (
+            "SelSync(0.5,0.5,0.05)".into(),
+            AlgorithmSpec::selsync_injected(0.5, 0.5, 0.05),
+        ),
+        (
+            "SelSync(0.5,0.5,0.3)".into(),
+            AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3),
+        ),
+        (
+            "SelSync(0.75,0.75,0.3)".into(),
+            AlgorithmSpec::selsync_injected(0.75, 0.75, 0.3),
+        ),
     ];
 
     println!("Non-IID CIFAR10-like task, 10 workers, 1 label per worker\n");

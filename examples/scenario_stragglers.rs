@@ -1,0 +1,44 @@
+//! Programmatic scenario construction: a heterogeneous fleet that additionally suffers
+//! a transient straggler and a latency spike, compared across every algorithm arm.
+//!
+//! ```sh
+//! cargo run --release --example scenario_stragglers
+//! ```
+//!
+//! The printed report is deterministic: run it twice and diff the output. The same
+//! scenario can be exported as TOML (printed at the end) and replayed with
+//! `cargo run --release -p selsync-bench --bin scenario_run -- <file>.toml`.
+
+use selsync_repro::scenario::{runner, FaultSpec, Scenario};
+
+fn main() {
+    // Start from the base shape and describe the cluster declaratively.
+    let mut scenario = Scenario::base("stragglers-example", 6, 240);
+    scenario.description =
+        "Mixed fleet; worker 5 slows 3x mid-run while latency spikes cluster-wide.".into();
+    scenario.train_samples = 1024;
+    scenario.test_samples = 256;
+    scenario.eval_samples = 256;
+    scenario.eval_every = 20;
+    scenario.heterogeneity = vec![1.0, 1.0, 1.1, 1.1, 1.2, 1.2];
+    scenario.faults = vec![
+        FaultSpec::Slowdown {
+            worker: 5,
+            start: 60,
+            duration: 80,
+            factor: 3.0,
+        },
+        FaultSpec::Latency {
+            start: 60,
+            duration: 80,
+            extra_ms: 8.0,
+        },
+    ];
+
+    // Run BSP / SSP / FedAvg / local SGD / SelSync with identical accounting.
+    let report = runner::run_scenario(&scenario).expect("valid scenario");
+    print!("{}", report.render());
+
+    println!("\n## this scenario as TOML\n");
+    print!("{}", scenario.to_toml_string());
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `rayon`: the `par_chunks`/`par_chunks_mut` entry points return
+//! ordinary sequential iterators. Std's `Iterator` already provides the `zip`/`for_each`
+//! combinators chained on them, so call sites compile unchanged; they simply run on one
+//! thread. The matmul hot path stays correct and cache-friendly, just not parallel —
+//! acceptable for an offline build, and trivially replaced when the real rayon is
+//! available.
+
+/// Drop-in `use rayon::prelude::*` surface.
+pub mod prelude {
+    /// Sequential `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Iterate over `chunk_size`-sized chunks (sequentially).
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Sequential `par_chunks_mut` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Iterate over `chunk_size`-sized mutable chunks (sequentially).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_match_chunks() {
+        let data = [1, 2, 3, 4, 5];
+        let collected: Vec<Vec<i32>> = data.par_chunks(2).map(|c| c.to_vec()).collect();
+        assert_eq!(collected, vec![vec![1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_for_each() {
+        let mut out = [0i32; 6];
+        let src = [1i32, 2, 3, 4, 5, 6];
+        out.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(o, s)| {
+                for (a, b) in o.iter_mut().zip(s.iter()) {
+                    *a = b * 10;
+                }
+            });
+        assert_eq!(out, [10, 20, 30, 40, 50, 60]);
+    }
+}

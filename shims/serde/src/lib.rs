@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize, Deserialize)]`
+//! compile unchanged. No serialization machinery is provided (nothing in the
+//! workspace uses it); the scenario subsystem carries its own TOML codec.
+
+pub use serde_derive::{Deserialize, Serialize};

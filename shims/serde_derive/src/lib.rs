@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace is built offline, so the real serde cannot be vendored. No code in the
+//! workspace calls serde's serialization machinery — the derives on config/report types
+//! are forward-looking annotations — so expanding them to nothing is sufficient. The
+//! `attributes(serde)` declaration keeps `#[serde(...)]` field attributes legal should
+//! any be added later.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -39,6 +39,10 @@ pub use selsync_hessian as hessian;
 /// Metrics and reporting (EWMA, KDE, LSSR, throughput, tables).
 pub use selsync_metrics as metrics;
 
+/// Declarative, deterministic scenario & fault-injection subsystem (TOML scenario
+/// files, built-in scenario library, fault injector, comparison runner).
+pub use selsync_scenario as scenario;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -52,5 +56,6 @@ mod tests {
         let _ = crate::compress::SignSgd::new();
         let _ = crate::hessian::variance::gradient_variance(&[1.0]);
         let _ = crate::metrics::Ewma::new(0.5, 5);
+        let _ = crate::scenario::library::builtin("steady");
     }
 }

@@ -30,7 +30,10 @@ fn selsync_delta_zero_matches_bsp_communication_profile() {
     assert_eq!(sel0.sync_steps, bsp.sync_steps);
     // The only extra cost is the 1-bit all-gather, so times are close (within 5%).
     let ratio = sel0.sim_time_s / bsp.sim_time_s;
-    assert!(ratio < 1.05, "delta=0 SelSync should cost about the same as BSP (ratio {ratio})");
+    assert!(
+        ratio < 1.05,
+        "delta=0 SelSync should cost about the same as BSP (ratio {ratio})"
+    );
 }
 
 #[test]
@@ -45,7 +48,12 @@ fn selsync_reduces_communication_and_keeps_accuracy_close_to_bsp() {
 
     // The headline claim: most steps stay local, so simulated time drops substantially …
     assert!(sel.lssr > 0.5, "lssr {}", sel.lssr);
-    assert!(sel.sim_time_s < bsp.sim_time_s * 0.6, "{} vs {}", sel.sim_time_s, bsp.sim_time_s);
+    assert!(
+        sel.sim_time_s < bsp.sim_time_s * 0.6,
+        "{} vs {}",
+        sel.sim_time_s,
+        bsp.sim_time_s
+    );
     assert!(sel.bytes_communicated < bsp.bytes_communicated / 2);
     // … while the final accuracy stays in BSP's neighbourhood (generous margin at this
     // tiny scale; the paper reports parity or better at full scale).
@@ -64,15 +72,26 @@ fn both_models_train_to_better_than_chance_with_selsync() {
     cfg.iterations = 300;
     cfg.algorithm = AlgorithmSpec::selsync(0.3);
     let report = algorithms::run(&cfg);
-    assert!(report.best_metric > 30.0, "accuracy {} should beat 10% chance", report.best_metric);
+    assert!(
+        report.best_metric > 30.0,
+        "accuracy {} should beat 10% chance",
+        report.best_metric
+    );
 
     let mut lm = base_cfg(ModelKind::TransformerLike, 4);
     lm.iterations = 200;
+    // The Markov transition structure is only statistically identifiable when each
+    // token is observed in the predictive (final) context position several times, so
+    // the LM needs a larger sample budget than the classification runs.
+    lm.train_samples = 4096;
     lm.algorithm = AlgorithmSpec::selsync(0.3);
     let lm_report = algorithms::run(&lm);
     let first = lm_report.history.first().unwrap().test_metric;
     let best = lm_report.best_metric;
-    assert!(best < first, "perplexity should fall: first {first}, best {best}");
+    assert!(
+        best < first,
+        "perplexity should fall: first {first}, best {best}"
+    );
     // Vocabulary of 1000 => uniform perplexity 1000; the Markov chain has branching 4.
     assert!(best < 600.0, "perplexity {best}");
 }
@@ -82,7 +101,10 @@ fn lssr_accounting_is_consistent_with_history() {
     let mut cfg = base_cfg(ModelKind::VggLike, 4);
     cfg.algorithm = AlgorithmSpec::selsync(0.2);
     let report = algorithms::run(&cfg);
-    assert_eq!(report.local_steps + report.sync_steps, report.iterations as u64);
+    assert_eq!(
+        report.local_steps + report.sync_steps,
+        report.iterations as u64
+    );
     let lssr = report.local_steps as f64 / report.iterations as f64;
     assert!((report.lssr - lssr).abs() < 1e-9);
     // Evaluation history must be ordered and within the run.

@@ -2,9 +2,9 @@
 //! 1-bit status all-gather must implement Alg. 1's coordination faithfully under actual
 //! concurrency.
 
+use selsync_repro::comm::{Collective, ParameterServer};
 use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
 use selsync_repro::core::threaded::run_threaded_selsync;
-use selsync_repro::comm::{Collective, ParameterServer};
 use selsync_repro::nn::model::ModelKind;
 use std::sync::Arc;
 
@@ -36,7 +36,12 @@ fn threaded_bsp_keeps_replicas_identical_to_the_global_model() {
     let reports = run_threaded_selsync(&cfg);
     for r in &reports {
         assert_eq!(r.sync_steps, 20);
-        assert!(r.distance_to_global < 1e-3, "worker {} distance {}", r.worker, r.distance_to_global);
+        assert!(
+            r.distance_to_global < 1e-3,
+            "worker {} distance {}",
+            r.worker,
+            r.distance_to_global
+        );
     }
 }
 
