@@ -1,0 +1,204 @@
+//! `bench_kernels` — machine-readable perf report for the compute backend.
+//!
+//! Measures GFLOP/s for the three matmul kernels at several shapes, elementwise
+//! bandwidth for the optimizer/aggregation sweeps, simulator training
+//! throughput (steps/sec), and the 1-thread vs 4-thread speedup on the
+//! 256x256x256 matmul (the backend's acceptance benchmark). Emits one JSON
+//! object on stdout so CI can archive the perf trajectory PR over PR.
+//!
+//! Usage: `bench_kernels [--quick]`
+//!   --quick   smaller shapes / fewer repetitions (CI mode)
+//!
+//! Thread count comes from `SELSYNC_THREADS` (default `available_parallelism`);
+//! the speedup section overrides it internally via the pool's scoped override.
+
+use selsync::algorithms;
+use selsync::config::{AlgorithmSpec, TrainConfig};
+use selsync_nn::model::ModelKind;
+use selsync_tensor::{ops, par, Tensor};
+use std::time::Instant;
+
+/// Run `f` repeatedly until ~`budget_s` seconds elapse (at least once), returning
+/// seconds per call.
+fn time_per_call(budget_s: f64, mut f: impl FnMut()) -> f64 {
+    // Warm-up: populates scratch arenas and the worker pool.
+    f();
+    let mut reps = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_s || reps >= 1 << 20 {
+            return elapsed / reps as f64;
+        }
+        let target = (budget_s / (elapsed / reps as f64).max(1e-9)).ceil();
+        reps = (target as u32).clamp(reps * 2, 1 << 20);
+    }
+}
+
+fn tensor(rows: usize, cols: usize, salt: usize) -> Tensor {
+    Tensor::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 17 + salt * 7) % 23) as f32 * 0.17 - 1.9
+    })
+}
+
+struct KernelResult {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    secs_per_call: f64,
+    gflops: f64,
+}
+
+fn bench_matmuls(shapes: &[(usize, usize, usize)], budget_s: f64) -> Vec<KernelResult> {
+    let mut results = Vec::new();
+    for &(m, k, n) in shapes {
+        let a = tensor(m, k, 1);
+        let b = tensor(k, n, 2);
+        let bt = tensor(n, k, 3);
+        let at = tensor(m, n, 4);
+        let flops = (2 * m * k * n) as f64;
+
+        let mut out = Tensor::zeros(m, n);
+        let secs = time_per_call(budget_s, || {
+            ops::matmul_into(&a, &b, &mut out).expect("matmul shapes");
+        });
+        results.push(KernelResult {
+            kernel: "matmul",
+            m,
+            k,
+            n,
+            secs_per_call: secs,
+            gflops: flops / secs / 1e9,
+        });
+
+        let mut out_bt = Tensor::zeros(m, n);
+        let secs = time_per_call(budget_s, || {
+            ops::matmul_bt_into(&a, &bt, &mut out_bt).expect("matmul_bt shapes");
+        });
+        results.push(KernelResult {
+            kernel: "matmul_bt",
+            m,
+            k,
+            n,
+            secs_per_call: secs,
+            gflops: flops / secs / 1e9,
+        });
+
+        let mut out_at = Tensor::zeros(k, n);
+        let secs = time_per_call(budget_s, || {
+            ops::matmul_at_into(&a, &at, &mut out_at).expect("matmul_at shapes");
+        });
+        results.push(KernelResult {
+            kernel: "matmul_at",
+            m,
+            k,
+            n,
+            secs_per_call: secs,
+            gflops: flops / secs / 1e9,
+        });
+    }
+    results
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let budget_s = if quick { 0.1 } else { 0.4 };
+
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(64, 64, 64), (256, 256, 256)]
+    } else {
+        &[
+            (64, 64, 64),
+            (128, 128, 128),
+            (256, 256, 256),
+            (512, 512, 512),
+        ]
+    };
+
+    let kernels = bench_matmuls(shapes, budget_s);
+
+    // Elementwise bandwidth: the axpy sweep behind optimizer updates/aggregation.
+    let elems = if quick { 1 << 18 } else { 1 << 21 };
+    let x: Vec<f32> = (0..elems).map(|i| (i % 13) as f32 * 0.1).collect();
+    let mut y = vec![0.0f32; elems];
+    let axpy_secs = time_per_call(budget_s, || ops::axpy_slice(0.5, &x, &mut y));
+    // 2 reads + 1 write of f32 per element.
+    let axpy_gbs = (elems as f64 * 12.0) / axpy_secs / 1e9;
+
+    // Simulator round throughput: a small BSP run (the arm every comparison shares).
+    let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+    cfg.iterations = if quick { 20 } else { 60 };
+    cfg.eval_every = cfg.iterations; // final eval only
+    cfg.train_samples = 512;
+    cfg.test_samples = 128;
+    cfg.eval_samples = 128;
+    cfg.batch_size = 16;
+    cfg.algorithm = AlgorithmSpec::Bsp;
+    let start = Instant::now();
+    let report = algorithms::run(&cfg);
+    let sim_secs = start.elapsed().as_secs_f64();
+    let steps_per_sec = report.iterations as f64 / sim_secs;
+
+    // Acceptance benchmark: 256^3 matmul at 1 vs 4 effective threads.
+    let (m, k, n) = (256, 256, 256);
+    let a = tensor(m, k, 5);
+    let b = tensor(k, n, 6);
+    let mut out = Tensor::zeros(m, n);
+    let flops = (2 * m * k * n) as f64;
+    let t1 = par::with_threads(1, || {
+        time_per_call(budget_s, || {
+            ops::matmul_into(&a, &b, &mut out).expect("matmul shapes");
+        })
+    });
+    let t4 = par::with_threads(4, || {
+        time_per_call(budget_s, || {
+            ops::matmul_into(&a, &b, &mut out).expect("matmul shapes");
+        })
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"threads\": {{ \"configured\": {}, \"available_parallelism\": {} }},\n",
+        par::configured_threads(),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    ));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"secs_per_call\": {:.6e}, \"gflops\": {:.3} }}{}\n",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.secs_per_call,
+            r.gflops,
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"elementwise\": {{ \"op\": \"axpy\", \"elems\": {elems}, \"secs_per_call\": {axpy_secs:.6e}, \"gbytes_per_sec\": {axpy_gbs:.3} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"simulator\": {{ \"model\": \"resnet_like\", \"workers\": 4, \"iterations\": {}, \"wall_secs\": {:.3}, \"steps_per_sec\": {:.2} }},\n",
+        report.iterations, sim_secs, steps_per_sec
+    ));
+    json.push_str(&format!(
+        "  \"speedup_256\": {{ \"t1_secs\": {:.6e}, \"t4_secs\": {:.6e}, \"t1_gflops\": {:.3}, \"t4_gflops\": {:.3}, \"speedup\": {:.3} }}\n",
+        t1,
+        t4,
+        flops / t1 / 1e9,
+        flops / t4 / 1e9,
+        t1 / t4
+    ));
+    json.push_str("}\n");
+    print!("{json}");
+}

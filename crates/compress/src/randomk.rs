@@ -4,7 +4,7 @@
 //! sparsification strawman the compression literature compares against.
 
 use crate::{Compressed, Compressor};
-use selsync_tensor::rng::{self, SelRng};
+use selsync_tensor::rng::{self, SelRng, SparseSampler};
 
 /// Transmit a random `fraction` of coordinates, scaled by `1/fraction` so the
 /// compression is unbiased in expectation.
@@ -14,6 +14,11 @@ pub struct RandomK {
     pub fraction: f32,
     rng: SelRng,
     unbiased: bool,
+    /// Reused per-step sampling workspace (the `O(k)` sparse Fisher–Yates sample lands
+    /// here; the wire payload gets exact-size vectors).
+    workspace: Vec<usize>,
+    /// Reused sampler state (its displacement map keeps its capacity across steps).
+    sampler: SparseSampler,
 }
 
 impl RandomK {
@@ -27,6 +32,8 @@ impl RandomK {
             fraction,
             rng: rng::seeded(seed),
             unbiased,
+            workspace: Vec::new(),
+            sampler: SparseSampler::new(),
         }
     }
 }
@@ -35,17 +42,18 @@ impl Compressor for RandomK {
     fn compress(&mut self, grad: &[f32]) -> Compressed {
         let dim = grad.len();
         let k = ((dim as f32 * self.fraction).ceil() as usize).clamp(1, dim);
-        let mut indices = rng::sample_without_replacement(&mut self.rng, dim, k);
-        indices.sort_unstable();
+        self.sampler
+            .sample_into(&mut self.rng, dim, k, &mut self.workspace);
+        self.workspace.sort_unstable();
         let scale = if self.unbiased {
             1.0 / self.fraction
         } else {
             1.0
         };
-        let values = indices.iter().map(|&i| grad[i] * scale).collect();
+        let values = self.workspace.iter().map(|&i| grad[i] * scale).collect();
         Compressed::Sparse {
             dim,
-            indices: indices.into_iter().map(|i| i as u32).collect(),
+            indices: self.workspace.iter().map(|&i| i as u32).collect(),
             values,
         }
     }

@@ -10,6 +10,9 @@ use crate::{Compressed, Compressor};
 pub struct TopK {
     /// Fraction of coordinates to keep, in `(0, 1]`.
     pub fraction: f32,
+    /// Reused per-step selection workspace (the wire payload gets an exact-size copy, so
+    /// the `O(dim)` index buffer is allocated once, not once per gradient).
+    workspace: Vec<u32>,
 }
 
 impl TopK {
@@ -19,7 +22,10 @@ impl TopK {
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0, 1]"
         );
-        TopK { fraction }
+        TopK {
+            fraction,
+            workspace: Vec::new(),
+        }
     }
 
     fn k_for(&self, dim: usize) -> usize {
@@ -31,20 +37,26 @@ impl Compressor for TopK {
     fn compress(&mut self, grad: &[f32]) -> Compressed {
         let dim = grad.len();
         let k = self.k_for(dim);
-        // Select the k largest |g| coordinates via a partial sort of indices.
-        let mut idx: Vec<u32> = (0..dim as u32).collect();
-        idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-            grad[b as usize]
-                .abs()
-                .partial_cmp(&grad[a as usize].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        idx.truncate(k);
-        idx.sort_unstable();
-        let values = idx.iter().map(|&i| grad[i as usize]).collect();
+        // Select the k largest |g| coordinates via partial selection over the reused
+        // index workspace (`select_nth_unstable_by` is O(dim), not an O(dim log dim)
+        // full sort); only the selected prefix is then sorted for deterministic output.
+        self.workspace.clear();
+        self.workspace.extend(0..dim as u32);
+        let idx = &mut self.workspace;
+        if k < dim {
+            idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+                grad[b as usize]
+                    .abs()
+                    .partial_cmp(&grad[a as usize].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        let selected = &mut idx[..k];
+        selected.sort_unstable();
+        let values = selected.iter().map(|&i| grad[i as usize]).collect();
         Compressed::Sparse {
             dim,
-            indices: idx,
+            indices: selected.to_vec(),
             values,
         }
     }

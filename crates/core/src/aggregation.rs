@@ -11,6 +11,7 @@
 //!   collapses the replicas back onto a single consistent global state and bounds the
 //!   divergence — the paper shows PA matches or beats GA (Fig. 10, 11).
 
+use selsync_tensor::par;
 use serde::{Deserialize, Serialize};
 
 /// What gets averaged during a synchronization step.
@@ -34,46 +35,87 @@ impl AggregationMode {
 }
 
 /// Element-wise mean of several equal-length vectors (the PS-side reduce).
-pub fn average(vectors: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!vectors.is_empty(), "cannot average zero vectors");
-    let dim = vectors[0].len();
-    let mut out = vec![0.0f32; dim];
-    for v in vectors {
-        assert_eq!(v.len(), dim, "all vectors must have the same length");
-        for (o, &x) in out.iter_mut().zip(v.iter()) {
-            *o += x;
-        }
-    }
-    let n = vectors.len() as f32;
-    for o in out.iter_mut() {
-        *o /= n;
-    }
+///
+/// Accepts anything slice-like (`Vec<f32>`, `&[f32]`), so callers can average borrowed
+/// replica views without cloning each one first.
+pub fn average<V: AsRef<[f32]> + Sync>(vectors: &[V]) -> Vec<f32> {
+    let mut out = Vec::new();
+    average_into(vectors, &mut out);
     out
+}
+
+/// Element-wise mean into a caller-owned buffer (resized as needed), parallel over
+/// fixed element chunks. Per element the sum runs over vectors in order, exactly like
+/// the serial loop, so the result is bit-identical for every thread count.
+pub fn average_into<V: AsRef<[f32]> + Sync>(vectors: &[V], out: &mut Vec<f32>) {
+    assert!(!vectors.is_empty(), "cannot average zero vectors");
+    let dim = vectors[0].as_ref().len();
+    for v in vectors {
+        assert_eq!(
+            v.as_ref().len(),
+            dim,
+            "all vectors must have the same length"
+        );
+    }
+    out.clear();
+    out.resize(dim, 0.0);
+    let n = vectors.len() as f32;
+    par::for_each_chunk_mut(out, par::ELEM_CHUNK, |start, chunk| {
+        for v in vectors {
+            let src = &v.as_ref()[start..start + chunk.len()];
+            for (o, &x) in chunk.iter_mut().zip(src.iter()) {
+                *o += x;
+            }
+        }
+        for o in chunk.iter_mut() {
+            *o /= n;
+        }
+    });
 }
 
 /// Element-wise mean over the `present` subset of `vectors` (elastic membership: only
 /// the workers alive at a synchronization step contribute to the PS-side reduce).
-pub fn average_present<V: AsRef<[f32]>>(vectors: &[V], present: &[usize]) -> Vec<f32> {
+pub fn average_present<V: AsRef<[f32]> + Sync>(vectors: &[V], present: &[usize]) -> Vec<f32> {
+    let mut out = Vec::new();
+    average_present_into(vectors, present, &mut out);
+    out
+}
+
+/// [`average_present`] into a caller-owned buffer — the zero-alloc broadcast path: the
+/// averaged vector is written once and copied into reused per-replica buffers.
+pub fn average_present_into<V: AsRef<[f32]> + Sync>(
+    vectors: &[V],
+    present: &[usize],
+    out: &mut Vec<f32>,
+) {
     assert!(!present.is_empty(), "cannot average zero present workers");
     let dim = vectors[present[0]].as_ref().len();
-    let mut out = vec![0.0f32; dim];
     for &m in present {
-        let v = vectors[m].as_ref();
-        assert_eq!(v.len(), dim, "all vectors must have the same length");
-        for (o, &x) in out.iter_mut().zip(v.iter()) {
-            *o += x;
-        }
+        assert_eq!(
+            vectors[m].as_ref().len(),
+            dim,
+            "all vectors must have the same length"
+        );
     }
+    out.clear();
+    out.resize(dim, 0.0);
     let n = present.len() as f32;
-    for o in out.iter_mut() {
-        *o /= n;
-    }
-    out
+    par::for_each_chunk_mut(out, par::ELEM_CHUNK, |start, chunk| {
+        for &m in present {
+            let src = &vectors[m].as_ref()[start..start + chunk.len()];
+            for (o, &x) in chunk.iter_mut().zip(src.iter()) {
+                *o += x;
+            }
+        }
+        for o in chunk.iter_mut() {
+            *o /= n;
+        }
+    });
 }
 
 /// Mean pairwise divergence (RMS distance) between worker replicas — the quantity PA
 /// bounds and GA lets grow (used by tests and the Fig. 11 analysis).
-pub fn replica_divergence(replicas: &[Vec<f32>]) -> f32 {
+pub fn replica_divergence<V: AsRef<[f32]> + Sync>(replicas: &[V]) -> f32 {
     if replicas.len() < 2 {
         return 0.0;
     }
@@ -82,6 +124,7 @@ pub fn replica_divergence(replicas: &[Vec<f32>]) -> f32 {
     let mut total = 0.0f32;
     for r in replicas {
         let sq: f32 = r
+            .as_ref()
             .iter()
             .zip(mean.iter())
             .map(|(a, b)| (a - b).powi(2))
@@ -175,6 +218,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn averaging_nothing_panics() {
-        let _ = average(&[]);
+        let _ = average::<Vec<f32>>(&[]);
     }
 }

@@ -11,7 +11,10 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let mut sim = Simulator::new(cfg);
     let wire = sim.nominal().wire_bytes;
     // Latest aggregated model (what the PS would hold); rejoining workers pull it.
+    // Reused round to round — the averaged vector is written once per round and
+    // copied into the per-replica buffers, no per-replica clone fan-out.
     let mut global = sim.workers[0].params.clone();
+    let mut avg = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -35,19 +38,22 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         // workers; crashed workers keep their stale replicas. The PS global is the
         // present replicas' average — after a crash-rejoin the replicas can diverge
         // (the rejoiner's momentum was reset), so no single replica is "the" model.
-        let avg = aggregation::average(&grads);
+        aggregation::average_into(&grads, &mut avg);
         for &w in &present {
             sim.apply_update(w, &avg, lr);
         }
-        global = sim.average_params_of(&present);
+        sim.average_params_of_into(&present, &mut global);
         let compute = sim.round_compute_seconds(it);
         let comm = sim.ps_sync_seconds_at(it, present.len()) + rejoin_comm;
         let bytes = 2 * present.len() as u64 * wire + injected_bytes + rejoin_bytes;
         sim.account_step(compute, comm, bytes, true);
 
         if sim.should_eval(it) {
-            let snapshot = global.clone();
+            // `record_eval` only reads the snapshot; move `global` through a
+            // temporary to satisfy the borrow checker without cloning it.
+            let snapshot = std::mem::take(&mut global);
             sim.record_eval(it, &snapshot, max_delta);
+            global = snapshot;
         }
     }
     sim.finalize("BSP".to_string())

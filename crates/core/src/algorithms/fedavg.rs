@@ -26,8 +26,11 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let sync_interval = ((cfg.steps_per_epoch() as f32 * e).round() as usize).max(1);
     let participants = ((c * n as f32).ceil() as usize).clamp(1, n);
     let algo_name = cfg.algorithm.name();
-    // Latest aggregated model; rejoining workers pull it from the PS.
+    // Latest aggregated model; rejoining workers pull it from the PS. The averaged
+    // vector is written once per round into a reused buffer and copied into the
+    // per-replica buffers — no per-replica clone fan-out.
     let mut global = sim.workers[0].params.clone();
+    let mut avg = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -56,7 +59,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                     .into_iter()
                     .map(|i| present[i])
                     .collect();
-            let avg = sim.average_params_of(&chosen);
+            sim.average_params_of_into(&chosen, &mut avg);
             sim.set_params_of(&present, &avg);
             global.copy_from_slice(&avg);
             let comm = sim.ps_sync_seconds_at(it, k) + rejoin_comm;
@@ -66,8 +69,10 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         }
 
         if sim.should_eval(it) {
-            let snapshot = sim.average_params_of(&present);
+            sim.average_params_of_into(&present, &mut avg);
+            let snapshot = std::mem::take(&mut avg);
             sim.record_eval(it, &snapshot, max_delta);
+            avg = snapshot;
         }
     }
     sim.finalize(algo_name)

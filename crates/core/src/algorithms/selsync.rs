@@ -34,6 +34,9 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let wire = sim.nominal().wire_bytes;
     // Latest synchronized model; rejoining workers pull it from the PS.
     let mut global = sim.workers[0].params.clone();
+    // Round-to-round buffers: the averaged vector is written once per round and
+    // copied into reused per-replica buffers (no per-replica clone fan-out).
+    let mut avg = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -81,7 +84,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                 for (i, &w) in present.iter().enumerate() {
                     sim.apply_update(w, &grads[i], lr);
                 }
-                let avg = sim.average_params_of(&present);
+                sim.average_params_of_into(&present, &mut avg);
                 sim.set_params_of(&present, &avg);
                 global.copy_from_slice(&avg);
                 comm += sim.ps_sync_seconds_at(it, present.len());
@@ -91,11 +94,11 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                 // Gradients are averaged on the PS and applied locally by each worker.
                 // GA keeps replicas diverged by design, so the PS global is the present
                 // replicas' average, not any single replica.
-                let avg_grad = aggregation::average(&grads);
+                aggregation::average_into(&grads, &mut avg);
                 for &w in &present {
-                    sim.apply_update(w, &avg_grad, lr);
+                    sim.apply_update(w, &avg, lr);
                 }
-                global = sim.average_params_of(&present);
+                sim.average_params_of_into(&present, &mut global);
                 comm += sim.ps_sync_seconds_at(it, present.len());
                 bytes += 2 * present.len() as u64 * wire;
             }
@@ -107,8 +110,10 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         if sim.should_eval(it) {
             // The evaluated global model is the present replicas' average (identical to
             // any single present replica right after a PA synchronization).
-            let snapshot = sim.average_params_of(&present);
+            sim.average_params_of_into(&present, &mut avg);
+            let snapshot = std::mem::take(&mut avg);
             sim.record_eval(it, &snapshot, cluster_delta);
+            avg = snapshot;
         }
     }
     sim.finalize(algo_name)

@@ -128,8 +128,11 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
 
         last_processed = Some(it);
         if sim.should_eval(it) {
-            let snapshot = global.clone();
+            // `record_eval` only reads the snapshot; move `global` through a
+            // temporary instead of cloning the full parameter vector per eval.
+            let snapshot = std::mem::take(&mut global);
             sim.record_eval(it, &snapshot, max_delta);
+            global = snapshot;
             max_delta = 0.0;
         }
     }

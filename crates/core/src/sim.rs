@@ -265,9 +265,10 @@ impl Simulator {
         w.progress += 1;
     }
 
-    /// Average of all worker replicas' parameters.
+    /// Average of all worker replicas' parameters (borrows the replicas — no per-replica
+    /// clone fan-out).
     pub fn average_params(&self) -> Vec<f32> {
-        let replicas: Vec<Vec<f32>> = self.workers.iter().map(|w| w.params.clone()).collect();
+        let replicas: Vec<&[f32]> = self.workers.iter().map(|w| w.params.as_slice()).collect();
         aggregation::average(&replicas)
     }
 
@@ -275,6 +276,13 @@ impl Simulator {
     pub fn average_params_of(&self, worker_ids: &[usize]) -> Vec<f32> {
         let replicas: Vec<&[f32]> = self.workers.iter().map(|w| w.params.as_slice()).collect();
         aggregation::average_present(&replicas, worker_ids)
+    }
+
+    /// Average of a subset of workers' parameters into a caller-owned buffer, so
+    /// per-round aggregation reuses one allocation across the whole run.
+    pub fn average_params_of_into(&self, worker_ids: &[usize], out: &mut Vec<f32>) {
+        let replicas: Vec<&[f32]> = self.workers.iter().map(|w| w.params.as_slice()).collect();
+        aggregation::average_present_into(&replicas, worker_ids, out);
     }
 
     /// Overwrite every worker replica with `params` (the post-aggregation broadcast).
@@ -286,7 +294,7 @@ impl Simulator {
 
     /// Current replica divergence across workers (diagnostic for the PA-vs-GA analysis).
     pub fn replica_divergence(&self) -> f32 {
-        let replicas: Vec<Vec<f32>> = self.workers.iter().map(|w| w.params.clone()).collect();
+        let replicas: Vec<&[f32]> = self.workers.iter().map(|w| w.params.as_slice()).collect();
         aggregation::replica_divergence(&replicas)
     }
 

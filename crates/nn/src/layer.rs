@@ -7,6 +7,26 @@
 
 use selsync_tensor::{ops, rng, Tensor};
 
+/// Write `f(src)` elementwise into `slot`, reusing the slot's buffer when the shape
+/// matches — the per-step cache path of the layers allocates nothing in steady state.
+fn map_into_slot(slot: &mut Option<Tensor>, src: &Tensor, f: impl Fn(f32) -> f32) {
+    match slot {
+        Some(t) if t.shape() == src.shape() => {
+            for (d, &s) in t.data_mut().iter_mut().zip(src.data().iter()) {
+                *d = f(s);
+            }
+        }
+        _ => *slot = Some(src.map(&f)),
+    }
+}
+
+/// Move `value` into `slot`, recycling the buffer the slot previously held.
+fn replace_recycling(slot: &mut Option<Tensor>, value: Tensor) {
+    if let Some(prev) = slot.replace(value) {
+        prev.recycle();
+    }
+}
+
 /// A differentiable network layer.
 ///
 /// Layers own their parameters and their parameter gradients. Gradients are accumulated
@@ -90,10 +110,17 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = ops::matmul(input, &self.weight).expect("linear forward shape");
-        let out = ops::add_row_broadcast(&out, &self.bias).expect("linear bias broadcast");
+        // Zero-alloc hot path: X*W into a scratch tensor, bias added in place.
+        let mut out = Tensor::scratch_zeros(input.rows(), self.out_dim());
+        ops::matmul_acc(input, &self.weight, &mut out).expect("linear forward shape");
+        let bias = self.bias.row(0);
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias.iter()) {
+                *o += b;
+            }
+        }
         if train {
-            self.cached_input = Some(input.clone());
+            input.clone_into_slot(&mut self.cached_input);
         }
         out
     }
@@ -103,11 +130,10 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        // dW += X^T dY ; db += column sums of dY ; dX = dY W^T
-        let dw = ops::matmul_at(input, grad_output).expect("linear dW");
-        ops::axpy(1.0, &dw, &mut self.grad_weight).expect("accumulate dW");
-        let db = ops::sum_rows(grad_output);
-        ops::axpy(1.0, &db, &mut self.grad_bias).expect("accumulate db");
+        // dW += X^T dY ; db += column sums of dY ; dX = dY W^T — the first two
+        // accumulate straight into the gradient tensors, no temporaries.
+        ops::matmul_at_acc(input, grad_output, &mut self.grad_weight).expect("linear dW");
+        ops::sum_rows_acc(grad_output, &mut self.grad_bias).expect("accumulate db");
         ops::matmul_bt(grad_output, &self.weight).expect("linear dX")
     }
 
@@ -124,8 +150,8 @@ impl Layer for Linear {
     }
 
     fn zero_grads(&mut self) {
-        self.grad_weight.map_inplace(|_| 0.0);
-        self.grad_bias.map_inplace(|_| 0.0);
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
     }
 }
 
@@ -152,16 +178,20 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = input.map(|x| x.max(0.0));
+        let mut out = Tensor::scratch_copy(input);
+        out.map_inplace(|x| x.max(0.0));
         if train {
-            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+            map_into_slot(&mut self.mask, input, |x| if x > 0.0 { 1.0 } else { 0.0 });
         }
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward called before forward");
-        ops::hadamard(grad_output, mask).expect("relu backward shape")
+        let mut out = Tensor::scratch_copy(grad_output);
+        out.zip_mut_with(mask, |g, m| g * m)
+            .expect("relu backward shape");
+        out
     }
 }
 
@@ -186,9 +216,10 @@ impl Layer for Tanh {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = input.map(|x| x.tanh());
+        let mut out = Tensor::scratch_copy(input);
+        out.map_inplace(|x| x.tanh());
         if train {
-            self.cached_output = Some(out.clone());
+            out.clone_into_slot(&mut self.cached_output);
         }
         out
     }
@@ -198,8 +229,10 @@ impl Layer for Tanh {
             .cached_output
             .as_ref()
             .expect("backward called before forward");
-        let deriv = out.map(|y| 1.0 - y * y);
-        ops::hadamard(grad_output, &deriv).expect("tanh backward shape")
+        let mut dx = Tensor::scratch_copy(grad_output);
+        dx.zip_mut_with(out, |g, y| g * (1.0 - y * y))
+            .expect("tanh backward shape");
+        dx
     }
 }
 
@@ -242,7 +275,11 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut mask = Tensor::zeros(input.rows(), input.cols());
+        // Regenerate the mask into the cached buffer (same RNG stream as before).
+        if !matches!(&self.mask, Some(m) if m.shape() == input.shape()) {
+            self.mask = Some(Tensor::zeros(input.rows(), input.cols()));
+        }
+        let mask = self.mask.as_mut().expect("mask just ensured");
         {
             use rand::Rng;
             for m in mask.data_mut() {
@@ -253,14 +290,20 @@ impl Layer for Dropout {
                 };
             }
         }
-        let out = ops::hadamard(input, &mask).expect("dropout forward shape");
-        self.mask = Some(mask);
+        let mut out = Tensor::scratch_copy(input);
+        out.zip_mut_with(mask, |x, m| x * m)
+            .expect("dropout forward shape");
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match &self.mask {
-            Some(mask) => ops::hadamard(grad_output, mask).expect("dropout backward shape"),
+            Some(mask) => {
+                let mut out = Tensor::scratch_copy(grad_output);
+                out.zip_mut_with(mask, |g, m| g * m)
+                    .expect("dropout backward shape");
+                out
+            }
             None => grad_output.clone(),
         }
     }
@@ -304,8 +347,23 @@ impl Layer for LayerNorm {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (rows, cols) = input.shape();
-        let mut normed = Tensor::zeros(rows, cols);
-        let mut inv_stds = Vec::with_capacity(rows);
+        let mut normed = Tensor::scratch_zeros(rows, cols);
+        // Only a training forward may consume the cached workspace: an eval-mode
+        // forward must leave the caches of a preceding training forward intact (a
+        // mid-step evaluation must not break the next backward).
+        let mut inv_stds = if train {
+            self.cached_inv_std.take().map_or_else(
+                || Vec::with_capacity(rows),
+                |mut v| {
+                    v.clear();
+                    v
+                },
+            )
+        } else {
+            let mut v = selsync_tensor::scratch::take_zeroed(rows);
+            v.clear();
+            v
+        };
         for r in 0..rows {
             let row = input.row(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
@@ -316,7 +374,7 @@ impl Layer for LayerNorm {
                 normed.set(r, c, (x - mean) * inv_std);
             }
         }
-        let mut out = Tensor::zeros(rows, cols);
+        let mut out = Tensor::scratch_zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
                 out.set(
@@ -327,8 +385,11 @@ impl Layer for LayerNorm {
             }
         }
         if train {
-            self.cached_normed = Some(normed);
+            replace_recycling(&mut self.cached_normed, normed);
             self.cached_inv_std = Some(inv_stds);
+        } else {
+            normed.recycle();
+            selsync_tensor::scratch::recycle(inv_stds);
         }
         out
     }
@@ -344,7 +405,7 @@ impl Layer for LayerNorm {
             .expect("backward called before forward");
         let (rows, cols) = grad_output.shape();
         let n = cols as f32;
-        let mut grad_input = Tensor::zeros(rows, cols);
+        let mut grad_input = Tensor::scratch_zeros(rows, cols);
 
         for c in 0..cols {
             let mut gg = 0.0f32;
@@ -391,8 +452,8 @@ impl Layer for LayerNorm {
     }
 
     fn zero_grads(&mut self) {
-        self.grad_gamma.map_inplace(|_| 0.0);
-        self.grad_beta.map_inplace(|_| 0.0);
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
     }
 }
 
@@ -442,17 +503,24 @@ impl Layer for Embedding {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (batch, tokens) = input.shape();
         let vocab = self.table.rows();
-        let mut out = Tensor::zeros(batch, tokens * self.dim);
-        let mut ids = Vec::with_capacity(batch);
-        for b in 0..batch {
-            let mut row_ids = Vec::with_capacity(tokens);
+        let mut out = Tensor::scratch_zeros(batch, tokens * self.dim);
+        // Reuse the cached id rows (inner vectors keep their capacity) — but only in
+        // training mode: an eval forward must leave a previous training forward's
+        // cache intact for the next backward.
+        let mut ids = if train {
+            self.cached_ids.take().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        ids.resize_with(batch, Vec::new);
+        for (b, row_ids) in ids.iter_mut().enumerate() {
+            row_ids.clear();
             for t in 0..tokens {
                 let id = (input.get(b, t).round().max(0.0) as usize).min(vocab - 1);
                 row_ids.push(id);
                 let emb = self.table.row(id);
                 out.row_mut(b)[t * self.dim..(t + 1) * self.dim].copy_from_slice(emb);
             }
-            ids.push(row_ids);
         }
         if train {
             self.cached_ids = Some(ids);
@@ -477,7 +545,7 @@ impl Layer for Embedding {
             }
         }
         // Token ids are not differentiable; return a zero gradient of the input shape.
-        Tensor::zeros(batch, tokens)
+        Tensor::scratch_zeros(batch, tokens)
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -493,7 +561,7 @@ impl Layer for Embedding {
     }
 
     fn zero_grads(&mut self) {
-        self.grad_table.map_inplace(|_| 0.0);
+        self.grad_table.fill(0.0);
     }
 }
 
@@ -556,12 +624,14 @@ impl Layer for AttentionPool {
             "attention pool input width"
         );
         let q = self.query.row(0);
-        let mut alpha = Tensor::zeros(batch, self.tokens);
-        let mut out = Tensor::zeros(batch, self.dim);
+        let mut alpha = Tensor::scratch_zeros(batch, self.tokens);
+        let mut out = Tensor::scratch_zeros(batch, self.dim);
+        // One scratch score buffer reused across the whole batch.
+        let mut scores = selsync_tensor::scratch::take_zeroed(self.tokens);
         for b in 0..batch {
             let row = input.row(b);
             // scores
-            let mut scores = vec![0.0f32; self.tokens];
+            scores.fill(0.0);
             for t in 0..self.tokens {
                 let e = &row[t * self.dim..(t + 1) * self.dim];
                 let content: f32 = e.iter().zip(q.iter()).map(|(x, y)| x * y).sum();
@@ -586,9 +656,12 @@ impl Layer for AttentionPool {
                 }
             }
         }
+        selsync_tensor::scratch::recycle(scores);
         if train {
-            self.cached_input = Some(input.clone());
-            self.cached_alpha = Some(alpha);
+            input.clone_into_slot(&mut self.cached_input);
+            replace_recycling(&mut self.cached_alpha, alpha);
+        } else {
+            alpha.recycle();
         }
         out
     }
@@ -604,22 +677,24 @@ impl Layer for AttentionPool {
             .expect("backward called before forward");
         let batch = input.rows();
         let q = self.query.row(0).to_vec();
-        let mut grad_input = Tensor::zeros(batch, self.tokens * self.dim);
+        let mut grad_input = Tensor::scratch_zeros(batch, self.tokens * self.dim);
+        // Scratch buffers reused across the batch.
+        let mut dalpha = selsync_tensor::scratch::take_zeroed(self.tokens);
+        let mut ds = selsync_tensor::scratch::take_zeroed(self.tokens);
 
         for b in 0..batch {
             let row = input.row(b);
             let dout = grad_output.row(b);
             // dα_t = dout · e_t
-            let mut dalpha = vec![0.0f32; self.tokens];
-            for t in 0..self.tokens {
+            for (t, d) in dalpha.iter_mut().enumerate() {
                 let e = &row[t * self.dim..(t + 1) * self.dim];
-                dalpha[t] = e.iter().zip(dout.iter()).map(|(x, y)| x * y).sum();
+                *d = e.iter().zip(dout.iter()).map(|(x, y)| x * y).sum();
             }
             // softmax backward: ds_t = α_t (dα_t - Σ_j α_j dα_j)
             let dot: f32 = (0..self.tokens).map(|t| alpha.get(b, t) * dalpha[t]).sum();
-            let ds: Vec<f32> = (0..self.tokens)
-                .map(|t| alpha.get(b, t) * (dalpha[t] - dot))
-                .collect();
+            for (t, s) in ds.iter_mut().enumerate() {
+                *s = alpha.get(b, t) * (dalpha[t] - dot);
+            }
             // dq += Σ_t ds_t e_t ; db_t += ds_t ; de_t = α_t dout + ds_t q
             for t in 0..self.tokens {
                 let e = &row[t * self.dim..(t + 1) * self.dim];
@@ -635,6 +710,8 @@ impl Layer for AttentionPool {
                 }
             }
         }
+        selsync_tensor::scratch::recycle(dalpha);
+        selsync_tensor::scratch::recycle(ds);
         grad_input
     }
 
@@ -651,8 +728,8 @@ impl Layer for AttentionPool {
     }
 
     fn zero_grads(&mut self) {
-        self.grad_query.map_inplace(|_| 0.0);
-        self.grad_pos_bias.map_inplace(|_| 0.0);
+        self.grad_query.fill(0.0);
+        self.grad_pos_bias.fill(0.0);
     }
 }
 
@@ -774,6 +851,32 @@ mod tests {
         let dx = a.backward(&Tensor::ones(1, 2));
         assert_eq!(dx.shape(), (1, 6));
         assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn eval_forward_does_not_destroy_training_caches() {
+        // A mid-step evaluation (train forward -> eval forward -> backward) must use
+        // the *training* forward's caches; the eval pass must leave them intact.
+        let mut rng = seeded(8);
+        let mut ln = LayerNorm::new(4);
+        let train_x = Tensor::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        let eval_x = Tensor::from_fn(3, 4, |r, c| -((r + c) as f32));
+        let _ = ln.forward(&train_x, true);
+        let _ = ln.forward(&eval_x, false);
+        let dx = ln.backward(&Tensor::ones(2, 4));
+        assert_eq!(dx.shape(), (2, 4));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+
+        let mut e = Embedding::new(&mut rng, 10, 4);
+        let train_ids = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let eval_ids = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let _ = e.forward(&train_ids, true);
+        let _ = e.forward(&eval_ids, false);
+        let dx = e.backward(&Tensor::ones(1, 8));
+        assert_eq!(dx.shape(), (1, 2));
+        // The gradient landed on the *training* batch's ids.
+        assert!(e.grads()[0].row(1).iter().any(|&v| v != 0.0));
+        assert!(e.grads()[0].row(3).iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -19,12 +19,13 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     let probs = ops::softmax_rows(logits);
     let batch = logits.rows() as f32;
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
+    let mut grad = Tensor::scratch_copy(&probs);
     for (r, &t) in targets.iter().enumerate() {
         let p = probs.get(r, t).max(1e-12);
         loss -= p.ln();
         grad.set(r, t, grad.get(r, t) - 1.0);
     }
+    probs.recycle();
     grad.map_inplace(|x| x / batch);
     (loss / batch, grad)
 }

@@ -76,23 +76,38 @@ impl Sequential {
     /// Flatten all parameters into a single vector (layer order, then tensor order).
     pub fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.params_flat_into(&mut out);
+        out
+    }
+
+    /// Flatten all parameters into a caller-owned buffer (cleared first), so repeated
+    /// snapshots reuse one allocation.
+    pub fn params_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
         for layer in &self.layers {
             for p in layer.params() {
                 out.extend_from_slice(p.data());
             }
         }
-        out
     }
 
     /// Flatten all gradients into a single vector (same ordering as [`Self::params_flat`]).
     pub fn grads_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.grads_flat_into(&mut out);
+        out
+    }
+
+    /// Flatten all gradients into a caller-owned buffer (cleared first).
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
         for layer in &self.layers {
             for g in layer.grads() {
                 out.extend_from_slice(g.data());
             }
         }
-        out
     }
 
     /// Overwrite all parameters from a flat vector produced by [`Self::params_flat`].
@@ -128,19 +143,27 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
+        // Ping-pong through the layers, recycling every intermediate activation into
+        // the scratch arena — steady-state forward allocates nothing.
+        let mut x: Option<Tensor> = None;
         for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+            let next = layer.forward(x.as_ref().unwrap_or(input), train);
+            if let Some(prev) = x.replace(next) {
+                prev.recycle();
+            }
         }
-        x
+        x.unwrap_or_else(|| input.clone())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
+        let mut g: Option<Tensor> = None;
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            let next = layer.backward(g.as_ref().unwrap_or(grad_output));
+            if let Some(prev) = g.replace(next) {
+                prev.recycle();
+            }
         }
-        g
+        g.unwrap_or_else(|| grad_output.clone())
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -183,19 +206,20 @@ impl Layer for Residual {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let fx = self.inner.forward(input, train);
-        let mut out = input.clone();
-        out.zip_mut_with(&fx, |x, y| x + y)
+        let mut fx = self.inner.forward(input, train);
+        // Reuse the inner network's output buffer for the skip addition:
+        // out = f(x) + x has the same value as x + f(x) written into a clone of x.
+        fx.zip_mut_with(input, |y, x| y + x)
             .expect("residual shapes must match");
-        out
+        fx
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let through = self.inner.backward(grad_output);
-        let mut out = grad_output.clone();
-        out.zip_mut_with(&through, |x, y| x + y)
+        let mut through = self.inner.backward(grad_output);
+        through
+            .zip_mut_with(grad_output, |y, g| y + g)
             .expect("residual backward shapes");
-        out
+        through
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -490,15 +514,20 @@ impl PaperModel {
         let logits = self.net.forward(inputs, true);
         let (loss, grad) = loss::softmax_cross_entropy(&logits, targets);
         let metric = self.metric_from_logits(&logits, targets, loss);
-        let _ = self.net.backward(&grad);
+        logits.recycle();
+        let dx = self.net.backward(&grad);
+        dx.recycle();
+        grad.recycle();
         BatchStats { loss, metric }
     }
 
     /// Evaluation pass (no dropout, no gradients).
     pub fn evaluate(&mut self, inputs: &Tensor, targets: &[usize]) -> BatchStats {
         let logits = self.net.forward(inputs, false);
-        let (loss, _) = loss::softmax_cross_entropy(&logits, targets);
+        let (loss, grad) = loss::softmax_cross_entropy(&logits, targets);
         let metric = self.metric_from_logits(&logits, targets, loss);
+        logits.recycle();
+        grad.recycle();
         BatchStats { loss, metric }
     }
 

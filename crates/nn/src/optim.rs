@@ -5,7 +5,12 @@
 //! optimizers work directly on those vectors rather than on per-layer tensors. The
 //! paper's configurations need SGD with momentum + weight decay (ResNet101, VGG11,
 //! Transformer) and Adam (AlexNet).
+//!
+//! Updates run in parallel over fixed element chunks ([`selsync_tensor::par`]); the
+//! per-element arithmetic is unchanged, so the update is bit-identical to the serial
+//! loop for every thread count.
 
+use selsync_tensor::par;
 use serde::{Deserialize, Serialize};
 
 /// A first-order optimizer over flat parameter vectors.
@@ -50,12 +55,13 @@ impl Optimizer for Sgd {
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        for i in 0..params.len() {
-            let g = grads[i] + self.weight_decay * params[i];
-            let v = self.momentum * self.velocity[i] + g;
-            self.velocity[i] = v;
-            params[i] -= lr * v;
-        }
+        let momentum = self.momentum;
+        let weight_decay = self.weight_decay;
+        par::zip3_mut(params, &mut self.velocity, grads, |p, v, g| {
+            let g = g + weight_decay * *p;
+            *v = momentum * *v + g;
+            *p -= lr * *v;
+        });
     }
 
     fn reset(&mut self) {
@@ -109,14 +115,16 @@ impl Optimizer for Adam {
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i] + self.weight_decay * params[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / b1t;
-            let v_hat = self.v[i] / b2t;
-            params[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (eps, weight_decay) = (self.eps, self.weight_decay);
+        par::zip4_mut(params, &mut self.m, &mut self.v, grads, |p, m, v, g| {
+            let g = g + weight_decay * *p;
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let m_hat = *m / b1t;
+            let v_hat = *v / b2t;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        });
     }
 
     fn reset(&mut self) {

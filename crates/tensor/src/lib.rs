@@ -18,7 +18,9 @@
 
 pub mod init;
 pub mod ops;
+pub mod par;
 pub mod rng;
+pub mod scratch;
 pub mod tensor;
 
 pub use tensor::Tensor;

@@ -1,16 +1,38 @@
 //! Linear-algebra and elementwise operations on [`Tensor`].
 //!
-//! Matrix products are the compute hot path of the neural-network substrate; the plain
-//! `matmul` switches to a rayon-parallel row partitioning once the output is large
-//! enough to amortise the fork-join overhead (see the Rayon guidance in the hpc-parallel
-//! coding guides). Everything else is written as straightforward, allocation-conscious
-//! loops over row slices.
+//! Matrix products are the compute hot path of the neural-network substrate. All three
+//! matmul variants are cache-blocked (row blocks × k/n tiles) and run on the shared
+//! worker pool ([`crate::par`]) once the FLOP count justifies the dispatch. Two
+//! invariants hold for every kernel here:
+//!
+//! 1. **Order preservation**: each output element accumulates its `k` products in
+//!    ascending-`p` order, exactly like the straightforward triple loop, regardless of
+//!    tiling or thread count — results are bit-identical to the serial kernels.
+//! 2. **Disjoint writes**: parallel tasks own disjoint row blocks (or column stripes for
+//!    [`matmul_at_acc`]); no reduction races, so thread count never changes the bytes.
+//!
+//! The `_into`/`_acc` variants write into caller-owned buffers so steady-state training
+//! allocates nothing per step (see [`crate::scratch`]). Full-precision reductions
+//! (`sum`, `dot`, …) stay serial on purpose: parallel partial sums would change the
+//! floating-point reduction order.
 
-use crate::{Result, Tensor, TensorError};
-use rayon::prelude::*;
+use crate::{par, Result, Tensor, TensorError};
 
-/// Minimum number of output elements before `matmul` uses the rayon-parallel path.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Multiply-add count (`m·k·n`) above which the matmul kernels parallelise; below it the
+/// pool dispatch costs more than the arithmetic.
+const PAR_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// Output rows per parallel task (and per cache block) in `matmul`/`matmul_bt`.
+const ROW_BLOCK: usize = 4;
+
+/// Columns of `B`/`out` processed per tile (keeps a row block of `out` in L1).
+const N_TILE: usize = 256;
+
+/// Rows of `B` (the `k` dimension) streamed per tile.
+const K_TILE: usize = 256;
+
+/// Output columns per parallel stripe in `matmul_at_acc`.
+const COL_BLOCK: usize = 64;
 
 #[inline]
 fn shape_err(op: &'static str, a: &Tensor, b: &Tensor) -> TensorError {
@@ -21,44 +43,96 @@ fn shape_err(op: &'static str, a: &Tensor, b: &Tensor) -> TensorError {
     }
 }
 
+#[inline]
+fn out_shape_err(op: &'static str, out: &Tensor, expected: (usize, usize)) -> TensorError {
+    TensorError::ShapeMismatch {
+        op,
+        lhs: out.shape(),
+        rhs: expected,
+    }
+}
+
+/// Row blocks for an `m x n` output given the total multiply-add count: one block (fully
+/// serial) below the parallel threshold, [`ROW_BLOCK`]-row blocks above it.
+#[inline]
+fn row_block_elems(m: usize, n: usize, flops: usize) -> usize {
+    if flops >= PAR_FLOP_THRESHOLD && m > 1 {
+        ROW_BLOCK * n
+    } else {
+        m.max(1) * n
+    }
+}
+
 /// Dense matrix product `A (m x k) * B (k x n) -> (m x n)`.
+///
+/// The returned tensor is backed by the thread-local scratch arena; call
+/// [`Tensor::recycle`] when done to make the hot path allocation-free.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::scratch_zeros(a.rows(), b.cols());
+    matmul_acc(a, b, &mut out).map_err(|e| match e {
+        TensorError::ShapeMismatch { .. } => shape_err("matmul", a, b),
+        other => other,
+    })?;
+    Ok(out)
+}
+
+/// `out = A * B` into a caller-owned tensor of shape `(a.rows, b.cols)`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    out.fill(0.0);
+    matmul_acc(a, b, out)
+}
+
+/// `out += A * B` (accumulating): the zero-alloc building block behind
+/// [`matmul`]/[`matmul_into`].
+pub fn matmul_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     if a.cols() != b.rows() {
         return Err(shape_err("matmul", a, b));
     }
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Tensor::zeros(m, n);
-
-    let compute_row = |a_row: &[f32], out_row: &mut [f32]| {
-        // k-outer loop with axpy-style inner loop: streams through B row-by-row, which is
-        // cache-friendly for row-major storage and auto-vectorises well.
-        for (p, &a_val) in a_row.iter().enumerate().take(k) {
-            if a_val == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_val * b_val;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        let a_data = a.data();
-        out.data_mut()
-            .par_chunks_mut(n)
-            .zip(a_data.par_chunks(k))
-            .for_each(|(out_row, a_row)| compute_row(a_row, out_row));
-    } else {
-        for r in 0..m {
-            let a_row = a.row(r);
-            // Split borrow: copy out row pointer via index math through data_mut.
-            let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
-            compute_row(a_row, out_row);
-        }
+    if out.shape() != (m, n) {
+        return Err(out_shape_err("matmul_into", out, (m, n)));
     }
-    Ok(out)
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    // Parallel over row blocks of `out` (disjoint chunks); within a block the classic
+    // k-outer/axpy-inner loop streams B row-by-row, tiled so a ROW_BLOCK x N_TILE
+    // panel of `out` stays cache-resident while a K_TILE x N_TILE panel of B is swept.
+    par::for_each_chunk_mut(
+        out.data_mut(),
+        row_block_elems(m, n, m * n * k),
+        |start, oc| {
+            let r0 = start / n;
+            let rows = oc.len() / n;
+            let mut jc = 0;
+            while jc < n {
+                let je = (jc + N_TILE).min(n);
+                let mut pc = 0;
+                while pc < k {
+                    let pe = (pc + K_TILE).min(k);
+                    for p in pc..pe {
+                        let b_row = &b_data[p * n + jc..p * n + je];
+                        for r in 0..rows {
+                            let a_val = a_data[(r0 + r) * k + p];
+                            if a_val == 0.0 {
+                                continue;
+                            }
+                            let o = &mut oc[r * n + jc..r * n + je];
+                            for (oo, &bb) in o.iter_mut().zip(b_row.iter()) {
+                                *oo += a_val * bb;
+                            }
+                        }
+                    }
+                    pc = pe;
+                }
+                jc = je;
+            }
+        },
+    );
+    Ok(())
 }
 
 /// Product with the second operand transposed: `A (m x k) * B^T` where `B` is `(n x k)`.
@@ -66,51 +140,130 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// This is the shape needed for the backward pass of a linear layer
 /// (`dX = dY * W^T`) without materialising the transpose.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::scratch_zeros(a.rows(), b.rows());
+    matmul_bt_acc(a, b, &mut out).map_err(|e| match e {
+        TensorError::ShapeMismatch { .. } => shape_err("matmul_bt", a, b),
+        other => other,
+    })?;
+    Ok(out)
+}
+
+/// `out = A * B^T` into a caller-owned tensor of shape `(a.rows, b.rows)`.
+pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    out.fill(0.0);
+    matmul_bt_acc(a, b, out)
+}
+
+/// `out += A * B^T` (accumulating).
+pub fn matmul_bt_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     if a.cols() != b.cols() {
         return Err(shape_err("matmul_bt", a, b));
     }
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Tensor::zeros(m, n);
-    for r in 0..m {
-        let a_row = a.row(r);
-        let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
-        for (c, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(c);
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
-            }
-            *o = acc;
-        }
+    if out.shape() != (m, n) {
+        return Err(out_shape_err("matmul_bt_into", out, (m, n)));
     }
-    Ok(out)
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    // Parallel over row blocks; within a block, columns are walked in small groups with
+    // the rows inner so each group of B rows is reused across the whole block while hot.
+    // Every (r, c) output is one dot product accumulated in ascending-p order.
+    par::for_each_chunk_mut(
+        out.data_mut(),
+        row_block_elems(m, n, m * n * k),
+        |start, oc| {
+            let r0 = start / n;
+            let rows = oc.len() / n;
+            let mut c0 = 0;
+            while c0 < n {
+                let ce = (c0 + ROW_BLOCK).min(n);
+                for r in 0..rows {
+                    let a_row = a.row(r0 + r);
+                    for c in c0..ce {
+                        let b_row = b.row(c);
+                        let mut acc = 0.0f32;
+                        for p in 0..k {
+                            acc += a_row[p] * b_row[p];
+                        }
+                        oc[r * n + c] += acc;
+                    }
+                }
+                c0 = ce;
+            }
+        },
+    );
+    Ok(())
 }
 
 /// Product with the first operand transposed: `A^T * B` where `A` is `(k x m)`, `B` is `(k x n)`.
 ///
 /// This is the shape needed for the weight gradient of a linear layer (`dW = X^T * dY`).
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::scratch_zeros(a.cols(), b.cols());
+    matmul_at_acc(a, b, &mut out).map_err(|e| match e {
+        TensorError::ShapeMismatch { .. } => shape_err("matmul_at", a, b),
+        other => other,
+    })?;
+    Ok(out)
+}
+
+/// `out = A^T * B` into a caller-owned tensor of shape `(a.cols, b.cols)`.
+pub fn matmul_at_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    out.fill(0.0);
+    matmul_at_acc(a, b, out)
+}
+
+/// `out += A^T * B` (accumulating) — used to add `dW = X^T * dY` directly into a layer's
+/// gradient tensor without a temporary.
+pub fn matmul_at_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     if a.rows() != b.rows() {
         return Err(shape_err("matmul_at", a, b));
     }
     let (k, m) = a.shape();
     let n = b.cols();
-    let mut out = Tensor::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &a_val) in a_row.iter().enumerate() {
-            if a_val == 0.0 {
-                continue;
-            }
-            let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
-            for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_val * b_val;
+    if out.shape() != (m, n) {
+        return Err(out_shape_err("matmul_at_into", out, (m, n)));
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    // The k dimension is the outer loop (each step scatters a rank-1 update into the
+    // whole output), so tasks own disjoint *column stripes* of `out` instead of row
+    // blocks; each stripe sweeps p in ascending order.
+    let stripes = if m * n * k >= PAR_FLOP_THRESHOLD && n > 1 {
+        n.div_ceil(COL_BLOCK)
+    } else {
+        1
+    };
+    let width = n.div_ceil(stripes);
+    let out_ptr = par::SendPtr(out.data_mut().as_mut_ptr());
+    par::parallel_for(stripes, |t| {
+        let jc = t * width;
+        let je = (jc + width).min(n);
+        if jc >= je {
+            return;
+        }
+        for p in 0..k {
+            let a_row = a.row(p);
+            let b_row = &b.row(p)[jc..je];
+            for (i, &a_val) in a_row.iter().enumerate() {
+                if a_val == 0.0 {
+                    continue;
+                }
+                // SAFETY: stripes own disjoint column ranges of every output row, and
+                // the parallel_for blocks until all stripes complete.
+                let o = unsafe {
+                    std::slice::from_raw_parts_mut(out_ptr.get().add(i * n + jc), je - jc)
+                };
+                for (oo, &bb) in o.iter_mut().zip(b_row.iter()) {
+                    *oo += a_val * bb;
+                }
             }
         }
-    }
-    Ok(out)
+    });
+    Ok(())
 }
 
 /// Materialised transpose.
@@ -145,9 +298,25 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
     a.map(|x| x * s)
 }
 
-/// In-place AXPY: `y += alpha * x`.
+/// In-place AXPY: `y += alpha * x`, parallel over fixed element chunks (per-element
+/// arithmetic is unchanged, so results are bit-identical to the serial loop).
 pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
-    y.zip_mut_with(x, |yi, xi| yi + alpha * xi)
+    if y.shape() != x.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "axpy",
+            lhs: y.shape(),
+            rhs: x.shape(),
+        });
+    }
+    par::zip2_mut(y.data_mut(), x.data(), |yi, xi| yi + alpha * xi);
+    Ok(())
+}
+
+/// Slice AXPY for the flat parameter/gradient vectors the distributed algorithms
+/// exchange: `y += alpha * x`, parallel over fixed chunks.
+pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy_slice length mismatch");
+    par::zip2_mut(y, x, |yi, xi| yi + alpha * xi);
 }
 
 /// Broadcast-add a `1 x n` row vector to every row of an `m x n` tensor.
@@ -168,12 +337,26 @@ pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Result<Tensor> {
 /// Sum over rows, producing a `1 x n` row vector (used for bias gradients).
 pub fn sum_rows(a: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(1, a.cols());
+    sum_rows_acc(a, &mut out).expect("freshly sized output");
+    out
+}
+
+/// Accumulate the row sums of `a` into an existing `1 x a.cols()` tensor (adds the bias
+/// gradient directly into a layer's gradient accumulator, no temporary).
+pub fn sum_rows_acc(a: &Tensor, out: &mut Tensor) -> Result<()> {
+    if out.rows() != 1 || out.cols() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sum_rows_acc",
+            lhs: out.shape(),
+            rhs: (1, a.cols()),
+        });
+    }
     for r in 0..a.rows() {
         for (o, &x) in out.row_mut(0).iter_mut().zip(a.row(r).iter()) {
             *o += x;
         }
     }
-    out
+    Ok(())
 }
 
 /// Sum of all elements.
@@ -220,9 +403,10 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
         .sum())
 }
 
-/// Row-wise softmax (numerically stabilised with the row max).
+/// Row-wise softmax (numerically stabilised with the row max). The result is backed by
+/// the thread-local scratch arena.
 pub fn softmax_rows(a: &Tensor) -> Tensor {
-    let mut out = a.clone();
+    let mut out = Tensor::scratch_copy(a);
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -384,5 +568,84 @@ mod tests {
         let mut b = t(1, 3, &[-10., 0.5, 10.]);
         clip(&mut b, 1.0);
         assert_eq!(b.data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let a = Tensor::from_fn(9, 11, |r, c| ((r * 5 + c) % 7) as f32 - 3.0);
+        let b = Tensor::from_fn(11, 6, |r, c| ((r + 2 * c) % 5) as f32 * 0.5 - 1.0);
+        let mut out = Tensor::zeros(9, 6);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out.data(), matmul(&a, &b).unwrap().data());
+
+        let bt = Tensor::from_fn(6, 11, |r, c| (r as f32 - c as f32) * 0.3);
+        let mut out_bt = Tensor::zeros(9, 6);
+        matmul_bt_into(&a, &bt, &mut out_bt).unwrap();
+        assert_eq!(out_bt.data(), matmul_bt(&a, &bt).unwrap().data());
+
+        let at = Tensor::from_fn(9, 6, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let mut out_at = Tensor::zeros(11, 6);
+        matmul_at_into(&a, &at, &mut out_at).unwrap();
+        assert_eq!(out_at.data(), matmul_at(&a, &at).unwrap().data());
+    }
+
+    #[test]
+    fn acc_variants_accumulate_instead_of_overwriting() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        let b = t(2, 2, &[1., 0., 0., 1.]);
+        let mut out = Tensor::full(2, 2, 10.0);
+        matmul_acc(&a, &b, &mut out).unwrap();
+        assert_eq!(out.data(), &[11., 12., 13., 14.]);
+    }
+
+    #[test]
+    fn into_variants_check_output_shape() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(3, 4);
+        let mut wrong = Tensor::zeros(2, 5);
+        assert!(matmul_into(&a, &b, &mut wrong).is_err());
+        assert!(matmul_bt_into(&a, &Tensor::zeros(4, 3), &mut wrong).is_err());
+        assert!(matmul_at_into(&Tensor::zeros(2, 3), &Tensor::zeros(2, 4), &mut wrong).is_err());
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        // The determinism contract of the compute backend: same bytes out for 1 and 4
+        // threads, for shapes both below and above the parallel threshold.
+        for &(m, k, n) in &[(3usize, 5usize, 4usize), (64, 96, 80), (130, 70, 33)] {
+            let a = Tensor::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.17 - 1.9);
+            let b = Tensor::from_fn(k, n, |r, c| ((r * 13 + c * 7) % 19) as f32 * 0.11 - 1.0);
+            let one = crate::par::with_threads(1, || matmul(&a, &b).unwrap());
+            let four = crate::par::with_threads(4, || matmul(&a, &b).unwrap());
+            assert_eq!(one.data(), four.data(), "matmul {m}x{k}x{n}");
+            let bt_b = Tensor::from_fn(n, k, |r, c| ((r + c * 3) % 11) as f32 * 0.2 - 1.1);
+            let one_bt = crate::par::with_threads(1, || matmul_bt(&a, &bt_b).unwrap());
+            let four_bt = crate::par::with_threads(4, || matmul_bt(&a, &bt_b).unwrap());
+            assert_eq!(one_bt.data(), four_bt.data(), "matmul_bt {m}x{k}x{n}");
+            let at_b = Tensor::from_fn(m, n, |r, c| ((r * 7 + c) % 13) as f32 * 0.15 - 0.9);
+            let one_at = crate::par::with_threads(1, || matmul_at(&a, &at_b).unwrap());
+            let four_at = crate::par::with_threads(4, || matmul_at(&a, &at_b).unwrap());
+            assert_eq!(one_at.data(), four_at.data(), "matmul_at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn axpy_slice_matches_axpy() {
+        let x: Vec<f32> = (0..1000).map(|i| (i % 9) as f32 * 0.3).collect();
+        let mut y: Vec<f32> = (0..1000).map(|i| (i % 4) as f32).collect();
+        let mut yt = Tensor::from_vec(1, 1000, y.clone()).unwrap();
+        let xt = Tensor::from_vec(1, 1000, x.clone()).unwrap();
+        axpy(0.25, &xt, &mut yt).unwrap();
+        axpy_slice(0.25, &x, &mut y);
+        assert_eq!(yt.data(), y.as_slice());
+    }
+
+    #[test]
+    fn sum_rows_acc_adds_to_existing() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let mut acc = Tensor::full(1, 3, 1.0);
+        sum_rows_acc(&a, &mut acc).unwrap();
+        assert_eq!(acc.data(), &[6., 8., 10.]);
+        assert!(sum_rows_acc(&a, &mut Tensor::zeros(1, 2)).is_err());
     }
 }

@@ -1,0 +1,172 @@
+//! Deterministic parallel helpers over the shared worker pool.
+//!
+//! Everything here follows one contract: work is split into **fixed-size,
+//! index-disjoint chunks**, each chunk is processed with the same per-element
+//! operation order a serial loop would use, and no cross-chunk reduction ever
+//! races. Results are therefore bit-identical for every thread count — the
+//! property the scenario subsystem's byte-identical reports depend on.
+//!
+//! Thread count comes from `SELSYNC_THREADS` (default `available_parallelism`);
+//! see [`with_threads`] for scoped overrides in tests and benchmarks.
+
+pub use rayon::pool::{configured_threads, current_num_threads, parallel_for, with_threads};
+
+/// Chunk length (elements) for parallel elementwise sweeps. Fixed — never a
+/// function of the thread count — so the work decomposition is reproducible.
+pub const ELEM_CHUNK: usize = 16 * 1024;
+
+/// Raw-pointer wrapper for index-disjoint cross-thread writes.
+///
+/// Closures must capture the wrapper (via [`SendPtr::get`]), never the bare
+/// pointer, to inherit the `Send`/`Sync` guarantees.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Apply `f(start, end)` over `0..len` in fixed `chunk`-sized ranges, in
+/// parallel. `f` must only touch state belonging to its range.
+pub fn for_each_range(len: usize, chunk: usize, f: impl Fn(usize, usize) + Sync) {
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk.max(1);
+    parallel_for(len.div_ceil(chunk), |t| {
+        let start = t * chunk;
+        f(start, (start + chunk).min(len));
+    });
+}
+
+/// Parallel sweep over disjoint mutable chunks of `data`; `f` receives the
+/// chunk's start index and the chunk itself.
+pub fn for_each_chunk_mut(data: &mut [f32], chunk: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let len = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    for_each_range(len, chunk, |start, end| {
+        // SAFETY: ranges are disjoint and within bounds; the borrow of `data`
+        // outlives the blocking `parallel_for` call.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(start, slice);
+    });
+}
+
+/// Parallel `y[i] = f(y[i], x[i])`. Panics on length mismatch.
+pub fn zip2_mut(y: &mut [f32], x: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(y.len(), x.len(), "zip2_mut length mismatch");
+    for_each_chunk_mut(y, ELEM_CHUNK, |start, ys| {
+        let len = ys.len();
+        for (yy, &xx) in ys.iter_mut().zip(&x[start..start + len]) {
+            *yy = f(*yy, xx);
+        }
+    });
+}
+
+/// Parallel elementwise update over two mutable vectors and one input:
+/// `f(&mut a[i], &mut b[i], x[i])` (the SGD momentum shape).
+pub fn zip3_mut(
+    a: &mut [f32],
+    b: &mut [f32],
+    x: &[f32],
+    f: impl Fn(&mut f32, &mut f32, f32) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip3_mut length mismatch");
+    assert_eq!(a.len(), x.len(), "zip3_mut length mismatch");
+    let len = a.len();
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    for_each_range(len, ELEM_CHUNK, |start, end| {
+        // SAFETY: disjoint ranges over both mutable slices.
+        let sa = unsafe { std::slice::from_raw_parts_mut(pa.get().add(start), end - start) };
+        let sb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(start), end - start) };
+        for ((ai, bi), &xi) in sa.iter_mut().zip(sb.iter_mut()).zip(&x[start..end]) {
+            f(ai, bi, xi);
+        }
+    });
+}
+
+/// Parallel elementwise update over three mutable vectors and one input:
+/// `f(&mut a[i], &mut b[i], &mut c[i], x[i])` (the Adam moment shape).
+pub fn zip4_mut(
+    a: &mut [f32],
+    b: &mut [f32],
+    c: &mut [f32],
+    x: &[f32],
+    f: impl Fn(&mut f32, &mut f32, &mut f32, f32) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip4_mut length mismatch");
+    assert_eq!(a.len(), c.len(), "zip4_mut length mismatch");
+    assert_eq!(a.len(), x.len(), "zip4_mut length mismatch");
+    let len = a.len();
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    let pc = SendPtr(c.as_mut_ptr());
+    for_each_range(len, ELEM_CHUNK, |start, end| {
+        // SAFETY: disjoint ranges over all three mutable slices.
+        let sa = unsafe { std::slice::from_raw_parts_mut(pa.get().add(start), end - start) };
+        let sb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(start), end - start) };
+        let sc = unsafe { std::slice::from_raw_parts_mut(pc.get().add(start), end - start) };
+        for (((ai, bi), ci), &xi) in sa
+            .iter_mut()
+            .zip(sb.iter_mut())
+            .zip(sc.iter_mut())
+            .zip(&x[start..end])
+        {
+            f(ai, bi, ci, xi);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zip2_matches_serial_for_any_thread_count() {
+        let x: Vec<f32> = (0..40_000).map(|i| (i % 17) as f32 * 0.25).collect();
+        let mut serial: Vec<f32> = (0..40_000).map(|i| (i % 5) as f32).collect();
+        let mut parallel = serial.clone();
+        for (y, &xx) in serial.iter_mut().zip(&x) {
+            *y = *y * 0.9 + xx;
+        }
+        with_threads(4, || zip2_mut(&mut parallel, &x, |y, xx| y * 0.9 + xx));
+        assert_eq!(serial, parallel, "bitwise identical across thread counts");
+    }
+
+    #[test]
+    fn zip3_applies_in_place() {
+        let mut a = vec![1.0f32; 100];
+        let mut b = vec![2.0f32; 100];
+        let x = vec![3.0f32; 100];
+        zip3_mut(&mut a, &mut b, &x, |ai, bi, xi| {
+            *bi += xi;
+            *ai -= *bi;
+        });
+        assert!(a.iter().all(|&v| v == -4.0));
+        assert!(b.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn for_each_range_covers_everything_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..10_001).map(|_| AtomicU32::new(0)).collect();
+        with_threads(3, || {
+            for_each_range(hits.len(), 128, |s, e| {
+                for h in &hits[s..e] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zip2_length_mismatch_panics() {
+        zip2_mut(&mut [0.0], &[0.0, 1.0], |y, _| y);
+    }
+}

@@ -64,15 +64,58 @@ pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
 }
 
 /// Sample `k` distinct indices from `0..n` without replacement (partial Fisher–Yates).
+///
+/// Runs in `O(k)` memory: instead of materialising `0..n`, only the displaced
+/// positions are tracked in a map. The RNG draw sequence and the returned sample are
+/// identical to the classic array-based partial shuffle.
 pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
-    assert!(k <= n, "cannot sample {k} items from a population of {n}");
-    let mut idx: Vec<usize> = (0..n).collect();
-    for i in 0..k {
-        let j = rng.gen_range(i..n);
-        idx.swap(i, j);
+    let mut out = Vec::new();
+    sample_without_replacement_into(rng, n, k, &mut out);
+    out
+}
+
+/// [`sample_without_replacement`] into a caller-owned buffer (cleared first).
+pub fn sample_without_replacement_into(
+    rng: &mut impl Rng,
+    n: usize,
+    k: usize,
+    out: &mut Vec<usize>,
+) {
+    SparseSampler::new().sample_into(rng, n, k, out);
+}
+
+/// Reusable sparse Fisher–Yates sampler: `O(k)` memory instead of materialising
+/// `0..n`, and the displacement map keeps its capacity across calls — the zero-alloc
+/// path for per-step compressors that hold a sampler in their state.
+#[derive(Debug, Clone, Default)]
+pub struct SparseSampler {
+    /// `swapped[p]` is the value currently sitting at position `p` (positions not
+    /// present still hold their own index).
+    swapped: std::collections::HashMap<usize, usize>,
+}
+
+impl SparseSampler {
+    /// Create an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
     }
-    idx.truncate(k);
-    idx
+
+    /// Sample `k` distinct indices from `0..n` into `out` (cleared first). The RNG
+    /// draw sequence and the result are identical to the classic array-based partial
+    /// Fisher–Yates shuffle.
+    pub fn sample_into(&mut self, rng: &mut impl Rng, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot sample {k} items from a population of {n}");
+        out.clear();
+        out.reserve(k);
+        self.swapped.clear();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            let vj = self.swapped.get(&j).copied().unwrap_or(j);
+            let vi = self.swapped.get(&i).copied().unwrap_or(i);
+            out.push(vj);
+            self.swapped.insert(j, vi);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -213,6 +213,47 @@ impl Tensor {
     pub fn nbytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }
+
+    // --- scratch-arena integration (zero-alloc hot paths) --------------------------
+
+    /// Create a zero-filled tensor backed by this thread's scratch arena
+    /// ([`crate::scratch`]). Identical to [`Tensor::zeros`] except the buffer
+    /// is recycled rather than freshly allocated when possible.
+    pub fn scratch_zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: crate::scratch::take_zeroed(rows * cols),
+        }
+    }
+
+    /// Arena-backed copy of `src` (a `clone` whose buffer comes from the
+    /// scratch arena).
+    pub fn scratch_copy(src: &Tensor) -> Self {
+        let mut t = Tensor::scratch_zeros(src.rows, src.cols);
+        t.data.copy_from_slice(&src.data);
+        t
+    }
+
+    /// Return this tensor's buffer to the scratch arena.
+    pub fn recycle(self) {
+        crate::scratch::recycle(self.data);
+    }
+
+    /// Cache a copy of `self` in `slot`, reusing the slot's existing buffer
+    /// when the shape matches (the per-step layer-cache path allocates nothing
+    /// in steady state).
+    pub fn clone_into_slot(&self, slot: &mut Option<Tensor>) {
+        match slot {
+            Some(t) if t.shape() == self.shape() => t.data.copy_from_slice(&self.data),
+            _ => *slot = Some(self.clone()),
+        }
+    }
+
+    /// Set every element to `value` (memset-style, faster than `map_inplace`).
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
 }
 
 #[cfg(test)]

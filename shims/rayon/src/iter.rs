@@ -1,0 +1,167 @@
+//! A minimal, genuinely parallel slice-iterator surface.
+//!
+//! Only the combinators this workspace uses are provided: `par_chunks` /
+//! `par_chunks_mut` producing a [`ParIter`], plus `zip`, `enumerate`,
+//! `for_each` and `map_collect`. Items are materialised eagerly (chunk
+//! descriptors are cheap — two words per chunk) and dispatched over
+//! [`crate::pool::parallel_for`]; each item is processed exactly once, on an
+//! arbitrary thread, which is deterministic as long as items write disjoint
+//! outputs — exactly the rayon contract.
+
+use crate::pool::parallel_for;
+
+/// An eager collection of independent work items, processed in parallel.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Wrap pre-built items.
+    pub fn from_items(items: Vec<I>) -> Self {
+        ParIter { items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pair up with another parallel iterator (shorter side wins, as in rayon).
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Consume every item in parallel. Each item is passed to `f` exactly once.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        let mut items = std::mem::ManuallyDrop::new(self.items);
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        // SAFETY: `parallel_for` visits each index exactly once, so every item
+        // is moved out exactly once; the ManuallyDrop vec never drops them.
+        parallel_for(n, |i| {
+            let item = unsafe { std::ptr::read(base.get().add(i)) };
+            f(item);
+        });
+        // Buffer memory (not the items) is released here.
+        unsafe {
+            items.set_len(0);
+            std::mem::ManuallyDrop::drop(&mut items);
+        }
+    }
+
+    /// Map every item in parallel, preserving order.
+    pub fn map_collect<T: Send, F: Fn(I) -> T + Sync>(self, f: F) -> Vec<T> {
+        let n = self.items.len();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let out_base = SendPtr(out.as_mut_ptr());
+        let mut items = std::mem::ManuallyDrop::new(self.items);
+        let base = SendPtr(items.as_mut_ptr());
+        // SAFETY: disjoint reads and writes per index, each visited once.
+        parallel_for(n, |i| {
+            let item = unsafe { std::ptr::read(base.get().add(i)) };
+            unsafe { *out_base.get().add(i) = Some(f(item)) };
+        });
+        unsafe {
+            items.set_len(0);
+            std::mem::ManuallyDrop::drop(&mut items);
+        }
+        out.into_iter().map(|x| x.expect("slot filled")).collect()
+    }
+}
+
+/// Raw-pointer wrapper that may cross threads; all uses are index-disjoint.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the wrapper —
+    /// and with it the `Send`/`Sync` guarantees — not the bare pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Parallel chunking of shared slices.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel chunking of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_threads;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let doubled = with_threads(4, || {
+            ParIter::from_items(data.clone()).map_collect(|x| x * 2)
+        });
+        assert_eq!(doubled, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a = [1, 2, 3];
+        let b = [10, 20];
+        let pairs = a.par_chunks(1).zip(b.par_chunks(1));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn for_each_drops_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let items: Vec<Counted> = (0..64).map(|_| Counted(Arc::clone(&drops))).collect();
+        with_threads(4, || {
+            ParIter::from_items(items).for_each(drop);
+        });
+        assert_eq!(drops.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,45 +1,51 @@
-//! Offline stand-in for `rayon`: the `par_chunks`/`par_chunks_mut` entry points return
-//! ordinary sequential iterators. Std's `Iterator` already provides the `zip`/`for_each`
-//! combinators chained on them, so call sites compile unchanged; they simply run on one
-//! thread. The matmul hot path stays correct and cache-friendly, just not parallel —
-//! acceptable for an offline build, and trivially replaced when the real rayon is
-//! available.
+//! Offline stand-in for `rayon`, now backed by a real worker pool.
+//!
+//! Unlike the original sequential shim, this crate runs work on long-lived OS
+//! threads while keeping every result **bit-identical across thread counts**:
+//!
+//! * [`pool::parallel_for`] executes independent tasks (each writing disjoint
+//!   output) across the pool; which thread runs which task is irrelevant to the
+//!   result, so an atomic task counter is safe.
+//! * Reductions must not be expressed as racing accumulations. Callers either
+//!   keep them serial or combine fixed-size per-task partials in task order
+//!   (see `selsync_tensor::par`), which makes the floating-point summation
+//!   order a pure function of the input size — never of the thread count.
+//!
+//! The pool is configured once from `SELSYNC_THREADS` (default:
+//! `available_parallelism`). Tests can widen or narrow the *effective* thread
+//! count at runtime with [`pool::with_threads`]; the pool lazily grows its
+//! worker set, so a 1-CPU machine can still genuinely exercise a 4-thread
+//! schedule.
+//!
+//! The `prelude` keeps the `par_chunks`/`par_chunks_mut` + `zip`/`for_each`
+//! surface of real rayon so call sites written against the registry crate
+//! compile unchanged — but here they are actually parallel. (The workspace's
+//! own kernels now use [`pool::parallel_for`] directly; the prelude exists for
+//! drop-in fidelity and has no in-workspace production callers at present.)
+
+pub mod iter;
+pub mod pool;
 
 /// Drop-in `use rayon::prelude::*` surface.
 pub mod prelude {
-    /// Sequential `par_chunks` over shared slices.
-    pub trait ParallelSlice<T> {
-        /// Iterate over `chunk_size`-sized chunks (sequentially).
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
+    pub use crate::iter::{ParallelSlice, ParallelSliceMut};
+}
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Sequential `par_chunks_mut` over mutable slices.
-    pub trait ParallelSliceMut<T> {
-        /// Iterate over `chunk_size`-sized mutable chunks (sequentially).
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+/// Number of threads the pool will use for the current call context
+/// (rayon-compatible name).
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_chunks_match_chunks() {
         let data = [1, 2, 3, 4, 5];
-        let collected: Vec<Vec<i32>> = data.par_chunks(2).map(|c| c.to_vec()).collect();
+        let collected: Vec<Vec<i32>> = data.par_chunks(2).map_collect(|c| c.to_vec());
         assert_eq!(collected, vec![vec![1, 2], vec![3, 4], vec![5]]);
     }
 
@@ -55,5 +61,39 @@ mod tests {
                 }
             });
         assert_eq!(out, [10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn parallel_for_runs_every_task_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool::with_threads(4, || {
+            pool::parallel_for(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_parallel_for_degrades_gracefully() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        pool::with_threads(4, || {
+            pool::parallel_for(8, |_| {
+                pool::parallel_for(8, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn with_threads_restores_the_previous_setting() {
+        let before = current_num_threads();
+        let inside = pool::with_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
     }
 }

@@ -1,0 +1,307 @@
+//! The deterministic long-lived worker pool.
+//!
+//! Design (see `docs/PERFORMANCE.md` at the workspace root):
+//!
+//! * Worker threads are spawned lazily, live for the whole process, and park on
+//!   an MPSC job queue — no per-call thread spawn cost.
+//! * [`parallel_for`] distributes task indices `0..tasks` with an atomic
+//!   counter. The calling thread participates, so `SELSYNC_THREADS=1` runs the
+//!   plain sequential loop with zero synchronisation.
+//! * Borrowed closures are handed to workers as type-erased raw pointers; the
+//!   caller blocks on a latch until every helper has finished, so the borrow
+//!   outlives all uses (the classic scoped-pool argument).
+//! * Determinism contract: tasks must write disjoint outputs and must not
+//!   perform cross-task accumulation. Under that contract the result is a pure
+//!   function of the input — independent of thread count and scheduling.
+//! * A `parallel_for` issued from *inside* a pool worker runs sequentially
+//!   (nested parallelism would deadlock a worker waiting on its own queue).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock, RwLockReadGuard};
+
+/// Upper bound on pool size; far above any machine this workspace targets.
+const MAX_THREADS: usize = 64;
+
+/// Completion latch: the caller waits until every helper job has finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+    /// Set when a helper job panicked; the caller re-panics after the wait so
+    /// unwinding never races a borrowed closure.
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.cv.wait(left).unwrap();
+        }
+    }
+}
+
+/// A type-erased borrowed closure plus its completion latch.
+///
+/// `data` points at a `F: Fn() + Sync` owned by the submitting stack frame;
+/// `call` is the monomorphised trampoline that invokes it. The submitter blocks
+/// on `latch` before its frame unwinds, which is what makes the raw pointer
+/// sound to dereference from another thread.
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const ()),
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `data` is only dereferenced through `call` while the submitting
+// thread blocks on `latch`, and the pointee is `Sync`.
+unsafe impl Send for Job {}
+
+unsafe fn trampoline<F: Fn() + Sync>(data: *const ()) {
+    (*(data as *const F))()
+}
+
+struct Worker {
+    sender: Mutex<mpsc::Sender<Job>>,
+}
+
+struct Pool {
+    workers: RwLock<Vec<Worker>>,
+    configured: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Runtime override of the effective thread count (0 = use the configured
+/// value). Widening past `configured` is allowed — the pool grows lazily — so
+/// determinism tests can exercise multi-thread schedules on small machines.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads; used to run nested parallelism sequentially.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn spawn_worker(workers: &mut Vec<Worker>) {
+    let (tx, rx) = mpsc::channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("selsync-pool-{}", workers.len()))
+        .spawn(move || {
+            IN_POOL.with(|f| f.set(true));
+            while let Ok(job) = rx.recv() {
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data) }));
+                if result.is_err() {
+                    job.latch.poisoned.store(true, Ordering::Release);
+                }
+                job.latch.count_down();
+            }
+        })
+        .expect("failed to spawn selsync pool worker");
+    workers.push(Worker {
+        sender: Mutex::new(tx),
+    });
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        workers: RwLock::new(Vec::new()),
+        configured: configured_threads(),
+    })
+}
+
+/// Read guard over at least `n` live workers (growing the pool if needed).
+fn workers_for(n: usize) -> RwLockReadGuard<'static, Vec<Worker>> {
+    let p = pool();
+    {
+        let guard = p.workers.read().unwrap();
+        if guard.len() >= n {
+            return guard;
+        }
+    }
+    {
+        let mut guard = p.workers.write().unwrap();
+        while guard.len() < n {
+            spawn_worker(&mut guard);
+        }
+    }
+    p.workers.read().unwrap()
+}
+
+/// Thread count from the environment: `SELSYNC_THREADS` if set and >= 1,
+/// otherwise `available_parallelism`, clamped to [`MAX_THREADS`].
+pub fn configured_threads() -> usize {
+    std::env::var("SELSYNC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, MAX_THREADS)
+}
+
+/// The effective thread count for calls issued right now.
+pub fn current_num_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => pool().configured,
+        n => n.min(MAX_THREADS),
+    }
+}
+
+/// Run `f` with the effective thread count forced to `n`, restoring the
+/// previous setting afterwards. Intended for determinism tests and benchmarks.
+///
+/// The override is process-global; concurrent callers may observe each other's
+/// setting. That is harmless by construction — the pool's determinism contract
+/// makes every result independent of the effective thread count.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let previous = OVERRIDE.swap(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Execute `f(i)` for every `i in 0..tasks`, spread across the pool, and block
+/// until all tasks are done. Each index is executed exactly once.
+///
+/// Tasks must write disjoint outputs (no cross-task reduction); under that
+/// contract the result is bit-identical for every thread count.
+pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
+    if tasks == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(tasks);
+    if threads <= 1 || IN_POOL.with(|c| c.get()) {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let runner = move || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            break;
+        }
+        f(i);
+    };
+
+    // Monomorphise the trampoline for `runner`'s unnameable closure type.
+    fn trampoline_of<F: Fn() + Sync>(_: &F) -> unsafe fn(*const ()) {
+        trampoline::<F>
+    }
+    let data = &runner as *const _ as *const ();
+    let call = trampoline_of(&runner);
+
+    let helpers = threads - 1;
+    let latch = Arc::new(Latch::new(helpers));
+    {
+        let workers = workers_for(helpers);
+        for worker in workers.iter().take(helpers) {
+            let job = Job {
+                data,
+                call,
+                latch: Arc::clone(&latch),
+            };
+            // A worker's receiver lives as long as the process; send cannot fail.
+            worker
+                .sender
+                .lock()
+                .unwrap()
+                .send(job)
+                .expect("pool worker vanished");
+        }
+    }
+
+    // The caller participates, then waits for every helper before returning
+    // (or unwinding), so `runner` outlives all uses.
+    let mine = catch_unwind(AssertUnwindSafe(&runner));
+    latch.wait();
+    if let Err(payload) = mine {
+        resume_unwind(payload);
+    }
+    if latch.poisoned.load(Ordering::Acquire) {
+        panic!("a selsync pool task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        parallel_for(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_task_runs_on_the_caller() {
+        let hit = AtomicUsize::new(0);
+        parallel_for(1, |i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disjoint_writes_cover_every_slot() {
+        let mut out = vec![0u64; 1000];
+        // Scoped mutable access through an atomic view keeps this test simple.
+        let slots: Vec<AtomicU64> = (0..out.len()).map(|_| AtomicU64::new(0)).collect();
+        with_threads(8, || {
+            parallel_for(slots.len(), |i| {
+                slots[i].store(i as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        for (o, s) in out.iter_mut().zip(slots.iter()) {
+            *o = s.load(Ordering::Relaxed);
+        }
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                parallel_for(16, |i| {
+                    if i == 7 {
+                        panic!("boom");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+}

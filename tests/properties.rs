@@ -15,6 +15,7 @@ use selsync_repro::metrics::Ewma;
 use selsync_repro::nn::layer::Linear;
 use selsync_repro::nn::model::Sequential;
 use selsync_repro::tensor::rng::seeded;
+use selsync_repro::tensor::{ops, par, Tensor};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -170,6 +171,60 @@ proptest! {
         let mut t = TernGrad::new(1);
         prop_assert_eq!(decompress_dense(&s.compress(&grad)).len(), grad.len());
         prop_assert_eq!(decompress_dense(&t.compress(&grad)).len(), grad.len());
+    }
+
+    // ----- thread-count determinism of the compute backend --------------------------
+
+    #[test]
+    fn matmul_kernels_are_bit_identical_for_1_vs_4_threads(
+        m in 24usize..72,
+        k in 24usize..72,
+        n in 24usize..72,
+        seed in 0u64..10_000,
+    ) {
+        // Shapes straddle the parallel threshold, so both the serial and the
+        // multi-threaded tiled paths are exercised.
+        let mut r = seeded(seed);
+        let mut a = Tensor::zeros(m, k);
+        let mut b = Tensor::zeros(k, n);
+        selsync_repro::tensor::rng::fill_uniform(&mut r, a.data_mut(), -2.0, 2.0);
+        selsync_repro::tensor::rng::fill_uniform(&mut r, b.data_mut(), -2.0, 2.0);
+        let one = par::with_threads(1, || ops::matmul(&a, &b).unwrap());
+        let four = par::with_threads(4, || ops::matmul(&a, &b).unwrap());
+        prop_assert_eq!(one.data(), four.data());
+
+        let mut bt = Tensor::zeros(n, k);
+        selsync_repro::tensor::rng::fill_uniform(&mut r, bt.data_mut(), -2.0, 2.0);
+        let one_bt = par::with_threads(1, || ops::matmul_bt(&a, &bt).unwrap());
+        let four_bt = par::with_threads(4, || ops::matmul_bt(&a, &bt).unwrap());
+        prop_assert_eq!(one_bt.data(), four_bt.data());
+
+        let mut at = Tensor::zeros(m, n);
+        selsync_repro::tensor::rng::fill_uniform(&mut r, at.data_mut(), -2.0, 2.0);
+        let one_at = par::with_threads(1, || ops::matmul_at(&a, &at).unwrap());
+        let four_at = par::with_threads(4, || ops::matmul_at(&a, &at).unwrap());
+        prop_assert_eq!(one_at.data(), four_at.data());
+    }
+
+    #[test]
+    fn aggregation_is_bit_identical_for_1_vs_4_threads(
+        replicas in 2usize..6,
+        dim in 1usize..40_000,
+        seed in 0u64..10_000,
+    ) {
+        // `dim` crosses the fixed ELEM_CHUNK boundary, so both the single-chunk and
+        // the multi-chunk parallel paths are exercised.
+        let mut r = seeded(seed ^ 0xA66);
+        let vecs: Vec<Vec<f32>> = (0..replicas)
+            .map(|_| {
+                let mut v = vec![0.0f32; dim];
+                selsync_repro::tensor::rng::fill_uniform(&mut r, &mut v, -5.0, 5.0);
+                v
+            })
+            .collect();
+        let one = par::with_threads(1, || average(&vecs));
+        let four = par::with_threads(4, || average(&vecs));
+        prop_assert_eq!(one, four);
     }
 
     // ----- EWMA ---------------------------------------------------------------------

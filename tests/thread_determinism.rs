@@ -1,0 +1,59 @@
+//! Thread-count determinism: the compute backend must produce byte-identical
+//! results whether it runs on 1 thread or many. These tests exercise the full
+//! stack — training drivers and the scenario comparison runner — under scoped
+//! thread-count overrides (`SELSYNC_THREADS` equivalents).
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::nn::model::ModelKind;
+use selsync_repro::scenario::{library, runner, Scenario};
+use selsync_repro::tensor::par;
+
+fn train_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+    cfg.iterations = 40;
+    cfg.eval_every = 10;
+    cfg.train_samples = 512;
+    cfg.test_samples = 128;
+    cfg.eval_samples = 128;
+    cfg.batch_size = 16;
+    cfg.algorithm = AlgorithmSpec::selsync(0.25);
+    cfg
+}
+
+#[test]
+fn training_run_is_bit_identical_across_thread_counts() {
+    let cfg = train_cfg();
+    let one = par::with_threads(1, || algorithms::run(&cfg));
+    let four = par::with_threads(4, || algorithms::run(&cfg));
+    // Debug formatting covers every field, including the full eval history, with
+    // exact float formatting — equal strings means equal bytes end to end.
+    assert_eq!(format!("{one:?}"), format!("{four:?}"));
+}
+
+#[test]
+fn scenario_report_is_byte_identical_across_thread_counts() {
+    let mut scenario = Scenario::base("thread-determinism", 3, 24);
+    scenario.train_samples = 384;
+    scenario.test_samples = 96;
+    scenario.eval_samples = 96;
+    scenario.batch_size = 8;
+    scenario.eval_every = 6;
+    let one = par::with_threads(1, || runner::run_scenario(&scenario).unwrap().render());
+    let four = par::with_threads(4, || runner::run_scenario(&scenario).unwrap().render());
+    assert_eq!(one, four, "report bytes must not depend on thread count");
+}
+
+#[test]
+#[ignore = "slow: full built-in scenario sweep; run with --ignored"]
+fn all_builtin_scenarios_are_byte_identical_across_thread_counts() {
+    for scenario in library::all_builtin() {
+        let one = par::with_threads(1, || runner::run_scenario(&scenario).unwrap().render());
+        let four = par::with_threads(4, || runner::run_scenario(&scenario).unwrap().render());
+        assert_eq!(
+            one, four,
+            "{} must not depend on thread count",
+            scenario.name
+        );
+    }
+}
