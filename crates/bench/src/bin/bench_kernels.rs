@@ -6,11 +6,15 @@
 //! 256x256x256 matmul (the backend's acceptance benchmark). Emits one JSON
 //! object on stdout so CI can archive the perf trajectory PR over PR.
 //!
-//! Usage: `bench_kernels [--quick]`
-//!   --quick   smaller shapes / fewer repetitions (CI mode)
+//! Usage: `bench_kernels [--quick] [--baseline <json>]`
+//!   --quick            smaller shapes / fewer repetitions (CI mode)
+//!   --baseline <json>  after printing, compare the `sim_round` steps/sec against the
+//!                      committed baseline report and exit non-zero on a >20%
+//!                      regression (per workers x threads cell)
 //!
 //! Thread count comes from `SELSYNC_THREADS` (default `available_parallelism`);
-//! the speedup section overrides it internally via the pool's scoped override.
+//! the speedup and `sim_round` sections override it internally via the pool's
+//! scoped override.
 
 use selsync::algorithms;
 use selsync::config::{AlgorithmSpec, TrainConfig};
@@ -104,8 +108,106 @@ fn bench_matmuls(shapes: &[(usize, usize, usize)], budget_s: f64) -> Vec<KernelR
     results
 }
 
+struct SimRoundResult {
+    workers: usize,
+    threads: usize,
+    steps_per_sec: f64,
+}
+
+/// Simulator round throughput: BSP (the arm every comparison shares, all workers
+/// active every round) at several cluster widths, at 1 vs 4 effective pool threads.
+/// Wall time includes one warm-up run so dataset/engine construction and the pool
+/// spin-up are excluded from the measured runs.
+fn bench_sim_round(quick: bool) -> Vec<SimRoundResult> {
+    let mut results = Vec::new();
+    for &workers in &[4usize, 8, 16] {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, workers);
+        cfg.iterations = if quick { 12 } else { 40 };
+        cfg.eval_every = cfg.iterations; // final eval only
+        cfg.train_samples = 512;
+        cfg.test_samples = 64;
+        cfg.eval_samples = 64;
+        cfg.batch_size = 16;
+        cfg.algorithm = AlgorithmSpec::Bsp;
+        for &threads in &[1usize, 4] {
+            let steps_per_sec = par::with_threads(threads, || {
+                let _warmup = algorithms::run(&cfg);
+                let start = Instant::now();
+                let report = algorithms::run(&cfg);
+                report.iterations as f64 / start.elapsed().as_secs_f64()
+            });
+            results.push(SimRoundResult {
+                workers,
+                threads,
+                steps_per_sec,
+            });
+        }
+    }
+    results
+}
+
+/// Extract `(workers, threads, steps_per_sec)` triples from the `sim_round` section of
+/// a report produced by this binary (hand-rolled: the workspace builds offline, so
+/// there is no JSON parser dependency — the format is our own).
+fn parse_sim_round(json: &str) -> Vec<(usize, usize, f64)> {
+    fn field<T: std::str::FromStr>(entry: &str, key: &str) -> Option<T> {
+        let pos = entry.find(key)? + key.len();
+        let rest = entry[pos..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+    let Some(pos) = json.find("\"sim_round\"") else {
+        return Vec::new();
+    };
+    let rest = &json[pos..];
+    let body = &rest[..rest.find(']').unwrap_or(rest.len())];
+    body.split('{')
+        .skip(1)
+        .filter_map(|entry| {
+            Some((
+                field::<usize>(entry, "\"workers\":")?,
+                field::<usize>(entry, "\"threads\":")?,
+                field::<f64>(entry, "\"steps_per_sec\":")?,
+            ))
+        })
+        .collect()
+}
+
+/// Compare this run's `sim_round` numbers against a committed baseline report; returns
+/// an error line per cell that regressed more than 20% below the baseline floor.
+fn check_baseline(current: &str, baseline: &str) -> Vec<String> {
+    let base = parse_sim_round(baseline);
+    let now = parse_sim_round(current);
+    let mut failures = Vec::new();
+    if base.is_empty() {
+        // A baseline that parses to nothing must fail loudly, or the gate silently
+        // becomes a no-op (malformed file, renamed key, wrong path).
+        failures.push("baseline file contains no sim_round entries".to_string());
+    }
+    for (workers, threads, floor) in base {
+        let Some(&(_, _, got)) = now.iter().find(|&&(w, t, _)| w == workers && t == threads) else {
+            failures.push(format!(
+                "sim_round cell workers={workers} threads={threads} missing from current report"
+            ));
+            continue;
+        };
+        if got < 0.8 * floor {
+            failures.push(format!(
+                "sim_round regression at workers={workers} threads={threads}: \
+                 {got:.2} steps/s < 80% of baseline {floor:.2}"
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
     let budget_s = if quick { 0.1 } else { 0.4 };
 
     let shapes: &[(usize, usize, usize)] = if quick {
@@ -142,6 +244,9 @@ fn main() {
     let report = algorithms::run(&cfg);
     let sim_secs = start.elapsed().as_secs_f64();
     let steps_per_sec = report.iterations as f64 / sim_secs;
+
+    // Worker-parallel round throughput across cluster widths and thread counts.
+    let sim_round = bench_sim_round(quick);
 
     // Acceptance benchmark: 256^3 matmul at 1 vs 4 effective threads.
     let (m, k, n) = (256, 256, 256);
@@ -191,6 +296,17 @@ fn main() {
         "  \"simulator\": {{ \"model\": \"resnet_like\", \"workers\": 4, \"iterations\": {}, \"wall_secs\": {:.3}, \"steps_per_sec\": {:.2} }},\n",
         report.iterations, sim_secs, steps_per_sec
     ));
+    json.push_str("  \"sim_round\": [\n");
+    for (i, r) in sim_round.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workers\": {}, \"threads\": {}, \"steps_per_sec\": {:.2} }}{}\n",
+            r.workers,
+            r.threads,
+            r.steps_per_sec,
+            if i + 1 == sim_round.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"speedup_256\": {{ \"t1_secs\": {:.6e}, \"t4_secs\": {:.6e}, \"t1_gflops\": {:.3}, \"t4_gflops\": {:.3}, \"speedup\": {:.3} }}\n",
         t1,
@@ -201,4 +317,17 @@ fn main() {
     ));
     json.push_str("}\n");
     print!("{json}");
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let failures = check_baseline(&json, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench_kernels: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("bench_kernels: sim_round within 20% of the committed baseline ({path})");
+    }
 }

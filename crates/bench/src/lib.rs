@@ -520,7 +520,7 @@ fn run_with_weight_snapshots(
 ) -> (Vec<f32>, Vec<f32>) {
     use selsync::aggregation::{average, AggregationMode};
     use selsync::policy::SyncPolicy;
-    use selsync::sim::Simulator;
+    use selsync::sim::{Simulator, WorkerStep};
     use selsync::SyncDecision;
 
     let (delta, aggregation, is_bsp) = match cfg.algorithm {
@@ -533,38 +533,28 @@ fn run_with_weight_snapshots(
     let policy = SyncPolicy::new(delta);
     let mut sim = Simulator::new(cfg);
     let n = sim.num_workers();
+    let workers: Vec<usize> = (0..n).collect();
+    let mut steps: Vec<WorkerStep> = Vec::new();
     let mut mid = Vec::new();
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
-        let mut grads = Vec::with_capacity(n);
-        let mut deltas = Vec::with_capacity(n);
-        for w in 0..n {
-            let (idx, _) = sim.next_batch(w);
-            let (_, g) = sim.compute_gradient(w, &idx);
-            deltas.push(sim.track_delta(w, &g));
-            grads.push(g);
-        }
-        let sync = is_bsp || policy.decide_from_deltas(&deltas) == SyncDecision::Synchronize;
+        sim.plan_round(&workers, &mut steps);
+        let round = sim.run_round(&steps);
+        let sync = is_bsp || policy.decide_from_deltas(&round.deltas) == SyncDecision::Synchronize;
         if sync {
             match aggregation {
                 AggregationMode::Gradient => {
-                    let avg = average(&grads);
-                    for w in 0..n {
-                        sim.apply_update(w, &avg, lr);
-                    }
+                    let avg = average(sim.round_grads());
+                    sim.apply_round_shared(&workers, &avg, lr);
                 }
                 AggregationMode::Parameter => {
-                    for (w, g) in grads.iter().enumerate() {
-                        sim.apply_update(w, g, lr);
-                    }
+                    sim.apply_round_own(&steps, lr);
                     let avg = sim.average_params();
                     sim.set_all_params(&avg);
                 }
             }
         } else {
-            for (w, g) in grads.iter().enumerate() {
-                sim.apply_update(w, g, lr);
-            }
+            sim.apply_round_own(&steps, lr);
         }
         if it == mid_iteration {
             let params = sim.average_params();

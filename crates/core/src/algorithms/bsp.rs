@@ -4,7 +4,7 @@
 use crate::aggregation;
 use crate::config::TrainConfig;
 use crate::report::RunReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WorkerStep};
 
 /// Run BSP for `cfg.iterations` iterations.
 pub fn run(cfg: &TrainConfig) -> RunReport {
@@ -15,6 +15,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     // copied into the per-replica buffers, no per-replica clone fan-out.
     let mut global = sim.workers[0].params.clone();
     let mut avg = Vec::new();
+    let mut steps: Vec<WorkerStep> = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -24,35 +25,26 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             continue;
         }
 
-        let mut grads = Vec::with_capacity(present.len());
-        let mut max_delta = 0.0f32;
-        let mut injected_bytes = 0u64;
-        for &w in &present {
-            let (idx, inj) = sim.next_batch(w);
-            injected_bytes += inj;
-            let (_, g) = sim.compute_gradient(w, &idx);
-            max_delta = max_delta.max(sim.track_delta(w, &g));
-            grads.push(g);
-        }
+        // Gradient phase: all present workers in parallel on the engine pool.
+        sim.plan_round(&present, &mut steps);
+        let round = sim.run_round(&steps);
         // Aggregate gradients on the PS and apply the averaged gradient to the present
         // workers; crashed workers keep their stale replicas. The PS global is the
         // present replicas' average — after a crash-rejoin the replicas can diverge
         // (the rejoiner's momentum was reset), so no single replica is "the" model.
-        aggregation::average_into(&grads, &mut avg);
-        for &w in &present {
-            sim.apply_update(w, &avg, lr);
-        }
+        aggregation::average_into(sim.round_grads(), &mut avg);
+        sim.apply_round_shared(&present, &avg, lr);
         sim.average_params_of_into(&present, &mut global);
         let compute = sim.round_compute_seconds(it);
         let comm = sim.ps_sync_seconds_at(it, present.len()) + rejoin_comm;
-        let bytes = 2 * present.len() as u64 * wire + injected_bytes + rejoin_bytes;
+        let bytes = 2 * present.len() as u64 * wire + round.injected_bytes + rejoin_bytes;
         sim.account_step(compute, comm, bytes, true);
 
         if sim.should_eval(it) {
             // `record_eval` only reads the snapshot; move `global` through a
             // temporary to satisfy the borrow checker without cloning it.
             let snapshot = std::mem::take(&mut global);
-            sim.record_eval(it, &snapshot, max_delta);
+            sim.record_eval(it, &snapshot, round.max_delta);
             global = snapshot;
         }
     }

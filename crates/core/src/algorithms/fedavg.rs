@@ -4,7 +4,7 @@
 
 use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::report::RunReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WorkerStep};
 use selsync_tensor::rng;
 
 /// Run FedAvg for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not FedAvg.
@@ -31,6 +31,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     // per-replica buffers — no per-replica clone fan-out.
     let mut global = sim.workers[0].params.clone();
     let mut avg = Vec::new();
+    let mut steps: Vec<WorkerStep> = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -40,13 +41,10 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             continue;
         }
 
-        let mut max_delta = 0.0f32;
-        for &w in &present {
-            let (idx, _) = sim.next_batch(w);
-            let (_, g) = sim.compute_gradient(w, &idx);
-            max_delta = max_delta.max(sim.track_delta(w, &g));
-            sim.apply_update(w, &g, lr);
-        }
+        sim.plan_round(&present, &mut steps);
+        let round = sim.run_round(&steps);
+        sim.apply_round_own(&steps, lr);
+        let max_delta = round.max_delta;
         let compute = sim.round_compute_seconds(it);
 
         let is_sync_step = (it + 1) % sync_interval == 0;

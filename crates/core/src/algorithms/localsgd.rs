@@ -4,11 +4,12 @@
 
 use crate::config::TrainConfig;
 use crate::report::RunReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WorkerStep};
 
 /// Run local-SGD for `cfg.iterations` iterations.
 pub fn run(cfg: &TrainConfig) -> RunReport {
     let mut sim = Simulator::new(cfg);
+    let mut steps: Vec<WorkerStep> = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -19,19 +20,15 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             sim.account_step(0.0, 0.0, 0, false);
             continue;
         }
-        let mut max_delta = 0.0f32;
-        for &w in &present {
-            let (idx, _) = sim.next_batch(w);
-            let (_, g) = sim.compute_gradient(w, &idx);
-            max_delta = max_delta.max(sim.track_delta(w, &g));
-            sim.apply_update(w, &g, lr);
-        }
+        sim.plan_round(&present, &mut steps);
+        let round = sim.run_round(&steps);
+        sim.apply_round_own(&steps, lr);
         let compute = sim.round_compute_seconds(it);
         sim.account_step(compute, 0.0, 0, false);
 
         if sim.should_eval(it) {
             let avg = sim.average_params_of(&present);
-            sim.record_eval(it, &avg, max_delta);
+            sim.record_eval(it, &avg, round.max_delta);
         }
     }
     sim.finalize("LocalSGD".to_string())

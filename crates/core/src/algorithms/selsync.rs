@@ -17,7 +17,7 @@ use crate::aggregation::{self, AggregationMode};
 use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::policy::{SyncDecision, SyncPolicy};
 use crate::report::RunReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WorkerStep};
 
 /// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
 pub fn run(cfg: &TrainConfig) -> RunReport {
@@ -37,6 +37,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     // Round-to-round buffers: the averaged vector is written once per round and
     // copied into reused per-replica buffers (no per-replica clone fan-out).
     let mut avg = Vec::new();
+    let mut steps: Vec<WorkerStep> = Vec::new();
 
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
@@ -49,41 +50,29 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         let mut bytes = rejoin_bytes;
 
         // Phase 1: every present worker computes its gradient and Δ(g_i) on its next
-        // mini-batch.
-        let mut grads = Vec::with_capacity(present.len());
-        let mut deltas = Vec::with_capacity(present.len());
-        let mut injected_bytes = 0u64;
-        for &w in &present {
-            let (idx, inj) = sim.next_batch(w);
-            injected_bytes += inj;
-            let (_, g) = sim.compute_gradient(w, &idx);
-            deltas.push(sim.track_delta(w, &g));
-            grads.push(g);
-        }
-        let cluster_delta = deltas.iter().cloned().fold(0.0f32, f32::max);
+        // mini-batch — in parallel on the engine pool.
+        sim.plan_round(&present, &mut steps);
+        let round = sim.run_round(&steps);
+        let cluster_delta = round.max_delta;
 
         // Phase 2: 1-bit status all-gather among the present workers and the
         // cluster-level decision.
-        let flags = policy.flags_from_deltas(&deltas);
+        let flags = policy.flags_from_deltas(&round.deltas);
         let decision = policy.decide(&flags);
         comm += sim.status_allgather_seconds_at(it, present.len());
-        bytes += injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
-        if injected_bytes > 0 {
-            comm += sim.network_at(it).p2p_time(injected_bytes);
+        bytes += round.injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
+        if round.injected_bytes > 0 {
+            comm += sim.network_at(it).p2p_time(round.injected_bytes);
         }
 
         // Phase 3: apply updates according to the decision and aggregation mode.
         match (decision, aggregation_mode) {
             (SyncDecision::Local, _) => {
-                for (i, &w) in present.iter().enumerate() {
-                    sim.apply_update(w, &grads[i], lr);
-                }
+                sim.apply_round_own(&steps, lr);
             }
             (SyncDecision::Synchronize, AggregationMode::Parameter) => {
                 // Alg. 1: local update first, then push parameters and pull the average.
-                for (i, &w) in present.iter().enumerate() {
-                    sim.apply_update(w, &grads[i], lr);
-                }
+                sim.apply_round_own(&steps, lr);
                 sim.average_params_of_into(&present, &mut avg);
                 sim.set_params_of(&present, &avg);
                 global.copy_from_slice(&avg);
@@ -94,10 +83,8 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                 // Gradients are averaged on the PS and applied locally by each worker.
                 // GA keeps replicas diverged by design, so the PS global is the present
                 // replicas' average, not any single replica.
-                aggregation::average_into(&grads, &mut avg);
-                for &w in &present {
-                    sim.apply_update(w, &avg, lr);
-                }
+                aggregation::average_into(sim.round_grads(), &mut avg);
+                sim.apply_round_shared(&present, &avg, lr);
                 sim.average_params_of_into(&present, &mut global);
                 comm += sim.ps_sync_seconds_at(it, present.len());
                 bytes += 2 * present.len() as u64 * wire;

@@ -21,7 +21,7 @@
 use crate::conditions::ClusterConditions;
 use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::report::RunReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WorkerStep};
 
 /// Run SSP for `cfg.iterations` per-worker iterations. Panics if `cfg.algorithm` is not SSP.
 pub fn run(cfg: &TrainConfig) -> RunReport {
@@ -58,6 +58,8 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let base_compute = sim.step_compute_seconds();
     let mut max_delta = 0.0f32;
 
+    let mut steps: Vec<WorkerStep> = Vec::new();
+
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
         let push_time = sim.ps_one_way_seconds_at(it);
@@ -69,11 +71,30 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         }
         let mut rejoin_comm = 0.0f64;
         let mut rejoin_bytes = 0u64;
-        for &w in &present {
-            let was_absent = last_processed.is_some_and(|prev| !conditions.is_present(w, prev));
-            if was_absent {
+        // Batches for the whole round are drawn up front in worker order (rejoins do
+        // not touch cursors or the cluster RNG, so the streams match the old
+        // interleaved loop exactly).
+        sim.plan_round(&present, &mut steps);
+
+        // A rejoining worker pulls the global model *after* the pushes of every worker
+        // before it in the round, so its compute genuinely depends on same-round
+        // state. Split the round into segments at rejoiners: within a segment all
+        // computes are independent and run in parallel; the pushes / local applies /
+        // cache refreshes replay sequentially in worker order between segments.
+        let rejoining: Vec<bool> = present
+            .iter()
+            .map(|&w| last_processed.is_some_and(|prev| !conditions.is_present(w, prev)))
+            .collect();
+        let mut seg_start = 0usize;
+        while seg_start < present.len() {
+            let mut seg_end = seg_start + 1;
+            while seg_end < present.len() && !rejoining[seg_end] {
+                seg_end += 1;
+            }
+            if rejoining[seg_start] {
                 // Rejoin: pull the current global model (an extra one-way transfer,
                 // charged both to this worker's clock and to the round's accounting).
+                let w = present[seg_start];
                 sim.rejoin_worker(w, &global);
                 steps_since_refresh[w] = 0;
                 worker_time[w] += push_time;
@@ -81,36 +102,46 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
                 rejoin_bytes += wire;
             }
 
-            // Staleness bound: a worker that is too far ahead waits for the slowest.
-            let min_progress = present
-                .iter()
-                .map(|&p| sim.workers[p].progress)
-                .min()
-                .unwrap_or(0);
-            if sim.workers[w].progress > min_progress + staleness {
-                let slowest_time = worker_time.iter().cloned().fold(0.0f64, f64::max);
-                worker_time[w] = worker_time[w].max(slowest_time);
-            }
+            // Parallel gradient phase for this segment.
+            let round = sim.run_round(&steps[seg_start..seg_end]);
+            max_delta = max_delta.max(round.max_delta);
 
-            let (idx, _) = sim.next_batch(w);
-            let (_, g) = sim.compute_gradient(w, &idx);
-            max_delta = max_delta.max(sim.track_delta(w, &g));
-            // Push: apply this worker's (stale) gradient directly to the global model.
-            for (p, &gi) in global.iter_mut().zip(g.iter()) {
-                *p -= lr * gi;
+            // Sequential post-phase, exactly the old per-worker order.
+            let grads = sim.take_round_grads();
+            for (j, &w) in present[seg_start..seg_end].iter().enumerate() {
+                // Staleness bound: a worker that is too far ahead waits for the
+                // slowest (earlier workers of this round have already advanced their
+                // progress, as in the interleaved loop).
+                let min_progress = present
+                    .iter()
+                    .map(|&p| sim.workers[p].progress)
+                    .min()
+                    .unwrap_or(0);
+                if sim.workers[w].progress > min_progress + staleness {
+                    let slowest_time = worker_time.iter().cloned().fold(0.0f64, f64::max);
+                    worker_time[w] = worker_time[w].max(slowest_time);
+                }
+
+                // Push: apply this worker's (stale) gradient directly to the global
+                // model.
+                for (p, &gi) in global.iter_mut().zip(grads[j].iter()) {
+                    *p -= lr * gi;
+                }
+                // The worker also advances its own cached copy with its local gradient.
+                sim.apply_update(w, &grads[j], lr);
+                steps_since_refresh[w] += 1;
+                let mut comm = push_time;
+                if steps_since_refresh[w] >= refresh_every {
+                    // Pull: refresh the cached copy from the global model.
+                    sim.workers[w].params.copy_from_slice(&global);
+                    sim.workers[w].optimizer.reset();
+                    steps_since_refresh[w] = 0;
+                    comm += push_time;
+                }
+                worker_time[w] += base_compute * conditions.compute_multiplier(w, it) + comm;
             }
-            // The worker also advances its own cached copy with its local gradient.
-            sim.apply_update(w, &g, lr);
-            steps_since_refresh[w] += 1;
-            let mut comm = push_time;
-            if steps_since_refresh[w] >= refresh_every {
-                // Pull: refresh the cached copy from the global model.
-                sim.workers[w].params.copy_from_slice(&global);
-                sim.workers[w].optimizer.reset();
-                steps_since_refresh[w] = 0;
-                comm += push_time;
-            }
-            worker_time[w] += base_compute * conditions.compute_multiplier(w, it) + comm;
+            sim.restore_round_grads(grads);
+            seg_start = seg_end;
         }
         // Account the wall-clock of this round as the slowest present worker's progress
         // and the communication as 2 one-way transfers per present worker (push +

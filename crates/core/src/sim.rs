@@ -3,17 +3,26 @@
 //! All algorithm drivers ([`crate::algorithms`]) share this harness. It owns:
 //!
 //! * the synthetic train/test datasets for the configured workload,
-//! * one model replica's worth of parameters **per worker** (plus one `PaperModel`
-//!   instance used as the shared compute engine — parameters are swapped in before each
-//!   worker's forward/backward pass),
+//! * one model replica's worth of parameters **per worker**, plus a pool of compute
+//!   engines: one `PaperModel` per round slot for the worker-parallel gradient phase
+//!   (parameters are loaded before each worker's forward/backward pass) and one shared
+//!   engine for evaluation and the sequential reference path,
 //! * per-worker optimizers and `Δ(g_i)` trackers,
 //! * the simulated clock: compute time comes from the device cost model, communication
 //!   time from the network cost model, with identical accounting for every algorithm,
 //! * LSSR bookkeeping and the evaluation history that becomes the [`RunReport`].
 //!
-//! The simulator executes workers sequentially inside one process, which makes runs
-//! bit-for-bit reproducible; the *threaded* driver in [`crate::threaded`] exercises the
-//! real parameter server / collectives for the same algorithm logic.
+//! Since the worker-parallel rounds PR, the per-worker gradient phase of every round
+//! runs concurrently on the shared worker pool ([`selsync_tensor::par`]) through
+//! [`Simulator::plan_round`] / [`Simulator::run_round`]: batch indices are drawn up
+//! front from each worker's own cursor/RNG stream (so batch content is independent of
+//! thread count), every worker's forward/backward runs on its own engine slot with the
+//! dropout stream seeked to the canonical sequential position, and all shared state
+//! (`BatchStats`, `Δ(g_i)` trackers, `max_delta_seen`) is merged in worker-index order
+//! after the barrier. Reports are therefore bit-for-bit identical across
+//! `SELSYNC_THREADS` values *and* to the sequential baseline path
+//! ([`with_sequential_rounds`]); the *threaded* driver in [`crate::threaded`] exercises
+//! the real parameter server / collectives for the same algorithm logic.
 
 use crate::aggregation;
 use crate::config::{AlgorithmSpec, TrainConfig};
@@ -28,7 +37,9 @@ use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::cost;
 use selsync_nn::model::{BatchStats, ModelKind, NominalFootprint, PaperModel, TaskKind};
 use selsync_nn::optim::Optimizer;
+use selsync_tensor::par::{self, SendPtr};
 use selsync_tensor::rng::{self, SelRng};
+use selsync_tensor::Tensor;
 
 /// Per-worker replica state.
 pub struct WorkerState {
@@ -52,6 +63,105 @@ pub struct WorkerState {
     pub last_delta: f32,
     /// Number of iterations this worker has completed (used by SSP).
     pub progress: usize,
+}
+
+/// One worker's slot in a training round, planned up front by
+/// [`Simulator::plan_round`] and executed by [`Simulator::run_round`].
+///
+/// Batch indices are drawn at planning time, in worker-index order, from the worker's
+/// own cursor/RNG stream — so the data each worker sees is a pure function of the run
+/// configuration, never of how the round is later scheduled across threads.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerStep {
+    /// Worker id (rank).
+    pub worker: usize,
+    /// The mini-batch sample indices this worker trains on.
+    pub indices: Vec<usize>,
+    /// Bytes received through data-injection while assembling this batch.
+    pub injected_bytes: u64,
+    /// Global training-forward index (dropout-stream position) of this step.
+    forward_index: u64,
+}
+
+/// Outcome of one [`Simulator::run_round`], merged in worker-index order after the
+/// parallel barrier. Per-worker gradients stay inside the simulator
+/// ([`Simulator::round_grads`] / [`Simulator::take_round_grads`]).
+#[derive(Debug, Clone)]
+pub struct RoundOutput {
+    /// Per-step batch statistics, in step order.
+    pub stats: Vec<BatchStats>,
+    /// Per-step `Δ(g_i)`, in step order.
+    pub deltas: Vec<f32>,
+    /// Maximum `Δ(g_i)` of the round.
+    pub max_delta: f32,
+    /// Total data-injection bytes of the round.
+    pub injected_bytes: u64,
+}
+
+/// A compute engine of the round pool: one model replica plus reusable batch buffers.
+/// [`Simulator::run_round`] partitions a round's slots into fixed contiguous chunks
+/// (one engine per chunk, at most one engine per pool thread). Which engine runs a
+/// slot therefore depends on the thread count — but never on scheduling — and engine
+/// identity cannot affect values: parameters are loaded fresh per step, the dropout
+/// stream is seeked to the step's global position, and a forward pass overwrites
+/// every layer cache its backward reads.
+struct RoundEngine {
+    model: PaperModel,
+    x: Tensor,
+    y: Vec<usize>,
+}
+
+impl RoundEngine {
+    fn new(kind: ModelKind, seed: u64) -> Self {
+        RoundEngine {
+            model: PaperModel::build(kind, seed),
+            x: Tensor::zeros(0, 0),
+            y: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// When set, [`Simulator::run_round`] on this thread processes its steps one by
+    /// one on the shared evaluation engine — the pre-parallel sequential baseline
+    /// path. Thread-local (not process-global) so one test's reference run can never
+    /// leak onto another test's supposedly-parallel run under the parallel test
+    /// harness.
+    static SEQUENTIAL_ROUNDS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with [`Simulator::run_round`] forced onto the sequential baseline path
+/// (single shared engine, workers processed in order), restoring the previous setting
+/// afterwards. The determinism tests compare this against the worker-parallel path at
+/// several thread counts; the two must produce byte-identical reports.
+pub fn with_sequential_rounds<R>(f: impl FnOnce() -> R) -> R {
+    let previous = SEQUENTIAL_ROUNDS.with(|c| c.replace(true));
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SEQUENTIAL_ROUNDS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Assert the worker list of a round is strictly increasing and within the cluster —
+/// the properties that make per-worker pointer writes disjoint *and in bounds* across
+/// parallel round tasks.
+fn assert_valid_round_workers(workers: impl Iterator<Item = usize>, num_workers: usize) {
+    let mut prev: Option<usize> = None;
+    for w in workers {
+        assert!(
+            prev.is_none_or(|p| p < w),
+            "round workers must be strictly increasing (distinct)"
+        );
+        assert!(
+            w < num_workers,
+            "round worker {w} out of range ({num_workers} workers)"
+        );
+        prev = Some(w);
+    }
 }
 
 /// The shared simulator.
@@ -78,6 +188,24 @@ pub struct Simulator {
     max_delta_seen: f32,
     /// The last iteration [`Self::begin_round`] processed (rejoin detection).
     last_round: Option<usize>,
+    /// Per-slot compute engines for worker-parallel rounds (grown lazily to the
+    /// largest round width seen).
+    engines: Vec<RoundEngine>,
+    /// Per-step flat gradients of the most recent [`Self::run_round`] (buffers reused
+    /// round to round).
+    round_grads: Vec<Vec<f32>>,
+    /// Number of valid entries in [`Self::round_grads`] after the last round.
+    last_round_len: usize,
+    /// Worker id behind each slot of [`Self::round_grads`] (alignment checks for
+    /// [`Self::apply_round_own`]).
+    last_round_workers: Vec<usize>,
+    /// Global training-forward counter: the canonical sequential position of the next
+    /// forward pass, used to seek per-engine dropout streams.
+    forwards_issued: u64,
+    /// Reusable evaluation / sequential-path batch buffers.
+    eval_indices: Vec<usize>,
+    eval_x: Tensor,
+    eval_y: Vec<usize>,
 }
 
 impl Simulator {
@@ -161,6 +289,14 @@ impl Simulator {
             last_train_loss: 0.0,
             max_delta_seen: 0.0,
             last_round: None,
+            engines: Vec::new(),
+            round_grads: Vec::new(),
+            last_round_len: 0,
+            last_round_workers: Vec::new(),
+            forwards_issued: 0,
+            eval_indices: Vec::new(),
+            eval_x: Tensor::zeros(0, 0),
+            eval_y: Vec::new(),
         }
     }
 
@@ -187,16 +323,25 @@ impl Simulator {
     /// Draw the next mini-batch of sample indices for `worker`, returning the indices
     /// and the number of bytes transferred for data-injection (0 without injection).
     pub fn next_batch(&mut self, worker: usize) -> (Vec<usize>, u64) {
+        let mut indices = Vec::new();
+        let bytes = self.fill_batch_indices(worker, &mut indices);
+        (indices, bytes)
+    }
+
+    /// [`Self::next_batch`] into a caller-owned buffer (cleared first) — the zero-alloc
+    /// planning path. Cursor and RNG advancement is identical to `next_batch`.
+    pub fn fill_batch_indices(&mut self, worker: usize, out: &mut Vec<usize>) -> u64 {
         let batch = self.cfg.batch_size;
+        out.clear();
         // Non-IID path (with or without injection).
         if self.workers[worker].shard.is_some() {
             if let Some(inj) = self.injection {
-                let shards: Vec<Vec<usize>> = self
+                let mut cursors: Vec<usize> = self.workers.iter().map(|w| w.shard_cursor).collect();
+                let shards: Vec<&[usize]> = self
                     .workers
                     .iter()
-                    .map(|w| w.shard.clone().unwrap_or_default())
+                    .map(|w| w.shard.as_deref().unwrap_or(&[]))
                     .collect();
-                let mut cursors: Vec<usize> = self.workers.iter().map(|w| w.shard_cursor).collect();
                 let assembled = inj.assemble_batch(
                     worker,
                     &shards,
@@ -208,20 +353,21 @@ impl Simulator {
                 for (w, c) in cursors.into_iter().enumerate() {
                     self.workers[w].shard_cursor = c;
                 }
-                let mut indices = assembled.local_indices;
-                indices.extend(assembled.injected.iter().map(|&(_, i)| i));
-                return (indices, assembled.bytes_received as u64);
+                out.extend_from_slice(&assembled.local_indices);
+                out.extend(assembled.injected.iter().map(|&(_, i)| i));
+                return assembled.bytes_received as u64;
             }
-            // Plain non-IID: walk the worker's own shard circularly.
-            let shard = self.workers[worker].shard.as_ref().unwrap().clone();
-            let mut indices = Vec::with_capacity(batch);
-            let mut cursor = self.workers[worker].shard_cursor;
+            // Plain non-IID: walk the worker's own shard circularly (borrowed in
+            // place — no per-call shard clone).
+            let w = &mut self.workers[worker];
+            let shard = w.shard.as_ref().expect("non-IID worker must have a shard");
+            let mut cursor = w.shard_cursor;
             for _ in 0..batch {
-                indices.push(shard[cursor % shard.len()]);
+                out.push(shard[cursor % shard.len()]);
                 cursor += 1;
             }
-            self.workers[worker].shard_cursor = cursor % shard.len();
-            return (indices, 0);
+            w.shard_cursor = cursor % shard.len();
+            return 0;
         }
         // IID path: walk the worker's (shuffled) DefDP/SelDP traversal circularly.
         let w = &mut self.workers[worker];
@@ -229,22 +375,24 @@ impl Simulator {
             .iid_traversal
             .as_ref()
             .expect("IID worker must have a traversal order");
-        let mut indices = Vec::with_capacity(batch);
         let mut cursor = w.shard_cursor;
         for _ in 0..batch {
-            indices.push(traversal[cursor % traversal.len()]);
+            out.push(traversal[cursor % traversal.len()]);
             cursor += 1;
         }
         w.shard_cursor = cursor % traversal.len();
-        (indices, 0)
+        0
     }
 
     /// Run a forward/backward pass for `worker` on the given samples, returning the
     /// batch statistics and the flat gradient. The worker's replica parameters are
-    /// loaded into the compute engine first.
+    /// loaded into the shared compute engine first, and the dropout stream is seeked
+    /// to the global forward counter (identical to letting the stateful stream run).
     pub fn compute_gradient(&mut self, worker: usize, indices: &[usize]) -> (BatchStats, Vec<f32>) {
         let (x, y) = self.train.batch(indices);
         self.model.set_params_flat(&self.workers[worker].params);
+        self.model.seek_dropout(self.forwards_issued);
+        self.forwards_issued += 1;
         let stats = self.model.forward_backward(&x, &y);
         self.last_train_loss = stats.loss;
         (stats, self.model.grads_flat())
@@ -263,6 +411,227 @@ impl Simulator {
         let w = &mut self.workers[worker];
         w.optimizer.step(&mut w.params, grads, lr);
         w.progress += 1;
+    }
+
+    // --- worker-parallel rounds ----------------------------------------------------
+
+    /// Plan one training round for the given (strictly increasing) worker list: draw
+    /// every worker's batch indices in worker order — so cursor and cluster-RNG
+    /// streams advance exactly as the sequential loop did — and stamp each step with
+    /// its global forward index. `steps` is reused across rounds (cleared and
+    /// refilled, index buffers kept).
+    pub fn plan_round(&mut self, present: &[usize], steps: &mut Vec<WorkerStep>) {
+        assert_valid_round_workers(present.iter().copied(), self.workers.len());
+        steps.truncate(present.len());
+        while steps.len() < present.len() {
+            steps.push(WorkerStep::default());
+        }
+        for (step, &w) in steps.iter_mut().zip(present.iter()) {
+            step.worker = w;
+            step.injected_bytes = self.fill_batch_indices(w, &mut step.indices);
+            step.forward_index = self.forwards_issued;
+            self.forwards_issued += 1;
+        }
+    }
+
+    /// Execute the gradient phase of a planned round: every step's forward/backward
+    /// pass and `Δ(g_i)` tracker update, spread across the worker pool (a fixed-chunk
+    /// partition of the steps, one engine per chunk), then merge the shared-state
+    /// updates in worker-index order.
+    ///
+    /// Per-step flat gradients land in [`Self::round_grads`]. Results are bit-identical
+    /// for every thread count and to the sequential baseline ([`with_sequential_rounds`]):
+    /// batches were drawn at planning time, engines seek the canonical dropout-stream
+    /// position before each forward, kernels are order-preserving, every worker's
+    /// tracker/optimizer state is its own, and a step's outcome is independent of
+    /// *which* engine runs it (parameters are loaded fresh and the forward pass
+    /// overwrites every layer cache its backward reads).
+    pub fn run_round(&mut self, steps: &[WorkerStep]) -> RoundOutput {
+        let n = steps.len();
+        assert_valid_round_workers(steps.iter().map(|s| s.worker), self.workers.len());
+        self.last_round_workers.clear();
+        self.last_round_workers
+            .extend(steps.iter().map(|s| s.worker));
+        let mut output = RoundOutput {
+            stats: vec![
+                BatchStats {
+                    loss: 0.0,
+                    metric: 0.0
+                };
+                n
+            ],
+            deltas: vec![0.0f32; n],
+            max_delta: 0.0,
+            injected_bytes: 0,
+        };
+        self.last_round_len = n;
+        if n == 0 {
+            return output;
+        }
+        if self.round_grads.len() < n {
+            self.round_grads.resize_with(n, Vec::new);
+        }
+
+        if SEQUENTIAL_ROUNDS.with(|c| c.get()) {
+            // Reference path: the pre-parallel sequential baseline — one shared
+            // engine, workers processed in order, stateful-equivalent dropout seeks.
+            for (i, step) in steps.iter().enumerate() {
+                self.train
+                    .batch_into(&step.indices, &mut self.eval_x, &mut self.eval_y);
+                self.model
+                    .set_params_flat(&self.workers[step.worker].params);
+                self.model.seek_dropout(step.forward_index);
+                let stats = self.model.forward_backward(&self.eval_x, &self.eval_y);
+                self.model.grads_flat_into(&mut self.round_grads[i]);
+                let wstate = &mut self.workers[step.worker];
+                let delta = wstate.tracker.update(&self.round_grads[i]);
+                wstate.last_delta = delta;
+                output.stats[i] = stats;
+                output.deltas[i] = delta;
+            }
+        } else {
+            // Fixed-chunk partition over the round's slots: task `t` owns steps
+            // `[t*chunk, (t+1)*chunk)` and walks them in order on engine `t`, so at
+            // most `threads` engines ever exist and the slot→engine map is a pure
+            // function of the partition — never of scheduling. Engine identity cannot
+            // affect values (see the method docs), so neither can the thread count.
+            let threads = par::current_num_threads().clamp(1, n);
+            let chunk = n.div_ceil(threads);
+            let tasks = n.div_ceil(chunk);
+            while self.engines.len() < tasks {
+                self.engines
+                    .push(RoundEngine::new(self.cfg.model, self.cfg.seed));
+            }
+            let engines_ptr = SendPtr(self.engines.as_mut_ptr());
+            let workers_ptr = SendPtr(self.workers.as_mut_ptr());
+            let grads_ptr = SendPtr(self.round_grads.as_mut_ptr());
+            let stats_ptr = SendPtr(output.stats.as_mut_ptr());
+            let deltas_ptr = SendPtr(output.deltas.as_mut_ptr());
+            let train = &self.train;
+            par::parallel_for(tasks, |t| {
+                // SAFETY: each task owns engine `t` and a disjoint slot range (so the
+                // grads/stats/deltas writes are disjoint), and worker ids are strictly
+                // increasing and in bounds (asserted above) so the worker writes are
+                // disjoint too; `parallel_for` blocks until all tasks finish, so the
+                // borrows outlive every use.
+                let engine = unsafe { &mut *engines_ptr.get().add(t) };
+                let hi = ((t + 1) * chunk).min(n);
+                for (i, step) in steps.iter().enumerate().take(hi).skip(t * chunk) {
+                    let wstate = unsafe { &mut *workers_ptr.get().add(step.worker) };
+                    let grads = unsafe { &mut *grads_ptr.get().add(i) };
+                    train.batch_into(&step.indices, &mut engine.x, &mut engine.y);
+                    engine.model.set_params_flat(&wstate.params);
+                    engine.model.seek_dropout(step.forward_index);
+                    let stats = engine.model.forward_backward(&engine.x, &engine.y);
+                    engine.model.grads_flat_into(grads);
+                    let delta = wstate.tracker.update(grads);
+                    wstate.last_delta = delta;
+                    unsafe {
+                        *stats_ptr.get().add(i) = stats;
+                        *deltas_ptr.get().add(i) = delta;
+                    }
+                }
+            });
+        }
+
+        // Merge shared state in worker-index order, exactly like the sequential loop.
+        for (i, step) in steps.iter().enumerate() {
+            output.injected_bytes += step.injected_bytes;
+            output.max_delta = output.max_delta.max(output.deltas[i]);
+            self.max_delta_seen = self.max_delta_seen.max(output.deltas[i]);
+        }
+        if let Some(last) = output.stats.last() {
+            self.last_train_loss = last.loss;
+        }
+        output
+    }
+
+    /// Per-step flat gradients of the most recent [`Self::run_round`], in step order.
+    pub fn round_grads(&self) -> &[Vec<f32>] {
+        &self.round_grads[..self.last_round_len]
+    }
+
+    /// Move the round-gradient buffers out of the simulator (for drivers that need to
+    /// read them while mutating the simulator, e.g. SSP's interleaved global pushes).
+    /// Return them with [`Self::restore_round_grads`] so the buffers keep being reused.
+    pub fn take_round_grads(&mut self) -> Vec<Vec<f32>> {
+        std::mem::take(&mut self.round_grads)
+    }
+
+    /// Hand the buffers from [`Self::take_round_grads`] back for reuse.
+    pub fn restore_round_grads(&mut self, grads: Vec<Vec<f32>>) {
+        self.round_grads = grads;
+    }
+
+    /// Apply each step's own gradient ([`Self::round_grads`]) to its worker's replica,
+    /// in parallel across workers. Optimizer state is per worker and the per-element
+    /// update order is unchanged, so the result is bit-identical to the sequential
+    /// apply loop.
+    pub fn apply_round_own(&mut self, steps: &[WorkerStep], lr: f32) {
+        let n = steps.len();
+        assert!(
+            n <= self.last_round_len,
+            "apply_round_own without run_round"
+        );
+        // Slot i of round_grads belongs to the i-th worker of the last run_round;
+        // applying a different or shifted step list would silently train the wrong
+        // workers, so require exact alignment.
+        for (i, step) in steps.iter().enumerate() {
+            assert_eq!(
+                step.worker, self.last_round_workers[i],
+                "apply_round_own steps must align with the last run_round"
+            );
+        }
+        let Simulator {
+            workers,
+            round_grads,
+            ..
+        } = self;
+        // When the cluster is narrower than the pool, worker-level tasks would waste
+        // threads (an outer parallel_for marks its tasks in-pool, serialising the
+        // optimizers' elementwise sweeps); a sequential worker loop then keeps the
+        // PR 2 element-level parallelism. Either arrangement produces the same bytes.
+        if n < par::current_num_threads() {
+            for (step, grads) in steps.iter().zip(round_grads.iter()) {
+                let w = &mut workers[step.worker];
+                w.optimizer.step(&mut w.params, grads, lr);
+                w.progress += 1;
+            }
+            return;
+        }
+        let workers_ptr = SendPtr(workers.as_mut_ptr());
+        let grads: &[Vec<f32>] = round_grads;
+        par::parallel_for(n, |i| {
+            // SAFETY: worker ids are strictly increasing and in bounds — disjoint
+            // per task.
+            let w = unsafe { &mut *workers_ptr.get().add(steps[i].worker) };
+            w.optimizer.step(&mut w.params, &grads[i], lr);
+            w.progress += 1;
+        });
+    }
+
+    /// Apply one shared gradient (e.g. the round average) to every listed worker's
+    /// replica, in parallel across workers.
+    pub fn apply_round_shared(&mut self, worker_ids: &[usize], grads: &[f32], lr: f32) {
+        assert_valid_round_workers(worker_ids.iter().copied(), self.workers.len());
+        // Same narrow-cluster fallback as apply_round_own: keep element-level
+        // parallelism when there are fewer workers than pool threads.
+        if worker_ids.len() < par::current_num_threads() {
+            for &id in worker_ids {
+                let w = &mut self.workers[id];
+                w.optimizer.step(&mut w.params, grads, lr);
+                w.progress += 1;
+            }
+            return;
+        }
+        let workers_ptr = SendPtr(self.workers.as_mut_ptr());
+        par::parallel_for(worker_ids.len(), |i| {
+            // SAFETY: worker ids are strictly increasing and in bounds — disjoint
+            // per task.
+            let w = unsafe { &mut *workers_ptr.get().add(worker_ids[i]) };
+            w.optimizer.step(&mut w.params, grads, lr);
+            w.progress += 1;
+        });
     }
 
     /// Average of all worker replicas' parameters (borrows the replicas — no per-replica
@@ -314,9 +683,11 @@ impl Simulator {
         let mut start = 0usize;
         while start < n {
             let end = (start + chunk).min(n);
-            let indices: Vec<usize> = (start..end).collect();
-            let (x, y) = self.test.batch(&indices);
-            let stats = self.model.evaluate(&x, &y);
+            self.eval_indices.clear();
+            self.eval_indices.extend(start..end);
+            self.test
+                .batch_into(&self.eval_indices, &mut self.eval_x, &mut self.eval_y);
+            let stats = self.model.evaluate(&self.eval_x, &self.eval_y);
             let count = end - start;
             loss_acc += stats.loss as f64 * count as f64;
             metric_acc += stats.metric as f64 * count as f64;
@@ -677,6 +1048,66 @@ mod tests {
         assert!(sim.step_compute_seconds() > 0.0);
         assert!(sim.ps_sync_seconds(16) > sim.ps_sync_seconds(4));
         assert!(sim.status_allgather_seconds() < sim.ps_sync_seconds(4));
+    }
+
+    #[test]
+    fn run_round_matches_the_legacy_per_worker_calls() {
+        // plan_round + run_round + apply_round_own on one simulator must equal the
+        // legacy next_batch / compute_gradient / track_delta / apply_update loop on a
+        // twin, byte for byte — including cursor/RNG streams across several rounds.
+        let cfg = small_cfg();
+        let mut a = Simulator::new(&cfg);
+        let mut b = Simulator::new(&cfg);
+        let present: Vec<usize> = (0..cfg.workers).collect();
+        let mut steps = Vec::new();
+        for _ in 0..3 {
+            a.plan_round(&present, &mut steps);
+            let round = a.run_round(&steps);
+            a.apply_round_own(&steps, 0.05);
+
+            for (i, &w) in present.iter().enumerate() {
+                let (idx, inj) = b.next_batch(w);
+                assert_eq!(idx, steps[i].indices, "worker {w} batch");
+                assert_eq!(inj, steps[i].injected_bytes);
+                let (stats, g) = b.compute_gradient(w, &idx);
+                assert_eq!(stats, round.stats[i], "worker {w} stats");
+                assert_eq!(g, a.round_grads()[i], "worker {w} grads");
+                let d = b.track_delta(w, &g);
+                assert_eq!(d, round.deltas[i], "worker {w} delta");
+                b.apply_update(w, &g, 0.05);
+            }
+            for &w in &present {
+                assert_eq!(
+                    a.workers[w].params, b.workers[w].params,
+                    "worker {w} params"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_rounds_mode_matches_the_parallel_engines() {
+        let cfg = small_cfg();
+        let present: Vec<usize> = (0..cfg.workers).collect();
+        let mut steps_a = Vec::new();
+        let mut steps_b = Vec::new();
+        let mut a = Simulator::new(&cfg);
+        let mut b = Simulator::new(&cfg);
+        a.plan_round(&present, &mut steps_a);
+        b.plan_round(&present, &mut steps_b);
+        let parallel = a.run_round(&steps_a);
+        let sequential = with_sequential_rounds(|| b.run_round(&steps_b));
+        assert_eq!(format!("{parallel:?}"), format!("{sequential:?}"));
+        assert_eq!(a.round_grads(), b.round_grads());
+    }
+
+    #[test]
+    #[should_panic]
+    fn round_worker_lists_must_be_strictly_increasing() {
+        let cfg = small_cfg();
+        let mut sim = Simulator::new(&cfg);
+        let mut steps = Vec::new();
+        sim.plan_round(&[1, 1], &mut steps);
     }
 
     #[test]

@@ -65,9 +65,18 @@ impl Dataset {
 
     /// Materialise the batch with the given sample indices.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
-        let x = self.inputs.gather_rows(indices);
-        let y = indices.iter().map(|&i| self.targets[i]).collect();
+        let mut x = Tensor::zeros(0, 0);
+        let mut y = Vec::new();
+        self.batch_into(indices, &mut x, &mut y);
         (x, y)
+    }
+
+    /// Materialise a batch into caller-owned buffers, reusing their allocations —
+    /// steady-state training assembles every mini-batch without allocating.
+    pub fn batch_into(&self, indices: &[usize], x: &mut Tensor, y: &mut Vec<usize>) {
+        self.inputs.gather_rows_into(indices, x);
+        y.clear();
+        y.extend(indices.iter().map(|&i| self.targets[i]));
     }
 
     /// Split into `(train, test)` datasets at `train_fraction` (deterministic split on

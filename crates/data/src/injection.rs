@@ -61,13 +61,14 @@ impl DataInjection {
 
     /// Assemble worker `receiver`'s batch for one iteration.
     ///
-    /// `shards[w]` is the pool of indices owned by worker `w` (a non-IID shard);
+    /// `shards[w]` is the pool of indices owned by worker `w` (a non-IID shard, passed
+    /// as anything slice-like so callers can lend borrowed views without cloning);
     /// `cursor[w]` is each worker's rotating position in its own shard so repeated calls
     /// walk through the data. `sample_bytes` is the serialized size of one sample.
-    pub fn assemble_batch(
+    pub fn assemble_batch<S: AsRef<[usize]>>(
         &self,
         receiver: usize,
-        shards: &[Vec<usize>],
+        shards: &[S],
         cursors: &mut [usize],
         batch: usize,
         sample_bytes: usize,
@@ -79,7 +80,7 @@ impl DataInjection {
 
         // Local portion: walk the receiver's own shard circularly.
         let mut local = Vec::with_capacity(b_prime);
-        let own = &shards[receiver];
+        let own = shards[receiver].as_ref();
         for _ in 0..b_prime.min(own.len().max(1)) {
             if own.is_empty() {
                 break;
@@ -102,7 +103,7 @@ impl DataInjection {
             );
             for ci in chosen {
                 let donor = candidates[ci];
-                let pool = &shards[donor];
+                let pool = shards[donor].as_ref();
                 if pool.is_empty() {
                     continue;
                 }

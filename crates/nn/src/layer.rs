@@ -66,6 +66,19 @@ pub trait Layer: Send {
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// Position every stochastic layer's RNG for the `forward_index`-th *training*
+    /// forward pass of a canonical shared stream (a no-op for deterministic layers).
+    ///
+    /// The simulator's worker-parallel rounds run each worker on its own model
+    /// replica, but the sequential baseline fed every worker through one shared
+    /// engine whose dropout RNG advanced worker by worker. Seeking before each
+    /// training forward lets independent replicas reproduce that single shared
+    /// stream bit-for-bit, so results do not depend on which engine ran which
+    /// worker. Callers that never seek get the classic stateful stream.
+    fn seek_dropout(&mut self, forward_index: u64) {
+        let _ = forward_index;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +259,14 @@ pub struct Dropout {
     p: f32,
     rng: rng::SelRng,
     mask: Option<Tensor>,
+    /// Pending absolute stream position (in training forwards) set by
+    /// [`Layer::seek_dropout`]; consumed by the next training forward.
+    pending_seek: Option<u64>,
+    /// Mask length of the first *seeked* training forward. The seek formula
+    /// `j * input.len()` assumes every training forward draws the same number of
+    /// keystream words; this records the length so a ragged batch panics in debug
+    /// builds instead of silently desynchronising replica streams.
+    seeked_len: Option<usize>,
 }
 
 impl Dropout {
@@ -259,6 +280,8 @@ impl Dropout {
             p,
             rng: rng::seeded(seed),
             mask: None,
+            pending_seek: None,
+            seeked_len: None,
         }
     }
 }
@@ -272,6 +295,20 @@ impl Layer for Dropout {
         if !train || self.p == 0.0 {
             self.mask = None;
             return input.clone();
+        }
+        // A mask draws exactly `input.len()` keystream words, so the j-th training
+        // forward of the canonical shared stream starts at word j * input.len(); the
+        // O(1) ChaCha seek positions this replica's RNG there. This requires every
+        // training forward to use the same mask length — assert it rather than let a
+        // ragged batch silently desynchronise replica streams.
+        if let Some(j) = self.pending_seek.take() {
+            let len = self.seeked_len.get_or_insert(input.len());
+            debug_assert_eq!(
+                *len,
+                input.len(),
+                "seeked dropout requires a constant batch shape across training forwards"
+            );
+            self.rng.set_word_pos(j.wrapping_mul(input.len() as u64));
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
@@ -306,6 +343,10 @@ impl Layer for Dropout {
             }
             None => grad_output.clone(),
         }
+    }
+
+    fn seek_dropout(&mut self, forward_index: u64) {
+        self.pending_seek = Some(forward_index);
     }
 }
 
@@ -806,6 +847,28 @@ mod tests {
             .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         let kept = y_train.data().iter().filter(|&&v| v > 0.0).count();
         assert!(kept > 0 && kept < y_train.len());
+    }
+
+    #[test]
+    fn seeked_replicas_reproduce_a_shared_dropout_stream() {
+        // One stateful layer running 6 training forwards in sequence is the baseline.
+        let x = Tensor::ones(4, 16);
+        let mut shared = Dropout::new(0.4, 123);
+        let baseline: Vec<Tensor> = (0..6).map(|_| shared.forward(&x, true)).collect();
+        // Two independent replicas split the same forwards (even/odd), each seeking to
+        // the global forward index first — every mask must match the shared stream.
+        let mut even = Dropout::new(0.4, 123);
+        let mut odd = Dropout::new(0.4, 123);
+        for (j, expect) in baseline.iter().enumerate() {
+            let replica = if j % 2 == 0 { &mut even } else { &mut odd };
+            replica.seek_dropout(j as u64);
+            assert_eq!(&replica.forward(&x, true), expect, "forward {j}");
+        }
+        // An eval forward between seeks neither draws nor consumes the pending seek.
+        let mut r = Dropout::new(0.4, 123);
+        r.seek_dropout(3);
+        assert_eq!(r.forward(&x, false), x);
+        assert_eq!(r.forward(&x, true), baseline[3]);
     }
 
     #[test]

@@ -184,6 +184,12 @@ impl Layer for Sequential {
     fn zero_grads(&mut self) {
         Sequential::zero_grads(self);
     }
+
+    fn seek_dropout(&mut self, forward_index: u64) {
+        for layer in &mut self.layers {
+            layer.seek_dropout(forward_index);
+        }
+    }
 }
 
 /// A residual block: `y = x + f(x)` where `f` is an inner [`Sequential`] whose output
@@ -236,6 +242,10 @@ impl Layer for Residual {
 
     fn zero_grads(&mut self) {
         self.inner.zero_grads();
+    }
+
+    fn seek_dropout(&mut self, forward_index: u64) {
+        Layer::seek_dropout(&mut self.inner, forward_index);
     }
 }
 
@@ -487,6 +497,12 @@ impl PaperModel {
         self.net.grads_flat()
     }
 
+    /// Flattened gradients into a caller-owned buffer (cleared first) — the zero-alloc
+    /// per-step gradient export used by the worker-parallel simulator rounds.
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        self.net.grads_flat_into(out);
+    }
+
     /// Overwrite parameters from a flat vector.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
         self.net.set_params_flat(flat);
@@ -495,6 +511,14 @@ impl PaperModel {
     /// Zero accumulated gradients.
     pub fn zero_grads(&mut self) {
         self.net.zero_grads();
+    }
+
+    /// Position the model's stochastic layers (dropout) for the `forward_index`-th
+    /// training forward of the canonical shared stream (see [`Layer::seek_dropout`]).
+    /// Call before [`Self::forward_backward`] when several replica engines must
+    /// reproduce one sequential engine's RNG stream bit-for-bit.
+    pub fn seek_dropout(&mut self, forward_index: u64) {
+        Layer::seek_dropout(&mut self.net, forward_index);
     }
 
     /// Read-only access to the underlying network (e.g. for per-layer weight inspection).

@@ -34,6 +34,11 @@ const K_TILE: usize = 256;
 /// Output columns per parallel stripe in `matmul_at_acc`.
 const COL_BLOCK: usize = 64;
 
+/// Independent accumulator lanes (output columns held in registers) per `matmul_bt`
+/// inner pass. Each lane is a separate dependency chain summing in ascending-p order,
+/// so the blocking changes throughput, never bytes.
+const BT_LANES: usize = 4;
+
 #[inline]
 fn shape_err(op: &'static str, a: &Tensor, b: &Tensor) -> TensorError {
     TensorError::ShapeMismatch {
@@ -167,9 +172,12 @@ pub fn matmul_bt_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     if m == 0 || n == 0 {
         return Ok(());
     }
-    // Parallel over row blocks; within a block, columns are walked in small groups with
-    // the rows inner so each group of B rows is reused across the whole block while hot.
-    // Every (r, c) output is one dot product accumulated in ascending-p order.
+    // Parallel over row blocks; within a block, columns are walked in register-blocked
+    // groups of BT_LANES with the rows inner, so a group of B rows is reused across the
+    // whole block while hot. The lanes are *independent output accumulators* (one per
+    // column), each summing its k products in ascending-p order — exactly the scalar
+    // dot's operation order per element, so results are bit-identical to the scalar
+    // kernel while the BT_LANES separate dependency chains hide FMA latency.
     par::for_each_chunk_mut(
         out.data_mut(),
         row_block_elems(m, n, m * n * k),
@@ -178,16 +186,39 @@ pub fn matmul_bt_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
             let rows = oc.len() / n;
             let mut c0 = 0;
             while c0 < n {
-                let ce = (c0 + ROW_BLOCK).min(n);
-                for r in 0..rows {
-                    let a_row = a.row(r0 + r);
-                    for c in c0..ce {
-                        let b_row = b.row(c);
-                        let mut acc = 0.0f32;
+                let ce = (c0 + BT_LANES).min(n);
+                if ce - c0 == BT_LANES {
+                    let b0 = &b.row(c0)[..k];
+                    let b1 = &b.row(c0 + 1)[..k];
+                    let b2 = &b.row(c0 + 2)[..k];
+                    let b3 = &b.row(c0 + 3)[..k];
+                    for r in 0..rows {
+                        let a_row = &a.row(r0 + r)[..k];
+                        let mut acc = [0.0f32; BT_LANES];
                         for p in 0..k {
-                            acc += a_row[p] * b_row[p];
+                            let av = a_row[p];
+                            acc[0] += av * b0[p];
+                            acc[1] += av * b1[p];
+                            acc[2] += av * b2[p];
+                            acc[3] += av * b3[p];
                         }
-                        oc[r * n + c] += acc;
+                        let o = &mut oc[r * n + c0..r * n + ce];
+                        for (oo, &l) in o.iter_mut().zip(acc.iter()) {
+                            *oo += l;
+                        }
+                    }
+                } else {
+                    // Ragged tail: plain scalar dots (same per-element order).
+                    for r in 0..rows {
+                        let a_row = &a.row(r0 + r)[..k];
+                        for c in c0..ce {
+                            let b_row = &b.row(c)[..k];
+                            let mut acc = 0.0f32;
+                            for p in 0..k {
+                                acc += a_row[p] * b_row[p];
+                            }
+                            oc[r * n + c] += acc;
+                        }
                     }
                 }
                 c0 = ce;
@@ -626,6 +657,35 @@ mod tests {
             let one_at = crate::par::with_threads(1, || matmul_at(&a, &at_b).unwrap());
             let four_at = crate::par::with_threads(4, || matmul_at(&a, &at_b).unwrap());
             assert_eq!(one_at.data(), four_at.data(), "matmul_at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_register_blocking_is_bit_identical_to_scalar_dots() {
+        // The BT_LANES register blocking must not change a single bit relative to the
+        // straightforward one-dot-per-output scalar kernel, for shapes exercising full
+        // lane groups, ragged tails, and both serial and parallel row-block paths.
+        for &(m, k, n) in &[
+            (1usize, 3usize, 1usize),
+            (5, 17, 6),
+            (8, 33, 7),   // ragged tail (7 % 4 != 0)
+            (64, 96, 80), // above the parallel threshold
+            (130, 70, 33),
+        ] {
+            let a = Tensor::from_fn(m, k, |r, c| ((r * 29 + c * 13) % 31) as f32 * 0.23 - 2.1);
+            let b = Tensor::from_fn(n, k, |r, c| ((r * 11 + c * 19) % 27) as f32 * 0.19 - 1.7);
+            let fast = matmul_bt(&a, &b).unwrap();
+            let mut reference = Tensor::zeros(m, n);
+            for r in 0..m {
+                for c in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a.get(r, p) * b.get(c, p);
+                    }
+                    reference.set(r, c, acc);
+                }
+            }
+            assert_eq!(fast.data(), reference.data(), "matmul_bt {m}x{k}x{n}");
         }
     }
 

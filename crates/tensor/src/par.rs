@@ -18,13 +18,17 @@ pub const ELEM_CHUNK: usize = 16 * 1024;
 /// Raw-pointer wrapper for index-disjoint cross-thread writes.
 ///
 /// Closures must capture the wrapper (via [`SendPtr::get`]), never the bare
-/// pointer, to inherit the `Send`/`Sync` guarantees.
-pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+/// pointer, to inherit the `Send`/`Sync` guarantees. Constructing one is safe;
+/// every dereference of the wrapped pointer is `unsafe` and carries the usual
+/// obligations (in-bounds, disjoint across tasks, borrow outlives all uses —
+/// which [`parallel_for`] guarantees by blocking until every task finishes).
+pub struct SendPtr<T>(pub *mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
-    pub(crate) fn get(&self) -> *mut T {
+    /// The wrapped pointer.
+    pub fn get(&self) -> *mut T {
         self.0
     }
 }

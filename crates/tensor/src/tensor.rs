@@ -156,11 +156,23 @@ impl Tensor {
 
     /// Copy the rows indexed by `indices` into a new tensor (gather).
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
-        let mut out = Tensor::zeros(indices.len(), self.cols);
-        for (i, &idx) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(idx));
-        }
+        // Start from an empty tensor: gather_rows_into sizes and fills it, so
+        // pre-zeroing a full buffer here would be a wasted memset.
+        let mut out = Tensor::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// Gather rows into a caller-owned tensor, reshaping it to `(indices.len(), cols)`
+    /// and reusing its buffer — the zero-alloc per-step batch-assembly path.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &idx in indices {
+            out.data.extend_from_slice(self.row(idx));
+        }
     }
 
     /// Apply `f` to every element, returning a new tensor.

@@ -38,6 +38,32 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl ChaCha8Rng {
+    /// Absolute keystream position: 32-bit words consumed since seeding.
+    pub fn word_pos(&self) -> u64 {
+        if self.cursor >= 16 {
+            self.counter.wrapping_mul(16)
+        } else {
+            (self.counter - 1).wrapping_mul(16) + self.cursor as u64
+        }
+    }
+
+    /// Jump to an absolute keystream position (32-bit words since seeding), in O(1).
+    ///
+    /// ChaCha generates its keystream from a block counter, so any position is
+    /// directly addressable: the next `next_u32` after `set_word_pos(p)` returns
+    /// exactly the word a fresh generator would return as its `p`-th draw. This is
+    /// what lets independent model replicas reproduce a *shared* sequential
+    /// dropout-mask stream without replaying it.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.cursor = 16;
+        let rem = (pos % 16) as usize;
+        if rem != 0 {
+            self.refill();
+            self.cursor = rem;
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CHACHA_CONSTANTS);
@@ -122,6 +148,40 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn set_word_pos_matches_linear_replay() {
+        // Seeking to any position yields the same stream a fresh generator reaches by
+        // drawing linearly — including positions inside and across block boundaries.
+        let reference: Vec<u32> = {
+            let mut r = ChaCha8Rng::seed_from_u64(99);
+            (0..64).map(|_| r.next_u32()).collect()
+        };
+        for &pos in &[0u64, 1, 7, 15, 16, 17, 31, 32, 45, 63] {
+            let mut r = ChaCha8Rng::seed_from_u64(99);
+            r.set_word_pos(pos);
+            assert_eq!(r.next_u32(), reference[pos as usize], "seek to {pos}");
+        }
+        // Backward seeks work too (the position is absolute, not relative).
+        let mut r = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..40 {
+            r.next_u32();
+        }
+        r.set_word_pos(3);
+        assert_eq!(r.next_u32(), reference[3]);
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(r.word_pos(), 0);
+        for expect in 1..=40u64 {
+            r.next_u32();
+            assert_eq!(r.word_pos(), expect);
+        }
+        r.set_word_pos(100);
+        assert_eq!(r.word_pos(), 100);
     }
 
     #[test]

@@ -239,8 +239,13 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
     }
 
     // The caller participates, then waits for every helper before returning
-    // (or unwinding), so `runner` outlives all uses.
+    // (or unwinding), so `runner` outlives all uses. While executing its share
+    // the caller counts as "in pool": a nested `parallel_for` issued from inside
+    // one of its tasks runs sequentially, exactly as it would on a helper thread
+    // — otherwise the nested dispatch would queue behind the busy helpers.
+    let was_in_pool = IN_POOL.with(|c| c.replace(true));
     let mine = catch_unwind(AssertUnwindSafe(&runner));
+    IN_POOL.with(|c| c.set(was_in_pool));
     latch.wait();
     if let Err(payload) = mine {
         resume_unwind(payload);
@@ -303,5 +308,29 @@ mod tests {
     #[test]
     fn configured_threads_is_at_least_one() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn caller_tasks_run_nested_calls_sequentially() {
+        // A nested parallel_for from inside a task must run inline on whichever
+        // thread executes the task — including the caller — and cover every index.
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_for(8, |outer| {
+                parallel_for(8, |inner| {
+                    hits[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // And the caller's in-pool flag is restored afterwards: a fresh top-level
+        // call may parallelise again (it must still cover everything exactly once).
+        let after = AtomicUsize::new(0);
+        with_threads(4, || {
+            parallel_for(16, |_| {
+                after.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 16);
     }
 }

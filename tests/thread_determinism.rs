@@ -3,8 +3,11 @@
 //! stack — training drivers and the scenario comparison runner — under scoped
 //! thread-count overrides (`SELSYNC_THREADS` equivalents).
 
+use proptest::prelude::*;
 use selsync_repro::core::algorithms;
+use selsync_repro::core::conditions::{ClusterConditions, FaultEvent};
 use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::core::sim::with_sequential_rounds;
 use selsync_repro::nn::model::ModelKind;
 use selsync_repro::scenario::{library, runner, Scenario};
 use selsync_repro::tensor::par;
@@ -42,6 +45,135 @@ fn scenario_report_is_byte_identical_across_thread_counts() {
     let one = par::with_threads(1, || runner::run_scenario(&scenario).unwrap().render());
     let four = par::with_threads(4, || runner::run_scenario(&scenario).unwrap().render());
     assert_eq!(one, four, "report bytes must not depend on thread count");
+}
+
+/// A small run of `algo` on `kind`, optionally with a crash/rejoin fault.
+fn round_cfg(kind: ModelKind, algo: AlgorithmSpec, workers: usize, faulty: bool) -> TrainConfig {
+    let mut cfg = TrainConfig::small(kind, workers);
+    cfg.iterations = 24;
+    cfg.eval_every = 8;
+    cfg.train_samples = 384;
+    cfg.test_samples = 96;
+    cfg.eval_samples = 96;
+    cfg.batch_size = 8;
+    cfg.algorithm = algo;
+    if faulty {
+        cfg.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: workers - 1,
+            start: 6,
+            rejoin: Some(14),
+        });
+    }
+    cfg
+}
+
+/// The worker-parallel `run_round` path at 1, 2 and 4 threads must produce a
+/// `RunReport` byte-identical to the sequential seed path (one shared engine,
+/// workers processed in order — the pre-parallel baseline).
+fn assert_round_parallelism_is_invisible(cfg: &TrainConfig, label: &str) {
+    let reference = with_sequential_rounds(|| par::with_threads(1, || algorithms::run(cfg)));
+    let reference = format!("{reference:?}");
+    for threads in [1usize, 2, 4] {
+        let got = par::with_threads(threads, || algorithms::run(cfg));
+        assert_eq!(
+            format!("{got:?}"),
+            reference,
+            "{label}: parallel rounds at {threads} threads diverged from the sequential path"
+        );
+    }
+}
+
+#[test]
+fn selsync_parallel_rounds_match_the_sequential_path() {
+    let cfg = round_cfg(
+        ModelKind::ResNetLike,
+        AlgorithmSpec::selsync(0.25),
+        4,
+        false,
+    );
+    assert_round_parallelism_is_invisible(&cfg, "selsync/resnet");
+}
+
+#[test]
+fn ssp_with_dropout_model_matches_the_sequential_path() {
+    // AlexLike exercises dropout (per-engine RNG-stream seeking) and Adam; SSP adds
+    // the segmented round with interleaved global pushes.
+    let cfg = round_cfg(
+        ModelKind::AlexLike,
+        AlgorithmSpec::Ssp { staleness: 8 },
+        3,
+        false,
+    );
+    assert_round_parallelism_is_invisible(&cfg, "ssp/alexnet");
+}
+
+#[test]
+fn crash_rejoin_rounds_match_the_sequential_path() {
+    let cfg = round_cfg(ModelKind::ResNetLike, AlgorithmSpec::selsync(0.0), 4, true);
+    assert_round_parallelism_is_invisible(&cfg, "selsync/crash-rejoin");
+}
+
+#[test]
+#[ignore = "slow: all five algorithms x {clean, crash-rejoin} x {1,2,4} threads; run with --ignored"]
+fn all_algorithms_parallel_round_sweep_matches_the_sequential_path() {
+    // Every driver, on the model that stresses it most (dropout models included),
+    // both on a clean cluster and under a crash/rejoin fault schedule.
+    let arms: Vec<(&str, ModelKind, AlgorithmSpec)> = vec![
+        ("bsp", ModelKind::ResNetLike, AlgorithmSpec::Bsp),
+        (
+            "localsgd",
+            ModelKind::TransformerLike,
+            AlgorithmSpec::LocalSgd,
+        ),
+        (
+            "fedavg",
+            ModelKind::VggLike,
+            AlgorithmSpec::FedAvg { c: 0.5, e: 0.25 },
+        ),
+        (
+            "ssp",
+            ModelKind::AlexLike,
+            AlgorithmSpec::Ssp { staleness: 8 },
+        ),
+        (
+            "selsync",
+            ModelKind::ResNetLike,
+            AlgorithmSpec::selsync(0.1),
+        ),
+        (
+            "selsync-ga",
+            ModelKind::AlexLike,
+            AlgorithmSpec::selsync_ga(0.1),
+        ),
+    ];
+    for (name, kind, algo) in arms {
+        for faulty in [false, true] {
+            let cfg = round_cfg(kind, algo, 4, faulty);
+            let label = format!("{name}{}", if faulty { "/crash-rejoin" } else { "" });
+            assert_round_parallelism_is_invisible(&cfg, &label);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Randomized δ / seed / cluster width: the parallel rounds must be invisible for
+    // any configuration, not just the hand-picked ones above.
+    #[test]
+    fn parallel_rounds_are_invisible_for_random_selsync_configs(
+        delta in 0.0f32..0.6,
+        seed in 1u64..1_000_000,
+        workers in 2usize..6,
+    ) {
+        let mut cfg = round_cfg(ModelKind::ResNetLike, AlgorithmSpec::selsync(delta), workers, false);
+        cfg.seed = seed;
+        cfg.iterations = 12;
+        cfg.eval_every = 6;
+        let reference = with_sequential_rounds(|| par::with_threads(1, || algorithms::run(&cfg)));
+        let four = par::with_threads(4, || algorithms::run(&cfg));
+        prop_assert_eq!(format!("{reference:?}"), format!("{four:?}"));
+    }
 }
 
 #[test]
