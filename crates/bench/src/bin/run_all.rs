@@ -73,6 +73,11 @@ fn main() {
         "Table I — algorithm comparison",
         &table1_comparison(&ModelKind::all(), scale),
     );
+    emit(
+        "scenario_sweep_elastic_churn",
+        "Scenario sweep — δ grid x seeds x policy arms (elastic-churn)",
+        &scenario_sweep_summary(scale),
+    );
 
     eprintln!("done; CSVs written to bench_results/");
 }

@@ -701,6 +701,51 @@ fn push_table1_row(table: &mut Table, kind: ModelKind, report: &RunReport, bsp: 
 }
 
 // ---------------------------------------------------------------------------
+// Scenario sweep — δ grid × seed set × policy arms over one built-in scenario
+// ---------------------------------------------------------------------------
+
+/// Aggregated δ-grid/seed/policy sweep over the `elastic-churn` built-in (the
+/// time-varying scenario the adaptive-δ arm targets: rolling worker churn makes
+/// sparse fixed thresholds miss the target accuracy), as a table: one row per arm
+/// with mean ± spread statistics. `Quick` runs the CI-sized variant; `Full` sweeps
+/// the full built-in.
+pub fn scenario_sweep_summary(scale: Scale) -> Table {
+    let scenario = selsync_scenario::builtin("elastic-churn").expect("built-in scenario");
+    let scenario = match scale {
+        Scale::Quick => selsync_scenario::sweep::quick_variant(&scenario),
+        Scale::Full => scenario,
+    };
+    let report = selsync_scenario::run_sweep(&scenario).expect("valid sweep");
+    let mut table = Table::new(vec![
+        "arm",
+        "final_metric_mean",
+        "final_metric_spread",
+        "lssr_mean",
+        "sync_steps_mean",
+        "syncs_to_target_mean",
+        "reached_target",
+        "seeds",
+        "sim_time_s_mean",
+    ]);
+    for arm in &report.arms {
+        table.push_row(vec![
+            arm.label.clone(),
+            fmt_f(arm.final_metric.mean, 3),
+            fmt_f(arm.final_metric.spread, 3),
+            fmt_f(arm.lssr.mean, 4),
+            fmt_f(arm.sync_steps.mean, 1),
+            arm.syncs_to_target
+                .map(|s| fmt_f(s, 1))
+                .unwrap_or_else(|| "-".into()),
+            arm.reached_target.to_string(),
+            report.seeds.len().to_string(),
+            fmt_f(arm.sim_time_s.mean, 3),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 

@@ -5,8 +5,8 @@
 //! paper mentions in §III-E) is an all-reduce. Both are implemented here as
 //! generation-counted rendezvous among the worker threads, plus a plain barrier.
 
+use crate::rounds::ElasticRounds;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 
 /// A reusable set of collectives for a fixed group of `n` workers.
 pub struct Collective {
@@ -14,94 +14,9 @@ pub struct Collective {
     flags: Rendezvous<Vec<bool>>,
     reduce: Rendezvous<Vec<f32>>,
     barrier: Rendezvous<()>,
-    elastic_flags: ElasticRounds<bool>,
-}
-
-/// Round-keyed rendezvous for *elastic* membership: each round is identified by an
-/// explicit round id (the training iteration), so a worker that skipped earlier rounds
-/// (it was crashed) can never close or corrupt a round it was not part of, and a slow
-/// waiter can never miss its result to a later round overwriting it. Rounds are removed
-/// once every participant has consumed the result, so memory stays bounded by the
-/// number of concurrently open rounds.
-struct ElasticRounds<T: Clone> {
-    state: Mutex<HashMap<u64, ElasticRound<T>>>,
-    cv: Condvar,
-}
-
-struct ElasticRound<T: Clone> {
-    contributions: Vec<Option<T>>,
-    arrived: usize,
-    expected: usize,
-    result: Option<Vec<T>>,
-    consumed: usize,
-}
-
-impl<T: Clone> ElasticRounds<T> {
-    fn new() -> Self {
-        ElasticRounds {
-            state: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Contribute `value` for `worker` to `round` and block until the round's
-    /// `expected` participants have all contributed. Returns the full `group_size`-wide
-    /// result with `fill` substituted for absent workers.
-    fn run(
-        &self,
-        round: u64,
-        worker: usize,
-        group_size: usize,
-        expected: usize,
-        value: T,
-        fill: T,
-    ) -> Vec<T> {
-        assert!(
-            expected > 0,
-            "an elastic round needs at least one participant"
-        );
-        assert!(worker < group_size, "worker id out of range");
-        let mut s = self.state.lock();
-        let slot = s.entry(round).or_insert_with(|| ElasticRound {
-            contributions: (0..group_size).map(|_| None).collect(),
-            arrived: 0,
-            expected,
-            result: None,
-            consumed: 0,
-        });
-        assert_eq!(
-            slot.expected, expected,
-            "mismatched membership in elastic round {round}"
-        );
-        assert!(
-            slot.contributions[worker].is_none(),
-            "worker {worker} contributed twice"
-        );
-        slot.contributions[worker] = Some(value);
-        slot.arrived += 1;
-        if slot.arrived == slot.expected {
-            let combined: Vec<T> = slot
-                .contributions
-                .iter()
-                .map(|c| c.clone().unwrap_or_else(|| fill.clone()))
-                .collect();
-            slot.result = Some(combined);
-            self.cv.notify_all();
-        }
-        loop {
-            if let Some(slot) = s.get_mut(&round) {
-                if let Some(result) = &slot.result {
-                    let out = result.clone();
-                    slot.consumed += 1;
-                    if slot.consumed == slot.expected {
-                        s.remove(&round);
-                    }
-                    return out;
-                }
-            }
-            self.cv.wait(&mut s);
-        }
-    }
+    /// Round-keyed elastic status all-gather — the shared [`ElasticRounds`] skeleton
+    /// with a gather combine (absent workers read as the fill value).
+    elastic_flags: ElasticRounds<bool, Vec<bool>>,
 }
 
 /// Internal generation-counted rendezvous: workers deposit a contribution, the last one
@@ -205,8 +120,16 @@ impl Collective {
         flag: bool,
         expected: usize,
     ) -> Vec<bool> {
+        assert!(worker < self.n, "worker id out of range");
+        let n = self.n;
         self.elastic_flags
-            .run(round, worker, self.n, expected, flag, false)
+            .run(round, worker, expected, flag, |contribs| {
+                let mut out = vec![false; n];
+                for &(w, f) in contribs {
+                    out[w] = f;
+                }
+                out
+            })
     }
 
     /// All-reduce (mean) over equal-length `f32` vectors: every worker receives the

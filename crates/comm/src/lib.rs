@@ -17,6 +17,10 @@
 //!   ring all-reduce) that converts nominal transfer sizes into simulated seconds. All
 //!   throughput/speedup numbers in the benchmark harness come from this model, with the
 //!   same accounting applied to every algorithm.
+//! * [`rounds`] — the round-keyed elastic rendezvous skeleton shared by the parameter
+//!   server's elastic aggregation rounds and the collective's elastic status
+//!   all-gather: contributions are keyed by worker id and combined in worker order, so
+//!   deterministic combines stay deterministic under any thread scheduling.
 //! * [`cluster`] — a small harness for running a closure on `N` worker threads and
 //!   collecting the per-worker results.
 
@@ -24,6 +28,7 @@ pub mod cluster;
 pub mod collective;
 pub mod netmodel;
 pub mod ps;
+pub mod rounds;
 
 pub use collective::Collective;
 pub use netmodel::NetworkModel;

@@ -12,36 +12,24 @@
 //!   [`ParameterServer::pull`]): non-blocking updates used by SSP, where workers apply
 //!   scaled deltas to the global state whenever they finish a step.
 
+use crate::rounds::ElasticRounds;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::HashMap;
 
 /// Shared-memory parameter server over a flat `f32` vector.
 pub struct ParameterServer {
     global: RwLock<Vec<f32>>,
     round: Mutex<RoundState>,
     round_cv: Condvar,
-    elastic: Mutex<ElasticState>,
-    elastic_cv: Condvar,
-}
-
-/// Shared state of all open elastic rounds, plus the newest round whose mean has been
-/// written to the global vector. Rounds complete in *completion* order, which under
-/// disjoint live-worker sets can differ from round order — a worker that skipped rounds
-/// can finish round `k` while a slower worker is still closing round `k-1`; the
-/// `last_global_round` guard keeps the older mean from overwriting the newer one.
-struct ElasticState {
-    rounds: HashMap<u64, ElasticRound>,
-    last_global_round: Option<u64>,
-}
-
-/// State of one round-keyed elastic aggregation round (membership may differ round to
-/// round when workers crash and rejoin).
-struct ElasticRound {
-    accum: Vec<f32>,
-    arrived: usize,
-    expected: usize,
-    result: Option<Vec<f32>>,
-    consumed: usize,
+    /// Round-keyed elastic aggregation rounds (membership may differ round to round
+    /// when workers crash and rejoin) — the shared [`ElasticRounds`] skeleton with a
+    /// sum-then-average combine.
+    elastic: ElasticRounds<Vec<f32>, Vec<f32>>,
+    /// The newest round whose mean has been written to the global vector. Rounds
+    /// complete in *completion* order, which under disjoint live-worker sets can differ
+    /// from round order — a worker that skipped rounds can finish round `k` while a
+    /// slower worker is still closing round `k-1`; this guard keeps the older mean from
+    /// overwriting the newer one.
+    last_global_round: Mutex<Option<u64>>,
 }
 
 struct RoundState {
@@ -67,11 +55,8 @@ impl ParameterServer {
                 finished: None,
             }),
             round_cv: Condvar::new(),
-            elastic: Mutex::new(ElasticState {
-                rounds: HashMap::new(),
-                last_global_round: None,
-            }),
-            elastic_cv: Condvar::new(),
+            elastic: ElasticRounds::new(),
+            last_global_round: Mutex::new(None),
         }
     }
 
@@ -171,63 +156,51 @@ impl ParameterServer {
     /// the explicit `round` id rather than an implicit generation counter, so crashed
     /// workers that skip rounds can neither close nor corrupt rounds they were not part
     /// of. Averages over the present workers only; the average becomes the new global
-    /// vector. All participants of one round must pass the same `participants` count.
+    /// vector. All participants of one round must pass the same `participants` count,
+    /// and a worker contributes at most once per round.
+    ///
+    /// The mean is accumulated in **worker-id order** (one in-order sum per element,
+    /// then one divide), never arrival order — bit-identical to
+    /// `selsync::aggregation::average_present_into` over the same replicas, which is
+    /// what lets the threaded driver reproduce the simulator's parameter stream.
     pub fn sync_round_elastic(
         &self,
         round: u64,
+        worker: usize,
         contribution: &[f32],
         participants: usize,
     ) -> Vec<f32> {
-        assert!(
-            participants > 0,
-            "a synchronization round needs at least one participant"
-        );
         let dim = self.dim();
         assert_eq!(contribution.len(), dim, "contribution dimension mismatch");
-        let mut guard = self.elastic.lock();
-        let state = &mut *guard;
-        let slot = state.rounds.entry(round).or_insert_with(|| ElasticRound {
-            accum: vec![0.0; dim],
-            arrived: 0,
-            expected: participants,
-            result: None,
-            consumed: 0,
-        });
-        assert_eq!(
-            slot.expected, participants,
-            "mismatched membership in elastic round {round}"
-        );
-        for (a, &c) in slot.accum.iter_mut().zip(contribution.iter()) {
-            *a += c;
-        }
-        slot.arrived += 1;
-        if slot.arrived == slot.expected {
-            let n = slot.expected as f32;
-            let mean: Vec<f32> = slot.accum.iter().map(|&x| x / n).collect();
-            // Only the newest completed round may define the global vector: an older
-            // round completing late (its last participant was slower) must not clobber
-            // a newer round's mean.
-            if state.last_global_round.is_none_or(|r| round >= r) {
-                let mut g = self.global.write();
-                g.copy_from_slice(&mean);
-                state.last_global_round = Some(round);
-            }
-            slot.result = Some(mean);
-            self.elastic_cv.notify_all();
-        }
-        loop {
-            if let Some(slot) = guard.rounds.get_mut(&round) {
-                if let Some(result) = &slot.result {
-                    let out = result.clone();
-                    slot.consumed += 1;
-                    if slot.consumed == slot.expected {
-                        guard.rounds.remove(&round);
+        self.elastic.run(
+            round,
+            worker,
+            participants,
+            contribution.to_vec(),
+            |contribs| {
+                let n = contribs.len() as f32;
+                let mut mean = vec![0.0f32; dim];
+                for (_, c) in contribs {
+                    assert_eq!(c.len(), dim, "contribution dimension mismatch");
+                    for (o, &x) in mean.iter_mut().zip(c.iter()) {
+                        *o += x;
                     }
-                    return out;
                 }
-            }
-            self.elastic_cv.wait(&mut guard);
-        }
+                for o in mean.iter_mut() {
+                    *o /= n;
+                }
+                // Only the newest completed round may define the global vector: an
+                // older round completing late (its last participant was slower) must
+                // not clobber a newer round's mean.
+                let mut last = self.last_global_round.lock();
+                if last.is_none_or(|r| round >= r) {
+                    let mut g = self.global.write();
+                    g.copy_from_slice(&mean);
+                    *last = Some(round);
+                }
+                mean
+            },
+        )
     }
 }
 
@@ -326,7 +299,7 @@ mod tests {
                         continue;
                     }
                     let expected = if round == 1 { 3 } else { 4 };
-                    let avg = ps.sync_round_elastic(round, &[(w + 1) as f32], expected);
+                    let avg = ps.sync_round_elastic(round, w, &[(w + 1) as f32], expected);
                     results.push((round, avg[0]));
                 }
                 results
@@ -355,9 +328,9 @@ mod tests {
         // 5 closes it before the worker alone in round 3 arrives. The global vector
         // must keep round 5's mean.
         let ps = ParameterServer::new(vec![0.0; 1]);
-        let newer = ps.sync_round_elastic(5, &[50.0], 1);
+        let newer = ps.sync_round_elastic(5, 0, &[50.0], 1);
         assert_eq!(newer, vec![50.0]);
-        let older = ps.sync_round_elastic(3, &[30.0], 1);
+        let older = ps.sync_round_elastic(3, 0, &[30.0], 1);
         assert_eq!(
             older,
             vec![30.0],
@@ -369,7 +342,35 @@ mod tests {
             "global must stay at the newest round's mean"
         );
         // A genuinely newer round still advances the global.
-        ps.sync_round_elastic(7, &[70.0], 1);
+        ps.sync_round_elastic(7, 0, &[70.0], 1);
         assert_eq!(ps.pull(), vec![70.0]);
+    }
+
+    #[test]
+    fn elastic_mean_is_summed_in_worker_order_not_arrival_order() {
+        // Values chosen so the fp sum depends on order: with f32,
+        // (1e8 + 1.0) - 1e8 == 0 but (1e8 - 1e8) + 1.0 == 1.0. The combine must sum
+        // in worker-id order (w0 + w1 + w2) regardless of which thread closes the
+        // round, so the mean is a pure function of the contributions.
+        let expected = {
+            let mut s = 0.0f32;
+            for v in [1e8f32, 1.0, -1e8] {
+                s += v;
+            }
+            s / 3.0
+        };
+        for _ in 0..8 {
+            let ps = Arc::new(ParameterServer::new(vec![0.0; 1]));
+            let handles: Vec<_> = [(0usize, 1e8f32), (1, 1.0), (2, -1e8)]
+                .into_iter()
+                .map(|(w, v)| {
+                    let ps = Arc::clone(&ps);
+                    std::thread::spawn(move || ps.sync_round_elastic(0, w, &[v], 3))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![expected]);
+            }
+        }
     }
 }

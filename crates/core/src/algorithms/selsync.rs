@@ -12,23 +12,58 @@
 //!   replica; on local steps the worker applies its own gradient.
 //!
 //! Data-injection (non-IID) and the SelDP partitioning are handled by the simulator.
+//!
+//! The δ threshold itself comes from a [`crate::policy::DeltaPolicy`]: the paper's
+//! fixed δ by default, or — when `cfg.delta_policy` is set — a scheduled or adaptive
+//! (Sync-Switch-style) policy that is consulted before each round and observes the
+//! round's signals afterwards. Policies are deterministic functions of the merged
+//! round signals, so the byte-identity guarantee across thread counts is preserved.
 
 use crate::aggregation::{self, AggregationMode};
 use crate::config::{AlgorithmSpec, TrainConfig};
-use crate::policy::{SyncDecision, SyncPolicy};
+use crate::policy::{PolicySpec, SyncDecision, SyncPolicy};
 use crate::report::RunReport;
 use crate::sim::{Simulator, WorkerStep};
 
 /// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
 pub fn run(cfg: &TrainConfig) -> RunReport {
-    let (delta, aggregation_mode) = match cfg.algorithm {
+    let (delta, aggregation_mode, injection) = match cfg.algorithm {
         AlgorithmSpec::SelSync {
-            delta, aggregation, ..
-        } => (delta, aggregation),
+            delta,
+            aggregation,
+            injection,
+        } => (delta, aggregation, injection),
         _ => panic!("selsync::run called with a non-SelSync configuration"),
     };
-    let policy = SyncPolicy::new(delta);
-    let algo_name = cfg.algorithm.name();
+    let spec = cfg
+        .delta_policy
+        .clone()
+        .unwrap_or(PolicySpec::Fixed { delta });
+    spec.validate().expect("invalid δ-policy configuration");
+    let mut policy = spec.build();
+    // Without an explicit policy the paper's algorithm label is kept verbatim (byte
+    // compatibility with every pre-policy recorded report); explicit policies name
+    // themselves. A `Fixed` policy's label intentionally reproduces the same
+    // `SelSync(d=…,…)` shape.
+    let algo_name = if cfg.delta_policy.is_none() {
+        cfg.algorithm.name()
+    } else {
+        let agg = match aggregation_mode {
+            AggregationMode::Parameter => "PA",
+            AggregationMode::Gradient => "GA",
+        };
+        // An injected Fixed arm reproduces AlgorithmSpec::name()'s exact shape
+        // (`SelSync(α,β,δ,agg)`, no `d=` prefix) so label-keyed comparisons treat
+        // semantically identical arms identically.
+        let policy_label = match (&spec, injection.is_some()) {
+            (PolicySpec::Fixed { delta }, true) => format!("{delta}"),
+            _ => spec.label(),
+        };
+        match injection {
+            Some(inj) => format!("SelSync({},{},{policy_label},{agg})", inj.alpha, inj.beta),
+            None => format!("SelSync({policy_label},{agg})"),
+        }
+    };
 
     let mut sim = Simulator::new(cfg);
     let wire = sim.nominal().wire_bytes;
@@ -49,6 +84,9 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         let mut comm = rejoin_comm;
         let mut bytes = rejoin_bytes;
 
+        // Phase 0: ask the δ policy for this round's threshold.
+        let sync_policy = SyncPolicy::new(policy.delta(it));
+
         // Phase 1: every present worker computes its gradient and Δ(g_i) on its next
         // mini-batch — in parallel on the engine pool.
         sim.plan_round(&present, &mut steps);
@@ -57,8 +95,8 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
 
         // Phase 2: 1-bit status all-gather among the present workers and the
         // cluster-level decision.
-        let flags = policy.flags_from_deltas(&round.deltas);
-        let decision = policy.decide(&flags);
+        let flags = sync_policy.flags_from_deltas(&round.deltas);
+        let decision = sync_policy.decide(&flags);
         comm += sim.status_allgather_seconds_at(it, present.len());
         bytes += round.injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
         if round.injected_bytes > 0 {
@@ -92,7 +130,12 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         }
 
         let compute = sim.round_compute_seconds(it);
-        sim.account_step(compute, comm, bytes, decision == SyncDecision::Synchronize);
+        let synced = decision == SyncDecision::Synchronize;
+        sim.account_step(compute, comm, bytes, synced);
+
+        // Feed the completed round's (worker-order-merged, thread-count-invariant)
+        // signals back to the δ policy.
+        policy.observe(&round.signal(it, synced));
 
         if sim.should_eval(it) {
             // The evaluated global model is the present replicas' average (identical to

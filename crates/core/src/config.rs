@@ -7,6 +7,7 @@
 
 use crate::aggregation::AggregationMode;
 use crate::conditions::ClusterConditions;
+use crate::policy::PolicySpec;
 use selsync_comm::netmodel::NetworkModel;
 use selsync_data::injection::DataInjection;
 use selsync_data::partition::PartitionScheme;
@@ -185,6 +186,11 @@ pub struct TrainConfig {
     /// Cluster imperfections: device heterogeneity and the timed fault schedule.
     /// Uniform (homogeneous, fault-free) by default; scenario files populate it.
     pub conditions: ClusterConditions,
+    /// Optional δ policy for SelSync runs. `None` (the default) keeps the paper's fixed
+    /// threshold from [`AlgorithmSpec::SelSync`]; `Some` overrides it with a scheduled
+    /// or adaptive policy (the sweep harness's policy arms). Ignored by the other
+    /// algorithms.
+    pub delta_policy: Option<PolicySpec>,
 }
 
 impl TrainConfig {
@@ -243,6 +249,7 @@ impl TrainConfig {
             network: NetworkModel::paper_5gbps(),
             device: DeviceProfile::v100(),
             conditions: ClusterConditions::uniform(),
+            delta_policy: None,
         }
     }
 

@@ -14,7 +14,9 @@
 //! Crate layout:
 //!
 //! * [`tracker`] — the per-worker `Δ(g_i)` tracker (EWMA-smoothed gradient statistic).
-//! * [`policy`] — the `δ` decision rule (Fig. 6): `Δ(g_i) ≥ δ` ⇒ synchronize.
+//! * [`policy`] — the `δ` decision rule (Fig. 6): `Δ(g_i) ≥ δ` ⇒ synchronize — plus
+//!   the [`policy::DeltaPolicy`] trait choosing δ itself (fixed, scheduled, or a
+//!   Sync-Switch-style adaptive policy that relaxes δ once gradients settle).
 //! * [`conditions`] — cluster imperfections: device heterogeneity profiles and timed
 //!   fault schedules (stragglers, crashes, network degradation) shared by every driver.
 //! * [`aggregation`] — parameter vs gradient aggregation (§III-C).
@@ -54,6 +56,6 @@ pub mod tracker;
 pub use aggregation::AggregationMode;
 pub use conditions::{ClusterConditions, FaultEvent};
 pub use config::{AlgorithmSpec, TrainConfig};
-pub use policy::{SyncDecision, SyncPolicy};
+pub use policy::{AdaptiveDelta, DeltaPolicy, PolicySpec, RoundSignal, SyncDecision, SyncPolicy};
 pub use report::RunReport;
 pub use tracker::GradientTracker;

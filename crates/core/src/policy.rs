@@ -1,10 +1,19 @@
-//! The δ-threshold decision rule (§III-B, Fig. 6 of the paper).
+//! The δ-threshold decision rule (§III-B, Fig. 6 of the paper), plus δ *policies* that
+//! choose the threshold itself.
 //!
 //! A worker wants to synchronize when its relative gradient change `Δ(g_i)` is at least
 //! `δ`; the *cluster* synchronizes when **any** worker wants to (the decision is shared
 //! through a 1-bit-per-worker all-gather). `δ = 0` degenerates to BSP (every step
 //! synchronizes); `δ ≥ max Δ(g_i)` degenerates to pure local-SGD.
+//!
+//! The paper studies *fixed* δ. The [`DeltaPolicy`] trait generalises the knob: a
+//! policy is asked for the δ in effect before each round and observes the completed
+//! round's signals afterwards, so δ can follow a schedule or — in the spirit of
+//! Sync-Switch (arXiv:2104.08364) — *switch* in response to observed training dynamics.
+//! Every policy is a pure function of the (deterministic) observed signals, so runs
+//! stay bit-for-bit reproducible.
 
+use selsync_metrics::Ewma;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of the per-step decision.
@@ -62,6 +71,405 @@ impl SyncPolicy {
     /// One-shot cluster decision straight from the per-worker deltas.
     pub fn decide_from_deltas(&self, deltas: &[f32]) -> SyncDecision {
         self.decide(&self.flags_from_deltas(deltas))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// δ policies: who chooses the threshold, and when.
+// ---------------------------------------------------------------------------
+
+/// Observed signals of one completed training round, fed back to a [`DeltaPolicy`].
+///
+/// In the simulator the signals are cluster-level (the round maximum `Δ(g_i)`, the mean
+/// batch loss over the round's steps); in the threaded driver each worker feeds its
+/// policy replica its *own* signals, since no scalar all-reduce accompanies the 1-bit
+/// status exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSignal {
+    /// Training iteration the round ran at.
+    pub iteration: usize,
+    /// Maximum `Δ(g_i)` observed this round (or the worker's own, in the threaded driver).
+    pub max_delta: f32,
+    /// Mean training loss of the round's steps (or the worker's own batch loss).
+    pub mean_loss: f32,
+    /// Whether the round synchronized.
+    pub synced: bool,
+}
+
+/// A runtime rule choosing the δ threshold round by round.
+///
+/// [`Self::delta`] is consulted *before* a round runs (it decides this round's
+/// threshold); [`Self::observe`] is called *after* the round with its signals. A policy
+/// must be a deterministic function of the observed signal sequence — drivers rely on
+/// this for their cross-thread-count byte-identity guarantee.
+pub trait DeltaPolicy: Send {
+    /// The δ in effect for the round at `iteration`.
+    fn delta(&self, iteration: usize) -> f32;
+
+    /// Ingest the signals of the completed round at `signal.iteration`.
+    fn observe(&mut self, signal: &RoundSignal);
+
+    /// Short label used in report algorithm names (e.g. `d=0.3`, `adaptive(0..0.5)`).
+    fn label(&self) -> String;
+}
+
+/// The paper's fixed threshold as a [`DeltaPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedDelta {
+    /// The constant threshold.
+    pub delta: f32,
+}
+
+impl DeltaPolicy for FixedDelta {
+    fn delta(&self, _iteration: usize) -> f32 {
+        self.delta
+    }
+
+    fn observe(&mut self, _signal: &RoundSignal) {}
+
+    fn label(&self) -> String {
+        format!("d={}", self.delta)
+    }
+}
+
+/// An iteration-keyed δ schedule: stage `i` applies from iteration `starts[i]` until
+/// the next stage begins. A pure function of the iteration, so the threaded driver's
+/// per-worker replicas agree on every threshold without coordination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledDelta {
+    starts: Vec<usize>,
+    deltas: Vec<f32>,
+}
+
+impl ScheduledDelta {
+    /// Build from parallel `starts`/`deltas` arrays (validated: non-empty, equal
+    /// length, `starts[0] == 0`, strictly increasing, finite non-negative deltas).
+    pub fn new(starts: Vec<usize>, deltas: Vec<f32>) -> Self {
+        PolicySpec::Schedule {
+            starts: starts.clone(),
+            deltas: deltas.clone(),
+        }
+        .validate()
+        .expect("invalid δ schedule");
+        ScheduledDelta { starts, deltas }
+    }
+}
+
+impl DeltaPolicy for ScheduledDelta {
+    fn delta(&self, iteration: usize) -> f32 {
+        let stage = self
+            .starts
+            .iter()
+            .rposition(|&s| s <= iteration)
+            .expect("starts[0] == 0 guarantees a stage");
+        self.deltas[stage]
+    }
+
+    fn observe(&mut self, _signal: &RoundSignal) {}
+
+    fn label(&self) -> String {
+        let stages: Vec<String> = self
+            .starts
+            .iter()
+            .zip(self.deltas.iter())
+            .map(|(s, d)| format!("{s}:{d}"))
+            .collect();
+        format!("schedule({})", stages.join(","))
+    }
+}
+
+/// A Sync-Switch-style adaptive policy: synchronize eagerly while training dynamics
+/// are volatile, relax the threshold once they settle, and fall back to eager
+/// synchronization when a cluster event (a rejoining worker, a learning-rate decay)
+/// disturbs them again.
+///
+/// Two deterministic signals drive the switching, both smoothed with
+/// [`selsync_metrics::Ewma`]:
+///
+/// * the **loss EWMA** decides *settling*: after `warmup` rounds, once the smoothed
+///   training loss improves by less than `settle` (relative, per round) for `patience`
+///   consecutive rounds, δ switches from `delta_explore` (small: sync-eager) to
+///   `delta_exploit` (large: mostly local). The initial descent — where the paper
+///   shows synchronization matters most — is always synchronized.
+/// * the **`Δ(g)` ratio** decides *spiking*: a raw round `Δ(g)` at least `spike` times
+///   its own EWMA (a rejoining worker's restarted tracker, an LR-decay kink) switches
+///   back to `delta_explore`; the settle detector then re-relaxes once the loss EWMA
+///   is calm again. Self-normalising, so the same `spike` works across workloads whose
+///   absolute `Δ(g)` scales differ.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDelta {
+    delta_explore: f32,
+    delta_exploit: f32,
+    warmup: usize,
+    settle: f32,
+    patience: usize,
+    spike: f32,
+    loss: Ewma,
+    delta_signal: Ewma,
+    rounds: usize,
+    calm: usize,
+    exploiting: bool,
+    switches: u32,
+}
+
+impl AdaptiveDelta {
+    /// Build from a validated [`PolicySpec::Adaptive`] configuration.
+    pub fn from_spec(spec: &PolicySpec) -> Self {
+        spec.validate().expect("invalid adaptive-δ configuration");
+        match *spec {
+            PolicySpec::Adaptive {
+                delta_explore,
+                delta_exploit,
+                factor,
+                warmup,
+                settle,
+                patience,
+                spike,
+            } => AdaptiveDelta {
+                delta_explore,
+                delta_exploit,
+                warmup,
+                settle,
+                patience,
+                spike,
+                loss: Ewma::new(factor, 25),
+                delta_signal: Ewma::new(factor, 25),
+                rounds: 0,
+                calm: 0,
+                exploiting: false,
+                switches: 0,
+            },
+            _ => panic!("AdaptiveDelta::from_spec needs PolicySpec::Adaptive"),
+        }
+    }
+
+    /// Whether the policy is currently in the relaxed (exploit) regime.
+    pub fn exploiting(&self) -> bool {
+        self.exploiting
+    }
+
+    /// Number of regime switches so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+}
+
+impl DeltaPolicy for AdaptiveDelta {
+    fn delta(&self, _iteration: usize) -> f32 {
+        if self.exploiting {
+            self.delta_exploit
+        } else {
+            self.delta_explore
+        }
+    }
+
+    fn observe(&mut self, signal: &RoundSignal) {
+        self.rounds += 1;
+        let prev_loss = self.loss.value();
+        let smoothed_loss = self.loss.update(signal.mean_loss);
+        let prev_delta = self.delta_signal.value();
+        self.delta_signal.update(signal.max_delta);
+
+        if self.exploiting {
+            // Spike detector: a raw Δ(g) far above its own running level means the
+            // cluster's dynamics changed (rejoin, LR decay) — synchronize eagerly
+            // until the loss settles again.
+            if let Some(base) = prev_delta {
+                if base > 0.0 && signal.max_delta >= self.spike * base {
+                    self.exploiting = false;
+                    self.calm = 0;
+                    self.switches += 1;
+                }
+            }
+            return;
+        }
+        // Settle detector (active only after the warmup, once the EWMA is meaningful):
+        // count consecutive rounds whose smoothed-loss improvement is below `settle`.
+        if self.rounds <= self.warmup {
+            return;
+        }
+        let improvement = match prev_loss {
+            Some(prev) if prev.abs() > f32::EPSILON => (prev - smoothed_loss) / prev,
+            _ => 0.0,
+        };
+        // Calm means *plateaued*: neither improving nor regressing faster than
+        // `settle` per round. A loss rising beyond the threshold is volatility, not
+        // settling — it must keep the eager regime.
+        if improvement.abs() < self.settle {
+            self.calm += 1;
+        } else {
+            self.calm = 0;
+        }
+        if self.calm >= self.patience {
+            self.exploiting = true;
+            self.calm = 0;
+            self.switches += 1;
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "adaptive({}->{},warmup={},settle={}x{},spike={})",
+            self.delta_explore,
+            self.delta_exploit,
+            self.warmup,
+            self.settle,
+            self.patience,
+            self.spike
+        )
+    }
+}
+
+/// Serializable δ-policy configuration — what scenario files and [`crate::config::TrainConfig`]
+/// carry; [`Self::build`] instantiates the runtime [`DeltaPolicy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// A fixed threshold (the paper's knob).
+    Fixed {
+        /// The constant threshold.
+        delta: f32,
+    },
+    /// An iteration-keyed schedule: stage `i` applies from `starts[i]` until the next
+    /// stage begins (`starts[0]` must be 0).
+    Schedule {
+        /// First iteration of each stage (strictly increasing, starting at 0).
+        starts: Vec<usize>,
+        /// The δ of each stage.
+        deltas: Vec<f32>,
+    },
+    /// The Sync-Switch-style adaptive policy ([`AdaptiveDelta`]).
+    Adaptive {
+        /// Sync-eager threshold used while training dynamics are volatile.
+        delta_explore: f32,
+        /// Relaxed threshold used once the loss has settled.
+        delta_exploit: f32,
+        /// EWMA smoothing factor for the watched loss / `Δ(g)` signals, in `(0, 1]`.
+        factor: f32,
+        /// Rounds the policy always stays eager before the settle detector arms.
+        warmup: usize,
+        /// Calm means the smoothed loss improves by less than this (relative, per
+        /// round).
+        settle: f32,
+        /// Consecutive calm rounds required before switching to exploit.
+        patience: usize,
+        /// A raw round `Δ(g)` at least `spike` times its own EWMA switches back to
+        /// the eager regime.
+        spike: f32,
+    },
+}
+
+impl PolicySpec {
+    /// The default adaptive configuration: sync every step (δ = 0) through the
+    /// initial descent, relax to δ = 0.5 once the smoothed loss changes by < 5% per
+    /// round for 4 consecutive rounds (earliest: round 9), and re-enter the eager
+    /// regime whenever a round's `Δ(g)` jumps to ≥ 2.5× its running level. The
+    /// smoothing factor (0.15) is deliberately heavier than the settle band so
+    /// batch-to-batch loss noise does not masquerade as volatility.
+    pub fn adaptive_default() -> Self {
+        PolicySpec::Adaptive {
+            delta_explore: 0.0,
+            delta_exploit: 0.5,
+            factor: 0.15,
+            warmup: 8,
+            settle: 0.05,
+            patience: 4,
+            spike: 2.5,
+        }
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_delta = |d: f32, what: &str| {
+            if d >= 0.0 && d.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be a finite non-negative number"))
+            }
+        };
+        match self {
+            PolicySpec::Fixed { delta } => finite_delta(*delta, "policy delta"),
+            PolicySpec::Schedule { starts, deltas } => {
+                if starts.is_empty() || starts.len() != deltas.len() {
+                    return Err("schedule needs equal, non-empty starts/deltas".into());
+                }
+                if starts[0] != 0 {
+                    return Err("schedule must start at iteration 0".into());
+                }
+                if !starts.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("schedule starts must be strictly increasing".into());
+                }
+                for &d in deltas {
+                    finite_delta(d, "schedule delta")?;
+                }
+                Ok(())
+            }
+            PolicySpec::Adaptive {
+                delta_explore,
+                delta_exploit,
+                factor,
+                warmup: _,
+                settle,
+                patience,
+                spike,
+            } => {
+                finite_delta(*delta_explore, "delta_explore")?;
+                finite_delta(*delta_exploit, "delta_exploit")?;
+                if !(*factor > 0.0 && *factor <= 1.0) {
+                    return Err("adaptive factor must be in (0, 1]".into());
+                }
+                if *patience == 0 {
+                    return Err("adaptive patience must be at least 1".into());
+                }
+                if !(*settle > 0.0 && settle.is_finite()) {
+                    return Err("settle must be a finite positive number".into());
+                }
+                if !(*spike > 1.0 && spike.is_finite()) {
+                    return Err("spike must be a finite ratio above 1".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Instantiate the runtime policy. Panics on an invalid spec (use
+    /// [`Self::validate`] first at trust boundaries).
+    pub fn build(&self) -> Box<dyn DeltaPolicy> {
+        self.validate().expect("invalid δ-policy configuration");
+        match self {
+            PolicySpec::Fixed { delta } => Box::new(FixedDelta { delta: *delta }),
+            PolicySpec::Schedule { starts, deltas } => {
+                Box::new(ScheduledDelta::new(starts.clone(), deltas.clone()))
+            }
+            PolicySpec::Adaptive { .. } => Box::new(AdaptiveDelta::from_spec(self)),
+        }
+    }
+
+    /// The label the built policy reports (stable: used in report algorithm names).
+    /// Formats directly — no runtime policy is constructed; pinned equal to
+    /// `build().label()` by a unit test.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Fixed { delta } => format!("d={delta}"),
+            PolicySpec::Schedule { starts, deltas } => {
+                let stages: Vec<String> = starts
+                    .iter()
+                    .zip(deltas.iter())
+                    .map(|(s, d)| format!("{s}:{d}"))
+                    .collect();
+                format!("schedule({})", stages.join(","))
+            }
+            PolicySpec::Adaptive {
+                delta_explore,
+                delta_exploit,
+                warmup,
+                settle,
+                patience,
+                spike,
+                ..
+            } => format!(
+                "adaptive({delta_explore}->{delta_exploit},warmup={warmup},settle={settle}x{patience},spike={spike})"
+            ),
+        }
     }
 }
 
@@ -137,5 +545,208 @@ mod tests {
     #[should_panic]
     fn negative_delta_rejected() {
         let _ = SyncPolicy::new(-0.1);
+    }
+
+    fn signal(iteration: usize, max_delta: f32, mean_loss: f32) -> RoundSignal {
+        RoundSignal {
+            iteration,
+            max_delta,
+            mean_loss,
+            synced: true,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_is_constant_and_label_matches_paper_naming() {
+        let p = PolicySpec::Fixed { delta: 0.3 }.build();
+        assert_eq!(p.delta(0), 0.3);
+        assert_eq!(p.delta(10_000), 0.3);
+        assert_eq!(p.label(), "d=0.3");
+    }
+
+    #[test]
+    fn schedule_policy_switches_at_stage_starts() {
+        let mut p = ScheduledDelta::new(vec![0, 10, 30], vec![0.0, 0.2, 0.5]);
+        assert_eq!(p.delta(0), 0.0);
+        assert_eq!(p.delta(9), 0.0);
+        assert_eq!(p.delta(10), 0.2);
+        assert_eq!(p.delta(29), 0.2);
+        assert_eq!(p.delta(30), 0.5);
+        assert_eq!(p.delta(1000), 0.5);
+        // Observations are ignored: the schedule is a pure function of the iteration.
+        p.observe(&signal(5, 100.0, 100.0));
+        assert_eq!(p.delta(5), 0.0);
+        assert_eq!(p.label(), "schedule(0:0,10:0.2,30:0.5)");
+    }
+
+    #[test]
+    fn schedule_validation_rejects_broken_stages() {
+        assert!(PolicySpec::Schedule {
+            starts: vec![5],
+            deltas: vec![0.1]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Schedule {
+            starts: vec![0, 10, 10],
+            deltas: vec![0.1, 0.2, 0.3]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Schedule {
+            starts: vec![0],
+            deltas: vec![f32::NAN]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Schedule {
+            starts: vec![],
+            deltas: vec![]
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn adaptive_policy_switches_to_exploit_once_the_loss_settles() {
+        let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+        assert!(!p.exploiting());
+        assert_eq!(p.delta(0), 0.0, "starts in the sync-eager regime");
+        // A fast-descending loss keeps the eager regime past the warmup.
+        let mut loss = 8.0f32;
+        for it in 0..20 {
+            p.observe(&signal(it, 0.05, loss));
+            loss *= 0.85; // 15% per round: well above the 3% settle threshold
+        }
+        assert!(!p.exploiting(), "loss still descending fast");
+        // The loss flattens; after `patience` calm rounds the policy relaxes.
+        let mut switched_at = None;
+        for it in 20..60 {
+            p.observe(&signal(it, 0.05, loss));
+            if p.exploiting() && switched_at.is_none() {
+                switched_at = Some(it);
+            }
+        }
+        assert!(p.exploiting(), "must switch after the loss settles");
+        assert_eq!(p.delta(60), 0.5);
+        assert!(switched_at.unwrap() >= 20 + 4 - 1, "respects patience");
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn adaptive_policy_respects_warmup_even_with_a_flat_loss() {
+        // A loss that is flat from the very first round must not trigger the switch
+        // before `warmup` + `patience` observations.
+        let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+        for it in 0..11 {
+            p.observe(&signal(it, 0.05, 1.0));
+            assert!(!p.exploiting(), "round {it} is inside warmup + patience");
+        }
+        p.observe(&signal(11, 0.05, 1.0));
+        assert!(
+            p.exploiting(),
+            "flat loss switches right after warmup+patience"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_treats_a_rising_loss_as_volatility_not_settling() {
+        // A diverging run (smoothed loss climbing well beyond `settle` per round)
+        // must stay in the eager regime — regression is not a plateau.
+        let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+        let mut loss = 1.0f32;
+        for it in 0..40 {
+            p.observe(&signal(it, 0.05, loss));
+            loss *= 1.2; // +20% per round: far above the 3% settle band
+        }
+        assert!(
+            !p.exploiting(),
+            "a regressing loss must keep syncing eagerly"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_reverts_on_a_delta_spike() {
+        let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+        for it in 0..30 {
+            p.observe(&signal(it, 0.05, 1.0));
+        }
+        assert!(p.exploiting());
+        // A Δ(g) jump to 4x its running level (a rejoining worker's restarted
+        // tracker) re-enters the eager regime; the Δ EWMA sits near 0.05.
+        p.observe(&signal(30, 0.2, 1.0));
+        assert!(!p.exploiting(), "spike must re-enter the eager regime");
+        assert_eq!(p.delta(31), 0.0);
+        assert_eq!(p.switches(), 2);
+        // With the loss already calm, the policy re-relaxes after `patience` rounds.
+        for it in 31..36 {
+            p.observe(&signal(it, 0.05, 1.0));
+        }
+        assert!(
+            p.exploiting(),
+            "calm loss re-relaxes after the repair window"
+        );
+        assert_eq!(p.switches(), 3);
+    }
+
+    #[test]
+    fn adaptive_policy_is_deterministic_in_its_signal_sequence() {
+        let run = || {
+            let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+            let mut deltas = Vec::new();
+            for it in 0..80 {
+                deltas.push(p.delta(it));
+                let loss = 8.0 * (0.9f32).powi(it.min(40) as i32) + 0.2;
+                let d = if it == 50 { 0.3 } else { 0.05 };
+                p.observe(&signal(it, d, loss));
+            }
+            deltas
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adaptive_validation_rejects_bad_configs() {
+        let mut bad = PolicySpec::adaptive_default();
+        if let PolicySpec::Adaptive { factor, .. } = &mut bad {
+            *factor = 0.0;
+        }
+        assert!(bad.validate().is_err());
+        let mut bad = PolicySpec::adaptive_default();
+        if let PolicySpec::Adaptive { patience, .. } = &mut bad {
+            *patience = 0;
+        }
+        assert!(bad.validate().is_err());
+        let mut bad = PolicySpec::adaptive_default();
+        if let PolicySpec::Adaptive { delta_exploit, .. } = &mut bad {
+            *delta_exploit = f32::NAN;
+        }
+        assert!(bad.validate().is_err());
+        let mut bad = PolicySpec::adaptive_default();
+        if let PolicySpec::Adaptive { spike, .. } = &mut bad {
+            *spike = 0.9; // a spike ratio must exceed 1
+        }
+        assert!(bad.validate().is_err());
+        assert!(PolicySpec::adaptive_default().validate().is_ok());
+    }
+
+    #[test]
+    fn spec_labels_are_stable_and_match_the_runtime_policies() {
+        assert_eq!(PolicySpec::Fixed { delta: 0.25 }.label(), "d=0.25");
+        assert_eq!(
+            PolicySpec::adaptive_default().label(),
+            "adaptive(0->0.5,warmup=8,settle=0.05x4,spike=2.5)"
+        );
+        // The spec-side formatting must never drift from the built policies' labels.
+        for spec in [
+            PolicySpec::Fixed { delta: 0.25 },
+            PolicySpec::Schedule {
+                starts: vec![0, 10, 30],
+                deltas: vec![0.0, 0.2, 0.5],
+            },
+            PolicySpec::adaptive_default(),
+        ] {
+            assert_eq!(spec.label(), spec.build().label());
+        }
     }
 }

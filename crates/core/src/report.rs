@@ -37,6 +37,11 @@ pub struct RunReport {
     pub local_steps: u64,
     /// Steps that synchronized across workers.
     pub sync_steps: u64,
+    /// The step indices (iterations, for drivers that account one step per iteration)
+    /// at which a synchronization fired, in order — the run's synchronization
+    /// *schedule*. Recorded-seed regressions and the threaded-vs-simulator parity
+    /// tests pin this.
+    pub sync_rounds: Vec<usize>,
     /// Local-to-synchronous step ratio (Eqn. 4).
     pub lssr: f64,
     /// Final held-out metric.
@@ -149,6 +154,7 @@ mod tests {
             iterations: 100,
             local_steps: 50,
             sync_steps: 50,
+            sync_rounds: Vec::new(),
             lssr: 0.5,
             final_metric,
             best_metric: final_metric,

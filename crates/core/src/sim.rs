@@ -26,6 +26,7 @@
 
 use crate::aggregation;
 use crate::config::{AlgorithmSpec, TrainConfig};
+use crate::policy::RoundSignal;
 use crate::report::{EvalPoint, RunReport};
 use crate::tracker::GradientTracker;
 use selsync_data::dataset::Dataset;
@@ -96,6 +97,30 @@ pub struct RoundOutput {
     pub max_delta: f32,
     /// Total data-injection bytes of the round.
     pub injected_bytes: u64,
+}
+
+impl RoundOutput {
+    /// Mean training loss over the round's steps (0 for an empty round).
+    pub fn mean_loss(&self) -> f32 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats.iter().map(|s| s.loss).sum::<f32>() / self.stats.len() as f32
+    }
+
+    /// The cluster-level [`RoundSignal`] a [`crate::policy::DeltaPolicy`] observes for
+    /// this round: the round-maximum `Δ(g_i)`, the mean batch loss, and whether the
+    /// round synchronized. Everything here is merged in worker-index order, so the
+    /// signal — and therefore every policy decision — is bit-identical across thread
+    /// counts.
+    pub fn signal(&self, iteration: usize, synced: bool) -> RoundSignal {
+        RoundSignal {
+            iteration,
+            max_delta: self.max_delta,
+            mean_loss: self.mean_loss(),
+            synced,
+        }
+    }
 }
 
 /// A compute engine of the round pool: one model replica plus reusable batch buffers.
@@ -177,6 +202,9 @@ pub struct Simulator {
     pub workers: Vec<WorkerState>,
     injection: Option<DataInjection>,
     lssr: LssrCounter,
+    /// Step indices at which [`Self::account_step`] recorded a synchronization — the
+    /// run's synchronization schedule (see [`RunReport::sync_rounds`]).
+    sync_rounds: Vec<usize>,
     history: Vec<EvalPoint>,
     compute_time_s: f64,
     comm_time_s: f64,
@@ -227,32 +255,13 @@ impl Simulator {
 
         // IID partitions enumerate positions over the label-grouped ("on-disk") sample
         // order for classification tasks, and the natural order for the LM task.
-        let iid_order: Vec<usize> = match model.task {
-            TaskKind::Classification { .. } => {
-                let mut order: Vec<usize> = (0..train.len()).collect();
-                order.sort_by_key(|&i| (train.targets()[i], i));
-                order
-            }
-            TaskKind::LanguageModel { .. } => (0..train.len()).collect(),
-        };
+        let iid_order = iid_sample_order(&train, &model.task);
 
         let workers = (0..cfg.workers)
             .map(|w| {
                 let (iid_traversal, shard) = match &shards {
                     Some(s) => (None, Some(s[w].clone())),
-                    None => {
-                        // Positions from the DefDP/SelDP partition, mapped through the
-                        // on-disk order and shuffled per worker (a shuffling data loader
-                        // over the worker's partition).
-                        let part =
-                            WorkerPartition::build(cfg.partition, train.len(), cfg.workers, w);
-                        let mut order: Vec<usize> =
-                            part.order().iter().map(|&p| iid_order[p]).collect();
-                        let mut worker_rng = rng::derived(cfg.seed, 0x0D_A7A0 + w as u64);
-                        let perm = rng::permutation(&mut worker_rng, order.len());
-                        order = perm.into_iter().map(|p| order[p]).collect();
-                        (Some(order), None)
-                    }
+                    None => (Some(worker_iid_traversal(cfg, &iid_order, w)), None),
                 };
                 let ewma_factor = (cfg.workers as f32 / 100.0).clamp(0.01, 1.0);
                 WorkerState {
@@ -281,6 +290,7 @@ impl Simulator {
             workers,
             injection,
             lssr: LssrCounter::new(),
+            sync_rounds: Vec::new(),
             history: Vec::new(),
             compute_time_s: 0.0,
             comm_time_s: 0.0,
@@ -829,6 +839,10 @@ impl Simulator {
         self.comm_time_s += comm_s;
         self.bytes_communicated += sync_bytes;
         if synced {
+            // The step index is the count of previously accounted steps — for drivers
+            // that account exactly one step per iteration (all of them today), this is
+            // the training iteration.
+            self.sync_rounds.push(self.lssr.total() as usize);
             self.lssr.record_sync();
         } else {
             self.lssr.record_local();
@@ -888,6 +902,7 @@ impl Simulator {
             iterations: self.cfg.iterations,
             local_steps: self.lssr.local_steps,
             sync_steps: self.lssr.sync_steps,
+            sync_rounds: self.sync_rounds,
             lssr: self.lssr.lssr(),
             final_metric: last.map(|p| p.test_metric).unwrap_or(0.0),
             best_metric: if self.history.is_empty() { 0.0 } else { best },
@@ -915,8 +930,37 @@ impl Simulator {
     }
 }
 
-/// Build the synthetic train/test datasets for the configured workload.
-fn build_datasets(cfg: &TrainConfig) -> (Dataset, Dataset) {
+/// The "on-disk" sample order the IID DefDP/SelDP partitions enumerate positions over:
+/// label-grouped for classification tasks, natural order for the LM task. Shared by the
+/// simulator and the threaded driver so both walk identical batch streams.
+pub fn iid_sample_order(train: &Dataset, task: &TaskKind) -> Vec<usize> {
+    match task {
+        TaskKind::Classification { .. } => {
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            order.sort_by_key(|&i| (train.targets()[i], i));
+            order
+        }
+        TaskKind::LanguageModel { .. } => (0..train.len()).collect(),
+    }
+}
+
+/// The circular mini-batch traversal worker `w` walks when training IID: positions from
+/// its DefDP/SelDP partition, mapped through the on-disk order ([`iid_sample_order`])
+/// and shuffled per worker (a shuffling data loader over the worker's partition). A
+/// pure function of the run configuration — the simulator and the threaded driver both
+/// derive it, so their per-worker batch streams are identical.
+pub fn worker_iid_traversal(cfg: &TrainConfig, iid_order: &[usize], w: usize) -> Vec<usize> {
+    let part = WorkerPartition::build(cfg.partition, iid_order.len(), cfg.workers, w);
+    let order: Vec<usize> = part.order().iter().map(|&p| iid_order[p]).collect();
+    let mut worker_rng = rng::derived(cfg.seed, 0x0D_A7A0 + w as u64);
+    let perm = rng::permutation(&mut worker_rng, order.len());
+    perm.into_iter().map(|p| order[p]).collect()
+}
+
+/// Build the synthetic train/test datasets for the configured workload — the single
+/// source of truth for what every backend trains on (the simulator, the threaded
+/// driver, and the bench harness all share it).
+pub fn build_datasets(cfg: &TrainConfig) -> (Dataset, Dataset) {
     let model = PaperModel::build(cfg.model, cfg.seed);
     match model.task {
         TaskKind::Classification { .. } => {

@@ -9,28 +9,49 @@
 //! tests and the `collectives` criterion bench; it reports metrics but not simulated
 //! time (wall-clock on the host is meaningless for the paper's comparisons).
 //!
+//! **Parity with the simulator.** The driver deliberately mirrors the simulator's
+//! training semantics exactly: the same synthetic datasets ([`crate::sim::build_datasets`]),
+//! the same per-worker shuffled IID traversals ([`crate::sim::worker_iid_traversal`]),
+//! the same optimizer and learning-rate schedule, the same `Δ(g_i)` tracker
+//! configuration, and the same dropout-stream positions (each worker seeks its model's
+//! stochastic layers to the canonical global forward index, a pure function of the
+//! fault schedule). Synchronization averages are combined in **worker-id order** by the
+//! round-keyed elastic rendezvous ([`selsync_comm::rounds`]), bit-identical to the
+//! simulator's `aggregation::average_present_into` — so on a crash-free schedule the
+//! threaded cluster's parameter stream, `Δ(g_i)` stream and therefore its
+//! synchronization *schedule* (`sync_rounds`) are equal to the simulator's. The
+//! scenario parity tests pin this.
+//!
 //! Fault injection: the driver honours the crash windows of
 //! [`crate::conditions::ClusterConditions`]. The schedule is a pure function of
 //! `(worker, iteration)`, so every live thread derives the same membership without
 //! coordination; collective and PS rounds are keyed by the iteration id
 //! ([`selsync_comm::Collective::allgather_flags_among`] /
 //! [`selsync_comm::ParameterServer::sync_round_elastic`]), which makes skipping rounds
-//! safe. A rejoining worker pulls the current global model and restarts its tracker —
-//! in-memory state does not survive a crash. Note that the rejoin pull reads whatever
-//! the PS holds *at that wall-clock moment* (the crashed thread skips its absent
-//! iterations instantly while live workers are still training), exactly as on a real
-//! cluster — so the pulled snapshot, unlike everything schedule-driven, is not
-//! deterministic. The simulator is the bit-reproducible backend; this driver exercises
-//! the real concurrency.
+//! safe. A rejoining worker pulls the current global model and restarts its tracker and
+//! optimizer — in-memory state does not survive a crash. Note that the rejoin pull
+//! reads whatever the PS holds *at that wall-clock moment* (the crashed thread skips
+//! its absent iterations instantly while live workers are still training), exactly as
+//! on a real cluster — so the pulled snapshot, unlike everything schedule-driven, is
+//! not deterministic, and the simulator parity guarantee covers crash-free fault
+//! schedules only.
+//!
+//! δ policies: each worker runs its own replica of the configured
+//! [`crate::policy::DeltaPolicy`]. Fixed and scheduled policies are pure functions of
+//! the iteration, so every replica agrees on every threshold (and the parity guarantee
+//! extends to them); the adaptive policy watches the worker's *own* `Δ(g_i)`/loss
+//! stream — no scalar all-reduce accompanies the 1-bit status exchange — so its
+//! replicas may diverge, which is valid SelSync semantics (per-worker thresholds,
+//! cluster-OR decision) but not schedule-identical to the simulator's cluster-level
+//! policy.
 
 use crate::config::{AlgorithmSpec, TrainConfig};
-use crate::policy::SyncPolicy;
+use crate::policy::{PolicySpec, RoundSignal, SyncPolicy};
+use crate::sim;
 use crate::tracker::{GradStatistic, GradientTracker};
 use selsync_comm::cluster::{run_cluster, ClusterHandles};
-use selsync_data::partition::WorkerPartition;
-use selsync_data::synthetic::{gaussian_mixture, markov_tokens, MixtureSpec, TokenSpec};
 use selsync_metrics::lssr::LssrCounter;
-use selsync_nn::model::{ModelKind, PaperModel, TaskKind};
+use selsync_nn::model::PaperModel;
 use serde::{Deserialize, Serialize};
 
 /// Result of a threaded run, per worker.
@@ -42,6 +63,11 @@ pub struct ThreadedWorkerReport {
     pub sync_steps: u64,
     /// Steps that stayed local.
     pub local_steps: u64,
+    /// The iterations at which this worker's rounds synchronized — the worker's view
+    /// of the cluster synchronization schedule (equal across workers on a crash-free
+    /// schedule, and equal to the simulator's [`crate::report::RunReport::sync_rounds`]
+    /// under a fixed or scheduled δ policy).
+    pub sync_rounds: Vec<usize>,
     /// Final training loss observed by this worker.
     pub final_loss: f32,
     /// L2 distance between this worker's final parameters and the PS global vector
@@ -57,128 +83,165 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         AlgorithmSpec::Bsp => 0.0,
         _ => panic!("threaded driver supports SelSync and BSP only"),
     };
+    assert!(
+        cfg.non_iid_labels_per_worker.is_none(),
+        "threaded driver supports IID training only"
+    );
     let n = cfg.workers;
-    let seed = cfg.seed;
-    let model_kind = cfg.model;
-    let batch = cfg.batch_size;
-    let iterations = cfg.iterations;
-    let partition_scheme = cfg.partition;
-    let train_samples = cfg.train_samples;
-    let ewma_window = cfg.ewma_window;
-    let lr = cfg.lr.base_lr();
-    let conditions = cfg.conditions.clone();
-
-    // Shared immutable dataset built once and shared by reference across threads.
-    let proto = PaperModel::build(model_kind, seed);
-    let dataset = match proto.task {
-        TaskKind::Classification { .. } => {
-            let spec = match model_kind {
-                ModelKind::ResNetLike => MixtureSpec::cifar10_like(train_samples),
-                ModelKind::VggLike => MixtureSpec::cifar100_like(train_samples),
-                _ => MixtureSpec::imagenet_like(train_samples),
-            };
-            gaussian_mixture(&spec, seed ^ 0xDA7A)
-        }
-        TaskKind::LanguageModel { .. } => {
-            markov_tokens(&TokenSpec::wikitext_like(train_samples), seed ^ 0xDA7A)
-        }
+    // `delta_policy` applies to SelSync only (the simulator's BSP driver ignores it
+    // too); a BSP run always uses the fixed δ = 0.
+    let spec = match cfg.algorithm {
+        AlgorithmSpec::SelSync { .. } => cfg
+            .delta_policy
+            .clone()
+            .unwrap_or(PolicySpec::Fixed { delta }),
+        _ => PolicySpec::Fixed { delta },
     };
+    spec.validate().expect("invalid δ-policy configuration");
+
+    // Shared immutable dataset: the *same* train split the simulator uses, built once
+    // and shared by reference across threads.
+    let (train, _test) = sim::build_datasets(cfg);
+    let proto = PaperModel::build(cfg.model, cfg.seed);
+    let iid_order = sim::iid_sample_order(&train, &proto.task);
     let init_params = proto.params_flat();
-    let dataset = &dataset;
 
-    run_cluster(
-        n,
-        init_params.clone(),
-        move |worker, handles: ClusterHandles| {
-            let mut model = PaperModel::build(model_kind, seed);
-            // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
-            let mut params = handles.ps.pull();
-            model.set_params_flat(&params);
-            let mut partition = WorkerPartition::build(partition_scheme, dataset.len(), n, worker);
-            let new_tracker = || {
-                GradientTracker::new(
-                    GradStatistic::SqNorm,
-                    (n as f32 / 100.0).clamp(0.01, 1.0),
-                    ewma_window,
-                )
+    let train = &train;
+    let iid_order = &iid_order;
+    let conditions = &cfg.conditions;
+    let spec = &spec;
+
+    run_cluster(n, init_params, |worker, handles: ClusterHandles| {
+        let mut model = PaperModel::build(cfg.model, cfg.seed);
+        // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
+        let mut params = handles.ps.pull();
+        model.set_params_flat(&params);
+        // The simulator's shuffled circular traversal over this worker's partition.
+        let traversal = sim::worker_iid_traversal(cfg, iid_order, worker);
+        let mut cursor = 0usize;
+        let new_tracker = || {
+            GradientTracker::new(
+                GradStatistic::SqNorm,
+                (n as f32 / 100.0).clamp(0.01, 1.0),
+                cfg.ewma_window,
+            )
+        };
+        let mut tracker = new_tracker();
+        let mut optimizer = cfg.optimizer.build();
+        let mut policy = spec.build();
+        let mut counter = LssrCounter::new();
+        let mut sync_rounds = Vec::new();
+        let mut last_loss = 0.0f32;
+        let mut was_present = true;
+        // The canonical global forward counter of the simulator: rounds issue their
+        // forwards in worker order over the present set, so the count *before* any
+        // iteration — and this worker's position within it — is a pure function of
+        // the fault schedule.
+        let mut forwards_before = 0u64;
+        let mut indices = Vec::with_capacity(cfg.batch_size);
+
+        for it in 0..cfg.iterations {
+            // Crash windows: an absent worker skips the round entirely — no compute, no
+            // collectives. Every live worker derives the same membership from the
+            // deterministic schedule, so the round-keyed rendezvous stays consistent.
+            let present = conditions.present_workers(n, it);
+            let Some(rank) = present.iter().position(|&p| p == worker) else {
+                was_present = false;
+                forwards_before += present.len() as u64;
+                continue;
             };
-            let mut tracker = new_tracker();
-            let policy = SyncPolicy::new(delta);
-            let mut counter = LssrCounter::new();
-            let mut last_loss = 0.0f32;
-            let mut was_present = true;
-
-            for it in 0..iterations {
-                // Crash windows: an absent worker skips the round entirely — no compute, no
-                // collectives. Every live worker derives the same membership from the
-                // deterministic schedule, so the round-keyed rendezvous stays consistent.
-                if !conditions.is_present(worker, it) {
-                    was_present = false;
-                    continue;
-                }
-                let active = conditions.present_workers(n, it).len();
-                if !was_present {
-                    // Rejoin: pull the current global model; tracker state did not survive.
-                    params = handles.ps.pull();
-                    tracker = new_tracker();
-                    was_present = true;
-                }
-
-                let indices = partition.next_batch(batch);
-                let (x, y) = dataset.batch(&indices);
-                model.set_params_flat(&params);
-                let stats = model.forward_backward(&x, &y);
-                last_loss = stats.loss;
-                let grads = model.grads_flat();
-                let delta_g = tracker.update(&grads);
-
-                // Local SGD update (Alg. 1 line 9).
-                for (p, g) in params.iter_mut().zip(grads.iter()) {
-                    *p -= lr * g;
-                }
-
-                // 1-bit status all-gather followed by the cluster decision (lines 10–13),
-                // restricted to the live workers of this iteration.
-                let wants_sync = policy.worker_wants_sync(delta_g);
-                let flags = handles
-                    .collective
-                    .allgather_flags_among(it as u64, worker, wants_sync, active);
-                if flags.iter().any(|&f| f) {
-                    // Push local parameters, pull the average (lines 14–15).
-                    params = handles.ps.sync_round_elastic(it as u64, &params, active);
-                    counter.record_sync();
-                } else {
-                    counter.record_local();
-                }
+            let active = present.len();
+            let forward_index = forwards_before + rank as u64;
+            forwards_before += active as u64;
+            if !was_present {
+                // Rejoin: pull the current global model; tracker, optimizer and the
+                // δ-policy replica did not survive the crash (the simulator restarts
+                // per-worker state the same way).
+                params = handles.ps.pull();
+                tracker = new_tracker();
+                optimizer = cfg.optimizer.build();
+                policy = spec.build();
+                was_present = true;
             }
 
-            let global = handles.ps.pull();
-            let distance: f32 = params
-                .iter()
-                .zip(global.iter())
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f32>()
-                .sqrt();
-            ThreadedWorkerReport {
-                worker,
-                sync_steps: counter.sync_steps,
-                local_steps: counter.local_steps,
-                final_loss: last_loss,
-                distance_to_global: distance,
+            // This round's δ from the worker's policy replica (Phase 0 of the driver).
+            let sync_policy = SyncPolicy::new(policy.delta(it));
+
+            indices.clear();
+            for _ in 0..cfg.batch_size {
+                indices.push(traversal[cursor % traversal.len()]);
+                cursor += 1;
             }
-        },
-    )
+            cursor %= traversal.len();
+            let (x, y) = train.batch(&indices);
+            model.set_params_flat(&params);
+            model.seek_dropout(forward_index);
+            let stats = model.forward_backward(&x, &y);
+            last_loss = stats.loss;
+            let grads = model.grads_flat();
+            let delta_g = tracker.update(&grads);
+
+            // Local update through the configured optimizer at the scheduled learning
+            // rate (Alg. 1 line 9) — identical to the simulator's apply path.
+            let lr = cfg.lr.lr_at(cfg.epoch_of(it), it);
+            optimizer.step(&mut params, &grads, lr);
+
+            // 1-bit status all-gather followed by the cluster decision (lines 10–13),
+            // restricted to the live workers of this iteration.
+            let wants_sync = sync_policy.worker_wants_sync(delta_g);
+            let flags = handles
+                .collective
+                .allgather_flags_among(it as u64, worker, wants_sync, active);
+            let synced = flags.iter().any(|&f| f);
+            if synced {
+                // Push local parameters, pull the average (lines 14–15). The elastic
+                // round combines contributions in worker-id order, so the pulled
+                // average equals the simulator's to the last bit.
+                params = handles
+                    .ps
+                    .sync_round_elastic(it as u64, worker, &params, active);
+                counter.record_sync();
+                sync_rounds.push(it);
+            } else {
+                counter.record_local();
+            }
+            policy.observe(&RoundSignal {
+                iteration: it,
+                max_delta: delta_g,
+                mean_loss: stats.loss,
+                synced,
+            });
+        }
+
+        let global = handles.ps.pull();
+        let distance: f32 = params
+            .iter()
+            .zip(global.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        ThreadedWorkerReport {
+            worker,
+            sync_steps: counter.sync_steps,
+            local_steps: counter.local_steps,
+            sync_rounds,
+            final_loss: last_loss,
+            distance_to_global: distance,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use selsync_nn::model::ModelKind;
 
     fn cfg(delta: f32, workers: usize) -> TrainConfig {
         let mut cfg = TrainConfig::small(ModelKind::ResNetLike, workers);
         cfg.iterations = 25;
         cfg.batch_size = 8;
         cfg.train_samples = 256;
+        cfg.test_samples = 64;
         cfg.algorithm = AlgorithmSpec::selsync(delta);
         cfg
     }
@@ -187,15 +250,20 @@ mod tests {
     fn all_workers_agree_on_the_synchronization_schedule() {
         let reports = run_threaded_selsync(&cfg(0.05, 4));
         assert_eq!(reports.len(), 4);
-        let first = (reports[0].sync_steps, reports[0].local_steps);
+        let first = (
+            reports[0].sync_steps,
+            reports[0].local_steps,
+            reports[0].sync_rounds.clone(),
+        );
         for r in &reports {
             assert_eq!(
-                (r.sync_steps, r.local_steps),
+                (r.sync_steps, r.local_steps, r.sync_rounds.clone()),
                 first,
                 "worker {} diverged",
                 r.worker
             );
             assert_eq!(r.sync_steps + r.local_steps, 25);
+            assert_eq!(r.sync_rounds.len() as u64, r.sync_steps);
         }
     }
 
@@ -207,6 +275,7 @@ mod tests {
         for r in &reports {
             assert_eq!(r.sync_steps, 25);
             assert_eq!(r.local_steps, 0);
+            assert_eq!(r.sync_rounds, (0..25).collect::<Vec<_>>());
             // After a final synchronization every worker equals the PS state.
             assert!(
                 r.distance_to_global < 1e-4,
@@ -222,6 +291,25 @@ mod tests {
         for r in &reports {
             assert_eq!(r.sync_steps, 0);
             assert_eq!(r.local_steps, 25);
+            assert!(r.sync_rounds.is_empty());
+        }
+    }
+
+    #[test]
+    fn scheduled_policy_is_honoured_across_threads() {
+        // δ = 0 for the first 10 iterations (every step synchronizes), then δ huge
+        // (never again): the schedule is a pure function of the iteration, so every
+        // worker replica agrees on it.
+        let mut c = cfg(0.0, 3);
+        c.delta_policy = Some(PolicySpec::Schedule {
+            starts: vec![0, 10],
+            deltas: vec![0.0, 1e9],
+        });
+        let reports = run_threaded_selsync(&c);
+        for r in &reports {
+            assert_eq!(r.sync_rounds, (0..10).collect::<Vec<_>>());
+            assert_eq!(r.sync_steps, 10);
+            assert_eq!(r.local_steps, 15);
         }
     }
 
@@ -242,6 +330,7 @@ mod tests {
         assert_eq!(reports[0].sync_steps, 25);
         assert_eq!(reports[1].sync_steps, 25);
         assert_eq!(reports[2].sync_steps, 15, "crashed worker misses 10 rounds");
+        assert!(!reports[2].sync_rounds.contains(&7));
         for r in &reports {
             assert!(
                 r.distance_to_global < 1e-4,

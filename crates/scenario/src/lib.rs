@@ -21,6 +21,10 @@
 //! * [`runner`] — runs BSP / SSP / FedAvg / local SGD / SelSync over one scenario with
 //!   identical accounting and renders a deterministic comparison report; same scenario
 //!   + same seed ⇒ byte-identical text, so recorded seeds become regression tests.
+//! * [`sweep`] — expands a scenario's `[sweep]` block (δ grid × seed set × policy
+//!   arms, including the Sync-Switch-style adaptive-δ policy) into one SelSync run per
+//!   point, fanned across the deterministic worker pool, and aggregates mean ± spread
+//!   per arm into a single byte-stable comparison report (text and JSON).
 //!
 //! ```
 //! use selsync_scenario::{library, runner};
@@ -41,9 +45,11 @@ pub mod injector;
 pub mod library;
 pub mod runner;
 pub mod schema;
+pub mod sweep;
 pub mod toml;
 
 pub use injector::FaultInjector;
 pub use library::{all_builtin, builtin, BUILTIN_NAMES};
 pub use runner::{run_scenario, ScenarioReport};
-pub use schema::{FaultSpec, NetworkSpec, Scenario};
+pub use schema::{FaultSpec, NetworkSpec, Scenario, SweepSpec};
+pub use sweep::{run_sweep, ArmKind, ArmSummary, SweepReport};

@@ -6,15 +6,17 @@
 //! [`Scenario::to_toml_string`] — `scenario_run --dump <name>` prints them as starting
 //! points for custom files.
 
-use crate::schema::{FaultSpec, Scenario};
+use crate::schema::{FaultSpec, Scenario, SweepSpec};
+use selsync::policy::PolicySpec;
 
 /// Names of the built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 5] = [
+pub const BUILTIN_NAMES: [&str; 6] = [
     "steady",
     "transient-straggler",
     "degraded-network",
     "crash-rejoin",
     "heterogeneous-fleet",
+    "elastic-churn",
 ];
 
 /// Look up a built-in scenario by name.
@@ -25,6 +27,7 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "degraded-network" => Some(degraded_network()),
         "crash-rejoin" => Some(crash_rejoin()),
         "heterogeneous-fleet" => Some(heterogeneous_fleet()),
+        "elastic-churn" => Some(elastic_churn()),
         _ => None,
     }
 }
@@ -105,6 +108,52 @@ pub fn heterogeneous_fleet() -> Scenario {
     let mut s = Scenario::base("heterogeneous-fleet", 6, 240);
     s.description = "Three device generations: speeds [1.0, 1.0, 1.15, 1.15, 1.3, 1.5].".into();
     s.heterogeneity = vec![1.0, 1.0, 1.15, 1.15, 1.3, 1.5];
+    s
+}
+
+/// Rolling worker churn: one worker is away (and later rejoins stale) at almost every
+/// phase of the run, plus a mid-run bandwidth dip. The time-varying regime the
+/// adaptive-δ policy targets: every rejoin pulls the PS global — stale under sparse
+/// synchronization — and restarts the worker's `Δ(g)` tracker, producing the signal
+/// spikes the policy reacts to. Carries the default sweep block (δ grid × 3 seeds ×
+/// the adaptive arm), so `scenario_sweep elastic-churn` compares the arms directly.
+pub fn elastic_churn() -> Scenario {
+    let mut s = Scenario::base("elastic-churn", 6, 240);
+    s.description =
+        "Rolling churn: workers 2..5 each crash for 30 iterations in turn; bandwidth dips mid-run."
+            .into();
+    s.faults = vec![
+        FaultSpec::Crash {
+            worker: 2,
+            start: 40,
+            rejoin: Some(70),
+        },
+        FaultSpec::Crash {
+            worker: 3,
+            start: 90,
+            rejoin: Some(120),
+        },
+        FaultSpec::Crash {
+            worker: 4,
+            start: 140,
+            rejoin: Some(170),
+        },
+        FaultSpec::Crash {
+            worker: 5,
+            start: 190,
+            rejoin: Some(220),
+        },
+        FaultSpec::Bandwidth {
+            start: 100,
+            duration: 60,
+            factor: 0.3,
+        },
+    ];
+    s.sweep = Some(SweepSpec {
+        deltas: vec![0.0, 0.05, 0.15, 0.3],
+        seeds: vec![42, 43, 44],
+        policies: vec![PolicySpec::adaptive_default()],
+    });
     s
 }
 

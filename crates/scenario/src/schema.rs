@@ -9,8 +9,15 @@
 use crate::toml::{self, Document, Table, Value};
 use selsync::conditions::{ClusterConditions, FaultEvent};
 use selsync::config::TrainConfig;
+use selsync::policy::PolicySpec;
 use selsync_comm::NetworkModel;
 use selsync_nn::model::ModelKind;
+
+/// Serialize the shortest f32 representation (a raw f32→f64 cast would print 0.3 as
+/// 0.30000001192092896); parsing back through f64 reproduces the f32 exactly.
+fn f32_shortest(x: f32) -> f64 {
+    format!("{x}").parse().unwrap_or(x as f64)
+}
 
 /// Declarative description of a fault, mirroring
 /// [`selsync::conditions::FaultEvent`] with file-friendly field names and units.
@@ -104,6 +111,61 @@ impl FaultSpec {
     }
 }
 
+/// The sweep block of a scenario: a δ grid × seed set × extra policy arms, expanded by
+/// [`crate::sweep::run_sweep`] into one SelSync run per (arm, seed) and aggregated into
+/// a single mean ± spread comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Fixed-δ arms (each entry is one `SelSync(d=…)` arm).
+    pub deltas: Vec<f32>,
+    /// Seeds every arm runs at (the spread axis).
+    pub seeds: Vec<u64>,
+    /// Additional policy arms (scheduled / adaptive δ).
+    pub policies: Vec<PolicySpec>,
+}
+
+impl SweepSpec {
+    /// The default grid used when a scenario has no `[sweep]` block: a small δ grid
+    /// around the paper's operating points, three seeds derived from the scenario
+    /// seed, and the default adaptive arm.
+    pub fn default_grid(seed: u64) -> Self {
+        SweepSpec {
+            deltas: vec![0.0, 0.05, 0.15, 0.3, 0.6],
+            seeds: vec![seed, seed.wrapping_add(1), seed.wrapping_add(2)],
+            policies: vec![PolicySpec::adaptive_default()],
+        }
+    }
+
+    /// Total number of arms (fixed δs plus policies).
+    pub fn arm_count(&self) -> usize {
+        self.deltas.len() + self.policies.len()
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arm_count() == 0 {
+            return Err("sweep needs at least one arm (a delta or a policy)".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("sweep needs at least one seed".into());
+        }
+        // Seeds are serialized as TOML integers (i64); larger values could not
+        // round-trip through the codec.
+        if self.seeds.iter().any(|&s| s > i64::MAX as u64) {
+            return Err("sweep seeds must fit a TOML integer (i64)".into());
+        }
+        for &d in &self.deltas {
+            if !(d >= 0.0 && d.is_finite()) {
+                return Err("sweep deltas must be finite non-negative numbers".into());
+            }
+        }
+        for p in &self.policies {
+            p.validate().map_err(|e| format!("sweep policy: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// Base network description in file-friendly units.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
@@ -164,6 +226,9 @@ pub struct Scenario {
     pub heterogeneity: Vec<f64>,
     /// Timed fault schedule.
     pub faults: Vec<FaultSpec>,
+    /// Optional sweep block (δ grid × seed set × policy arms); `None` means
+    /// [`crate::sweep::run_sweep`] falls back to [`SweepSpec::default_grid`].
+    pub sweep: Option<SweepSpec>,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -211,6 +276,109 @@ fn get_str<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("{ctx}: {key} must be a string"))
 }
 
+fn get_f32_array(t: &Table, key: &str, ctx: &str) -> Result<Vec<f32>, String> {
+    t.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: {key} must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_float()
+                .map(|f| f as f32)
+                .ok_or_else(|| format!("{ctx}: {key} entries must be numbers"))
+        })
+        .collect()
+}
+
+fn get_usize_array(t: &Table, key: &str, ctx: &str) -> Result<Vec<usize>, String> {
+    t.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: {key} must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| format!("{ctx}: {key} entries must be non-negative integers"))
+        })
+        .collect()
+}
+
+/// Serialize one policy arm as a `[[policy]]` table.
+fn policy_to_table(policy: &PolicySpec) -> Table {
+    let mut t = Table::new();
+    match policy {
+        PolicySpec::Fixed { delta } => {
+            t.set("kind", Value::Str("fixed".into()));
+            t.set("delta", Value::Float(f32_shortest(*delta)));
+        }
+        PolicySpec::Schedule { starts, deltas } => {
+            t.set("kind", Value::Str("schedule".into()));
+            t.set(
+                "starts",
+                Value::Array(starts.iter().map(|&s| Value::Int(s as i64)).collect()),
+            );
+            t.set(
+                "deltas",
+                Value::Array(
+                    deltas
+                        .iter()
+                        .map(|&d| Value::Float(f32_shortest(d)))
+                        .collect(),
+                ),
+            );
+        }
+        PolicySpec::Adaptive {
+            delta_explore,
+            delta_exploit,
+            factor,
+            warmup,
+            settle,
+            patience,
+            spike,
+        } => {
+            t.set("kind", Value::Str("adaptive".into()));
+            t.set("delta_explore", Value::Float(f32_shortest(*delta_explore)));
+            t.set("delta_exploit", Value::Float(f32_shortest(*delta_exploit)));
+            t.set("factor", Value::Float(f32_shortest(*factor)));
+            t.set("warmup", Value::Int(*warmup as i64));
+            t.set("settle", Value::Float(f32_shortest(*settle)));
+            t.set("patience", Value::Int(*patience as i64));
+            t.set("spike", Value::Float(f32_shortest(*spike)));
+        }
+    }
+    t
+}
+
+/// Parse one `[[policy]]` table.
+fn policy_from_table(t: &Table, ctx: &str) -> Result<PolicySpec, String> {
+    let policy = match get_str(t, "kind", ctx)? {
+        "fixed" => PolicySpec::Fixed {
+            delta: get_f64(t, "delta", ctx)? as f32,
+        },
+        "schedule" => PolicySpec::Schedule {
+            starts: get_usize_array(t, "starts", ctx)?,
+            deltas: get_f32_array(t, "deltas", ctx)?,
+        },
+        "adaptive" => PolicySpec::Adaptive {
+            delta_explore: get_f64(t, "delta_explore", ctx)? as f32,
+            delta_exploit: get_f64(t, "delta_exploit", ctx)? as f32,
+            factor: get_f64(t, "factor", ctx)? as f32,
+            warmup: get_usize(t, "warmup", ctx)?,
+            settle: get_f64(t, "settle", ctx)? as f32,
+            patience: get_usize(t, "patience", ctx)?,
+            spike: get_f64(t, "spike", ctx)? as f32,
+        },
+        other => {
+            return Err(format!(
+                "{ctx}: unknown policy kind {other:?} (expected fixed | schedule | adaptive)"
+            ))
+        }
+    };
+    policy.validate().map_err(|e| format!("{ctx}: {e}"))?;
+    Ok(policy)
+}
+
 impl Scenario {
     /// A minimal steady scenario with the given shape; callers adjust fields from here.
     pub fn base(name: &str, workers: usize, iterations: usize) -> Self {
@@ -230,6 +398,7 @@ impl Scenario {
             network: NetworkSpec::paper(),
             heterogeneity: Vec::new(),
             faults: Vec::new(),
+            sweep: None,
         }
     }
 
@@ -287,6 +456,9 @@ impl Scenario {
         if !(self.delta >= 0.0 && self.delta.is_finite()) {
             return Err("delta must be a finite non-negative number".into());
         }
+        if self.seed > i64::MAX as u64 {
+            return Err("seed must fit a TOML integer (i64)".into());
+        }
         // Written so NaN fails the checks (`NaN > 0.0` and `NaN >= 0.0` are false).
         let network_ok = self.network.bandwidth_gbps > 0.0
             && self.network.bandwidth_gbps.is_finite()
@@ -294,6 +466,9 @@ impl Scenario {
             && self.network.latency_ms.is_finite();
         if !network_ok {
             return Err("network needs finite positive bandwidth and non-negative latency".into());
+        }
+        if let Some(sweep) = &self.sweep {
+            sweep.validate()?;
         }
         self.to_conditions().validate(self.workers, self.iterations)
     }
@@ -313,18 +488,32 @@ impl Scenario {
         s.set("test_samples", Value::Int(self.test_samples as i64));
         s.set("eval_every", Value::Int(self.eval_every as i64));
         s.set("eval_samples", Value::Int(self.eval_samples as i64));
-        // Serialize the shortest f32 representation (a raw f32→f64 cast would print
-        // 0.3 as 0.30000001192092896); parsing back through f64 reproduces the f32.
-        let delta_shortest: f64 = format!("{}", self.delta)
-            .parse()
-            .unwrap_or(self.delta as f64);
-        s.set("delta", Value::Float(delta_shortest));
+        s.set("delta", Value::Float(f32_shortest(self.delta)));
         doc.sections.push(("scenario".to_string(), s));
 
         let mut net = Table::new();
         net.set("bandwidth_gbps", Value::Float(self.network.bandwidth_gbps));
         net.set("latency_ms", Value::Float(self.network.latency_ms));
         doc.sections.push(("network".to_string(), net));
+
+        if let Some(sweep) = &self.sweep {
+            let mut sw = Table::new();
+            sw.set(
+                "deltas",
+                Value::Array(
+                    sweep
+                        .deltas
+                        .iter()
+                        .map(|&d| Value::Float(f32_shortest(d)))
+                        .collect(),
+                ),
+            );
+            sw.set(
+                "seeds",
+                Value::Array(sweep.seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+            );
+            doc.sections.push(("sweep".to_string(), sw));
+        }
 
         if !self.heterogeneity.is_empty() {
             let mut h = Table::new();
@@ -389,6 +578,13 @@ impl Scenario {
                 }
             }
             doc.table_arrays.push(("fault".to_string(), t));
+        }
+
+        if let Some(sweep) = &self.sweep {
+            for policy in &sweep.policies {
+                doc.table_arrays
+                    .push(("policy".to_string(), policy_to_table(policy)));
+            }
         }
         toml::serialize(&doc)
     }
@@ -483,6 +679,38 @@ impl Scenario {
             faults.push(fault);
         }
 
+        let mut policies = Vec::new();
+        for (i, t) in doc.tables_named("policy").into_iter().enumerate() {
+            policies.push(policy_from_table(t, &format!("[[policy]] #{i}"))?);
+        }
+        let sweep = match doc.section("sweep") {
+            Some(sw) => {
+                let ctx = "[sweep]";
+                let deltas = match sw.get("deltas") {
+                    Some(_) => get_f32_array(sw, "deltas", ctx)?,
+                    None => Vec::new(),
+                };
+                let sweep_seeds = match sw.get("seeds") {
+                    Some(_) => get_usize_array(sw, "seeds", ctx)?
+                        .into_iter()
+                        .map(|s| s as u64)
+                        .collect(),
+                    None => vec![seed],
+                };
+                Some(SweepSpec {
+                    deltas,
+                    seeds: sweep_seeds,
+                    policies,
+                })
+            }
+            None if !policies.is_empty() => Some(SweepSpec {
+                deltas: Vec::new(),
+                seeds: vec![seed],
+                policies,
+            }),
+            None => None,
+        };
+
         let scenario = Scenario {
             name,
             description,
@@ -499,6 +727,7 @@ impl Scenario {
             network,
             heterogeneity,
             faults,
+            sweep,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -541,6 +770,18 @@ mod tests {
                 extra_ms: 15.0,
             },
         ];
+        s.sweep = Some(SweepSpec {
+            deltas: vec![0.0, 0.1, 0.3],
+            seeds: vec![42, 43],
+            policies: vec![
+                PolicySpec::adaptive_default(),
+                PolicySpec::Schedule {
+                    starts: vec![0, 50],
+                    deltas: vec![0.0, 0.5],
+                },
+                PolicySpec::Fixed { delta: 0.25 },
+            ],
+        });
         s
     }
 
@@ -608,6 +849,57 @@ mod tests {
         let mut s5 = sample();
         s5.network.latency_ms = f64::INFINITY;
         assert!(s5.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_block_round_trips_and_validates() {
+        let s = sample();
+        let text = s.to_toml_string();
+        assert!(text.contains("[sweep]"), "{text}");
+        assert!(text.contains("[[policy]]"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s.sweep, parsed.sweep);
+
+        // Policies without a [sweep] section still form a sweep over the scenario seed.
+        let mut no_section = s.clone();
+        no_section.sweep = Some(SweepSpec {
+            deltas: Vec::new(),
+            seeds: vec![42],
+            policies: vec![PolicySpec::adaptive_default()],
+        });
+        let text = no_section.to_toml_string();
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(no_section.sweep, parsed.sweep);
+
+        // Broken sweeps are rejected.
+        let mut bad = s.clone();
+        bad.sweep = Some(SweepSpec {
+            deltas: vec![f32::NAN],
+            seeds: vec![42],
+            policies: Vec::new(),
+        });
+        assert!(bad.validate().is_err());
+        let mut empty = s.clone();
+        empty.sweep = Some(SweepSpec {
+            deltas: Vec::new(),
+            seeds: vec![42],
+            policies: Vec::new(),
+        });
+        assert!(empty.validate().is_err());
+        assert!(Scenario::from_toml_str(
+            &s.to_toml_string()
+                .replace("kind = \"adaptive\"", "kind = \"oracle\"")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn default_grid_is_valid() {
+        let grid = SweepSpec::default_grid(42);
+        grid.validate().unwrap();
+        assert!(grid.arm_count() >= 3);
+        assert!(grid.deltas.contains(&0.0), "needs the BSP-equivalent arm");
+        assert_eq!(grid.seeds.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Adaptive-δ policy demo: the Sync-Switch-style policy against fixed-δ arms on the
+//! `elastic-churn` built-in scenario (rolling worker churn — the time-varying regime
+//! the policy targets).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_delta
+//! ```
+//!
+//! The adaptive policy synchronizes every round through the initial descent, relaxes
+//! to δ = 0.5 once the loss EWMA settles, and re-enters the eager regime whenever a
+//! round's `Δ(g)` spikes above 2.5× its running level (each rejoining worker restarts
+//! its tracker, producing exactly such a spike). The printed sweep report is
+//! deterministic: run it twice and diff the output.
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::AlgorithmSpec;
+use selsync_repro::core::policy::PolicySpec;
+use selsync_repro::scenario::{builtin, sweep};
+
+/// Compress a sync schedule into contiguous ranges for printing.
+fn ranges(rounds: &[usize]) -> String {
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < rounds.len() {
+        let start = rounds[i];
+        let mut end = start;
+        while i + 1 < rounds.len() && rounds[i + 1] == end + 1 {
+            i += 1;
+            end = rounds[i];
+        }
+        parts.push(if start == end {
+            format!("{start}")
+        } else {
+            format!("{start}..{end}")
+        });
+        i += 1;
+    }
+    format!("[{}]", parts.join(", "))
+}
+
+fn main() {
+    let scenario = builtin("elastic-churn").expect("built-in scenario");
+
+    // One adaptive run: where did it choose to synchronize?
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+    let report = algorithms::run(&cfg);
+    println!("# one adaptive-δ run on {}", scenario.name);
+    println!("arm:         {}", report.algorithm);
+    println!(
+        "sync steps:  {} of {} (LSSR {:.3})",
+        report.sync_steps, report.iterations, report.lssr
+    );
+    println!("sync rounds: {}", ranges(&report.sync_rounds));
+    println!(
+        "final {}: {:.3}\n",
+        if report.higher_is_better {
+            "accuracy"
+        } else {
+            "perplexity"
+        },
+        report.final_metric
+    );
+
+    // The full sweep: δ grid × seeds × the adaptive arm, aggregated mean ± spread.
+    let sweep_report = sweep::run_sweep(&scenario).expect("valid sweep");
+    print!("{}", sweep_report.render());
+}

@@ -1,0 +1,146 @@
+//! Threaded-driver scenario parity: the thread-per-worker SelSync driver over the
+//! *real* parameter server and collectives must produce the same synchronization
+//! schedule (the rounds where sync fired) as the deterministic simulator, under the
+//! same scenario fault schedule and seed.
+//!
+//! This holds because the threaded driver mirrors the simulator's training semantics
+//! exactly — same datasets, same per-worker shuffled traversals, same optimizer and
+//! learning-rate schedule, same tracker configuration, same dropout-stream positions —
+//! and because the elastic PS round combines contributions in worker-id order, making
+//! the synchronized averages bit-identical to the simulator's. Crash faults are
+//! excluded: a rejoining thread's PS pull reads wall-clock state (real-cluster
+//! semantics), which is deliberately not deterministic.
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::core::policy::PolicySpec;
+use selsync_repro::core::threaded::run_threaded_selsync;
+use selsync_repro::scenario::{builtin, FaultSpec, Scenario};
+
+/// A scaled-down copy of a built-in scenario (fast enough for the default suite),
+/// with fault windows rescaled into the shrunk iteration range.
+fn scaled(name: &str) -> Scenario {
+    let mut s = builtin(name).expect("built-in scenario");
+    let ratio = 30.0 / s.iterations as f64;
+    for fault in &mut s.faults {
+        match fault {
+            FaultSpec::Slowdown {
+                start, duration, ..
+            }
+            | FaultSpec::Bandwidth {
+                start, duration, ..
+            }
+            | FaultSpec::Latency {
+                start, duration, ..
+            } => {
+                *start = (*start as f64 * ratio) as usize;
+                *duration = ((*duration as f64 * ratio) as usize).max(1);
+            }
+            FaultSpec::Crash { .. } => panic!("parity scenarios must be crash-free"),
+        }
+    }
+    s.iterations = 30;
+    s.eval_every = 10;
+    s.train_samples = 512;
+    s.test_samples = 128;
+    s.eval_samples = 128;
+    s.batch_size = 8;
+    s.sweep = None;
+    s
+}
+
+fn assert_parity(cfg: &TrainConfig, label: &str) {
+    let sim = algorithms::run(cfg);
+    let threaded = run_threaded_selsync(cfg);
+    assert_eq!(threaded.len(), cfg.workers);
+    for worker in &threaded {
+        assert_eq!(
+            worker.sync_rounds, sim.sync_rounds,
+            "{label}: worker {} sync schedule diverged from the simulator's \
+             (sim synced {} of {} rounds)",
+            worker.worker, sim.sync_steps, cfg.iterations
+        );
+        assert_eq!(worker.sync_steps, sim.sync_steps, "{label}");
+    }
+}
+
+/// δ chosen so the scaled scenarios produce a *mixed* schedule (some rounds sync,
+/// some stay local) — the regime where parity is non-trivial. Pinned by the
+/// assertions inside the tests.
+const MIXED_DELTA: f32 = 0.055;
+
+#[test]
+fn steady_scenario_sync_schedule_matches_the_simulator() {
+    let scenario = scaled("steady");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    let sim = algorithms::run(&cfg);
+    assert!(
+        sim.sync_steps > 0 && sim.local_steps > 0,
+        "δ={MIXED_DELTA} must give a mixed schedule for the parity to be meaningful \
+         (got {} sync / {} local)",
+        sim.sync_steps,
+        sim.local_steps
+    );
+    assert_parity(&cfg, "steady");
+}
+
+#[test]
+fn transient_straggler_scenario_sync_schedule_matches_the_simulator() {
+    // The slowdown affects simulated timing only, never values — the threaded driver
+    // (which has no notion of simulated time) must still reproduce the schedule.
+    let scenario = scaled("transient-straggler");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    assert_parity(&cfg, "transient-straggler");
+}
+
+#[test]
+fn degraded_network_scenario_sync_schedule_matches_the_simulator() {
+    let scenario = scaled("degraded-network");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    assert_parity(&cfg, "degraded-network");
+}
+
+#[test]
+fn scheduled_policy_sync_schedule_matches_the_simulator() {
+    // A scheduled δ policy is a pure function of the iteration, so every threaded
+    // worker replica agrees with the simulator's cluster-level policy.
+    let scenario = scaled("steady");
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    cfg.delta_policy = Some(PolicySpec::Schedule {
+        starts: vec![0, 8, 20],
+        deltas: vec![0.0, 1e9, MIXED_DELTA],
+    });
+    let sim = algorithms::run(&cfg);
+    // The schedule's stages are visible in the sync schedule: the first 8 rounds all
+    // sync (δ=0), rounds 8..20 never do (δ huge).
+    assert!(
+        sim.sync_rounds
+            .iter()
+            .take(8)
+            .eq([0, 1, 2, 3, 4, 5, 6, 7].iter()),
+        "first stage must synchronize every round: {:?}",
+        sim.sync_rounds
+    );
+    assert!(sim.sync_rounds.iter().all(|&r| !(8..20).contains(&r)));
+    assert_parity(&cfg, "steady/scheduled-policy");
+}
+
+#[test]
+fn threaded_final_state_matches_the_simulator_after_a_final_sync() {
+    // Under δ=0 the last round synchronizes, so the threaded workers' final parameters
+    // (= the PS global) must equal the simulator's synchronized global average —
+    // parity extends beyond the schedule to the parameter stream itself.
+    let scenario = scaled("steady");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(0.0));
+    let sim = algorithms::run(&cfg);
+    assert_eq!(sim.sync_steps as usize, cfg.iterations);
+    let threaded = run_threaded_selsync(&cfg);
+    for worker in &threaded {
+        assert_eq!(
+            worker.distance_to_global, 0.0,
+            "worker {} must end exactly on the PS state",
+            worker.worker
+        );
+        assert_eq!(worker.sync_rounds, sim.sync_rounds);
+    }
+}

@@ -1,0 +1,137 @@
+//! Determinism of the new δ-policy and sweep paths: the sweep report and the
+//! adaptive-δ run must be byte-identical across `SELSYNC_THREADS` values, and a
+//! recorded-seed regression pins the adaptive arm's synchronization schedule.
+
+use selsync_repro::core::algorithms;
+use selsync_repro::core::config::AlgorithmSpec;
+use selsync_repro::core::policy::PolicySpec;
+use selsync_repro::core::sim::with_sequential_rounds;
+use selsync_repro::core::TrainConfig;
+use selsync_repro::nn::model::ModelKind;
+use selsync_repro::scenario::{builtin, sweep, ArmKind, Scenario, SweepSpec};
+use selsync_repro::tensor::par;
+
+fn adaptive_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+    cfg.iterations = 40;
+    cfg.eval_every = 10;
+    cfg.train_samples = 512;
+    cfg.test_samples = 128;
+    cfg.eval_samples = 128;
+    cfg.batch_size = 8;
+    cfg.algorithm = AlgorithmSpec::selsync(0.3);
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+    cfg
+}
+
+fn tiny_sweep_scenario() -> Scenario {
+    let mut s = Scenario::base("sweep-determinism", 3, 24);
+    s.train_samples = 384;
+    s.test_samples = 96;
+    s.eval_samples = 96;
+    s.batch_size = 8;
+    s.eval_every = 6;
+    s.sweep = Some(SweepSpec {
+        deltas: vec![0.0, 0.1],
+        seeds: vec![42, 43],
+        policies: vec![PolicySpec::adaptive_default()],
+    });
+    s
+}
+
+#[test]
+fn adaptive_run_is_byte_identical_across_thread_counts() {
+    let cfg = adaptive_cfg();
+    let reference = with_sequential_rounds(|| par::with_threads(1, || algorithms::run(&cfg)));
+    let reference = format!("{reference:?}");
+    for threads in [1usize, 2, 4] {
+        let got = par::with_threads(threads, || algorithms::run(&cfg));
+        assert_eq!(
+            format!("{got:?}"),
+            reference,
+            "adaptive-δ run at {threads} threads diverged from the sequential path"
+        );
+    }
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_thread_counts() {
+    let scenario = tiny_sweep_scenario();
+    let one = par::with_threads(1, || {
+        let r = sweep::run_sweep(&scenario).unwrap();
+        (r.render(), r.to_json())
+    });
+    for threads in [2usize, 4] {
+        let many = par::with_threads(threads, || {
+            let r = sweep::run_sweep(&scenario).unwrap();
+            (r.render(), r.to_json())
+        });
+        assert_eq!(one.0, many.0, "sweep text at {threads} threads");
+        assert_eq!(one.1, many.1, "sweep JSON at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_is_reproducible_across_reruns_with_fixed_seeds() {
+    let scenario = tiny_sweep_scenario();
+    let a = sweep::run_sweep(&scenario).unwrap();
+    let b = sweep::run_sweep(&scenario).unwrap();
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn recorded_seed_adaptive_sync_schedule_regression() {
+    // The adaptive arm's synchronization schedule at the recorded configuration
+    // (ResNet-like, 4 workers, seed 42): dense during the eager descent, empty once
+    // the loss settles. Any change to the policy's switching logic, the Δ(g)/loss
+    // signals, or the simulator's round semantics shows up here first.
+    let report = algorithms::run(&adaptive_cfg());
+    let expected: Vec<usize> = (0..=22).collect();
+    assert_eq!(
+        report.sync_rounds, expected,
+        "adaptive arm sync schedule changed"
+    );
+    assert_eq!(
+        report.algorithm,
+        "SelSync(adaptive(0->0.5,warmup=8,settle=0.05x4,spike=2.5),PA)"
+    );
+}
+
+#[test]
+#[ignore = "slow behavioral test; run with --ignored"]
+fn adaptive_arm_beats_the_best_fixed_delta_on_elastic_churn() {
+    // The sweep acceptance criterion: on the built-in time-varying elastic-churn
+    // scenario, the adaptive-δ arm reaches the target accuracy (the δ=0 arm's final
+    // metric, 0.5% tolerance) on every seed, spending fewer synchronizations to get
+    // there than the best fixed δ that also reaches it on every seed.
+    let scenario = builtin("elastic-churn").expect("built-in scenario");
+    let report = sweep::run_sweep(&scenario).expect("sweep runs");
+
+    let adaptive = report
+        .arms
+        .iter()
+        .find(|a| matches!(a.kind, ArmKind::Policy(PolicySpec::Adaptive { .. })))
+        .expect("elastic-churn carries the adaptive arm");
+    assert_eq!(
+        adaptive.reached_target,
+        report.seeds.len(),
+        "adaptive arm must reach the target accuracy on every seed"
+    );
+
+    let best_fixed = report
+        .best_fixed()
+        .expect("some fixed δ reaches the target on every seed");
+    let fixed_syncs = report.arms[best_fixed]
+        .syncs_to_target
+        .expect("best fixed reached the target");
+    let adaptive_syncs = adaptive
+        .syncs_to_target
+        .expect("adaptive reached the target");
+    assert!(
+        adaptive_syncs < fixed_syncs,
+        "adaptive arm must reach the target with fewer syncs than the best fixed δ: \
+         adaptive {adaptive_syncs} vs {} {fixed_syncs}",
+        report.arms[best_fixed].label
+    );
+}
