@@ -9,6 +9,10 @@
 //! scenario_sweep degraded-network --seed 7         # rebase the scenario + sweep seeds
 //! scenario_sweep degraded-network --out report.md  # also write the text report
 //! scenario_sweep degraded-network --json sweep.json# also write the JSON report
+//! scenario_sweep elastic-churn --threaded-schedule ts.json
+//!                                                  # also run the threaded driver's
+//!                                                  # adaptive arm and archive its
+//!                                                  # sync schedule + simulator parity
 //! ```
 //!
 //! Scenarios without a `[sweep]` block use the default grid (δ ∈ {0, 0.05, 0.15, 0.3,
@@ -16,16 +20,91 @@
 //! seeds ⇒ byte-identical report and JSON, for every `SELSYNC_THREADS` value — piping
 //! the output to a file and diffing against a recorded run is a regression test.
 
+use selsync::algorithms;
+use selsync::config::AlgorithmSpec;
+use selsync::policy::PolicySpec;
+use selsync::threaded::run_threaded_selsync;
 use selsync_scenario::{builtin, library, sweep, Scenario, BUILTIN_NAMES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario_sweep <builtin-name | file.toml> [--quick] [--seed N] [--out FILE] [--json FILE]\n\
+        "usage: scenario_sweep <builtin-name | file.toml> [--quick] [--seed N] [--out FILE] \
+         [--json FILE] [--threaded-schedule FILE]\n\
          \x20      scenario_sweep --list\n\
          built-ins: {}",
         BUILTIN_NAMES.join(", ")
     );
     std::process::exit(2);
+}
+
+/// Run the scenario's adaptive arm (its first adaptive `[[policy]]`, or the default
+/// adaptive policy) through the *threaded* driver and the simulator, and render a
+/// deterministic JSON record of both synchronization schedules plus the parity
+/// verdict (every worker's threaded schedule == the simulator's restricted to that
+/// worker's present rounds). Archived by CI next to the sweep report so the threaded
+/// adaptive schedule is comparable PR over PR.
+fn threaded_schedule_json(scenario: &Scenario) -> String {
+    let policy = scenario
+        .sweep
+        .as_ref()
+        .and_then(|s| {
+            s.policies
+                .iter()
+                .find(|p| matches!(p, PolicySpec::Adaptive { .. }))
+        })
+        .cloned()
+        .unwrap_or_else(PolicySpec::adaptive_default);
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
+    cfg.delta_policy = Some(policy.clone());
+
+    let sim = algorithms::run(&cfg);
+    let workers = run_threaded_selsync(&cfg);
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let fmt_rounds = |rounds: &[usize]| -> String {
+        let items: Vec<String> = rounds.iter().map(|r| r.to_string()).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let parity = workers.iter().all(|w| {
+        let expected: Vec<usize> = sim
+            .sync_rounds
+            .iter()
+            .copied()
+            .filter(|&round| cfg.conditions.is_present(w.worker, round))
+            .collect();
+        w.sync_rounds == expected
+    });
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", esc(&scenario.name)));
+    out.push_str(&format!("  \"policy\": \"{}\",\n", esc(&policy.label())));
+    out.push_str(&format!("  \"seed\": {},\n", scenario.seed));
+    out.push_str(&format!("  \"iterations\": {},\n", cfg.iterations));
+    out.push_str(&format!(
+        "  \"rejoin_pull\": \"{}\",\n",
+        match cfg.rejoin_pull {
+            selsync::config::RejoinPull::WallClock => "wall-clock",
+            selsync::config::RejoinPull::Scheduled => "scheduled",
+        }
+    ));
+    out.push_str(&format!(
+        "  \"simulator_sync_rounds\": {},\n",
+        fmt_rounds(&sim.sync_rounds)
+    ));
+    out.push_str("  \"workers\": [\n");
+    for (i, w) in workers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"worker\": {}, \"sync_rounds\": {}}}{}\n",
+            w.worker,
+            fmt_rounds(&w.sync_rounds),
+            if i + 1 == workers.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"parity_with_simulator\": {parity}\n"));
+    out.push_str("}\n");
+    out
 }
 
 fn load(spec: &str) -> Result<Scenario, String> {
@@ -61,6 +140,7 @@ fn main() {
     let mut quick = false;
     let mut out_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut threaded_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,6 +170,10 @@ fn main() {
                 json_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
+            "--threaded-schedule" => {
+                threaded_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -114,6 +198,12 @@ fn main() {
     }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = threaded_path {
+        if let Err(e) = std::fs::write(&path, threaded_schedule_json(&scenario)) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
         }

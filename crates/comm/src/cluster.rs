@@ -36,7 +36,18 @@ where
     T: Send,
     F: Fn(usize, ClusterHandles) -> T + Send + Sync,
 {
-    let handles = make_handles(world_size, initial_global);
+    run_cluster_with(make_handles(world_size, initial_global), f)
+}
+
+/// [`run_cluster`] over pre-built handles — for drivers that need to configure the
+/// shared parameter server (e.g. enable the scheduled-snapshot ring for deterministic
+/// rejoin pulls) before the worker threads start.
+pub fn run_cluster_with<T, F>(handles: ClusterHandles, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, ClusterHandles) -> T + Send + Sync,
+{
+    let world_size = handles.world_size;
     std::thread::scope(|scope| {
         let joins: Vec<_> = (0..world_size)
             .map(|w| {

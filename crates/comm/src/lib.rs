@@ -30,6 +30,6 @@ pub mod netmodel;
 pub mod ps;
 pub mod rounds;
 
-pub use collective::Collective;
+pub use collective::{Collective, ScalarOp};
 pub use netmodel::NetworkModel;
 pub use ps::ParameterServer;

@@ -15,6 +15,35 @@
 use crate::rounds::ElasticRounds;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+/// Default depth of the scheduled-snapshot ring enabled by
+/// [`ParameterServer::enable_scheduled_snapshots`]. Synchronized rounds progress
+/// roughly in lockstep (every present worker passes the same status all-gather), so a
+/// handful of retained rounds is far more than any rejoiner can lag behind.
+pub const DEFAULT_SNAPSHOT_DEPTH: usize = 8;
+
+/// Round-keyed ring of the globals produced by completed elastic synchronization
+/// rounds, plus the pre-training initial global as a permanent floor entry. This is
+/// what makes a *deterministic* rejoin pull possible: a rejoiner at round `r` asks for
+/// the global of the last **scheduled** synchronization before `r`
+/// ([`ParameterServer::scheduled_global_before`]) instead of reading whatever the PS
+/// holds at that wall-clock moment.
+struct SnapshotRing {
+    /// Retained sync rounds (0 = disabled, nothing is recorded).
+    depth: usize,
+    /// The global vector before any synchronization (the init broadcast).
+    initial: Vec<f32>,
+    /// `(round, post-sync mean)` entries, sorted by round ascending. Rounds can
+    /// *complete* out of order under disjoint live-worker sets, so insertion keeps the
+    /// ring sorted rather than assuming append order. Eviction always removes the
+    /// smallest round, so the ring invariantly retains the `depth` *largest* recorded
+    /// rounds — any lookup answered from a retained entry is therefore exact.
+    entries: Vec<(u64, Vec<f32>)>,
+    /// Smallest round id ever evicted — lets a lookup that would fall back to the
+    /// initial global detect (and refuse to answer) a query whose true answer no
+    /// longer exists instead of silently returning a too-old snapshot.
+    evicted_min: Option<u64>,
+}
+
 /// Shared-memory parameter server over a flat `f32` vector.
 pub struct ParameterServer {
     global: RwLock<Vec<f32>>,
@@ -30,6 +59,8 @@ pub struct ParameterServer {
     /// slower worker is still closing round `k-1`; this guard keeps the older mean from
     /// overwriting the newer one.
     last_global_round: Mutex<Option<u64>>,
+    /// Scheduled-snapshot ring for deterministic rejoin pulls (disabled by default).
+    snapshots: Mutex<SnapshotRing>,
 }
 
 struct RoundState {
@@ -57,6 +88,55 @@ impl ParameterServer {
             round_cv: Condvar::new(),
             elastic: ElasticRounds::new(),
             last_global_round: Mutex::new(None),
+            snapshots: Mutex::new(SnapshotRing {
+                depth: 0,
+                initial: Vec::new(),
+                entries: Vec::new(),
+                evicted_min: None,
+            }),
+        }
+    }
+
+    /// Enable the round-keyed scheduled-snapshot ring: from now on every completed
+    /// [`Self::sync_round_elastic`] records its round's mean, keeping the newest
+    /// `depth` rounds, and [`Self::scheduled_global_before`] answers deterministic
+    /// rejoin pulls. The current global vector is captured as the permanent
+    /// before-any-synchronization floor, so call this before training starts.
+    pub fn enable_scheduled_snapshots(&self, depth: usize) {
+        assert!(depth > 0, "snapshot ring depth must be positive");
+        let mut ring = self.snapshots.lock();
+        ring.depth = depth;
+        ring.initial = self.global.read().clone();
+        ring.entries.clear();
+        ring.evicted_min = None;
+    }
+
+    /// The global produced by the newest **scheduled** synchronization round with id
+    /// `< round` — what a deterministic rejoiner at `round` pulls, independent of
+    /// wall-clock interleaving. Falls back to the initial global when no earlier round
+    /// synchronized. Panics if the ring is disabled, or if the answer was evicted
+    /// (ring too shallow for how far this rejoiner lagged).
+    pub fn scheduled_global_before(&self, round: u64) -> Vec<f32> {
+        let ring = self.snapshots.lock();
+        assert!(
+            ring.depth > 0,
+            "scheduled snapshots are not enabled on this parameter server"
+        );
+        match ring.entries.iter().rev().find(|&&(r, _)| r < round) {
+            // Eviction removes the smallest retained round, so the ring holds the
+            // `depth` largest recorded rounds — every evicted round is older than
+            // every retained one, and a retained match is therefore exact.
+            Some((_, data)) => data.clone(),
+            None => {
+                // No retained sync before `round`: the initial global is the answer
+                // only if no *evicted* round was before it either.
+                assert!(
+                    ring.evicted_min.is_none_or(|e| e >= round),
+                    "snapshot ring too shallow: the scheduled global before round \
+                     {round} was evicted"
+                );
+                ring.initial.clone()
+            }
         }
     }
 
@@ -197,6 +277,21 @@ impl ParameterServer {
                     let mut g = self.global.write();
                     g.copy_from_slice(&mean);
                     *last = Some(round);
+                }
+                drop(last);
+                // Record the round's mean in the scheduled-snapshot ring (when
+                // enabled), keeping the entries sorted by round id so out-of-order
+                // completions cannot corrupt the "newest before r" lookup.
+                let mut ring = self.snapshots.lock();
+                if ring.depth > 0 {
+                    if let Err(pos) = ring.entries.binary_search_by_key(&round, |e| e.0) {
+                        ring.entries.insert(pos, (round, mean.clone()));
+                    }
+                    if ring.entries.len() > ring.depth {
+                        let (evicted, _) = ring.entries.remove(0);
+                        ring.evicted_min =
+                            Some(ring.evicted_min.map_or(evicted, |e| e.min(evicted)));
+                    }
                 }
                 mean
             },
@@ -344,6 +439,93 @@ mod tests {
         // A genuinely newer round still advances the global.
         ps.sync_round_elastic(7, 0, &[70.0], 1);
         assert_eq!(ps.pull(), vec![70.0]);
+    }
+
+    #[test]
+    fn snapshot_ring_answers_round_keyed_lookups() {
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.enable_scheduled_snapshots(4);
+        // Synced rounds 2, 5, 9 (single participant ⇒ the mean is the contribution).
+        for (round, v) in [(2u64, 2.0f32), (5, 5.0), (9, 9.0)] {
+            ps.sync_round_elastic(round, 0, &[v], 1);
+        }
+        // Before any sync round: the initial global.
+        assert_eq!(ps.scheduled_global_before(0), vec![0.0]);
+        assert_eq!(ps.scheduled_global_before(2), vec![0.0]);
+        // Round-keyed: strictly the newest scheduled sync *before* the asked round.
+        assert_eq!(ps.scheduled_global_before(3), vec![2.0]);
+        assert_eq!(ps.scheduled_global_before(5), vec![2.0]);
+        assert_eq!(ps.scheduled_global_before(6), vec![5.0]);
+        assert_eq!(ps.scheduled_global_before(9), vec![5.0]);
+        assert_eq!(ps.scheduled_global_before(100), vec![9.0]);
+    }
+
+    #[test]
+    fn snapshot_ring_handles_out_of_order_round_completion() {
+        // Disjoint live sets let a newer round complete before an older one; the ring
+        // must stay sorted by round id, not completion order.
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.enable_scheduled_snapshots(4);
+        ps.sync_round_elastic(7, 0, &[70.0], 1);
+        ps.sync_round_elastic(4, 1, &[40.0], 1);
+        assert_eq!(ps.scheduled_global_before(5), vec![40.0]);
+        assert_eq!(ps.scheduled_global_before(8), vec![70.0]);
+    }
+
+    #[test]
+    fn snapshot_ring_evicts_the_oldest_round_beyond_its_depth() {
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.enable_scheduled_snapshots(2);
+        for round in 1..=4u64 {
+            ps.sync_round_elastic(round, 0, &[round as f32 * 10.0], 1);
+        }
+        // Rounds 1 and 2 were evicted; 3 and 4 remain.
+        assert_eq!(ps.scheduled_global_before(4), vec![30.0]);
+        assert_eq!(ps.scheduled_global_before(5), vec![40.0]);
+        // Asking for a horizon at or before the evicted rounds still answers the
+        // initial-global case exactly: round 1 is not `< 1`, so `before(1)` is the
+        // floor entry.
+        assert_eq!(ps.scheduled_global_before(1), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too shallow")]
+    fn snapshot_ring_refuses_a_lookup_whose_answer_was_evicted() {
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.enable_scheduled_snapshots(2);
+        for round in 1..=4u64 {
+            ps.sync_round_elastic(round, 0, &[round as f32], 1);
+        }
+        // The newest sync before round 3 is round 2 — evicted, so the ring must
+        // refuse rather than silently hand back round 1's or the initial global.
+        ps.scheduled_global_before(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn scheduled_pull_requires_the_ring_to_be_enabled() {
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.scheduled_global_before(1);
+    }
+
+    #[test]
+    fn concurrent_rejoiners_in_the_same_round_pull_the_same_snapshot() {
+        // Two rejoiners at round 6 race the lookup while live workers complete later
+        // rounds; both must see exactly round 4's mean (the newest scheduled sync
+        // before 6), never a later or torn value.
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2]));
+        ps.enable_scheduled_snapshots(4);
+        ps.sync_round_elastic(4, 0, &[4.0, 44.0], 1);
+        ps.sync_round_elastic(7, 0, &[7.0, 77.0], 1);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let ps = Arc::clone(&ps);
+                std::thread::spawn(move || ps.scheduled_global_before(6))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![4.0, 44.0]);
+        }
     }
 
     #[test]

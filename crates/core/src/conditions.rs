@@ -212,6 +212,17 @@ impl ClusterConditions {
         (0..workers).filter(|&w| self.is_present(w, iter)).collect()
     }
 
+    /// The first iteration in `from..limit` at which *any* worker of a
+    /// `workers`-sized cluster is present (`limit` when none is) — i.e. the next round
+    /// that actually trains and therefore produces a δ-policy observation. The
+    /// threaded driver's shared policy board uses this to know which round's signals
+    /// it must wait for next.
+    pub fn next_active_iteration(&self, workers: usize, from: usize, limit: usize) -> usize {
+        (from..limit)
+            .find(|&it| (0..workers).any(|w| self.is_present(w, it)))
+            .unwrap_or(limit)
+    }
+
     /// The network model in effect at `iter` (base model with active degradations and
     /// latency spikes applied).
     pub fn network_at(&self, iter: usize, base: &NetworkModel) -> NetworkModel {
@@ -456,6 +467,31 @@ mod tests {
             });
         assert!(all_dead.validate(2, 10).is_err());
         assert!(all_dead.validate(3, 10).is_ok());
+    }
+
+    #[test]
+    fn next_active_iteration_skips_fully_crashed_windows() {
+        // Both workers of a 2-cluster are absent during [3, 6): the next active
+        // iteration seen from anywhere inside the window is 6.
+        let c = ClusterConditions::uniform()
+            .with_fault(FaultEvent::Crash {
+                worker: 0,
+                start: 3,
+                rejoin: Some(6),
+            })
+            .with_fault(FaultEvent::Crash {
+                worker: 1,
+                start: 3,
+                rejoin: Some(6),
+            });
+        assert_eq!(c.next_active_iteration(2, 0, 10), 0);
+        assert_eq!(c.next_active_iteration(2, 3, 10), 6);
+        assert_eq!(c.next_active_iteration(2, 5, 10), 6);
+        assert_eq!(c.next_active_iteration(2, 6, 10), 6);
+        // Nothing active before the limit ⇒ the limit itself.
+        assert_eq!(c.next_active_iteration(2, 4, 5), 5);
+        // A wider cluster keeps worker 2 alive through the window.
+        assert_eq!(c.next_active_iteration(3, 3, 10), 3);
     }
 
     #[test]

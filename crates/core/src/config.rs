@@ -59,6 +59,25 @@ impl OptimizerSpec {
     }
 }
 
+/// How a rejoining worker obtains its parameters in the thread-per-worker driver
+/// ([`crate::threaded`]). The simulator always behaves like [`Self::Scheduled`] (its
+/// rejoin pull reads the last synchronized global, a pure function of the schedule);
+/// this knob selects which semantics the threaded driver mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RejoinPull {
+    /// Real-cluster semantics: the rejoiner pulls whatever the parameter server holds
+    /// at that wall-clock moment. Not deterministic — the pulled snapshot depends on
+    /// how far the live workers have raced ahead — so simulator parity covers
+    /// crash-free schedules only.
+    #[default]
+    WallClock,
+    /// Deterministic semantics: the rejoiner pulls the global produced by the last
+    /// *scheduled* synchronization before its rejoin round (the parameter server's
+    /// round-keyed snapshot ring), exactly matching the simulator. Extends the
+    /// threaded↔simulator parity contract to crash/rejoin schedules.
+    Scheduled,
+}
+
 /// The distributed training algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AlgorithmSpec {
@@ -191,6 +210,9 @@ pub struct TrainConfig {
     /// or adaptive policy (the sweep harness's policy arms). Ignored by the other
     /// algorithms.
     pub delta_policy: Option<PolicySpec>,
+    /// Rejoin-pull semantics of the thread-per-worker driver (wall-clock by default;
+    /// the simulator is unaffected — it is always schedule-deterministic).
+    pub rejoin_pull: RejoinPull,
 }
 
 impl TrainConfig {
@@ -250,6 +272,7 @@ impl TrainConfig {
             device: DeviceProfile::v100(),
             conditions: ClusterConditions::uniform(),
             delta_policy: None,
+            rejoin_pull: RejoinPull::WallClock,
         }
     }
 

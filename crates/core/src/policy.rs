@@ -80,17 +80,19 @@ impl SyncPolicy {
 
 /// Observed signals of one completed training round, fed back to a [`DeltaPolicy`].
 ///
-/// In the simulator the signals are cluster-level (the round maximum `Δ(g_i)`, the mean
-/// batch loss over the round's steps); in the threaded driver each worker feeds its
-/// policy replica its *own* signals, since no scalar all-reduce accompanies the 1-bit
-/// status exchange.
+/// The signals are cluster-level in both backends: the round-maximum `Δ(g_i)` and the
+/// mean batch loss over the round's steps. The simulator merges them in worker order
+/// ([`crate::sim::RoundOutput::signal`]); the threaded driver computes the identical
+/// aggregates through the elastic scalar all-reduce accompanying the 1-bit status
+/// exchange (`selsync_comm::Collective::allreduce_scalar_among`) and feeds them to its
+/// single shared policy instance, so both backends' policies observe the same stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundSignal {
     /// Training iteration the round ran at.
     pub iteration: usize,
-    /// Maximum `Δ(g_i)` observed this round (or the worker's own, in the threaded driver).
+    /// Maximum `Δ(g_i)` observed across the round's present workers.
     pub max_delta: f32,
-    /// Mean training loss of the round's steps (or the worker's own batch loss).
+    /// Mean training loss of the round's steps.
     pub mean_loss: f32,
     /// Whether the round synchronized.
     pub synced: bool,
@@ -133,8 +135,8 @@ impl DeltaPolicy for FixedDelta {
 }
 
 /// An iteration-keyed δ schedule: stage `i` applies from iteration `starts[i]` until
-/// the next stage begins. A pure function of the iteration, so the threaded driver's
-/// per-worker replicas agree on every threshold without coordination.
+/// the next stage begins. A pure function of the iteration, so every consumer agrees
+/// on every threshold without coordination.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledDelta {
     starts: Vec<usize>,
@@ -444,6 +446,15 @@ impl PolicySpec {
         }
     }
 
+    /// Whether the built policy actually *consumes* the observed [`RoundSignal`]s —
+    /// i.e. its thresholds depend on training dynamics, not just the iteration.
+    /// Fixed and scheduled policies are pure functions of the iteration and discard
+    /// observations; drivers may use this to skip the cluster-signal exchange that
+    /// would otherwise feed them.
+    pub fn consumes_round_signals(&self) -> bool {
+        matches!(self, PolicySpec::Adaptive { .. })
+    }
+
     /// The label the built policy reports (stable: used in report algorithm names).
     /// Formats directly — no runtime policy is constructed; pinned equal to
     /// `build().label()` by a unit test.
@@ -728,6 +739,17 @@ mod tests {
         }
         assert!(bad.validate().is_err());
         assert!(PolicySpec::adaptive_default().validate().is_ok());
+    }
+
+    #[test]
+    fn only_the_adaptive_policy_consumes_round_signals() {
+        assert!(!PolicySpec::Fixed { delta: 0.3 }.consumes_round_signals());
+        assert!(!PolicySpec::Schedule {
+            starts: vec![0, 10],
+            deltas: vec![0.0, 0.5],
+        }
+        .consumes_round_signals());
+        assert!(PolicySpec::adaptive_default().consumes_round_signals());
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub struct RunReport {
     /// The step indices (iterations, for drivers that account one step per iteration)
     /// at which a synchronization fired, in order — the run's synchronization
     /// *schedule*. Recorded-seed regressions and the threaded-vs-simulator parity
-    /// tests pin this.
+    /// tests pin this, for fixed, scheduled and adaptive δ policies, on crash-free
+    /// schedules and (under scheduled rejoin pulls) on crash/rejoin schedules.
     pub sync_rounds: Vec<usize>,
     /// Local-to-synchronous step ratio (Eqn. 4).
     pub lssr: f64,

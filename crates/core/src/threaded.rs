@@ -17,10 +17,12 @@
 //! stochastic layers to the canonical global forward index, a pure function of the
 //! fault schedule). Synchronization averages are combined in **worker-id order** by the
 //! round-keyed elastic rendezvous ([`selsync_comm::rounds`]), bit-identical to the
-//! simulator's `aggregation::average_present_into` — so on a crash-free schedule the
-//! threaded cluster's parameter stream, `Δ(g_i)` stream and therefore its
-//! synchronization *schedule* (`sync_rounds`) are equal to the simulator's. The
-//! scenario parity tests pin this.
+//! simulator's `aggregation::average_present_into` — so the threaded cluster's
+//! parameter stream, `Δ(g_i)` stream and therefore its synchronization *schedule*
+//! (`sync_rounds`) are equal to the simulator's: on crash-free schedules always, and
+//! on crash/rejoin schedules under the deterministic scheduled rejoin-pull mode
+//! (below). The scenario parity tests pin this for fixed, scheduled and adaptive δ
+//! policies alike.
 //!
 //! Fault injection: the driver honours the crash windows of
 //! [`crate::conditions::ClusterConditions`]. The schedule is a pure function of
@@ -28,31 +30,123 @@
 //! coordination; collective and PS rounds are keyed by the iteration id
 //! ([`selsync_comm::Collective::allgather_flags_among`] /
 //! [`selsync_comm::ParameterServer::sync_round_elastic`]), which makes skipping rounds
-//! safe. A rejoining worker pulls the current global model and restarts its tracker and
-//! optimizer — in-memory state does not survive a crash. Note that the rejoin pull
-//! reads whatever the PS holds *at that wall-clock moment* (the crashed thread skips
-//! its absent iterations instantly while live workers are still training), exactly as
-//! on a real cluster — so the pulled snapshot, unlike everything schedule-driven, is
-//! not deterministic, and the simulator parity guarantee covers crash-free fault
-//! schedules only.
+//! safe. A rejoining worker restarts its tracker and optimizer — in-memory state does
+//! not survive a crash — and pulls parameters according to
+//! [`crate::config::RejoinPull`]:
 //!
-//! δ policies: each worker runs its own replica of the configured
-//! [`crate::policy::DeltaPolicy`]. Fixed and scheduled policies are pure functions of
-//! the iteration, so every replica agrees on every threshold (and the parity guarantee
-//! extends to them); the adaptive policy watches the worker's *own* `Δ(g_i)`/loss
-//! stream — no scalar all-reduce accompanies the 1-bit status exchange — so its
-//! replicas may diverge, which is valid SelSync semantics (per-worker thresholds,
-//! cluster-OR decision) but not schedule-identical to the simulator's cluster-level
-//! policy.
+//! * **wall-clock** (the default, real-cluster semantics): the rejoiner reads whatever
+//!   the PS holds at that moment. The crashed thread skips its absent iterations
+//!   instantly while live workers are still training, so the pulled snapshot — unlike
+//!   everything schedule-driven — is not deterministic, and simulator parity covers
+//!   crash-free schedules only.
+//! * **scheduled** (deterministic): the rejoiner pulls the global of the last
+//!   *scheduled* synchronization before its rejoin round from the PS's round-keyed
+//!   snapshot ring ([`selsync_comm::ParameterServer::scheduled_global_before`]) —
+//!   exactly what the simulator's rejoin pull reads — which extends the parity
+//!   contract to crash/rejoin schedules.
+//!
+//! δ policies: the cluster runs **one** shared instance of the configured
+//! [`crate::policy::DeltaPolicy`] (the signal board), exactly like the simulator — not
+//! per-worker replicas. Each round, the present workers exchange their batch loss and
+//! `Δ(g_i)` through the elastic scalar all-reduce
+//! ([`selsync_comm::Collective::allreduce_scalar_among`], worker-order mean / max, so
+//! the aggregates are bit-identical to the simulator's worker-order folds), and the
+//! lowest-ranked present worker feeds the cluster-level [`RoundSignal`] to the shared
+//! policy once the round's decision is known. The board orders observations by round
+//! id — a worker asking for round `r`'s δ blocks until every earlier active round has
+//! been observed — so the policy's signal stream, and therefore every threshold it
+//! produces, is identical to the simulator's for fixed, scheduled *and* adaptive
+//! policies. Crash windows don't break this: the shared policy, like the simulator's,
+//! survives worker crashes (only per-worker state restarts). For signal-blind
+//! (fixed/scheduled) policies the two scalar rendezvous are elided — their
+//! observations are discarded anyway — so the default driver pays nothing for the
+//! machinery.
 
-use crate::config::{AlgorithmSpec, TrainConfig};
-use crate::policy::{PolicySpec, RoundSignal, SyncPolicy};
+use crate::config::{AlgorithmSpec, RejoinPull, TrainConfig};
+use crate::policy::{DeltaPolicy, PolicySpec, RoundSignal, SyncPolicy};
 use crate::sim;
 use crate::tracker::{GradStatistic, GradientTracker};
-use selsync_comm::cluster::{run_cluster, ClusterHandles};
+use parking_lot::{Condvar, Mutex};
+use selsync_comm::cluster::{make_handles, run_cluster_with, ClusterHandles};
+use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
+use selsync_comm::ScalarOp;
 use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::model::PaperModel;
 use serde::{Deserialize, Serialize};
+
+/// The cluster-level δ-policy shared by every worker thread — the threaded
+/// counterpart of the single policy instance the simulator's SelSync driver owns.
+///
+/// Observations are strictly ordered by round id: [`Self::observe`] may only ingest
+/// the signals of the oldest active round not yet observed, and [`Self::delta_for`]
+/// blocks until every active round before the asked one has been observed. Combined
+/// with the rendezvous structure of a round (the status all-gather cannot complete
+/// until every present worker has fetched its δ, and the observation is posted only
+/// after that all-gather), this makes the policy's signal stream — and every
+/// threshold it produces — a pure function of the schedule, independent of thread
+/// interleaving.
+struct SignalBoard {
+    state: Mutex<BoardState>,
+    cv: Condvar,
+}
+
+struct BoardState {
+    policy: Box<dyn DeltaPolicy>,
+    /// The oldest active (some-worker-present) round not yet observed; the iteration
+    /// count once every active round has been observed.
+    next_observe: usize,
+}
+
+impl SignalBoard {
+    fn new(policy: Box<dyn DeltaPolicy>, first_active_round: usize) -> Self {
+        SignalBoard {
+            state: Mutex::new(BoardState {
+                policy,
+                next_observe: first_active_round,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until every active round before `iteration` has been observed (i.e. the
+    /// policy state is exactly what the simulator's policy held entering that round).
+    fn wait_caught_up(&self, iteration: usize) {
+        let mut s = self.state.lock();
+        while s.next_observe < iteration {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// The δ in effect for the round at `iteration`. Blocks until the policy has
+    /// observed every earlier active round; the round's own signals cannot have been
+    /// observed yet (the observation is posted only after the round's status
+    /// all-gather, which this call precedes on every present worker).
+    fn delta_for(&self, iteration: usize) -> f32 {
+        let mut s = self.state.lock();
+        while s.next_observe < iteration {
+            self.cv.wait(&mut s);
+        }
+        assert_eq!(
+            s.next_observe, iteration,
+            "δ requested for a round whose signals were already observed"
+        );
+        s.policy.delta(iteration)
+    }
+
+    /// Ingest the completed round's cluster-level signals and advance the board to
+    /// `next_round` (the next active round, or the iteration count). Called by exactly
+    /// one worker per round — the lowest-ranked present one — strictly in round order.
+    fn observe(&self, signal: RoundSignal, next_round: usize) {
+        let mut s = self.state.lock();
+        assert_eq!(
+            s.next_observe, signal.iteration,
+            "round signals observed out of order"
+        );
+        s.policy.observe(&signal);
+        s.next_observe = next_round;
+        self.cv.notify_all();
+    }
+}
 
 /// Result of a threaded run, per worker.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,9 +158,12 @@ pub struct ThreadedWorkerReport {
     /// Steps that stayed local.
     pub local_steps: u64,
     /// The iterations at which this worker's rounds synchronized — the worker's view
-    /// of the cluster synchronization schedule (equal across workers on a crash-free
-    /// schedule, and equal to the simulator's [`crate::report::RunReport::sync_rounds`]
-    /// under a fixed or scheduled δ policy).
+    /// of the cluster synchronization schedule. Equal to the simulator's
+    /// [`crate::report::RunReport::sync_rounds`] restricted to the rounds this worker
+    /// was present at (so equal across workers, and to the simulator's schedule
+    /// verbatim, on crash-free schedules) — for fixed, scheduled *and* adaptive δ
+    /// policies, with crash/rejoin schedules covered under
+    /// [`crate::config::RejoinPull::Scheduled`].
     pub sync_rounds: Vec<usize>,
     /// Final training loss observed by this worker.
     pub final_loss: f32,
@@ -109,9 +206,32 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
     let train = &train;
     let iid_order = &iid_order;
     let conditions = &cfg.conditions;
-    let spec = &spec;
 
-    run_cluster(n, init_params, |worker, handles: ClusterHandles| {
+    // One cluster-level policy instance for the whole run, seeded at the first active
+    // round — the exact analogue of the simulator driver's `policy` local.
+    let board = SignalBoard::new(
+        spec.build(),
+        conditions.next_active_iteration(n, 0, cfg.iterations),
+    );
+    let board = &board;
+    // Fixed and scheduled policies are pure functions of the iteration and discard
+    // their observations, so the two per-round scalar rendezvous that would feed them
+    // the cluster aggregates are pure overhead — skip them and let the observation
+    // carry the (ignored) per-worker values instead. The board itself always runs:
+    // its round-ordered advancement is also what tells a scheduled rejoin pull that
+    // the snapshot ring is complete up to the rejoin round.
+    let exchange_signals = spec.consumes_round_signals();
+
+    let handles = make_handles(n, init_params);
+    if cfg.rejoin_pull == RejoinPull::Scheduled {
+        // Deterministic rejoin pulls read the round-keyed snapshot ring instead of
+        // the wall-clock PS state; enable it before any worker starts.
+        handles
+            .ps
+            .enable_scheduled_snapshots(DEFAULT_SNAPSHOT_DEPTH);
+    }
+
+    run_cluster_with(handles, |worker, handles: ClusterHandles| {
         let mut model = PaperModel::build(cfg.model, cfg.seed);
         // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
         let mut params = handles.ps.pull();
@@ -128,7 +248,6 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         };
         let mut tracker = new_tracker();
         let mut optimizer = cfg.optimizer.build();
-        let mut policy = spec.build();
         let mut counter = LssrCounter::new();
         let mut sync_rounds = Vec::new();
         let mut last_loss = 0.0f32;
@@ -154,18 +273,26 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             let forward_index = forwards_before + rank as u64;
             forwards_before += active as u64;
             if !was_present {
-                // Rejoin: pull the current global model; tracker, optimizer and the
-                // δ-policy replica did not survive the crash (the simulator restarts
-                // per-worker state the same way).
-                params = handles.ps.pull();
+                // Rejoin: tracker and optimizer did not survive the crash (the
+                // simulator restarts per-worker state the same way — its cluster-level
+                // policy, like the shared board here, is untouched). The parameter
+                // pull follows the configured semantics.
+                params = match cfg.rejoin_pull {
+                    RejoinPull::WallClock => handles.ps.pull(),
+                    RejoinPull::Scheduled => {
+                        // Wait until every active round before the rejoin has fully
+                        // decided (the board advances only after a round's sync, so
+                        // the ring then holds every scheduled global this lookup can
+                        // need), then pull the last scheduled synchronization's
+                        // global — the simulator's `global` entering this round.
+                        board.wait_caught_up(it);
+                        handles.ps.scheduled_global_before(it as u64)
+                    }
+                };
                 tracker = new_tracker();
                 optimizer = cfg.optimizer.build();
-                policy = spec.build();
                 was_present = true;
             }
-
-            // This round's δ from the worker's policy replica (Phase 0 of the driver).
-            let sync_policy = SyncPolicy::new(policy.delta(it));
 
             indices.clear();
             for _ in 0..cfg.batch_size {
@@ -186,6 +313,36 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             let lr = cfg.lr.lr_at(cfg.epoch_of(it), it);
             optimizer.step(&mut params, &grads, lr);
 
+            // Cluster-signal exchange among the live workers: the round's mean batch
+            // loss and maximum Δ(g_i), combined in worker-id order — bit-identical to
+            // the simulator's `RoundOutput::mean_loss` / `max_delta` folds. Elided
+            // for signal-blind (fixed/scheduled) policies, whose observations are
+            // discarded anyway.
+            let (mean_loss, cluster_delta) = if exchange_signals {
+                (
+                    handles.collective.allreduce_scalar_among(
+                        it as u64,
+                        worker,
+                        stats.loss,
+                        active,
+                        ScalarOp::Mean,
+                    ),
+                    handles.collective.allreduce_scalar_among(
+                        it as u64,
+                        worker,
+                        delta_g,
+                        active,
+                        ScalarOp::Max,
+                    ),
+                )
+            } else {
+                (stats.loss, delta_g)
+            };
+
+            // This round's δ from the *shared* cluster policy (Phase 0 of the
+            // simulator driver); blocks until all earlier rounds' signals are in.
+            let sync_policy = SyncPolicy::new(board.delta_for(it));
+
             // 1-bit status all-gather followed by the cluster decision (lines 10–13),
             // restricted to the live workers of this iteration.
             let wants_sync = sync_policy.worker_wants_sync(delta_g);
@@ -205,12 +362,23 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             } else {
                 counter.record_local();
             }
-            policy.observe(&RoundSignal {
-                iteration: it,
-                max_delta: delta_g,
-                mean_loss: stats.loss,
-                synced,
-            });
+            if rank == 0 {
+                // The lowest-ranked present worker posts the round's cluster signal.
+                // Every present worker has passed the status all-gather by now (it is
+                // a rendezvous), so no one can still be waiting on this round's δ —
+                // and if the round synchronized, its global is already in the
+                // snapshot ring, so a scheduled rejoin pull unblocked by this
+                // observation finds everything it needs.
+                board.observe(
+                    RoundSignal {
+                        iteration: it,
+                        max_delta: cluster_delta,
+                        mean_loss,
+                        synced,
+                    },
+                    conditions.next_active_iteration(n, it + 1, cfg.iterations),
+                );
+            }
         }
 
         let global = handles.ps.pull();
@@ -310,6 +478,65 @@ mod tests {
             assert_eq!(r.sync_rounds, (0..10).collect::<Vec<_>>());
             assert_eq!(r.sync_steps, 10);
             assert_eq!(r.local_steps, 15);
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_decisions_are_cluster_coherent_and_match_the_simulator() {
+        // The shared signal board feeds the adaptive policy the same worker-order
+        // cluster aggregates the simulator computes, so the threaded schedule equals
+        // the simulator's even though the policy is stateful.
+        let mut c = cfg(0.3, 4);
+        c.iterations = 30;
+        c.delta_policy = Some(PolicySpec::adaptive_default());
+        let sim = crate::algorithms::run(&c);
+        assert!(
+            sim.sync_steps > 0 && sim.local_steps > 0,
+            "the adaptive arm must produce a mixed schedule for this to be meaningful"
+        );
+        let reports = run_threaded_selsync(&c);
+        for r in &reports {
+            assert_eq!(
+                r.sync_rounds, sim.sync_rounds,
+                "worker {} diverged from the simulator's adaptive schedule",
+                r.worker
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_rejoin_pull_reproduces_the_simulator_on_a_crash_schedule() {
+        use crate::conditions::{ClusterConditions, FaultEvent};
+        use crate::config::RejoinPull;
+        // δ > 0 (mixed schedule) with a crash window: under the scheduled rejoin-pull
+        // mode the rejoiner reads the last scheduled global, so every worker's
+        // schedule must equal the simulator's restricted to its present rounds.
+        let mut c = cfg(0.05, 3);
+        c.rejoin_pull = RejoinPull::Scheduled;
+        c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: 2,
+            start: 5,
+            rejoin: Some(15),
+        });
+        let sim = crate::algorithms::run(&c);
+        let reports = run_threaded_selsync(&c);
+        for r in &reports {
+            let expected: Vec<usize> = sim
+                .sync_rounds
+                .iter()
+                .copied()
+                .filter(|&round| c.conditions.is_present(r.worker, round))
+                .collect();
+            assert_eq!(
+                r.sync_rounds, expected,
+                "worker {} diverged from the simulator under crash/rejoin",
+                r.worker
+            );
+        }
+        // Determinism of the whole run: a rerun reproduces the same reports.
+        let again = run_threaded_selsync(&c);
+        for (a, b) in reports.iter().zip(again.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
     }
 

@@ -7,6 +7,7 @@
 //! points for custom files.
 
 use crate::schema::{FaultSpec, Scenario, SweepSpec};
+use selsync::config::RejoinPull;
 use selsync::policy::PolicySpec;
 
 /// Names of the built-in scenarios, in canonical order.
@@ -99,6 +100,9 @@ pub fn crash_rejoin() -> Scenario {
             rejoin: None,
         },
     ];
+    // Crash scenarios ship with deterministic rejoin pulls so the threaded driver's
+    // schedule stays parity-exact with the simulator's (see docs/SCENARIOS.md).
+    s.rejoin_pull = RejoinPull::Scheduled;
     s
 }
 
@@ -154,6 +158,7 @@ pub fn elastic_churn() -> Scenario {
         seeds: vec![42, 43, 44],
         policies: vec![PolicySpec::adaptive_default()],
     });
+    s.rejoin_pull = RejoinPull::Scheduled;
     s
 }
 

@@ -8,7 +8,7 @@
 
 use crate::toml::{self, Document, Table, Value};
 use selsync::conditions::{ClusterConditions, FaultEvent};
-use selsync::config::TrainConfig;
+use selsync::config::{RejoinPull, TrainConfig};
 use selsync::policy::PolicySpec;
 use selsync_comm::NetworkModel;
 use selsync_nn::model::ModelKind;
@@ -229,6 +229,13 @@ pub struct Scenario {
     /// Optional sweep block (δ grid × seed set × policy arms); `None` means
     /// [`crate::sweep::run_sweep`] falls back to [`SweepSpec::default_grid`].
     pub sweep: Option<SweepSpec>,
+    /// Rejoin-pull semantics for the thread-per-worker driver
+    /// (`rejoin_pull = "wall-clock" | "scheduled"` in the `[scenario]` section;
+    /// wall-clock when omitted). `"scheduled"` makes crash/rejoin schedules
+    /// deterministic in the threaded driver — a rejoiner pulls the last *scheduled*
+    /// global from the PS snapshot ring — extending simulator parity to faulty
+    /// schedules. The simulator itself is unaffected.
+    pub rejoin_pull: RejoinPull,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -399,6 +406,7 @@ impl Scenario {
             heterogeneity: Vec::new(),
             faults: Vec::new(),
             sweep: None,
+            rejoin_pull: RejoinPull::WallClock,
         }
     }
 
@@ -436,6 +444,7 @@ impl Scenario {
         cfg.network = self.network.to_model();
         cfg.conditions = self.to_conditions();
         cfg.algorithm = algorithm;
+        cfg.rejoin_pull = self.rejoin_pull;
         cfg
     }
 
@@ -489,6 +498,11 @@ impl Scenario {
         s.set("eval_every", Value::Int(self.eval_every as i64));
         s.set("eval_samples", Value::Int(self.eval_samples as i64));
         s.set("delta", Value::Float(f32_shortest(self.delta)));
+        // Only serialized when non-default so pre-existing scenario dumps stay
+        // byte-identical.
+        if self.rejoin_pull == RejoinPull::Scheduled {
+            s.set("rejoin_pull", Value::Str("scheduled".into()));
+        }
         doc.sections.push(("scenario".to_string(), s));
 
         let mut net = Table::new();
@@ -612,6 +626,20 @@ impl Scenario {
         let eval_every = get_usize(s, "eval_every", ctx)?;
         let eval_samples = get_usize(s, "eval_samples", ctx)?;
         let delta = get_f64(s, "delta", ctx)? as f32;
+        let rejoin_pull = match s.get("rejoin_pull") {
+            None => RejoinPull::WallClock,
+            Some(v) => match v.as_str() {
+                Some("wall-clock") => RejoinPull::WallClock,
+                Some("scheduled") => RejoinPull::Scheduled,
+                Some(other) => {
+                    return Err(format!(
+                        "{ctx}: unknown rejoin_pull {other:?} \
+                         (expected wall-clock | scheduled)"
+                    ))
+                }
+                None => return Err(format!("{ctx}: rejoin_pull must be a string")),
+            },
+        };
 
         let network = match doc.section("network") {
             Some(n) => NetworkSpec {
@@ -728,6 +756,7 @@ impl Scenario {
             heterogeneity,
             faults,
             sweep,
+            rejoin_pull,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -891,6 +920,40 @@ mod tests {
                 .replace("kind = \"adaptive\"", "kind = \"oracle\"")
         )
         .is_err());
+    }
+
+    #[test]
+    fn rejoin_pull_round_trips_and_defaults_to_wall_clock() {
+        // Default: omitted from the TOML, parses back to wall-clock.
+        let s = sample();
+        assert_eq!(s.rejoin_pull, RejoinPull::WallClock);
+        let text = s.to_toml_string();
+        assert!(!text.contains("rejoin_pull"), "{text}");
+
+        // Scheduled: serialized explicitly, round-trips, reaches the train config.
+        let mut scheduled = sample();
+        scheduled.rejoin_pull = RejoinPull::Scheduled;
+        let text = scheduled.to_toml_string();
+        assert!(text.contains("rejoin_pull = \"scheduled\""), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(parsed.rejoin_pull, RejoinPull::Scheduled);
+        assert_eq!(scheduled, parsed);
+        let cfg = parsed.train_config(selsync::config::AlgorithmSpec::selsync(0.1));
+        assert_eq!(cfg.rejoin_pull, RejoinPull::Scheduled);
+
+        // An explicit wall-clock value parses too; unknown values are rejected.
+        let explicit = text.replace(
+            "rejoin_pull = \"scheduled\"",
+            "rejoin_pull = \"wall-clock\"",
+        );
+        assert_eq!(
+            Scenario::from_toml_str(&explicit).unwrap().rejoin_pull,
+            RejoinPull::WallClock
+        );
+        let bad = text.replace("rejoin_pull = \"scheduled\"", "rejoin_pull = \"psychic\"");
+        assert!(Scenario::from_toml_str(&bad)
+            .unwrap_err()
+            .contains("rejoin_pull"));
     }
 
     #[test]

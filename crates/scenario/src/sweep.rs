@@ -130,15 +130,25 @@ fn syncs_to_target(run: &RunReport, target: f32) -> Option<usize> {
         .map(|it| run.sync_rounds.iter().filter(|&&r| r <= it).count())
 }
 
-/// A CI-sized variant of a scenario for sweep smoke runs: fewer iterations and
-/// samples, at most two seeds, with every fault window rescaled to the shrunk
-/// iteration range so the cluster shape survives the shrink.
-pub fn quick_variant(scenario: &Scenario) -> Scenario {
-    let mut s = scenario.clone();
-    let iterations = 60usize;
-    let ratio = iterations as f64 / scenario.iterations.max(1) as f64;
-    let scale = |it: usize| ((it as f64 * ratio).round() as usize).min(iterations);
-    for fault in &mut s.faults {
+/// Map `it` from a run of `from_iterations` onto a run of `to_iterations`, keeping
+/// its relative position (rounded, clamped into the target range). The single
+/// scaling rule behind [`rescale_fault_windows`] and [`quick_variant`]'s
+/// policy-budget rescaling, so fault windows, schedule stages and adaptive round
+/// budgets all shrink identically.
+fn scaled_iteration(it: usize, from_iterations: usize, to_iterations: usize) -> usize {
+    let ratio = to_iterations as f64 / from_iterations.max(1) as f64;
+    ((it as f64 * ratio).round() as usize).min(to_iterations)
+}
+
+/// Rescale every iteration-keyed fault window of `scenario` into a run of
+/// `iterations` iterations — windows keep their relative position and never collapse
+/// (durations stay ≥ 1, a rejoin stays after its crash) — and set
+/// `scenario.iterations` accordingly. Shared by [`quick_variant`] and the
+/// parity/regression test suites, so every "scaled-down scenario" in the repo means
+/// the same schedule.
+pub fn rescale_fault_windows(scenario: &mut Scenario, iterations: usize) {
+    let scale = |it: usize| scaled_iteration(it, scenario.iterations, iterations);
+    for fault in &mut scenario.faults {
         match fault {
             crate::schema::FaultSpec::Slowdown {
                 start, duration, ..
@@ -160,7 +170,17 @@ pub fn quick_variant(scenario: &Scenario) -> Scenario {
             }
         }
     }
-    s.iterations = iterations;
+    scenario.iterations = iterations;
+}
+
+/// A CI-sized variant of a scenario for sweep smoke runs: fewer iterations and
+/// samples, at most two seeds, with every fault window rescaled to the shrunk
+/// iteration range so the cluster shape survives the shrink.
+pub fn quick_variant(scenario: &Scenario) -> Scenario {
+    let mut s = scenario.clone();
+    let iterations = 60usize;
+    let scale = |it: usize| scaled_iteration(it, scenario.iterations, iterations);
+    rescale_fault_windows(&mut s, iterations);
     s.eval_every = 6;
     s.train_samples = 768;
     s.test_samples = 192;
@@ -170,19 +190,35 @@ pub fn quick_variant(scenario: &Scenario) -> Scenario {
         .clone()
         .unwrap_or_else(|| SweepSpec::default_grid(s.seed));
     sweep.seeds.truncate(2);
-    // Schedule policy arms are iteration-keyed like fault windows: rescale their
-    // stage starts into the shrunk range too, keeping stage boundaries distinct.
+    // Policy arms are iteration-keyed like fault windows: rescale schedule stage
+    // starts (keeping boundaries distinct) and the adaptive policy's round budgets —
+    // an unscaled `warmup`/`patience` sized for the full run could otherwise exceed
+    // the quick run entirely, leaving the arm stuck in its eager regime (never a
+    // single local step) and making the quick arm ordering meaningless.
     for policy in &mut sweep.policies {
-        if let PolicySpec::Schedule { starts, .. } = policy {
-            let mut prev: Option<usize> = None;
-            for start in starts.iter_mut() {
-                let scaled = scale(*start);
-                *start = match prev {
-                    Some(p) => scaled.max(p + 1),
-                    None => scaled,
-                };
-                prev = Some(*start);
+        match policy {
+            PolicySpec::Schedule { starts, .. } => {
+                let mut prev: Option<usize> = None;
+                for start in starts.iter_mut() {
+                    let scaled = scale(*start);
+                    *start = match prev {
+                        Some(p) => scaled.max(p + 1),
+                        None => scaled,
+                    };
+                    prev = Some(*start);
+                }
             }
+            PolicySpec::Adaptive {
+                warmup, patience, ..
+            } => {
+                // `patience ≥ 1` is a validation requirement; a non-zero warmup keeps
+                // its "always eager at first" character at minimum length.
+                if *warmup > 0 {
+                    *warmup = scale(*warmup).max(1);
+                }
+                *patience = scale(*patience).max(1);
+            }
+            PolicySpec::Fixed { .. } => {}
         }
     }
     s.sweep = Some(sweep);
@@ -588,6 +624,68 @@ mod tests {
             .contains("# sweep: sweep-test (3 arms x 2 seeds)"));
         assert!(a.render().contains("## policy arms vs best fixed δ"));
         assert!(a.to_json().contains("\"reached_target\""));
+    }
+
+    #[test]
+    fn quick_variant_scales_adaptive_round_budgets_and_preserves_arm_order() {
+        // A full-length scenario whose adaptive arm has a warmup sized for the full
+        // run: unscaled, the quick (60-iteration) variant could never leave warmup.
+        let mut s = Scenario::base("quick-smoke", 4, 240);
+        s.sweep = Some(SweepSpec {
+            deltas: vec![0.0, 0.3],
+            seeds: vec![42, 43, 44],
+            policies: vec![
+                PolicySpec::Schedule {
+                    starts: vec![0, 120],
+                    deltas: vec![0.0, 0.5],
+                },
+                PolicySpec::Adaptive {
+                    delta_explore: 0.0,
+                    delta_exploit: 0.5,
+                    factor: 0.15,
+                    warmup: 160,
+                    settle: 0.05,
+                    patience: 40,
+                    spike: 2.5,
+                },
+            ],
+        });
+        let quick = quick_variant(&s);
+        let full_spec = s.sweep.as_ref().unwrap();
+        let quick_spec = quick.sweep.as_ref().unwrap();
+
+        // Arm ordering (and kinds) must survive the shrink 1:1, so quick-mode
+        // comparisons line up with full-mode ones.
+        assert_eq!(quick_spec.deltas, full_spec.deltas);
+        assert_eq!(quick_spec.policies.len(), full_spec.policies.len());
+        for (q, f) in quick_spec.policies.iter().zip(full_spec.policies.iter()) {
+            assert_eq!(
+                std::mem::discriminant(q),
+                std::mem::discriminant(f),
+                "policy arm kinds must keep their order"
+            );
+            q.validate().expect("scaled policy stays valid");
+        }
+
+        // The adaptive budgets are rescaled with the iteration range: the arm can arm
+        // its settle detector (and therefore leave warmup) well inside the quick run.
+        match &quick_spec.policies[1] {
+            PolicySpec::Adaptive {
+                warmup, patience, ..
+            } => {
+                assert_eq!(*warmup, 40, "160 of 240 iterations -> 40 of 60");
+                assert_eq!(*patience, 10, "40 of 240 iterations -> 10 of 60");
+                assert!(warmup + patience < quick.iterations);
+            }
+            other => panic!("expected the adaptive arm, got {other:?}"),
+        }
+        // Schedule stages keep their behavior under the same scaling.
+        match &quick_spec.policies[0] {
+            PolicySpec::Schedule { starts, .. } => assert_eq!(starts, &vec![0, 30]),
+            other => panic!("expected the schedule arm, got {other:?}"),
+        }
+        // Seeds truncate (at most two in quick mode) but keep their prefix order.
+        assert_eq!(quick_spec.seeds, vec![42, 43]);
     }
 
     #[test]

@@ -7,39 +7,35 @@
 //! exactly — same datasets, same per-worker shuffled traversals, same optimizer and
 //! learning-rate schedule, same tracker configuration, same dropout-stream positions —
 //! and because the elastic PS round combines contributions in worker-id order, making
-//! the synchronized averages bit-identical to the simulator's. Crash faults are
-//! excluded: a rejoining thread's PS pull reads wall-clock state (real-cluster
-//! semantics), which is deliberately not deterministic.
+//! the synchronized averages bit-identical to the simulator's. Since the
+//! cluster-coherent signaling PR the contract covers *every* policy kind and *faulty*
+//! schedules too:
+//!
+//! * adaptive δ policies: the threaded driver runs one shared policy fed the same
+//!   worker-order cluster aggregates (loss mean, `Δ(g)` max, via the elastic scalar
+//!   all-reduce) the simulator merges, so the stateful policy's decisions coincide;
+//! * crash/rejoin schedules: under `RejoinPull::Scheduled` a rejoining thread pulls
+//!   the last *scheduled* global from the PS snapshot ring — exactly the simulator's
+//!   rejoin pull — instead of the non-deterministic wall-clock PS state. (The built-in
+//!   crash scenarios ship with `rejoin_pull = "scheduled"`.)
+//!
+//! Under a fault schedule a worker only sees the rounds it was present at, so the
+//! per-worker contract is: `worker.sync_rounds` equals the simulator's
+//! `RunReport::sync_rounds` restricted to that worker's present rounds.
 
 use selsync_repro::core::algorithms;
-use selsync_repro::core::config::{AlgorithmSpec, TrainConfig};
+use selsync_repro::core::config::{AlgorithmSpec, RejoinPull, TrainConfig};
 use selsync_repro::core::policy::PolicySpec;
 use selsync_repro::core::threaded::run_threaded_selsync;
-use selsync_repro::scenario::{builtin, FaultSpec, Scenario};
+use selsync_repro::scenario::{builtin, sweep, Scenario};
+use selsync_repro::tensor::par;
 
 /// A scaled-down copy of a built-in scenario (fast enough for the default suite),
-/// with fault windows rescaled into the shrunk iteration range.
+/// with every fault window — crash windows included — rescaled into the shrunk
+/// iteration range by the shared [`sweep::rescale_fault_windows`] helper.
 fn scaled(name: &str) -> Scenario {
     let mut s = builtin(name).expect("built-in scenario");
-    let ratio = 30.0 / s.iterations as f64;
-    for fault in &mut s.faults {
-        match fault {
-            FaultSpec::Slowdown {
-                start, duration, ..
-            }
-            | FaultSpec::Bandwidth {
-                start, duration, ..
-            }
-            | FaultSpec::Latency {
-                start, duration, ..
-            } => {
-                *start = (*start as f64 * ratio) as usize;
-                *duration = ((*duration as f64 * ratio) as usize).max(1);
-            }
-            FaultSpec::Crash { .. } => panic!("parity scenarios must be crash-free"),
-        }
-    }
-    s.iterations = 30;
+    sweep::rescale_fault_windows(&mut s, 30);
     s.eval_every = 10;
     s.train_samples = 512;
     s.test_samples = 128;
@@ -49,18 +45,27 @@ fn scaled(name: &str) -> Scenario {
     s
 }
 
+/// Assert the full parity contract: every threaded worker's sync schedule equals the
+/// simulator's restricted to the rounds that worker was present at (on a crash-free
+/// schedule that is the simulator's schedule verbatim).
 fn assert_parity(cfg: &TrainConfig, label: &str) {
     let sim = algorithms::run(cfg);
     let threaded = run_threaded_selsync(cfg);
     assert_eq!(threaded.len(), cfg.workers);
     for worker in &threaded {
+        let expected: Vec<usize> = sim
+            .sync_rounds
+            .iter()
+            .copied()
+            .filter(|&round| cfg.conditions.is_present(worker.worker, round))
+            .collect();
         assert_eq!(
-            worker.sync_rounds, sim.sync_rounds,
+            worker.sync_rounds, expected,
             "{label}: worker {} sync schedule diverged from the simulator's \
              (sim synced {} of {} rounds)",
             worker.worker, sim.sync_steps, cfg.iterations
         );
-        assert_eq!(worker.sync_steps, sim.sync_steps, "{label}");
+        assert_eq!(worker.sync_steps as usize, expected.len(), "{label}");
     }
 }
 
@@ -101,9 +106,34 @@ fn degraded_network_scenario_sync_schedule_matches_the_simulator() {
 }
 
 #[test]
+fn crash_rejoin_scenario_sync_schedule_matches_the_simulator() {
+    // The built-in crash scenario ships with scheduled rejoin pulls, so the rejoining
+    // thread reads the last *scheduled* global (the simulator's semantics) and the
+    // parity contract extends into and beyond the crash windows.
+    let scenario = scaled("crash-rejoin");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    assert_eq!(cfg.rejoin_pull, RejoinPull::Scheduled);
+    let sim = algorithms::run(&cfg);
+    assert!(
+        sim.sync_steps > 0 && sim.local_steps > 0,
+        "mixed schedule required (got {} sync / {} local)",
+        sim.sync_steps,
+        sim.local_steps
+    );
+    assert_parity(&cfg, "crash-rejoin");
+}
+
+#[test]
+fn elastic_churn_scenario_sync_schedule_matches_the_simulator() {
+    let scenario = scaled("elastic-churn");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    assert_parity(&cfg, "elastic-churn");
+}
+
+#[test]
 fn scheduled_policy_sync_schedule_matches_the_simulator() {
     // A scheduled δ policy is a pure function of the iteration, so every threaded
-    // worker replica agrees with the simulator's cluster-level policy.
+    // worker agrees with the simulator's cluster-level policy.
     let scenario = scaled("steady");
     let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
     cfg.delta_policy = Some(PolicySpec::Schedule {
@@ -126,6 +156,82 @@ fn scheduled_policy_sync_schedule_matches_the_simulator() {
 }
 
 #[test]
+fn scheduled_policy_on_crash_and_churn_schedules_matches_the_simulator() {
+    for name in ["crash-rejoin", "elastic-churn"] {
+        let scenario = scaled(name);
+        let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+        cfg.delta_policy = Some(PolicySpec::Schedule {
+            starts: vec![0, 10],
+            deltas: vec![0.0, MIXED_DELTA],
+        });
+        assert_parity(&cfg, &format!("{name}/scheduled-policy"));
+    }
+}
+
+#[test]
+fn adaptive_policy_sync_schedule_matches_the_simulator() {
+    // The stateful adaptive policy is the case per-worker replicas could never get
+    // right: its decisions depend on the *cluster* signal stream. The threaded
+    // driver's shared policy board observes the same worker-order aggregates the
+    // simulator merges, so the schedules coincide — including the settle switch.
+    let scenario = scaled("steady");
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+    let sim = algorithms::run(&cfg);
+    assert!(
+        sim.local_steps > 0,
+        "the adaptive arm must relax within the run: {:?}",
+        sim.sync_rounds
+    );
+    assert_parity(&cfg, "steady/adaptive-policy");
+}
+
+#[test]
+fn adaptive_policy_on_crash_and_churn_schedules_matches_the_simulator() {
+    // The widened contract's centrepiece: a stateful policy on faulty schedules.
+    // Rejoins restart per-worker trackers (producing the Δ(g) spikes the policy
+    // reacts to) while the shared policy itself — like the simulator's — survives.
+    for name in ["crash-rejoin", "elastic-churn"] {
+        let scenario = scaled(name);
+        let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+        cfg.delta_policy = Some(PolicySpec::adaptive_default());
+        assert_eq!(cfg.rejoin_pull, RejoinPull::Scheduled, "{name}");
+        assert_parity(&cfg, &format!("{name}/adaptive-policy"));
+    }
+}
+
+#[test]
+fn crash_rejoin_parity_reports_are_byte_identical_across_thread_counts() {
+    // The acceptance contract: on a faulty schedule with the adaptive arm, both
+    // backends' reports are byte-identical for SELSYNC_THREADS ∈ {1, 2, 4}, and the
+    // threaded schedule equals the simulator's at every thread count.
+    let scenario = scaled("crash-rejoin");
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+
+    let (sim_ref, threaded_ref) = par::with_threads(1, || {
+        (
+            format!("{:?}", algorithms::run(&cfg)),
+            format!("{:?}", run_threaded_selsync(&cfg)),
+        )
+    });
+    for threads in [2usize, 4] {
+        let (sim, threaded) = par::with_threads(threads, || {
+            (
+                format!("{:?}", algorithms::run(&cfg)),
+                format!("{:?}", run_threaded_selsync(&cfg)),
+            )
+        });
+        assert_eq!(sim, sim_ref, "simulator report at {threads} threads");
+        assert_eq!(
+            threaded, threaded_ref,
+            "threaded reports at {threads} threads"
+        );
+    }
+    assert_parity(&cfg, "crash-rejoin/threads");
+}
+
+#[test]
 fn threaded_final_state_matches_the_simulator_after_a_final_sync() {
     // Under δ=0 the last round synchronizes, so the threaded workers' final parameters
     // (= the PS global) must equal the simulator's synchronized global average —
@@ -142,5 +248,65 @@ fn threaded_final_state_matches_the_simulator_after_a_final_sync() {
             worker.worker
         );
         assert_eq!(worker.sync_rounds, sim.sync_rounds);
+    }
+}
+
+#[test]
+fn crash_rejoin_final_state_matches_the_simulator_after_a_final_sync() {
+    // Same parameter-stream check across a crash window: δ=0 keeps every round
+    // synchronized, the rejoiner pulls the scheduled global, and everyone ends on the
+    // PS state.
+    let scenario = scaled("crash-rejoin");
+    let cfg = scenario.train_config(AlgorithmSpec::selsync(0.0));
+    let threaded = run_threaded_selsync(&cfg);
+    for worker in &threaded {
+        assert_eq!(
+            worker.distance_to_global, 0.0,
+            "worker {} must end exactly on the PS state",
+            worker.worker
+        );
+    }
+    assert_parity(&cfg, "crash-rejoin/bsp");
+}
+
+#[test]
+#[ignore = "slow: every built-in x {fixed, scheduled, adaptive} x {1,2,4} threads; run with --ignored"]
+fn all_faulty_builtins_hold_parity_for_every_arm_across_thread_counts() {
+    for name in [
+        "steady",
+        "transient-straggler",
+        "degraded-network",
+        "crash-rejoin",
+        "heterogeneous-fleet",
+        "elastic-churn",
+    ] {
+        let scenario = scaled(name);
+        let arms: Vec<(&str, Option<PolicySpec>)> = vec![
+            ("fixed", None),
+            (
+                "scheduled",
+                Some(PolicySpec::Schedule {
+                    starts: vec![0, 10],
+                    deltas: vec![0.0, MIXED_DELTA],
+                }),
+            ),
+            ("adaptive", Some(PolicySpec::adaptive_default())),
+        ];
+        for (arm, policy) in arms {
+            let mut cfg = scenario.train_config(AlgorithmSpec::selsync(MIXED_DELTA));
+            // Crash-free builtins keep wall-clock pulls (nothing rejoins); the crash
+            // builtins ship scheduled pulls, which is what makes this sweep valid.
+            cfg.delta_policy = policy;
+            let label = format!("{name}/{arm}");
+            let reference = par::with_threads(1, || {
+                assert_parity(&cfg, &label);
+                format!("{:?}", run_threaded_selsync(&cfg))
+            });
+            for threads in [2usize, 4] {
+                let got =
+                    par::with_threads(threads, || format!("{:?}", run_threaded_selsync(&cfg)));
+                assert_eq!(got, reference, "{label} at {threads} threads");
+            }
+        }
     }
 }

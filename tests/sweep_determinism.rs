@@ -3,9 +3,10 @@
 //! recorded-seed regression pins the adaptive arm's synchronization schedule.
 
 use selsync_repro::core::algorithms;
-use selsync_repro::core::config::AlgorithmSpec;
+use selsync_repro::core::config::{AlgorithmSpec, RejoinPull};
 use selsync_repro::core::policy::PolicySpec;
 use selsync_repro::core::sim::with_sequential_rounds;
+use selsync_repro::core::threaded::run_threaded_selsync;
 use selsync_repro::core::TrainConfig;
 use selsync_repro::nn::model::ModelKind;
 use selsync_repro::scenario::{builtin, sweep, ArmKind, Scenario, SweepSpec};
@@ -96,6 +97,61 @@ fn recorded_seed_adaptive_sync_schedule_regression() {
         report.algorithm,
         "SelSync(adaptive(0->0.5,warmup=8,settle=0.05x4,spike=2.5),PA)"
     );
+}
+
+/// The scaled elastic-churn shape the parity suite uses: every fault window mapped
+/// into a 30-iteration run by the shared [`sweep::rescale_fault_windows`] helper
+/// (rolling crash windows + the bandwidth dip survive the shrink), small datasets,
+/// scheduled rejoin pulls from the built-in.
+fn scaled_elastic_churn() -> Scenario {
+    let mut s = builtin("elastic-churn").expect("built-in scenario");
+    sweep::rescale_fault_windows(&mut s, 30);
+    s.eval_every = 10;
+    s.train_samples = 512;
+    s.test_samples = 128;
+    s.eval_samples = 128;
+    s.batch_size = 8;
+    s.sweep = None;
+    s
+}
+
+#[test]
+fn recorded_seed_threaded_adaptive_sync_schedule_regression_on_elastic_churn() {
+    // The *threaded* counterpart of the simulator regression above: the adaptive
+    // arm's synchronization schedule on the scaled elastic-churn scenario (rolling
+    // crash/rejoin churn, seed 42), produced by the shared cluster policy over the
+    // real PS/collectives with scheduled rejoin pulls. Any change to the scalar
+    // all-reduce, the signal board's ordering, the snapshot ring, or the policy's
+    // switching logic shows up here first — and the schedule must stay equal to the
+    // simulator's (restricted per worker to its present rounds).
+    let scenario = scaled_elastic_churn();
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(0.055));
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+    assert_eq!(cfg.rejoin_pull, RejoinPull::Scheduled);
+
+    let sim = algorithms::run(&cfg);
+    // Dense through the churny descent (rounds 0..=19), relaxed once the loss EWMA
+    // settles (20..=24 local), re-entering the eager regime at 25 when a rejoiner's
+    // restarted tracker spikes Δ(g).
+    let expected: Vec<usize> = (0..=19).chain(25..=28).collect();
+    assert_eq!(
+        sim.sync_rounds, expected,
+        "simulator adaptive schedule on elastic-churn changed"
+    );
+
+    let reports = run_threaded_selsync(&cfg);
+    for r in &reports {
+        let mine: Vec<usize> = expected
+            .iter()
+            .copied()
+            .filter(|&round| cfg.conditions.is_present(r.worker, round))
+            .collect();
+        assert_eq!(
+            r.sync_rounds, mine,
+            "threaded adaptive schedule changed for worker {}",
+            r.worker
+        );
+    }
 }
 
 #[test]
