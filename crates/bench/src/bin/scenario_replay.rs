@@ -1,0 +1,263 @@
+//! Record, replay and diff deterministic SelSync event logs (see `docs/EVENT_LOG.md`).
+//!
+//! ```text
+//! scenario_replay --record out.jsonl --scenario crash-rejoin --quick
+//!                                         # run a scenario, write its event log
+//! scenario_replay --record out.jsonl --scenario elastic-churn --quick \
+//!                 --backend threaded --policy adaptive --delta 0.055
+//!                                         # same, on the threaded cluster backend
+//! scenario_replay --diff sim.jsonl threaded.jsonl
+//!                                         # pin the first divergent round + fields
+//! scenario_replay --check committed.jsonl --scenario elastic-churn --quick \
+//!                 --policy adaptive --delta 0.055
+//!                                         # replay live and diff against a recording
+//! scenario_replay --list                  # list built-in scenarios
+//! ```
+//!
+//! Event logs carry no timestamps and no backend tag, and the sink orders events
+//! canonically, so `--diff` on a simulator log and a threaded log of the same config
+//! must report them identical — that is the cross-backend determinism contract, and
+//! `--check` turns any committed log into a regression test. Exit status: 0 when the
+//! logs match, 1 on divergence (the first divergent round and every differing field
+//! are printed), 2 on usage errors.
+
+use selsync::algorithms;
+use selsync::config::{AlgorithmSpec, TrainConfig};
+use selsync::policy::PolicySpec;
+use selsync::threaded::run_threaded_selsync;
+use selsync_scenario::{builtin, library, sweep, Scenario, BUILTIN_NAMES};
+use selsync_tracelog::{diff_report, EventLog, TraceGranularity, TraceSink};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario_replay --record FILE --scenario <builtin-name | file.toml>\n\
+         \x20                      [--backend sim|threaded] [--policy fixed|scheduled|adaptive]\n\
+         \x20                      [--delta D] [--seed N] [--quick]\n\
+         \x20      scenario_replay --check FILE --scenario <...> [same options]\n\
+         \x20      scenario_replay --diff LEFT RIGHT\n\
+         \x20      scenario_replay --list\n\
+         built-ins: {}",
+        BUILTIN_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Sim,
+    Threaded,
+}
+
+/// Scenario + run options resolved from the command line; `config()` turns them
+/// into the exact `TrainConfig` the recording (or the live replay) uses.
+struct RunSpec {
+    scenario: Scenario,
+    backend: Backend,
+    policy: String,
+    delta: f32,
+}
+
+/// Same CI-sized rescale the trace-parity suite applies: 30 iterations with the
+/// fault schedule rescaled to fit, small sample counts, no sweep block. `--record
+/// --quick` therefore reproduces the suite's committed traces byte for byte.
+fn scaled(mut s: Scenario) -> Scenario {
+    sweep::rescale_fault_windows(&mut s, 30);
+    s.eval_every = 10;
+    s.train_samples = 512;
+    s.test_samples = 128;
+    s.eval_samples = 128;
+    s.batch_size = 8;
+    s.sweep = None;
+    s
+}
+
+fn load(spec: &str) -> Scenario {
+    let loaded = if spec.ends_with(".toml") {
+        std::fs::read_to_string(spec)
+            .map_err(|e| format!("{spec}: {e}"))
+            .and_then(|text| Scenario::from_toml_str(&text))
+    } else {
+        builtin(spec).ok_or_else(|| {
+            format!("unknown built-in scenario {spec:?} (try --list, or pass a .toml file)")
+        })
+    };
+    loaded.unwrap_or_else(|e| fail(&e))
+}
+
+impl RunSpec {
+    fn config(&self) -> TrainConfig {
+        let mut cfg = self
+            .scenario
+            .train_config(AlgorithmSpec::selsync(self.delta));
+        cfg.delta_policy = match self.policy.as_str() {
+            "fixed" => None,
+            "scheduled" => Some(PolicySpec::Schedule {
+                starts: vec![0, 10],
+                deltas: vec![0.0, self.delta],
+            }),
+            "adaptive" => Some(PolicySpec::adaptive_default()),
+            other => fail(&format!(
+                "unknown policy {other:?} (expected fixed, scheduled or adaptive)"
+            )),
+        };
+        cfg
+    }
+
+    /// Run the configured backend with a full-granularity sink and return the
+    /// encoded canonical event log.
+    fn record(&self) -> String {
+        let mut cfg = self.config();
+        cfg.trace = TraceSink::capture(TraceGranularity::Full);
+        match self.backend {
+            Backend::Sim => {
+                algorithms::run(&cfg);
+            }
+            Backend::Threaded => {
+                run_threaded_selsync(&cfg);
+            }
+        }
+        cfg.trace.take_log().encode()
+    }
+}
+
+fn read_log(path: &str) -> (String, EventLog) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let log = EventLog::decode(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    (text, log)
+}
+
+/// Diff two decoded logs; prints the verdict and returns the process exit code.
+fn diff_logs(left: &EventLog, right: &EventLog, left_label: &str, right_label: &str) -> i32 {
+    match diff_report(left, right, left_label, right_label) {
+        Some(report) => {
+            print!("{report}");
+            1
+        }
+        None => {
+            println!(
+                "logs are identical: {} events, {left_label} == {right_label}",
+                left.events.len()
+            );
+            0
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--list" {
+        for scenario in library::all_builtin() {
+            println!("{:22} {}", scenario.name, scenario.description);
+        }
+        return;
+    }
+    if args[0] == "--diff" {
+        let (left_path, right_path) = match (args.get(1), args.get(2)) {
+            (Some(l), Some(r)) if args.len() == 3 => (l, r),
+            _ => usage(),
+        };
+        let (_, left) = read_log(left_path);
+        let (_, right) = read_log(right_path);
+        std::process::exit(diff_logs(&left, &right, left_path, right_path));
+    }
+
+    let (mode, file) = match args[0].as_str() {
+        "--record" | "--check" => (
+            args[0].clone(),
+            args.get(1).unwrap_or_else(|| usage()).clone(),
+        ),
+        _ => usage(),
+    };
+    let mut scenario_spec: Option<String> = None;
+    let mut backend = Backend::Sim;
+    let mut policy = "fixed".to_string();
+    let mut delta: Option<f32> = None;
+    let mut seed: Option<u64> = None;
+    let mut quick = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                scenario_spec = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--backend" => {
+                backend = match args.get(i + 1).unwrap_or_else(|| usage()).as_str() {
+                    "sim" => Backend::Sim,
+                    "threaded" => Backend::Threaded,
+                    other => fail(&format!(
+                        "unknown backend {other:?} (expected sim or threaded)"
+                    )),
+                };
+                i += 2;
+            }
+            "--policy" => {
+                policy = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--delta" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                delta = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                seed = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let mut scenario = load(&scenario_spec.unwrap_or_else(|| usage()));
+    if let Some(seed) = seed {
+        scenario.seed = seed;
+    }
+    if quick {
+        scenario = scaled(scenario);
+    }
+    let delta = delta.unwrap_or(scenario.delta);
+    let spec = RunSpec {
+        scenario,
+        backend,
+        policy,
+        delta,
+    };
+
+    match mode.as_str() {
+        "--record" => {
+            let log = spec.record();
+            if let Err(e) = std::fs::write(&file, &log) {
+                fail(&format!("could not write {file}: {e}"));
+            }
+            println!(
+                "recorded {} lines to {file} ({} backend, {} policy, delta {})",
+                log.lines().count(),
+                match spec.backend {
+                    Backend::Sim => "sim",
+                    Backend::Threaded => "threaded",
+                },
+                spec.policy,
+                delta
+            );
+        }
+        "--check" => {
+            let (_, committed) = read_log(&file);
+            let live_text = spec.record();
+            let live = EventLog::decode(&live_text).expect("live log decodes");
+            std::process::exit(diff_logs(&committed, &live, "committed", "live"));
+        }
+        _ => unreachable!(),
+    }
+}

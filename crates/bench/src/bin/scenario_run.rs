@@ -7,6 +7,8 @@
 //! scenario_run path/to/custom.toml            # run a scenario file
 //! scenario_run transient-straggler --seed 7   # override the seed
 //! scenario_run transient-straggler --out r.md # also write the report to a file
+//! scenario_run crash-rejoin --trace t.jsonl   # also record the SelSync arm's
+//!                                             # event log (docs/EVENT_LOG.md)
 //! scenario_run --dump crash-rejoin            # print a built-in as TOML
 //! ```
 //!
@@ -17,7 +19,7 @@ use selsync_scenario::{builtin, library, runner, Scenario, BUILTIN_NAMES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario_run <builtin-name | file.toml> [--seed N] [--out FILE]\n\
+        "usage: scenario_run <builtin-name | file.toml> [--seed N] [--out FILE] [--trace FILE]\n\
          \x20      scenario_run --list\n\
          \x20      scenario_run --dump <builtin-name>\n\
          built-ins: {}",
@@ -80,6 +82,13 @@ fn main() {
                 out_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
+            "--trace" => {
+                // Equivalent to a `[trace]` block in the scenario file: enable
+                // capture and point the recording at FILE.
+                scenario.trace.enabled = true;
+                scenario.trace.path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -98,5 +107,16 @@ fn main() {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
         }
+    }
+    if let Some(path) = &scenario.trace.path {
+        let Some(trace) = &report.trace else {
+            eprintln!("error: trace capture was enabled but no SelSync arm ran");
+            std::process::exit(1);
+        };
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("event log written to {path}");
     }
 }

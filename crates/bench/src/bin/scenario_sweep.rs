@@ -13,6 +13,9 @@
 //!                                                  # also run the threaded driver's
 //!                                                  # adaptive arm and archive its
 //!                                                  # sync schedule + simulator parity
+//! scenario_sweep elastic-churn --trace-dir traces/ # also record each arm's
+//!                                                  # first-seed event log
+//!                                                  # (docs/EVENT_LOG.md)
 //! ```
 //!
 //! Scenarios without a `[sweep]` block use the default grid (δ ∈ {0, 0.05, 0.15, 0.3,
@@ -25,11 +28,12 @@ use selsync::config::AlgorithmSpec;
 use selsync::policy::PolicySpec;
 use selsync::threaded::run_threaded_selsync;
 use selsync_scenario::{builtin, library, sweep, Scenario, BUILTIN_NAMES};
+use selsync_tracelog::{diff_report, TraceGranularity, TraceSink};
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenario_sweep <builtin-name | file.toml> [--quick] [--seed N] [--out FILE] \
-         [--json FILE] [--threaded-schedule FILE]\n\
+         [--json FILE] [--threaded-schedule FILE] [--trace-dir DIR]\n\
          \x20      scenario_sweep --list\n\
          built-ins: {}",
         BUILTIN_NAMES.join(", ")
@@ -41,8 +45,10 @@ fn usage() -> ! {
 /// adaptive policy) through the *threaded* driver and the simulator, and render a
 /// deterministic JSON record of both synchronization schedules plus the parity
 /// verdict (every worker's threaded schedule == the simulator's restricted to that
-/// worker's present rounds). Archived by CI next to the sweep report so the threaded
-/// adaptive schedule is comparable PR over PR.
+/// worker's present rounds). Both runs capture event logs, so a parity break ships
+/// its own diagnosis: `first_divergence` pins the first divergent round and field
+/// via the trace-diff engine (null when the logs agree). Archived by CI next to the
+/// sweep report so the threaded adaptive schedule is comparable PR over PR.
 fn threaded_schedule_json(scenario: &Scenario) -> String {
     let policy = scenario
         .sweep
@@ -56,11 +62,17 @@ fn threaded_schedule_json(scenario: &Scenario) -> String {
         .unwrap_or_else(PolicySpec::adaptive_default);
     let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
     cfg.delta_policy = Some(policy.clone());
+    cfg.trace = TraceSink::capture(TraceGranularity::Full);
 
     let sim = algorithms::run(&cfg);
+    let sim_log = cfg.trace.take_log();
     let workers = run_threaded_selsync(&cfg);
+    let threaded_log = cfg.trace.take_log();
+    let divergence = diff_report(&sim_log, &threaded_log, "simulator", "threaded");
     fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
     }
     let fmt_rounds = |rounds: &[usize]| -> String {
         let items: Vec<String> = rounds.iter().map(|r| r.to_string()).collect();
@@ -102,9 +114,29 @@ fn threaded_schedule_json(scenario: &Scenario) -> String {
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"parity_with_simulator\": {parity}\n"));
+    out.push_str(&format!("  \"parity_with_simulator\": {parity},\n"));
+    match &divergence {
+        Some(report) => out.push_str(&format!(
+            "  \"first_divergence\": \"{}\"\n",
+            esc(report.trim_end())
+        )),
+        None => out.push_str("  \"first_divergence\": null\n"),
+    }
     out.push_str("}\n");
     out
+}
+
+/// Deterministic, filesystem-safe file name for one sweep arm's event log.
+fn trace_file_name(label: &str) -> String {
+    let mut name = String::new();
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '-') {
+            name.push(c);
+        } else if !name.ends_with('_') {
+            name.push('_');
+        }
+    }
+    format!("{}.trace.jsonl", name.trim_matches('_'))
 }
 
 fn load(spec: &str) -> Result<Scenario, String> {
@@ -141,6 +173,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut threaded_path: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -174,11 +207,20 @@ fn main() {
                 threaded_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
+            "--trace-dir" => {
+                trace_dir = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
     if quick {
         scenario = sweep::quick_variant(&scenario);
+    }
+    if trace_dir.is_some() {
+        // Equivalent to `[trace] enabled = true`: the sweep records each arm's
+        // first-seed event log alongside its statistics.
+        scenario.trace.enabled = true;
     }
 
     let report = match sweep::run_sweep(&scenario) {
@@ -206,6 +248,21 @@ fn main() {
         if let Err(e) = std::fs::write(&path, threaded_schedule_json(&scenario)) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
+        }
+    }
+    if let Some(dir) = trace_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: could not create {dir}: {e}");
+            std::process::exit(1);
+        }
+        for arm in &report.arms {
+            let Some(trace) = &arm.trace else { continue };
+            let path = std::path::Path::new(&dir).join(trace_file_name(&arm.label));
+            if let Err(e) = std::fs::write(&path, trace) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("event log written to {}", path.display());
         }
     }
 }

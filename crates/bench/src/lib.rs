@@ -722,6 +722,7 @@ pub fn scenario_sweep_summary(scale: Scale) -> Table {
         "final_metric_spread",
         "lssr_mean",
         "sync_steps_mean",
+        "switches_mean",
         "syncs_to_target_mean",
         "reached_target",
         "seeds",
@@ -734,6 +735,7 @@ pub fn scenario_sweep_summary(scale: Scale) -> Table {
             fmt_f(arm.final_metric.spread, 3),
             fmt_f(arm.lssr.mean, 4),
             fmt_f(arm.sync_steps.mean, 1),
+            fmt_f(arm.switches.mean, 1),
             arm.syncs_to_target
                 .map(|s| fmt_f(s, 1))
                 .unwrap_or_else(|| "-".into()),

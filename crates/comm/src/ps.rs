@@ -140,6 +140,31 @@ impl ParameterServer {
         }
     }
 
+    /// The round id of the newest **scheduled** synchronization round with id
+    /// `< round` — the round whose global [`Self::scheduled_global_before`] would
+    /// answer with — or `None` when the answer is the pre-training initial global.
+    /// Same preconditions as the value lookup: panics if the ring is disabled or the
+    /// answer was evicted. The trace layer records this id on deterministic rejoin
+    /// pulls so both backends log the same `from` round.
+    pub fn scheduled_round_before(&self, round: u64) -> Option<u64> {
+        let ring = self.snapshots.lock();
+        assert!(
+            ring.depth > 0,
+            "scheduled snapshots are not enabled on this parameter server"
+        );
+        match ring.entries.iter().rev().find(|&&(r, _)| r < round) {
+            Some(&(r, _)) => Some(r),
+            None => {
+                assert!(
+                    ring.evicted_min.is_none_or(|e| e >= round),
+                    "snapshot ring too shallow: the scheduled global before round \
+                     {round} was evicted"
+                );
+                None
+            }
+        }
+    }
+
     /// Dimensionality of the stored vector.
     pub fn dim(&self) -> usize {
         self.global.read().len()
@@ -458,6 +483,19 @@ mod tests {
         assert_eq!(ps.scheduled_global_before(6), vec![5.0]);
         assert_eq!(ps.scheduled_global_before(9), vec![5.0]);
         assert_eq!(ps.scheduled_global_before(100), vec![9.0]);
+    }
+
+    #[test]
+    fn snapshot_ring_reports_the_round_id_of_its_answer() {
+        let ps = ParameterServer::new(vec![0.0; 1]);
+        ps.enable_scheduled_snapshots(4);
+        for (round, v) in [(2u64, 2.0f32), (5, 5.0), (9, 9.0)] {
+            ps.sync_round_elastic(round, 0, &[v], 1);
+        }
+        assert_eq!(ps.scheduled_round_before(2), None);
+        assert_eq!(ps.scheduled_round_before(3), Some(2));
+        assert_eq!(ps.scheduled_round_before(9), Some(5));
+        assert_eq!(ps.scheduled_round_before(100), Some(9));
     }
 
     #[test]

@@ -25,9 +25,46 @@ use crate::policy::{PolicySpec, SyncDecision, SyncPolicy};
 use crate::report::RunReport;
 use crate::sim::{Simulator, WorkerStep};
 
+/// The algorithm label a SelSync run reports, as a pure function of its config.
+/// Shared by the simulator driver and the threaded driver (and the trace headers of
+/// both), so every surface names the same run identically.
+///
+/// Without an explicit policy the paper's algorithm label is kept verbatim (byte
+/// compatibility with every pre-policy recorded report); explicit policies name
+/// themselves. A `Fixed` policy's label intentionally reproduces the same
+/// `SelSync(d=…,…)` shape.
+pub fn algorithm_label(cfg: &TrainConfig) -> String {
+    let (aggregation_mode, injection) = match cfg.algorithm {
+        AlgorithmSpec::SelSync {
+            aggregation,
+            injection,
+            ..
+        } => (aggregation, injection),
+        _ => return cfg.algorithm.name(),
+    };
+    let Some(spec) = &cfg.delta_policy else {
+        return cfg.algorithm.name();
+    };
+    let agg = match aggregation_mode {
+        AggregationMode::Parameter => "PA",
+        AggregationMode::Gradient => "GA",
+    };
+    // An injected Fixed arm reproduces AlgorithmSpec::name()'s exact shape
+    // (`SelSync(α,β,δ,agg)`, no `d=` prefix) so label-keyed comparisons treat
+    // semantically identical arms identically.
+    let policy_label = match (spec, injection.is_some()) {
+        (PolicySpec::Fixed { delta }, true) => format!("{delta}"),
+        _ => spec.label(),
+    };
+    match injection {
+        Some(inj) => format!("SelSync({},{},{policy_label},{agg})", inj.alpha, inj.beta),
+        None => format!("SelSync({policy_label},{agg})"),
+    }
+}
+
 /// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
 pub fn run(cfg: &TrainConfig) -> RunReport {
-    let (delta, aggregation_mode, injection) = match cfg.algorithm {
+    let (delta, aggregation_mode, _injection) = match cfg.algorithm {
         AlgorithmSpec::SelSync {
             delta,
             aggregation,
@@ -41,29 +78,11 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         .unwrap_or(PolicySpec::Fixed { delta });
     spec.validate().expect("invalid δ-policy configuration");
     let mut policy = spec.build();
-    // Without an explicit policy the paper's algorithm label is kept verbatim (byte
-    // compatibility with every pre-policy recorded report); explicit policies name
-    // themselves. A `Fixed` policy's label intentionally reproduces the same
-    // `SelSync(d=…,…)` shape.
-    let algo_name = if cfg.delta_policy.is_none() {
-        cfg.algorithm.name()
-    } else {
-        let agg = match aggregation_mode {
-            AggregationMode::Parameter => "PA",
-            AggregationMode::Gradient => "GA",
-        };
-        // An injected Fixed arm reproduces AlgorithmSpec::name()'s exact shape
-        // (`SelSync(α,β,δ,agg)`, no `d=` prefix) so label-keyed comparisons treat
-        // semantically identical arms identically.
-        let policy_label = match (&spec, injection.is_some()) {
-            (PolicySpec::Fixed { delta }, true) => format!("{delta}"),
-            _ => spec.label(),
-        };
-        match injection {
-            Some(inj) => format!("SelSync({},{},{policy_label},{agg})", inj.alpha, inj.beta),
-            None => format!("SelSync({policy_label},{agg})"),
-        }
-    };
+    let algo_name = algorithm_label(cfg);
+    // Only signal-consuming policies receive cluster round signals in the threaded
+    // driver (the exchange is elided otherwise), so only they log signal events.
+    let exchange_signals = spec.consumes_round_signals();
+    crate::tracing::emit_header(&cfg.trace, cfg, &algo_name, &spec.label());
 
     let mut sim = Simulator::new(cfg);
     let wire = sim.nominal().wire_bytes;
@@ -81,6 +100,7 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             sim.account_step(0.0, 0.0, 0, false);
             continue;
         }
+        crate::tracing::emit_round_context(&cfg.trace, &cfg.conditions, cfg.workers, it, &present);
         let mut comm = rejoin_comm;
         let mut bytes = rejoin_bytes;
 
@@ -135,7 +155,30 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
 
         // Feed the completed round's (worker-order-merged, thread-count-invariant)
         // signals back to the δ policy.
-        policy.observe(&round.signal(it, synced));
+        let round_signal = round.signal(it, synced);
+        policy.observe(&round_signal);
+
+        if cfg.trace.is_enabled() {
+            if exchange_signals {
+                sim_trace_signal(cfg, &round_signal);
+            }
+            cfg.trace.record(selsync_tracelog::Event::Round {
+                round: it,
+                delta: sync_policy.delta,
+                flags: flags.clone(),
+                synced,
+            });
+            if let Some(sw) = policy.last_switch() {
+                cfg.trace.record(selsync_tracelog::Event::RegimeSwitch {
+                    round: it,
+                    exploit: sw.exploit,
+                    loss_ewma: sw.loss_ewma,
+                    delta_ewma: sw.delta_ewma,
+                    mean_loss: round_signal.mean_loss,
+                    max_delta: round_signal.max_delta,
+                });
+            }
+        }
 
         if sim.should_eval(it) {
             // The evaluated global model is the present replicas' average (identical to
@@ -146,7 +189,19 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             avg = snapshot;
         }
     }
-    sim.finalize(algo_name)
+    let mut report = sim.finalize(algo_name);
+    report.policy_switches = policy.switch_rounds().len() as u32;
+    report.switch_rounds = policy.switch_rounds().to_vec();
+    report
+}
+
+/// Record the cluster-aggregated round signal (split out to keep the round loop flat).
+fn sim_trace_signal(cfg: &TrainConfig, signal: &crate::policy::RoundSignal) {
+    cfg.trace.record(selsync_tracelog::Event::Signal {
+        round: signal.iteration,
+        mean_loss: signal.mean_loss,
+        max_delta: signal.max_delta,
+    });
 }
 
 #[cfg(test)]

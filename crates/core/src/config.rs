@@ -14,6 +14,7 @@ use selsync_data::partition::PartitionScheme;
 use selsync_nn::cost::DeviceProfile;
 use selsync_nn::model::ModelKind;
 use selsync_nn::schedule::LrSchedule;
+use selsync_tracelog::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// Which first-order optimizer to instantiate per worker.
@@ -213,6 +214,11 @@ pub struct TrainConfig {
     /// Rejoin-pull semantics of the thread-per-worker driver (wall-clock by default;
     /// the simulator is unaffected — it is always schedule-deterministic).
     pub rejoin_pull: RejoinPull,
+    /// Run-trace capture hook (disabled by default; zero-cost when disabled). Both
+    /// SelSync drivers emit the canonical event stream into it. Clones of a config
+    /// share one sink — give each *run* a fresh `TraceSink::capture(..)` so two runs
+    /// never interleave events in one buffer. Not part of the serialized config.
+    pub trace: TraceSink,
 }
 
 impl TrainConfig {
@@ -273,6 +279,7 @@ impl TrainConfig {
             conditions: ClusterConditions::uniform(),
             delta_policy: None,
             rejoin_pull: RejoinPull::WallClock,
+            trace: TraceSink::disabled(),
         }
     }
 

@@ -27,6 +27,8 @@
 //! * [`algorithms`] — training drivers: BSP, local SGD, FedAvg, SSP and SelSync.
 //! * [`threaded`] — a thread-per-worker SelSync/BSP driver over the real parameter
 //!   server and collectives of `selsync-comm` (used by integration tests).
+//! * [`tracing`] — shared emission helpers for the deterministic run-trace layer
+//!   (`selsync-tracelog`): both SelSync drivers log the same canonical event stream.
 //!
 //! # Quickstart
 //!
@@ -51,11 +53,14 @@ pub mod policy;
 pub mod report;
 pub mod sim;
 pub mod threaded;
+pub mod tracing;
 pub mod tracker;
 
 pub use aggregation::AggregationMode;
 pub use conditions::{ClusterConditions, FaultEvent};
 pub use config::{AlgorithmSpec, TrainConfig};
-pub use policy::{AdaptiveDelta, DeltaPolicy, PolicySpec, RoundSignal, SyncDecision, SyncPolicy};
+pub use policy::{
+    AdaptiveDelta, DeltaPolicy, PolicySpec, RoundSignal, SwitchRecord, SyncDecision, SyncPolicy,
+};
 pub use report::RunReport;
 pub use tracker::GradientTracker;

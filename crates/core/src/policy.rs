@@ -98,6 +98,20 @@ pub struct RoundSignal {
     pub synced: bool,
 }
 
+/// Record of one regime switch made by an adaptive policy, with the detector state
+/// that triggered it (the values the trace layer reports alongside the switch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchRecord {
+    /// The regime switched *to*: `true` = exploit (relaxed δ), `false` = explore.
+    pub exploit: bool,
+    /// The smoothed loss at the moment of the switch.
+    pub loss_ewma: f32,
+    /// The `Δ(g)` baseline the decision compared against: for a spike-triggered
+    /// switch, the pre-update EWMA the raw `Δ(g)` was measured as a multiple of;
+    /// for a settle-triggered switch, the current `Δ(g)` EWMA.
+    pub delta_ewma: f32,
+}
+
 /// A runtime rule choosing the δ threshold round by round.
 ///
 /// [`Self::delta`] is consulted *before* a round runs (it decides this round's
@@ -113,6 +127,18 @@ pub trait DeltaPolicy: Send {
 
     /// Short label used in report algorithm names (e.g. `d=0.3`, `adaptive(0..0.5)`).
     fn label(&self) -> String;
+
+    /// The regime switch triggered by the most recent [`Self::observe`] call, if
+    /// any. Stateless policies never switch; adaptive policies report the switch
+    /// exactly once (the next `observe` clears it).
+    fn last_switch(&self) -> Option<SwitchRecord> {
+        None
+    }
+
+    /// The rounds at which the policy has switched regimes so far, in order.
+    fn switch_rounds(&self) -> &[usize] {
+        &[]
+    }
 }
 
 /// The paper's fixed threshold as a [`DeltaPolicy`].
@@ -212,6 +238,8 @@ pub struct AdaptiveDelta {
     calm: usize,
     exploiting: bool,
     switches: u32,
+    switch_rounds: Vec<usize>,
+    last_switch: Option<SwitchRecord>,
 }
 
 impl AdaptiveDelta {
@@ -240,6 +268,8 @@ impl AdaptiveDelta {
                 calm: 0,
                 exploiting: false,
                 switches: 0,
+                switch_rounds: Vec::new(),
+                last_switch: None,
             },
             _ => panic!("AdaptiveDelta::from_spec needs PolicySpec::Adaptive"),
         }
@@ -267,6 +297,7 @@ impl DeltaPolicy for AdaptiveDelta {
 
     fn observe(&mut self, signal: &RoundSignal) {
         self.rounds += 1;
+        self.last_switch = None;
         let prev_loss = self.loss.value();
         let smoothed_loss = self.loss.update(signal.mean_loss);
         let prev_delta = self.delta_signal.value();
@@ -281,6 +312,12 @@ impl DeltaPolicy for AdaptiveDelta {
                     self.exploiting = false;
                     self.calm = 0;
                     self.switches += 1;
+                    self.switch_rounds.push(signal.iteration);
+                    self.last_switch = Some(SwitchRecord {
+                        exploit: false,
+                        loss_ewma: smoothed_loss,
+                        delta_ewma: base,
+                    });
                 }
             }
             return;
@@ -306,6 +343,12 @@ impl DeltaPolicy for AdaptiveDelta {
             self.exploiting = true;
             self.calm = 0;
             self.switches += 1;
+            self.switch_rounds.push(signal.iteration);
+            self.last_switch = Some(SwitchRecord {
+                exploit: true,
+                loss_ewma: smoothed_loss,
+                delta_ewma: self.delta_signal.value().unwrap_or(0.0),
+            });
         }
     }
 
@@ -319,6 +362,14 @@ impl DeltaPolicy for AdaptiveDelta {
             self.patience,
             self.spike
         )
+    }
+
+    fn last_switch(&self) -> Option<SwitchRecord> {
+        self.last_switch
+    }
+
+    fn switch_rounds(&self) -> &[usize] {
+        &self.switch_rounds
     }
 }
 
@@ -698,6 +749,35 @@ mod tests {
             "calm loss re-relaxes after the repair window"
         );
         assert_eq!(p.switches(), 3);
+    }
+
+    #[test]
+    fn adaptive_policy_records_switch_rounds_and_trigger_state() {
+        let mut p = AdaptiveDelta::from_spec(&PolicySpec::adaptive_default());
+        assert!(p.last_switch().is_none());
+        assert!(p.switch_rounds().is_empty());
+        for it in 0..12 {
+            p.observe(&signal(it, 0.05, 1.0));
+        }
+        // Flat loss: settles at round 11 (warmup 8 + patience 4).
+        assert_eq!(p.switch_rounds(), &[11]);
+        let settled = p.last_switch().expect("settle switch must be reported");
+        assert!(settled.exploit);
+        assert!(settled.delta_ewma > 0.0);
+        // A quiet round clears the one-shot record but keeps the history.
+        p.observe(&signal(12, 0.05, 1.0));
+        assert!(p.last_switch().is_none());
+        // A spike reverts and reports the pre-update Δ(g) baseline it compared with.
+        p.observe(&signal(13, 0.5, 1.0));
+        let spiked = p.last_switch().expect("spike switch must be reported");
+        assert!(!spiked.exploit);
+        assert!((spiked.delta_ewma - 0.05).abs() < 1e-6);
+        assert_eq!(p.switch_rounds(), &[11, 13]);
+        assert_eq!(p.switches(), p.switch_rounds().len() as u32);
+        // Stateless policies expose the empty defaults.
+        let fixed = PolicySpec::Fixed { delta: 0.1 }.build();
+        assert!(fixed.last_switch().is_none());
+        assert!(fixed.switch_rounds().is_empty());
     }
 
     #[test]

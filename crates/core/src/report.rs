@@ -61,6 +61,11 @@ pub struct RunReport {
     pub compute_time_s: f64,
     /// Bytes moved over the (simulated) network.
     pub bytes_communicated: u64,
+    /// Number of δ-policy regime switches the run made (0 for fixed/scheduled
+    /// policies, which never switch; the adaptive arm's explore↔exploit flips).
+    pub policy_switches: u32,
+    /// The iterations at which those regime switches fired, in order.
+    pub switch_rounds: Vec<usize>,
     /// Evaluation history.
     pub history: Vec<EvalPoint>,
 }
@@ -165,6 +170,8 @@ mod tests {
             comm_time_s: time / 2.0,
             compute_time_s: time / 2.0,
             bytes_communicated: 0,
+            policy_switches: 0,
+            switch_rounds: Vec::new(),
             history: metrics
                 .iter()
                 .map(|&(it, t, m)| EvalPoint {

@@ -824,6 +824,28 @@ impl Simulator {
                     self.rejoin_worker(w, global);
                     comm_s += self.ps_one_way_seconds_at(iteration);
                     bytes += self.nominal().wire_bytes;
+                    if self.cfg.trace.is_enabled() {
+                        // Mirror the threaded driver's pull event: under scheduled
+                        // pulls the source is the last sync round (what the PS
+                        // snapshot ring would return); wall-clock pulls have an
+                        // inherently timing-dependent source, recorded as `None` so
+                        // both backends' logs stay byte-comparable.
+                        let (pull, from) = match self.cfg.rejoin_pull {
+                            crate::config::RejoinPull::Scheduled => (
+                                selsync_tracelog::PullKind::Scheduled,
+                                self.sync_rounds.last().copied(),
+                            ),
+                            crate::config::RejoinPull::WallClock => {
+                                (selsync_tracelog::PullKind::WallClock, None)
+                            }
+                        };
+                        self.cfg.trace.record(selsync_tracelog::Event::RejoinPull {
+                            round: iteration,
+                            worker: w,
+                            pull,
+                            from,
+                        });
+                    }
                 }
             }
         }
@@ -912,6 +934,10 @@ impl Simulator {
             comm_time_s: self.comm_time_s,
             compute_time_s: self.compute_time_s,
             bytes_communicated: self.bytes_communicated,
+            // Stateless drivers never switch regimes; the SelSync driver overwrites
+            // these from its policy after finalization.
+            policy_switches: 0,
+            switch_rounds: Vec::new(),
             history: self.history,
         }
     }

@@ -72,6 +72,7 @@ use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
 use selsync_comm::ScalarOp;
 use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::model::PaperModel;
+use selsync_tracelog::{Event, PullKind, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// The cluster-level δ-policy shared by every worker thread — the threaded
@@ -88,6 +89,9 @@ use serde::{Deserialize, Serialize};
 struct SignalBoard {
     state: Mutex<BoardState>,
     cv: Condvar,
+    /// The run's trace sink: regime switches are policy-internal transitions, visible
+    /// only at the observation point, so the board is the one place that can log them.
+    trace: TraceSink,
 }
 
 struct BoardState {
@@ -98,13 +102,14 @@ struct BoardState {
 }
 
 impl SignalBoard {
-    fn new(policy: Box<dyn DeltaPolicy>, first_active_round: usize) -> Self {
+    fn new(policy: Box<dyn DeltaPolicy>, first_active_round: usize, trace: TraceSink) -> Self {
         SignalBoard {
             state: Mutex::new(BoardState {
                 policy,
                 next_observe: first_active_round,
             }),
             cv: Condvar::new(),
+            trace,
         }
     }
 
@@ -143,6 +148,20 @@ impl SignalBoard {
             "round signals observed out of order"
         );
         s.policy.observe(&signal);
+        if self.trace.is_enabled() {
+            if let Some(sw) = s.policy.last_switch() {
+                // Same shape as the simulator driver's switch event: the trigger
+                // state from the policy plus the observed cluster signals.
+                self.trace.record(Event::RegimeSwitch {
+                    round: signal.iteration,
+                    exploit: sw.exploit,
+                    loss_ewma: sw.loss_ewma,
+                    delta_ewma: sw.delta_ewma,
+                    mean_loss: signal.mean_loss,
+                    max_delta: signal.max_delta,
+                });
+            }
+        }
         s.next_observe = next_round;
         self.cv.notify_all();
     }
@@ -195,6 +214,13 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         _ => PolicySpec::Fixed { delta },
     };
     spec.validate().expect("invalid δ-policy configuration");
+    // Same header both backends write: the labels are pure functions of the config.
+    crate::tracing::emit_header(
+        &cfg.trace,
+        cfg,
+        &crate::algorithms::selsync::algorithm_label(cfg),
+        &spec.label(),
+    );
 
     // Shared immutable dataset: the *same* train split the simulator uses, built once
     // and shared by reference across threads.
@@ -212,6 +238,7 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
     let board = SignalBoard::new(
         spec.build(),
         conditions.next_active_iteration(n, 0, cfg.iterations),
+        cfg.trace.clone(),
     );
     let board = &board;
     // Fixed and scheduled policies are pure functions of the iteration and discard
@@ -289,6 +316,29 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                         handles.ps.scheduled_global_before(it as u64)
                     }
                 };
+                if cfg.trace.is_enabled() {
+                    // Mirror the simulator's pull event: under scheduled pulls the
+                    // source is the ring's answer for this round (all earlier rounds
+                    // have decided, so the `< it` entries are final); wall-clock
+                    // pulls have a timing-dependent source, recorded as `None` on
+                    // both backends so the logs stay byte-comparable.
+                    let (pull, from) = match cfg.rejoin_pull {
+                        RejoinPull::Scheduled => (
+                            PullKind::Scheduled,
+                            handles
+                                .ps
+                                .scheduled_round_before(it as u64)
+                                .map(|r| r as usize),
+                        ),
+                        RejoinPull::WallClock => (PullKind::WallClock, None),
+                    };
+                    cfg.trace.record(Event::RejoinPull {
+                        round: it,
+                        worker,
+                        pull,
+                        from,
+                    });
+                }
                 tracker = new_tracker();
                 optimizer = cfg.optimizer.build();
                 was_present = true;
@@ -363,6 +413,28 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                 counter.record_local();
             }
             if rank == 0 {
+                if cfg.trace.is_enabled() {
+                    // One emitter per round: the lowest-ranked present worker logs the
+                    // round's structural and decision events (canonical sorting in the
+                    // sink erases any cross-thread interleaving with other rounds).
+                    crate::tracing::emit_round_context(&cfg.trace, conditions, n, it, &present);
+                    if exchange_signals {
+                        cfg.trace.record(Event::Signal {
+                            round: it,
+                            mean_loss,
+                            max_delta: cluster_delta,
+                        });
+                    }
+                    cfg.trace.record(Event::Round {
+                        round: it,
+                        delta: sync_policy.delta,
+                        // The collective's gather is full-width (absent slots read
+                        // false); the canonical event keeps present-worker order,
+                        // matching the simulator's per-present-worker flag vector.
+                        flags: present.iter().map(|&w| flags[w]).collect(),
+                        synced,
+                    });
+                }
                 // The lowest-ranked present worker posts the round's cluster signal.
                 // Every present worker has passed the status all-gather by now (it is
                 // a rendezvous), so no one can still be waiting on this round's δ —

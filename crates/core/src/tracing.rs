@@ -1,0 +1,230 @@
+//! Shared trace-emission helpers for the SelSync drivers.
+//!
+//! Both backends — the simulator's round loop and the threaded cluster's rank-0
+//! worker — feed the same per-round facts through these helpers, so the structural
+//! events (run header, membership changes, fault-window edges) are identical *by
+//! construction*: everything here is a pure function of the config's deterministic
+//! [`ClusterConditions`] schedule, never of backend state.
+
+use crate::conditions::{ClusterConditions, FaultEvent};
+use crate::config::TrainConfig;
+use selsync_tracelog::{Event, FaultKind, TraceSink, WindowEdge, TRACE_VERSION};
+
+/// Emit the run header. `algorithm` and `policy` are the same labels both drivers
+/// derive from the config (see [`crate::algorithms::selsync::algorithm_label`] and
+/// `PolicySpec::label`), so sim and threaded headers agree byte-for-byte.
+pub fn emit_header(sink: &TraceSink, cfg: &TrainConfig, algorithm: &str, policy: &str) {
+    if !sink.is_enabled() {
+        return;
+    }
+    sink.record(Event::Header {
+        version: TRACE_VERSION,
+        algorithm: algorithm.to_string(),
+        policy: policy.to_string(),
+        workers: cfg.workers,
+        iterations: cfg.iterations,
+        seed: cfg.seed,
+    });
+}
+
+/// The previous *active* round before `iteration` (the last earlier round with at
+/// least one present worker), if any. Rounds where the whole cluster is absent are
+/// skipped by both drivers, so consecutive active rounds are the granularity at
+/// which membership and fault edges are observable in either backend.
+fn previous_active_round(
+    conditions: &ClusterConditions,
+    workers: usize,
+    iteration: usize,
+) -> Option<usize> {
+    (0..iteration)
+        .rev()
+        .find(|&p| !conditions.present_workers(workers, p).is_empty())
+}
+
+/// Emit the structural events of an active round: the membership change relative to
+/// the previous active round (first active round included), and the open/close
+/// edges of every non-crash fault window that flipped in between. Crash-driven
+/// presence changes surface through the membership event, not as window edges.
+pub fn emit_round_context(
+    sink: &TraceSink,
+    conditions: &ClusterConditions,
+    workers: usize,
+    iteration: usize,
+    present: &[usize],
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let prev_active = previous_active_round(conditions, workers, iteration);
+    let prev_present = prev_active
+        .map(|p| conditions.present_workers(workers, p))
+        .unwrap_or_default();
+    let joined: Vec<usize> = present
+        .iter()
+        .copied()
+        .filter(|w| !prev_present.contains(w))
+        .collect();
+    let left: Vec<usize> = prev_present
+        .iter()
+        .copied()
+        .filter(|w| !present.contains(w))
+        .collect();
+    if !joined.is_empty() || !left.is_empty() {
+        sink.record(Event::Membership {
+            round: iteration,
+            active: present.to_vec(),
+            joined,
+            left,
+        });
+    }
+    for fault in &conditions.faults {
+        let (kind, worker, start, duration) = match *fault {
+            FaultEvent::Slowdown {
+                worker,
+                start,
+                duration,
+                ..
+            } => (FaultKind::Slowdown, Some(worker), start, duration),
+            FaultEvent::BandwidthDegradation {
+                start, duration, ..
+            } => (FaultKind::Bandwidth, None, start, duration),
+            FaultEvent::LatencySpike {
+                start, duration, ..
+            } => (FaultKind::Latency, None, start, duration),
+            FaultEvent::Crash { .. } => continue,
+        };
+        let in_window = |it: usize| it >= start && it < start.saturating_add(duration);
+        let now = in_window(iteration);
+        let before = prev_active.map(&in_window).unwrap_or(false);
+        let edge = match (before, now) {
+            (false, true) => WindowEdge::Open,
+            (true, false) => WindowEdge::Close,
+            _ => continue,
+        };
+        sink.record(Event::FaultWindow {
+            round: iteration,
+            kind,
+            edge,
+            worker,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_tracelog::TraceGranularity;
+
+    fn churn_conditions() -> ClusterConditions {
+        ClusterConditions {
+            base_speed: vec![],
+            faults: vec![
+                FaultEvent::Crash {
+                    worker: 1,
+                    start: 3,
+                    rejoin: Some(6),
+                },
+                FaultEvent::Slowdown {
+                    worker: 0,
+                    start: 4,
+                    duration: 3,
+                    factor: 2.0,
+                },
+                FaultEvent::BandwidthDegradation {
+                    start: 6,
+                    duration: 2,
+                    factor: 0.5,
+                },
+            ],
+        }
+    }
+
+    fn events_for(conditions: &ClusterConditions, workers: usize, rounds: usize) -> Vec<Event> {
+        let sink = TraceSink::capture(TraceGranularity::Full);
+        for it in 0..rounds {
+            let present = conditions.present_workers(workers, it);
+            if present.is_empty() {
+                continue;
+            }
+            emit_round_context(&sink, conditions, workers, it, &present);
+        }
+        sink.take_log().events
+    }
+
+    #[test]
+    fn membership_events_fire_on_first_round_and_every_change() {
+        let conditions = churn_conditions();
+        let memberships: Vec<Event> = events_for(&conditions, 3, 10)
+            .into_iter()
+            .filter(|e| matches!(e, Event::Membership { .. }))
+            .collect();
+        assert_eq!(
+            memberships,
+            vec![
+                Event::Membership {
+                    round: 0,
+                    active: vec![0, 1, 2],
+                    joined: vec![0, 1, 2],
+                    left: vec![],
+                },
+                Event::Membership {
+                    round: 3,
+                    active: vec![0, 2],
+                    joined: vec![],
+                    left: vec![1],
+                },
+                Event::Membership {
+                    round: 6,
+                    active: vec![0, 1, 2],
+                    joined: vec![1],
+                    left: vec![],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_window_edges_cover_non_crash_faults_only() {
+        let conditions = churn_conditions();
+        let edges: Vec<Event> = events_for(&conditions, 3, 10)
+            .into_iter()
+            .filter(|e| matches!(e, Event::FaultWindow { .. }))
+            .collect();
+        assert_eq!(
+            edges,
+            vec![
+                Event::FaultWindow {
+                    round: 4,
+                    kind: FaultKind::Slowdown,
+                    edge: WindowEdge::Open,
+                    worker: Some(0),
+                },
+                Event::FaultWindow {
+                    round: 6,
+                    kind: FaultKind::Bandwidth,
+                    edge: WindowEdge::Open,
+                    worker: None,
+                },
+                Event::FaultWindow {
+                    round: 7,
+                    kind: FaultKind::Slowdown,
+                    edge: WindowEdge::Close,
+                    worker: Some(0),
+                },
+                Event::FaultWindow {
+                    round: 8,
+                    kind: FaultKind::Bandwidth,
+                    edge: WindowEdge::Close,
+                    worker: None,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_sink_short_circuits() {
+        let sink = TraceSink::disabled();
+        emit_round_context(&sink, &churn_conditions(), 3, 0, &[0, 1, 2]);
+        assert!(sink.take_log().events.is_empty());
+    }
+}

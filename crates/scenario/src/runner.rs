@@ -11,6 +11,7 @@ use selsync::algorithms;
 use selsync::config::AlgorithmSpec;
 use selsync::report::RunReport;
 use selsync_metrics::table::{fmt_f, Table};
+use selsync_tracelog::TraceSink;
 
 /// The algorithm arms every scenario comparison runs, in canonical order.
 pub fn algorithm_arms(delta: f32) -> Vec<AlgorithmSpec> {
@@ -36,21 +37,36 @@ pub struct ScenarioReport {
     pub timeline: String,
     /// One report per arm, in [`algorithm_arms`] order.
     pub runs: Vec<RunReport>,
+    /// The encoded event log of the SelSync arm, when the scenario's `[trace]` block
+    /// enables capture (`None` otherwise). The other arms are never traced — the
+    /// event taxonomy describes selective synchronization.
+    pub trace: Option<String>,
 }
 
 /// Run every algorithm arm over `scenario` and collect the reports.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     let injector = FaultInjector::compile(scenario)?;
-    let runs = algorithm_arms(scenario.delta)
-        .into_iter()
-        .map(|algo| algorithms::run(&scenario.train_config(algo)))
-        .collect();
+    let mut runs = Vec::new();
+    let mut trace = None;
+    for algo in algorithm_arms(scenario.delta) {
+        let mut cfg = scenario.train_config(algo);
+        let traced =
+            scenario.trace.enabled && matches!(cfg.algorithm, AlgorithmSpec::SelSync { .. });
+        if traced {
+            cfg.trace = TraceSink::capture(scenario.trace.granularity);
+        }
+        runs.push(algorithms::run(&cfg));
+        if traced {
+            trace = Some(cfg.trace.take_log().encode());
+        }
+    }
     Ok(ScenarioReport {
         scenario: scenario.name.clone(),
         description: scenario.description.clone(),
         seed: scenario.seed,
         timeline: injector.timeline(),
         runs,
+        trace,
     })
 }
 
@@ -195,6 +211,34 @@ mod tests {
             bsp.compute_time_s,
             ssp.compute_time_s
         );
+    }
+
+    #[test]
+    fn trace_block_captures_the_selsync_arm_only_when_enabled() {
+        let mut scenario = tiny_scenario();
+        assert!(run_scenario(&scenario).unwrap().trace.is_none());
+        scenario.trace.enabled = true;
+        let report = run_scenario(&scenario).unwrap();
+        let log = report.trace.expect("enabled trace block captures a log");
+        let decoded = selsync_tracelog::EventLog::decode(&log).expect("log decodes");
+        let header = decoded.header().expect("log starts with a header");
+        if let selsync_tracelog::Event::Header {
+            algorithm, workers, ..
+        } = header
+        {
+            assert!(algorithm.starts_with("SelSync"), "{algorithm}");
+            assert_eq!(*workers, 3);
+        }
+        // Rounds granularity keeps the log to header/membership/round events.
+        scenario.trace.granularity = selsync_tracelog::TraceGranularity::Rounds;
+        let coarse = run_scenario(&scenario).unwrap().trace.unwrap();
+        let coarse = selsync_tracelog::EventLog::decode(&coarse).unwrap();
+        assert!(coarse.events.iter().all(|e| matches!(
+            e,
+            selsync_tracelog::Event::Header { .. }
+                | selsync_tracelog::Event::Membership { .. }
+                | selsync_tracelog::Event::Round { .. }
+        )));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use selsync::config::{RejoinPull, TrainConfig};
 use selsync::policy::PolicySpec;
 use selsync_comm::NetworkModel;
 use selsync_nn::model::ModelKind;
+use selsync_tracelog::TraceGranularity;
 
 /// Serialize the shortest f32 representation (a raw f32→f64 cast would print 0.3 as
 /// 0.30000001192092896); parsing back through f64 reproduces the f32 exactly.
@@ -166,6 +167,44 @@ impl SweepSpec {
     }
 }
 
+/// The optional `[trace]` block: deterministic event-log capture for the scenario's
+/// SelSync arm (see `docs/EVENT_LOG.md`). Disabled by default — the block is only
+/// serialized when any setting differs from the default, so pre-existing scenario
+/// dumps stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Capture the event log (`enabled = true`).
+    pub enabled: bool,
+    /// Where the runner writes the encoded log; `None` means the caller decides
+    /// (the CLI tools derive `<scenario>.trace.jsonl` next to their other outputs).
+    pub path: Option<String>,
+    /// Event granularity: `"full"` (default; every event kind) or `"rounds"`
+    /// (header, membership and round decisions only).
+    pub granularity: TraceGranularity,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            enabled: false,
+            path: None,
+            granularity: TraceGranularity::Full,
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(path) = &self.path {
+            if path.is_empty() {
+                return Err("trace path must not be empty when given".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Base network description in file-friendly units.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
@@ -236,6 +275,8 @@ pub struct Scenario {
     /// global from the PS snapshot ring — extending simulator parity to faulty
     /// schedules. The simulator itself is unaffected.
     pub rejoin_pull: RejoinPull,
+    /// Optional event-log capture settings (`[trace]` section; disabled when omitted).
+    pub trace: TraceSpec,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -407,6 +448,7 @@ impl Scenario {
             faults: Vec::new(),
             sweep: None,
             rejoin_pull: RejoinPull::WallClock,
+            trace: TraceSpec::default(),
         }
     }
 
@@ -479,6 +521,7 @@ impl Scenario {
         if let Some(sweep) = &self.sweep {
             sweep.validate()?;
         }
+        self.trace.validate()?;
         self.to_conditions().validate(self.workers, self.iterations)
     }
 
@@ -509,6 +552,25 @@ impl Scenario {
         net.set("bandwidth_gbps", Value::Float(self.network.bandwidth_gbps));
         net.set("latency_ms", Value::Float(self.network.latency_ms));
         doc.sections.push(("network".to_string(), net));
+
+        // Only serialized when non-default (and each key only when non-default), so
+        // pre-existing scenario dumps stay byte-identical.
+        if self.trace != TraceSpec::default() {
+            let mut t = Table::new();
+            if self.trace.enabled {
+                t.set("enabled", Value::Bool(true));
+            }
+            if let Some(path) = &self.trace.path {
+                t.set("path", Value::Str(path.clone()));
+            }
+            if self.trace.granularity != TraceGranularity::Full {
+                t.set(
+                    "granularity",
+                    Value::Str(self.trace.granularity.as_str().to_string()),
+                );
+            }
+            doc.sections.push(("trace".to_string(), t));
+        }
 
         if let Some(sweep) = &self.sweep {
             let mut sw = Table::new();
@@ -641,6 +703,42 @@ impl Scenario {
             },
         };
 
+        let trace = match doc.section("trace") {
+            Some(t) => {
+                let ctx = "[trace]";
+                let enabled = match t.get("enabled") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| format!("{ctx}: enabled must be a boolean"))?,
+                };
+                let path = match t.get("path") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| format!("{ctx}: path must be a string"))?
+                            .to_string(),
+                    ),
+                };
+                let granularity = match t.get("granularity") {
+                    None => TraceGranularity::Full,
+                    Some(v) => {
+                        let text = v
+                            .as_str()
+                            .ok_or_else(|| format!("{ctx}: granularity must be a string"))?;
+                        TraceGranularity::parse(text)
+                            .map_err(|e| format!("{ctx}: granularity: {e}"))?
+                    }
+                };
+                TraceSpec {
+                    enabled,
+                    path,
+                    granularity,
+                }
+            }
+            None => TraceSpec::default(),
+        };
+
         let network = match doc.section("network") {
             Some(n) => NetworkSpec {
                 bandwidth_gbps: get_f64(n, "bandwidth_gbps", "[network]")?,
@@ -757,6 +855,7 @@ impl Scenario {
             faults,
             sweep,
             rejoin_pull,
+            trace,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -954,6 +1053,46 @@ mod tests {
         assert!(Scenario::from_toml_str(&bad)
             .unwrap_err()
             .contains("rejoin_pull"));
+    }
+
+    #[test]
+    fn trace_block_round_trips_and_defaults_to_disabled() {
+        // Default: omitted from the TOML, parses back disabled.
+        let s = sample();
+        assert_eq!(s.trace, TraceSpec::default());
+        let text = s.to_toml_string();
+        assert!(!text.contains("[trace]"), "{text}");
+
+        // Enabled with a path and coarse granularity: serialized, round-trips.
+        let mut traced = sample();
+        traced.trace = TraceSpec {
+            enabled: true,
+            path: Some("out/run.trace.jsonl".into()),
+            granularity: TraceGranularity::Rounds,
+        };
+        let text = traced.to_toml_string();
+        assert!(text.contains("[trace]"), "{text}");
+        assert!(text.contains("enabled = true"), "{text}");
+        assert!(text.contains("granularity = \"rounds\""), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(traced, parsed);
+        assert_eq!(text, parsed.to_toml_string());
+
+        // Default-valued keys are elided: enabled-only blocks carry one key.
+        let mut minimal = sample();
+        minimal.trace.enabled = true;
+        let text = minimal.to_toml_string();
+        assert!(text.contains("[trace]\nenabled = true\n"), "{text}");
+        assert_eq!(Scenario::from_toml_str(&text).unwrap(), minimal);
+
+        // Unknown granularities and empty paths are rejected.
+        let bad = text.replace("enabled = true", "granularity = \"epochs\"");
+        assert!(Scenario::from_toml_str(&bad)
+            .unwrap_err()
+            .contains("granularity"));
+        let mut empty_path = sample();
+        empty_path.trace.path = Some(String::new());
+        assert!(empty_path.validate().is_err());
     }
 
     #[test]

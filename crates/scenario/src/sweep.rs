@@ -27,6 +27,7 @@ use selsync::report::RunReport;
 use selsync_metrics::stats::Streaming;
 use selsync_metrics::table::{fmt_f, Table};
 use selsync_tensor::par::{self, SendPtr};
+use selsync_tracelog::TraceSink;
 
 /// One arm of a sweep: a fixed δ from the grid, or a policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,8 @@ pub struct ArmSummary {
     pub lssr: Stat,
     /// Synchronized steps over the whole run.
     pub sync_steps: Stat,
+    /// δ-policy regime switches over the whole run (0 for fixed/scheduled arms).
+    pub switches: Stat,
     /// Simulated wall-clock seconds.
     pub sim_time_s: Stat,
     /// Megabytes moved over the simulated network.
@@ -90,6 +93,10 @@ pub struct ArmSummary {
     /// Mean synchronizations spent up to the target-reaching evaluation, over the
     /// seeds that reached it (`None` when none did).
     pub syncs_to_target: Option<f64>,
+    /// The encoded event log of this arm's first-seed run, when the scenario's
+    /// `[trace]` block enables capture (`None` otherwise). One seed per arm keeps the
+    /// sweep's memory bounded while still giving every arm a replayable trace.
+    pub trace: Option<String>,
 }
 
 /// The aggregated sweep report: deterministic text and JSON renderings.
@@ -247,7 +254,7 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
     // simulator; slots are disjoint, and a point's result does not depend on which
     // pool thread runs it, so the grid is deterministic for every thread count.
     let n_jobs = arms.len() * seeds.len();
-    let mut results: Vec<Option<RunReport>> = (0..n_jobs).map(|_| None).collect();
+    let mut results: Vec<Option<(RunReport, Option<String>)>> = (0..n_jobs).map(|_| None).collect();
     {
         let ptr = SendPtr(results.as_mut_ptr());
         let arms = &arms;
@@ -263,24 +270,35 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
                 }
             };
             cfg.seed = seeds[s];
+            // One replayable event log per arm: its first-seed run (bounded memory).
+            let traced = scenario.trace.enabled && s == 0;
+            if traced {
+                cfg.trace = TraceSink::capture(scenario.trace.granularity);
+            }
             let report = algorithms::run(&cfg);
+            let log = traced.then(|| cfg.trace.take_log().encode());
             // SAFETY: each task owns slot `j`; `parallel_for` blocks until all tasks
             // finish, so the borrow outlives every write.
             unsafe {
-                *ptr.get().add(j) = Some(report);
+                *ptr.get().add(j) = Some((report, log));
             }
         });
     }
 
+    let mut traces: Vec<Option<String>> = Vec::with_capacity(arms.len());
     let per_arm: Vec<Vec<RunReport>> = arms
         .iter()
         .enumerate()
         .map(|(a, _)| {
             (0..seeds.len())
                 .map(|s| {
-                    results[a * seeds.len() + s]
+                    let (report, log) = results[a * seeds.len() + s]
                         .take()
-                        .expect("sweep point completed")
+                        .expect("sweep point completed");
+                    if s == 0 {
+                        traces.push(log);
+                    }
+                    report
                 })
                 .collect()
         })
@@ -317,7 +335,8 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
     let summaries: Vec<ArmSummary> = arms
         .into_iter()
         .zip(per_arm)
-        .map(|(kind, runs)| {
+        .zip(traces)
+        .map(|((kind, runs), trace)| {
             let mut reached = 0usize;
             let mut sync_acc = Streaming::new();
             for (run, &target) in runs.iter().zip(targets.iter()) {
@@ -333,6 +352,7 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
                 best_metric: stat(runs.iter().map(|r| r.best_metric as f64)),
                 lssr: stat(runs.iter().map(|r| r.lssr)),
                 sync_steps: stat(runs.iter().map(|r| r.sync_steps as f64)),
+                switches: stat(runs.iter().map(|r| r.policy_switches as f64)),
                 sim_time_s: stat(runs.iter().map(|r| r.sim_time_s)),
                 comm_mb: stat(
                     runs.iter()
@@ -340,6 +360,7 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
                 ),
                 reached_target: reached,
                 syncs_to_target: (reached > 0).then(|| sync_acc.mean()),
+                trace,
                 runs,
             }
         })
@@ -422,6 +443,7 @@ impl SweepReport {
             "best_metric",
             "lssr",
             "sync_steps",
+            "switches",
             "syncs_to_target",
             "reached",
             "sim_time_s",
@@ -434,6 +456,7 @@ impl SweepReport {
                 arm.best_metric.cell(),
                 arm.lssr.cell(),
                 arm.sync_steps.cell(),
+                arm.switches.cell(),
                 arm.syncs_to_target
                     .map(|s| fmt_f(s, 1))
                     .unwrap_or_else(|| "-".into()),
@@ -443,6 +466,28 @@ impl SweepReport {
             ]);
         }
         out.push_str(&table.to_markdown());
+
+        // Where the switching arms flipped regimes (first seed; the count column
+        // above aggregates over all seeds).
+        let switching: Vec<&ArmSummary> = self
+            .arms
+            .iter()
+            .filter(|a| !a.runs[0].switch_rounds.is_empty())
+            .collect();
+        if !switching.is_empty() {
+            out.push_str(&format!(
+                "\n## regime-switch rounds (seed {})\n",
+                self.seeds[0]
+            ));
+            for arm in switching {
+                let rounds: Vec<String> = arm.runs[0]
+                    .switch_rounds
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect();
+                out.push_str(&format!("{}: [{}]\n", arm.label, rounds.join(", ")));
+            }
+        }
 
         // The comparison the adaptive arm is designed to win: fewest syncs to the
         // target among the arms that reach it.
@@ -517,6 +562,7 @@ impl SweepReport {
                 ("best_metric", arm.best_metric),
                 ("lssr", arm.lssr),
                 ("sync_steps", arm.sync_steps),
+                ("switches", arm.switches),
                 ("sim_time_s", arm.sim_time_s),
                 ("comm_mb", arm.comm_mb),
             ];
@@ -535,6 +581,12 @@ impl SweepReport {
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| "null".into())
             ));
+            let rounds: Vec<String> = arm.runs[0]
+                .switch_rounds
+                .iter()
+                .map(|r| r.to_string())
+                .collect();
+            out.push_str(&format!(", \"switch_rounds\": [{}]", rounds.join(", ")));
             out.push_str(if i + 1 == self.arms.len() {
                 "}\n"
             } else {

@@ -1,0 +1,522 @@
+//! The line codec: one event per line, a small hand-rolled JSON subset.
+//!
+//! The canonical form is deliberately rigid — fixed key order per kind, shortest
+//! round-trippable float formatting (`format!("{x}")` on `f32`), no whitespace —
+//! so that byte equality of two logs is exactly semantic equality of two runs.
+//! Non-finite floats encode as the bare tokens `NaN` / `inf` / `-inf` (a documented
+//! deviation from strict JSON; Rust's `f32` parser accepts them back).
+
+use crate::event::{Event, FaultKind, PullKind, WindowEdge};
+
+/// Encode one event as its canonical line (no trailing newline).
+pub fn encode_event(event: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"k\":\"");
+    s.push_str(event.kind());
+    s.push('"');
+    for (key, value) in encoded_fields(event) {
+        s.push_str(",\"");
+        s.push_str(key);
+        s.push_str("\":");
+        s.push_str(&value);
+    }
+    s.push('}');
+    s
+}
+
+/// Per-kind payload in canonical key order, values already JSON-rendered.
+fn encoded_fields(event: &Event) -> Vec<(&'static str, String)> {
+    event
+        .fields()
+        .into_iter()
+        .map(|(key, value)| {
+            // `fields()` renders everything except strings in final JSON form; the
+            // two string-valued header fields need quoting + escaping here.
+            let rendered = match (event, key) {
+                (Event::Header { .. }, "algorithm") | (Event::Header { .. }, "policy") => {
+                    quote(&value)
+                }
+                (Event::FaultWindow { .. }, "fault")
+                | (Event::FaultWindow { .. }, "edge")
+                | (Event::RejoinPull { .. }, "pull") => quote(&value),
+                _ => value,
+            };
+            (key, rendered)
+        })
+        .collect()
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON-subset value. Numbers keep their raw token so `f32` fields parse
+/// with exactly one rounding (no double round-trip through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    fn as_usize(&self, field: &str) -> Result<usize, String> {
+        match self {
+            JsonValue::Num(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| format!("field `{field}`: `{raw}` is not an unsigned integer")),
+            other => Err(format!("field `{field}`: expected integer, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, field: &str) -> Result<u64, String> {
+        match self {
+            JsonValue::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("field `{field}`: `{raw}` is not a u64")),
+            other => Err(format!("field `{field}`: expected integer, got {other:?}")),
+        }
+    }
+
+    fn as_f32(&self, field: &str) -> Result<f32, String> {
+        match self {
+            JsonValue::Num(raw) => raw
+                .parse::<f32>()
+                .map_err(|_| format!("field `{field}`: `{raw}` is not a float")),
+            other => Err(format!("field `{field}`: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, field: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("field `{field}`: expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, field: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!("field `{field}`: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_opt_usize(&self, field: &str) -> Result<Option<usize>, String> {
+        match self {
+            JsonValue::Null => Ok(None),
+            other => other.as_usize(field).map(Some),
+        }
+    }
+
+    fn as_usize_array(&self, field: &str) -> Result<Vec<usize>, String> {
+        match self {
+            JsonValue::Arr(items) => items.iter().map(|v| v.as_usize(field)).collect(),
+            other => Err(format!("field `{field}`: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_bool_array(&self, field: &str) -> Result<Vec<bool>, String> {
+        match self {
+            JsonValue::Arr(items) => items.iter().map(|v| v.as_bool(field)).collect(),
+            other => Err(format!("field `{field}`: expected array, got {other:?}")),
+        }
+    }
+}
+
+/// Decode one canonical line back into an event.
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let pairs = parse_object(line)?;
+    let get = |field: &str| -> Result<&JsonValue, String> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == field)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{field}`"))
+    };
+    let kind = get("k")?.as_str("k")?.to_string();
+    match kind.as_str() {
+        "header" => Ok(Event::Header {
+            version: get("version")?.as_u64("version")? as u32,
+            algorithm: get("algorithm")?.as_str("algorithm")?.to_string(),
+            policy: get("policy")?.as_str("policy")?.to_string(),
+            workers: get("workers")?.as_usize("workers")?,
+            iterations: get("iterations")?.as_usize("iterations")?,
+            seed: get("seed")?.as_u64("seed")?,
+        }),
+        "membership" => Ok(Event::Membership {
+            round: get("round")?.as_usize("round")?,
+            active: get("active")?.as_usize_array("active")?,
+            joined: get("joined")?.as_usize_array("joined")?,
+            left: get("left")?.as_usize_array("left")?,
+        }),
+        "fault" => Ok(Event::FaultWindow {
+            round: get("round")?.as_usize("round")?,
+            kind: FaultKind::parse(get("fault")?.as_str("fault")?)?,
+            edge: WindowEdge::parse(get("edge")?.as_str("edge")?)?,
+            worker: get("worker")?.as_opt_usize("worker")?,
+        }),
+        "rejoin" => Ok(Event::RejoinPull {
+            round: get("round")?.as_usize("round")?,
+            worker: get("worker")?.as_usize("worker")?,
+            pull: PullKind::parse(get("pull")?.as_str("pull")?)?,
+            from: get("from")?.as_opt_usize("from")?,
+        }),
+        "signal" => Ok(Event::Signal {
+            round: get("round")?.as_usize("round")?,
+            mean_loss: get("mean_loss")?.as_f32("mean_loss")?,
+            max_delta: get("max_delta")?.as_f32("max_delta")?,
+        }),
+        "round" => Ok(Event::Round {
+            round: get("round")?.as_usize("round")?,
+            delta: get("delta")?.as_f32("delta")?,
+            flags: get("flags")?.as_bool_array("flags")?,
+            synced: get("synced")?.as_bool("synced")?,
+        }),
+        "switch" => Ok(Event::RegimeSwitch {
+            round: get("round")?.as_usize("round")?,
+            exploit: get("exploit")?.as_bool("exploit")?,
+            loss_ewma: get("loss_ewma")?.as_f32("loss_ewma")?,
+            delta_ewma: get("delta_ewma")?.as_f32("delta_ewma")?,
+            mean_loss: get("mean_loss")?.as_f32("mean_loss")?,
+            max_delta: get("max_delta")?.as_f32("max_delta")?,
+        }),
+        other => Err(format!("unknown event kind `{other}`")),
+    }
+}
+
+/// Parse a single-line JSON object into ordered key/value pairs.
+fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            pairs.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at offset {}", p.pos));
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected `{}`, got {other:?}", want as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        other => return Err(format!("expected `,` or `]`, got {other:?}")),
+                    }
+                }
+                Ok(JsonValue::Arr(items))
+            }
+            Some(_) => {
+                // Bare token: number (possibly NaN/inf/-inf), bool, or null.
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if matches!(b, b',' | b'}' | b']' | b' ' | b'\t') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 token".to_string())?;
+                match token {
+                    "" => Err("empty value".to_string()),
+                    "true" => Ok(JsonValue::Bool(true)),
+                    "false" => Ok(JsonValue::Bool(false)),
+                    "null" => Ok(JsonValue::Null),
+                    _ => Ok(JsonValue::Num(token.to_string())),
+                }
+            }
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| "bad \\u escape".to_string())?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| "bad \\u codepoint".to_string())?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the remaining continuation bytes raw.
+                    let len = if b >= 0xF0 {
+                        4
+                    } else if b >= 0xE0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err("truncated utf-8 sequence".to_string());
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid utf-8 in string".to_string())?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventLog, TRACE_VERSION};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Header {
+                version: TRACE_VERSION,
+                algorithm: "SelSync(d=0.055,PA)".into(),
+                policy: "adaptive(0->0.5,warmup=8,settle=0.05x4,spike=2.5)".into(),
+                workers: 6,
+                iterations: 30,
+                seed: 42,
+            },
+            Event::Membership {
+                round: 0,
+                active: vec![0, 1, 2, 3, 4, 5],
+                joined: vec![0, 1, 2, 3, 4, 5],
+                left: vec![],
+            },
+            Event::FaultWindow {
+                round: 3,
+                kind: FaultKind::Bandwidth,
+                edge: WindowEdge::Open,
+                worker: None,
+            },
+            Event::FaultWindow {
+                round: 7,
+                kind: FaultKind::Slowdown,
+                edge: WindowEdge::Close,
+                worker: Some(2),
+            },
+            Event::RejoinPull {
+                round: 12,
+                worker: 4,
+                pull: PullKind::Scheduled,
+                from: Some(9),
+            },
+            Event::RejoinPull {
+                round: 12,
+                worker: 5,
+                pull: PullKind::WallClock,
+                from: None,
+            },
+            Event::Signal {
+                round: 4,
+                mean_loss: 1.25,
+                max_delta: 0.062_5,
+            },
+            Event::Round {
+                round: 4,
+                delta: 0.055,
+                flags: vec![true, false, true],
+                synced: true,
+            },
+            Event::RegimeSwitch {
+                round: 14,
+                exploit: true,
+                loss_ewma: 0.731,
+                delta_ewma: 0.041,
+                mean_loss: 0.729,
+                max_delta: 0.038,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_exactly() {
+        for event in sample_events() {
+            let line = encode_event(&event);
+            let back = decode_event(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(event, back, "{line}");
+            // Encoding is a fixed point.
+            assert_eq!(line, encode_event(&back));
+        }
+    }
+
+    #[test]
+    fn log_encode_decode_round_trips_with_trailing_newline() {
+        let log = EventLog {
+            events: sample_events(),
+        };
+        let text = log.encode();
+        assert!(text.ends_with('\n'));
+        let back = EventLog::decode(&text).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(text, back.encode());
+    }
+
+    #[test]
+    fn floats_use_shortest_form_and_reparse_bit_exactly() {
+        // 0.1 has no exact binary form; the awkward mantissa stresses shortest-repr.
+        let (a, b) = (0.1f32, 1.234_567_8e-3f32);
+        let event = Event::Signal {
+            round: 0,
+            mean_loss: a,
+            max_delta: b,
+        };
+        let line = encode_event(&event);
+        assert!(line.contains("\"mean_loss\":0.1"), "{line}");
+        match decode_event(&line).unwrap() {
+            Event::Signal {
+                mean_loss,
+                max_delta,
+                ..
+            } => {
+                assert_eq!(mean_loss.to_bits(), a.to_bits());
+                assert_eq!(max_delta.to_bits(), b.to_bits());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_instead_of_guessing() {
+        assert!(decode_event("").is_err());
+        assert!(decode_event("{}").is_err()); // no kind
+        assert!(decode_event("{\"k\":\"nope\"}").is_err());
+        assert!(decode_event("{\"k\":\"round\",\"round\":1}").is_err()); // missing fields
+        assert!(decode_event(
+            "{\"k\":\"round\",\"round\":1,\"delta\":0.1,\"flags\":[true],\"synced\":true} x"
+        )
+        .is_err());
+        assert!(EventLog::decode("{\"k\":\"header\"\n\n").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_codec() {
+        let event = Event::Signal {
+            round: 1,
+            mean_loss: f32::NAN,
+            max_delta: f32::INFINITY,
+        };
+        let line = encode_event(&event);
+        assert!(line.contains("NaN") && line.contains("inf"), "{line}");
+        match decode_event(&line).unwrap() {
+            Event::Signal {
+                mean_loss,
+                max_delta,
+                ..
+            } => {
+                assert!(mean_loss.is_nan());
+                assert_eq!(max_delta, f32::INFINITY);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The typed event stream: one versioned header plus per-round schedule-level facts.
+
+/// Version of the canonical encoding. Bump on any wire-visible change so recorded
+/// logs from older binaries fail loudly instead of diffing confusingly.
+pub const TRACE_VERSION: u32 = 1;
+
+/// How much of the stream a sink keeps.
+///
+/// * `Full` keeps every event.
+/// * `Rounds` keeps only the structural skeleton — header, membership changes and
+///   per-round decisions — dropping fault edges, rejoin pulls, signal values and
+///   regime switches. Useful when only the sync schedule matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceGranularity {
+    #[default]
+    Full,
+    Rounds,
+}
+
+impl TraceGranularity {
+    /// Canonical lowercase name (the scenario-TOML value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceGranularity::Full => "full",
+            TraceGranularity::Rounds => "rounds",
+        }
+    }
+
+    /// Parse a canonical name back.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "full" => Ok(TraceGranularity::Full),
+            "rounds" => Ok(TraceGranularity::Rounds),
+            other => Err(format!(
+                "unknown trace granularity `{other}` (expected `full` or `rounds`)"
+            )),
+        }
+    }
+}
+
+/// Which fault family a window edge belongs to (crashes are covered by membership
+/// events, not window edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Slowdown,
+    Bandwidth,
+    Latency,
+}
+
+impl FaultKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Slowdown => "slowdown",
+            FaultKind::Bandwidth => "bandwidth",
+            FaultKind::Latency => "latency",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "slowdown" => Ok(FaultKind::Slowdown),
+            "bandwidth" => Ok(FaultKind::Bandwidth),
+            "latency" => Ok(FaultKind::Latency),
+            other => Err(format!("unknown fault kind `{other}`")),
+        }
+    }
+}
+
+/// Whether a fault window opened or closed at this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEdge {
+    Open,
+    Close,
+}
+
+impl WindowEdge {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WindowEdge::Open => "open",
+            WindowEdge::Close => "close",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "open" => Ok(WindowEdge::Open),
+            "close" => Ok(WindowEdge::Close),
+            other => Err(format!("unknown window edge `{other}`")),
+        }
+    }
+}
+
+/// Which rejoin-pull semantics produced a global-model pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullKind {
+    WallClock,
+    Scheduled,
+}
+
+impl PullKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PullKind::WallClock => "wall-clock",
+            PullKind::Scheduled => "scheduled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "wall-clock" => Ok(PullKind::WallClock),
+            "scheduled" => Ok(PullKind::Scheduled),
+            other => Err(format!("unknown pull kind `{other}`")),
+        }
+    }
+}
+
+/// One line of the canonical log. All fields are schedule-level facts both backends
+/// can compute identically; nothing here depends on wall clocks or thread timing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First line of every log: run identity.
+    Header {
+        version: u32,
+        algorithm: String,
+        policy: String,
+        workers: usize,
+        iterations: usize,
+        seed: u64,
+    },
+    /// Active-set change at `round`: who is computing this round, who joined since
+    /// the previous active round, who left. Emitted for the first active round and
+    /// whenever the set changes (covers crashes, rejoins and elastic churn).
+    Membership {
+        round: usize,
+        active: Vec<usize>,
+        joined: Vec<usize>,
+        left: Vec<usize>,
+    },
+    /// A non-crash fault window opened or closed between the previous active round
+    /// and this one. `worker` is set for per-worker faults (slowdowns).
+    FaultWindow {
+        round: usize,
+        kind: FaultKind,
+        edge: WindowEdge,
+        worker: Option<usize>,
+    },
+    /// A rejoining worker pulled a global model. `from` is the sync round whose
+    /// global it received (`None` for the initial model, or for wall-clock pulls
+    /// whose source is inherently timing-dependent).
+    RejoinPull {
+        round: usize,
+        worker: usize,
+        pull: PullKind,
+        from: Option<usize>,
+    },
+    /// Cluster-aggregated round signal (only emitted for signal-consuming policies,
+    /// which are the only arms that exchange these values in the cluster driver).
+    Signal {
+        round: usize,
+        mean_loss: f32,
+        max_delta: f32,
+    },
+    /// The round's synchronization decision: the δ the policy chose, each present
+    /// worker's sync wish (in active-set order), and whether the cluster synced.
+    Round {
+        round: usize,
+        delta: f32,
+        flags: Vec<bool>,
+        synced: bool,
+    },
+    /// The adaptive policy switched regimes after observing this round's signal.
+    /// `exploit` is the regime switched *to*; the EWMA fields are the detector
+    /// state that triggered the switch.
+    RegimeSwitch {
+        round: usize,
+        exploit: bool,
+        loss_ewma: f32,
+        delta_ewma: f32,
+        mean_loss: f32,
+        max_delta: f32,
+    },
+}
+
+impl Event {
+    /// The round this event belongs to (`None` for the header).
+    pub fn round(&self) -> Option<usize> {
+        match self {
+            Event::Header { .. } => None,
+            Event::Membership { round, .. }
+            | Event::FaultWindow { round, .. }
+            | Event::RejoinPull { round, .. }
+            | Event::Signal { round, .. }
+            | Event::Round { round, .. }
+            | Event::RegimeSwitch { round, .. } => Some(*round),
+        }
+    }
+
+    /// Canonical kind tag (the `"k"` field of the encoded line).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Header { .. } => "header",
+            Event::Membership { .. } => "membership",
+            Event::FaultWindow { .. } => "fault",
+            Event::RejoinPull { .. } => "rejoin",
+            Event::Signal { .. } => "signal",
+            Event::Round { .. } => "round",
+            Event::RegimeSwitch { .. } => "switch",
+        }
+    }
+
+    /// Fixed within-round ordering of kinds in the canonical form.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Event::Header { .. } => 0,
+            Event::Membership { .. } => 1,
+            Event::FaultWindow { .. } => 2,
+            Event::RejoinPull { .. } => 3,
+            Event::Signal { .. } => 4,
+            Event::Round { .. } => 5,
+            Event::RegimeSwitch { .. } => 6,
+        }
+    }
+
+    /// Total order of the canonical form: header first, then rounds ascending, then
+    /// kind, then worker (so concurrent per-worker events sort deterministically).
+    /// Events that tie on this key are emitted by a single logical thread in a fixed
+    /// order, so a *stable* sort keeps the canonical form unique.
+    pub fn sort_key(&self) -> (usize, u8, usize) {
+        let round_key = self.round().map_or(0, |r| r + 1);
+        let worker_key = match self {
+            Event::FaultWindow { worker, .. } => worker.map_or(0, |w| w + 1),
+            Event::RejoinPull { worker, .. } => *worker + 1,
+            _ => 0,
+        };
+        (round_key, self.kind_rank(), worker_key)
+    }
+
+    /// The event's payload as ordered `(field, rendered value)` pairs — the
+    /// substrate of the field-level diff explanation. Renders with the same
+    /// formatting as the codec so diff output matches the bytes on disk.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        fn f32s(x: f32) -> String {
+            format!("{x}")
+        }
+        fn list(xs: &[usize]) -> String {
+            let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", inner.join(","))
+        }
+        fn opt(x: Option<usize>) -> String {
+            x.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        match self {
+            Event::Header {
+                version,
+                algorithm,
+                policy,
+                workers,
+                iterations,
+                seed,
+            } => vec![
+                ("version", version.to_string()),
+                ("algorithm", algorithm.clone()),
+                ("policy", policy.clone()),
+                ("workers", workers.to_string()),
+                ("iterations", iterations.to_string()),
+                ("seed", seed.to_string()),
+            ],
+            Event::Membership {
+                round,
+                active,
+                joined,
+                left,
+            } => vec![
+                ("round", round.to_string()),
+                ("active", list(active)),
+                ("joined", list(joined)),
+                ("left", list(left)),
+            ],
+            Event::FaultWindow {
+                round,
+                kind,
+                edge,
+                worker,
+            } => vec![
+                ("round", round.to_string()),
+                ("fault", kind.as_str().to_string()),
+                ("edge", edge.as_str().to_string()),
+                ("worker", opt(*worker)),
+            ],
+            Event::RejoinPull {
+                round,
+                worker,
+                pull,
+                from,
+            } => vec![
+                ("round", round.to_string()),
+                ("worker", worker.to_string()),
+                ("pull", pull.as_str().to_string()),
+                ("from", opt(*from)),
+            ],
+            Event::Signal {
+                round,
+                mean_loss,
+                max_delta,
+            } => vec![
+                ("round", round.to_string()),
+                ("mean_loss", f32s(*mean_loss)),
+                ("max_delta", f32s(*max_delta)),
+            ],
+            Event::Round {
+                round,
+                delta,
+                flags,
+                synced,
+            } => vec![
+                ("round", round.to_string()),
+                ("delta", f32s(*delta)),
+                (
+                    "flags",
+                    format!(
+                        "[{}]",
+                        flags
+                            .iter()
+                            .map(|f| f.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                ),
+                ("synced", synced.to_string()),
+            ],
+            Event::RegimeSwitch {
+                round,
+                exploit,
+                loss_ewma,
+                delta_ewma,
+                mean_loss,
+                max_delta,
+            } => vec![
+                ("round", round.to_string()),
+                ("exploit", exploit.to_string()),
+                ("loss_ewma", f32s(*loss_ewma)),
+                ("delta_ewma", f32s(*delta_ewma)),
+                ("mean_loss", f32s(*mean_loss)),
+                ("max_delta", f32s(*max_delta)),
+            ],
+        }
+    }
+}
+
+/// A full event log: the header plus the round events, in canonical order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventLog {
+    pub events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Stable-sort into the canonical order (see [`Event::sort_key`]).
+    pub fn canonical_sort(&mut self) {
+        self.events.sort_by_key(Event::sort_key);
+    }
+
+    /// Encode to the canonical line-oriented JSON form (one event per line,
+    /// trailing newline, no timestamps).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&crate::codec::encode_event(event));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decode a canonical log. Blank lines are rejected: a truncated or hand-edited
+    /// log should fail loudly, not silently shrink.
+    pub fn decode(text: &str) -> Result<EventLog, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let event =
+                crate::codec::decode_event(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            events.push(event);
+        }
+        Ok(EventLog { events })
+    }
+
+    /// The header event, if present.
+    pub fn header(&self) -> Option<&Event> {
+        self.events
+            .first()
+            .filter(|e| matches!(e, Event::Header { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_key_orders_header_first_then_round_kind_worker() {
+        let mut log = EventLog {
+            events: vec![
+                Event::Round {
+                    round: 1,
+                    delta: 0.1,
+                    flags: vec![true],
+                    synced: true,
+                },
+                Event::RejoinPull {
+                    round: 1,
+                    worker: 3,
+                    pull: PullKind::Scheduled,
+                    from: Some(0),
+                },
+                Event::RejoinPull {
+                    round: 1,
+                    worker: 1,
+                    pull: PullKind::Scheduled,
+                    from: Some(0),
+                },
+                Event::Membership {
+                    round: 0,
+                    active: vec![0, 1],
+                    joined: vec![0, 1],
+                    left: vec![],
+                },
+                Event::Header {
+                    version: TRACE_VERSION,
+                    algorithm: "SelSync(d=0.1,PA)".into(),
+                    policy: "d=0.1".into(),
+                    workers: 4,
+                    iterations: 2,
+                    seed: 42,
+                },
+            ],
+        };
+        log.canonical_sort();
+        let kinds: Vec<&str> = log.events.iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["header", "membership", "rejoin", "rejoin", "round"]
+        );
+        // Worker order breaks the rejoin tie.
+        assert!(matches!(log.events[2], Event::RejoinPull { worker: 1, .. }));
+        assert!(matches!(log.events[3], Event::RejoinPull { worker: 3, .. }));
+    }
+
+    #[test]
+    fn granularity_and_tag_enums_round_trip_their_names() {
+        for g in [TraceGranularity::Full, TraceGranularity::Rounds] {
+            assert_eq!(TraceGranularity::parse(g.as_str()), Ok(g));
+        }
+        for k in [
+            FaultKind::Slowdown,
+            FaultKind::Bandwidth,
+            FaultKind::Latency,
+        ] {
+            assert_eq!(FaultKind::parse(k.as_str()), Ok(k));
+        }
+        for e in [WindowEdge::Open, WindowEdge::Close] {
+            assert_eq!(WindowEdge::parse(e.as_str()), Ok(e));
+        }
+        for p in [PullKind::WallClock, PullKind::Scheduled] {
+            assert_eq!(PullKind::parse(p.as_str()), Ok(p));
+        }
+        assert!(TraceGranularity::parse("verbose").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # selsync-tracelog
+//!
+//! Deterministic run-trace layer for the SelSync reproduction: a typed, versioned
+//! event stream describing what a training run *decided* each round — membership,
+//! per-worker sync/skip wishes, the δ the policy chose, policy regime switches (with
+//! the signal values that triggered them), fault-window edges, and snapshot-ring
+//! rejoin pulls — plus a line-oriented JSON codec and a first-divergence diff engine.
+//!
+//! The canonical form is designed so that the simulator and the threaded cluster
+//! driver emit **byte-identical** logs for the same schedule:
+//!
+//! * no timestamps, no backend tag, no thread ids — only schedule-level facts;
+//! * floats are serialized with Rust's shortest round-trippable `f32` formatting;
+//! * events are buffered in a [`TraceSink`] and canonically ordered by
+//!   `(round, kind, worker)` when the log is taken, so thread interleaving in the
+//!   cluster driver cannot reorder lines.
+//!
+//! See `docs/EVENT_LOG.md` for the taxonomy and the determinism contract.
+
+pub mod codec;
+pub mod diff;
+pub mod event;
+pub mod sink;
+
+pub use diff::{diff_report, explain, first_divergence, Divergence, FieldDiff};
+pub use event::{
+    Event, EventLog, FaultKind, PullKind, TraceGranularity, WindowEdge, TRACE_VERSION,
+};
+pub use sink::TraceSink;

@@ -30,6 +30,9 @@ pub use selsync_data as data;
 /// Communication substrate (parameter server, collectives, network cost model).
 pub use selsync_comm as comm;
 
+/// Deterministic run-trace layer (typed event stream, line codec, trace diff).
+pub use selsync_tracelog as tracelog;
+
 /// Gradient-compression baselines (Top-k, Random-k, signSGD, TernGrad, error feedback).
 pub use selsync_compress as compress;
 
@@ -53,6 +56,7 @@ mod tests {
         let _ = crate::nn::model::ModelKind::all();
         let _ = crate::data::partition::PartitionScheme::SelDp;
         let _ = crate::comm::NetworkModel::paper_5gbps();
+        let _ = crate::tracelog::TraceSink::disabled();
         let _ = crate::compress::SignSgd::new();
         let _ = crate::hessian::variance::gradient_variance(&[1.0]);
         let _ = crate::metrics::Ewma::new(0.5, 5);

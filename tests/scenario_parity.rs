@@ -29,6 +29,7 @@ use selsync_repro::core::policy::PolicySpec;
 use selsync_repro::core::threaded::run_threaded_selsync;
 use selsync_repro::scenario::{builtin, sweep, Scenario};
 use selsync_repro::tensor::par;
+use selsync_repro::tracelog::{diff_report, TraceGranularity, TraceSink};
 
 /// A scaled-down copy of a built-in scenario (fast enough for the default suite),
 /// with every fault window — crash windows included — rescaled into the shrunk
@@ -59,14 +60,38 @@ fn assert_parity(cfg: &TrainConfig, label: &str) {
             .copied()
             .filter(|&round| cfg.conditions.is_present(worker.worker, round))
             .collect();
-        assert_eq!(
-            worker.sync_rounds, expected,
-            "{label}: worker {} sync schedule diverged from the simulator's \
-             (sim synced {} of {} rounds)",
-            worker.worker, sim.sync_steps, cfg.iterations
-        );
-        assert_eq!(worker.sync_steps as usize, expected.len(), "{label}");
+        if worker.sync_rounds != expected || worker.sync_steps as usize != expected.len() {
+            // Self-diagnosing failure: re-run both backends with event-log capture
+            // and let the trace-diff engine pin the first divergent round and field.
+            panic!(
+                "{label}: worker {} sync schedule diverged from the simulator's \
+                 (sim synced {} of {} rounds)\n{}",
+                worker.worker,
+                sim.sync_steps,
+                cfg.iterations,
+                trace_divergence(cfg)
+            );
+        }
     }
+}
+
+/// Re-run both backends with full event-log capture and render the first divergent
+/// round with its field-level explanation (`docs/EVENT_LOG.md`).
+fn trace_divergence(cfg: &TrainConfig) -> String {
+    let capture = |threaded: bool| {
+        let mut cfg = cfg.clone();
+        cfg.trace = TraceSink::capture(TraceGranularity::Full);
+        if threaded {
+            run_threaded_selsync(&cfg);
+        } else {
+            algorithms::run(&cfg);
+        }
+        cfg.trace.take_log()
+    };
+    let (sim_log, threaded_log) = (capture(false), capture(true));
+    diff_report(&sim_log, &threaded_log, "simulator", "threaded").unwrap_or_else(|| {
+        "event logs agree — the divergence is outside the traced schedule".into()
+    })
 }
 
 /// δ chosen so the scaled scenarios produce a *mixed* schedule (some rounds sync,
