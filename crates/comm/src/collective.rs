@@ -35,6 +35,10 @@ pub struct Collective {
     /// [`ScalarOp`] so a single training round can carry one exchange of each op
     /// (e.g. the loss mean and the `Δ(g)` max) without the round ids colliding.
     elastic_scalars: [ElasticRounds<f32, f32>; 3],
+    /// Round-keyed elastic fixed-size vector all-reduce: the per-worker signal feed
+    /// (Δ moments for quantile/variance statistics) rides here, one vector exchange
+    /// per round.
+    elastic_vecs: ElasticRounds<Vec<f32>, Vec<f32>>,
 }
 
 /// Internal generation-counted rendezvous: workers deposit a contribution, the last one
@@ -112,6 +116,7 @@ impl Collective {
                 ElasticRounds::new(),
                 ElasticRounds::new(),
             ],
+            elastic_vecs: ElasticRounds::new(),
         }
     }
 
@@ -196,6 +201,61 @@ impl Collective {
                     .fold(f32::NEG_INFINITY, f32::max),
             }
         })
+    }
+
+    /// All-reduce of one small fixed-size `f32` vector per worker among an elastic
+    /// subset of `expected` live workers at the explicitly identified `round` — the
+    /// per-worker *signal feed*: instead of collapsing the round's `Δ(g_i)` to a
+    /// single max, workers exchange fixed-length statistic vectors (e.g. `[Δ, Δ²]`)
+    /// whose elementwise aggregates give the cluster variance/quantile picture an
+    /// adaptive policy can act on.
+    ///
+    /// The [`ScalarOp`] is applied elementwise with the same worker-id-order fold as
+    /// [`Collective::allreduce_scalar_among`], so results are bit-identical to the
+    /// simulator's sequential fold. All contributions of one round must have equal
+    /// length; one round may carry at most one vector exchange.
+    pub fn allreduce_vec_among(
+        &self,
+        round: u64,
+        worker: usize,
+        values: Vec<f32>,
+        expected: usize,
+        op: ScalarOp,
+    ) -> Vec<f32> {
+        assert!(worker < self.n, "worker id out of range");
+        self.elastic_vecs
+            .run(round, worker, expected, values, |contribs| {
+                let dim = contribs.first().map(|(_, v)| v.len()).unwrap_or(0);
+                let count = contribs.len();
+                let mut out = vec![
+                    match op {
+                        ScalarOp::Sum | ScalarOp::Mean => 0.0f32,
+                        ScalarOp::Max => f32::NEG_INFINITY,
+                    };
+                    dim
+                ];
+                // Contributions arrive sorted by worker id (the ElasticRounds
+                // contract), so each element folds in worker order.
+                for (w, v) in contribs {
+                    assert_eq!(
+                        v.len(),
+                        dim,
+                        "vector all-reduce contributions must have equal length (worker {w})"
+                    );
+                    for (o, &x) in out.iter_mut().zip(v.iter()) {
+                        match op {
+                            ScalarOp::Sum | ScalarOp::Mean => *o += x,
+                            ScalarOp::Max => *o = o.max(x),
+                        }
+                    }
+                }
+                if op == ScalarOp::Mean {
+                    for o in out.iter_mut() {
+                        *o /= count as f32;
+                    }
+                }
+                out
+            })
     }
 
     /// All-reduce (mean) over equal-length `f32` vectors: every worker receives the
@@ -479,6 +539,100 @@ mod tests {
                     prop_assert_eq!(mean, emean, "round {} worker {}", round, w);
                     prop_assert_eq!(max, emax, "round {} worker {}", round, w);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn vec_allreduce_aggregates_elementwise() {
+        let coll = Arc::new(Collective::new(4));
+        let c = Arc::clone(&coll);
+        let results = spawn_workers(4, move |w| {
+            let d = (w + 1) as f32;
+            // The Δ-moment feed: [Δ, Δ²] per worker, cluster mean.
+            c.allreduce_vec_among(0, w, vec![d, d * d], 4, ScalarOp::Mean)
+        });
+        for out in results {
+            assert_eq!(out, vec![(1.0 + 2.0 + 3.0 + 4.0) / 4.0, 30.0 / 4.0]);
+        }
+    }
+
+    #[test]
+    fn vec_allreduce_tolerates_elastic_membership() {
+        // Worker 0 skips round 1; the moment feed runs over the survivors.
+        let coll = Arc::new(Collective::new(3));
+        let c = Arc::clone(&coll);
+        let results = spawn_workers(3, move |w| {
+            let mut seen = Vec::new();
+            for round in 0..3u64 {
+                if w == 0 && round == 1 {
+                    continue;
+                }
+                let expected = if round == 1 { 2 } else { 3 };
+                let d = (w + 1) as f32;
+                seen.push((
+                    round,
+                    c.allreduce_vec_among(round, w, vec![d, d * d], expected, ScalarOp::Mean),
+                ));
+            }
+            seen
+        });
+        for (w, seen) in results.into_iter().enumerate() {
+            for (round, out) in seen {
+                let expected = if round == 1 {
+                    vec![(2.0 + 3.0) / 2.0, (4.0 + 9.0) / 2.0]
+                } else {
+                    vec![(1.0 + 2.0 + 3.0) / 3.0, (1.0 + 4.0 + 9.0) / 3.0]
+                };
+                assert_eq!(out, expected, "worker {w} round {round}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        // The vector all-reduce must match the per-element worker-order fold for every
+        // op, under any thread scheduling.
+        #[test]
+        fn vec_allreduce_matches_the_worker_order_fold(
+            group in 2usize..6,
+            dim in 1usize..5,
+            op_tag in 0u8..3,
+        ) {
+            let op = match op_tag {
+                0 => ScalarOp::Sum,
+                1 => ScalarOp::Mean,
+                _ => ScalarOp::Max,
+            };
+            let value = |w: usize, e: usize| ((w * 13 + e * 5) as f32) * 0.25 - 2.0;
+            let coll = Arc::new(Collective::new(group));
+            let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..group)
+                    .map(|w| {
+                        let coll = Arc::clone(&coll);
+                        scope.spawn(move || {
+                            let v: Vec<f32> = (0..dim).map(|e| value(w, e)).collect();
+                            coll.allreduce_vec_among(0, w, v, group, op)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let expected: Vec<f32> = (0..dim)
+                .map(|e| {
+                    let vals: Vec<f32> = (0..group).map(|w| value(w, e)).collect();
+                    match op {
+                        ScalarOp::Sum => vals.iter().fold(0.0f32, |a, &b| a + b),
+                        ScalarOp::Mean => {
+                            vals.iter().fold(0.0f32, |a, &b| a + b) / vals.len() as f32
+                        }
+                        ScalarOp::Max => vals.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                    }
+                })
+                .collect();
+            for out in results {
+                prop_assert_eq!(&out, &expected);
             }
         }
     }

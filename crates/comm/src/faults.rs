@@ -1,0 +1,392 @@
+//! Deterministic message-fault schedules for the transport layer.
+//!
+//! A [`CommFaultSpec`] describes how unreliable the cluster's links are: per-leg
+//! probabilities of dropping, corrupting, duplicating and delaying a frame, plus the
+//! retry budget and the logical timeout that bounds every operation. A
+//! [`CommFaultSchedule`] turns the spec into a *pure function*: the fate of every
+//! message leg is a hash of `(seed, worker, round, attempt, leg)` — never of wall
+//! clocks, thread scheduling or message content — so a faulty run is exactly as
+//! deterministic as a lossless one, and both training backends (the sequential
+//! simulator and the thread-per-worker driver) derive identical fault histories
+//! without coordination.
+//!
+//! The fate key deliberately excludes the message *kind*: all envelopes a worker
+//! sends in one round share the same per-attempt "link weather". That is what makes
+//! per-round outcomes (retry counts, evictions) well-defined facts of the schedule
+//! rather than of how many envelopes an algorithm happens to send, and it is what
+//! the eviction compiler in `selsync-core` relies on to precompute membership.
+
+use serde::{Deserialize, Serialize};
+
+/// Which leg of a request/response exchange a frame travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// Worker → hub (the request envelope).
+    Request,
+    /// Hub → worker (the acknowledgement envelope).
+    Response,
+}
+
+/// The deterministic fate of one frame on one leg of one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The frame arrives intact.
+    Deliver,
+    /// The frame is lost entirely.
+    Drop,
+    /// The frame arrives with flipped bytes (the checksum rejects it).
+    Corrupt,
+    /// The frame arrives twice (idempotent handlers dedupe the copy).
+    Duplicate,
+    /// The frame arrives late but within the logical timeout (reordered after
+    /// punctual frames; harmless under round-keyed, idempotent handlers).
+    Delay,
+}
+
+/// Seeded description of an unreliable interconnect. All rates are per *leg* (a
+/// request/response exchange rolls two fates), must lie in `[0, 1]`, and must sum to
+/// at most 1 — the remainder is the clean-delivery probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommFaultSpec {
+    /// Seed of the fault stream (independent of the training seed so the same run
+    /// can be replayed under different weather).
+    pub seed: u64,
+    /// Probability a leg loses its frame.
+    pub drop: f64,
+    /// Probability a leg delivers its frame twice.
+    pub duplicate: f64,
+    /// Probability a leg delivers a corrupted frame (rejected by checksum — counts
+    /// as a failed leg, like a drop, but exercises the reject path).
+    pub corrupt: f64,
+    /// Probability a leg delivers its frame late (still within the timeout).
+    pub delay: f64,
+    /// Maximum attempts per logical operation (≥ 1). A worker that exhausts the
+    /// budget on every envelope of a round is declared dead and evicted.
+    pub retry_budget: u32,
+    /// Logical per-attempt timeout in seconds; attempt `a` backs off to
+    /// `timeout_s · 2^a`, so the total retry penalty of an op is bounded by
+    /// `timeout_s · (2^retry_budget − 1)`.
+    pub timeout_s: f64,
+}
+
+impl CommFaultSpec {
+    /// A lossless spec: every leg delivers, one attempt suffices. Useful as the
+    /// do-nothing baseline in tests and sweeps.
+    pub fn lossless(seed: u64) -> Self {
+        CommFaultSpec {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            retry_budget: 1,
+            timeout_s: 5.0e-3,
+        }
+    }
+
+    /// Validate rates, budget and timeout.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("corrupt", self.corrupt),
+            ("delay", self.delay),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(format!(
+                    "comm-fault rate `{name}` must be in [0, 1], got {rate}"
+                ));
+            }
+        }
+        let total = self.drop + self.duplicate + self.corrupt + self.delay;
+        if total > 1.0 {
+            return Err(format!(
+                "comm-fault rates must sum to at most 1 (drop+duplicate+corrupt+delay = {total})"
+            ));
+        }
+        if self.retry_budget == 0 {
+            return Err("comm-fault retry budget must be at least 1".into());
+        }
+        if self.timeout_s <= 0.0 || !self.timeout_s.is_finite() {
+            return Err(format!(
+                "comm-fault timeout must be positive and finite, got {}",
+                self.timeout_s
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether this spec can never fail a leg (no retries, no evictions possible).
+    /// Duplicates and delays still deliver, so they do not count as lossy.
+    pub fn is_lossless(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0
+    }
+
+    /// One-line human summary of the weather, for scenario reports and logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "link weather (seed {}): drop {:.1}% / corrupt {:.1}% / duplicate {:.1}% / delay {:.1}% per leg, {} attempts, {} ms timeout",
+            self.seed,
+            self.drop * 100.0,
+            self.corrupt * 100.0,
+            self.duplicate * 100.0,
+            self.delay * 100.0,
+            self.retry_budget,
+            self.timeout_s * 1e3,
+        )
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer — high avalanche, cheap, and stable
+/// across platforms (pure integer arithmetic).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A compiled fault schedule: the spec plus the fate function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommFaultSchedule {
+    spec: CommFaultSpec,
+}
+
+impl CommFaultSchedule {
+    /// Compile a spec (assumed validated).
+    pub fn new(spec: CommFaultSpec) -> Self {
+        CommFaultSchedule { spec }
+    }
+
+    /// The spec this schedule was compiled from.
+    pub fn spec(&self) -> &CommFaultSpec {
+        &self.spec
+    }
+
+    /// The raw hash of one leg (also used to pick deterministic corruption offsets).
+    pub fn leg_hash(&self, worker: usize, round: u64, attempt: u32, leg: Leg) -> u64 {
+        let leg_tag = match leg {
+            Leg::Request => 0u64,
+            Leg::Response => 1u64,
+        };
+        let mut h = splitmix64(self.spec.seed ^ 0xC0A1_F00D_5EED_0001);
+        h = splitmix64(h ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = splitmix64(h ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        h = splitmix64(h ^ (attempt as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
+        splitmix64(h ^ leg_tag)
+    }
+
+    /// The fate of one leg: a threshold lookup on the hash, mapped to a uniform
+    /// value in `[0, 1)` with 53 bits of precision.
+    pub fn leg_fate(&self, worker: usize, round: u64, attempt: u32, leg: Leg) -> Fate {
+        let h = self.leg_hash(worker, round, attempt, leg);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let s = &self.spec;
+        if u < s.drop {
+            Fate::Drop
+        } else if u < s.drop + s.corrupt {
+            Fate::Corrupt
+        } else if u < s.drop + s.corrupt + s.duplicate {
+            Fate::Duplicate
+        } else if u < s.drop + s.corrupt + s.duplicate + s.delay {
+            Fate::Delay
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Whether attempt `attempt` of `(worker, round)` completes: both legs must
+    /// deliver (duplicated and delayed frames still deliver; drops and corruptions
+    /// do not).
+    pub fn attempt_succeeds(&self, worker: usize, round: u64, attempt: u32) -> bool {
+        [Leg::Request, Leg::Response].iter().all(|&leg| {
+            !matches!(
+                self.leg_fate(worker, round, attempt, leg),
+                Fate::Drop | Fate::Corrupt
+            )
+        })
+    }
+
+    /// The first attempt index (0-based) at which `(worker, round)` completes, or
+    /// `None` if the whole retry budget fails — the eviction condition.
+    pub fn first_success_attempt(&self, worker: usize, round: u64) -> Option<u32> {
+        (0..self.spec.retry_budget).find(|&a| self.attempt_succeeds(worker, round, a))
+    }
+
+    /// Attempts consumed by a completing op (`first success + 1`), or `None` when
+    /// the budget is exhausted.
+    pub fn attempts_used(&self, worker: usize, round: u64) -> Option<u32> {
+        self.first_success_attempt(worker, round).map(|a| a + 1)
+    }
+
+    /// Deterministic backoff before retrying attempt `attempt` (the timeout that
+    /// expired on it): `timeout_s · 2^attempt`.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.spec.timeout_s * (1u64 << attempt.min(62)) as f64
+    }
+
+    /// Total timeout/backoff seconds wasted by `(worker, round)` before its first
+    /// success (0.0 when the first attempt lands).
+    pub fn retry_penalty_s(&self, worker: usize, round: u64) -> f64 {
+        match self.first_success_attempt(worker, round) {
+            Some(k) => (0..k).map(|a| self.backoff_s(a)).sum(),
+            None => (0..self.spec.retry_budget).map(|a| self.backoff_s(a)).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lossy(seed: u64) -> CommFaultSpec {
+        CommFaultSpec {
+            seed,
+            drop: 0.2,
+            duplicate: 0.1,
+            corrupt: 0.1,
+            delay: 0.1,
+            retry_budget: 4,
+            timeout_s: 1.0e-2,
+        }
+    }
+
+    #[test]
+    fn validation_accepts_sane_specs_and_rejects_bad_ones() {
+        assert!(CommFaultSpec::lossless(0).validate().is_ok());
+        assert!(lossy(1).validate().is_ok());
+        let mut bad = lossy(1);
+        bad.drop = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = lossy(1);
+        bad.drop = 0.5;
+        bad.duplicate = 0.6;
+        assert!(bad.validate().is_err(), "rates summing past 1 are rejected");
+        let mut bad = lossy(1);
+        bad.retry_budget = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = lossy(1);
+        bad.timeout_s = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fates_are_pure_functions_of_the_key() {
+        let s = CommFaultSchedule::new(lossy(42));
+        for worker in 0..4 {
+            for round in 0..16u64 {
+                for attempt in 0..4 {
+                    for leg in [Leg::Request, Leg::Response] {
+                        assert_eq!(
+                            s.leg_fate(worker, round, attempt, leg),
+                            s.leg_fate(worker, round, attempt, leg)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_spec_always_succeeds_on_the_first_attempt() {
+        let s = CommFaultSchedule::new(CommFaultSpec::lossless(7));
+        for worker in 0..8 {
+            for round in 0..64u64 {
+                assert_eq!(s.first_success_attempt(worker, round), Some(0));
+                assert_eq!(s.attempts_used(worker, round), Some(1));
+                assert_eq!(s.retry_penalty_s(worker, round), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_delay_only_weather_never_retries() {
+        let mut spec = CommFaultSpec::lossless(3);
+        spec.duplicate = 0.5;
+        spec.delay = 0.4;
+        spec.retry_budget = 3;
+        let s = CommFaultSchedule::new(spec);
+        for worker in 0..4 {
+            for round in 0..128u64 {
+                assert_eq!(s.attempts_used(worker, round), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_drops_exhaust_small_budgets_somewhere() {
+        let mut spec = lossy(11);
+        spec.drop = 0.8;
+        spec.retry_budget = 2;
+        let s = CommFaultSchedule::new(spec);
+        let evicted = (0..4)
+            .flat_map(|w| (0..64u64).map(move |r| (w, r)))
+            .any(|(w, r)| s.first_success_attempt(w, r).is_none());
+        assert!(
+            evicted,
+            "an 80% drop rate must defeat a 2-attempt budget somewhere"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_penalty_sums_the_failed_timeouts() {
+        let s = CommFaultSchedule::new(lossy(5));
+        assert_eq!(s.backoff_s(0), 1.0e-2);
+        assert_eq!(s.backoff_s(1), 2.0e-2);
+        assert_eq!(s.backoff_s(2), 4.0e-2);
+        // Find a key that needed exactly one retry and check its penalty.
+        let mut checked = false;
+        for w in 0..4 {
+            for r in 0..256u64 {
+                if s.first_success_attempt(w, r) == Some(1) {
+                    assert_eq!(s.retry_penalty_s(w, r), s.backoff_s(0));
+                    checked = true;
+                }
+            }
+        }
+        assert!(checked, "the lossy spec must retry somewhere in 1024 ops");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Retries are always bounded: every (worker, round) either completes within
+        // the budget or is marked evictable — and the answer is stable.
+        #[test]
+        fn retries_are_bounded_and_deterministic(
+            seed in 0u64..1000,
+            drop in 0.0f64..0.9,
+            corrupt in 0.0f64..0.1,
+            budget in 1u32..6,
+        ) {
+            let spec = CommFaultSpec {
+                seed,
+                drop,
+                duplicate: 0.0,
+                corrupt,
+                delay: 0.0,
+                retry_budget: budget,
+                timeout_s: 1.0e-3,
+            };
+            // Rates max out at 0.9 + 0.1 = 1.0 (exclusive ends), so every drawn
+            // spec is valid.
+            assert!(spec.validate().is_ok());
+            let s = CommFaultSchedule::new(spec);
+            for w in 0..3 {
+                for r in 0..32u64 {
+                    let a = s.first_success_attempt(w, r);
+                    prop_assert_eq!(a, s.first_success_attempt(w, r));
+                    if let Some(k) = a {
+                        prop_assert!(k < budget);
+                        prop_assert!(s.attempt_succeeds(w, r, k));
+                        for early in 0..k {
+                            prop_assert!(!s.attempt_succeeds(w, r, early));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

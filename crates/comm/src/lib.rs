@@ -23,13 +23,31 @@
 //!   deterministic combines stay deterministic under any thread scheduling.
 //! * [`cluster`] — a small harness for running a closure on `N` worker threads and
 //!   collecting the per-worker results.
+//! * [`wire`] — serialized, length-prefixed wire messages: every comm op is an
+//!   [`wire::Envelope`] with kind/round/sender ids and a checksum, deduped by its
+//!   `(kind, round, sender)` identity.
+//! * [`transport`] — the pluggable [`transport::Transport`] seam: a lossless
+//!   in-memory transport preserving today's behavior bit-for-bit, a fault-injecting
+//!   decorator, and the retry/timeout/eviction [`transport::MessageLayer`] on top.
+//! * [`faults`] — the deterministic per-link fault schedule (`[comm_faults]`):
+//!   drop/duplicate/corrupt/delay weather as a pure hash of
+//!   `(seed, worker, round, attempt, leg)`, plus retry budget and backoff.
 
 pub mod cluster;
 pub mod collective;
+pub mod faults;
 pub mod netmodel;
 pub mod ps;
 pub mod rounds;
+pub mod transport;
+pub mod wire;
 
 pub use collective::{Collective, ScalarOp};
+pub use faults::{CommFaultSchedule, CommFaultSpec};
 pub use netmodel::NetworkModel;
 pub use ps::ParameterServer;
+pub use transport::{
+    Delivery, Evicted, ExchangeOutcome, FaultyTransport, Link, LosslessTransport, MessageLayer,
+    Transport,
+};
+pub use wire::{Envelope, EnvelopeId, MsgKind, WireError, HUB_SENDER};

@@ -84,6 +84,23 @@ impl NetworkModel {
         2.0 * self.latency_s + bits / self.bandwidth_bps
     }
 
+    /// Seconds for an all-reduce of one small fixed-size f32 vector per worker —
+    /// the δ-signal exchange (loss mean, Δ(g) aggregates, Δ-moment feed). Modeled
+    /// like the status all-gather: latency dominated, with `elems` f32 values from
+    /// each of the other workers crossing the link.
+    pub fn vec_allreduce_time(&self, workers: usize, elems: usize) -> f64 {
+        if workers <= 1 {
+            return 0.0;
+        }
+        let bits = (32 * elems * (workers - 1)) as f64;
+        2.0 * self.latency_s + bits / self.bandwidth_bps
+    }
+
+    /// Seconds for a single-scalar all-reduce across `workers` (one f32 per worker).
+    pub fn scalar_allreduce_time(&self, workers: usize) -> f64 {
+        self.vec_allreduce_time(workers, 1)
+    }
+
     /// Seconds for a point-to-point transfer of `bytes` (data-injection pulls).
     pub fn p2p_time(&self, bytes: u64) -> f64 {
         self.transfer_time(bytes)
@@ -132,6 +149,18 @@ mod tests {
         let t = net.status_allgather_time(16);
         assert!(t > 1.0e-3 && t < 5.0e-3, "t={t}");
         assert_eq!(net.status_allgather_time(1), 0.0);
+    }
+
+    #[test]
+    fn signal_exchange_is_latency_dominated_milliseconds() {
+        let net = NetworkModel::paper_5gbps();
+        let scalar = net.scalar_allreduce_time(16);
+        let vec2 = net.vec_allreduce_time(16, 2);
+        // Same order of magnitude as the flags exchange — a couple of ms, never free.
+        assert!(scalar > 1.0e-3 && scalar < 5.0e-3, "{scalar}");
+        assert!(vec2 >= scalar, "{vec2} < {scalar}");
+        assert_eq!(net.scalar_allreduce_time(1), 0.0);
+        assert_eq!(net.vec_allreduce_time(1, 8), 0.0);
     }
 
     #[test]

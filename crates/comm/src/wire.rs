@@ -1,0 +1,317 @@
+//! Serialized, length-prefixed wire messages for the transport layer.
+//!
+//! Every communication op a worker performs in a round is described by an
+//! [`Envelope`]: a message kind, the logical round id, the sender id and an opaque
+//! payload. Envelopes encode to a rigid little-endian frame with a length prefix and
+//! a trailing checksum, so a receiver can (a) detect truncation, (b) detect
+//! corruption without trusting the content, and (c) dedupe replays by the
+//! `(kind, round, sender)` identity — the three properties the fault-tolerant
+//! message layer in [`crate::transport`] is built on.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [len: u32]            length of everything after this prefix
+//! [kind: u8]            message kind tag
+//! [round: u64]          logical round id
+//! [sender: u32]         worker id (or HUB_SENDER for acknowledgements)
+//! [payload_len: u32]    payload byte count
+//! [payload: ...]        opaque op payload
+//! [checksum: u64]       FNV-1a over every preceding byte of the frame
+//! ```
+
+/// Sender id used by the hub (parameter-server side) on response envelopes.
+pub const HUB_SENDER: u32 = u32::MAX;
+
+/// Fixed frame overhead in bytes: length prefix + kind + round + sender +
+/// payload length + checksum.
+pub const FRAME_OVERHEAD_BYTES: usize = 4 + 1 + 8 + 4 + 4 + 8;
+
+/// The kind of operation an envelope describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Pull the global model (initial pull or rejoin pull).
+    Pull,
+    /// Push local parameters to the PS.
+    Push,
+    /// A blocking synchronization round (push + averaged pull).
+    SyncRound,
+    /// The 1-bit sync-status contribution to the flags all-gather.
+    Flags,
+    /// A scalar contribution to the round-signal all-reduce (loss, Δ(g)).
+    ScalarReduce,
+    /// A fixed-size vector contribution to the round-signal all-reduce (Δ moments).
+    VecReduce,
+    /// Hub acknowledgement of a received envelope.
+    Ack,
+}
+
+impl MsgKind {
+    /// Wire tag.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            MsgKind::Pull => 0,
+            MsgKind::Push => 1,
+            MsgKind::SyncRound => 2,
+            MsgKind::Flags => 3,
+            MsgKind::ScalarReduce => 4,
+            MsgKind::VecReduce => 5,
+            MsgKind::Ack => 6,
+        }
+    }
+
+    /// Parse a wire tag.
+    pub fn from_u8(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => MsgKind::Pull,
+            1 => MsgKind::Push,
+            2 => MsgKind::SyncRound,
+            3 => MsgKind::Flags,
+            4 => MsgKind::ScalarReduce,
+            5 => MsgKind::VecReduce,
+            6 => MsgKind::Ack,
+            other => return Err(WireError::UnknownKind(other)),
+        })
+    }
+}
+
+/// Decode failure modes. Corruption anywhere in the frame surfaces as one of these
+/// (usually `BadChecksum`); the message layer treats them all as "the leg failed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the header or the length prefix promises.
+    Truncated,
+    /// The length prefix disagrees with the actual frame size.
+    LengthMismatch { expected: usize, got: usize },
+    /// Unknown kind tag.
+    UnknownKind(u8),
+    /// The trailing checksum does not match the frame content.
+    BadChecksum { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::LengthMismatch { expected, got } => {
+                write!(f, "length prefix {expected} but frame carries {got}")
+            }
+            WireError::UnknownKind(tag) => write!(f, "unknown message kind tag {tag}"),
+            WireError::BadChecksum { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:#x}, computed {got:#x}"
+                )
+            }
+        }
+    }
+}
+
+/// Identity of an envelope for dedupe purposes: retries and duplicated deliveries of
+/// the same logical op share this key, so idempotent handlers process it once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnvelopeId {
+    pub kind: MsgKind,
+    pub round: u64,
+    pub sender: u32,
+}
+
+/// One wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    pub kind: MsgKind,
+    pub round: u64,
+    pub sender: u32,
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a 64-bit over a byte slice — cheap, well-distributed, dependency-free.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Total frame size for a payload of `payload_len` bytes (the number the cost model
+/// charges per (re)transmission).
+pub fn frame_len(payload_len: usize) -> usize {
+    FRAME_OVERHEAD_BYTES + payload_len
+}
+
+impl Envelope {
+    /// The dedupe identity.
+    pub fn id(&self) -> EnvelopeId {
+        EnvelopeId {
+            kind: self.kind,
+            round: self.round,
+            sender: self.sender,
+        }
+    }
+
+    /// Encode to the canonical length-prefixed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = 1 + 8 + 4 + 4 + self.payload.len() + 8;
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.push(self.kind.as_u8());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.sender.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decode a frame, verifying the length prefix and the checksum. Any corruption
+    /// fails here — the message layer never hands garbage to a handler.
+    pub fn decode(frame: &[u8]) -> Result<Envelope, WireError> {
+        if frame.len() < FRAME_OVERHEAD_BYTES {
+            return Err(WireError::Truncated);
+        }
+        let body_len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        if frame.len() != 4 + body_len {
+            return Err(WireError::LengthMismatch {
+                expected: body_len,
+                got: frame.len().saturating_sub(4),
+            });
+        }
+        let sum_offset = frame.len() - 8;
+        let got = checksum(&frame[..sum_offset]);
+        let expected = u64::from_le_bytes(frame[sum_offset..].try_into().unwrap());
+        if got != expected {
+            return Err(WireError::BadChecksum { expected, got });
+        }
+        let kind = MsgKind::from_u8(frame[4])?;
+        let round = u64::from_le_bytes(frame[5..13].try_into().unwrap());
+        let sender = u32::from_le_bytes(frame[13..17].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(frame[17..21].try_into().unwrap()) as usize;
+        if 21 + payload_len + 8 != frame.len() {
+            return Err(WireError::LengthMismatch {
+                expected: payload_len,
+                got: frame.len().saturating_sub(21 + 8),
+            });
+        }
+        Ok(Envelope {
+            kind,
+            round,
+            sender,
+            payload: frame[21..21 + payload_len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            kind: MsgKind::Flags,
+            round: 17,
+            sender: 3,
+            payload: vec![1],
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_the_tag() {
+        for kind in [
+            MsgKind::Pull,
+            MsgKind::Push,
+            MsgKind::SyncRound,
+            MsgKind::Flags,
+            MsgKind::ScalarReduce,
+            MsgKind::VecReduce,
+            MsgKind::Ack,
+        ] {
+            assert_eq!(MsgKind::from_u8(kind.as_u8()), Ok(kind));
+        }
+        assert_eq!(MsgKind::from_u8(9), Err(WireError::UnknownKind(9)));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let env = sample();
+        let frame = env.encode();
+        assert_eq!(frame.len(), frame_len(env.payload.len()));
+        assert_eq!(Envelope::decode(&frame), Ok(env));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let env = Envelope {
+            kind: MsgKind::Ack,
+            round: 0,
+            sender: HUB_SENDER,
+            payload: vec![],
+        };
+        assert_eq!(Envelope::decode(&env.encode()), Ok(env));
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected() {
+        let frame = sample().encode();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0xFF;
+            assert!(
+                Envelope::decode(&bad).is_err(),
+                "flipping byte {i} must not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_length_lies_are_rejected() {
+        let frame = sample().encode();
+        assert_eq!(Envelope::decode(&frame[..5]), Err(WireError::Truncated));
+        assert!(matches!(
+            Envelope::decode(&frame[..frame.len() - 1]),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(matches!(
+            Envelope::decode(&padded),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dedupe_id_ignores_payload() {
+        let a = sample();
+        let mut b = sample();
+        b.payload = vec![9, 9, 9];
+        assert_eq!(a.id(), b.id());
+        let mut c = sample();
+        c.round += 1;
+        assert_ne!(a.id(), c.id());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_envelopes_round_trip_exactly(
+            kind_tag in 0u8..7,
+            round in 0u64..u64::MAX,
+            sender in 0u32..u32::MAX,
+            payload in proptest::collection::vec(0u8..255, 0..64),
+        ) {
+            let env = Envelope {
+                kind: MsgKind::from_u8(kind_tag).unwrap(),
+                round,
+                sender,
+                payload,
+            };
+            let frame = env.encode();
+            prop_assert_eq!(frame.len(), frame_len(env.payload.len()));
+            prop_assert_eq!(Envelope::decode(&frame), Ok(env));
+        }
+    }
+}

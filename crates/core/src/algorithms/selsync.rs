@@ -24,6 +24,8 @@ use crate::config::{AlgorithmSpec, TrainConfig};
 use crate::policy::{PolicySpec, SyncDecision, SyncPolicy};
 use crate::report::RunReport;
 use crate::sim::{Simulator, WorkerStep};
+use selsync_comm::faults::CommFaultSchedule;
+use selsync_comm::wire::frame_len;
 
 /// The algorithm label a SelSync run reports, as a pure function of its config.
 /// Shared by the simulator driver and the threaded driver (and the trace headers of
@@ -86,6 +88,13 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
 
     let mut sim = Simulator::new(cfg);
     let wire = sim.nominal().wire_bytes;
+    // Comm-fault machinery: the schedule prices retries, the compiled evictions
+    // (already folded into the simulator's membership) drive the evict events, and
+    // every presence-derived trace fact must come from the *effective* conditions so
+    // fault-driven evictions look exactly like scheduled crashes.
+    let fault_schedule = cfg.comm_faults.map(CommFaultSchedule::new);
+    let evictions = cfg.comm_fault_evictions();
+    let conditions = cfg.effective_conditions();
     // Latest synchronized model; rejoining workers pull it from the PS.
     let mut global = sim.workers[0].params.clone();
     // Round-to-round buffers: the averaged vector is written once per round and
@@ -96,11 +105,20 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     for it in 0..cfg.iterations {
         let lr = sim.lr_at(it);
         let (present, rejoin_comm, rejoin_bytes) = sim.begin_round(it, &global);
+        // Evictions fire whether or not the remaining round is runnable, so the
+        // event stream matches the threaded driver's (whose evicted thread emits
+        // its farewell regardless of what the survivors do this round).
+        for &(worker, round) in &evictions {
+            if round == it {
+                cfg.trace
+                    .record(selsync_tracelog::Event::CommEvict { round: it, worker });
+            }
+        }
         if present.is_empty() {
             sim.account_step(0.0, 0.0, 0, false);
             continue;
         }
-        crate::tracing::emit_round_context(&cfg.trace, &cfg.conditions, cfg.workers, it, &present);
+        crate::tracing::emit_round_context(&cfg.trace, &conditions, cfg.workers, it, &present);
         let mut comm = rejoin_comm;
         let mut bytes = rejoin_bytes;
 
@@ -121,6 +139,41 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         bytes += round.injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
         if round.injected_bytes > 0 {
             comm += sim.network_at(it).p2p_time(round.injected_bytes);
+        }
+        // Price the δ-signal exchange when a signal-consuming policy runs: two
+        // scalar all-reduces (loss mean, Δ max) plus the 2-element Δ-moment vector
+        // feed — 16 payload bytes per present worker. Mirrors the envelopes the
+        // threaded driver actually exchanges.
+        if exchange_signals {
+            let net = sim.network_at(it);
+            comm += 2.0 * net.scalar_allreduce_time(present.len())
+                + net.vec_allreduce_time(present.len(), 2);
+            bytes += present.len() as u64 * 16;
+        }
+        // Price the fault schedule's retries: each present worker's exchanges at
+        // this round share one link-weather attempt count; failed attempts cost
+        // their deterministic backoff (workers retry concurrently, so the round
+        // pays the worst worker's penalty) and retransmit both legs of the op
+        // frame. Present workers always land within budget — exhaustion would have
+        // evicted them from this round's membership.
+        if let Some(schedule) = &fault_schedule {
+            let mut worst_penalty_s = 0.0f64;
+            for &worker in &present {
+                let attempts = schedule
+                    .attempts_used(worker, it as u64)
+                    .expect("present workers complete within their retry budget");
+                if attempts > 1 {
+                    bytes += (attempts as u64 - 1) * 2 * frame_len(8) as u64;
+                    worst_penalty_s =
+                        worst_penalty_s.max(schedule.retry_penalty_s(worker, it as u64));
+                    cfg.trace.record(selsync_tracelog::Event::CommRetry {
+                        round: it,
+                        worker,
+                        attempts,
+                    });
+                }
+            }
+            comm += worst_penalty_s;
         }
 
         // Phase 3: apply updates according to the decision and aggregation mode.

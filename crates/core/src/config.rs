@@ -6,8 +6,9 @@
 //! used for simulated timing. Every run is deterministic given its `seed`.
 
 use crate::aggregation::AggregationMode;
-use crate::conditions::ClusterConditions;
+use crate::conditions::{ClusterConditions, FaultEvent};
 use crate::policy::PolicySpec;
+use selsync_comm::faults::{CommFaultSchedule, CommFaultSpec};
 use selsync_comm::netmodel::NetworkModel;
 use selsync_data::injection::DataInjection;
 use selsync_data::partition::PartitionScheme;
@@ -214,6 +215,13 @@ pub struct TrainConfig {
     /// Rejoin-pull semantics of the thread-per-worker driver (wall-clock by default;
     /// the simulator is unaffected — it is always schedule-deterministic).
     pub rejoin_pull: RejoinPull,
+    /// Optional deterministic message-fault schedule (`[comm_faults]`). `None` (the
+    /// default) routes all comm ops through the lossless transport, preserving
+    /// historical behavior bit-for-bit. `Some` drives every op through the
+    /// retry/timeout message layer; a worker that exhausts its retry budget is
+    /// evicted from membership exactly like a scheduled crash with no rejoin (see
+    /// [`TrainConfig::effective_conditions`]).
+    pub comm_faults: Option<CommFaultSpec>,
     /// Run-trace capture hook (disabled by default; zero-cost when disabled). Both
     /// SelSync drivers emit the canonical event stream into it. Clones of a config
     /// share one sink — give each *run* a fresh `TraceSink::capture(..)` so two runs
@@ -279,6 +287,7 @@ impl TrainConfig {
             conditions: ClusterConditions::uniform(),
             delta_policy: None,
             rejoin_pull: RejoinPull::WallClock,
+            comm_faults: None,
             trace: TraceSink::disabled(),
         }
     }
@@ -294,6 +303,56 @@ impl TrainConfig {
         cfg.test_samples = 2_048;
         cfg.eval_samples = 1_024;
         cfg
+    }
+
+    /// The comm-fault evictions this config's schedule implies: `(worker, round)`
+    /// pairs where a worker present under the scheduled conditions exhausts its
+    /// retry budget and is permanently removed from membership. Pure function of
+    /// the config — both backends (and scenario validation) derive membership from
+    /// the same list. Empty when `comm_faults` is `None` or the schedule is mild
+    /// enough that every exchange lands within budget.
+    pub fn comm_fault_evictions(&self) -> Vec<(usize, usize)> {
+        let Some(spec) = self.comm_faults else {
+            return Vec::new();
+        };
+        let schedule = CommFaultSchedule::new(spec);
+        let mut evictions = Vec::new();
+        for worker in 0..self.workers {
+            for iter in 0..self.iterations {
+                // Weather is only experienced at rounds the worker actually runs
+                // under the scheduled (crash/rejoin) conditions.
+                if !self.conditions.is_present(worker, iter) {
+                    continue;
+                }
+                if schedule
+                    .first_success_attempt(worker, iter as u64)
+                    .is_none()
+                {
+                    evictions.push((worker, iter));
+                    break; // eviction is permanent — no rejoin
+                }
+            }
+        }
+        evictions
+    }
+
+    /// The membership-effective cluster conditions: the scheduled conditions plus
+    /// one no-rejoin crash per comm-fault eviction. Idempotent — a crash window
+    /// starting at the eviction round makes the worker absent there, so
+    /// recomputing evictions on the result yields the same set. Both drivers (and
+    /// anything deriving presence, e.g. trace round-context) must use this, not
+    /// `self.conditions`, so fault-driven evictions look exactly like scheduled
+    /// crashes.
+    pub fn effective_conditions(&self) -> ClusterConditions {
+        let mut conditions = self.conditions.clone();
+        for (worker, round) in self.comm_fault_evictions() {
+            conditions = conditions.with_fault(FaultEvent::Crash {
+                worker,
+                start: round,
+                rejoin: None,
+            });
+        }
+        conditions
     }
 
     /// Steps per (global) epoch: one pass of the cluster over the training set.
@@ -350,6 +409,67 @@ mod tests {
         let (opt, lr) = TrainConfig::default_hyper(ModelKind::AlexLike);
         assert!(opt.adam);
         assert_eq!(lr, LrSchedule::Constant { lr: 1e-3 });
+    }
+
+    #[test]
+    fn comm_fault_evictions_default_to_empty_and_lossless_conditions() {
+        let cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        assert!(cfg.comm_fault_evictions().is_empty());
+        assert_eq!(cfg.effective_conditions(), cfg.conditions);
+    }
+
+    #[test]
+    fn brutal_fault_schedules_evict_and_compilation_is_idempotent() {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        cfg.iterations = 40;
+        cfg.comm_faults = Some(CommFaultSpec {
+            seed: 7,
+            drop: 0.75,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            retry_budget: 2,
+            timeout_s: 1e-3,
+        });
+        let evictions = cfg.comm_fault_evictions();
+        assert!(
+            !evictions.is_empty(),
+            "a 75% drop rate with budget 2 must evict someone in 4x40 rounds"
+        );
+        // At most one eviction per worker, at a round where the worker was present.
+        let mut workers_seen = std::collections::HashSet::new();
+        for &(w, r) in &evictions {
+            assert!(workers_seen.insert(w), "worker {w} evicted twice");
+            assert!(cfg.conditions.is_present(w, r));
+        }
+        // Effective conditions make the evicted workers absent from their eviction
+        // round on, and recompiling against them changes nothing (idempotence).
+        let effective = cfg.effective_conditions();
+        for &(w, r) in &evictions {
+            assert!(!effective.is_present(w, r));
+            assert!(!effective.is_present(w, cfg.iterations - 1));
+        }
+        let mut recompiled = cfg.clone();
+        recompiled.conditions = effective.clone();
+        assert!(recompiled.comm_fault_evictions().is_empty());
+        assert_eq!(recompiled.effective_conditions(), effective);
+    }
+
+    #[test]
+    fn mild_fault_schedules_keep_everyone_alive() {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        cfg.iterations = 60;
+        cfg.comm_faults = Some(CommFaultSpec {
+            seed: 11,
+            drop: 0.05,
+            duplicate: 0.05,
+            corrupt: 0.02,
+            delay: 0.05,
+            retry_budget: 6,
+            timeout_s: 1e-3,
+        });
+        assert!(cfg.comm_fault_evictions().is_empty());
+        assert_eq!(cfg.effective_conditions(), cfg.conditions);
     }
 
     #[test]

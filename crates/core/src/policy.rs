@@ -94,8 +94,23 @@ pub struct RoundSignal {
     pub max_delta: f32,
     /// Mean training loss of the round's steps.
     pub mean_loss: f32,
+    /// Mean `Δ(g_i)` across the round's present workers (first moment of the
+    /// per-worker signal feed; with [`Self::delta_sq_mean`] it gives the cluster
+    /// Δ variance, `E[Δ²] − E[Δ]²`).
+    pub delta_mean: f32,
+    /// Mean `Δ(g_i)²` across the round's present workers (second moment of the
+    /// per-worker signal feed).
+    pub delta_sq_mean: f32,
     /// Whether the round synchronized.
     pub synced: bool,
+}
+
+impl RoundSignal {
+    /// Population variance of the round's per-worker `Δ(g_i)` (clamped at zero
+    /// against f32 cancellation).
+    pub fn delta_variance(&self) -> f32 {
+        (self.delta_sq_mean - self.delta_mean * self.delta_mean).max(0.0)
+    }
 }
 
 /// Record of one regime switch made by an adaptive policy, with the detector state
@@ -614,6 +629,8 @@ mod tests {
             iteration,
             max_delta,
             mean_loss,
+            delta_mean: max_delta,
+            delta_sq_mean: max_delta * max_delta,
             synced: true,
         }
     }

@@ -109,15 +109,31 @@ impl RoundOutput {
     }
 
     /// The cluster-level [`RoundSignal`] a [`crate::policy::DeltaPolicy`] observes for
-    /// this round: the round-maximum `Δ(g_i)`, the mean batch loss, and whether the
-    /// round synchronized. Everything here is merged in worker-index order, so the
-    /// signal — and therefore every policy decision — is bit-identical across thread
-    /// counts.
+    /// this round: the round-maximum `Δ(g_i)`, the mean batch loss, the Δ moment
+    /// feed (mean of `Δ(g_i)` and of `Δ(g_i)²`), and whether the round
+    /// synchronized. Everything here is merged in worker-index order — the moment
+    /// sums fold exactly like the threaded driver's elementwise worker-order vector
+    /// all-reduce — so the signal, and therefore every policy decision, is
+    /// bit-identical across backends and thread counts.
     pub fn signal(&self, iteration: usize, synced: bool) -> RoundSignal {
+        let (delta_mean, delta_sq_mean) = if self.deltas.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mut sum = 0.0f32;
+            let mut sq_sum = 0.0f32;
+            for &d in &self.deltas {
+                sum += d;
+                sq_sum += d * d;
+            }
+            let n = self.deltas.len() as f32;
+            (sum / n, sq_sum / n)
+        };
         RoundSignal {
             iteration,
             max_delta: self.max_delta,
             mean_loss: self.mean_loss(),
+            delta_mean,
+            delta_sq_mean,
             synced,
         }
     }
@@ -282,8 +298,17 @@ impl Simulator {
             })
             .collect();
 
+        // Compile comm-fault evictions into the membership schedule up front: every
+        // presence query below (all algorithm drivers, round planning, trace
+        // context) then sees fault-driven evictions exactly like scheduled crashes.
+        // Idempotent — an evicted worker is absent from its eviction round on, so
+        // recompiling cannot add further crashes.
+        let mut cfg = cfg.clone();
+        cfg.conditions = cfg.effective_conditions();
+        let rng = rng::derived(cfg.seed, 0xC1A5);
+
         Simulator {
-            cfg: cfg.clone(),
+            cfg,
             model,
             train,
             test,
@@ -295,7 +320,7 @@ impl Simulator {
             compute_time_s: 0.0,
             comm_time_s: 0.0,
             bytes_communicated: 0,
-            rng: rng::derived(cfg.seed, 0xC1A5),
+            rng,
             last_train_loss: 0.0,
             max_delta_seen: 0.0,
             last_round: None,

@@ -68,8 +68,10 @@ use crate::sim;
 use crate::tracker::{GradStatistic, GradientTracker};
 use parking_lot::{Condvar, Mutex};
 use selsync_comm::cluster::{make_handles, run_cluster_with, ClusterHandles};
+use selsync_comm::faults::CommFaultSchedule;
 use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
-use selsync_comm::ScalarOp;
+use selsync_comm::wire::MsgKind;
+use selsync_comm::{MessageLayer, ScalarOp};
 use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::model::PaperModel;
 use selsync_tracelog::{Event, PullKind, TraceSink};
@@ -231,7 +233,26 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
 
     let train = &train;
     let iid_order = &iid_order;
-    let conditions = &cfg.conditions;
+    // Membership comes from the *effective* conditions: the scheduled ones plus one
+    // no-rejoin crash per comm-fault eviction. Every thread derives the same
+    // presence from this pure schedule, so fault-driven evictions need no runtime
+    // coordination — exactly like scheduled crashes.
+    let conditions = cfg.effective_conditions();
+    let conditions = &conditions;
+    // Every comm op rides the message layer: lossless (single attempt, intact
+    // delivery) without `[comm_faults]`, the retry/timeout/eviction path over the
+    // faulty transport with it. Eviction rounds are precomputed from the same
+    // schedule the layer rolls, so a thread driven past its budget finds itself
+    // already absent from the membership above — the layer's `Err(Evicted)` and the
+    // schedule agree by construction (pinned by the transport tests).
+    let fault_schedule = cfg.comm_faults.map(CommFaultSchedule::new);
+    let layer = match fault_schedule {
+        Some(schedule) => MessageLayer::faulty(schedule),
+        None => MessageLayer::lossless(),
+    };
+    let layer = &layer;
+    let evictions = cfg.comm_fault_evictions();
+    let evictions = &evictions;
 
     // One cluster-level policy instance for the whole run, seeded at the first active
     // round — the exact analogue of the simulator driver's `policy` local.
@@ -285,6 +306,21 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         // the fault schedule.
         let mut forwards_before = 0u64;
         let mut indices = Vec::with_capacity(cfg.batch_size);
+        // Control-plane exchange for one comm op: request envelope out, hub ack
+        // back, bounded retry. A worker present at a round always lands within its
+        // budget — exhaustion would have evicted it from this round's membership —
+        // so an `Err` here is a schedule/layer disagreement, not a recoverable
+        // condition. Returns the attempt count (shared by every op this worker
+        // performs this round: link weather is per `(worker, round, attempt, leg)`,
+        // not per message kind).
+        let exchange = |round: usize, kind: MsgKind, payload: &[u8]| -> u32 {
+            layer
+                .exchange(worker, round as u64, kind, payload)
+                .unwrap_or_else(|e| {
+                    panic!("present worker {worker} failed a comm op at round {round}: {e}")
+                })
+                .attempts
+        };
 
         for it in 0..cfg.iterations {
             // Crash windows: an absent worker skips the round entirely — no compute, no
@@ -292,6 +328,19 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             // deterministic schedule, so the round-keyed rendezvous stays consistent.
             let present = conditions.present_workers(n, it);
             let Some(rank) = present.iter().position(|&p| p == worker) else {
+                if evictions.contains(&(worker, it)) {
+                    // This is the round the fault schedule drives this worker past
+                    // its retry budget. Run the doomed exchange for real — the
+                    // layer must agree with the precomputed membership — then log
+                    // the eviction and fall out of the cluster for good.
+                    let farewell = layer.exchange(worker, it as u64, MsgKind::Flags, &[0]);
+                    assert!(
+                        farewell.is_err(),
+                        "worker {worker} was precomputed as evicted at round {it} but its \
+                         exchange succeeded"
+                    );
+                    cfg.trace.record(Event::CommEvict { round: it, worker });
+                }
                 was_present = false;
                 forwards_before += present.len() as u64;
                 continue;
@@ -302,8 +351,10 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             if !was_present {
                 // Rejoin: tracker and optimizer did not survive the crash (the
                 // simulator restarts per-worker state the same way — its cluster-level
-                // policy, like the shared board here, is untouched). The parameter
-                // pull follows the configured semantics.
+                // policy, like the shared board here, is untouched). The pull request
+                // is an envelope on the message layer; the parameter pull itself
+                // (the data plane) follows the configured semantics.
+                exchange(it, MsgKind::Pull, &(it as u64).to_le_bytes());
                 params = match cfg.rejoin_pull {
                     RejoinPull::WallClock => handles.ps.pull(),
                     RejoinPull::Scheduled => {
@@ -368,7 +419,19 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             // the simulator's `RoundOutput::mean_loss` / `max_delta` folds. Elided
             // for signal-blind (fixed/scheduled) policies, whose observations are
             // discarded anyway.
-            let (mean_loss, cluster_delta) = if exchange_signals {
+            let (mean_loss, cluster_delta, moments) = if exchange_signals {
+                // Both scalars ride one envelope (the envelope id is
+                // (kind, round, sender), so a second ScalarReduce from the same
+                // worker in the same round would be dropped as a duplicate), and
+                // the Δ-moment vector rides its own VecReduce envelope.
+                let mut scalar_payload = [0u8; 8];
+                scalar_payload[..4].copy_from_slice(&stats.loss.to_le_bytes());
+                scalar_payload[4..].copy_from_slice(&delta_g.to_le_bytes());
+                exchange(it, MsgKind::ScalarReduce, &scalar_payload);
+                let mut vec_payload = [0u8; 8];
+                vec_payload[..4].copy_from_slice(&delta_g.to_le_bytes());
+                vec_payload[4..].copy_from_slice(&(delta_g * delta_g).to_le_bytes());
+                exchange(it, MsgKind::VecReduce, &vec_payload);
                 (
                     handles.collective.allreduce_scalar_among(
                         it as u64,
@@ -384,9 +447,16 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                         active,
                         ScalarOp::Max,
                     ),
+                    handles.collective.allreduce_vec_among(
+                        it as u64,
+                        worker,
+                        vec![delta_g, delta_g * delta_g],
+                        active,
+                        ScalarOp::Mean,
+                    ),
                 )
             } else {
-                (stats.loss, delta_g)
+                (stats.loss, delta_g, vec![delta_g, delta_g * delta_g])
             };
 
             // This round's δ from the *shared* cluster policy (Phase 0 of the
@@ -396,6 +466,17 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             // 1-bit status all-gather followed by the cluster decision (lines 10–13),
             // restricted to the live workers of this iteration.
             let wants_sync = sync_policy.worker_wants_sync(delta_g);
+            let attempts = exchange(it, MsgKind::Flags, &[wants_sync as u8]);
+            if attempts > 1 {
+                // One retry event per (worker, round): every envelope this worker
+                // sent this round shares the same attempt count (link weather is
+                // keyed by (worker, round, attempt, leg), not by message kind).
+                cfg.trace.record(Event::CommRetry {
+                    round: it,
+                    worker,
+                    attempts,
+                });
+            }
             let flags = handles
                 .collective
                 .allgather_flags_among(it as u64, worker, wants_sync, active);
@@ -403,7 +484,14 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             if synced {
                 // Push local parameters, pull the average (lines 14–15). The elastic
                 // round combines contributions in worker-id order, so the pulled
-                // average equals the simulator's to the last bit.
+                // average equals the simulator's to the last bit. The control-plane
+                // announcement (parameter byte count) is an envelope; the parameters
+                // themselves move through the data-plane rendezvous below.
+                exchange(
+                    it,
+                    MsgKind::SyncRound,
+                    &((params.len() * 4) as u64).to_le_bytes(),
+                );
                 params = handles
                     .ps
                     .sync_round_elastic(it as u64, worker, &params, active);
@@ -446,6 +534,8 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                         iteration: it,
                         max_delta: cluster_delta,
                         mean_loss,
+                        delta_mean: moments[0],
+                        delta_sq_mean: moments[1],
                         synced,
                     },
                     conditions.next_active_iteration(n, it + 1, cfg.iterations),
@@ -637,6 +727,100 @@ mod tests {
                 r.worker,
                 r.distance_to_global
             );
+        }
+    }
+
+    /// A drop/corrupt schedule whose seed (searched deterministically) evicts
+    /// exactly one worker strictly inside the run, so the pre- and post-eviction
+    /// regimes are both exercised.
+    fn mid_run_evicting_spec(c: &TrainConfig) -> selsync_comm::faults::CommFaultSpec {
+        use selsync_comm::faults::CommFaultSpec;
+        let spec_for = |seed| CommFaultSpec {
+            seed,
+            drop: 0.05,
+            duplicate: 0.0,
+            corrupt: 0.01,
+            delay: 0.0,
+            retry_budget: 2,
+            timeout_s: 1e-3,
+        };
+        let seed = (0..500)
+            .find(|&seed| {
+                let mut probe = c.clone();
+                probe.comm_faults = Some(spec_for(seed));
+                let evictions = probe.comm_fault_evictions();
+                evictions.len() == 1 && (3..20).contains(&evictions[0].1)
+            })
+            .expect("some seed in 0..500 evicts exactly one worker mid-run");
+        spec_for(seed)
+    }
+
+    #[test]
+    fn comm_fault_eviction_is_report_identical_to_the_equivalent_scheduled_crash() {
+        // An eviction compiled from the fault schedule must behave exactly like a
+        // scheduled no-rejoin crash at the same round: a run with the weather and
+        // a fault-free run with the pre-compiled crash produce identical reports.
+        let mut c = cfg(0.05, 3);
+        c.comm_faults = Some(mid_run_evicting_spec(&c));
+        let faulty = run_threaded_selsync(&c);
+        let mut crashed = c.clone();
+        crashed.conditions = c.effective_conditions();
+        crashed.comm_faults = None;
+        let clean = run_threaded_selsync(&crashed);
+        for (a, b) in faulty.iter().zip(clean.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_delay_weather_is_report_identical_to_lossless() {
+        use selsync_comm::faults::CommFaultSpec;
+        // Duplicates are absorbed by envelope-id dedupe and delays only reorder
+        // delivery, so a drop/corrupt-free schedule changes nothing observable.
+        let mut c = cfg(0.05, 3);
+        c.comm_faults = Some(CommFaultSpec {
+            seed: 9,
+            drop: 0.0,
+            duplicate: 0.4,
+            corrupt: 0.0,
+            delay: 0.3,
+            retry_budget: 3,
+            timeout_s: 1e-3,
+        });
+        assert!(c.comm_fault_evictions().is_empty());
+        let faulty = run_threaded_selsync(&c);
+        let mut lossless = c.clone();
+        lossless.comm_faults = None;
+        let clean = run_threaded_selsync(&lossless);
+        for (a, b) in faulty.iter().zip(clean.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn faulty_runs_match_the_simulator_restricted_to_effective_presence() {
+        let mut c = cfg(0.05, 3);
+        c.comm_faults = Some(mid_run_evicting_spec(&c));
+        let sim = crate::algorithms::run(&c);
+        let reports = run_threaded_selsync(&c);
+        let effective = c.effective_conditions();
+        for r in &reports {
+            let expected: Vec<usize> = sim
+                .sync_rounds
+                .iter()
+                .copied()
+                .filter(|&round| effective.is_present(r.worker, round))
+                .collect();
+            assert_eq!(
+                r.sync_rounds, expected,
+                "worker {} diverged from the simulator under comm faults",
+                r.worker
+            );
+        }
+        // Reruns reproduce the same reports bit-for-bit.
+        let again = run_threaded_selsync(&c);
+        for (a, b) in reports.iter().zip(again.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
     }
 }

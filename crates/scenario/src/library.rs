@@ -1,6 +1,6 @@
 //! Built-in scenario library.
 //!
-//! Five canonical cluster shapes, each small enough to run in seconds yet shaped to
+//! Seven canonical cluster shapes, each small enough to run in seconds yet shaped to
 //! surface the regime it is named after. All are constructed programmatically (so they
 //! are always in sync with the schema) and serialize to TOML via
 //! [`Scenario::to_toml_string`] — `scenario_run --dump <name>` prints them as starting
@@ -9,15 +9,17 @@
 use crate::schema::{FaultSpec, Scenario, SweepSpec};
 use selsync::config::RejoinPull;
 use selsync::policy::PolicySpec;
+use selsync_comm::faults::CommFaultSpec;
 
 /// Names of the built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 6] = [
+pub const BUILTIN_NAMES: [&str; 7] = [
     "steady",
     "transient-straggler",
     "degraded-network",
     "crash-rejoin",
     "heterogeneous-fleet",
     "elastic-churn",
+    "flaky-links",
 ];
 
 /// Look up a built-in scenario by name.
@@ -29,6 +31,7 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "crash-rejoin" => Some(crash_rejoin()),
         "heterogeneous-fleet" => Some(heterogeneous_fleet()),
         "elastic-churn" => Some(elastic_churn()),
+        "flaky-links" => Some(flaky_links()),
         _ => None,
     }
 }
@@ -162,6 +165,29 @@ pub fn elastic_churn() -> Scenario {
     s
 }
 
+/// Lossy interconnect: every message leg has a chance of being dropped, corrupted,
+/// duplicated or delayed under a seeded `[comm_faults]` schedule. Retries and
+/// timeouts price the weather into the run's time/byte totals, duplicates and
+/// reorders are absorbed by the idempotent message layer, and a worker whose
+/// retry budget runs dry is evicted like a scheduled crash (see
+/// `docs/COMM_FAULTS.md`).
+pub fn flaky_links() -> Scenario {
+    let mut s = Scenario::base("flaky-links", 6, 240);
+    s.description =
+        "Lossy links: 8% drop / 2% corrupt / 4% duplicate / 6% delay per leg, 5-attempt budget."
+            .into();
+    s.comm_faults = Some(CommFaultSpec {
+        seed: 42,
+        drop: 0.08,
+        duplicate: 0.04,
+        corrupt: 0.02,
+        delay: 0.06,
+        retry_budget: 5,
+        timeout_s: 5.0e-3,
+    });
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +240,7 @@ mod tests {
             }
         )));
         assert!(heterogeneous_fleet().heterogeneity.iter().any(|&s| s > 1.0));
+        let weather = flaky_links().comm_faults.expect("flaky-links has weather");
+        assert!(!weather.is_lossless() && weather.retry_budget > 1);
     }
 }

@@ -60,11 +60,16 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
             trace = Some(cfg.trace.take_log().encode());
         }
     }
+    let mut timeline = injector.timeline();
+    if let Some(weather) = &scenario.comm_faults {
+        timeline.push('\n');
+        timeline.push_str(&weather.describe());
+    }
     Ok(ScenarioReport {
         scenario: scenario.name.clone(),
         description: scenario.description.clone(),
         seed: scenario.seed,
-        timeline: injector.timeline(),
+        timeline,
         runs,
         trace,
     })

@@ -10,6 +10,7 @@ use crate::toml::{self, Document, Table, Value};
 use selsync::conditions::{ClusterConditions, FaultEvent};
 use selsync::config::{RejoinPull, TrainConfig};
 use selsync::policy::PolicySpec;
+use selsync_comm::faults::CommFaultSpec;
 use selsync_comm::NetworkModel;
 use selsync_nn::model::ModelKind;
 use selsync_tracelog::TraceGranularity;
@@ -277,6 +278,11 @@ pub struct Scenario {
     pub rejoin_pull: RejoinPull,
     /// Optional event-log capture settings (`[trace]` section; disabled when omitted).
     pub trace: TraceSpec,
+    /// Optional message-fault weather (`[comm_faults]` section; lossless links when
+    /// omitted). Per-leg drop/duplicate/corrupt/delay rates plus the retry budget
+    /// and logical timeout — a pure function of `(seed, worker, round, attempt,
+    /// leg)`, so faulty runs stay bit-deterministic (see `docs/COMM_FAULTS.md`).
+    pub comm_faults: Option<CommFaultSpec>,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -449,6 +455,7 @@ impl Scenario {
             sweep: None,
             rejoin_pull: RejoinPull::WallClock,
             trace: TraceSpec::default(),
+            comm_faults: None,
         }
     }
 
@@ -487,6 +494,7 @@ impl Scenario {
         cfg.conditions = self.to_conditions();
         cfg.algorithm = algorithm;
         cfg.rejoin_pull = self.rejoin_pull;
+        cfg.comm_faults = self.comm_faults;
         cfg
     }
 
@@ -522,7 +530,19 @@ impl Scenario {
             sweep.validate()?;
         }
         self.trace.validate()?;
-        self.to_conditions().validate(self.workers, self.iterations)
+        self.to_conditions()
+            .validate(self.workers, self.iterations)?;
+        if let Some(spec) = &self.comm_faults {
+            spec.validate().map_err(|e| format!("[comm_faults]: {e}"))?;
+            // The weather's evictions compile into extra no-rejoin crashes; the
+            // *effective* membership schedule must still be a valid cluster (e.g.
+            // it must never go fully dark before the run ends).
+            let cfg = self.train_config(selsync::config::AlgorithmSpec::selsync(self.delta));
+            cfg.effective_conditions()
+                .validate(self.workers, self.iterations)
+                .map_err(|e| format!("[comm_faults]: evictions break the schedule: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Serialize to canonical TOML.
@@ -570,6 +590,20 @@ impl Scenario {
                 );
             }
             doc.sections.push(("trace".to_string(), t));
+        }
+
+        // Only serialized when present (omitted = lossless links), so pre-existing
+        // scenario dumps stay byte-identical.
+        if let Some(spec) = &self.comm_faults {
+            let mut cf = Table::new();
+            cf.set("seed", Value::Int(spec.seed as i64));
+            cf.set("drop", Value::Float(spec.drop));
+            cf.set("duplicate", Value::Float(spec.duplicate));
+            cf.set("corrupt", Value::Float(spec.corrupt));
+            cf.set("delay", Value::Float(spec.delay));
+            cf.set("retry_budget", Value::Int(spec.retry_budget as i64));
+            cf.set("timeout_s", Value::Float(spec.timeout_s));
+            doc.sections.push(("comm_faults".to_string(), cf));
         }
 
         if let Some(sweep) = &self.sweep {
@@ -739,6 +773,42 @@ impl Scenario {
             None => TraceSpec::default(),
         };
 
+        let comm_faults = match doc.section("comm_faults") {
+            Some(cf) => {
+                let ctx = "[comm_faults]";
+                let rate = |key: &str| -> Result<f64, String> {
+                    match cf.get(key) {
+                        None => Ok(0.0),
+                        Some(v) => v
+                            .as_float()
+                            .ok_or_else(|| format!("{ctx}: {key} must be a number")),
+                    }
+                };
+                Some(CommFaultSpec {
+                    // The weather seed defaults to the scenario seed; give it its
+                    // own value to replay one run under different weather.
+                    seed: match cf.get("seed") {
+                        None => seed,
+                        Some(_) => get_usize(cf, "seed", ctx)? as u64,
+                    },
+                    drop: rate("drop")?,
+                    duplicate: rate("duplicate")?,
+                    corrupt: rate("corrupt")?,
+                    delay: rate("delay")?,
+                    retry_budget: match cf.get("retry_budget") {
+                        None => 3,
+                        Some(_) => u32::try_from(get_usize(cf, "retry_budget", ctx)?)
+                            .map_err(|_| format!("{ctx}: retry_budget is too large"))?,
+                    },
+                    timeout_s: match cf.get("timeout_s") {
+                        None => 5.0e-3,
+                        Some(_) => get_f64(cf, "timeout_s", ctx)?,
+                    },
+                })
+            }
+            None => None,
+        };
+
         let network = match doc.section("network") {
             Some(n) => NetworkSpec {
                 bandwidth_gbps: get_f64(n, "bandwidth_gbps", "[network]")?,
@@ -856,6 +926,7 @@ impl Scenario {
             sweep,
             rejoin_pull,
             trace,
+            comm_faults,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -1093,6 +1164,73 @@ mod tests {
         let mut empty_path = sample();
         empty_path.trace.path = Some(String::new());
         assert!(empty_path.validate().is_err());
+    }
+
+    #[test]
+    fn comm_faults_block_round_trips_and_defaults_to_lossless() {
+        // Default: omitted from the TOML, parses back to lossless links.
+        let s = sample();
+        assert!(s.comm_faults.is_none());
+        let text = s.to_toml_string();
+        assert!(!text.contains("[comm_faults]"), "{text}");
+
+        // A full block round-trips and reaches the train config.
+        let mut faulty = sample();
+        faulty.comm_faults = Some(CommFaultSpec {
+            seed: 7,
+            drop: 0.05,
+            duplicate: 0.02,
+            corrupt: 0.01,
+            delay: 0.04,
+            retry_budget: 5,
+            timeout_s: 5.0e-3,
+        });
+        let text = faulty.to_toml_string();
+        assert!(text.contains("[comm_faults]"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(faulty, parsed);
+        assert_eq!(text, parsed.to_toml_string());
+        let cfg = parsed.train_config(selsync::config::AlgorithmSpec::selsync(0.1));
+        assert_eq!(cfg.comm_faults, faulty.comm_faults);
+
+        // Omitted keys default: rates 0, budget 3, timeout 5 ms, weather seed =
+        // scenario seed.
+        let base_text = Scenario::base("cf", 3, 50).to_toml_string();
+        let minimal = format!("{base_text}[comm_faults]\ndrop = 0.01\n");
+        let spec = Scenario::from_toml_str(&minimal)
+            .unwrap()
+            .comm_faults
+            .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.drop, 0.01);
+        assert_eq!(spec.duplicate, 0.0);
+        assert_eq!(spec.retry_budget, 3);
+        assert_eq!(spec.timeout_s, 5.0e-3);
+
+        // Broken rates are rejected with the section name in the error.
+        let bad = format!("{base_text}[comm_faults]\ndrop = 1.5\n");
+        assert!(Scenario::from_toml_str(&bad)
+            .unwrap_err()
+            .contains("comm_faults"));
+    }
+
+    #[test]
+    fn weather_that_blacks_out_the_cluster_is_rejected() {
+        // A 95% per-leg failure rate with a single attempt evicts every worker
+        // almost immediately; the compiled membership schedule then has fully dark
+        // rounds, which validation must refuse just like an all-crash schedule.
+        let mut dark = Scenario::base("dark", 3, 50);
+        dark.comm_faults = Some(CommFaultSpec {
+            seed: 1,
+            drop: 0.9,
+            duplicate: 0.0,
+            corrupt: 0.05,
+            delay: 0.0,
+            retry_budget: 1,
+            timeout_s: 1e-3,
+        });
+        let err = dark.validate().unwrap_err();
+        assert!(err.contains("comm_faults"), "{err}");
     }
 
     #[test]

@@ -200,6 +200,15 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             mean_loss: get("mean_loss")?.as_f32("mean_loss")?,
             max_delta: get("max_delta")?.as_f32("max_delta")?,
         }),
+        "comm_retry" => Ok(Event::CommRetry {
+            round: get("round")?.as_usize("round")?,
+            worker: get("worker")?.as_usize("worker")?,
+            attempts: get("attempts")?.as_u64("attempts")? as u32,
+        }),
+        "comm_evict" => Ok(Event::CommEvict {
+            round: get("round")?.as_usize("round")?,
+            worker: get("worker")?.as_usize("worker")?,
+        }),
         other => Err(format!("unknown event kind `{other}`")),
     }
 }
@@ -434,6 +443,15 @@ mod tests {
                 delta_ewma: 0.041,
                 mean_loss: 0.729,
                 max_delta: 0.038,
+            },
+            Event::CommRetry {
+                round: 9,
+                worker: 2,
+                attempts: 3,
+            },
+            Event::CommEvict {
+                round: 11,
+                worker: 2,
             },
         ]
     }

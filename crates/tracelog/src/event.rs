@@ -179,6 +179,19 @@ pub enum Event {
         mean_loss: f32,
         max_delta: f32,
     },
+    /// A worker's comm exchanges at this round needed more than one attempt under
+    /// the seeded `[comm_faults]` schedule. `attempts` is the per-op attempt count
+    /// (all of a worker's ops in one round share the same link weather, hence the
+    /// same count).
+    CommRetry {
+        round: usize,
+        worker: usize,
+        attempts: u32,
+    },
+    /// A worker exhausted its retry budget at this round and was evicted from the
+    /// cluster membership — the comm-fault analogue of a scheduled crash with no
+    /// rejoin.
+    CommEvict { round: usize, worker: usize },
 }
 
 impl Event {
@@ -191,7 +204,9 @@ impl Event {
             | Event::RejoinPull { round, .. }
             | Event::Signal { round, .. }
             | Event::Round { round, .. }
-            | Event::RegimeSwitch { round, .. } => Some(*round),
+            | Event::RegimeSwitch { round, .. }
+            | Event::CommRetry { round, .. }
+            | Event::CommEvict { round, .. } => Some(*round),
         }
     }
 
@@ -205,6 +220,8 @@ impl Event {
             Event::Signal { .. } => "signal",
             Event::Round { .. } => "round",
             Event::RegimeSwitch { .. } => "switch",
+            Event::CommRetry { .. } => "comm_retry",
+            Event::CommEvict { .. } => "comm_evict",
         }
     }
 
@@ -218,6 +235,8 @@ impl Event {
             Event::Signal { .. } => 4,
             Event::Round { .. } => 5,
             Event::RegimeSwitch { .. } => 6,
+            Event::CommRetry { .. } => 7,
+            Event::CommEvict { .. } => 8,
         }
     }
 
@@ -229,7 +248,9 @@ impl Event {
         let round_key = self.round().map_or(0, |r| r + 1);
         let worker_key = match self {
             Event::FaultWindow { worker, .. } => worker.map_or(0, |w| w + 1),
-            Event::RejoinPull { worker, .. } => *worker + 1,
+            Event::RejoinPull { worker, .. }
+            | Event::CommRetry { worker, .. }
+            | Event::CommEvict { worker, .. } => *worker + 1,
             _ => 0,
         };
         (round_key, self.kind_rank(), worker_key)
@@ -343,6 +364,18 @@ impl Event {
                 ("mean_loss", f32s(*mean_loss)),
                 ("max_delta", f32s(*max_delta)),
             ],
+            Event::CommRetry {
+                round,
+                worker,
+                attempts,
+            } => vec![
+                ("round", round.to_string()),
+                ("worker", worker.to_string()),
+                ("attempts", attempts.to_string()),
+            ],
+            Event::CommEvict { round, worker } => {
+                vec![("round", round.to_string()), ("worker", worker.to_string())]
+            }
         }
     }
 }
