@@ -22,17 +22,21 @@
 //! are printed), 2 on usage errors.
 
 use selsync::algorithms;
-use selsync::config::{AlgorithmSpec, TrainConfig};
+use selsync::config::{AlgorithmSpec, CheckpointSpec, TrainConfig};
 use selsync::policy::PolicySpec;
-use selsync::threaded::run_threaded_selsync;
+use selsync::threaded::{run_threaded_selsync, run_threaded_selsync_resumed};
+use selsync::Checkpoint;
 use selsync_scenario::{builtin, library, sweep, Scenario, BUILTIN_NAMES};
 use selsync_tracelog::{diff_report, EventLog, TraceGranularity, TraceSink};
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenario_replay --record FILE --scenario <builtin-name | file.toml>\n\
-         \x20                      [--backend sim|threaded] [--policy fixed|scheduled|adaptive]\n\
+         \x20                      [--backend sim|threaded]\n\
+         \x20                      [--policy fixed|scheduled|adaptive|variance]\n\
          \x20                      [--delta D] [--seed N] [--quick]\n\
+         \x20                      [--ckpt-every N] [--ckpt-dir DIR] [--halt ROUND]\n\
+         \x20                      [--resume CKPT]\n\
          \x20      scenario_replay --check FILE --scenario <...> [same options]\n\
          \x20      scenario_replay --diff LEFT RIGHT\n\
          \x20      scenario_replay --list\n\
@@ -60,6 +64,10 @@ struct RunSpec {
     backend: Backend,
     policy: String,
     delta: f32,
+    /// CLI checkpoint policy; overrides the scenario's `[checkpoint]` block.
+    checkpoint: Option<CheckpointSpec>,
+    /// Path of a checkpoint image to resume from instead of starting at round 0.
+    resume: Option<String>,
 }
 
 /// Same CI-sized rescale the trace-parity suite applies: 30 iterations with the
@@ -101,25 +109,55 @@ impl RunSpec {
                 deltas: vec![0.0, self.delta],
             }),
             "adaptive" => Some(PolicySpec::adaptive_default()),
+            "variance" => Some(PolicySpec::variance_default()),
             other => fail(&format!(
-                "unknown policy {other:?} (expected fixed, scheduled or adaptive)"
+                "unknown policy {other:?} (expected fixed, scheduled, adaptive or variance)"
             )),
         };
+        if self.checkpoint.is_some() {
+            cfg.checkpoint = self.checkpoint.clone();
+        }
         cfg
     }
 
     /// Run the configured backend with a full-granularity sink and return the
-    /// encoded canonical event log.
+    /// encoded canonical event log. With `--resume` the run continues from the
+    /// checkpoint image: the sink is preloaded with the recorded trace prefix, so
+    /// the returned log covers the *whole* run and must be byte-identical to an
+    /// uninterrupted recording (the recovery contract in `docs/RECOVERY.md`).
     fn record(&self) -> String {
         let mut cfg = self.config();
         cfg.trace = TraceSink::capture(TraceGranularity::Full);
-        match self.backend {
-            Backend::Sim => {
-                algorithms::run(&cfg);
+        match &self.resume {
+            Some(path) => {
+                let ckpt = Checkpoint::read_file(path).unwrap_or_else(|e| fail(&e));
+                let want = match self.backend {
+                    Backend::Sim => "sim",
+                    Backend::Threaded => "threaded",
+                };
+                if ckpt.backend != want {
+                    fail(&format!(
+                        "checkpoint {path} was written by the {:?} backend; pass --backend {}",
+                        ckpt.backend, ckpt.backend
+                    ));
+                }
+                match self.backend {
+                    Backend::Sim => {
+                        algorithms::selsync::run_resumed(&cfg, &ckpt);
+                    }
+                    Backend::Threaded => {
+                        run_threaded_selsync_resumed(&cfg, &ckpt);
+                    }
+                }
             }
-            Backend::Threaded => {
-                run_threaded_selsync(&cfg);
-            }
+            None => match self.backend {
+                Backend::Sim => {
+                    algorithms::run(&cfg);
+                }
+                Backend::Threaded => {
+                    run_threaded_selsync(&cfg);
+                }
+            },
         }
         cfg.trace.take_log().encode()
     }
@@ -182,6 +220,10 @@ fn main() {
     let mut delta: Option<f32> = None;
     let mut seed: Option<u64> = None;
     let mut quick = false;
+    let mut ckpt_every: Option<usize> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut halt: Option<usize> = None;
+    let mut resume: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -217,6 +259,24 @@ fn main() {
                 quick = true;
                 i += 1;
             }
+            "--ckpt-every" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                ckpt_every = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--halt" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                halt = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--resume" => {
+                resume = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -228,11 +288,27 @@ fn main() {
         scenario = scaled(scenario);
     }
     let delta = delta.unwrap_or(scenario.delta);
+    let checkpoint = match (ckpt_every, halt) {
+        (None, None) => {
+            if ckpt_dir.is_some() {
+                fail("--ckpt-dir needs --ckpt-every (or --halt)");
+            }
+            None
+        }
+        (every, halt_after) => Some(CheckpointSpec {
+            // `--halt R` alone writes exactly one image: the one at round R.
+            every: every.unwrap_or_else(|| halt_after.expect("halt set") + 1),
+            dir: ckpt_dir.unwrap_or_else(|| format!("target/replay-ckpt/{}", scenario.name)),
+            halt_after,
+        }),
+    };
     let spec = RunSpec {
         scenario,
         backend,
         policy,
         delta,
+        checkpoint,
+        resume,
     };
 
     match mode.as_str() {

@@ -9,17 +9,29 @@
 //! scenario_run transient-straggler --out r.md # also write the report to a file
 //! scenario_run crash-rejoin --trace t.jsonl   # also record the SelSync arm's
 //!                                             # event log (docs/EVENT_LOG.md)
+//! scenario_run ps-brownout --ckpt-every 40    # persist a recovery image of the
+//!                                             # SelSync arm every 40 rounds
+//! scenario_run ps-brownout --resume target/checkpoints/ps-brownout/ckpt-79
+//!                                             # resume the SelSync arm from a
+//!                                             # checkpoint (docs/RECOVERY.md)
 //! scenario_run --dump crash-rejoin            # print a built-in as TOML
 //! ```
 //!
 //! Same scenario + same seed ⇒ byte-identical report, so piping the output to a file
-//! and diffing against a recorded run is a regression test.
+//! and diffing against a recorded run is a regression test. A `--resume` run prints
+//! the resumed SelSync arm's report only (the other arms are not re-run), and its
+//! trace/report are byte-identical to the uninterrupted run's.
 
+use selsync::config::{AlgorithmSpec, CheckpointSpec};
+use selsync::Checkpoint;
 use selsync_scenario::{builtin, library, runner, Scenario, BUILTIN_NAMES};
+use selsync_tracelog::TraceSink;
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenario_run <builtin-name | file.toml> [--seed N] [--out FILE] [--trace FILE]\n\
+         \x20                   [--ckpt-every N] [--ckpt-dir DIR] [--halt ROUND]\n\
+         \x20                   [--resume CKPT]\n\
          \x20      scenario_run --list\n\
          \x20      scenario_run --dump <builtin-name>\n\
          built-ins: {}",
@@ -70,6 +82,10 @@ fn main() {
         }
     };
     let mut out_path: Option<String> = None;
+    let mut ckpt_every: Option<usize> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut halt: Option<usize> = None;
+    let mut resume: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -89,8 +105,92 @@ fn main() {
                 scenario.trace.path = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
+            "--ckpt-every" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                ckpt_every = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--halt" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                halt = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--resume" => {
+                resume = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             _ => usage(),
         }
+    }
+    // Equivalent to a `[checkpoint]` block in the scenario file; only the SelSync
+    // arm writes recovery images (the baseline arms have no recovery contract).
+    match (ckpt_every, halt) {
+        (None, None) => {
+            if ckpt_dir.is_some() {
+                eprintln!("error: --ckpt-dir needs --ckpt-every (or --halt)");
+                std::process::exit(2);
+            }
+        }
+        (every, halt_after) => {
+            scenario.checkpoint = Some(CheckpointSpec {
+                // `--halt R` alone writes exactly one image: the one at round R.
+                every: every.unwrap_or_else(|| halt_after.expect("halt set") + 1),
+                dir: ckpt_dir.unwrap_or_else(|| format!("target/checkpoints/{}", scenario.name)),
+                halt_after,
+            });
+        }
+    }
+
+    if let Some(path) = resume {
+        // Resume the SelSync arm from the checkpoint image and print its report;
+        // the resumed trace and report are byte-identical to an uninterrupted
+        // run's (docs/RECOVERY.md), so diffing them against a full run's output is
+        // the recovery regression test.
+        let ckpt = match Checkpoint::read_file(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if ckpt.backend != "sim" {
+            eprintln!(
+                "error: checkpoint {path} was written by the {:?} backend; \
+                 scenario_run resumes simulator checkpoints (use scenario_replay \
+                 --backend threaded --resume for threaded ones)",
+                ckpt.backend
+            );
+            std::process::exit(1);
+        }
+        let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
+        if scenario.trace.enabled {
+            cfg.trace = TraceSink::capture(scenario.trace.granularity);
+        }
+        let report = selsync::algorithms::selsync::run_resumed(&cfg, &ckpt);
+        let mut text = format!(
+            "# scenario: {} (seed {}) resumed from round {}\n",
+            scenario.name, scenario.seed, ckpt.round
+        );
+        text.push_str(&format!("{report:#?}\n"));
+        print!("{text}");
+        if let Some(path) = out_path {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = &scenario.trace.path {
+            if let Err(e) = std::fs::write(path, cfg.trace.take_log().encode()) {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("event log written to {path}");
+        }
+        return;
     }
 
     let report = match runner::run_scenario(&scenario) {

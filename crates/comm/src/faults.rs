@@ -137,6 +137,145 @@ impl CommFaultSpec {
     }
 }
 
+/// Seeded description of parameter-server availability. Unlike [`CommFaultSpec`]
+/// (which perturbs individual message legs), a PS fault takes the *server* down for
+/// whole rounds: every envelope addressed to it fails fast, and workers degrade to
+/// local-only training until the server returns. Outages come from two sources that
+/// compose: scheduled windows (round-keyed, like `ClusterConditions` crash faults)
+/// and a seeded per-round "flaky" probability (brownouts), both pure functions of
+/// the round index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsFaultSpec {
+    /// Seed of the flaky-outage stream (independent of the training seed so the same
+    /// run can be replayed under different server weather).
+    pub seed: u64,
+    /// Scheduled outage windows as `(start_round, duration_rounds)` pairs. The PS is
+    /// unreachable for rounds `start .. start + duration`.
+    pub windows: Vec<(usize, usize)>,
+    /// Per-round probability that the PS browns out for that round, independent of
+    /// the scheduled windows. Must lie in `[0, 1]`.
+    pub flaky: f64,
+}
+
+impl PsFaultSpec {
+    /// A perfectly reliable server: no windows, no brownouts. Behaviorally identical
+    /// to configuring no PS faults at all.
+    pub fn reliable(seed: u64) -> Self {
+        PsFaultSpec {
+            seed,
+            windows: Vec::new(),
+            flaky: 0.0,
+        }
+    }
+
+    /// Validate windows and the brownout rate.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.flaky) || !self.flaky.is_finite() {
+            return Err(format!(
+                "ps-fault flaky rate must be in [0, 1], got {}",
+                self.flaky
+            ));
+        }
+        for &(start, duration) in &self.windows {
+            if duration == 0 {
+                return Err(format!(
+                    "ps-fault outage window at round {start} must last at least 1 round"
+                ));
+            }
+            if start.checked_add(duration).is_none() {
+                return Err(format!(
+                    "ps-fault outage window at round {start} overflows (duration {duration})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this spec can never take the server down.
+    pub fn is_reliable(&self) -> bool {
+        self.windows.is_empty() && self.flaky == 0.0
+    }
+
+    /// One-line human summary of the server weather, for scenario reports and logs.
+    pub fn describe(&self) -> String {
+        let scheduled: usize = self.windows.iter().map(|&(_, d)| d).sum();
+        format!(
+            "PS availability (seed {}): {} scheduled outage window(s) covering {} round(s), {:.1}% flaky per round",
+            self.seed,
+            self.windows.len(),
+            scheduled,
+            self.flaky * 100.0,
+        )
+    }
+}
+
+/// A compiled PS availability schedule: the spec plus the pure `round → down?`
+/// function. Both training backends consult the same schedule, so degraded rounds
+/// are facts of the configuration — never of timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsFaultSchedule {
+    spec: PsFaultSpec,
+}
+
+impl PsFaultSchedule {
+    /// Compile a spec (assumed validated).
+    pub fn new(spec: PsFaultSpec) -> Self {
+        PsFaultSchedule { spec }
+    }
+
+    /// The spec this schedule was compiled from.
+    pub fn spec(&self) -> &PsFaultSpec {
+        &self.spec
+    }
+
+    /// Whether `round` falls inside a scheduled outage window.
+    pub fn in_window(&self, round: u64) -> bool {
+        self.spec.windows.iter().any(|&(start, duration)| {
+            round >= start as u64 && round < start as u64 + duration as u64
+        })
+    }
+
+    /// Whether the PS is unreachable at `round` — a pure function of
+    /// `(spec, round)`: scheduled windows OR'd with the seeded brownout draw.
+    pub fn down(&self, round: u64) -> bool {
+        if self.in_window(round) {
+            return true;
+        }
+        if self.spec.flaky <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            splitmix64(self.spec.seed ^ 0x95D0_FFA7_5EED_0002)
+                ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.spec.flaky
+    }
+
+    /// Whether `round` is the first round of an outage (the `ps_down` edge).
+    pub fn outage_starts(&self, round: u64) -> bool {
+        self.down(round) && (round == 0 || !self.down(round - 1))
+    }
+
+    /// Whether `round` is the first round after an outage (the `ps_up` edge — the
+    /// catch-up sync round).
+    pub fn outage_ends(&self, round: u64) -> bool {
+        !self.down(round) && round > 0 && self.down(round - 1)
+    }
+
+    /// Number of consecutive degraded rounds immediately before `round` — the
+    /// backlog a catch-up sync reconciles.
+    pub fn rounds_behind(&self, round: u64) -> u64 {
+        let mut behind = 0;
+        let mut r = round;
+        while r > 0 && self.down(r - 1) {
+            behind += 1;
+            r -= 1;
+        }
+        behind
+    }
+}
+
 /// SplitMix64: the standard 64-bit finalizer — high avalanche, cheap, and stable
 /// across platforms (pure integer arithmetic).
 #[inline]
@@ -347,6 +486,106 @@ mod tests {
             }
         }
         assert!(checked, "the lossy spec must retry somewhere in 1024 ops");
+    }
+
+    #[test]
+    fn ps_fault_validation_accepts_sane_specs_and_rejects_bad_ones() {
+        assert!(PsFaultSpec::reliable(0).validate().is_ok());
+        let spec = PsFaultSpec {
+            seed: 9,
+            windows: vec![(3, 2), (10, 1)],
+            flaky: 0.1,
+        };
+        assert!(spec.validate().is_ok());
+        let mut bad = spec.clone();
+        bad.flaky = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = spec.clone();
+        bad.windows.push((7, 0));
+        assert!(bad.validate().is_err(), "zero-length windows are rejected");
+        let mut bad = spec;
+        bad.windows.push((usize::MAX, 2));
+        assert!(bad.validate().is_err(), "overflowing windows are rejected");
+    }
+
+    #[test]
+    fn ps_windows_pin_down_rounds_exactly() {
+        let s = PsFaultSchedule::new(PsFaultSpec {
+            seed: 1,
+            windows: vec![(3, 2), (10, 1)],
+            flaky: 0.0,
+        });
+        let down: Vec<u64> = (0..16u64).filter(|&r| s.down(r)).collect();
+        assert_eq!(down, vec![3, 4, 10]);
+        assert!(s.outage_starts(3) && !s.outage_starts(4));
+        assert!(s.outage_ends(5) && s.outage_ends(11));
+        assert!(!s.outage_ends(4), "still inside the window");
+        assert_eq!(s.rounds_behind(5), 2);
+        assert_eq!(s.rounds_behind(11), 1);
+        assert_eq!(s.rounds_behind(3), 0);
+    }
+
+    #[test]
+    fn reliable_ps_spec_is_never_down() {
+        let s = PsFaultSchedule::new(PsFaultSpec::reliable(77));
+        assert!(s.spec().is_reliable());
+        assert!((0..512u64).all(|r| !s.down(r)));
+    }
+
+    #[test]
+    fn flaky_ps_brownouts_are_seeded_and_roughly_calibrated() {
+        let spec = PsFaultSpec {
+            seed: 21,
+            windows: Vec::new(),
+            flaky: 0.3,
+        };
+        let a = PsFaultSchedule::new(spec.clone());
+        let b = PsFaultSchedule::new(spec);
+        let downs = (0..1000u64).filter(|&r| a.down(r)).count();
+        assert!(
+            (200..400).contains(&downs),
+            "30% flaky rate should brown out ~300/1000 rounds, saw {downs}"
+        );
+        for r in 0..1000u64 {
+            assert_eq!(a.down(r), b.down(r), "brownouts are pure functions");
+        }
+        let other = PsFaultSchedule::new(PsFaultSpec {
+            seed: 22,
+            windows: Vec::new(),
+            flaky: 0.3,
+        });
+        assert!(
+            (0..1000u64).any(|r| a.down(r) != other.down(r)),
+            "different seeds draw different brownouts"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Scheduled windows always imply downtime, edges are consistent with the
+        // down function, and the backlog counter matches a naive recount.
+        #[test]
+        fn ps_schedule_edges_and_backlog_are_consistent(
+            seed in 0u64..1000,
+            start in 0usize..20,
+            duration in 1usize..6,
+            flaky in 0.0f64..0.5,
+        ) {
+            let spec = PsFaultSpec { seed, windows: vec![(start, duration)], flaky };
+            prop_assert!(spec.validate().is_ok());
+            let s = PsFaultSchedule::new(spec);
+            for r in start as u64..(start + duration) as u64 {
+                prop_assert!(s.down(r));
+            }
+            for r in 0..40u64 {
+                prop_assert_eq!(s.down(r), s.down(r), "pure function");
+                prop_assert_eq!(s.outage_starts(r), s.down(r) && (r == 0 || !s.down(r - 1)));
+                prop_assert_eq!(s.outage_ends(r), !s.down(r) && r > 0 && s.down(r - 1));
+                let naive = (0..r).rev().take_while(|&p| s.down(p)).count() as u64;
+                prop_assert_eq!(s.rounds_behind(r), naive);
+            }
+        }
     }
 
     proptest! {

@@ -43,11 +43,11 @@ pub mod transport;
 pub mod wire;
 
 pub use collective::{Collective, ScalarOp};
-pub use faults::{CommFaultSchedule, CommFaultSpec};
+pub use faults::{CommFaultSchedule, CommFaultSpec, PsFaultSchedule, PsFaultSpec};
 pub use netmodel::NetworkModel;
 pub use ps::ParameterServer;
 pub use transport::{
     Delivery, Evicted, ExchangeOutcome, FaultyTransport, Link, LosslessTransport, MessageLayer,
-    Transport,
+    PsExchangeError, Transport,
 };
 pub use wire::{Envelope, EnvelopeId, MsgKind, WireError, HUB_SENDER};

@@ -111,6 +111,14 @@ impl NetworkModel {
     pub fn ps_one_way_time(&self, bytes: u64) -> f64 {
         self.software_overhead_s / 2.0 + self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
     }
+
+    /// Seconds a worker spends discovering the PS is down at a degraded round: one
+    /// tiny probe envelope that goes unanswered until the logical round-trip budget
+    /// expires. Latency dominated — priced like half the per-sync software overhead
+    /// plus a full round trip, independent of model size (no payload ever moves).
+    pub fn ps_probe_time(&self) -> f64 {
+        self.software_overhead_s / 2.0 + 2.0 * self.latency_s
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +180,15 @@ mod tests {
         assert!(one_way > 0.7 && one_way < 1.2, "{one_way}");
         let full = net.ps_sync_time(507 * 1024 * 1024, 16);
         assert!(full > 20.0, "{full}");
+    }
+
+    #[test]
+    fn ps_probe_is_cheap_and_size_independent() {
+        let net = NetworkModel::paper_5gbps();
+        let probe = net.ps_probe_time();
+        assert!(probe > 0.0);
+        // A failed probe must cost less than any real sync, however small.
+        assert!(probe < net.ps_sync_time(1, 1), "{probe}");
     }
 
     #[test]

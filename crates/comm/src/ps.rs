@@ -44,6 +44,34 @@ struct SnapshotRing {
     evicted_min: Option<u64>,
 }
 
+/// Serializable snapshot of the scheduled-snapshot ring (part of [`PsState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingState {
+    /// Retained depth the ring was enabled with.
+    pub depth: usize,
+    /// The permanent pre-training floor entry.
+    pub initial: Vec<f32>,
+    /// `(round, post-sync mean)` entries, sorted by round ascending.
+    pub entries: Vec<(u64, Vec<f32>)>,
+    /// Smallest round id ever evicted from the ring.
+    pub evicted_min: Option<u64>,
+}
+
+/// Serializable snapshot of everything a [`ParameterServer`] must carry across a
+/// checkpoint/restore cycle: the global vector, the newest-global guard and the
+/// rejoin snapshot ring. In-flight elastic rounds are deliberately excluded —
+/// checkpoints are only taken at quiescent points (every worker parked between
+/// rounds), where none exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsState {
+    /// The flat global vector.
+    pub global: Vec<f32>,
+    /// The newest round whose mean defined the global vector.
+    pub last_global_round: Option<u64>,
+    /// Snapshot-ring state (`None` when the ring is disabled).
+    pub ring: Option<RingState>,
+}
+
 /// Shared-memory parameter server over a flat `f32` vector.
 pub struct ParameterServer {
     global: RwLock<Vec<f32>>,
@@ -322,6 +350,49 @@ impl ParameterServer {
             },
         )
     }
+
+    /// Capture the server's durable state for a checkpoint. Must only be called at
+    /// a quiescent point (no in-flight elastic round) — the elastic rendezvous
+    /// state is not captured.
+    pub fn export_state(&self) -> PsState {
+        let ring = self.snapshots.lock();
+        PsState {
+            global: self.global.read().clone(),
+            last_global_round: *self.last_global_round.lock(),
+            ring: (ring.depth > 0).then(|| RingState {
+                depth: ring.depth,
+                initial: ring.initial.clone(),
+                entries: ring.entries.clone(),
+                evicted_min: ring.evicted_min,
+            }),
+        }
+    }
+
+    /// Restore durable state captured by [`Self::export_state`] onto a freshly
+    /// built server (same dimensionality). Call before any worker starts.
+    pub fn restore_state(&self, state: &PsState) {
+        {
+            let mut g = self.global.write();
+            assert_eq!(g.len(), state.global.len(), "checkpoint dimension mismatch");
+            g.copy_from_slice(&state.global);
+        }
+        *self.last_global_round.lock() = state.last_global_round;
+        let mut ring = self.snapshots.lock();
+        match &state.ring {
+            Some(r) => {
+                ring.depth = r.depth;
+                ring.initial = r.initial.clone();
+                ring.entries = r.entries.clone();
+                ring.evicted_min = r.evicted_min;
+            }
+            None => {
+                ring.depth = 0;
+                ring.initial = Vec::new();
+                ring.entries.clear();
+                ring.evicted_min = None;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +635,46 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), vec![4.0, 44.0]);
         }
+    }
+
+    #[test]
+    fn export_restore_round_trips_the_global_guard_and_ring() {
+        let ps = ParameterServer::new(vec![0.0; 2]);
+        ps.enable_scheduled_snapshots(3);
+        for round in [2u64, 5, 8, 11] {
+            ps.sync_round_elastic(round, 0, &[round as f32, -(round as f32)], 1);
+        }
+        let state = ps.export_state();
+        let ring = state.ring.as_ref().expect("ring enabled");
+        assert_eq!(ring.depth, 3);
+        assert_eq!(ring.entries.len(), 3, "depth bounds the retained rounds");
+        assert_eq!(ring.evicted_min, Some(2));
+
+        // A fresh server restored from the state answers identically.
+        let fresh = ParameterServer::new(vec![0.0; 2]);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.pull(), ps.pull());
+        assert_eq!(
+            fresh.scheduled_global_before(9),
+            ps.scheduled_global_before(9)
+        );
+        assert_eq!(fresh.scheduled_round_before(100), Some(11));
+        assert_eq!(fresh.export_state(), state, "export is a fixed point");
+        // The newest-global guard survived: an older round cannot clobber.
+        fresh.sync_round_elastic(6, 0, &[600.0, 600.0], 1);
+        assert_eq!(fresh.pull(), ps.pull());
+    }
+
+    #[test]
+    fn export_without_ring_restores_a_disabled_ring() {
+        let ps = ParameterServer::new(vec![1.0]);
+        let state = ps.export_state();
+        assert!(state.ring.is_none());
+        let fresh = ParameterServer::new(vec![0.0]);
+        fresh.enable_scheduled_snapshots(2);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.pull(), vec![1.0]);
+        assert!(fresh.export_state().ring.is_none());
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! once an exchange has succeeded — the transport decides *whether* and *when* an
 //! op lands, the rendezvous performs its deterministic combine.
 
-use crate::faults::{CommFaultSchedule, Fate, Leg};
+use crate::faults::{CommFaultSchedule, Fate, Leg, PsFaultSchedule};
 use crate::wire::{Envelope, EnvelopeId, MsgKind, HUB_SENDER};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
@@ -199,11 +199,36 @@ pub struct ExchangeOutcome {
     pub corrupt_rejected: u32,
 }
 
+/// An op addressed to the parameter server failed: either the server was down for
+/// the whole round (fail-fast, no attempts consumed) or the link weather drove the
+/// worker past its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsExchangeError {
+    /// The PS is unreachable at this round: the op fails fast without consuming
+    /// transport attempts, and the worker must degrade to a local-only round.
+    Down { worker: usize, round: u64 },
+    /// The retry budget was exhausted on a reachable server (see [`Evicted`]).
+    Evicted(Evicted),
+}
+
+impl std::fmt::Display for PsExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsExchangeError::Down { worker, round } => write!(
+                f,
+                "parameter server down at round {round}; worker {worker} degrades to a local round"
+            ),
+            PsExchangeError::Evicted(e) => e.fmt(f),
+        }
+    }
+}
+
 /// The fault-tolerant request/response layer every comm op rides on.
 pub struct MessageLayer {
     transport: Box<dyn Transport>,
     retry_budget: u32,
     hub: Mutex<Hub>,
+    ps_outages: Option<PsFaultSchedule>,
 }
 
 impl MessageLayer {
@@ -213,6 +238,7 @@ impl MessageLayer {
             transport: Box::new(LosslessTransport),
             retry_budget: 1,
             hub: Mutex::new(Hub::default()),
+            ps_outages: None,
         }
     }
 
@@ -223,6 +249,7 @@ impl MessageLayer {
             transport: Box::new(FaultyTransport::new(schedule)),
             retry_budget,
             hub: Mutex::new(Hub::default()),
+            ps_outages: None,
         }
     }
 
@@ -233,7 +260,21 @@ impl MessageLayer {
             transport,
             retry_budget,
             hub: Mutex::new(Hub::default()),
+            ps_outages: None,
         }
+    }
+
+    /// Attach a PS availability schedule: [`Self::ps_exchange`] then fails fast at
+    /// rounds where the server is down.
+    pub fn with_ps_outages(mut self, schedule: PsFaultSchedule) -> Self {
+        self.ps_outages = Some(schedule);
+        self
+    }
+
+    /// Whether the parameter server is unreachable at `round` under the attached
+    /// availability schedule (always reachable when none is attached).
+    pub fn ps_down(&self, round: u64) -> bool {
+        self.ps_outages.as_ref().is_some_and(|s| s.down(round))
     }
 
     /// Perform one logical op as a request/response exchange with bounded retry.
@@ -336,6 +377,25 @@ impl MessageLayer {
             round,
             attempts: self.retry_budget,
         })
+    }
+
+    /// [`Self::exchange`] for ops addressed to the parameter server: when the
+    /// attached availability schedule says the server is down at `round`, the op
+    /// fails fast with [`PsExchangeError::Down`] — no transport attempts are made
+    /// and no hub state is touched, so a degraded round leaves the dedupe cache
+    /// exactly as an absent round would.
+    pub fn ps_exchange(
+        &self,
+        worker: usize,
+        round: u64,
+        kind: MsgKind,
+        payload: &[u8],
+    ) -> Result<ExchangeOutcome, PsExchangeError> {
+        if self.ps_down(round) {
+            return Err(PsExchangeError::Down { worker, round });
+        }
+        self.exchange(worker, round, kind, payload)
+            .map_err(PsExchangeError::Evicted)
     }
 }
 
@@ -571,6 +631,61 @@ mod tests {
             let clean_set: std::collections::HashSet<EnvelopeId> =
                 clean_accepted.into_iter().collect();
             prop_assert_eq!(clean_set, noisy_accepted);
+        }
+    }
+
+    #[test]
+    fn ps_exchange_fails_fast_during_outages_and_passes_through_otherwise() {
+        use crate::faults::{PsFaultSchedule, PsFaultSpec};
+        let layer = MessageLayer::lossless().with_ps_outages(PsFaultSchedule::new(PsFaultSpec {
+            seed: 5,
+            windows: vec![(2, 3)],
+            flaky: 0.0,
+        }));
+        // Up rounds behave exactly like `exchange`.
+        let ok = layer
+            .ps_exchange(0, 0, MsgKind::Pull, b"pull")
+            .expect("server up");
+        assert_eq!(ok.attempts, 1);
+        // Down rounds fail fast: no attempts, no hub state. The same identity sent
+        // after recovery is still fresh (would be a dedupe hit had the hub seen it).
+        for round in 2..5u64 {
+            assert!(layer.ps_down(round));
+            match layer.ps_exchange(1, round, MsgKind::SyncRound, b"sync") {
+                Err(PsExchangeError::Down { worker, round: r }) => {
+                    assert_eq!((worker, r), (1, round));
+                }
+                other => panic!("expected Down, got {other:?}"),
+            }
+        }
+        let ok = layer
+            .ps_exchange(1, 5, MsgKind::SyncRound, b"sync")
+            .expect("server back up");
+        assert_eq!(ok.duplicates_absorbed, 0, "down rounds left no hub state");
+    }
+
+    #[test]
+    fn ps_exchange_without_outage_schedule_matches_exchange() {
+        let layer = MessageLayer::lossless();
+        assert!(!layer.ps_down(0));
+        let a = layer.ps_exchange(0, 0, MsgKind::Flags, &[1]).unwrap();
+        assert_eq!(a.attempts, 1);
+    }
+
+    #[test]
+    fn ps_exchange_surfaces_evictions_from_the_weather() {
+        use crate::faults::{PsFaultSchedule, PsFaultSpec};
+        let mut spec = CommFaultSpec::lossless(11);
+        spec.drop = 1.0;
+        spec.retry_budget = 2;
+        let layer = MessageLayer::faulty(CommFaultSchedule::new(spec))
+            .with_ps_outages(PsFaultSchedule::new(PsFaultSpec::reliable(0)));
+        match layer.ps_exchange(3, 7, MsgKind::Pull, b"x") {
+            Err(PsExchangeError::Evicted(e)) => {
+                assert_eq!(e.worker, 3);
+                assert_eq!(e.attempts, 2);
+            }
+            other => panic!("expected Evicted, got {other:?}"),
         }
     }
 }

@@ -20,12 +20,14 @@
 //! round signals, so the byte-identity guarantee across thread counts is preserved.
 
 use crate::aggregation::{self, AggregationMode};
-use crate::config::{AlgorithmSpec, TrainConfig};
-use crate::policy::{PolicySpec, SyncDecision, SyncPolicy};
+use crate::checkpoint::{self, Checkpoint, Section};
+use crate::config::{AlgorithmSpec, CheckpointSpec, TrainConfig};
+use crate::policy::{DeltaPolicy, PolicySpec, PolicyState, RoundSignal, SyncDecision, SyncPolicy};
 use crate::report::RunReport;
 use crate::sim::{Simulator, WorkerStep};
 use selsync_comm::faults::CommFaultSchedule;
 use selsync_comm::wire::frame_len;
+use selsync_tracelog::codec;
 
 /// The algorithm label a SelSync run reports, as a pure function of its config.
 /// Shared by the simulator driver and the threaded driver (and the trace headers of
@@ -66,6 +68,19 @@ pub fn algorithm_label(cfg: &TrainConfig) -> String {
 
 /// Run SelSync for `cfg.iterations` iterations. Panics if `cfg.algorithm` is not SelSync.
 pub fn run(cfg: &TrainConfig) -> RunReport {
+    run_inner(cfg, None)
+}
+
+/// Resume a SelSync run from a durable checkpoint written by an earlier `run` of the
+/// *same* configuration (same [`checkpoint::config_fingerprint`]). The restored run
+/// continues from `ckpt.round + 1` and produces the byte-identical trace and report
+/// of the uninterrupted run. Panics on a backend or fingerprint mismatch — resuming
+/// under a different config is always a bug, never a recoverable condition.
+pub fn run_resumed(cfg: &TrainConfig, ckpt: &Checkpoint) -> RunReport {
+    run_inner(cfg, Some(ckpt))
+}
+
+fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
     let (delta, aggregation_mode, _injection) = match cfg.algorithm {
         AlgorithmSpec::SelSync {
             delta,
@@ -84,7 +99,6 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     // Only signal-consuming policies receive cluster round signals in the threaded
     // driver (the exchange is elided otherwise), so only they log signal events.
     let exchange_signals = spec.consumes_round_signals();
-    crate::tracing::emit_header(&cfg.trace, cfg, &algo_name, &spec.label());
 
     let mut sim = Simulator::new(cfg);
     let wire = sim.nominal().wire_bytes;
@@ -93,6 +107,13 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     // every presence-derived trace fact must come from the *effective* conditions so
     // fault-driven evictions look exactly like scheduled crashes.
     let fault_schedule = cfg.comm_faults.map(CommFaultSchedule::new);
+    // PS availability: a pure function of `(spec, round)`, so both backends see the
+    // exact same outage windows. `None` keeps the server perfectly reliable.
+    let ps_schedule = cfg.ps_fault_schedule();
+    let ckpt_spec = cfg.checkpoint.clone();
+    if let Some(ck) = &ckpt_spec {
+        ck.validate().expect("invalid checkpoint configuration");
+    }
     let evictions = cfg.comm_fault_evictions();
     let conditions = cfg.effective_conditions();
     // Latest synchronized model; rejoining workers pull it from the PS.
@@ -102,7 +123,52 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
     let mut avg = Vec::new();
     let mut steps: Vec<WorkerStep> = Vec::new();
 
-    for it in 0..cfg.iterations {
+    let start = match resume {
+        Some(ckpt) => {
+            assert_eq!(
+                ckpt.backend, "sim",
+                "checkpoint was written by the {} backend, not the simulator",
+                ckpt.backend
+            );
+            assert_eq!(
+                ckpt.fingerprint,
+                checkpoint::config_fingerprint(cfg),
+                "checkpoint belongs to a different configuration"
+            );
+            sim.restore_checkpoint_sections(ckpt);
+            let mut reader = ckpt.read_section("policy");
+            let ints = reader.ints();
+            let floats = reader.f32s();
+            reader.finish();
+            policy.import_state(&PolicyState { ints, floats });
+            let mut reader = ckpt.read_section("global");
+            let restored_global = reader.f32s();
+            reader.finish();
+            assert_eq!(
+                restored_global.len(),
+                global.len(),
+                "checkpointed global model has the wrong parameter count"
+            );
+            global = restored_global;
+            // The restored trace prefix already contains the run header, so the
+            // resumed run skips `emit_header` and appends from `round + 1`.
+            if cfg.trace.is_enabled() {
+                let events = ckpt
+                    .trace
+                    .iter()
+                    .map(|line| codec::decode_event(line).expect("checkpointed trace line decodes"))
+                    .collect();
+                cfg.trace.preload(events);
+            }
+            ckpt.round + 1
+        }
+        None => {
+            crate::tracing::emit_header(&cfg.trace, cfg, &algo_name, &spec.label());
+            0
+        }
+    };
+
+    for it in start..cfg.iterations {
         let lr = sim.lr_at(it);
         let (present, rejoin_comm, rejoin_bytes) = sim.begin_round(it, &global);
         // Evictions fire whether or not the remaining round is runnable, so the
@@ -131,10 +197,97 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         let round = sim.run_round(&steps);
         let cluster_delta = round.max_delta;
 
+        // PS outage: the round degrades to forced-local. Every present worker pays
+        // one probe round-trip to discover the outage, skips the status all-gather,
+        // signal exchange and retry machinery (they all ride PS envelopes), applies
+        // its own update, and the δ policy is fed the first present worker's local
+        // signal so regime state stays coherent through the outage. `DegradedRound`
+        // replaces the `Round` event.
+        if ps_schedule.as_ref().is_some_and(|s| s.down(it as u64)) {
+            comm += sim.network_at(it).ps_probe_time();
+            bytes += present.len() as u64 * frame_len(8) as u64;
+            // Worker-to-worker injection shipping is unaffected by the PS outage.
+            bytes += round.injected_bytes;
+            if round.injected_bytes > 0 {
+                comm += sim.network_at(it).p2p_time(round.injected_bytes);
+            }
+            sim.apply_round_own(&steps, lr);
+            let compute = sim.round_compute_seconds(it);
+            sim.account_step(compute, comm, bytes, false);
+
+            let local_delta = round.deltas[0];
+            let local_loss = round.stats[0].loss;
+            let round_signal = RoundSignal {
+                iteration: it,
+                max_delta: local_delta,
+                mean_loss: local_loss,
+                delta_mean: local_delta,
+                delta_sq_mean: local_delta * local_delta,
+                synced: false,
+            };
+            policy.observe(&round_signal);
+
+            if cfg.trace.is_enabled() {
+                if ps_schedule
+                    .as_ref()
+                    .is_some_and(|s| s.outage_starts(it as u64))
+                {
+                    cfg.trace
+                        .record(selsync_tracelog::Event::PsDown { round: it });
+                }
+                cfg.trace.record(selsync_tracelog::Event::DegradedRound {
+                    round: it,
+                    delta: sync_policy.delta,
+                    loss: local_loss,
+                    delta_g: local_delta,
+                });
+                if let Some(sw) = policy.last_switch() {
+                    cfg.trace.record(selsync_tracelog::Event::RegimeSwitch {
+                        round: it,
+                        exploit: sw.exploit,
+                        loss_ewma: sw.loss_ewma,
+                        delta_ewma: sw.delta_ewma,
+                        mean_loss: round_signal.mean_loss,
+                        max_delta: round_signal.max_delta,
+                    });
+                }
+            }
+
+            if sim.should_eval(it) {
+                sim.average_params_of_into(&present, &mut avg);
+                let snapshot = std::mem::take(&mut avg);
+                sim.record_eval(it, &snapshot, cluster_delta);
+                avg = snapshot;
+            }
+            if let Some(ck) = &ckpt_spec {
+                if ck.due(it) || ck.halt_after == Some(it) {
+                    write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it);
+                }
+                if ck.halt_after == Some(it) {
+                    break;
+                }
+            }
+            continue;
+        }
+        // The first reachable round after an outage runs the catch-up sync:
+        // synchronization is forced for every present worker so the accumulated
+        // local-only deltas reconcile through the ordinary aggregation path.
+        let catchup = ps_schedule
+            .as_ref()
+            .is_some_and(|s| s.outage_ends(it as u64));
+
         // Phase 2: 1-bit status all-gather among the present workers and the
         // cluster-level decision.
-        let flags = sync_policy.flags_from_deltas(&round.deltas);
-        let decision = sync_policy.decide(&flags);
+        let flags = if catchup {
+            vec![true; present.len()]
+        } else {
+            sync_policy.flags_from_deltas(&round.deltas)
+        };
+        let decision = if catchup {
+            SyncDecision::Synchronize
+        } else {
+            sync_policy.decide(&flags)
+        };
         comm += sim.status_allgather_seconds_at(it, present.len());
         bytes += round.injected_bytes + present.len() as u64; // the flag bits (≈1 B/worker)
         if round.injected_bytes > 0 {
@@ -212,6 +365,15 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
         policy.observe(&round_signal);
 
         if cfg.trace.is_enabled() {
+            if catchup {
+                let schedule = ps_schedule.as_ref().expect("catchup implies a schedule");
+                cfg.trace
+                    .record(selsync_tracelog::Event::PsUp { round: it });
+                cfg.trace.record(selsync_tracelog::Event::CatchupSync {
+                    round: it,
+                    behind: schedule.rounds_behind(it as u64) as usize,
+                });
+            }
             if exchange_signals {
                 sim_trace_signal(cfg, &round_signal);
             }
@@ -241,11 +403,52 @@ pub fn run(cfg: &TrainConfig) -> RunReport {
             sim.record_eval(it, &snapshot, cluster_delta);
             avg = snapshot;
         }
+        if let Some(ck) = &ckpt_spec {
+            if ck.due(it) || ck.halt_after == Some(it) {
+                write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it);
+            }
+            if ck.halt_after == Some(it) {
+                break;
+            }
+        }
     }
     let mut report = sim.finalize(algo_name);
     report.policy_switches = policy.switch_rounds().len() as u32;
     report.switch_rounds = policy.switch_rounds().to_vec();
     report
+}
+
+/// Write the simulator backend's full recovery image after round `it`: the
+/// simulator sections (RNG position, counters, history, per-worker model/optimizer/
+/// tracker state), the δ-policy state, the latest synchronized global model, and the
+/// trace prefix recorded so far. A resumed run restores all four and continues
+/// byte-identically.
+fn write_sim_checkpoint(
+    cfg: &TrainConfig,
+    ck: &CheckpointSpec,
+    sim: &Simulator,
+    policy: &dyn DeltaPolicy,
+    global: &[f32],
+    it: usize,
+) {
+    let mut image = Checkpoint::new("sim", checkpoint::config_fingerprint(cfg), it);
+    sim.export_checkpoint_sections(&mut image);
+    let state = policy.export_state();
+    let mut section = Section::new("policy");
+    section.push_ints(&state.ints);
+    section.push_f32s(&state.floats);
+    image.add_section(section);
+    let mut section = Section::new("global");
+    section.push_f32s(global);
+    image.add_section(section);
+    if cfg.trace.is_enabled() {
+        let log = cfg.trace.snapshot_log();
+        image.trace = log.events.iter().map(codec::encode_event).collect();
+    }
+    let path = ck.path_for(it);
+    image
+        .write_file(&path)
+        .unwrap_or_else(|err| panic!("failed to write checkpoint {}: {err}", path.display()));
 }
 
 /// Record the cluster-aggregated round signal (split out to keep the round loop flat).
@@ -401,6 +604,115 @@ mod tests {
         let clean = run(&cfg(AlgorithmSpec::selsync(0.0)));
         assert!(degraded.comm_time_s > 2.0 * clean.comm_time_s);
         assert!((degraded.compute_time_s - clean.compute_time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ps_outage_windows_degrade_rounds_and_force_a_catchup_sync() {
+        use selsync_comm::faults::PsFaultSpec;
+        use selsync_tracelog::{Event, TraceGranularity, TraceSink};
+        // δ = 0 would synchronize every round; the outage forces rounds 10..15 local.
+        let mut c = cfg(AlgorithmSpec::selsync(0.0));
+        c.ps_faults = Some(PsFaultSpec {
+            seed: 7,
+            windows: vec![(10, 5)],
+            flaky: 0.0,
+        });
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let report = run(&c);
+        assert_eq!(report.local_steps, 5, "rounds 10..15 degrade to local");
+        assert_eq!(report.sync_steps, 35);
+        let log = c.trace.take_log();
+        let degraded: Vec<usize> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::DegradedRound { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(degraded, vec![10, 11, 12, 13, 14]);
+        assert!(log.events.contains(&Event::PsDown { round: 10 }));
+        assert!(log.events.contains(&Event::PsUp { round: 15 }));
+        assert!(log.events.contains(&Event::CatchupSync {
+            round: 15,
+            behind: 5
+        }));
+        // Degraded rounds replace their Round events; round 15 syncs normally.
+        assert!(!log
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Round { round, .. } if (10..15).contains(round))));
+        assert!(log.events.iter().any(|e| matches!(
+            e,
+            Event::Round {
+                round: 15,
+                synced: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn outage_free_ps_fault_schedule_is_byte_identical_to_no_schedule() {
+        use selsync_comm::faults::PsFaultSpec;
+        use selsync_tracelog::{TraceGranularity, TraceSink};
+        let mut base = cfg(AlgorithmSpec::selsync(0.1));
+        base.trace = TraceSink::capture(TraceGranularity::Full);
+        let baseline = run(&base);
+        let mut c = cfg(AlgorithmSpec::selsync(0.1));
+        c.ps_faults = Some(PsFaultSpec {
+            seed: 99,
+            windows: vec![],
+            flaky: 0.0,
+        });
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let shadowed = run(&c);
+        assert_eq!(base.trace.take_log().encode(), c.trace.take_log().encode());
+        assert_eq!(format!("{baseline:?}"), format!("{shadowed:?}"));
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_trace_and_report() {
+        use crate::config::CheckpointSpec;
+        use selsync_comm::faults::PsFaultSpec;
+        use selsync_tracelog::{TraceGranularity, TraceSink};
+        let dir =
+            std::env::temp_dir().join(format!("selsync-sim-resume-test-{}", std::process::id()));
+        let make = || {
+            let mut c = cfg(AlgorithmSpec::selsync(0.05));
+            // An outage window straddling the kill round exercises degraded-state
+            // recovery, not just the happy path.
+            c.ps_faults = Some(PsFaultSpec {
+                seed: 3,
+                windows: vec![(12, 4)],
+                flaky: 0.0,
+            });
+            c.delta_policy = Some(crate::policy::PolicySpec::adaptive_default());
+            c.trace = TraceSink::capture(TraceGranularity::Full);
+            c
+        };
+
+        let full_cfg = make();
+        let full = run(&full_cfg);
+        let full_trace = full_cfg.trace.take_log().encode();
+
+        let mut killed_cfg = make();
+        killed_cfg.checkpoint = Some(CheckpointSpec {
+            every: 7,
+            dir: dir.to_string_lossy().into_owned(),
+            halt_after: Some(13),
+        });
+        let _halted = run(&killed_cfg);
+        let ckpt = Checkpoint::read_file(dir.join("ckpt-13")).expect("checkpoint reads back");
+        assert_eq!(ckpt.round, 13);
+        // The cadence checkpoint at round 6 was written too.
+        assert!(dir.join("ckpt-6").exists());
+
+        let resumed_cfg = make();
+        let resumed = run_resumed(&resumed_cfg, &ckpt);
+        assert_eq!(resumed_cfg.trace.take_log().encode(), full_trace);
+        assert_eq!(format!("{resumed:?}"), format!("{full:?}"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::aggregation::AggregationMode;
 use crate::conditions::{ClusterConditions, FaultEvent};
 use crate::policy::PolicySpec;
-use selsync_comm::faults::{CommFaultSchedule, CommFaultSpec};
+use selsync_comm::faults::{CommFaultSchedule, CommFaultSpec, PsFaultSchedule, PsFaultSpec};
 use selsync_comm::netmodel::NetworkModel;
 use selsync_data::injection::DataInjection;
 use selsync_data::partition::PartitionScheme;
@@ -78,6 +78,52 @@ pub enum RejoinPull {
     /// round-keyed snapshot ring), exactly matching the simulator. Extends the
     /// threaded↔simulator parity contract to crash/rejoin schedules.
     Scheduled,
+}
+
+/// Durable-checkpoint policy: where and how often both SelSync backends persist a
+/// full recovery image (see `crate::checkpoint`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Write a checkpoint after every `every`-th completed round (1 = every round).
+    pub every: usize,
+    /// Directory checkpoint files land in (`<dir>/ckpt-<round>`).
+    pub dir: String,
+    /// Simulated kill switch: stop the run right after the checkpoint at the end of
+    /// this round is written (the crash/resume tests and the CI smoke use it).
+    /// Runtime-only — never part of a scenario file.
+    pub halt_after: Option<usize>,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint every `every` rounds into `dir`, running to completion.
+    pub fn new(every: usize, dir: impl Into<String>) -> Self {
+        CheckpointSpec {
+            every,
+            dir: dir.into(),
+            halt_after: None,
+        }
+    }
+
+    /// Validate the cadence.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.every == 0 {
+            return Err("checkpoint cadence `every` must be at least 1".into());
+        }
+        if self.dir.is_empty() {
+            return Err("checkpoint `dir` must not be empty".into());
+        }
+        Ok(())
+    }
+
+    /// Whether a checkpoint is due after completing `iteration`.
+    pub fn due(&self, iteration: usize) -> bool {
+        (iteration + 1).is_multiple_of(self.every.max(1))
+    }
+
+    /// The file path of the checkpoint written after `iteration`.
+    pub fn path_for(&self, iteration: usize) -> std::path::PathBuf {
+        std::path::Path::new(&self.dir).join(format!("ckpt-{iteration}"))
+    }
 }
 
 /// The distributed training algorithm to run.
@@ -222,6 +268,16 @@ pub struct TrainConfig {
     /// evicted from membership exactly like a scheduled crash with no rejoin (see
     /// [`TrainConfig::effective_conditions`]).
     pub comm_faults: Option<CommFaultSpec>,
+    /// Optional deterministic parameter-server availability schedule
+    /// (`[ps_faults]`). `None` (the default) keeps the server perfectly reliable.
+    /// `Some` takes the PS down for whole rounds (scheduled windows plus seeded
+    /// brownouts): the SelSync drivers degrade those rounds to forced-local rounds
+    /// and run a catch-up sync on recovery (see `docs/RECOVERY.md`). Only the
+    /// SelSync drivers honor this; the other algorithm arms ignore it.
+    pub ps_faults: Option<PsFaultSpec>,
+    /// Optional durable-checkpoint policy. `None` (the default) writes nothing.
+    /// Only the SelSync drivers honor this.
+    pub checkpoint: Option<CheckpointSpec>,
     /// Run-trace capture hook (disabled by default; zero-cost when disabled). Both
     /// SelSync drivers emit the canonical event stream into it. Clones of a config
     /// share one sink — give each *run* a fresh `TraceSink::capture(..)` so two runs
@@ -288,6 +344,8 @@ impl TrainConfig {
             delta_policy: None,
             rejoin_pull: RejoinPull::WallClock,
             comm_faults: None,
+            ps_faults: None,
+            checkpoint: None,
             trace: TraceSink::disabled(),
         }
     }
@@ -316,12 +374,18 @@ impl TrainConfig {
             return Vec::new();
         };
         let schedule = CommFaultSchedule::new(spec);
+        let ps_schedule = self.ps_fault_schedule();
         let mut evictions = Vec::new();
         for worker in 0..self.workers {
             for iter in 0..self.iterations {
                 // Weather is only experienced at rounds the worker actually runs
-                // under the scheduled (crash/rejoin) conditions.
+                // under the scheduled (crash/rejoin) conditions — and at rounds
+                // where the PS is reachable at all: a degraded round sends no
+                // envelopes, so the link weather cannot evict anyone there.
                 if !self.conditions.is_present(worker, iter) {
+                    continue;
+                }
+                if ps_schedule.as_ref().is_some_and(|s| s.down(iter as u64)) {
                     continue;
                 }
                 if schedule
@@ -353,6 +417,11 @@ impl TrainConfig {
             });
         }
         conditions
+    }
+
+    /// The compiled PS availability schedule, when `[ps_faults]` is configured.
+    pub fn ps_fault_schedule(&self) -> Option<PsFaultSchedule> {
+        self.ps_faults.clone().map(PsFaultSchedule::new)
     }
 
     /// Steps per (global) epoch: one pass of the cluster over the training set.
@@ -476,5 +545,49 @@ mod tests {
     fn optimizer_spec_builds_the_right_optimizer() {
         assert_eq!(OptimizerSpec::adam(0.0).build().name(), "adam");
         assert_eq!(OptimizerSpec::sgd(0.9, 0.0).build().name(), "sgd");
+    }
+
+    #[test]
+    fn checkpoint_spec_cadence_and_paths() {
+        let spec = CheckpointSpec::new(5, "/tmp/ckpts");
+        assert!(spec.validate().is_ok());
+        assert!(!spec.due(0) && spec.due(4) && spec.due(9));
+        assert_eq!(
+            spec.path_for(4),
+            std::path::PathBuf::from("/tmp/ckpts/ckpt-4")
+        );
+        assert!(CheckpointSpec::new(0, "x").validate().is_err());
+        assert!(CheckpointSpec::new(1, "").validate().is_err());
+    }
+
+    #[test]
+    fn ps_outages_suppress_comm_fault_evictions_on_down_rounds() {
+        let mut cfg = TrainConfig::small(ModelKind::ResNetLike, 4);
+        cfg.iterations = 40;
+        cfg.comm_faults = Some(CommFaultSpec {
+            seed: 7,
+            drop: 0.75,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            retry_budget: 2,
+            timeout_s: 1e-3,
+        });
+        let baseline = cfg.comm_fault_evictions();
+        assert!(!baseline.is_empty());
+        // Take the PS down exactly at the first eviction round: that worker sends no
+        // envelopes there, so its eviction moves later (or disappears).
+        let (victim, round) = baseline[0];
+        cfg.ps_faults = Some(PsFaultSpec {
+            seed: 0,
+            windows: vec![(round, 1)],
+            flaky: 0.0,
+        });
+        let shifted = cfg.comm_fault_evictions();
+        assert!(
+            !shifted.contains(&(victim, round)),
+            "no eviction can happen at a ps-down round"
+        );
+        assert!(shifted.iter().all(|&(_, r)| r != round));
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod aggregation;
 pub mod algorithms;
+pub mod checkpoint;
 pub mod conditions;
 pub mod config;
 pub mod policy;
@@ -57,10 +58,12 @@ pub mod tracing;
 pub mod tracker;
 
 pub use aggregation::AggregationMode;
+pub use checkpoint::Checkpoint;
 pub use conditions::{ClusterConditions, FaultEvent};
-pub use config::{AlgorithmSpec, TrainConfig};
+pub use config::{AlgorithmSpec, CheckpointSpec, TrainConfig};
 pub use policy::{
-    AdaptiveDelta, DeltaPolicy, PolicySpec, RoundSignal, SwitchRecord, SyncDecision, SyncPolicy,
+    AdaptiveDelta, DeltaPolicy, PolicySpec, PolicyState, RoundSignal, SwitchRecord, SyncDecision,
+    SyncPolicy, VarianceDelta,
 };
 pub use report::RunReport;
-pub use tracker::GradientTracker;
+pub use tracker::{GradientTracker, TrackerState};

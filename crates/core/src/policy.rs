@@ -127,6 +127,17 @@ pub struct SwitchRecord {
     pub delta_ewma: f32,
 }
 
+/// The checkpointable portion of a [`DeltaPolicy`], flattened into two typed arrays
+/// (what the checkpoint codec stores as one section). Stateless policies use the
+/// empty default; each stateful policy defines its own packing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PolicyState {
+    /// Counters, flags and switch rounds.
+    pub ints: Vec<u64>,
+    /// EWMA histories and smoothed values.
+    pub floats: Vec<f32>,
+}
+
 /// A runtime rule choosing the δ threshold round by round.
 ///
 /// [`Self::delta`] is consulted *before* a round runs (it decides this round's
@@ -154,6 +165,55 @@ pub trait DeltaPolicy: Send {
     fn switch_rounds(&self) -> &[usize] {
         &[]
     }
+
+    /// Capture the policy's mutable state for a checkpoint. Stateless policies
+    /// (pure functions of the iteration) return the empty default.
+    fn export_state(&self) -> PolicyState {
+        PolicyState::default()
+    }
+
+    /// Restore state captured by [`Self::export_state`] onto a same-configured
+    /// policy. The one-shot [`Self::last_switch`] record is not restored: its trace
+    /// event was already emitted before the checkpoint was written.
+    fn import_state(&mut self, state: &PolicyState) {
+        assert!(
+            state.ints.is_empty() && state.floats.is_empty(),
+            "stateless policy cannot import non-empty state"
+        );
+    }
+}
+
+/// Append an EWMA's mutable state (presence flag + smoothed value + history) to a
+/// [`PolicyState`] being built.
+fn pack_ewma(ewma: &Ewma, state: &mut PolicyState) {
+    let (history, smoothed) = ewma.state();
+    state.ints.push(u64::from(smoothed.is_some()));
+    state.floats.push(smoothed.unwrap_or(0.0));
+    state.ints.push(history.len() as u64);
+    state.floats.extend(history);
+}
+
+/// Consume one EWMA's state (as written by [`pack_ewma`]) from the cursors.
+fn unpack_ewma(
+    ewma: &mut Ewma,
+    ints: &mut impl Iterator<Item = u64>,
+    floats: &mut impl Iterator<Item = f32>,
+    what: &str,
+) {
+    let has = ints
+        .next()
+        .unwrap_or_else(|| panic!("{what} EWMA state: missing presence flag"))
+        != 0;
+    let smoothed = floats
+        .next()
+        .unwrap_or_else(|| panic!("{what} EWMA state: missing smoothed value"));
+    let n = ints
+        .next()
+        .unwrap_or_else(|| panic!("{what} EWMA state: missing history length"))
+        as usize;
+    let history: Vec<f32> = floats.by_ref().take(n).collect();
+    assert_eq!(history.len(), n, "{what} EWMA state: truncated history");
+    ewma.restore(&history, has.then_some(smoothed));
 }
 
 /// The paper's fixed threshold as a [`DeltaPolicy`].
@@ -386,6 +446,240 @@ impl DeltaPolicy for AdaptiveDelta {
     fn switch_rounds(&self) -> &[usize] {
         &self.switch_rounds
     }
+
+    fn export_state(&self) -> PolicyState {
+        let mut state = PolicyState::default();
+        state.ints.push(u64::from(self.exploiting));
+        state.ints.push(self.rounds as u64);
+        state.ints.push(self.calm as u64);
+        state.ints.push(u64::from(self.switches));
+        pack_ewma(&self.loss, &mut state);
+        pack_ewma(&self.delta_signal, &mut state);
+        state.ints.push(self.switch_rounds.len() as u64);
+        state
+            .ints
+            .extend(self.switch_rounds.iter().map(|&r| r as u64));
+        state
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        let mut ints = state.ints.iter().copied();
+        let mut floats = state.floats.iter().copied();
+        self.exploiting = ints.next().expect("adaptive state: exploiting") != 0;
+        self.rounds = ints.next().expect("adaptive state: rounds") as usize;
+        self.calm = ints.next().expect("adaptive state: calm") as usize;
+        self.switches = ints.next().expect("adaptive state: switches") as u32;
+        unpack_ewma(&mut self.loss, &mut ints, &mut floats, "adaptive loss");
+        unpack_ewma(
+            &mut self.delta_signal,
+            &mut ints,
+            &mut floats,
+            "adaptive Δ(g)",
+        );
+        let n = ints.next().expect("adaptive state: switch-round count") as usize;
+        self.switch_rounds = ints.by_ref().take(n).map(|r| r as usize).collect();
+        assert_eq!(
+            self.switch_rounds.len(),
+            n,
+            "adaptive state: truncated switch rounds"
+        );
+        self.last_switch = None;
+    }
+}
+
+/// A variance-gated variant of [`AdaptiveDelta`]: the settle detector (loss-EWMA
+/// plateau) is identical, but the *re-entry* trigger watches the cluster-level
+/// **variance of the per-worker `Δ(g_i)`** ([`RoundSignal::delta_variance`]) instead
+/// of the round-maximum's ratio to its own EWMA.
+///
+/// Rationale: a single worker's restarted tracker or a straggling shard shows up as
+/// per-worker *disagreement* (variance) well before it moves the round maximum's
+/// smoothed level, so the variance gate re-synchronizes earlier on localized
+/// disturbances while ignoring cluster-wide level shifts that affect every worker
+/// equally (e.g. an LR decay moving all `Δ(g_i)` together keeps variance low).
+#[derive(Debug, Clone)]
+pub struct VarianceDelta {
+    delta_explore: f32,
+    delta_exploit: f32,
+    warmup: usize,
+    settle: f32,
+    patience: usize,
+    var_ratio: f32,
+    loss: Ewma,
+    var_signal: Ewma,
+    rounds: usize,
+    calm: usize,
+    exploiting: bool,
+    switches: u32,
+    switch_rounds: Vec<usize>,
+    last_switch: Option<SwitchRecord>,
+}
+
+impl VarianceDelta {
+    /// Build from a validated [`PolicySpec::Variance`] configuration.
+    pub fn from_spec(spec: &PolicySpec) -> Self {
+        spec.validate().expect("invalid variance-δ configuration");
+        match *spec {
+            PolicySpec::Variance {
+                delta_explore,
+                delta_exploit,
+                factor,
+                warmup,
+                settle,
+                patience,
+                var_ratio,
+            } => VarianceDelta {
+                delta_explore,
+                delta_exploit,
+                warmup,
+                settle,
+                patience,
+                var_ratio,
+                loss: Ewma::new(factor, 25),
+                var_signal: Ewma::new(factor, 25),
+                rounds: 0,
+                calm: 0,
+                exploiting: false,
+                switches: 0,
+                switch_rounds: Vec::new(),
+                last_switch: None,
+            },
+            _ => panic!("VarianceDelta::from_spec needs PolicySpec::Variance"),
+        }
+    }
+
+    /// Whether the policy is currently in the relaxed (exploit) regime.
+    pub fn exploiting(&self) -> bool {
+        self.exploiting
+    }
+
+    /// Number of regime switches so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+}
+
+impl DeltaPolicy for VarianceDelta {
+    fn delta(&self, _iteration: usize) -> f32 {
+        if self.exploiting {
+            self.delta_exploit
+        } else {
+            self.delta_explore
+        }
+    }
+
+    fn observe(&mut self, signal: &RoundSignal) {
+        self.rounds += 1;
+        self.last_switch = None;
+        let prev_loss = self.loss.value();
+        let smoothed_loss = self.loss.update(signal.mean_loss);
+        let variance = signal.delta_variance();
+        let prev_var = self.var_signal.value();
+        self.var_signal.update(variance);
+
+        if self.exploiting {
+            // Variance gate: per-worker Δ(g) disagreement blowing past its running
+            // level means one part of the cluster's dynamics changed — re-enter the
+            // eager regime until the loss settles again.
+            if let Some(base) = prev_var {
+                if base > 0.0 && variance >= self.var_ratio * base {
+                    self.exploiting = false;
+                    self.calm = 0;
+                    self.switches += 1;
+                    self.switch_rounds.push(signal.iteration);
+                    self.last_switch = Some(SwitchRecord {
+                        exploit: false,
+                        loss_ewma: smoothed_loss,
+                        // The baseline the variance was measured as a multiple of.
+                        delta_ewma: base,
+                    });
+                }
+            }
+            return;
+        }
+        if self.rounds <= self.warmup {
+            return;
+        }
+        let improvement = match prev_loss {
+            Some(prev) if prev.abs() > f32::EPSILON => (prev - smoothed_loss) / prev,
+            _ => 0.0,
+        };
+        if improvement.abs() < self.settle {
+            self.calm += 1;
+        } else {
+            self.calm = 0;
+        }
+        if self.calm >= self.patience {
+            self.exploiting = true;
+            self.calm = 0;
+            self.switches += 1;
+            self.switch_rounds.push(signal.iteration);
+            self.last_switch = Some(SwitchRecord {
+                exploit: true,
+                loss_ewma: smoothed_loss,
+                delta_ewma: self.var_signal.value().unwrap_or(0.0),
+            });
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "variance({}->{},warmup={},settle={}x{},var={})",
+            self.delta_explore,
+            self.delta_exploit,
+            self.warmup,
+            self.settle,
+            self.patience,
+            self.var_ratio
+        )
+    }
+
+    fn last_switch(&self) -> Option<SwitchRecord> {
+        self.last_switch
+    }
+
+    fn switch_rounds(&self) -> &[usize] {
+        &self.switch_rounds
+    }
+
+    fn export_state(&self) -> PolicyState {
+        let mut state = PolicyState::default();
+        state.ints.push(u64::from(self.exploiting));
+        state.ints.push(self.rounds as u64);
+        state.ints.push(self.calm as u64);
+        state.ints.push(u64::from(self.switches));
+        pack_ewma(&self.loss, &mut state);
+        pack_ewma(&self.var_signal, &mut state);
+        state.ints.push(self.switch_rounds.len() as u64);
+        state
+            .ints
+            .extend(self.switch_rounds.iter().map(|&r| r as u64));
+        state
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        let mut ints = state.ints.iter().copied();
+        let mut floats = state.floats.iter().copied();
+        self.exploiting = ints.next().expect("variance state: exploiting") != 0;
+        self.rounds = ints.next().expect("variance state: rounds") as usize;
+        self.calm = ints.next().expect("variance state: calm") as usize;
+        self.switches = ints.next().expect("variance state: switches") as u32;
+        unpack_ewma(&mut self.loss, &mut ints, &mut floats, "variance loss");
+        unpack_ewma(
+            &mut self.var_signal,
+            &mut ints,
+            &mut floats,
+            "variance Δ-var",
+        );
+        let n = ints.next().expect("variance state: switch-round count") as usize;
+        self.switch_rounds = ints.by_ref().take(n).map(|r| r as usize).collect();
+        assert_eq!(
+            self.switch_rounds.len(),
+            n,
+            "variance state: truncated switch rounds"
+        );
+        self.last_switch = None;
+    }
 }
 
 /// Serializable δ-policy configuration — what scenario files and [`crate::config::TrainConfig`]
@@ -424,6 +718,26 @@ pub enum PolicySpec {
         /// the eager regime.
         spike: f32,
     },
+    /// The variance-gated adaptive policy ([`VarianceDelta`]): same settle detector,
+    /// but re-entry watches the per-worker `Δ(g)` variance instead of the maximum.
+    Variance {
+        /// Sync-eager threshold used while training dynamics are volatile.
+        delta_explore: f32,
+        /// Relaxed threshold used once the loss has settled.
+        delta_exploit: f32,
+        /// EWMA smoothing factor for the watched loss / Δ-variance signals, in `(0, 1]`.
+        factor: f32,
+        /// Rounds the policy always stays eager before the settle detector arms.
+        warmup: usize,
+        /// Calm means the smoothed loss improves by less than this (relative, per
+        /// round).
+        settle: f32,
+        /// Consecutive calm rounds required before switching to exploit.
+        patience: usize,
+        /// A round's per-worker `Δ(g)` variance at least `var_ratio` times its own
+        /// EWMA switches back to the eager regime.
+        var_ratio: f32,
+    },
 }
 
 impl PolicySpec {
@@ -442,6 +756,23 @@ impl PolicySpec {
             settle: 0.05,
             patience: 4,
             spike: 2.5,
+        }
+    }
+
+    /// The default variance-gated configuration: same regimes and settle band as
+    /// [`Self::adaptive_default`], re-entering the eager regime when a round's
+    /// per-worker `Δ(g)` variance reaches 4× its running level. The ratio is higher
+    /// than the adaptive `spike` because variance (a second moment) moves
+    /// quadratically with the disturbance.
+    pub fn variance_default() -> Self {
+        PolicySpec::Variance {
+            delta_explore: 0.0,
+            delta_exploit: 0.5,
+            factor: 0.15,
+            warmup: 8,
+            settle: 0.05,
+            patience: 4,
+            var_ratio: 4.0,
         }
     }
 
@@ -496,6 +827,31 @@ impl PolicySpec {
                 }
                 Ok(())
             }
+            PolicySpec::Variance {
+                delta_explore,
+                delta_exploit,
+                factor,
+                warmup: _,
+                settle,
+                patience,
+                var_ratio,
+            } => {
+                finite_delta(*delta_explore, "delta_explore")?;
+                finite_delta(*delta_exploit, "delta_exploit")?;
+                if !(*factor > 0.0 && *factor <= 1.0) {
+                    return Err("variance factor must be in (0, 1]".into());
+                }
+                if *patience == 0 {
+                    return Err("variance patience must be at least 1".into());
+                }
+                if !(*settle > 0.0 && settle.is_finite()) {
+                    return Err("settle must be a finite positive number".into());
+                }
+                if !(*var_ratio > 1.0 && var_ratio.is_finite()) {
+                    return Err("var_ratio must be a finite ratio above 1".into());
+                }
+                Ok(())
+            }
         }
     }
 
@@ -509,6 +865,7 @@ impl PolicySpec {
                 Box::new(ScheduledDelta::new(starts.clone(), deltas.clone()))
             }
             PolicySpec::Adaptive { .. } => Box::new(AdaptiveDelta::from_spec(self)),
+            PolicySpec::Variance { .. } => Box::new(VarianceDelta::from_spec(self)),
         }
     }
 
@@ -518,7 +875,10 @@ impl PolicySpec {
     /// observations; drivers may use this to skip the cluster-signal exchange that
     /// would otherwise feed them.
     pub fn consumes_round_signals(&self) -> bool {
-        matches!(self, PolicySpec::Adaptive { .. })
+        matches!(
+            self,
+            PolicySpec::Adaptive { .. } | PolicySpec::Variance { .. }
+        )
     }
 
     /// The label the built policy reports (stable: used in report algorithm names).
@@ -545,6 +905,17 @@ impl PolicySpec {
                 ..
             } => format!(
                 "adaptive({delta_explore}->{delta_exploit},warmup={warmup},settle={settle}x{patience},spike={spike})"
+            ),
+            PolicySpec::Variance {
+                delta_explore,
+                delta_exploit,
+                warmup,
+                settle,
+                patience,
+                var_ratio,
+                ..
+            } => format!(
+                "variance({delta_explore}->{delta_exploit},warmup={warmup},settle={settle}x{patience},var={var_ratio})"
             ),
         }
     }
@@ -847,6 +1218,125 @@ mod tests {
         }
         .consumes_round_signals());
         assert!(PolicySpec::adaptive_default().consumes_round_signals());
+        assert!(PolicySpec::variance_default().consumes_round_signals());
+    }
+
+    /// A signal whose per-worker Δ(g) spread is controlled directly: `delta_mean` and
+    /// the variance are chosen, the second moment follows.
+    fn spread_signal(iteration: usize, mean: f32, variance: f32, mean_loss: f32) -> RoundSignal {
+        RoundSignal {
+            iteration,
+            max_delta: mean,
+            mean_loss,
+            delta_mean: mean,
+            delta_sq_mean: variance + mean * mean,
+            synced: true,
+        }
+    }
+
+    #[test]
+    fn variance_policy_settles_like_adaptive_and_reenters_on_a_variance_blowup() {
+        let mut p = VarianceDelta::from_spec(&PolicySpec::variance_default());
+        assert!(!p.exploiting());
+        assert_eq!(p.delta(0), 0.0);
+        // Flat loss with a small, steady per-worker Δ variance: settles after
+        // warmup + patience (round 11), exactly like the adaptive default.
+        for it in 0..12 {
+            p.observe(&spread_signal(it, 0.05, 1e-4, 1.0));
+        }
+        assert!(p.exploiting(), "flat loss must relax the threshold");
+        assert_eq!(p.delta(12), 0.5);
+        assert_eq!(p.switch_rounds(), &[11]);
+        // A cluster-wide level shift (all workers' Δ move together: variance
+        // unchanged) must NOT re-enter the eager regime...
+        p.observe(&spread_signal(12, 0.5, 1e-4, 1.0));
+        assert!(
+            p.exploiting(),
+            "level shifts with low variance stay relaxed"
+        );
+        // ...but a localized disturbance (variance 100× its running level) must.
+        p.observe(&spread_signal(13, 0.06, 1e-2, 1.0));
+        assert!(
+            !p.exploiting(),
+            "variance blow-up re-enters the eager regime"
+        );
+        let rec = p.last_switch().expect("switch must be reported");
+        assert!(!rec.exploit);
+        assert!(rec.delta_ewma > 0.0, "reports the variance baseline");
+        assert_eq!(p.switches(), 2);
+    }
+
+    #[test]
+    fn stateful_policies_export_and_import_bit_identical_state() {
+        // Drive two stateful policies through a volatile prefix, checkpoint, restore
+        // into fresh instances, and check the continuations agree bit for bit.
+        let specs = [
+            PolicySpec::adaptive_default(),
+            PolicySpec::variance_default(),
+        ];
+        for spec in &specs {
+            let mut a = spec.build();
+            let mut loss = 4.0f32;
+            for it in 0..25 {
+                let var = if it % 7 == 0 { 3e-3 } else { 1e-4 };
+                a.observe(&spread_signal(it, 0.05, var, loss));
+                loss *= 0.93;
+            }
+            let state = a.export_state();
+            let mut b = spec.build();
+            b.import_state(&state);
+            assert_eq!(
+                b.export_state(),
+                state,
+                "{}: state must round-trip",
+                spec.label()
+            );
+            assert_eq!(b.switch_rounds(), a.switch_rounds());
+            for it in 25..60 {
+                assert_eq!(a.delta(it).to_bits(), b.delta(it).to_bits());
+                let var = if it == 40 { 5e-2 } else { 1e-4 };
+                let sig = spread_signal(it, 0.05, var, loss);
+                a.observe(&sig);
+                b.observe(&sig);
+                assert_eq!(
+                    a.last_switch().is_some(),
+                    b.last_switch().is_some(),
+                    "{}: switch stream diverged at {it}",
+                    spec.label()
+                );
+            }
+            assert_eq!(a.switch_rounds(), b.switch_rounds());
+        }
+        // Stateless policies round-trip the empty default and reject junk.
+        let mut fixed = PolicySpec::Fixed { delta: 0.1 }.build();
+        let empty = fixed.export_state();
+        assert_eq!(empty, PolicyState::default());
+        fixed.import_state(&empty);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stateless_policies_reject_non_empty_state() {
+        let mut fixed = PolicySpec::Fixed { delta: 0.1 }.build();
+        fixed.import_state(&PolicyState {
+            ints: vec![1],
+            floats: vec![],
+        });
+    }
+
+    #[test]
+    fn variance_validation_rejects_bad_configs() {
+        let mut bad = PolicySpec::variance_default();
+        if let PolicySpec::Variance { var_ratio, .. } = &mut bad {
+            *var_ratio = 1.0; // must exceed 1
+        }
+        assert!(bad.validate().is_err());
+        let mut bad = PolicySpec::variance_default();
+        if let PolicySpec::Variance { factor, .. } = &mut bad {
+            *factor = 1.5;
+        }
+        assert!(bad.validate().is_err());
+        assert!(PolicySpec::variance_default().validate().is_ok());
     }
 
     #[test]
@@ -864,8 +1354,13 @@ mod tests {
                 deltas: vec![0.0, 0.2, 0.5],
             },
             PolicySpec::adaptive_default(),
+            PolicySpec::variance_default(),
         ] {
             assert_eq!(spec.label(), spec.build().label());
         }
+        assert_eq!(
+            PolicySpec::variance_default().label(),
+            "variance(0->0.5,warmup=8,settle=0.05x4,var=4)"
+        );
     }
 }

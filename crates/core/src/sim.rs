@@ -708,26 +708,82 @@ impl Simulator {
     }
 
     /// Evaluate the given parameters on (a capped subset of) the held-out set.
+    ///
+    /// The evaluation chunks are spread across the worker pool (a fixed contiguous
+    /// chunk-range per engine, like [`Self::run_round`]): each chunk's statistics are
+    /// a pure function of `params` and the chunk's samples (eval-mode forwards touch
+    /// no RNG stream and overwrite every cache they read), and the per-chunk partial
+    /// sums are merged sequentially in chunk-index order with the same `f64`
+    /// accumulators — so the result is bit-identical to the sequential baseline for
+    /// every thread count.
     pub fn evaluate_params(&mut self, params: &[f32]) -> BatchStats {
-        self.model.set_params_flat(params);
         let n = self.cfg.eval_samples.min(self.test.len()).max(1);
         let chunk = 128usize;
+        let n_chunks = n.div_ceil(chunk);
+        let threads = par::current_num_threads();
+        let chunk_stats = if SEQUENTIAL_ROUNDS.with(|c| c.get()) || threads <= 1 || n_chunks <= 1 {
+            // Sequential reference path: one shared engine, chunks in order.
+            self.model.set_params_flat(params);
+            let mut partials = Vec::with_capacity(n_chunks);
+            for c in 0..n_chunks {
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                self.eval_indices.clear();
+                self.eval_indices.extend(start..end);
+                self.test
+                    .batch_into(&self.eval_indices, &mut self.eval_x, &mut self.eval_y);
+                partials.push(self.model.evaluate(&self.eval_x, &self.eval_y));
+            }
+            partials
+        } else {
+            // Fixed chunk-range partition: task `t` owns chunks
+            // `[t*span, (t+1)*span)` and walks them in order on engine `t`.
+            let tasks = threads.min(n_chunks);
+            let span = n_chunks.div_ceil(tasks);
+            let tasks = n_chunks.div_ceil(span);
+            while self.engines.len() < tasks {
+                self.engines
+                    .push(RoundEngine::new(self.cfg.model, self.cfg.seed));
+            }
+            let mut partials = vec![
+                BatchStats {
+                    loss: 0.0,
+                    metric: 0.0
+                };
+                n_chunks
+            ];
+            let engines_ptr = SendPtr(self.engines.as_mut_ptr());
+            let partials_ptr = SendPtr(partials.as_mut_ptr());
+            let test = &self.test;
+            par::parallel_for(tasks, |t| {
+                // SAFETY: each task owns engine `t` and a disjoint chunk range, so
+                // the partial-stat writes are disjoint; `parallel_for` blocks until
+                // all tasks finish, so the borrows outlive every use.
+                let engine = unsafe { &mut *engines_ptr.get().add(t) };
+                engine.model.set_params_flat(params);
+                let mut indices = Vec::with_capacity(chunk);
+                for c in (t * span)..((t + 1) * span).min(n_chunks) {
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    indices.clear();
+                    indices.extend(start..end);
+                    test.batch_into(&indices, &mut engine.x, &mut engine.y);
+                    let stats = engine.model.evaluate(&engine.x, &engine.y);
+                    unsafe {
+                        *partials_ptr.get().add(c) = stats;
+                    }
+                }
+            });
+            partials
+        };
         let mut loss_acc = 0.0f64;
         let mut metric_acc = 0.0f64;
         let mut seen = 0usize;
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + chunk).min(n);
-            self.eval_indices.clear();
-            self.eval_indices.extend(start..end);
-            self.test
-                .batch_into(&self.eval_indices, &mut self.eval_x, &mut self.eval_y);
-            let stats = self.model.evaluate(&self.eval_x, &self.eval_y);
-            let count = end - start;
+        for (c, stats) in chunk_stats.iter().enumerate() {
+            let count = ((c * chunk + chunk).min(n)) - c * chunk;
             loss_acc += stats.loss as f64 * count as f64;
             metric_acc += stats.metric as f64 * count as f64;
             seen += count;
-            start = end;
         }
         BatchStats {
             loss: (loss_acc / seen as f64) as f32,
@@ -967,6 +1023,115 @@ impl Simulator {
         }
     }
 
+    // --- checkpoint / resume -------------------------------------------------------
+
+    /// Write the simulator's mutable state into `ckpt` as a `sim` section plus one
+    /// `worker<k>` section per worker. Must be called at a round boundary (after the
+    /// round's updates, accounting and evaluation) — scratch buffers, engines and the
+    /// round-gradient pool are rebuild-on-demand and deliberately not stored.
+    pub fn export_checkpoint_sections(&self, ckpt: &mut crate::checkpoint::Checkpoint) {
+        use crate::checkpoint::Section;
+        let mut s = Section::new("sim");
+        s.push_int(self.rng.word_pos());
+        s.push_int(self.lssr.local_steps);
+        s.push_int(self.lssr.sync_steps);
+        let sync_rounds: Vec<u64> = self.sync_rounds.iter().map(|&r| r as u64).collect();
+        s.push_ints(&sync_rounds);
+        s.push_f64(self.compute_time_s);
+        s.push_f64(self.comm_time_s);
+        s.push_int(self.bytes_communicated);
+        s.push_f32(self.last_train_loss);
+        s.push_f32(self.max_delta_seen);
+        s.push_opt_int(self.last_round.map(|r| r as u64));
+        s.push_int(self.forwards_issued);
+        s.push_usize(self.history.len());
+        for p in &self.history {
+            s.push_usize(p.iteration);
+            s.push_f64(p.sim_time_s);
+            s.push_f32(p.train_loss);
+            s.push_f32(p.test_loss);
+            s.push_f32(p.test_metric);
+            s.push_f32(p.delta_g);
+            s.push_f32(p.lr);
+        }
+        ckpt.add_section(s);
+
+        for w in &self.workers {
+            let mut s = Section::new(format!("worker{}", w.id));
+            s.push_f32s(&w.params);
+            let opt = w.optimizer.export_state();
+            s.push_int(opt.t);
+            s.push_usize(opt.buffers.len());
+            for buf in &opt.buffers {
+                s.push_f32s(buf);
+            }
+            let tracker = w.tracker.export_state();
+            s.push_f32s(&tracker.ewma_history);
+            s.push_opt_f32(tracker.ewma_smoothed);
+            s.push_opt_f32(tracker.previous_smoothed);
+            s.push_f32(tracker.last_delta);
+            s.push_f32(tracker.max_delta);
+            s.push_int(tracker.steps);
+            s.push_usize(w.shard_cursor);
+            s.push_f32(w.last_delta);
+            s.push_usize(w.progress);
+            ckpt.add_section(s);
+        }
+    }
+
+    /// Restore state written by [`Self::export_checkpoint_sections`] onto a freshly
+    /// built simulator for the same configuration.
+    pub fn restore_checkpoint_sections(&mut self, ckpt: &crate::checkpoint::Checkpoint) {
+        let mut s = ckpt.read_section("sim");
+        self.rng.set_word_pos(s.int());
+        self.lssr.local_steps = s.int();
+        self.lssr.sync_steps = s.int();
+        self.sync_rounds = s.ints().into_iter().map(|r| r as usize).collect();
+        self.compute_time_s = s.f64();
+        self.comm_time_s = s.f64();
+        self.bytes_communicated = s.int();
+        self.last_train_loss = s.f32();
+        self.max_delta_seen = s.f32();
+        self.last_round = s.opt_int().map(|r| r as usize);
+        self.forwards_issued = s.int();
+        let n_history = s.usize();
+        self.history = (0..n_history)
+            .map(|_| EvalPoint {
+                iteration: s.usize(),
+                sim_time_s: s.f64(),
+                train_loss: s.f32(),
+                test_loss: s.f32(),
+                test_metric: s.f32(),
+                delta_g: s.f32(),
+                lr: s.f32(),
+            })
+            .collect();
+        s.finish();
+
+        for w in &mut self.workers {
+            let mut s = ckpt.read_section(&format!("worker{}", w.id));
+            w.params = s.f32s();
+            let t = s.int();
+            let n_buffers = s.usize();
+            let buffers: Vec<Vec<f32>> = (0..n_buffers).map(|_| s.f32s()).collect();
+            w.optimizer
+                .load_state(&selsync_nn::optim::OptimizerState { t, buffers });
+            let tracker = crate::tracker::TrackerState {
+                ewma_history: s.f32s(),
+                ewma_smoothed: s.opt_f32(),
+                previous_smoothed: s.opt_f32(),
+                last_delta: s.f32(),
+                max_delta: s.f32(),
+                steps: s.int(),
+            };
+            w.tracker.restore_state(&tracker);
+            w.shard_cursor = s.usize();
+            w.last_delta = s.f32();
+            w.progress = s.usize();
+            s.finish();
+        }
+    }
+
     /// Snapshot of a named layer's weights from the given parameters (used by the
     /// weight-distribution figure, Fig. 11). Returns the flat weights of the `idx`-th
     /// parameterised layer.
@@ -1194,6 +1359,74 @@ mod tests {
         let sequential = with_sequential_rounds(|| b.run_round(&steps_b));
         assert_eq!(format!("{parallel:?}"), format!("{sequential:?}"));
         assert_eq!(a.round_grads(), b.round_grads());
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_the_sequential_baseline_bitwise() {
+        let mut cfg = small_cfg();
+        cfg.eval_samples = 300; // 3 chunks: exercises the partial-sum merge
+        let mut a = Simulator::new(&cfg);
+        let mut b = Simulator::new(&cfg);
+        let params = a.workers[0].params.clone();
+        let parallel = a.evaluate_params(&params);
+        let sequential = with_sequential_rounds(|| b.evaluate_params(&params));
+        assert_eq!(parallel.loss.to_bits(), sequential.loss.to_bits());
+        assert_eq!(parallel.metric.to_bits(), sequential.metric.to_bits());
+        // Evaluation must not perturb training state.
+        assert_eq!(a.forwards_issued, 0);
+        let pos_before = a.rng.word_pos();
+        let _ = a.evaluate_params(&params);
+        assert_eq!(a.rng.word_pos(), pos_before);
+    }
+
+    #[test]
+    fn checkpoint_sections_round_trip_and_continue_bit_identically() {
+        let cfg = small_cfg();
+        let mut a = Simulator::new(&cfg);
+        let present: Vec<usize> = (0..cfg.workers).collect();
+        let mut steps = Vec::new();
+        for it in 0..4 {
+            a.plan_round(&present, &mut steps);
+            let _ = a.run_round(&steps);
+            a.apply_round_own(&steps, 0.05);
+            a.account_step(0.1, 0.2, 64, it % 2 == 0);
+        }
+        let params = a.workers[0].params.clone();
+        a.record_eval(3, &params, 0.01);
+
+        let mut ckpt = crate::checkpoint::Checkpoint::new("sim", 1, 3);
+        a.export_checkpoint_sections(&mut ckpt);
+        // Codec round-trip in the middle, so what continues is what a file stores.
+        let ckpt = crate::checkpoint::Checkpoint::decode(&ckpt.encode()).expect("decode");
+        let mut b = Simulator::new(&cfg);
+        b.restore_checkpoint_sections(&ckpt);
+
+        assert_eq!(b.rng.word_pos(), a.rng.word_pos());
+        assert_eq!(b.forwards_issued, a.forwards_issued);
+        assert_eq!(b.sync_rounds, a.sync_rounds);
+        assert_eq!(b.history.len(), a.history.len());
+        // Continue both for two more rounds: plans, outputs and replicas must agree
+        // byte for byte.
+        let mut steps_b = Vec::new();
+        for _ in 0..2 {
+            a.plan_round(&present, &mut steps);
+            b.plan_round(&present, &mut steps_b);
+            for (sa, sb) in steps.iter().zip(steps_b.iter()) {
+                assert_eq!(sa.indices, sb.indices);
+                assert_eq!(sa.forward_index, sb.forward_index);
+            }
+            let ra = a.run_round(&steps);
+            let rb = b.run_round(&steps_b);
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+            a.apply_round_own(&steps, 0.05);
+            b.apply_round_own(&steps_b, 0.05);
+        }
+        for w in 0..cfg.workers {
+            assert_eq!(a.workers[w].params, b.workers[w].params, "worker {w}");
+        }
+        let ea = a.evaluate_params(&a.workers[0].params.clone());
+        let eb = b.evaluate_params(&b.workers[0].params.clone());
+        assert_eq!(ea.loss.to_bits(), eb.loss.to_bits());
     }
 
     #[test]

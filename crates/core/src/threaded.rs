@@ -62,19 +62,21 @@
 //! observations are discarded anyway — so the default driver pays nothing for the
 //! machinery.
 
-use crate::config::{AlgorithmSpec, RejoinPull, TrainConfig};
-use crate::policy::{DeltaPolicy, PolicySpec, RoundSignal, SyncPolicy};
+use crate::checkpoint::{self, Checkpoint, Section};
+use crate::config::{AlgorithmSpec, CheckpointSpec, RejoinPull, TrainConfig};
+use crate::policy::{DeltaPolicy, PolicySpec, PolicyState, RoundSignal, SyncPolicy};
 use crate::sim;
-use crate::tracker::{GradStatistic, GradientTracker};
+use crate::tracker::{GradStatistic, GradientTracker, TrackerState};
 use parking_lot::{Condvar, Mutex};
 use selsync_comm::cluster::{make_handles, run_cluster_with, ClusterHandles};
 use selsync_comm::faults::CommFaultSchedule;
-use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
+use selsync_comm::ps::{PsState, RingState, DEFAULT_SNAPSHOT_DEPTH};
 use selsync_comm::wire::MsgKind;
-use selsync_comm::{MessageLayer, ScalarOp};
+use selsync_comm::{MessageLayer, PsExchangeError, ScalarOp};
 use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::model::PaperModel;
-use selsync_tracelog::{Event, PullKind, TraceSink};
+use selsync_nn::OptimizerState;
+use selsync_tracelog::{codec, Event, PullKind, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// The cluster-level δ-policy shared by every worker thread — the threaded
@@ -167,6 +169,84 @@ impl SignalBoard {
         s.next_observe = next_round;
         self.cv.notify_all();
     }
+
+    /// The shared policy's durable state, captured at a checkpoint's quiescent
+    /// point (every worker parked, the checkpoint round's signals observed).
+    fn export_policy_state(&self) -> PolicyState {
+        self.state.lock().policy.export_state()
+    }
+}
+
+/// Full-cluster checkpoint barrier: at a checkpoint round every worker thread —
+/// present or absent — deposits its per-worker recovery section and parks; once all
+/// `n` have arrived the cluster is quiescent (no in-flight rounds, every event of
+/// the round recorded, the round's signals observed), worker 0 writes the image,
+/// and everyone is released. Round-keyed like every other rendezvous in the driver,
+/// so consecutive checkpoint rounds cannot interleave.
+struct CheckpointGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    deposits: Vec<Option<Section>>,
+    arrived: usize,
+    /// The newest round whose checkpoint has been fully written.
+    written: Option<usize>,
+}
+
+impl CheckpointGate {
+    fn new(n: usize) -> Self {
+        CheckpointGate {
+            state: Mutex::new(GateState {
+                deposits: (0..n).map(|_| None).collect(),
+                arrived: 0,
+                written: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposit `section` for `worker` and block until round `round`'s checkpoint has
+    /// been written. Worker 0 is the designated writer: it waits for all `n`
+    /// deposits, runs `write` outside the lock, and releases the cluster.
+    fn checkpoint_round(
+        &self,
+        worker: usize,
+        n: usize,
+        round: usize,
+        section: Section,
+        write: impl FnOnce(Vec<Section>),
+    ) {
+        let mut s = self.state.lock();
+        assert!(
+            s.deposits[worker].is_none(),
+            "worker {worker} deposited twice for one checkpoint"
+        );
+        s.deposits[worker] = Some(section);
+        s.arrived += 1;
+        if worker == 0 {
+            while s.arrived < n {
+                self.cv.wait(&mut s);
+            }
+            let deposits: Vec<Section> = s
+                .deposits
+                .iter_mut()
+                .map(|d| d.take().expect("every worker deposited"))
+                .collect();
+            s.arrived = 0;
+            drop(s);
+            write(deposits);
+            let mut s = self.state.lock();
+            s.written = Some(round);
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_all();
+            while s.written != Some(round) {
+                self.cv.wait(&mut s);
+            }
+        }
+    }
 }
 
 /// Result of a threaded run, per worker.
@@ -196,6 +276,23 @@ pub struct ThreadedWorkerReport {
 /// Run SelSync (or BSP via δ=0) with one OS thread per worker over the real parameter
 /// server and collectives. Returns one report per worker.
 pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
+    run_threaded_inner(cfg, None)
+}
+
+/// Resume a threaded run from a durable checkpoint written by an earlier
+/// `run_threaded_selsync` of the *same* configuration. The PS (global + snapshot
+/// ring), the shared δ policy, every worker's local state and the trace prefix are
+/// restored before any thread spawns; the resumed cluster continues from
+/// `ckpt.round + 1` and produces the byte-identical trace and reports of the
+/// uninterrupted run.
+pub fn run_threaded_selsync_resumed(
+    cfg: &TrainConfig,
+    ckpt: &Checkpoint,
+) -> Vec<ThreadedWorkerReport> {
+    run_threaded_inner(cfg, Some(ckpt))
+}
+
+fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<ThreadedWorkerReport> {
     let delta = match cfg.algorithm {
         AlgorithmSpec::SelSync { delta, .. } => delta,
         AlgorithmSpec::Bsp => 0.0,
@@ -216,13 +313,16 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         _ => PolicySpec::Fixed { delta },
     };
     spec.validate().expect("invalid δ-policy configuration");
-    // Same header both backends write: the labels are pure functions of the config.
-    crate::tracing::emit_header(
-        &cfg.trace,
-        cfg,
-        &crate::algorithms::selsync::algorithm_label(cfg),
-        &spec.label(),
-    );
+    if resume.is_none() {
+        // Same header both backends write: the labels are pure functions of the
+        // config. A resumed run's restored trace prefix already contains it.
+        crate::tracing::emit_header(
+            &cfg.trace,
+            cfg,
+            &crate::algorithms::selsync::algorithm_label(cfg),
+            &spec.label(),
+        );
+    }
 
     // Shared immutable dataset: the *same* train split the simulator uses, built once
     // and shared by reference across threads.
@@ -250,15 +350,66 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         Some(schedule) => MessageLayer::faulty(schedule),
         None => MessageLayer::lossless(),
     };
+    // PS availability gate: with a `[ps_faults]` schedule attached, PS-bound
+    // envelopes fail fast at down rounds and the workers degrade to local-only
+    // rounds — the same pure `(spec, round)` schedule the simulator driver reads.
+    let ps_schedule = cfg.ps_fault_schedule();
+    let layer = match ps_schedule.clone() {
+        Some(schedule) => layer.with_ps_outages(schedule),
+        None => layer,
+    };
     let layer = &layer;
+    let ps_schedule = &ps_schedule;
     let evictions = cfg.comm_fault_evictions();
     let evictions = &evictions;
+    let ckpt_spec = cfg.checkpoint.clone();
+    if let Some(ck) = &ckpt_spec {
+        ck.validate().expect("invalid checkpoint configuration");
+    }
+    let ckpt_spec = &ckpt_spec;
+    let gate = CheckpointGate::new(n);
+    let gate = &gate;
+
+    // The first round the (possibly resumed) run executes.
+    let start = match resume {
+        Some(ckpt) => {
+            assert_eq!(
+                ckpt.backend, "threaded",
+                "checkpoint was written by the {} backend, not the threaded driver",
+                ckpt.backend
+            );
+            assert_eq!(
+                ckpt.fingerprint,
+                checkpoint::config_fingerprint(cfg),
+                "checkpoint belongs to a different configuration"
+            );
+            if cfg.trace.is_enabled() {
+                let events = ckpt
+                    .trace
+                    .iter()
+                    .map(|line| codec::decode_event(line).expect("checkpointed trace line decodes"))
+                    .collect();
+                cfg.trace.preload(events);
+            }
+            ckpt.round + 1
+        }
+        None => 0,
+    };
 
     // One cluster-level policy instance for the whole run, seeded at the first active
-    // round — the exact analogue of the simulator driver's `policy` local.
+    // round the run executes — the exact analogue of the simulator driver's `policy`
+    // local. A resumed run restores the policy's durable state first.
+    let mut policy = spec.build();
+    if let Some(ckpt) = resume {
+        let mut reader = ckpt.read_section("board");
+        let ints = reader.ints();
+        let floats = reader.f32s();
+        reader.finish();
+        policy.import_state(&PolicyState { ints, floats });
+    }
     let board = SignalBoard::new(
-        spec.build(),
-        conditions.next_active_iteration(n, 0, cfg.iterations),
+        policy,
+        conditions.next_active_iteration(n, start, cfg.iterations),
         cfg.trace.clone(),
     );
     let board = &board;
@@ -277,6 +428,40 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         handles
             .ps
             .enable_scheduled_snapshots(DEFAULT_SNAPSHOT_DEPTH);
+    }
+    if let Some(ckpt) = resume {
+        // Restore the PS — global vector, newest-global guard and snapshot ring —
+        // before any worker pulls from it.
+        let mut reader = ckpt.read_section("ps");
+        let global = reader.f32s();
+        let last_global_round = reader.opt_int();
+        let ring = if reader.bool() {
+            let depth = reader.usize();
+            let initial = reader.f32s();
+            let count = reader.usize();
+            let entries = (0..count)
+                .map(|_| {
+                    let round = reader.int();
+                    let mean = reader.f32s();
+                    (round, mean)
+                })
+                .collect();
+            let evicted_min = reader.opt_int();
+            Some(RingState {
+                depth,
+                initial,
+                entries,
+                evicted_min,
+            })
+        } else {
+            None
+        };
+        reader.finish();
+        handles.ps.restore_state(&PsState {
+            global,
+            last_global_round,
+            ring,
+        });
     }
 
     run_cluster_with(handles, |worker, handles: ClusterHandles| {
@@ -297,7 +482,7 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         let mut tracker = new_tracker();
         let mut optimizer = cfg.optimizer.build();
         let mut counter = LssrCounter::new();
-        let mut sync_rounds = Vec::new();
+        let mut sync_rounds: Vec<usize> = Vec::new();
         let mut last_loss = 0.0f32;
         let mut was_present = true;
         // The canonical global forward counter of the simulator: rounds issue their
@@ -305,6 +490,39 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
         // iteration — and this worker's position within it — is a pure function of
         // the fault schedule.
         let mut forwards_before = 0u64;
+        if let Some(ckpt) = resume {
+            // Durable per-worker state comes from the checkpoint; the schedule-pure
+            // cursors (data traversal, forward counter, presence edge) are recomputed
+            // from the same deterministic schedule the uninterrupted run walked.
+            let mut reader = ckpt.read_section(&format!("worker{worker}"));
+            params = reader.f32s();
+            let t = reader.int();
+            let buffer_count = reader.usize();
+            let buffers = (0..buffer_count).map(|_| reader.f32s()).collect();
+            optimizer.load_state(&OptimizerState { t, buffers });
+            let tracker_state = TrackerState {
+                ewma_history: reader.f32s(),
+                ewma_smoothed: reader.opt_f32(),
+                previous_smoothed: reader.opt_f32(),
+                last_delta: reader.f32(),
+                max_delta: reader.f32(),
+                steps: reader.int(),
+            };
+            tracker.restore_state(&tracker_state);
+            counter.sync_steps = reader.int();
+            counter.local_steps = reader.int();
+            sync_rounds = reader.ints().iter().map(|&r| r as usize).collect();
+            last_loss = reader.f32();
+            reader.finish();
+            let done_rounds = (0..start)
+                .filter(|&r| conditions.is_present(worker, r))
+                .count();
+            cursor = (done_rounds * cfg.batch_size) % traversal.len();
+            forwards_before = (0..start)
+                .map(|r| conditions.present_workers(n, r).len() as u64)
+                .sum();
+            was_present = conditions.is_present(worker, start - 1);
+        }
         let mut indices = Vec::with_capacity(cfg.batch_size);
         // Control-plane exchange for one comm op: request envelope out, hub ack
         // back, bounded retry. A worker present at a round always lands within its
@@ -322,7 +540,45 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                 .attempts
         };
 
-        for it in 0..cfg.iterations {
+        // Checkpoint-gate participation at the end of round `it`: every worker —
+        // present or absent — deposits its recovery section when a checkpoint is due
+        // and parks until worker 0 has written the image. Returns whether the run
+        // halts after this round (the simulated kill switch).
+        let end_of_round = |it: usize,
+                            present: &[usize],
+                            params: &[f32],
+                            optimizer: &dyn selsync_nn::Optimizer,
+                            tracker: &GradientTracker,
+                            counter: &LssrCounter,
+                            sync_rounds: &[usize],
+                            last_loss: f32|
+         -> bool {
+            let Some(ck) = ckpt_spec else {
+                return false;
+            };
+            // The simulator writes nothing at whole-cluster-absent rounds; neither
+            // does the threaded driver (and the kill switch cannot fire there).
+            if present.is_empty() {
+                return false;
+            }
+            if ck.due(it) || ck.halt_after == Some(it) {
+                let section = worker_section(
+                    worker,
+                    params,
+                    optimizer,
+                    tracker,
+                    counter,
+                    sync_rounds,
+                    last_loss,
+                );
+                gate.checkpoint_round(worker, n, it, section, |deposits| {
+                    write_threaded_checkpoint(cfg, ck, board, &handles.ps, deposits, it);
+                });
+            }
+            ck.halt_after == Some(it)
+        };
+
+        for it in start..cfg.iterations {
             // Crash windows: an absent worker skips the round entirely — no compute, no
             // collectives. Every live worker derives the same membership from the
             // deterministic schedule, so the round-keyed rendezvous stays consistent.
@@ -343,6 +599,18 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                 }
                 was_present = false;
                 forwards_before += present.len() as u64;
+                if end_of_round(
+                    it,
+                    &present,
+                    &params,
+                    optimizer.as_ref(),
+                    &tracker,
+                    &counter,
+                    &sync_rounds,
+                    last_loss,
+                ) {
+                    break;
+                }
                 continue;
             };
             let active = present.len();
@@ -353,8 +621,13 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                 // simulator restarts per-worker state the same way — its cluster-level
                 // policy, like the shared board here, is untouched). The pull request
                 // is an envelope on the message layer; the parameter pull itself
-                // (the data plane) follows the configured semantics.
-                exchange(it, MsgKind::Pull, &(it as u64).to_le_bytes());
+                // (the data plane) follows the configured semantics. At a PS-down
+                // round the envelope is skipped — there is no server to ack it —
+                // while the data plane (the schedule-pure snapshot lookup) and the
+                // event stay, exactly like the simulator's rejoin path.
+                if !layer.ps_down(it as u64) {
+                    exchange(it, MsgKind::Pull, &(it as u64).to_le_bytes());
+                }
                 params = match cfg.rejoin_pull {
                     RejoinPull::WallClock => handles.ps.pull(),
                     RejoinPull::Scheduled => {
@@ -414,6 +687,77 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             let lr = cfg.lr.lr_at(cfg.epoch_of(it), it);
             optimizer.step(&mut params, &grads, lr);
 
+            // PS outage: the round degrades to forced-local. One probe envelope
+            // discovers the outage and fails fast (no retry budget consumed); the
+            // status all-gather, signal exchange and sync round — all PS-bound —
+            // are skipped, and the worker keeps its local update. The δ policy is
+            // still consulted and fed the lowest-ranked present worker's local
+            // signal, so regime state stays coherent — bit-identical to the
+            // simulator's degraded branch.
+            if layer.ps_down(it as u64) {
+                let probe =
+                    layer.ps_exchange(worker, it as u64, MsgKind::Pull, &(it as u64).to_le_bytes());
+                assert!(
+                    matches!(probe, Err(PsExchangeError::Down { .. })),
+                    "the PS availability schedule and the layer's gate disagree at round {it}"
+                );
+                let sync_policy = SyncPolicy::new(board.delta_for(it));
+                // Worker-to-worker rendezvous (the PS plays no part): keeps the
+                // board's round-ordered observe behind every present worker's δ
+                // fetch, exactly like the status all-gather does on reachable rounds.
+                handles
+                    .collective
+                    .allgather_flags_among(it as u64, worker, false, active);
+                counter.record_local();
+                if rank == 0 {
+                    if cfg.trace.is_enabled() {
+                        crate::tracing::emit_round_context(&cfg.trace, conditions, n, it, &present);
+                        if ps_schedule
+                            .as_ref()
+                            .is_some_and(|s| s.outage_starts(it as u64))
+                        {
+                            cfg.trace.record(Event::PsDown { round: it });
+                        }
+                        cfg.trace.record(Event::DegradedRound {
+                            round: it,
+                            delta: sync_policy.delta,
+                            loss: stats.loss,
+                            delta_g,
+                        });
+                    }
+                    board.observe(
+                        RoundSignal {
+                            iteration: it,
+                            max_delta: delta_g,
+                            mean_loss: stats.loss,
+                            delta_mean: delta_g,
+                            delta_sq_mean: delta_g * delta_g,
+                            synced: false,
+                        },
+                        conditions.next_active_iteration(n, it + 1, cfg.iterations),
+                    );
+                }
+                if end_of_round(
+                    it,
+                    &present,
+                    &params,
+                    optimizer.as_ref(),
+                    &tracker,
+                    &counter,
+                    &sync_rounds,
+                    last_loss,
+                ) {
+                    break;
+                }
+                continue;
+            }
+            // The first reachable round after an outage runs the catch-up sync:
+            // every present worker forces its status bit, so the accumulated
+            // local-only deltas reconcile through the ordinary elastic round.
+            let catchup = ps_schedule
+                .as_ref()
+                .is_some_and(|s| s.outage_ends(it as u64));
+
             // Cluster-signal exchange among the live workers: the round's mean batch
             // loss and maximum Δ(g_i), combined in worker-id order — bit-identical to
             // the simulator's `RoundOutput::mean_loss` / `max_delta` folds. Elided
@@ -464,8 +808,9 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             let sync_policy = SyncPolicy::new(board.delta_for(it));
 
             // 1-bit status all-gather followed by the cluster decision (lines 10–13),
-            // restricted to the live workers of this iteration.
-            let wants_sync = sync_policy.worker_wants_sync(delta_g);
+            // restricted to the live workers of this iteration. A catch-up round
+            // forces every status bit.
+            let wants_sync = catchup || sync_policy.worker_wants_sync(delta_g);
             let attempts = exchange(it, MsgKind::Flags, &[wants_sync as u8]);
             if attempts > 1 {
                 // One retry event per (worker, round): every envelope this worker
@@ -506,6 +851,14 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                     // round's structural and decision events (canonical sorting in the
                     // sink erases any cross-thread interleaving with other rounds).
                     crate::tracing::emit_round_context(&cfg.trace, conditions, n, it, &present);
+                    if catchup {
+                        let schedule = ps_schedule.as_ref().expect("catchup implies a schedule");
+                        cfg.trace.record(Event::PsUp { round: it });
+                        cfg.trace.record(Event::CatchupSync {
+                            round: it,
+                            behind: schedule.rounds_behind(it as u64) as usize,
+                        });
+                    }
                     if exchange_signals {
                         cfg.trace.record(Event::Signal {
                             round: it,
@@ -541,6 +894,18 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
                     conditions.next_active_iteration(n, it + 1, cfg.iterations),
                 );
             }
+            if end_of_round(
+                it,
+                &present,
+                &params,
+                optimizer.as_ref(),
+                &tracker,
+                &counter,
+                &sync_rounds,
+                last_loss,
+            ) {
+                break;
+            }
         }
 
         let global = handles.ps.pull();
@@ -559,6 +924,89 @@ pub fn run_threaded_selsync(cfg: &TrainConfig) -> Vec<ThreadedWorkerReport> {
             distance_to_global: distance,
         }
     })
+}
+
+/// One worker's durable recovery section: everything that cannot be recomputed
+/// from the schedule — its parameter replica, optimizer and `Δ(g_i)` tracker state,
+/// LSSR counters, synchronization history and last observed loss. The packing order
+/// is the contract `run_threaded_inner`'s resume path reads back.
+fn worker_section(
+    worker: usize,
+    params: &[f32],
+    optimizer: &dyn selsync_nn::Optimizer,
+    tracker: &GradientTracker,
+    counter: &LssrCounter,
+    sync_rounds: &[usize],
+    last_loss: f32,
+) -> Section {
+    let mut section = Section::new(format!("worker{worker}"));
+    section.push_f32s(params);
+    let optimizer_state = optimizer.export_state();
+    section.push_int(optimizer_state.t);
+    section.push_usize(optimizer_state.buffers.len());
+    for buffer in &optimizer_state.buffers {
+        section.push_f32s(buffer);
+    }
+    let tracker_state = tracker.export_state();
+    section.push_f32s(&tracker_state.ewma_history);
+    section.push_opt_f32(tracker_state.ewma_smoothed);
+    section.push_opt_f32(tracker_state.previous_smoothed);
+    section.push_f32(tracker_state.last_delta);
+    section.push_f32(tracker_state.max_delta);
+    section.push_int(tracker_state.steps);
+    section.push_int(counter.sync_steps);
+    section.push_int(counter.local_steps);
+    let rounds: Vec<u64> = sync_rounds.iter().map(|&r| r as u64).collect();
+    section.push_ints(&rounds);
+    section.push_f32(last_loss);
+    section
+}
+
+/// Write the threaded backend's full recovery image after round `it`: the PS state
+/// (global vector, newest-global guard, snapshot ring), the shared δ-policy state,
+/// every worker's deposited section (worker order) and the trace prefix recorded so
+/// far. Called by worker 0 at the checkpoint gate's quiescent point.
+fn write_threaded_checkpoint(
+    cfg: &TrainConfig,
+    ck: &CheckpointSpec,
+    board: &SignalBoard,
+    ps: &selsync_comm::ParameterServer,
+    deposits: Vec<Section>,
+    it: usize,
+) {
+    let mut image = Checkpoint::new("threaded", checkpoint::config_fingerprint(cfg), it);
+    let ps_state = ps.export_state();
+    let mut section = Section::new("ps");
+    section.push_f32s(&ps_state.global);
+    section.push_opt_int(ps_state.last_global_round);
+    section.push_bool(ps_state.ring.is_some());
+    if let Some(ring) = &ps_state.ring {
+        section.push_usize(ring.depth);
+        section.push_f32s(&ring.initial);
+        section.push_usize(ring.entries.len());
+        for (round, mean) in &ring.entries {
+            section.push_int(*round);
+            section.push_f32s(mean);
+        }
+        section.push_opt_int(ring.evicted_min);
+    }
+    image.add_section(section);
+    let policy_state = board.export_policy_state();
+    let mut section = Section::new("board");
+    section.push_ints(&policy_state.ints);
+    section.push_f32s(&policy_state.floats);
+    image.add_section(section);
+    for deposit in deposits {
+        image.add_section(deposit);
+    }
+    if cfg.trace.is_enabled() {
+        let log = cfg.trace.snapshot_log();
+        image.trace = log.events.iter().map(codec::encode_event).collect();
+    }
+    let path = ck.path_for(it);
+    image
+        .write_file(&path)
+        .unwrap_or_else(|err| panic!("failed to write checkpoint {}: {err}", path.display()));
 }
 
 #[cfg(test)]
@@ -728,6 +1176,81 @@ mod tests {
                 r.distance_to_global
             );
         }
+    }
+
+    #[test]
+    fn ps_outage_schedule_matches_the_simulator_and_degrades_rounds() {
+        use selsync_comm::faults::PsFaultSpec;
+        use selsync_tracelog::TraceGranularity;
+        // δ = 0 with an outage window: rounds 8..12 degrade to local in both
+        // backends, the catch-up sync fires at 12, and the schedules agree.
+        let mut c = cfg(0.0, 3);
+        c.ps_faults = Some(PsFaultSpec {
+            seed: 5,
+            windows: vec![(8, 4)],
+            flaky: 0.0,
+        });
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let sim = crate::algorithms::run(&c);
+        let sim_trace = c.trace.take_log();
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let reports = run_threaded_selsync(&c);
+        let threaded_trace = c.trace.take_log();
+        for r in &reports {
+            assert_eq!(r.local_steps, 4, "worker {} outage rounds", r.worker);
+            assert_eq!(
+                r.sync_rounds, sim.sync_rounds,
+                "worker {} diverged",
+                r.worker
+            );
+        }
+        assert_eq!(sim_trace.encode(), threaded_trace.encode());
+    }
+
+    #[test]
+    fn threaded_kill_and_resume_reproduces_the_uninterrupted_run() {
+        use crate::config::CheckpointSpec;
+        use selsync_comm::faults::PsFaultSpec;
+        use selsync_tracelog::TraceGranularity;
+        let dir = std::env::temp_dir().join(format!(
+            "selsync-threaded-resume-test-{}",
+            std::process::id()
+        ));
+        let make = || {
+            let mut c = cfg(0.05, 3);
+            // The outage window straddles the kill round, and the adaptive policy
+            // carries cross-round state through it.
+            c.ps_faults = Some(PsFaultSpec {
+                seed: 11,
+                windows: vec![(9, 3)],
+                flaky: 0.0,
+            });
+            c.delta_policy = Some(PolicySpec::adaptive_default());
+            c.trace = TraceSink::capture(TraceGranularity::Full);
+            c
+        };
+        let full_cfg = make();
+        let full = run_threaded_selsync(&full_cfg);
+        let full_trace = full_cfg.trace.take_log().encode();
+
+        let mut killed_cfg = make();
+        killed_cfg.checkpoint = Some(CheckpointSpec {
+            every: 5,
+            dir: dir.to_string_lossy().into_owned(),
+            halt_after: Some(10),
+        });
+        let _halted = run_threaded_selsync(&killed_cfg);
+        let ckpt = Checkpoint::read_file(dir.join("ckpt-10")).expect("checkpoint reads back");
+        assert_eq!(ckpt.backend, "threaded");
+        assert!(dir.join("ckpt-4").exists(), "cadence checkpoint at round 4");
+
+        let resumed_cfg = make();
+        let resumed = run_threaded_selsync_resumed(&resumed_cfg, &ckpt);
+        assert_eq!(resumed_cfg.trace.take_log().encode(), full_trace);
+        for (a, b) in full.iter().zip(resumed.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// A drop/corrupt schedule whose seed (searched deterministically) evicts

@@ -148,6 +148,46 @@ impl GradientTracker {
         self.max_delta = 0.0;
         self.steps = 0;
     }
+
+    /// Capture the mutable state for a checkpoint. The statistic kind and EWMA
+    /// configuration are rebuilt from `TrainConfig` on restore.
+    pub fn export_state(&self) -> TrackerState {
+        let (ewma_history, ewma_smoothed) = self.ewma.state();
+        TrackerState {
+            ewma_history,
+            ewma_smoothed,
+            previous_smoothed: self.previous_smoothed,
+            last_delta: self.last_delta,
+            max_delta: self.max_delta,
+            steps: self.steps,
+        }
+    }
+
+    /// Restore state captured by [`Self::export_state`] onto a same-configured tracker.
+    pub fn restore_state(&mut self, state: &TrackerState) {
+        self.ewma.restore(&state.ewma_history, state.ewma_smoothed);
+        self.previous_smoothed = state.previous_smoothed;
+        self.last_delta = state.last_delta;
+        self.max_delta = state.max_delta;
+        self.steps = state.steps;
+    }
+}
+
+/// The checkpointable portion of a [`GradientTracker`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerState {
+    /// Retained EWMA window, oldest first.
+    pub ewma_history: Vec<f32>,
+    /// Current EWMA smoothed value.
+    pub ewma_smoothed: Option<f32>,
+    /// Smoothed value at the previous step (denominator of Eqn. 2).
+    pub previous_smoothed: Option<f32>,
+    /// Most recent `Δ(g_i)`.
+    pub last_delta: f32,
+    /// Largest `Δ(g_i)` observed so far.
+    pub max_delta: f32,
+    /// Iterations ingested.
+    pub steps: u64,
 }
 
 #[cfg(test)]
@@ -227,6 +267,25 @@ mod tests {
         t.update(&[0.0; 4]);
         let d = t.update(&[1.0; 4]);
         assert_eq!(d, 0.0); // previous smoothed value was exactly zero
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_continues_bit_identically() {
+        let mut a = GradientTracker::new(GradStatistic::SqNorm, 0.3, 4);
+        for i in 0..9 {
+            a.update(&[0.5 + i as f32 * 0.25; 6]);
+        }
+        let state = a.export_state();
+        let mut b = GradientTracker::new(GradStatistic::SqNorm, 0.3, 4);
+        b.restore_state(&state);
+        assert_eq!(b.export_state(), state);
+        assert_eq!(b.steps(), a.steps());
+        for x in [0.7f32, 4.0, 0.1] {
+            let da = a.update(&[x; 6]);
+            let db = b.update(&[x; 6]);
+            assert_eq!(da.to_bits(), db.to_bits());
+        }
+        assert_eq!(a.max_delta().to_bits(), b.max_delta().to_bits());
     }
 
     #[test]

@@ -85,6 +85,23 @@ impl Ewma {
         self.history.clear();
         self.smoothed = None;
     }
+
+    /// The mutable state (retained history in order, current smoothed value) — what
+    /// a checkpoint stores; `factor`/`window` are rebuilt from configuration.
+    pub fn state(&self) -> (Vec<f32>, Option<f32>) {
+        (self.history.iter().copied().collect(), self.smoothed)
+    }
+
+    /// Restore state captured by [`Self::state`] onto a same-configured smoother.
+    pub fn restore(&mut self, history: &[f32], smoothed: Option<f32>) {
+        assert!(
+            history.len() <= self.window,
+            "restored EWMA history exceeds the window"
+        );
+        self.history.clear();
+        self.history.extend(history.iter().copied());
+        self.smoothed = smoothed;
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +173,21 @@ mod tests {
     #[should_panic]
     fn zero_factor_rejected() {
         let _ = Ewma::new(0.0, 5);
+    }
+
+    #[test]
+    fn state_restore_round_trips_and_continues_identically() {
+        let mut a = Ewma::new(0.3, 4);
+        for i in 0..7 {
+            a.update(i as f32 * 0.5);
+        }
+        let (history, smoothed) = a.state();
+        let mut b = Ewma::new(0.3, 4);
+        b.restore(&history, smoothed);
+        assert_eq!(b.state(), a.state());
+        for x in [1.25f32, -0.5, 3.0] {
+            assert_eq!(a.update(x).to_bits(), b.update(x).to_bits());
+        }
+        assert_eq!(a.window_mean(), b.window_mean());
     }
 }

@@ -33,5 +33,5 @@ pub mod schedule;
 
 pub use layer::Layer;
 pub use model::{ModelKind, PaperModel, Sequential};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, OptimizerState, Sgd};
 pub use schedule::LrSchedule;

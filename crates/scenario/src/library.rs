@@ -1,6 +1,6 @@
 //! Built-in scenario library.
 //!
-//! Seven canonical cluster shapes, each small enough to run in seconds yet shaped to
+//! Eight canonical cluster shapes, each small enough to run in seconds yet shaped to
 //! surface the regime it is named after. All are constructed programmatically (so they
 //! are always in sync with the schema) and serialize to TOML via
 //! [`Scenario::to_toml_string`] — `scenario_run --dump <name>` prints them as starting
@@ -9,10 +9,10 @@
 use crate::schema::{FaultSpec, Scenario, SweepSpec};
 use selsync::config::RejoinPull;
 use selsync::policy::PolicySpec;
-use selsync_comm::faults::CommFaultSpec;
+use selsync_comm::faults::{CommFaultSpec, PsFaultSpec};
 
 /// Names of the built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 7] = [
+pub const BUILTIN_NAMES: [&str; 8] = [
     "steady",
     "transient-straggler",
     "degraded-network",
@@ -20,6 +20,7 @@ pub const BUILTIN_NAMES: [&str; 7] = [
     "heterogeneous-fleet",
     "elastic-churn",
     "flaky-links",
+    "ps-brownout",
 ];
 
 /// Look up a built-in scenario by name.
@@ -32,6 +33,7 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "heterogeneous-fleet" => Some(heterogeneous_fleet()),
         "elastic-churn" => Some(elastic_churn()),
         "flaky-links" => Some(flaky_links()),
+        "ps-brownout" => Some(ps_brownout()),
         _ => None,
     }
 }
@@ -188,6 +190,34 @@ pub fn flaky_links() -> Scenario {
     s
 }
 
+/// Parameter-server weather: two scheduled outage windows plus a 2% per-round
+/// brownout chance under a seeded `[ps_faults]` schedule. While the server is down,
+/// workers degrade to local-only rounds (no δ fetch, no synchronization) and the
+/// first reachable round after an outage forces a catch-up synchronization — the
+/// graceful-degradation regime `docs/RECOVERY.md` describes. Carries its own sweep
+/// block (BSP-equivalent δ = 0, a mid δ, the adaptive arm and the variance-gated
+/// arm) so `scenario_sweep ps-brownout` compares how each policy absorbs the
+/// outages.
+pub fn ps_brownout() -> Scenario {
+    let mut s = Scenario::base("ps-brownout", 6, 240);
+    s.description =
+        "Parameter server dark during iterations 80..110 and 170..185, 2% flaky per round.".into();
+    s.ps_faults = Some(PsFaultSpec {
+        seed: 42,
+        windows: vec![(80, 30), (170, 15)],
+        flaky: 0.02,
+    });
+    s.sweep = Some(SweepSpec {
+        deltas: vec![0.0, 0.15],
+        seeds: vec![42, 43],
+        policies: vec![
+            PolicySpec::adaptive_default(),
+            PolicySpec::variance_default(),
+        ],
+    });
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +272,13 @@ mod tests {
         assert!(heterogeneous_fleet().heterogeneity.iter().any(|&s| s > 1.0));
         let weather = flaky_links().comm_faults.expect("flaky-links has weather");
         assert!(!weather.is_lossless() && weather.retry_budget > 1);
+        let outages = ps_brownout().ps_faults.expect("ps-brownout has PS weather");
+        assert!(!outages.is_reliable() && !outages.windows.is_empty());
+        let sweep = ps_brownout().sweep.expect("ps-brownout has a sweep block");
+        assert!(sweep.deltas.contains(&0.0), "needs the BSP-equivalent arm");
+        assert!(sweep
+            .policies
+            .iter()
+            .any(|p| matches!(p, PolicySpec::Variance { .. })));
     }
 }

@@ -65,6 +65,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         timeline.push('\n');
         timeline.push_str(&weather.describe());
     }
+    if let Some(outages) = &scenario.ps_faults {
+        timeline.push('\n');
+        timeline.push_str(&outages.describe());
+    }
     Ok(ScenarioReport {
         scenario: scenario.name.clone(),
         description: scenario.description.clone(),

@@ -8,9 +8,9 @@
 
 use crate::toml::{self, Document, Table, Value};
 use selsync::conditions::{ClusterConditions, FaultEvent};
-use selsync::config::{RejoinPull, TrainConfig};
+use selsync::config::{CheckpointSpec, RejoinPull, TrainConfig};
 use selsync::policy::PolicySpec;
-use selsync_comm::faults::CommFaultSpec;
+use selsync_comm::faults::{CommFaultSpec, PsFaultSpec};
 use selsync_comm::NetworkModel;
 use selsync_nn::model::ModelKind;
 use selsync_tracelog::TraceGranularity;
@@ -283,6 +283,16 @@ pub struct Scenario {
     /// and logical timeout — a pure function of `(seed, worker, round, attempt,
     /// leg)`, so faulty runs stay bit-deterministic (see `docs/COMM_FAULTS.md`).
     pub comm_faults: Option<CommFaultSpec>,
+    /// Optional parameter-server availability schedule (`[ps_faults]` section; the
+    /// server is perfectly reliable when omitted). Scheduled outage windows plus a
+    /// seeded per-round brownout probability — a pure function of `(seed, round)`,
+    /// so outage runs stay bit-deterministic (see `docs/RECOVERY.md`).
+    pub ps_faults: Option<PsFaultSpec>,
+    /// Optional durable-checkpoint policy (`[checkpoint]` section; nothing is
+    /// written when omitted): both SelSync backends persist a full recovery image
+    /// every `every` rounds under `dir`. The `halt_after` kill switch is a
+    /// runtime/CLI knob, not normally part of a scenario file.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -400,6 +410,24 @@ fn policy_to_table(policy: &PolicySpec) -> Table {
             t.set("patience", Value::Int(*patience as i64));
             t.set("spike", Value::Float(f32_shortest(*spike)));
         }
+        PolicySpec::Variance {
+            delta_explore,
+            delta_exploit,
+            factor,
+            warmup,
+            settle,
+            patience,
+            var_ratio,
+        } => {
+            t.set("kind", Value::Str("variance".into()));
+            t.set("delta_explore", Value::Float(f32_shortest(*delta_explore)));
+            t.set("delta_exploit", Value::Float(f32_shortest(*delta_exploit)));
+            t.set("factor", Value::Float(f32_shortest(*factor)));
+            t.set("warmup", Value::Int(*warmup as i64));
+            t.set("settle", Value::Float(f32_shortest(*settle)));
+            t.set("patience", Value::Int(*patience as i64));
+            t.set("var_ratio", Value::Float(f32_shortest(*var_ratio)));
+        }
     }
     t
 }
@@ -423,9 +451,19 @@ fn policy_from_table(t: &Table, ctx: &str) -> Result<PolicySpec, String> {
             patience: get_usize(t, "patience", ctx)?,
             spike: get_f64(t, "spike", ctx)? as f32,
         },
+        "variance" => PolicySpec::Variance {
+            delta_explore: get_f64(t, "delta_explore", ctx)? as f32,
+            delta_exploit: get_f64(t, "delta_exploit", ctx)? as f32,
+            factor: get_f64(t, "factor", ctx)? as f32,
+            warmup: get_usize(t, "warmup", ctx)?,
+            settle: get_f64(t, "settle", ctx)? as f32,
+            patience: get_usize(t, "patience", ctx)?,
+            var_ratio: get_f64(t, "var_ratio", ctx)? as f32,
+        },
         other => {
             return Err(format!(
-                "{ctx}: unknown policy kind {other:?} (expected fixed | schedule | adaptive)"
+                "{ctx}: unknown policy kind {other:?} \
+                 (expected fixed | schedule | adaptive | variance)"
             ))
         }
     };
@@ -456,6 +494,8 @@ impl Scenario {
             rejoin_pull: RejoinPull::WallClock,
             trace: TraceSpec::default(),
             comm_faults: None,
+            ps_faults: None,
+            checkpoint: None,
         }
     }
 
@@ -495,6 +535,8 @@ impl Scenario {
         cfg.algorithm = algorithm;
         cfg.rejoin_pull = self.rejoin_pull;
         cfg.comm_faults = self.comm_faults;
+        cfg.ps_faults = self.ps_faults.clone();
+        cfg.checkpoint = self.checkpoint.clone();
         cfg
     }
 
@@ -541,6 +583,12 @@ impl Scenario {
             cfg.effective_conditions()
                 .validate(self.workers, self.iterations)
                 .map_err(|e| format!("[comm_faults]: evictions break the schedule: {e}"))?;
+        }
+        if let Some(spec) = &self.ps_faults {
+            spec.validate().map_err(|e| format!("[ps_faults]: {e}"))?;
+        }
+        if let Some(ck) = &self.checkpoint {
+            ck.validate().map_err(|e| format!("[checkpoint]: {e}"))?;
         }
         Ok(())
     }
@@ -604,6 +652,47 @@ impl Scenario {
             cf.set("retry_budget", Value::Int(spec.retry_budget as i64));
             cf.set("timeout_s", Value::Float(spec.timeout_s));
             doc.sections.push(("comm_faults".to_string(), cf));
+        }
+
+        // Only serialized when present (omitted = perfectly reliable server), so
+        // pre-existing scenario dumps stay byte-identical. Windows serialize as
+        // parallel `window_starts` / `window_durations` arrays.
+        if let Some(spec) = &self.ps_faults {
+            let mut pf = Table::new();
+            pf.set("seed", Value::Int(spec.seed as i64));
+            pf.set(
+                "window_starts",
+                Value::Array(
+                    spec.windows
+                        .iter()
+                        .map(|&(start, _)| Value::Int(start as i64))
+                        .collect(),
+                ),
+            );
+            pf.set(
+                "window_durations",
+                Value::Array(
+                    spec.windows
+                        .iter()
+                        .map(|&(_, duration)| Value::Int(duration as i64))
+                        .collect(),
+                ),
+            );
+            pf.set("flaky", Value::Float(spec.flaky));
+            doc.sections.push(("ps_faults".to_string(), pf));
+        }
+
+        // Only serialized when present (omitted = no durable checkpoints). The
+        // `halt_after` kill switch is a runtime/CLI knob; it is still round-tripped
+        // when set so programmatic dumps stay lossless.
+        if let Some(ck) = &self.checkpoint {
+            let mut c = Table::new();
+            c.set("every", Value::Int(ck.every as i64));
+            c.set("dir", Value::Str(ck.dir.clone()));
+            if let Some(halt) = ck.halt_after {
+                c.set("halt_after", Value::Int(halt as i64));
+            }
+            doc.sections.push(("checkpoint".to_string(), c));
         }
 
         if let Some(sweep) = &self.sweep {
@@ -809,6 +898,57 @@ impl Scenario {
             None => None,
         };
 
+        let ps_faults = match doc.section("ps_faults") {
+            Some(pf) => {
+                let ctx = "[ps_faults]";
+                let starts = match pf.get("window_starts") {
+                    Some(_) => get_usize_array(pf, "window_starts", ctx)?,
+                    None => Vec::new(),
+                };
+                let durations = match pf.get("window_durations") {
+                    Some(_) => get_usize_array(pf, "window_durations", ctx)?,
+                    None => Vec::new(),
+                };
+                if starts.len() != durations.len() {
+                    return Err(format!(
+                        "{ctx}: window_starts ({} entries) and window_durations ({} entries) \
+                         must be parallel arrays of the same length",
+                        starts.len(),
+                        durations.len()
+                    ));
+                }
+                Some(PsFaultSpec {
+                    // The availability seed defaults to the scenario seed; give it
+                    // its own value to replay one run under different server weather.
+                    seed: match pf.get("seed") {
+                        None => seed,
+                        Some(_) => get_usize(pf, "seed", ctx)? as u64,
+                    },
+                    windows: starts.into_iter().zip(durations).collect(),
+                    flaky: match pf.get("flaky") {
+                        None => 0.0,
+                        Some(_) => get_f64(pf, "flaky", ctx)?,
+                    },
+                })
+            }
+            None => None,
+        };
+
+        let checkpoint = match doc.section("checkpoint") {
+            Some(c) => {
+                let ctx = "[checkpoint]";
+                Some(CheckpointSpec {
+                    every: get_usize(c, "every", ctx)?,
+                    dir: get_str(c, "dir", ctx)?.to_string(),
+                    halt_after: match c.get("halt_after") {
+                        None => None,
+                        Some(_) => Some(get_usize(c, "halt_after", ctx)?),
+                    },
+                })
+            }
+            None => None,
+        };
+
         let network = match doc.section("network") {
             Some(n) => NetworkSpec {
                 bandwidth_gbps: get_f64(n, "bandwidth_gbps", "[network]")?,
@@ -927,6 +1067,8 @@ impl Scenario {
             rejoin_pull,
             trace,
             comm_faults,
+            ps_faults,
+            checkpoint,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -979,7 +1121,18 @@ mod tests {
                     deltas: vec![0.0, 0.5],
                 },
                 PolicySpec::Fixed { delta: 0.25 },
+                PolicySpec::variance_default(),
             ],
+        });
+        s.ps_faults = Some(PsFaultSpec {
+            seed: 7,
+            windows: vec![(15, 5), (70, 3)],
+            flaky: 0.02,
+        });
+        s.checkpoint = Some(CheckpointSpec {
+            every: 25,
+            dir: "target/ckpt/unit-test".into(),
+            halt_after: None,
         });
         s
     }
@@ -1248,6 +1401,98 @@ mod tests {
             assert_eq!(model_from_name(model_name(kind)).unwrap(), kind);
         }
         assert!(model_from_name("gpt5").is_err());
+    }
+
+    #[test]
+    fn ps_faults_block_round_trips_and_defaults_to_reliable() {
+        // Default: a base scenario has no [ps_faults] section.
+        let base_text = Scenario::base("ps", 3, 50).to_toml_string();
+        assert!(!base_text.contains("[ps_faults]"), "{base_text}");
+
+        // The sample carries one: serialized as parallel arrays, round-trips, and
+        // reaches the train config.
+        let s = sample();
+        let text = s.to_toml_string();
+        assert!(text.contains("[ps_faults]"), "{text}");
+        assert!(text.contains("window_starts = [15, 70]"), "{text}");
+        assert!(text.contains("window_durations = [5, 3]"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s.ps_faults, parsed.ps_faults);
+        assert_eq!(text, parsed.to_toml_string());
+        let cfg = parsed.train_config(selsync::config::AlgorithmSpec::selsync(0.1));
+        assert_eq!(cfg.ps_faults, s.ps_faults);
+
+        // Omitted keys default: availability seed = scenario seed, no windows,
+        // flaky 0.
+        let minimal = format!("{base_text}[ps_faults]\nflaky = 0.1\n");
+        let spec = Scenario::from_toml_str(&minimal)
+            .unwrap()
+            .ps_faults
+            .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert!(spec.windows.is_empty());
+        assert_eq!(spec.flaky, 0.1);
+
+        // Mismatched parallel arrays and broken rates are rejected with the
+        // section name in the error.
+        let ragged = format!("{base_text}[ps_faults]\nwindow_starts = [5]\n");
+        assert!(Scenario::from_toml_str(&ragged)
+            .unwrap_err()
+            .contains("ps_faults"));
+        let bad_rate = format!("{base_text}[ps_faults]\nflaky = 1.5\n");
+        assert!(Scenario::from_toml_str(&bad_rate)
+            .unwrap_err()
+            .contains("ps_faults"));
+    }
+
+    #[test]
+    fn checkpoint_block_round_trips_and_defaults_to_disabled() {
+        // Default: a base scenario writes no checkpoints.
+        let base_text = Scenario::base("ck", 3, 50).to_toml_string();
+        assert!(!base_text.contains("[checkpoint]"), "{base_text}");
+
+        // The sample's block round-trips and reaches the train config.
+        let s = sample();
+        let text = s.to_toml_string();
+        assert!(text.contains("[checkpoint]"), "{text}");
+        assert!(text.contains("every = 25"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s.checkpoint, parsed.checkpoint);
+        assert_eq!(text, parsed.to_toml_string());
+        let cfg = parsed.train_config(selsync::config::AlgorithmSpec::selsync(0.1));
+        assert_eq!(cfg.checkpoint, s.checkpoint);
+
+        // halt_after (a runtime kill switch) still round-trips when set.
+        let mut halting = sample();
+        halting.checkpoint.as_mut().unwrap().halt_after = Some(40);
+        let text = halting.to_toml_string();
+        assert!(text.contains("halt_after = 40"), "{text}");
+        assert_eq!(Scenario::from_toml_str(&text).unwrap(), halting);
+
+        // A zero cadence or empty directory is rejected.
+        let bad = text.replace("every = 25", "every = 0");
+        assert!(Scenario::from_toml_str(&bad)
+            .unwrap_err()
+            .contains("checkpoint"));
+        let mut no_dir = sample();
+        no_dir.checkpoint.as_mut().unwrap().dir = String::new();
+        assert!(no_dir.validate().is_err());
+    }
+
+    #[test]
+    fn variance_policy_round_trips() {
+        let s = sample();
+        let text = s.to_toml_string();
+        assert!(text.contains("kind = \"variance\""), "{text}");
+        assert!(text.contains("var_ratio"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s.sweep, parsed.sweep);
+        assert!(parsed
+            .sweep
+            .unwrap()
+            .policies
+            .iter()
+            .any(|p| matches!(p, PolicySpec::Variance { .. })));
     }
 
     #[test]

@@ -177,6 +177,13 @@ pub fn rescale_fault_windows(scenario: &mut Scenario, iterations: usize) {
             }
         }
     }
+    // PS outage windows are iteration-keyed exactly like worker fault windows.
+    if let Some(spec) = &mut scenario.ps_faults {
+        for (start, duration) in &mut spec.windows {
+            *start = scale(*start);
+            *duration = scale(*duration).max(1);
+        }
+    }
     scenario.iterations = iterations;
 }
 
@@ -216,6 +223,9 @@ pub fn quick_variant(scenario: &Scenario) -> Scenario {
                 }
             }
             PolicySpec::Adaptive {
+                warmup, patience, ..
+            }
+            | PolicySpec::Variance {
                 warmup, patience, ..
             } => {
                 // `patience ≥ 1` is a validation requirement; a non-zero warmup keeps
@@ -270,6 +280,10 @@ pub fn run_sweep(scenario: &Scenario) -> Result<SweepReport, String> {
                 }
             };
             cfg.seed = seeds[s];
+            // Sweep points run concurrently and checkpoint paths are keyed by round
+            // only; arms writing into one directory would race. Durable checkpoints
+            // belong to single runs (`scenario_run` / `scenario_replay`), not sweeps.
+            cfg.checkpoint = None;
             // One replayable event log per arm: its first-seed run (bounded memory).
             let traced = scenario.trace.enabled && s == 0;
             if traced {

@@ -209,6 +209,22 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             round: get("round")?.as_usize("round")?,
             worker: get("worker")?.as_usize("worker")?,
         }),
+        "ps_down" => Ok(Event::PsDown {
+            round: get("round")?.as_usize("round")?,
+        }),
+        "ps_up" => Ok(Event::PsUp {
+            round: get("round")?.as_usize("round")?,
+        }),
+        "degraded_round" => Ok(Event::DegradedRound {
+            round: get("round")?.as_usize("round")?,
+            delta: get("delta")?.as_f32("delta")?,
+            loss: get("loss")?.as_f32("loss")?,
+            delta_g: get("delta_g")?.as_f32("delta_g")?,
+        }),
+        "catchup_sync" => Ok(Event::CatchupSync {
+            round: get("round")?.as_usize("round")?,
+            behind: get("behind")?.as_usize("behind")?,
+        }),
         other => Err(format!("unknown event kind `{other}`")),
     }
 }
@@ -452,6 +468,18 @@ mod tests {
             Event::CommEvict {
                 round: 11,
                 worker: 2,
+            },
+            Event::PsDown { round: 16 },
+            Event::PsUp { round: 19 },
+            Event::DegradedRound {
+                round: 17,
+                delta: 0.055,
+                loss: 0.912,
+                delta_g: 0.033,
+            },
+            Event::CatchupSync {
+                round: 19,
+                behind: 3,
             },
         ]
     }

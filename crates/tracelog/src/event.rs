@@ -192,6 +192,26 @@ pub enum Event {
     /// cluster membership — the comm-fault analogue of a scheduled crash with no
     /// rejoin.
     CommEvict { round: usize, worker: usize },
+    /// The parameter server became unreachable at this round (the first round of a
+    /// `[ps_faults]` outage window or brownout).
+    PsDown { round: usize },
+    /// The parameter server came back at this round (the first reachable round
+    /// after an outage) — this round runs the catch-up sync.
+    PsUp { round: usize },
+    /// A degraded, forced-local round while the PS was down: no sync decision was
+    /// possible, every present worker trained locally. Replaces the `Round` event
+    /// for that round; `delta` is the δ the policy would have used, `loss`/`delta_g`
+    /// are the local signal fed to the policy so regime state stays coherent.
+    DegradedRound {
+        round: usize,
+        delta: f32,
+        loss: f32,
+        delta_g: f32,
+    },
+    /// The first sync after a PS outage: synchronization is forced for every present
+    /// worker, reconciling the `behind` accumulated local-only rounds through the
+    /// elastic aggregation machinery.
+    CatchupSync { round: usize, behind: usize },
 }
 
 impl Event {
@@ -206,7 +226,11 @@ impl Event {
             | Event::Round { round, .. }
             | Event::RegimeSwitch { round, .. }
             | Event::CommRetry { round, .. }
-            | Event::CommEvict { round, .. } => Some(*round),
+            | Event::CommEvict { round, .. }
+            | Event::PsDown { round }
+            | Event::PsUp { round }
+            | Event::DegradedRound { round, .. }
+            | Event::CatchupSync { round, .. } => Some(*round),
         }
     }
 
@@ -222,6 +246,10 @@ impl Event {
             Event::RegimeSwitch { .. } => "switch",
             Event::CommRetry { .. } => "comm_retry",
             Event::CommEvict { .. } => "comm_evict",
+            Event::PsDown { .. } => "ps_down",
+            Event::PsUp { .. } => "ps_up",
+            Event::DegradedRound { .. } => "degraded_round",
+            Event::CatchupSync { .. } => "catchup_sync",
         }
     }
 
@@ -237,6 +265,10 @@ impl Event {
             Event::RegimeSwitch { .. } => 6,
             Event::CommRetry { .. } => 7,
             Event::CommEvict { .. } => 8,
+            Event::PsDown { .. } => 9,
+            Event::PsUp { .. } => 10,
+            Event::DegradedRound { .. } => 11,
+            Event::CatchupSync { .. } => 12,
         }
     }
 
@@ -375,6 +407,23 @@ impl Event {
             ],
             Event::CommEvict { round, worker } => {
                 vec![("round", round.to_string()), ("worker", worker.to_string())]
+            }
+            Event::PsDown { round } | Event::PsUp { round } => {
+                vec![("round", round.to_string())]
+            }
+            Event::DegradedRound {
+                round,
+                delta,
+                loss,
+                delta_g,
+            } => vec![
+                ("round", round.to_string()),
+                ("delta", f32s(*delta)),
+                ("loss", f32s(*loss)),
+                ("delta_g", f32s(*delta_g)),
+            ],
+            Event::CatchupSync { round, behind } => {
+                vec![("round", round.to_string()), ("behind", behind.to_string())]
             }
         }
     }

@@ -52,7 +52,10 @@ impl TraceSink {
         if inner.granularity == TraceGranularity::Rounds
             && !matches!(
                 event,
-                Event::Header { .. } | Event::Membership { .. } | Event::Round { .. }
+                Event::Header { .. }
+                    | Event::Membership { .. }
+                    | Event::Round { .. }
+                    | Event::DegradedRound { .. }
             )
         {
             return;
@@ -78,6 +81,34 @@ impl TraceSink {
         };
         log.canonical_sort();
         log
+    }
+
+    /// A canonically ordered copy of everything recorded so far, *without*
+    /// draining the buffer — the checkpoint writers use this to persist the trace
+    /// prefix mid-run while recording continues.
+    pub fn snapshot_log(&self) -> EventLog {
+        let mut log = EventLog {
+            events: match &self.inner {
+                Some(inner) => inner.events.lock().expect("trace sink poisoned").clone(),
+                None => Vec::new(),
+            },
+        };
+        log.canonical_sort();
+        log
+    }
+
+    /// Seed the buffer with previously recorded events (a resumed run's trace
+    /// prefix). No-op when disabled. The prefix must already be canonically sorted
+    /// (checkpoints store it that way); the final stable `take_log` sort then keeps
+    /// it byte-identical to an uninterrupted run's log.
+    pub fn preload(&self, events: Vec<Event>) {
+        let Some(inner) = &self.inner else { return };
+        let mut buf = inner.events.lock().expect("trace sink poisoned");
+        assert!(
+            buf.is_empty(),
+            "preload must run before any event is recorded"
+        );
+        *buf = events;
     }
 }
 
@@ -152,5 +183,45 @@ mod tests {
         });
         let kinds: Vec<&str> = sink.take_log().events.iter().map(Event::kind).collect();
         assert_eq!(kinds, vec!["membership", "round"]);
+    }
+
+    #[test]
+    fn rounds_granularity_keeps_degraded_rounds() {
+        let sink = TraceSink::capture(TraceGranularity::Rounds);
+        sink.record(Event::DegradedRound {
+            round: 2,
+            delta: 0.1,
+            loss: 1.0,
+            delta_g: 0.2,
+        });
+        sink.record(Event::PsDown { round: 2 });
+        let kinds: Vec<&str> = sink.take_log().events.iter().map(Event::kind).collect();
+        assert_eq!(kinds, vec!["degraded_round"]);
+    }
+
+    #[test]
+    fn snapshot_does_not_drain_and_preload_seeds_the_prefix() {
+        let sink = TraceSink::capture(TraceGranularity::Full);
+        sink.record(Event::Round {
+            round: 0,
+            delta: 0.1,
+            flags: vec![true],
+            synced: true,
+        });
+        let snap = sink.snapshot_log();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(sink.take_log().events.len(), 1, "snapshot must not drain");
+
+        let resumed = TraceSink::capture(TraceGranularity::Full);
+        resumed.preload(snap.events.clone());
+        resumed.record(Event::Round {
+            round: 1,
+            delta: 0.1,
+            flags: vec![true],
+            synced: false,
+        });
+        let log = resumed.take_log();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0], snap.events[0]);
     }
 }
