@@ -1,0 +1,324 @@
+//! Run a scenario's SelSync arm as a real multi-process cluster — one OS process
+//! per worker plus a parameter-server hub process — over the socket transport,
+//! then verify the merged event log against the in-process simulator.
+//!
+//! ```text
+//! scenario_cluster crash-rejoin                  # built-in, UDS hub socket
+//! scenario_cluster flaky-links --workers 4       # override the worker count
+//! scenario_cluster crash-rejoin --iterations 60  # shorter smoke run
+//! scenario_cluster steady --trace merged.jsonl   # write the merged event log
+//! scenario_cluster flaky-links --check           # exit 1 unless byte-identical
+//! scenario_cluster custom.toml                   # scenario file; a
+//!                                                # [scenario] transport =
+//!                                                # "socket" block may pick TCP
+//! ```
+//!
+//! The orchestrator writes the resolved scenario to a run directory, spawns
+//! itself once per role (`--role hub` / `--role worker --index I`), waits for
+//! every process, merges the per-process trace shards with
+//! [`selsync_tracelog::EventLog::merge`], and runs the sequential simulator on
+//! the same scenario in-process. The verdict compares:
+//!
+//! * the **merged event log** against the simulator's, byte for byte, and
+//! * each worker's **synchronization schedule** against the simulator's
+//!   schedule restricted to the rounds that worker was present.
+//!
+//! Timing and accuracy metrics (simulated seconds, eval history) are cost-model
+//! quantities only the simulator computes — the cluster reports schedule-level
+//! facts (docs/TRANSPORT.md).
+
+use selsync::config::AlgorithmSpec;
+use selsync::process::{
+    decode_worker_report, encode_worker_report, run_process_hub, run_process_worker,
+};
+use selsync_comm::socket::SocketAddrSpec;
+use selsync_scenario::{builtin, Scenario, TransportSpec, BUILTIN_NAMES};
+use selsync_tracelog::{EventLog, TraceGranularity, TraceSink};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario_cluster <builtin-name | file.toml> [--workers N] [--seed N]\n\
+         \x20                       [--iterations N] [--trace FILE] [--check]\n\
+         built-ins: {}",
+        BUILTIN_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn load(spec: &str) -> Result<Scenario, String> {
+    if spec.ends_with(".toml") {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        Scenario::from_toml_str(&text)
+    } else {
+        builtin(spec).ok_or_else(|| {
+            format!("unknown built-in scenario {spec:?} (pass a .toml file for custom runs)")
+        })
+    }
+}
+
+/// The training configuration every process (and the reference simulator)
+/// derives from the scenario: the SelSync arm with full trace capture.
+fn cluster_config(scenario: &Scenario) -> selsync::config::TrainConfig {
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
+    cfg.trace = TraceSink::capture(TraceGranularity::Full);
+    cfg
+}
+
+/// Child-process entry: run one role against the hub socket and write the
+/// role's output file (`hub`: the trace shard; `worker`: the report line
+/// followed by the shard). Never returns to the orchestrator path.
+fn run_child(role: &str, index: usize, scenario_path: &str, socket: &str, out: &str) -> ! {
+    let scenario = match load(scenario_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: child could not load scenario: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = cluster_config(&scenario);
+    let addr = SocketAddrSpec::parse(socket);
+    let output = match role {
+        "hub" => run_process_hub(&cfg, &addr),
+        "worker" => {
+            let (report, shard) = run_process_worker(&cfg, index, &addr);
+            format!("{}\n{shard}", encode_worker_report(&report))
+        }
+        other => {
+            eprintln!("error: unknown role {other:?}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(out, output) {
+        eprintln!("error: child could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn spawn_role(
+    scenario_path: &Path,
+    socket: &str,
+    run_dir: &Path,
+    role: &str,
+    index: usize,
+) -> (std::process::Child, PathBuf) {
+    let out = run_dir.join(format!("{role}{index}.out"));
+    let exe = std::env::current_exe().expect("current_exe");
+    let child = Command::new(exe)
+        .arg("--role")
+        .arg(role)
+        .arg("--index")
+        .arg(index.to_string())
+        .arg("--scenario")
+        .arg(scenario_path)
+        .arg("--socket")
+        .arg(socket)
+        .arg("--out")
+        .arg(&out)
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn {role} {index}: {e}"));
+    (child, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    // Hidden child mode: the orchestrator re-invokes this binary per role.
+    if args[0] == "--role" {
+        let mut role = None;
+        let mut index = 0usize;
+        let mut scenario_path = None;
+        let mut socket = None;
+        let mut out = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--role" => role = args.get(i + 1).cloned(),
+                "--index" => index = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(0),
+                "--scenario" => scenario_path = args.get(i + 1).cloned(),
+                "--socket" => socket = args.get(i + 1).cloned(),
+                "--out" => out = args.get(i + 1).cloned(),
+                _ => {}
+            }
+            i += 2;
+        }
+        let (Some(role), Some(scenario_path), Some(socket), Some(out)) =
+            (role, scenario_path, socket, out)
+        else {
+            eprintln!("error: incomplete child invocation");
+            std::process::exit(1);
+        };
+        run_child(&role, index, &scenario_path, &socket, &out);
+    }
+
+    let mut scenario = match load(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut trace_out: Option<String> = None;
+    let mut check = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                scenario.workers = v.parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                scenario.seed = v.parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--iterations" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                scenario.iterations = v.parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--trace" => {
+                trace_out = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    if let Err(e) = scenario.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if scenario.checkpoint.is_some() {
+        eprintln!("error: the multi-process backend does not support [checkpoint] scenarios");
+        std::process::exit(1);
+    }
+
+    let n = scenario.workers;
+    let run_dir = std::env::temp_dir().join(format!(
+        "selsync-cluster-{}-{}",
+        scenario.name,
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&run_dir).expect("create run dir");
+    // Children re-parse the resolved scenario from disk, so the file round trip
+    // — not argument forwarding — is the single source of configuration truth.
+    let scenario_path = run_dir.join("scenario.toml");
+    std::fs::write(&scenario_path, scenario.to_toml_string()).expect("write scenario file");
+    let socket = match &scenario.transport {
+        TransportSpec::Socket { addr: Some(addr) } => addr.clone(),
+        _ => run_dir.join("hub.sock").to_string_lossy().into_owned(),
+    };
+
+    eprintln!(
+        "cluster: {} workers + hub over {} ({})",
+        n,
+        socket,
+        if socket.contains(':') { "tcp" } else { "uds" },
+    );
+    let mut children = Vec::new();
+    children.push(spawn_role(&scenario_path, &socket, &run_dir, "hub", 0));
+    for w in 0..n {
+        children.push(spawn_role(&scenario_path, &socket, &run_dir, "worker", w));
+    }
+    let mut outputs = Vec::new();
+    for (mut child, out) in children {
+        let status = child.wait().expect("wait for child");
+        if !status.success() {
+            eprintln!(
+                "error: cluster process for {} failed ({status})",
+                out.display()
+            );
+            std::process::exit(1);
+        }
+        outputs.push(std::fs::read_to_string(&out).expect("read child output"));
+    }
+
+    // outputs[0] is the hub shard; outputs[1..] are "report\nshard" per worker.
+    let mut shards = vec![EventLog::decode(&outputs[0]).expect("hub shard decodes")];
+    let mut reports = Vec::new();
+    for text in &outputs[1..] {
+        let (report_line, shard) = text
+            .split_once('\n')
+            .expect("worker output has a report line");
+        reports.push(decode_worker_report(report_line).expect("worker report decodes"));
+        shards.push(EventLog::decode(shard).expect("worker shard decodes"));
+    }
+    reports.sort_by_key(|r| r.worker);
+    let merged = EventLog::merge(shards).encode();
+
+    // Reference: the sequential simulator on the same scenario, in-process.
+    let cfg = cluster_config(&scenario);
+    let sim_report = selsync::algorithms::run(&cfg);
+    let sim_trace = cfg.trace.take_log().encode();
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, &merged).expect("write merged trace");
+        eprintln!("merged event log written to {path}");
+    }
+
+    let effective = cfg.effective_conditions();
+    let mut divergences = Vec::new();
+    if merged != sim_trace {
+        let first = merged
+            .lines()
+            .zip(sim_trace.lines())
+            .position(|(a, b)| a != b)
+            .map(|at| format!("first differing line {}", at + 1))
+            .unwrap_or_else(|| "different line counts".to_string());
+        divergences.push(format!("merged event log != simulator log ({first})"));
+    }
+    for r in &reports {
+        let expected: Vec<usize> = sim_report
+            .sync_rounds
+            .iter()
+            .copied()
+            .filter(|&round| effective.is_present(r.worker, round))
+            .collect();
+        if r.sync_rounds != expected {
+            divergences.push(format!(
+                "worker {} schedule {:?} != simulator's {:?}",
+                r.worker, r.sync_rounds, expected
+            ));
+        }
+    }
+
+    println!(
+        "# scenario: {} (seed {}) — multi-process cluster, {} workers",
+        scenario.name, scenario.seed, n
+    );
+    for r in &reports {
+        println!(
+            "worker {:2}: {:3} sync / {:3} local rounds, final loss {:.5}",
+            r.worker, r.sync_steps, r.local_steps, r.final_loss
+        );
+    }
+    println!(
+        "simulator: {} sync / {} local rounds, {} trace events",
+        sim_report.sync_steps,
+        sim_report.local_steps,
+        sim_trace.lines().count()
+    );
+    if divergences.is_empty() {
+        println!("parity: OK — merged log byte-identical to the simulator's");
+        std::fs::remove_dir_all(&run_dir).ok();
+    } else {
+        println!("parity: DIVERGED");
+        for d in &divergences {
+            println!("  - {d}");
+        }
+        eprintln!("run artifacts kept in {}", run_dir.display());
+        if check {
+            std::process::exit(1);
+        }
+    }
+}

@@ -300,6 +300,7 @@ fn main() {
             every: every.unwrap_or_else(|| halt_after.expect("halt set") + 1),
             dir: ckpt_dir.unwrap_or_else(|| format!("target/replay-ckpt/{}", scenario.name)),
             halt_after,
+            keep: None,
         }),
     };
     let spec = RunSpec {

@@ -30,7 +30,7 @@ use selsync_tracelog::TraceSink;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario_run <builtin-name | file.toml> [--seed N] [--out FILE] [--trace FILE]\n\
-         \x20                   [--ckpt-every N] [--ckpt-dir DIR] [--halt ROUND]\n\
+         \x20                   [--ckpt-every N] [--ckpt-dir DIR] [--ckpt-keep N] [--halt ROUND]\n\
          \x20                   [--resume CKPT]\n\
          \x20      scenario_run --list\n\
          \x20      scenario_run --dump <builtin-name>\n\
@@ -84,6 +84,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut ckpt_every: Option<usize> = None;
     let mut ckpt_dir: Option<String> = None;
+    let mut ckpt_keep: Option<usize> = None;
     let mut halt: Option<usize> = None;
     let mut resume: Option<String> = None;
     let mut i = 1;
@@ -114,6 +115,11 @@ fn main() {
                 ckpt_dir = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
+            "--ckpt-keep" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                ckpt_keep = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--halt" => {
                 let v = args.get(i + 1).unwrap_or_else(|| usage());
                 halt = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -130,8 +136,8 @@ fn main() {
     // arm writes recovery images (the baseline arms have no recovery contract).
     match (ckpt_every, halt) {
         (None, None) => {
-            if ckpt_dir.is_some() {
-                eprintln!("error: --ckpt-dir needs --ckpt-every (or --halt)");
+            if ckpt_dir.is_some() || ckpt_keep.is_some() {
+                eprintln!("error: --ckpt-dir/--ckpt-keep need --ckpt-every (or --halt)");
                 std::process::exit(2);
             }
         }
@@ -141,6 +147,7 @@ fn main() {
                 every: every.unwrap_or_else(|| halt_after.expect("halt set") + 1),
                 dir: ckpt_dir.unwrap_or_else(|| format!("target/checkpoints/{}", scenario.name)),
                 halt_after,
+                keep: ckpt_keep,
             });
         }
     }
@@ -157,11 +164,11 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if ckpt.backend != "sim" {
+        if ckpt.backend != "sim" && ckpt.backend != "threaded" {
             eprintln!(
-                "error: checkpoint {path} was written by the {:?} backend; \
-                 scenario_run resumes simulator checkpoints (use scenario_replay \
-                 --backend threaded --resume for threaded ones)",
+                "error: checkpoint {path} was written by the unknown {:?} backend; \
+                 scenario_run resumes simulator checkpoints directly and threaded \
+                 ones via cross-backend translation (docs/RECOVERY.md)",
                 ckpt.backend
             );
             std::process::exit(1);

@@ -60,6 +60,11 @@ pub struct CommFaultSpec {
     pub corrupt: f64,
     /// Probability a leg delivers its frame late (still within the timeout).
     pub delay: f64,
+    /// Maximum number of *rounds* a delayed frame may arrive late. `0` keeps
+    /// the historical semantics (late within the round, reordered after
+    /// punctual frames). The hub's dedupe horizon widens to cover this, so a
+    /// stale duplicate can never outlive the window that remembers it.
+    pub delay_rounds: u64,
     /// Maximum attempts per logical operation (≥ 1). A worker that exhausts the
     /// budget on every envelope of a round is declared dead and evicted.
     pub retry_budget: u32,
@@ -79,6 +84,7 @@ impl CommFaultSpec {
             duplicate: 0.0,
             corrupt: 0.0,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 1,
             timeout_s: 5.0e-3,
         }
@@ -124,7 +130,7 @@ impl CommFaultSpec {
 
     /// One-line human summary of the weather, for scenario reports and logs.
     pub fn describe(&self) -> String {
-        format!(
+        let mut out = format!(
             "link weather (seed {}): drop {:.1}% / corrupt {:.1}% / duplicate {:.1}% / delay {:.1}% per leg, {} attempts, {} ms timeout",
             self.seed,
             self.drop * 100.0,
@@ -133,7 +139,14 @@ impl CommFaultSpec {
             self.delay * 100.0,
             self.retry_budget,
             self.timeout_s * 1e3,
-        )
+        );
+        if self.delay_rounds > 0 {
+            out.push_str(&format!(
+                ", delays up to {} round(s) late",
+                self.delay_rounds
+            ));
+        }
+        out
     }
 }
 
@@ -387,6 +400,7 @@ mod tests {
             duplicate: 0.1,
             corrupt: 0.1,
             delay: 0.1,
+            delay_rounds: 0,
             retry_budget: 4,
             timeout_s: 1.0e-2,
         }
@@ -606,6 +620,7 @@ mod tests {
                 duplicate: 0.0,
                 corrupt,
                 delay: 0.0,
+                delay_rounds: 0,
                 retry_budget: budget,
                 timeout_s: 1.0e-3,
             };

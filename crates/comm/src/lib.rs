@@ -32,6 +32,9 @@
 //! * [`faults`] — the deterministic per-link fault schedule (`[comm_faults]`):
 //!   drop/duplicate/corrupt/delay weather as a pure hash of
 //!   `(seed, worker, round, attempt, leg)`, plus retry budget and backoff.
+//! * [`socket`] — a real OS-socket transport (Unix domain sockets by default, TCP by
+//!   address) behind the same [`transport::Transport`] seam, plus the hub-side frame
+//!   server and blocking RPC channel the multi-process backend runs on.
 
 pub mod cluster;
 pub mod collective;
@@ -39,6 +42,7 @@ pub mod faults;
 pub mod netmodel;
 pub mod ps;
 pub mod rounds;
+pub mod socket;
 pub mod transport;
 pub mod wire;
 
@@ -46,6 +50,7 @@ pub use collective::{Collective, ScalarOp};
 pub use faults::{CommFaultSchedule, CommFaultSpec, PsFaultSchedule, PsFaultSpec};
 pub use netmodel::NetworkModel;
 pub use ps::ParameterServer;
+pub use socket::{HubClient, HubServer, RpcService, SocketAddrSpec, SocketConn, SocketTransport};
 pub use transport::{
     Delivery, Evicted, ExchangeOutcome, FaultyTransport, Link, LosslessTransport, MessageLayer,
     PsExchangeError, Transport,

@@ -71,15 +71,25 @@ impl Transport for LosslessTransport {
     }
 }
 
-/// A decorator applying the deterministic fault schedule to every delivery.
-#[derive(Debug, Clone, Copy)]
+/// A decorator applying the deterministic fault schedule on top of an inner
+/// transport. Over [`LosslessTransport`] this reproduces the historical
+/// in-memory faulty behavior bit for bit; over a socket transport the same
+/// weather perturbs real frames — dropped legs never touch the wire, corrupted
+/// legs flip a byte of whatever the inner transport actually delivered.
 pub struct FaultyTransport {
     schedule: CommFaultSchedule,
+    inner: Box<dyn Transport>,
 }
 
 impl FaultyTransport {
+    /// Weather over the perfect in-memory network.
     pub fn new(schedule: CommFaultSchedule) -> Self {
-        FaultyTransport { schedule }
+        FaultyTransport::over(schedule, Box::new(LosslessTransport))
+    }
+
+    /// Weather composed over an arbitrary inner transport.
+    pub fn over(schedule: CommFaultSchedule, inner: Box<dyn Transport>) -> Self {
+        FaultyTransport { schedule, inner }
     }
 
     /// The schedule driving this transport.
@@ -94,41 +104,41 @@ impl Transport for FaultyTransport {
             .schedule
             .leg_fate(link.worker, link.round, link.attempt, link.leg)
         {
-            Fate::Deliver => vec![Delivery {
-                frame: frame.to_vec(),
-                delayed: false,
-            }],
+            Fate::Deliver => self.inner.deliver(link, frame),
             Fate::Drop => vec![],
             Fate::Corrupt => {
-                // Deterministic corruption: flip one byte picked by the leg hash.
-                let mut bad = frame.to_vec();
-                if !bad.is_empty() {
-                    let idx =
-                        (self
-                            .schedule
-                            .leg_hash(link.worker, link.round, link.attempt, link.leg)
-                            % bad.len() as u64) as usize;
-                    bad[idx] ^= 0xA5;
+                // Deterministic corruption: flip one byte picked by the leg hash
+                // in every frame the inner transport delivered.
+                let hash = self
+                    .schedule
+                    .leg_hash(link.worker, link.round, link.attempt, link.leg);
+                let mut deliveries = self.inner.deliver(link, frame);
+                for delivery in &mut deliveries {
+                    if !delivery.frame.is_empty() {
+                        let idx = (hash % delivery.frame.len() as u64) as usize;
+                        delivery.frame[idx] ^= 0xA5;
+                    }
                 }
-                vec![Delivery {
-                    frame: bad,
-                    delayed: false,
-                }]
+                deliveries
             }
-            Fate::Duplicate => vec![
-                Delivery {
-                    frame: frame.to_vec(),
-                    delayed: false,
-                },
-                Delivery {
-                    frame: frame.to_vec(),
-                    delayed: true,
-                },
-            ],
-            Fate::Delay => vec![Delivery {
-                frame: frame.to_vec(),
-                delayed: true,
-            }],
+            Fate::Duplicate => {
+                let base = self.inner.deliver(link, frame);
+                let copies: Vec<Delivery> = base
+                    .iter()
+                    .map(|d| Delivery {
+                        frame: d.frame.clone(),
+                        delayed: true,
+                    })
+                    .collect();
+                base.into_iter().chain(copies).collect()
+            }
+            Fate::Delay => {
+                let mut deliveries = self.inner.deliver(link, frame);
+                for delivery in &mut deliveries {
+                    delivery.delayed = true;
+                }
+                deliveries
+            }
         }
     }
 }
@@ -140,14 +150,32 @@ pub const DEDUPE_DEPTH_ROUNDS: u64 = 64;
 
 /// The hub-side idempotent receiver: remembers which envelope identities it has
 /// already processed, keyed by round so memory stays bounded.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Hub {
     /// Seen identities per round (BTreeMap so pruning walks old rounds in order).
     seen: BTreeMap<u64, HashSet<(u8, u32)>>,
     max_round: u64,
+    /// Prune horizon in rounds. Must cover the maximum configured delivery
+    /// delay: a duplicate re-delivered `delay_rounds` late must still find its
+    /// identity in the cache, or it would be processed as fresh.
+    depth: u64,
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Hub::with_depth(DEDUPE_DEPTH_ROUNDS)
+    }
 }
 
 impl Hub {
+    fn with_depth(depth: u64) -> Self {
+        Hub {
+            seen: BTreeMap::new(),
+            max_round: 0,
+            depth,
+        }
+    }
+
     /// Accept an envelope. Returns `true` the first time this identity is seen,
     /// `false` for duplicates/replays (which are acknowledged but not reprocessed).
     fn accept(&mut self, id: EnvelopeId) -> bool {
@@ -157,7 +185,7 @@ impl Hub {
             .entry(id.round)
             .or_default()
             .insert((id.kind.as_u8(), id.sender));
-        let horizon = self.max_round.saturating_sub(DEDUPE_DEPTH_ROUNDS);
+        let horizon = self.max_round.saturating_sub(self.depth);
         while let Some((&oldest, _)) = self.seen.iter().next() {
             if oldest >= horizon {
                 break;
@@ -244,11 +272,19 @@ impl MessageLayer {
 
     /// A layer over the faulty network described by `schedule`.
     pub fn faulty(schedule: CommFaultSchedule) -> Self {
-        let retry_budget = schedule.spec().retry_budget;
+        MessageLayer::faulty_over(schedule, Box::new(LosslessTransport))
+    }
+
+    /// A layer applying `schedule`'s weather over an arbitrary inner transport
+    /// (the socket backend composes the same fault decorator over real links).
+    /// The dedupe horizon widens to cover the spec's `delay_rounds`, so a
+    /// duplicate re-delivered that late still hits the cache.
+    pub fn faulty_over(schedule: CommFaultSchedule, inner: Box<dyn Transport>) -> Self {
+        let spec = *schedule.spec();
         MessageLayer {
-            transport: Box::new(FaultyTransport::new(schedule)),
-            retry_budget,
-            hub: Mutex::new(Hub::default()),
+            transport: Box::new(FaultyTransport::over(schedule, inner)),
+            retry_budget: spec.retry_budget,
+            hub: Mutex::new(Hub::with_depth(DEDUPE_DEPTH_ROUNDS.max(spec.delay_rounds))),
             ps_outages: None,
         }
     }
@@ -453,6 +489,7 @@ mod tests {
             duplicate: 0.1,
             corrupt: 0.15,
             delay: 0.1,
+            delay_rounds: 0,
             retry_budget: 5,
             timeout_s: 1e-3,
         };
@@ -491,6 +528,7 @@ mod tests {
             duplicate: 0.0,
             corrupt: 1.0,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 3,
             timeout_s: 1e-3,
         };
@@ -509,6 +547,7 @@ mod tests {
             duplicate: 1.0,
             corrupt: 0.0,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 1,
             timeout_s: 1e-3,
         };
@@ -538,6 +577,85 @@ mod tests {
         assert!(!hub.accept(id(DEDUPE_DEPTH_ROUNDS + 10)));
     }
 
+    #[test]
+    fn dedupe_depth_respects_configured_delay_rounds() {
+        // Regression: with the fixed 64-round horizon, a duplicate delayed
+        // longer than the horizon was pruned from the cache and re-processed as
+        // fresh. The horizon must widen to the configured maximum delay.
+        let late = DEDUPE_DEPTH_ROUNDS + 10;
+        let id = |round| EnvelopeId {
+            kind: MsgKind::Flags,
+            round,
+            sender: 0,
+        };
+        // The buggy shape: default depth forgets round 0 once round `late` lands.
+        let mut narrow = Hub::with_depth(DEDUPE_DEPTH_ROUNDS);
+        assert!(narrow.accept(id(0)));
+        assert!(narrow.accept(id(late)));
+        assert!(
+            narrow.accept(id(0)),
+            "a replay past the narrow horizon is (wrongly) treated as fresh"
+        );
+        // Widened to cover the delay, the same replay hits the cache.
+        let mut wide = Hub::with_depth(late);
+        assert!(wide.accept(id(0)));
+        assert!(wide.accept(id(late)));
+        assert!(
+            !wide.accept(id(0)),
+            "a horizon covering the configured delay must absorb the replay"
+        );
+    }
+
+    #[test]
+    fn faulty_layer_widens_dedupe_to_cover_configured_delays() {
+        let mut spec = CommFaultSpec::lossless(13);
+        spec.delay = 0.2;
+        spec.delay_rounds = DEDUPE_DEPTH_ROUNDS + 100;
+        let layer = MessageLayer::faulty(CommFaultSchedule::new(spec));
+        assert_eq!(layer.hub.lock().depth, DEDUPE_DEPTH_ROUNDS + 100);
+        let short = MessageLayer::faulty(CommFaultSchedule::new(CommFaultSpec::lossless(13)));
+        assert_eq!(short.hub.lock().depth, DEDUPE_DEPTH_ROUNDS);
+    }
+
+    #[test]
+    fn faulty_decorator_over_lossless_matches_the_direct_form() {
+        let spec = CommFaultSpec {
+            seed: 31,
+            drop: 0.25,
+            duplicate: 0.2,
+            corrupt: 0.2,
+            delay: 0.2,
+            delay_rounds: 0,
+            retry_budget: 4,
+            timeout_s: 1e-3,
+        };
+        let direct = FaultyTransport::new(CommFaultSchedule::new(spec));
+        let composed =
+            FaultyTransport::over(CommFaultSchedule::new(spec), Box::new(LosslessTransport));
+        let frame = Envelope {
+            kind: MsgKind::Flags,
+            round: 0,
+            sender: 0,
+            payload: vec![7; 9],
+        }
+        .encode();
+        for worker in 0..4 {
+            for round in 0..32u64 {
+                for attempt in 0..4 {
+                    for leg in [Leg::Request, Leg::Response] {
+                        let l = Link {
+                            worker,
+                            round,
+                            attempt,
+                            leg,
+                        };
+                        assert_eq!(direct.deliver(l, &frame), composed.deliver(l, &frame));
+                    }
+                }
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -558,6 +676,7 @@ mod tests {
                 duplicate,
                 corrupt,
                 delay: 0.0,
+                delay_rounds: 0,
                 retry_budget: budget,
                 timeout_s: 1e-3,
             };

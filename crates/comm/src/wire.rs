@@ -44,6 +44,10 @@ pub enum MsgKind {
     VecReduce,
     /// Hub acknowledgement of a received envelope.
     Ack,
+    /// A blocking remote-procedure call to the hub process (socket backend):
+    /// the payload carries an op tag plus its arguments, and the hub answers
+    /// with an `Rpc` envelope carrying the result.
+    Rpc,
 }
 
 impl MsgKind {
@@ -57,6 +61,7 @@ impl MsgKind {
             MsgKind::ScalarReduce => 4,
             MsgKind::VecReduce => 5,
             MsgKind::Ack => 6,
+            MsgKind::Rpc => 7,
         }
     }
 
@@ -70,6 +75,7 @@ impl MsgKind {
             4 => MsgKind::ScalarReduce,
             5 => MsgKind::VecReduce,
             6 => MsgKind::Ack,
+            7 => MsgKind::Rpc,
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -204,6 +210,75 @@ impl Envelope {
     }
 }
 
+/// Upper bound on a single frame's body length. Byte-stream corruption of the
+/// length prefix must not make the decoder buffer gigabytes waiting for a frame
+/// that will never complete; the largest legitimate frame is a full parameter
+/// vector, orders of magnitude below this.
+pub const MAX_FRAME_BODY_BYTES: usize = 1 << 30;
+
+/// Incremental frame decoder for byte streams (TCP/UDS), where a single `read`
+/// may return part of a frame or several coalesced frames. Feed arbitrary
+/// chunks with [`push`](FrameDecoder::push) and drain complete raw frames with
+/// [`next_frame`](FrameDecoder::next_frame); frame *content* is still validated
+/// by [`Envelope::decode`] — this type only reassembles the length-prefixed
+/// framing.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    cursor: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read from the stream, in arrival order.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame (length prefix included), `Ok(None)` if the
+    /// buffered bytes do not yet form one, or an error if the length prefix is
+    /// implausibly large (a corrupted stream that would otherwise buffer
+    /// forever).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.cursor..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(avail[0..4].try_into().unwrap()) as usize;
+        if body_len > MAX_FRAME_BODY_BYTES {
+            return Err(WireError::LengthMismatch {
+                expected: body_len,
+                got: avail.len().saturating_sub(4),
+            });
+        }
+        if avail.len() < 4 + body_len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = avail[..4 + body_len].to_vec();
+        self.cursor += 4 + body_len;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame — nonzero after
+    /// EOF means the stream ended mid-frame (a truncated tail).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+
+    fn compact(&mut self) {
+        if self.cursor > 0 {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +303,7 @@ mod tests {
             MsgKind::ScalarReduce,
             MsgKind::VecReduce,
             MsgKind::Ack,
+            MsgKind::Rpc,
         ] {
             assert_eq!(MsgKind::from_u8(kind.as_u8()), Ok(kind));
         }
@@ -283,6 +359,83 @@ mod tests {
     }
 
     #[test]
+    fn decoder_reassembles_frames_fed_one_byte_at_a_time() {
+        let envs = vec![
+            sample(),
+            Envelope {
+                kind: MsgKind::Ack,
+                round: 18,
+                sender: HUB_SENDER,
+                payload: vec![],
+            },
+            Envelope {
+                kind: MsgKind::Rpc,
+                round: 19,
+                sender: 2,
+                payload: (0u8..37).collect(),
+            },
+        ];
+        let stream: Vec<u8> = envs.iter().flat_map(|e| e.encode()).collect();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            dec.push(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(Envelope::decode(&frame).unwrap());
+            }
+        }
+        assert_eq!(out, envs);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_split_points_and_coalesced_reads() {
+        let envs: Vec<Envelope> = (0..5)
+            .map(|i| Envelope {
+                kind: MsgKind::Flags,
+                round: i,
+                sender: i as u32,
+                payload: vec![i as u8; i as usize * 3],
+            })
+            .collect();
+        let stream: Vec<u8> = envs.iter().flat_map(|e| e.encode()).collect();
+        // Try every single split point of the whole multi-frame stream: the
+        // two chunks cover "partial frame then the rest" and "several frames
+        // coalesced into one read" at once.
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            for chunk in [&stream[..split], &stream[split..]] {
+                dec.push(chunk);
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    out.push(Envelope::decode(&frame).unwrap());
+                }
+            }
+            assert_eq!(out, envs, "split at byte {split}");
+            assert_eq!(dec.pending(), 0, "split at byte {split}");
+        }
+    }
+
+    #[test]
+    fn decoder_reports_truncated_tails_as_pending_bytes() {
+        let frame = sample().encode();
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..frame.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), frame.len() - 1);
+    }
+
+    #[test]
+    fn decoder_rejects_implausible_length_prefixes() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn dedupe_id_ignores_payload() {
         let a = sample();
         let mut b = sample();
@@ -298,7 +451,7 @@ mod tests {
 
         #[test]
         fn random_envelopes_round_trip_exactly(
-            kind_tag in 0u8..7,
+            kind_tag in 0u8..8,
             round in 0u64..u64::MAX,
             sender in 0u32..u32::MAX,
             payload in proptest::collection::vec(0u8..255, 0..64),
@@ -312,6 +465,71 @@ mod tests {
             let frame = env.encode();
             prop_assert_eq!(frame.len(), frame_len(env.payload.len()));
             prop_assert_eq!(Envelope::decode(&frame), Ok(env));
+        }
+
+        // The incremental decoder must agree with the one-shot codec on any
+        // frame sequence chopped at any points: same envelope stream out, and
+        // a truncated tail is never silently swallowed.
+        #[test]
+        fn incremental_decoder_matches_one_shot_codec_under_any_chunking(
+            tags in proptest::collection::vec(0u8..8, 1..8),
+            rounds in proptest::collection::vec(0u64..1000, 1..8),
+            senders in proptest::collection::vec(0u32..64, 1..8),
+            pool in proptest::collection::vec(0u8..255, 0..64),
+            payload_lens in proptest::collection::vec(0usize..48, 1..8),
+            cuts in proptest::collection::vec(0usize..usize::MAX, 0..12),
+            truncate in 0usize..8,
+        ) {
+            // Parallel draws stand in for a vec-of-structs strategy; fields
+            // beyond the first are indexed cyclically.
+            let envs: Vec<Envelope> = (0..tags.len())
+                .map(|i| {
+                    let len = payload_lens[i % payload_lens.len()].min(pool.len());
+                    Envelope {
+                        kind: MsgKind::from_u8(tags[i]).unwrap(),
+                        round: rounds[i % rounds.len()],
+                        sender: senders[i % senders.len()],
+                        payload: pool[..len].to_vec(),
+                    }
+                })
+                .collect();
+            let mut stream: Vec<u8> = envs.iter().flat_map(|e| e.encode()).collect();
+            let dropped = truncate.min(stream.len());
+            stream.truncate(stream.len() - dropped);
+            let expected: Vec<Envelope> = {
+                // One-shot reference: walk whole frames off the byte string.
+                let mut out = Vec::new();
+                let mut rest = &stream[..];
+                while rest.len() >= 4 {
+                    let body = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                    if rest.len() < 4 + body {
+                        break;
+                    }
+                    out.push(Envelope::decode(&rest[..4 + body]).unwrap());
+                    rest = &rest[4 + body..];
+                }
+                out
+            };
+            // Chop the stream at the drawn cut points (mapped into range).
+            let mut points: Vec<usize> =
+                cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+            points.push(stream.len());
+            points.sort_unstable();
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut start = 0;
+            for &end in &points {
+                dec.push(&stream[start..end]);
+                start = end;
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    got.push(Envelope::decode(&frame).unwrap());
+                }
+            }
+            prop_assert_eq!(&got, &expected);
+            // Whatever the one-shot walk left over is exactly what the
+            // incremental decoder reports as a truncated tail.
+            let consumed: usize = expected.iter().map(|e| frame_len(e.payload.len())).sum();
+            prop_assert_eq!(dec.pending(), stream.len() - consumed);
         }
     }
 }

@@ -81,6 +81,16 @@ pub fn run_resumed(cfg: &TrainConfig, ckpt: &Checkpoint) -> RunReport {
 }
 
 fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
+    // A threaded-backend image is translated into the simulator's layout up
+    // front; everything below sees a native "sim" checkpoint.
+    let translated;
+    let resume = match resume {
+        Some(ckpt) if ckpt.backend == "threaded" => {
+            translated = crate::resume::threaded_to_sim(cfg, ckpt);
+            Some(&translated)
+        }
+        other => other,
+    };
     let (delta, aggregation_mode, _injection) = match cfg.algorithm {
         AlgorithmSpec::SelSync {
             delta,
@@ -115,6 +125,8 @@ fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
         ck.validate().expect("invalid checkpoint configuration");
     }
     let evictions = cfg.comm_fault_evictions();
+    // The image a resume started from stays on disk whatever the retention says.
+    let protect = resume.map(|c| c.round);
     let conditions = cfg.effective_conditions();
     // Latest synchronized model; rejoining workers pull it from the PS.
     let mut global = sim.workers[0].params.clone();
@@ -261,7 +273,7 @@ fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
             }
             if let Some(ck) = &ckpt_spec {
                 if ck.due(it) || ck.halt_after == Some(it) {
-                    write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it);
+                    write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it, protect);
                 }
                 if ck.halt_after == Some(it) {
                     break;
@@ -405,7 +417,7 @@ fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
         }
         if let Some(ck) = &ckpt_spec {
             if ck.due(it) || ck.halt_after == Some(it) {
-                write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it);
+                write_sim_checkpoint(cfg, ck, &sim, policy.as_ref(), &global, it, protect);
             }
             if ck.halt_after == Some(it) {
                 break;
@@ -430,6 +442,7 @@ fn write_sim_checkpoint(
     policy: &dyn DeltaPolicy,
     global: &[f32],
     it: usize,
+    protect: Option<usize>,
 ) {
     let mut image = Checkpoint::new("sim", checkpoint::config_fingerprint(cfg), it);
     sim.export_checkpoint_sections(&mut image);
@@ -449,6 +462,9 @@ fn write_sim_checkpoint(
     image
         .write_file(&path)
         .unwrap_or_else(|err| panic!("failed to write checkpoint {}: {err}", path.display()));
+    // Retention runs only after the newer image is durably on disk, and never
+    // removes the image a resume started from.
+    ck.prune(it, protect);
 }
 
 /// Record the cluster-aggregated round signal (split out to keep the round loop flat).
@@ -701,6 +717,7 @@ mod tests {
             every: 7,
             dir: dir.to_string_lossy().into_owned(),
             halt_after: Some(13),
+            keep: None,
         });
         let _halted = run(&killed_cfg);
         let ckpt = Checkpoint::read_file(dir.join("ckpt-13")).expect("checkpoint reads back");
@@ -713,6 +730,55 @@ mod tests {
         assert_eq!(resumed_cfg.trace.take_log().encode(), full_trace);
         assert_eq!(format!("{resumed:?}"), format!("{full:?}"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_retention_rotates_images_and_never_prunes_the_resume_source() {
+        use crate::config::CheckpointSpec;
+        let base =
+            std::env::temp_dir().join(format!("selsync-ckpt-keep-test-{}", std::process::id()));
+        let images = |dir: &std::path::Path| -> Vec<usize> {
+            let mut rounds: Vec<usize> = std::fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(|e| e.ok())
+                        .filter_map(|e| e.file_name().to_str()?.strip_prefix("ckpt-")?.parse().ok())
+                        .collect()
+                })
+                .unwrap_or_default();
+            rounds.sort_unstable();
+            rounds
+        };
+        let spec = |dir: &std::path::Path, keep: Option<usize>| CheckpointSpec {
+            every: 5,
+            dir: dir.to_string_lossy().into_owned(),
+            halt_after: None,
+            keep,
+        };
+
+        // Rotation: 40 iterations at every=5 write rounds 4,9,…,39; `keep = 2`
+        // leaves only the newest two on disk.
+        let rotated = base.join("rotated");
+        let mut c = cfg(AlgorithmSpec::selsync(0.05));
+        c.checkpoint = Some(spec(&rotated, Some(2)));
+        let _ = run(&c);
+        assert_eq!(images(&rotated), vec![34, 39]);
+
+        // Resume protection: a full-retention run leaves every image; resuming
+        // from ckpt-9 with `keep = 1` rotates everything *except* the image the
+        // resume started from, whatever its age.
+        let protected = base.join("protected");
+        let mut c = cfg(AlgorithmSpec::selsync(0.05));
+        c.checkpoint = Some(spec(&protected, None));
+        let _ = run(&c);
+        assert_eq!(images(&protected), vec![4, 9, 14, 19, 24, 29, 34, 39]);
+        let ckpt = Checkpoint::read_file(protected.join("ckpt-9")).expect("checkpoint reads back");
+        let mut c = cfg(AlgorithmSpec::selsync(0.05));
+        c.checkpoint = Some(spec(&protected, Some(1)));
+        let _ = run_resumed(&c, &ckpt);
+        assert_eq!(images(&protected), vec![9, 39]);
+
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -92,6 +92,10 @@ pub struct CheckpointSpec {
     /// this round is written (the crash/resume tests and the CI smoke use it).
     /// Runtime-only — never part of a scenario file.
     pub halt_after: Option<usize>,
+    /// Retention: keep only the newest `keep` images, pruning older `ckpt-<round>`
+    /// files after each newer one is durably written. `None` keeps everything.
+    /// The image a resume started from is never pruned.
+    pub keep: Option<usize>,
 }
 
 impl CheckpointSpec {
@@ -101,6 +105,7 @@ impl CheckpointSpec {
             every,
             dir: dir.into(),
             halt_after: None,
+            keep: None,
         }
     }
 
@@ -112,7 +117,34 @@ impl CheckpointSpec {
         if self.dir.is_empty() {
             return Err("checkpoint `dir` must not be empty".into());
         }
+        if self.keep == Some(0) {
+            return Err("checkpoint retention `keep` must be at least 1".into());
+        }
         Ok(())
+    }
+
+    /// Apply the retention policy after the image for `just_written` landed
+    /// durably: prune the oldest `ckpt-<round>` files in `dir` beyond the newest
+    /// `keep`, never touching `just_written` itself or the `protect`ed round a
+    /// resume is reading from. Unparseable file names are left alone. I/O errors
+    /// are ignored — retention is best-effort and must never fail a run.
+    pub fn prune(&self, just_written: usize, protect: Option<usize>) {
+        let Some(keep) = self.keep else { return };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut rounds: Vec<usize> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str()?.strip_prefix("ckpt-")?.parse().ok())
+            .collect();
+        rounds.sort_unstable();
+        let cut = rounds.len().saturating_sub(keep.max(1));
+        for &round in &rounds[..cut] {
+            if round == just_written || protect == Some(round) {
+                continue;
+            }
+            let _ = std::fs::remove_file(self.path_for(round));
+        }
     }
 
     /// Whether a checkpoint is due after completing `iteration`.
@@ -497,6 +529,7 @@ mod tests {
             duplicate: 0.0,
             corrupt: 0.0,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 2,
             timeout_s: 1e-3,
         });
@@ -534,6 +567,7 @@ mod tests {
             duplicate: 0.05,
             corrupt: 0.02,
             delay: 0.05,
+            delay_rounds: 0,
             retry_budget: 6,
             timeout_s: 1e-3,
         });
@@ -570,6 +604,7 @@ mod tests {
             duplicate: 0.0,
             corrupt: 0.0,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 2,
             timeout_s: 1e-3,
         });

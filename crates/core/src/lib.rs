@@ -27,6 +27,11 @@
 //! * [`algorithms`] — training drivers: BSP, local SGD, FedAvg, SSP and SelSync.
 //! * [`threaded`] — a thread-per-worker SelSync/BSP driver over the real parameter
 //!   server and collectives of `selsync-comm` (used by integration tests).
+//! * [`process`] — a process-per-worker SelSync/BSP driver over the socket transport:
+//!   hub and worker entry points the `scenario_cluster` orchestrator spawns, with
+//!   per-process trace shards that merge into the canonical event log.
+//! * [`resume`] — cross-backend checkpoint translation: resume a simulator
+//!   checkpoint on the threaded driver and vice versa.
 //! * [`tracing`] — shared emission helpers for the deterministic run-trace layer
 //!   (`selsync-tracelog`): both SelSync drivers log the same canonical event stream.
 //!
@@ -51,7 +56,9 @@ pub mod checkpoint;
 pub mod conditions;
 pub mod config;
 pub mod policy;
+pub mod process;
 pub mod report;
+pub mod resume;
 pub mod sim;
 pub mod threaded;
 pub mod tracing;

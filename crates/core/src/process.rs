@@ -1,0 +1,858 @@
+//! Process-per-worker SelSync/BSP driver over the socket transport — the third
+//! backend, closing the simulator → threads → processes ladder.
+//!
+//! The cluster is a star of OS processes: one **hub** ([`run_process_hub`]) owns
+//! the parameter server, the collectives and the shared δ-policy board; each
+//! **worker** ([`run_process_worker`]) owns its model replica, data traversal,
+//! optimizer and `Δ(g_i)` tracker, and reaches the hub over one
+//! [`selsync_comm::socket`] connection (UDS by default, TCP by address). The
+//! `scenario_cluster` bench binary is the orchestrator: it spawns the processes,
+//! collects each one's trace shard and merges them with
+//! [`selsync_tracelog::EventLog::merge`].
+//!
+//! **Parity contract.** The worker loop mirrors [`crate::threaded`]'s worker
+//! closure operation for operation — the only difference is *where* the shared
+//! state lives. Every shared-state touch becomes either
+//!
+//! * a control-plane envelope on the [`MessageLayer`] riding the
+//!   [`SocketTransport`](selsync_comm::SocketTransport) (the hub echoes frames
+//!   verbatim, so retry/dedupe/eviction semantics — and the
+//!   [`crate::config::TrainConfig::comm_faults`] weather composed *over* the
+//!   socket — are bit-identical to the in-memory transports), or
+//! * a blocking RPC ([`selsync_comm::HubClient`]) into the hub's
+//!   [`RpcService`], which calls the very same `ParameterServer` /
+//!   `Collective` / `SignalBoard` methods the threaded driver calls in-process.
+//!
+//! Worker-order folds, round-keyed rendezvous and the board's round-ordered
+//! observation stream are all hub-side, so the multi-process cluster's
+//! parameter stream, synchronization schedule and canonical event log are
+//! byte-identical to the threaded driver's — and therefore to the simulator's,
+//! on every schedule the threaded parity contract covers (crash/rejoin under
+//! scheduled rejoin pulls, `[comm_faults]` weather, PS brownouts). The
+//! `tests/process_parity.rs` suite pins merged-trace byte-identity against the
+//! simulator across worker counts.
+//!
+//! Each process records its own trace shard: the hub owns the header and the
+//! policy's regime switches, the lowest-ranked present worker owns a round's
+//! structural events, and each worker owns its own retry/eviction/rejoin
+//! events — every canonical event is emitted by exactly one process, so the
+//! sorted concatenation of shards is the single-process log.
+//!
+//! Not supported here (assert early): checkpoint/resume (the durable-image
+//! contract stays with the simulator and threaded backends for now), non-IID
+//! sharding, and algorithms other than SelSync/BSP — the same envelope the
+//! threaded driver enforces.
+
+use crate::config::{AlgorithmSpec, RejoinPull, TrainConfig};
+use crate::policy::{PolicySpec, RoundSignal, SyncPolicy};
+use crate::sim;
+use crate::threaded::{SignalBoard, ThreadedWorkerReport};
+use crate::tracker::{GradStatistic, GradientTracker};
+use selsync_comm::cluster::{make_handles, ClusterHandles};
+use selsync_comm::faults::CommFaultSchedule;
+use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
+use selsync_comm::socket::{HubClient, HubServer, RpcService, SocketAddrSpec, SocketConn};
+use selsync_comm::wire::MsgKind;
+use selsync_comm::{MessageLayer, PsExchangeError, ScalarOp};
+use selsync_metrics::lssr::LssrCounter;
+use selsync_nn::model::PaperModel;
+use selsync_tracelog::{Event, PullKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a worker keeps retrying its initial connect while the hub binds.
+pub const CONNECT_RETRY: Duration = Duration::from_secs(30);
+
+/// RPC operation tags (first payload byte; arguments follow, little-endian).
+mod op {
+    pub const PULL: u8 = 1;
+    pub const SCHED_GLOBAL_BEFORE: u8 = 2;
+    pub const SCHED_ROUND_BEFORE: u8 = 3;
+    pub const SYNC_ROUND: u8 = 4;
+    pub const ALLGATHER_FLAGS: u8 = 5;
+    pub const ALLREDUCE_SCALAR: u8 = 6;
+    pub const ALLREDUCE_VEC: u8 = 7;
+    pub const BOARD_WAIT_CAUGHT_UP: u8 = 8;
+    pub const BOARD_DELTA_FOR: u8 = 9;
+    pub const BOARD_OBSERVE: u8 = 10;
+}
+
+fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(4), "f32 payload length");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn scalar_op_tag(op: ScalarOp) -> u8 {
+    match op {
+        ScalarOp::Sum => 0,
+        ScalarOp::Mean => 1,
+        ScalarOp::Max => 2,
+    }
+}
+
+fn scalar_op_from_tag(tag: u8) -> ScalarOp {
+    match tag {
+        0 => ScalarOp::Sum,
+        1 => ScalarOp::Mean,
+        2 => ScalarOp::Max,
+        other => panic!("unknown scalar-op tag {other}"),
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn read_f32(bytes: &[u8], at: usize) -> f32 {
+    f32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// The hub side of the RPC surface: dispatches worker requests to the very same
+/// parameter-server / collective / signal-board methods the threaded driver
+/// calls in-process. Blocking rendezvous ops block the calling connection's
+/// hub thread, which is exactly the rendezvous behaviour the threaded workers
+/// get from blocking in-process calls.
+struct HubService {
+    handles: ClusterHandles,
+    board: SignalBoard,
+}
+
+impl RpcService for HubService {
+    fn handle(&self, worker: u32, round: u64, request: &[u8]) -> Vec<u8> {
+        let worker = worker as usize;
+        let args = &request[1..];
+        match request[0] {
+            op::PULL => f32s_to_bytes(&self.handles.ps.pull()),
+            op::SCHED_GLOBAL_BEFORE => {
+                f32s_to_bytes(&self.handles.ps.scheduled_global_before(round))
+            }
+            op::SCHED_ROUND_BEFORE => match self.handles.ps.scheduled_round_before(round) {
+                Some(r) => {
+                    let mut out = vec![1u8];
+                    out.extend_from_slice(&r.to_le_bytes());
+                    out
+                }
+                None => vec![0u8],
+            },
+            op::SYNC_ROUND => {
+                let expected = read_u32(args, 0) as usize;
+                let params = bytes_to_f32s(&args[4..]);
+                f32s_to_bytes(
+                    &self
+                        .handles
+                        .ps
+                        .sync_round_elastic(round, worker, &params, expected),
+                )
+            }
+            op::ALLGATHER_FLAGS => {
+                let flag = args[0] != 0;
+                let expected = read_u32(args, 1) as usize;
+                self.handles
+                    .collective
+                    .allgather_flags_among(round, worker, flag, expected)
+                    .into_iter()
+                    .map(u8::from)
+                    .collect()
+            }
+            op::ALLREDUCE_SCALAR => {
+                let op = scalar_op_from_tag(args[0]);
+                let expected = read_u32(args, 1) as usize;
+                let value = read_f32(args, 5);
+                self.handles
+                    .collective
+                    .allreduce_scalar_among(round, worker, value, expected, op)
+                    .to_le_bytes()
+                    .to_vec()
+            }
+            op::ALLREDUCE_VEC => {
+                let op = scalar_op_from_tag(args[0]);
+                let expected = read_u32(args, 1) as usize;
+                let values = bytes_to_f32s(&args[5..]);
+                f32s_to_bytes(
+                    &self
+                        .handles
+                        .collective
+                        .allreduce_vec_among(round, worker, values, expected, op),
+                )
+            }
+            op::BOARD_WAIT_CAUGHT_UP => {
+                self.board.wait_caught_up(read_u64(args, 0) as usize);
+                Vec::new()
+            }
+            op::BOARD_DELTA_FOR => self
+                .board
+                .delta_for(read_u64(args, 0) as usize)
+                .to_le_bytes()
+                .to_vec(),
+            op::BOARD_OBSERVE => {
+                let signal = RoundSignal {
+                    iteration: read_u64(args, 0) as usize,
+                    max_delta: read_f32(args, 8),
+                    mean_loss: read_f32(args, 12),
+                    delta_mean: read_f32(args, 16),
+                    delta_sq_mean: read_f32(args, 20),
+                    synced: args[24] != 0,
+                };
+                let next_round = read_u64(args, 25) as usize;
+                self.board.observe(signal, next_round);
+                Vec::new()
+            }
+            other => panic!("unknown rpc op {other} from worker {worker}"),
+        }
+    }
+}
+
+/// Worker-side view of the hub's shared state: each method is one blocking RPC
+/// whose name and argument shape matches the in-process call it stands in for.
+struct RemoteCluster {
+    client: HubClient,
+}
+
+impl RemoteCluster {
+    fn request(&self, round: u64, op: u8, args: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(1 + args.len());
+        payload.push(op);
+        payload.extend_from_slice(args);
+        self.client.rpc(round, payload)
+    }
+
+    fn pull(&self) -> Vec<f32> {
+        bytes_to_f32s(&self.request(u64::MAX, op::PULL, &[]))
+    }
+
+    fn scheduled_global_before(&self, round: u64) -> Vec<f32> {
+        bytes_to_f32s(&self.request(round, op::SCHED_GLOBAL_BEFORE, &[]))
+    }
+
+    fn scheduled_round_before(&self, round: u64) -> Option<u64> {
+        let reply = self.request(round, op::SCHED_ROUND_BEFORE, &[]);
+        (reply[0] != 0).then(|| read_u64(&reply, 1))
+    }
+
+    fn sync_round_elastic(&self, round: u64, params: &[f32], expected: usize) -> Vec<f32> {
+        let mut args = (expected as u32).to_le_bytes().to_vec();
+        args.extend(f32s_to_bytes(params));
+        bytes_to_f32s(&self.request(round, op::SYNC_ROUND, &args))
+    }
+
+    fn allgather_flags_among(&self, round: u64, flag: bool, expected: usize) -> Vec<bool> {
+        let mut args = vec![flag as u8];
+        args.extend((expected as u32).to_le_bytes());
+        self.request(round, op::ALLGATHER_FLAGS, &args)
+            .into_iter()
+            .map(|b| b != 0)
+            .collect()
+    }
+
+    fn allreduce_scalar_among(
+        &self,
+        round: u64,
+        value: f32,
+        expected: usize,
+        op_: ScalarOp,
+    ) -> f32 {
+        let mut args = vec![scalar_op_tag(op_)];
+        args.extend((expected as u32).to_le_bytes());
+        args.extend(value.to_le_bytes());
+        read_f32(&self.request(round, op::ALLREDUCE_SCALAR, &args), 0)
+    }
+
+    fn allreduce_vec_among(
+        &self,
+        round: u64,
+        values: &[f32],
+        expected: usize,
+        op_: ScalarOp,
+    ) -> Vec<f32> {
+        let mut args = vec![scalar_op_tag(op_)];
+        args.extend((expected as u32).to_le_bytes());
+        args.extend(f32s_to_bytes(values));
+        bytes_to_f32s(&self.request(round, op::ALLREDUCE_VEC, &args))
+    }
+
+    fn wait_caught_up(&self, iteration: usize) {
+        self.request(
+            iteration as u64,
+            op::BOARD_WAIT_CAUGHT_UP,
+            &(iteration as u64).to_le_bytes(),
+        );
+    }
+
+    fn delta_for(&self, iteration: usize) -> f32 {
+        read_f32(
+            &self.request(
+                iteration as u64,
+                op::BOARD_DELTA_FOR,
+                &(iteration as u64).to_le_bytes(),
+            ),
+            0,
+        )
+    }
+
+    fn observe(&self, signal: RoundSignal, next_round: usize) {
+        let mut args = (signal.iteration as u64).to_le_bytes().to_vec();
+        args.extend(signal.max_delta.to_le_bytes());
+        args.extend(signal.mean_loss.to_le_bytes());
+        args.extend(signal.delta_mean.to_le_bytes());
+        args.extend(signal.delta_sq_mean.to_le_bytes());
+        args.push(signal.synced as u8);
+        args.extend((next_round as u64).to_le_bytes());
+        self.request(signal.iteration as u64, op::BOARD_OBSERVE, &args);
+    }
+}
+
+/// The configuration envelope the process backend supports — the threaded
+/// driver's, minus durable checkpoints (which need a cross-process quiescence
+/// gate this backend does not implement).
+fn check_supported(cfg: &TrainConfig) -> (f32, PolicySpec) {
+    let delta = match cfg.algorithm {
+        AlgorithmSpec::SelSync { delta, .. } => delta,
+        AlgorithmSpec::Bsp => 0.0,
+        _ => panic!("process driver supports SelSync and BSP only"),
+    };
+    assert!(
+        cfg.non_iid_labels_per_worker.is_none(),
+        "process driver supports IID training only"
+    );
+    assert!(
+        cfg.checkpoint.is_none(),
+        "process driver does not support durable checkpoints"
+    );
+    let spec = match cfg.algorithm {
+        AlgorithmSpec::SelSync { .. } => cfg
+            .delta_policy
+            .clone()
+            .unwrap_or(PolicySpec::Fixed { delta }),
+        _ => PolicySpec::Fixed { delta },
+    };
+    spec.validate().expect("invalid δ-policy configuration");
+    (delta, spec)
+}
+
+/// Run the hub process: bind `addr`, serve one connection per worker until all
+/// of them hang up, and return the hub's trace shard (the run header plus the
+/// shared policy's regime-switch events) in encoded form.
+pub fn run_process_hub(cfg: &TrainConfig, addr: &SocketAddrSpec) -> String {
+    let (_delta, spec) = check_supported(cfg);
+    let n = cfg.workers;
+    crate::tracing::emit_header(
+        &cfg.trace,
+        cfg,
+        &crate::algorithms::selsync::algorithm_label(cfg),
+        &spec.label(),
+    );
+    let proto = PaperModel::build(cfg.model, cfg.seed);
+    let handles = make_handles(n, proto.params_flat());
+    if cfg.rejoin_pull == RejoinPull::Scheduled {
+        handles
+            .ps
+            .enable_scheduled_snapshots(DEFAULT_SNAPSHOT_DEPTH);
+    }
+    let conditions = cfg.effective_conditions();
+    let board = SignalBoard::new(
+        spec.build(),
+        conditions.next_active_iteration(n, 0, cfg.iterations),
+        cfg.trace.clone(),
+    );
+    let server = HubServer::bind(addr).unwrap_or_else(|e| panic!("hub failed to bind {addr}: {e}"));
+    server
+        .serve(n, Arc::new(HubService { handles, board }))
+        .unwrap_or_else(|e| panic!("hub serve failed: {e}"));
+    cfg.trace.take_log().encode()
+}
+
+/// Run one worker process: connect to the hub at `addr` and execute worker
+/// `worker`'s rounds — the exact operation sequence of the threaded driver's
+/// worker closure, with shared-state touches carried by the socket. Returns
+/// the worker's report and its trace shard in encoded form.
+pub fn run_process_worker(
+    cfg: &TrainConfig,
+    worker: usize,
+    addr: &SocketAddrSpec,
+) -> (ThreadedWorkerReport, String) {
+    let (_delta, spec) = check_supported(cfg);
+    let n = cfg.workers;
+    let exchange_signals = spec.consumes_round_signals();
+
+    let (train, _test) = sim::build_datasets(cfg);
+    let proto = PaperModel::build(cfg.model, cfg.seed);
+    let iid_order = sim::iid_sample_order(&train, &proto.task);
+    let conditions = cfg.effective_conditions();
+    let evictions = cfg.comm_fault_evictions();
+
+    let conn = SocketConn::connect(addr, CONNECT_RETRY)
+        .unwrap_or_else(|e| panic!("worker {worker} failed to connect to {addr}: {e}"));
+    // The message layer rides the real socket: the hub echoes every non-RPC
+    // frame verbatim, so retries, dedupe and evictions behave exactly as over
+    // the in-memory transports — including with the fault decorator composed
+    // over the socket.
+    let fault_schedule = cfg.comm_faults.map(CommFaultSchedule::new);
+    let layer = match fault_schedule {
+        Some(schedule) => MessageLayer::faulty_over(schedule, Box::new(conn.transport())),
+        None => MessageLayer::over(Box::new(conn.transport()), 1),
+    };
+    let ps_schedule = cfg.ps_fault_schedule();
+    let layer = match ps_schedule.clone() {
+        Some(schedule) => layer.with_ps_outages(schedule),
+        None => layer,
+    };
+    let hub = RemoteCluster {
+        client: conn.client(worker as u32),
+    };
+
+    let mut model = PaperModel::build(cfg.model, cfg.seed);
+    // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
+    let mut params = hub.pull();
+    model.set_params_flat(&params);
+    let traversal = sim::worker_iid_traversal(cfg, &iid_order, worker);
+    let mut cursor = 0usize;
+    let new_tracker = || {
+        GradientTracker::new(
+            GradStatistic::SqNorm,
+            (n as f32 / 100.0).clamp(0.01, 1.0),
+            cfg.ewma_window,
+        )
+    };
+    let mut tracker = new_tracker();
+    let mut optimizer = cfg.optimizer.build();
+    let mut counter = LssrCounter::new();
+    let mut sync_rounds: Vec<usize> = Vec::new();
+    let mut last_loss = 0.0f32;
+    let mut was_present = true;
+    let mut forwards_before = 0u64;
+    let mut indices = Vec::with_capacity(cfg.batch_size);
+    let exchange = |round: usize, kind: MsgKind, payload: &[u8]| -> u32 {
+        layer
+            .exchange(worker, round as u64, kind, payload)
+            .unwrap_or_else(|e| {
+                panic!("present worker {worker} failed a comm op at round {round}: {e}")
+            })
+            .attempts
+    };
+
+    for it in 0..cfg.iterations {
+        let present = conditions.present_workers(n, it);
+        let Some(rank) = present.iter().position(|&p| p == worker) else {
+            if evictions.contains(&(worker, it)) {
+                let farewell = layer.exchange(worker, it as u64, MsgKind::Flags, &[0]);
+                assert!(
+                    farewell.is_err(),
+                    "worker {worker} was precomputed as evicted at round {it} but its \
+                     exchange succeeded"
+                );
+                cfg.trace.record(Event::CommEvict { round: it, worker });
+            }
+            was_present = false;
+            forwards_before += present.len() as u64;
+            continue;
+        };
+        let active = present.len();
+        let forward_index = forwards_before + rank as u64;
+        forwards_before += active as u64;
+        if !was_present {
+            if !layer.ps_down(it as u64) {
+                exchange(it, MsgKind::Pull, &(it as u64).to_le_bytes());
+            }
+            params = match cfg.rejoin_pull {
+                RejoinPull::WallClock => hub.pull(),
+                RejoinPull::Scheduled => {
+                    hub.wait_caught_up(it);
+                    hub.scheduled_global_before(it as u64)
+                }
+            };
+            if cfg.trace.is_enabled() {
+                let (pull, from) = match cfg.rejoin_pull {
+                    RejoinPull::Scheduled => (
+                        PullKind::Scheduled,
+                        hub.scheduled_round_before(it as u64).map(|r| r as usize),
+                    ),
+                    RejoinPull::WallClock => (PullKind::WallClock, None),
+                };
+                cfg.trace.record(Event::RejoinPull {
+                    round: it,
+                    worker,
+                    pull,
+                    from,
+                });
+            }
+            tracker = new_tracker();
+            optimizer = cfg.optimizer.build();
+            was_present = true;
+        }
+
+        indices.clear();
+        for _ in 0..cfg.batch_size {
+            indices.push(traversal[cursor % traversal.len()]);
+            cursor += 1;
+        }
+        cursor %= traversal.len();
+        let (x, y) = train.batch(&indices);
+        model.set_params_flat(&params);
+        model.seek_dropout(forward_index);
+        let stats = model.forward_backward(&x, &y);
+        last_loss = stats.loss;
+        let grads = model.grads_flat();
+        let delta_g = tracker.update(&grads);
+
+        let lr = cfg.lr.lr_at(cfg.epoch_of(it), it);
+        optimizer.step(&mut params, &grads, lr);
+
+        if layer.ps_down(it as u64) {
+            let probe =
+                layer.ps_exchange(worker, it as u64, MsgKind::Pull, &(it as u64).to_le_bytes());
+            assert!(
+                matches!(probe, Err(PsExchangeError::Down { .. })),
+                "the PS availability schedule and the layer's gate disagree at round {it}"
+            );
+            let sync_policy = SyncPolicy::new(hub.delta_for(it));
+            hub.allgather_flags_among(it as u64, false, active);
+            counter.record_local();
+            if rank == 0 {
+                if cfg.trace.is_enabled() {
+                    crate::tracing::emit_round_context(&cfg.trace, &conditions, n, it, &present);
+                    if ps_schedule
+                        .as_ref()
+                        .is_some_and(|s| s.outage_starts(it as u64))
+                    {
+                        cfg.trace.record(Event::PsDown { round: it });
+                    }
+                    cfg.trace.record(Event::DegradedRound {
+                        round: it,
+                        delta: sync_policy.delta,
+                        loss: stats.loss,
+                        delta_g,
+                    });
+                }
+                hub.observe(
+                    RoundSignal {
+                        iteration: it,
+                        max_delta: delta_g,
+                        mean_loss: stats.loss,
+                        delta_mean: delta_g,
+                        delta_sq_mean: delta_g * delta_g,
+                        synced: false,
+                    },
+                    conditions.next_active_iteration(n, it + 1, cfg.iterations),
+                );
+            }
+            continue;
+        }
+        let catchup = ps_schedule
+            .as_ref()
+            .is_some_and(|s| s.outage_ends(it as u64));
+
+        let (mean_loss, cluster_delta, moments) = if exchange_signals {
+            let mut scalar_payload = [0u8; 8];
+            scalar_payload[..4].copy_from_slice(&stats.loss.to_le_bytes());
+            scalar_payload[4..].copy_from_slice(&delta_g.to_le_bytes());
+            exchange(it, MsgKind::ScalarReduce, &scalar_payload);
+            let mut vec_payload = [0u8; 8];
+            vec_payload[..4].copy_from_slice(&delta_g.to_le_bytes());
+            vec_payload[4..].copy_from_slice(&(delta_g * delta_g).to_le_bytes());
+            exchange(it, MsgKind::VecReduce, &vec_payload);
+            (
+                hub.allreduce_scalar_among(it as u64, stats.loss, active, ScalarOp::Mean),
+                hub.allreduce_scalar_among(it as u64, delta_g, active, ScalarOp::Max),
+                hub.allreduce_vec_among(
+                    it as u64,
+                    &[delta_g, delta_g * delta_g],
+                    active,
+                    ScalarOp::Mean,
+                ),
+            )
+        } else {
+            (stats.loss, delta_g, vec![delta_g, delta_g * delta_g])
+        };
+
+        let sync_policy = SyncPolicy::new(hub.delta_for(it));
+
+        let wants_sync = catchup || sync_policy.worker_wants_sync(delta_g);
+        let attempts = exchange(it, MsgKind::Flags, &[wants_sync as u8]);
+        if attempts > 1 {
+            cfg.trace.record(Event::CommRetry {
+                round: it,
+                worker,
+                attempts,
+            });
+        }
+        let flags = hub.allgather_flags_among(it as u64, wants_sync, active);
+        let synced = flags.iter().any(|&f| f);
+        if synced {
+            exchange(
+                it,
+                MsgKind::SyncRound,
+                &((params.len() * 4) as u64).to_le_bytes(),
+            );
+            params = hub.sync_round_elastic(it as u64, &params, active);
+            counter.record_sync();
+            sync_rounds.push(it);
+        } else {
+            counter.record_local();
+        }
+        if rank == 0 {
+            if cfg.trace.is_enabled() {
+                crate::tracing::emit_round_context(&cfg.trace, &conditions, n, it, &present);
+                if catchup {
+                    let schedule = ps_schedule.as_ref().expect("catchup implies a schedule");
+                    cfg.trace.record(Event::PsUp { round: it });
+                    cfg.trace.record(Event::CatchupSync {
+                        round: it,
+                        behind: schedule.rounds_behind(it as u64) as usize,
+                    });
+                }
+                if exchange_signals {
+                    cfg.trace.record(Event::Signal {
+                        round: it,
+                        mean_loss,
+                        max_delta: cluster_delta,
+                    });
+                }
+                cfg.trace.record(Event::Round {
+                    round: it,
+                    delta: sync_policy.delta,
+                    flags: present.iter().map(|&w| flags[w]).collect(),
+                    synced,
+                });
+            }
+            hub.observe(
+                RoundSignal {
+                    iteration: it,
+                    max_delta: cluster_delta,
+                    mean_loss,
+                    delta_mean: moments[0],
+                    delta_sq_mean: moments[1],
+                    synced,
+                },
+                conditions.next_active_iteration(n, it + 1, cfg.iterations),
+            );
+        }
+    }
+
+    let global = hub.pull();
+    let distance: f32 = params
+        .iter()
+        .zip(global.iter())
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f32>()
+        .sqrt();
+    let report = ThreadedWorkerReport {
+        worker,
+        sync_steps: counter.sync_steps,
+        local_steps: counter.local_steps,
+        sync_rounds,
+        final_loss: last_loss,
+        distance_to_global: distance,
+    };
+    (report, cfg.trace.take_log().encode())
+}
+
+/// Serialize a worker report to one deterministic text line (floats as raw bit
+/// patterns, so the round trip is exact). The orchestrator reads these back
+/// from each worker process's output file.
+pub fn encode_worker_report(report: &ThreadedWorkerReport) -> String {
+    let rounds = if report.sync_rounds.is_empty() {
+        "-".to_string()
+    } else {
+        report
+            .sync_rounds
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "worker {} sync_steps {} local_steps {} sync_rounds {} final_loss {:08x} distance {:08x}",
+        report.worker,
+        report.sync_steps,
+        report.local_steps,
+        rounds,
+        report.final_loss.to_bits(),
+        report.distance_to_global.to_bits(),
+    )
+}
+
+/// Inverse of [`encode_worker_report`].
+pub fn decode_worker_report(line: &str) -> Result<ThreadedWorkerReport, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let expect = |at: usize, key: &str| -> Result<&str, String> {
+        if fields.get(at) != Some(&key) {
+            return Err(format!("report line field {at} is not {key:?}: {line:?}"));
+        }
+        fields
+            .get(at + 1)
+            .copied()
+            .ok_or_else(|| format!("report line missing a value for {key}: {line:?}"))
+    };
+    let parse_u64 = |s: &str, key: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad {key}: {s:?}"))
+    };
+    let worker = parse_u64(expect(0, "worker")?, "worker")? as usize;
+    let sync_steps = parse_u64(expect(2, "sync_steps")?, "sync_steps")?;
+    let local_steps = parse_u64(expect(4, "local_steps")?, "local_steps")?;
+    let rounds_text = expect(6, "sync_rounds")?;
+    let sync_rounds = if rounds_text == "-" {
+        Vec::new()
+    } else {
+        rounds_text
+            .split(',')
+            .map(|r| r.parse().map_err(|_| format!("bad sync round {r:?}")))
+            .collect::<Result<Vec<usize>, String>>()?
+    };
+    let final_loss = f32::from_bits(
+        u32::from_str_radix(expect(8, "final_loss")?, 16)
+            .map_err(|_| format!("bad final_loss bits: {line:?}"))?,
+    );
+    let distance_to_global = f32::from_bits(
+        u32::from_str_radix(expect(10, "distance")?, 16)
+            .map_err(|_| format!("bad distance bits: {line:?}"))?,
+    );
+    Ok(ThreadedWorkerReport {
+        worker,
+        sync_steps,
+        local_steps,
+        sync_rounds,
+        final_loss,
+        distance_to_global,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::run_threaded_selsync;
+    use selsync_nn::model::ModelKind;
+    use selsync_tracelog::{EventLog, TraceGranularity, TraceSink};
+
+    fn cfg(delta: f32, workers: usize) -> TrainConfig {
+        let mut c = TrainConfig::small(ModelKind::ResNetLike, workers);
+        c.iterations = 20;
+        c.batch_size = 8;
+        c.train_samples = 256;
+        c.test_samples = 64;
+        c.algorithm = AlgorithmSpec::selsync(delta);
+        c
+    }
+
+    fn run_in_process_cluster(c: &TrainConfig, tag: &str) -> (Vec<ThreadedWorkerReport>, String) {
+        // In-process harness for the process drivers: the hub on one thread,
+        // each worker on its own, all over a real UDS. The scenario_cluster
+        // binary runs the same entry points in separate OS processes.
+        let addr = SocketAddrSpec::Unix(
+            std::env::temp_dir().join(format!("selsync-process-test-{tag}-{}", std::process::id())),
+        );
+        let mut shards = Vec::new();
+        let mut reports = Vec::new();
+        std::thread::scope(|scope| {
+            let hub_cfg = {
+                let mut h = c.clone();
+                h.trace = TraceSink::capture(TraceGranularity::Full);
+                h
+            };
+            let hub_addr = addr.clone();
+            let hub = scope.spawn(move || run_process_hub(&hub_cfg, &hub_addr));
+            let workers: Vec<_> = (0..c.workers)
+                .map(|w| {
+                    let worker_cfg = {
+                        let mut wc = c.clone();
+                        wc.trace = TraceSink::capture(TraceGranularity::Full);
+                        wc
+                    };
+                    let worker_addr = addr.clone();
+                    scope.spawn(move || run_process_worker(&worker_cfg, w, &worker_addr))
+                })
+                .collect();
+            for handle in workers {
+                let (report, shard) = handle.join().expect("worker thread");
+                reports.push(report);
+                shards.push(shard);
+            }
+            shards.push(hub.join().expect("hub thread"));
+        });
+        if let SocketAddrSpec::Unix(path) = &addr {
+            let _ = std::fs::remove_file(path);
+        }
+        reports.sort_by_key(|r| r.worker);
+        let merged = EventLog::merge(
+            shards
+                .iter()
+                .map(|s| EventLog::decode(s).expect("shard decodes")),
+        );
+        (reports, merged.encode())
+    }
+
+    #[test]
+    fn process_cluster_matches_the_threaded_driver_and_simulator_trace() {
+        let mut c = cfg(0.05, 3);
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let sim_report = crate::algorithms::run(&c);
+        let sim_trace = c.trace.take_log().encode();
+        c.trace = TraceSink::disabled();
+        let threaded = run_threaded_selsync(&c);
+
+        let (reports, merged) = run_in_process_cluster(&c, "basic");
+        assert_eq!(
+            merged, sim_trace,
+            "merged shard log diverged from the simulator"
+        );
+        for (p, t) in reports.iter().zip(threaded.iter()) {
+            assert_eq!(p.sync_rounds, t.sync_rounds, "worker {}", p.worker);
+            assert_eq!(p.sync_steps, t.sync_steps);
+            assert_eq!(p.local_steps, t.local_steps);
+            assert_eq!(p.final_loss.to_bits(), t.final_loss.to_bits());
+        }
+        assert_eq!(reports[0].sync_rounds, sim_report.sync_rounds);
+    }
+
+    #[test]
+    fn process_cluster_composes_comm_faults_over_the_socket() {
+        use selsync_comm::faults::CommFaultSpec;
+        let mut c = cfg(0.05, 3);
+        c.comm_faults = Some(CommFaultSpec {
+            seed: 9,
+            drop: 0.0,
+            duplicate: 0.4,
+            corrupt: 0.0,
+            delay: 0.3,
+            delay_rounds: 0,
+            retry_budget: 3,
+            timeout_s: 1e-3,
+        });
+        let threaded = run_threaded_selsync(&c);
+        let (reports, _merged) = run_in_process_cluster(&c, "weather");
+        for (p, t) in reports.iter().zip(threaded.iter()) {
+            assert_eq!(format!("{p:?}"), format!("{t:?}"), "worker {}", p.worker);
+        }
+    }
+
+    #[test]
+    fn worker_report_text_codec_round_trips() {
+        let report = ThreadedWorkerReport {
+            worker: 3,
+            sync_steps: 7,
+            local_steps: 13,
+            sync_rounds: vec![0, 4, 9],
+            final_loss: 1.25e-3,
+            distance_to_global: 0.0,
+        };
+        let line = encode_worker_report(&report);
+        let back = decode_worker_report(&line).expect("decodes");
+        assert_eq!(format!("{back:?}"), format!("{report:?}"));
+        let empty = ThreadedWorkerReport {
+            sync_rounds: vec![],
+            ..report
+        };
+        let back = decode_worker_report(&encode_worker_report(&empty)).expect("decodes");
+        assert!(back.sync_rounds.is_empty());
+    }
+}

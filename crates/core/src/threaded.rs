@@ -90,7 +90,7 @@ use serde::{Deserialize, Serialize};
 /// after that all-gather), this makes the policy's signal stream — and every
 /// threshold it produces — a pure function of the schedule, independent of thread
 /// interleaving.
-struct SignalBoard {
+pub(crate) struct SignalBoard {
     state: Mutex<BoardState>,
     cv: Condvar,
     /// The run's trace sink: regime switches are policy-internal transitions, visible
@@ -106,7 +106,11 @@ struct BoardState {
 }
 
 impl SignalBoard {
-    fn new(policy: Box<dyn DeltaPolicy>, first_active_round: usize, trace: TraceSink) -> Self {
+    pub(crate) fn new(
+        policy: Box<dyn DeltaPolicy>,
+        first_active_round: usize,
+        trace: TraceSink,
+    ) -> Self {
         SignalBoard {
             state: Mutex::new(BoardState {
                 policy,
@@ -119,7 +123,7 @@ impl SignalBoard {
 
     /// Block until every active round before `iteration` has been observed (i.e. the
     /// policy state is exactly what the simulator's policy held entering that round).
-    fn wait_caught_up(&self, iteration: usize) {
+    pub(crate) fn wait_caught_up(&self, iteration: usize) {
         let mut s = self.state.lock();
         while s.next_observe < iteration {
             self.cv.wait(&mut s);
@@ -130,7 +134,7 @@ impl SignalBoard {
     /// observed every earlier active round; the round's own signals cannot have been
     /// observed yet (the observation is posted only after the round's status
     /// all-gather, which this call precedes on every present worker).
-    fn delta_for(&self, iteration: usize) -> f32 {
+    pub(crate) fn delta_for(&self, iteration: usize) -> f32 {
         let mut s = self.state.lock();
         while s.next_observe < iteration {
             self.cv.wait(&mut s);
@@ -145,7 +149,7 @@ impl SignalBoard {
     /// Ingest the completed round's cluster-level signals and advance the board to
     /// `next_round` (the next active round, or the iteration count). Called by exactly
     /// one worker per round — the lowest-ranked present one — strictly in round order.
-    fn observe(&self, signal: RoundSignal, next_round: usize) {
+    pub(crate) fn observe(&self, signal: RoundSignal, next_round: usize) {
         let mut s = self.state.lock();
         assert_eq!(
             s.next_observe, signal.iteration,
@@ -293,6 +297,16 @@ pub fn run_threaded_selsync_resumed(
 }
 
 fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<ThreadedWorkerReport> {
+    // A simulator image is translated into the threaded layout up front;
+    // everything below sees a native "threaded" checkpoint.
+    let translated;
+    let resume = match resume {
+        Some(ckpt) if ckpt.backend == "sim" => {
+            translated = crate::resume::sim_to_threaded(cfg, ckpt);
+            Some(&translated)
+        }
+        other => other,
+    };
     let delta = match cfg.algorithm {
         AlgorithmSpec::SelSync { delta, .. } => delta,
         AlgorithmSpec::Bsp => 0.0,
@@ -362,6 +376,8 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
     let ps_schedule = &ps_schedule;
     let evictions = cfg.comm_fault_evictions();
     let evictions = &evictions;
+    // The image a resume started from stays on disk whatever the retention says.
+    let protect = resume.map(|c| c.round);
     let ckpt_spec = cfg.checkpoint.clone();
     if let Some(ck) = &ckpt_spec {
         ck.validate().expect("invalid checkpoint configuration");
@@ -572,7 +588,7 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
                     last_loss,
                 );
                 gate.checkpoint_round(worker, n, it, section, |deposits| {
-                    write_threaded_checkpoint(cfg, ck, board, &handles.ps, deposits, it);
+                    write_threaded_checkpoint(cfg, ck, board, &handles.ps, deposits, it, protect);
                 });
             }
             ck.halt_after == Some(it)
@@ -973,6 +989,7 @@ fn write_threaded_checkpoint(
     ps: &selsync_comm::ParameterServer,
     deposits: Vec<Section>,
     it: usize,
+    protect: Option<usize>,
 ) {
     let mut image = Checkpoint::new("threaded", checkpoint::config_fingerprint(cfg), it);
     let ps_state = ps.export_state();
@@ -1007,6 +1024,9 @@ fn write_threaded_checkpoint(
     image
         .write_file(&path)
         .unwrap_or_else(|err| panic!("failed to write checkpoint {}: {err}", path.display()));
+    // Retention runs only after the newer image is durably on disk, and never
+    // removes the image a resume started from.
+    ck.prune(it, protect);
 }
 
 #[cfg(test)]
@@ -1238,6 +1258,7 @@ mod tests {
             every: 5,
             dir: dir.to_string_lossy().into_owned(),
             halt_after: Some(10),
+            keep: None,
         });
         let _halted = run_threaded_selsync(&killed_cfg);
         let ckpt = Checkpoint::read_file(dir.join("ckpt-10")).expect("checkpoint reads back");
@@ -1264,6 +1285,7 @@ mod tests {
             duplicate: 0.0,
             corrupt: 0.01,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 2,
             timeout_s: 1e-3,
         };
@@ -1307,6 +1329,7 @@ mod tests {
             duplicate: 0.4,
             corrupt: 0.0,
             delay: 0.3,
+            delay_rounds: 0,
             retry_budget: 3,
             timeout_s: 1e-3,
         });

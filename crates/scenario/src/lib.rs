@@ -51,5 +51,5 @@ pub mod toml;
 pub use injector::FaultInjector;
 pub use library::{all_builtin, builtin, BUILTIN_NAMES};
 pub use runner::{run_scenario, ScenarioReport};
-pub use schema::{FaultSpec, NetworkSpec, Scenario, SweepSpec, TraceSpec};
+pub use schema::{FaultSpec, NetworkSpec, Scenario, SweepSpec, TraceSpec, TransportSpec};
 pub use sweep::{run_sweep, ArmKind, ArmSummary, SweepReport};

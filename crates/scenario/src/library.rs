@@ -184,6 +184,7 @@ pub fn flaky_links() -> Scenario {
         duplicate: 0.04,
         corrupt: 0.02,
         delay: 0.06,
+        delay_rounds: 0,
         retry_budget: 5,
         timeout_s: 5.0e-3,
     });

@@ -206,6 +206,25 @@ impl TraceSpec {
     }
 }
 
+/// Which transport carries the cluster's wire envelopes
+/// (`transport = "memory" | "socket"` in the `[scenario]` section; memory when
+/// omitted). The in-memory transports serve the simulator and thread-per-worker
+/// backends; `"socket"` selects the multi-process backend (`scenario_cluster`),
+/// which runs one OS process per worker over UDS — or TCP when
+/// `transport_addr = "host:port"` is given. See `docs/TRANSPORT.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportSpec {
+    /// Shared-address-space delivery (the default; both in-process backends).
+    #[default]
+    Memory,
+    /// Length-prefixed socket transport between OS processes: UDS when `addr`
+    /// is `None`, TCP on the given `host:port` otherwise.
+    Socket {
+        /// TCP listen/connect address; `None` selects a Unix domain socket.
+        addr: Option<String>,
+    },
+}
+
 /// Base network description in file-friendly units.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
@@ -276,6 +295,11 @@ pub struct Scenario {
     /// global from the PS snapshot ring — extending simulator parity to faulty
     /// schedules. The simulator itself is unaffected.
     pub rejoin_pull: RejoinPull,
+    /// Transport selection for the cluster binary (`transport = "socket"` plus
+    /// optional `transport_addr` in the `[scenario]` section; in-memory when
+    /// omitted). Only `scenario_cluster` acts on it — the in-process backends
+    /// always use memory transports.
+    pub transport: TransportSpec,
     /// Optional event-log capture settings (`[trace]` section; disabled when omitted).
     pub trace: TraceSpec,
     /// Optional message-fault weather (`[comm_faults]` section; lossless links when
@@ -492,6 +516,7 @@ impl Scenario {
             faults: Vec::new(),
             sweep: None,
             rejoin_pull: RejoinPull::WallClock,
+            transport: TransportSpec::Memory,
             trace: TraceSpec::default(),
             comm_faults: None,
             ps_faults: None,
@@ -571,6 +596,11 @@ impl Scenario {
         if let Some(sweep) = &self.sweep {
             sweep.validate()?;
         }
+        if let TransportSpec::Socket { addr: Some(addr) } = &self.transport {
+            if addr.is_empty() {
+                return Err("transport_addr must not be empty when given".into());
+            }
+        }
         self.trace.validate()?;
         self.to_conditions()
             .validate(self.workers, self.iterations)?;
@@ -614,6 +644,14 @@ impl Scenario {
         if self.rejoin_pull == RejoinPull::Scheduled {
             s.set("rejoin_pull", Value::Str("scheduled".into()));
         }
+        // Only serialized when non-default so pre-existing scenario dumps stay
+        // byte-identical.
+        if let TransportSpec::Socket { addr } = &self.transport {
+            s.set("transport", Value::Str("socket".into()));
+            if let Some(addr) = addr {
+                s.set("transport_addr", Value::Str(addr.clone()));
+            }
+        }
         doc.sections.push(("scenario".to_string(), s));
 
         let mut net = Table::new();
@@ -649,6 +687,11 @@ impl Scenario {
             cf.set("duplicate", Value::Float(spec.duplicate));
             cf.set("corrupt", Value::Float(spec.corrupt));
             cf.set("delay", Value::Float(spec.delay));
+            // Only serialized when non-default so pre-existing dumps stay
+            // byte-identical.
+            if spec.delay_rounds > 0 {
+                cf.set("delay_rounds", Value::Int(spec.delay_rounds as i64));
+            }
             cf.set("retry_budget", Value::Int(spec.retry_budget as i64));
             cf.set("timeout_s", Value::Float(spec.timeout_s));
             doc.sections.push(("comm_faults".to_string(), cf));
@@ -691,6 +734,9 @@ impl Scenario {
             c.set("dir", Value::Str(ck.dir.clone()));
             if let Some(halt) = ck.halt_after {
                 c.set("halt_after", Value::Int(halt as i64));
+            }
+            if let Some(keep) = ck.keep {
+                c.set("keep", Value::Int(keep as i64));
             }
             doc.sections.push(("checkpoint".to_string(), c));
         }
@@ -825,6 +871,43 @@ impl Scenario {
                 None => return Err(format!("{ctx}: rejoin_pull must be a string")),
             },
         };
+        let transport_addr = match s.get("transport_addr") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| format!("{ctx}: transport_addr must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let transport = match s.get("transport") {
+            None => {
+                if transport_addr.is_some() {
+                    return Err(format!(
+                        "{ctx}: transport_addr requires transport = \"socket\""
+                    ));
+                }
+                TransportSpec::Memory
+            }
+            Some(v) => match v.as_str() {
+                Some("memory") => {
+                    if transport_addr.is_some() {
+                        return Err(format!(
+                            "{ctx}: transport_addr requires transport = \"socket\""
+                        ));
+                    }
+                    TransportSpec::Memory
+                }
+                Some("socket") => TransportSpec::Socket {
+                    addr: transport_addr,
+                },
+                Some(other) => {
+                    return Err(format!(
+                        "{ctx}: unknown transport {other:?} (expected memory | socket)"
+                    ))
+                }
+                None => return Err(format!("{ctx}: transport must be a string")),
+            },
+        };
 
         let trace = match doc.section("trace") {
             Some(t) => {
@@ -884,6 +967,10 @@ impl Scenario {
                     duplicate: rate("duplicate")?,
                     corrupt: rate("corrupt")?,
                     delay: rate("delay")?,
+                    delay_rounds: match cf.get("delay_rounds") {
+                        None => 0,
+                        Some(_) => get_usize(cf, "delay_rounds", ctx)? as u64,
+                    },
                     retry_budget: match cf.get("retry_budget") {
                         None => 3,
                         Some(_) => u32::try_from(get_usize(cf, "retry_budget", ctx)?)
@@ -943,6 +1030,10 @@ impl Scenario {
                     halt_after: match c.get("halt_after") {
                         None => None,
                         Some(_) => Some(get_usize(c, "halt_after", ctx)?),
+                    },
+                    keep: match c.get("keep") {
+                        None => None,
+                        Some(_) => Some(get_usize(c, "keep", ctx)?),
                     },
                 })
             }
@@ -1065,6 +1156,7 @@ impl Scenario {
             faults,
             sweep,
             rejoin_pull,
+            transport,
             trace,
             comm_faults,
             ps_faults,
@@ -1133,6 +1225,7 @@ mod tests {
             every: 25,
             dir: "target/ckpt/unit-test".into(),
             halt_after: None,
+            keep: None,
         });
         s
     }
@@ -1335,6 +1428,7 @@ mod tests {
             duplicate: 0.02,
             corrupt: 0.01,
             delay: 0.04,
+            delay_rounds: 0,
             retry_budget: 5,
             timeout_s: 5.0e-3,
         });
@@ -1379,6 +1473,7 @@ mod tests {
             duplicate: 0.0,
             corrupt: 0.05,
             delay: 0.0,
+            delay_rounds: 0,
             retry_budget: 1,
             timeout_s: 1e-3,
         });
@@ -1477,6 +1572,108 @@ mod tests {
         let mut no_dir = sample();
         no_dir.checkpoint.as_mut().unwrap().dir = String::new();
         assert!(no_dir.validate().is_err());
+    }
+
+    #[test]
+    fn transport_key_round_trips_and_defaults_to_memory() {
+        // Default: omitted from the TOML, parses back to memory.
+        let s = sample();
+        assert_eq!(s.transport, TransportSpec::Memory);
+        let text = s.to_toml_string();
+        assert!(!text.contains("transport"), "{text}");
+
+        // UDS socket: serialized explicitly, round-trips.
+        let mut uds = sample();
+        uds.transport = TransportSpec::Socket { addr: None };
+        let text = uds.to_toml_string();
+        assert!(text.contains("transport = \"socket\""), "{text}");
+        assert!(!text.contains("transport_addr"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(uds, parsed);
+        assert_eq!(text, parsed.to_toml_string());
+
+        // TCP socket: the address rides along.
+        let mut tcp = sample();
+        tcp.transport = TransportSpec::Socket {
+            addr: Some("127.0.0.1:9044".into()),
+        };
+        let text = tcp.to_toml_string();
+        assert!(
+            text.contains("transport_addr = \"127.0.0.1:9044\""),
+            "{text}"
+        );
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(tcp, parsed);
+
+        // An explicit memory value parses; unknown transports, addresses without
+        // the socket transport, and empty addresses are rejected.
+        let explicit = text
+            .replace("transport = \"socket\"\n", "transport = \"memory\"\n")
+            .replace("transport_addr = \"127.0.0.1:9044\"\n", "");
+        assert_eq!(
+            Scenario::from_toml_str(&explicit).unwrap().transport,
+            TransportSpec::Memory
+        );
+        let bad = text.replace("transport = \"socket\"", "transport = \"pigeon\"");
+        assert!(Scenario::from_toml_str(&bad)
+            .unwrap_err()
+            .contains("transport"));
+        let orphan = text.replace("transport = \"socket\"\n", "");
+        assert!(Scenario::from_toml_str(&orphan)
+            .unwrap_err()
+            .contains("transport_addr"));
+        let mut empty = sample();
+        empty.transport = TransportSpec::Socket {
+            addr: Some(String::new()),
+        };
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn delay_rounds_key_round_trips_and_defaults_to_zero() {
+        // Default: a zero delay_rounds is elided from the dump.
+        let mut faulty = sample();
+        faulty.comm_faults = Some(CommFaultSpec::lossless(7));
+        let text = faulty.to_toml_string();
+        assert!(!text.contains("delay_rounds"), "{text}");
+
+        // Non-zero: serialized, round-trips, reaches the train config.
+        let mut spec = CommFaultSpec::lossless(7);
+        spec.delay = 0.1;
+        spec.delay_rounds = 96;
+        faulty.comm_faults = Some(spec);
+        let text = faulty.to_toml_string();
+        assert!(text.contains("delay_rounds = 96"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(faulty, parsed);
+        assert_eq!(text, parsed.to_toml_string());
+        assert_eq!(
+            parsed.comm_faults.unwrap().delay_rounds,
+            96,
+            "delay_rounds survives the round trip"
+        );
+    }
+
+    #[test]
+    fn checkpoint_keep_round_trips_and_rejects_zero() {
+        // keep is elided when unset (the sample has none) and round-trips when set.
+        let s = sample();
+        assert!(
+            !s.to_toml_string().contains("keep"),
+            "{}",
+            s.to_toml_string()
+        );
+        let mut rotating = sample();
+        rotating.checkpoint.as_mut().unwrap().keep = Some(3);
+        let text = rotating.to_toml_string();
+        assert!(text.contains("keep = 3"), "{text}");
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(rotating, parsed);
+        assert_eq!(text, parsed.to_toml_string());
+
+        // keep = 0 would retain nothing and is rejected at validation time.
+        let bad = text.replace("keep = 3", "keep = 0");
+        assert!(Scenario::from_toml_str(&bad).unwrap_err().contains("keep"));
     }
 
     #[test]

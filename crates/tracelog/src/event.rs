@@ -470,6 +470,22 @@ impl EventLog {
             .first()
             .filter(|e| matches!(e, Event::Header { .. }))
     }
+
+    /// Merge per-process trace shards into one canonical log.
+    ///
+    /// The multi-process backend records each event in exactly one process (the
+    /// hub owns the header and the policy's regime switches, the lowest-ranked
+    /// present worker owns a round's structural events, each worker owns its own
+    /// retry/eviction/rejoin events), so concatenating the shards and applying
+    /// the canonical `(round, kind, worker)` sort reproduces the byte-identical
+    /// log a single-process run of the same schedule emits.
+    pub fn merge(shards: impl IntoIterator<Item = EventLog>) -> EventLog {
+        let mut merged = EventLog {
+            events: shards.into_iter().flat_map(|s| s.events).collect(),
+        };
+        merged.canonical_sort();
+        merged
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ fn mid_run_evicting_spec(cfg: &TrainConfig) -> CommFaultSpec {
         duplicate: 0.0,
         corrupt: 0.01,
         delay: 0.0,
+        delay_rounds: 0,
         retry_budget: 2,
         timeout_s: 1e-3,
     };
@@ -180,6 +181,7 @@ fn duplicate_and_delay_weather_is_indistinguishable_from_lossless() {
         duplicate: 0.4,
         corrupt: 0.0,
         delay: 0.3,
+        delay_rounds: 0,
         retry_budget: 3,
         timeout_s: 5e-3,
     });
@@ -203,6 +205,7 @@ fn retries_terminate_within_budget_and_are_priced_into_the_report() {
         duplicate: 0.04,
         corrupt: 0.02,
         delay: 0.06,
+        delay_rounds: 0,
         retry_budget: budget,
         timeout_s: 5e-3,
     });

@@ -1,0 +1,217 @@
+//! Multi-process cluster parity acceptance suite (see `docs/TRANSPORT.md`).
+//!
+//! The `scenario_cluster` contract, pinned over *real OS processes*: one
+//! process per worker plus a parameter-server hub process, talking over a Unix
+//! domain socket through [`selsync_repro::comm::socket::SocketTransport`], must
+//! produce — after merging the per-process trace shards — the byte-identical
+//! event log of the sequential simulator, and every worker's synchronization
+//! schedule must equal the simulator's restricted to that worker's present
+//! rounds. Covered across worker counts {2, 4} on both a crash/rejoin schedule
+//! and `[comm_faults]` link weather.
+//!
+//! Process harness: integration tests cannot reach the bench crate's binaries,
+//! so the suite re-executes *its own* test binary. The hidden
+//! [`process_child_entry`] test is a no-op under a normal run; when the
+//! `SELSYNC_PROCESS_ROLE` environment variable is set it becomes a cluster
+//! role (hub or worker), runs the shared per-case configuration against the
+//! hub socket, and writes its shard to `SELSYNC_PROCESS_OUT`.
+
+use selsync_repro::comm::faults::CommFaultSpec;
+use selsync_repro::comm::socket::SocketAddrSpec;
+use selsync_repro::core::algorithms;
+use selsync_repro::core::conditions::{ClusterConditions, FaultEvent};
+use selsync_repro::core::config::{AlgorithmSpec, RejoinPull, TrainConfig};
+use selsync_repro::core::policy::PolicySpec;
+use selsync_repro::core::process::{decode_worker_report, run_process_hub, run_process_worker};
+use selsync_repro::nn::model::ModelKind;
+use selsync_repro::tracelog::{EventLog, TraceGranularity, TraceSink};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The shared per-case configuration — the single source of truth the parent
+/// (for the simulator reference) and every child role derive independently.
+/// Case tags are `<schedule>-w<workers>`.
+fn test_cfg(case: &str) -> TrainConfig {
+    let (schedule, workers) = case
+        .rsplit_once("-w")
+        .expect("case tag like crash-rejoin-w4");
+    let workers: usize = workers.parse().expect("worker count suffix");
+    let mut c = TrainConfig::small(ModelKind::ResNetLike, workers);
+    c.iterations = 36;
+    c.batch_size = 8;
+    c.train_samples = 512;
+    c.test_samples = 128;
+    c.trace = TraceSink::capture(TraceGranularity::Full);
+    c.algorithm = AlgorithmSpec::selsync(0.05);
+    match schedule {
+        "crash-rejoin" => {
+            // Deterministic rejoin pulls are what makes a crash schedule
+            // simulator-comparable; the last worker crashes mid-run and
+            // rejoins, and the 4-worker case adds a permanent late crash.
+            c.rejoin_pull = RejoinPull::Scheduled;
+            c.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+                worker: workers - 1,
+                start: 8,
+                rejoin: Some(20),
+            });
+            if workers >= 4 {
+                c.delta_policy = Some(PolicySpec::adaptive_default());
+                c.conditions = c.conditions.with_fault(FaultEvent::Crash {
+                    worker: 2,
+                    start: 28,
+                    rejoin: None,
+                });
+            }
+        }
+        "flaky-links" => {
+            // The flaky-links built-in's link weather: every fault fate rides
+            // the socket transport through the FaultyTransport decorator.
+            c.comm_faults = Some(CommFaultSpec {
+                seed: 42,
+                drop: 0.08,
+                duplicate: 0.04,
+                corrupt: 0.02,
+                delay: 0.06,
+                delay_rounds: 0,
+                retry_budget: 5,
+                timeout_s: 5e-3,
+            });
+        }
+        other => panic!("unknown case schedule {other:?}"),
+    }
+    c
+}
+
+/// Hidden child entry. A no-op test under a normal run; a cluster role when
+/// the parent re-executed this binary with the `SELSYNC_PROCESS_*` variables.
+#[test]
+fn process_child_entry() {
+    let Ok(role) = std::env::var("SELSYNC_PROCESS_ROLE") else {
+        return;
+    };
+    let case = std::env::var("SELSYNC_PROCESS_CASE").expect("case env");
+    let out = std::env::var("SELSYNC_PROCESS_OUT").expect("out env");
+    let socket = std::env::var("SELSYNC_PROCESS_SOCKET").expect("socket env");
+    let addr = SocketAddrSpec::parse(&socket);
+    let cfg = test_cfg(&case);
+    let output = match role.as_str() {
+        "hub" => run_process_hub(&cfg, &addr),
+        "worker" => {
+            let index: usize = std::env::var("SELSYNC_PROCESS_INDEX")
+                .expect("index env")
+                .parse()
+                .expect("index parses");
+            let (report, shard) = run_process_worker(&cfg, index, &addr);
+            format!(
+                "{}\n{shard}",
+                selsync_repro::core::process::encode_worker_report(&report)
+            )
+        }
+        other => panic!("unknown role {other:?}"),
+    };
+    std::fs::write(&out, output).expect("child writes its output file");
+}
+
+fn spawn_role(
+    case: &str,
+    role: &str,
+    index: usize,
+    socket: &Path,
+    dir: &Path,
+) -> (std::process::Child, PathBuf) {
+    let out = dir.join(format!("{role}{index}.out"));
+    let exe = std::env::current_exe().expect("current test binary");
+    let child = Command::new(exe)
+        .arg("process_child_entry")
+        .arg("--exact")
+        .env("SELSYNC_PROCESS_ROLE", role)
+        .env("SELSYNC_PROCESS_CASE", case)
+        .env("SELSYNC_PROCESS_INDEX", index.to_string())
+        .env("SELSYNC_PROCESS_SOCKET", socket)
+        .env("SELSYNC_PROCESS_OUT", &out)
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn {role} {index}: {e}"));
+    (child, out)
+}
+
+/// Spawn the hub + worker processes for one case, merge their shards and pin
+/// them against the in-process simulator.
+fn run_cluster_case(case: &str) {
+    let cfg = test_cfg(case);
+    let sim_report = algorithms::run(&cfg);
+    let sim_trace = cfg.trace.take_log().encode();
+
+    let dir = std::env::temp_dir().join(format!(
+        "selsync-process-parity-{}-{case}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create case dir");
+    let socket = dir.join("hub.sock");
+
+    let mut children = vec![spawn_role(case, "hub", 0, &socket, &dir)];
+    for w in 0..cfg.workers {
+        children.push(spawn_role(case, "worker", w, &socket, &dir));
+    }
+    let mut outputs = Vec::new();
+    for (mut child, out) in children {
+        let status = child.wait().expect("wait for child process");
+        assert!(
+            status.success(),
+            "{case}: {} failed ({status})",
+            out.display()
+        );
+        outputs.push(std::fs::read_to_string(&out).expect("read child output"));
+    }
+
+    let mut shards = vec![EventLog::decode(&outputs[0]).expect("hub shard decodes")];
+    let mut reports = Vec::new();
+    for text in &outputs[1..] {
+        let (line, shard) = text
+            .split_once('\n')
+            .expect("worker output has a report line");
+        reports.push(decode_worker_report(line).expect("worker report decodes"));
+        shards.push(EventLog::decode(shard).expect("worker shard decodes"));
+    }
+    reports.sort_by_key(|r| r.worker);
+
+    let merged = EventLog::merge(shards).encode();
+    assert_eq!(
+        merged, sim_trace,
+        "{case}: merged process shards diverged from the simulator's event log"
+    );
+    let effective = cfg.effective_conditions();
+    for r in &reports {
+        let expected: Vec<usize> = sim_report
+            .sync_rounds
+            .iter()
+            .copied()
+            .filter(|&round| effective.is_present(r.worker, round))
+            .collect();
+        assert_eq!(
+            r.sync_rounds, expected,
+            "{case}: worker {} schedule diverged from the simulator's",
+            r.worker
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_rejoin_cluster_of_2_processes_matches_the_simulator() {
+    run_cluster_case("crash-rejoin-w2");
+}
+
+#[test]
+fn crash_rejoin_cluster_of_4_processes_matches_the_simulator() {
+    run_cluster_case("crash-rejoin-w4");
+}
+
+#[test]
+fn flaky_links_cluster_of_2_processes_matches_the_simulator() {
+    run_cluster_case("flaky-links-w2");
+}
+
+#[test]
+fn flaky_links_cluster_of_4_processes_matches_the_simulator() {
+    run_cluster_case("flaky-links-w4");
+}

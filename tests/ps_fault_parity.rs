@@ -99,6 +99,7 @@ impl CkptDir {
             every,
             dir: self.0.to_str().expect("utf8 temp path").to_string(),
             halt_after,
+            keep: None,
         }
     }
 }
@@ -215,6 +216,90 @@ fn kill_and_resume_reproduces_the_uninterrupted_run_in_both_backends() {
         format!("{reports:?}"),
         full_report,
         "threaded reports must match"
+    );
+}
+
+/// Cross-backend recovery: an image written by one backend resumes on the
+/// *other* backend (via `core::resume`'s translators) and reproduces the
+/// uninterrupted run's event log byte for byte. Report-level pins are
+/// schedule-scoped where the backends measure different things: a
+/// threaded→sim resume restarts the simulator's cost-model aggregates
+/// (sim seconds, bytes) and eval history from zero (docs/RECOVERY.md), so
+/// those fields are not compared.
+#[test]
+fn checkpoints_resume_across_backends_with_identical_traces() {
+    let scenario = scaled();
+    let mut cfg = scenario.train_config(AlgorithmSpec::selsync(scenario.delta));
+    cfg.delta_policy = Some(PolicySpec::adaptive_default());
+    // Same mid-outage halt round the single-backend kill/resume test uses.
+    let halt = 12usize;
+
+    // sim image → threaded resume: every report field is schedule-derived, so
+    // the resumed cluster's full reports match the uninterrupted run's.
+    let (thr_full_log, thr_full_report) = threaded_run(&cfg);
+    let dir = CkptDir::new("sim-to-threaded");
+    let mut halted = cfg.clone();
+    halted.checkpoint = Some(dir.spec(6, Some(halt)));
+    sim_run(&halted);
+    let ckpt = Checkpoint::read_file(dir.0.join(format!("ckpt-{halt}"))).expect("sim image");
+    assert_eq!(ckpt.backend, "sim");
+    let mut resumed_cfg = halted.clone();
+    resumed_cfg.trace = TraceSink::capture(TraceGranularity::Full);
+    let reports = run_threaded_selsync_resumed(&resumed_cfg, &ckpt);
+    assert_logs_equal(
+        &thr_full_log,
+        &resumed_cfg.trace.take_log().encode(),
+        "uninterrupted threaded",
+        "sim-image resume",
+        "sim→threaded",
+    );
+    assert_eq!(
+        format!("{reports:?}"),
+        thr_full_report,
+        "threaded reports after a sim-image resume must match the uninterrupted run"
+    );
+
+    // threaded image → sim resume: the trace and every schedule-level report
+    // fact must match; cost aggregates and history are sim-only and excluded.
+    let (sim_full_log, _) = sim_run(&cfg);
+    let full = {
+        let mut c = cfg.clone();
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        algorithms::run(&c)
+    };
+    let dir = CkptDir::new("threaded-to-sim");
+    let mut halted = cfg.clone();
+    halted.checkpoint = Some(dir.spec(6, Some(halt)));
+    threaded_run(&halted);
+    let ckpt = Checkpoint::read_file(dir.0.join(format!("ckpt-{halt}"))).expect("threaded image");
+    assert_eq!(ckpt.backend, "threaded");
+    let mut resumed_cfg = halted.clone();
+    resumed_cfg.trace = TraceSink::capture(TraceGranularity::Full);
+    let resumed = selsync_repro::core::algorithms::selsync::run_resumed(&resumed_cfg, &ckpt);
+    assert_logs_equal(
+        &sim_full_log,
+        &resumed_cfg.trace.take_log().encode(),
+        "uninterrupted sim",
+        "threaded-image resume",
+        "threaded→sim",
+    );
+    assert_eq!(resumed.sync_rounds, full.sync_rounds, "sync schedule");
+    assert_eq!(resumed.sync_steps, full.sync_steps, "sync steps");
+    assert_eq!(resumed.local_steps, full.local_steps, "local steps");
+    assert_eq!(
+        resumed.final_loss.to_bits(),
+        full.final_loss.to_bits(),
+        "final loss"
+    );
+    assert_eq!(
+        resumed.final_metric.to_bits(),
+        full.final_metric.to_bits(),
+        "final metric"
+    );
+    assert_eq!(
+        resumed.max_delta.to_bits(),
+        full.max_delta.to_bits(),
+        "max Δ(g_i)"
     );
 }
 
