@@ -8,6 +8,12 @@
 //! scenario_cluster crash-rejoin --iterations 60  # shorter smoke run
 //! scenario_cluster steady --trace merged.jsonl   # write the merged event log
 //! scenario_cluster flaky-links --check           # exit 1 unless byte-identical
+//! scenario_cluster steady --kill 1:12            # kill worker 1 at round 12;
+//!                                                # verify against the
+//!                                                # equivalent scheduled crash
+//! scenario_cluster steady --ckpt-dir D --halt 9  # checkpoint and halt
+//! scenario_cluster steady --resume D/ckpt-9      # resume; merged trace must
+//!                                                # equal the uninterrupted run
 //! scenario_cluster custom.toml                   # scenario file; a
 //!                                                # [scenario] transport =
 //!                                                # "socket" block may pick TCP
@@ -27,9 +33,12 @@
 //! quantities only the simulator computes — the cluster reports schedule-level
 //! facts (docs/TRANSPORT.md).
 
-use selsync::config::AlgorithmSpec;
+use selsync::checkpoint::Checkpoint;
+use selsync::conditions::FaultEvent;
+use selsync::config::{AlgorithmSpec, CheckpointSpec};
 use selsync::process::{
-    decode_worker_report, encode_worker_report, run_process_hub, run_process_worker,
+    decode_worker_report, encode_worker_report, ensure_supported, run_process_hub_with,
+    run_process_worker_with, WorkerOptions,
 };
 use selsync_comm::socket::SocketAddrSpec;
 use selsync_scenario::{builtin, Scenario, TransportSpec, BUILTIN_NAMES};
@@ -41,6 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: scenario_cluster <builtin-name | file.toml> [--workers N] [--seed N]\n\
          \x20                       [--iterations N] [--trace FILE] [--check]\n\
+         \x20                       [--kill WORKER:ROUND] [--ckpt-every N]\n\
+         \x20                       [--ckpt-dir DIR] [--halt N] [--resume IMAGE]\n\
          built-ins: {}",
         BUILTIN_NAMES.join(", ")
     );
@@ -66,10 +77,24 @@ fn cluster_config(scenario: &Scenario) -> selsync::config::TrainConfig {
     cfg
 }
 
+/// Parse a `--kill WORKER:ROUND` operand.
+fn parse_kill(text: &str) -> Option<(usize, usize)> {
+    let (w, r) = text.split_once(':')?;
+    Some((w.parse().ok()?, r.parse().ok()?))
+}
+
 /// Child-process entry: run one role against the hub socket and write the
 /// role's output file (`hub`: the trace shard; `worker`: the report line
 /// followed by the shard). Never returns to the orchestrator path.
-fn run_child(role: &str, index: usize, scenario_path: &str, socket: &str, out: &str) -> ! {
+fn run_child(
+    role: &str,
+    index: usize,
+    scenario_path: &str,
+    socket: &str,
+    out: &str,
+    resume: Option<&str>,
+    kill: Option<(usize, usize)>,
+) -> ! {
     let scenario = match load(scenario_path) {
         Ok(s) => s,
         Err(e) => {
@@ -78,11 +103,21 @@ fn run_child(role: &str, index: usize, scenario_path: &str, socket: &str, out: &
         }
     };
     let cfg = cluster_config(&scenario);
+    let resume_image = resume.map(|path| {
+        Checkpoint::read_file(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: child could not read checkpoint {path}: {e}");
+            std::process::exit(1);
+        })
+    });
     let addr = SocketAddrSpec::parse(socket);
     let output = match role {
-        "hub" => run_process_hub(&cfg, &addr),
+        "hub" => run_process_hub_with(&cfg, &addr, resume_image.as_ref()),
         "worker" => {
-            let (report, shard) = run_process_worker(&cfg, index, &addr);
+            let opts = WorkerOptions {
+                resume: resume_image.as_ref(),
+                kill_at: kill.and_then(|(w, r)| (w == index).then_some(r)),
+            };
+            let (report, shard) = run_process_worker_with(&cfg, index, &addr, opts);
             format!("{}\n{shard}", encode_worker_report(&report))
         }
         other => {
@@ -103,10 +138,13 @@ fn spawn_role(
     run_dir: &Path,
     role: &str,
     index: usize,
+    resume: Option<&str>,
+    kill: Option<(usize, usize)>,
 ) -> (std::process::Child, PathBuf) {
     let out = run_dir.join(format!("{role}{index}.out"));
     let exe = std::env::current_exe().expect("current_exe");
-    let child = Command::new(exe)
+    let mut command = Command::new(exe);
+    command
         .arg("--role")
         .arg(role)
         .arg("--index")
@@ -116,7 +154,14 @@ fn spawn_role(
         .arg("--socket")
         .arg(socket)
         .arg("--out")
-        .arg(&out)
+        .arg(&out);
+    if let Some(path) = resume {
+        command.arg("--resume").arg(path);
+    }
+    if let Some((w, r)) = kill {
+        command.arg("--kill").arg(format!("{w}:{r}"));
+    }
+    let child = command
         .spawn()
         .unwrap_or_else(|e| panic!("failed to spawn {role} {index}: {e}"));
     (child, out)
@@ -135,6 +180,8 @@ fn main() {
         let mut scenario_path = None;
         let mut socket = None;
         let mut out = None;
+        let mut resume = None;
+        let mut kill = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -143,6 +190,8 @@ fn main() {
                 "--scenario" => scenario_path = args.get(i + 1).cloned(),
                 "--socket" => socket = args.get(i + 1).cloned(),
                 "--out" => out = args.get(i + 1).cloned(),
+                "--resume" => resume = args.get(i + 1).cloned(),
+                "--kill" => kill = args.get(i + 1).and_then(|v| parse_kill(v)),
                 _ => {}
             }
             i += 2;
@@ -153,7 +202,15 @@ fn main() {
             eprintln!("error: incomplete child invocation");
             std::process::exit(1);
         };
-        run_child(&role, index, &scenario_path, &socket, &out);
+        run_child(
+            &role,
+            index,
+            &scenario_path,
+            &socket,
+            &out,
+            resume.as_deref(),
+            kill,
+        );
     }
 
     let mut scenario = match load(&args[0]) {
@@ -165,6 +222,11 @@ fn main() {
     };
     let mut trace_out: Option<String> = None;
     let mut check = false;
+    let mut kill: Option<(usize, usize)> = None;
+    let mut resume: Option<String> = None;
+    let mut ckpt_every: Option<usize> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut halt: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -191,6 +253,29 @@ fn main() {
                 check = true;
                 i += 1;
             }
+            "--kill" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                kill = Some(parse_kill(v).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--resume" => {
+                resume = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--ckpt-every" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                ckpt_every = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--halt" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                halt = Some(v.parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -198,8 +283,52 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
-    if scenario.checkpoint.is_some() {
-        eprintln!("error: the multi-process backend does not support [checkpoint] scenarios");
+    if let Some((w, r)) = kill {
+        if w >= scenario.workers || r >= scenario.iterations {
+            eprintln!(
+                "error: --kill {w}:{r} is outside the cluster ({} workers, {} iterations)",
+                scenario.workers, scenario.iterations
+            );
+            std::process::exit(2);
+        }
+    }
+    if resume.is_some() && (ckpt_every.is_some() || ckpt_dir.is_some() || halt.is_some()) {
+        eprintln!("error: --resume replays from an existing image; drop the --ckpt-*/--halt flags");
+        std::process::exit(2);
+    }
+    if resume.is_some() {
+        // A resumed verification run replays the remaining rounds against the
+        // uninterrupted reference; it does not write further images.
+        scenario.checkpoint = None;
+    }
+    if ckpt_every.is_some() || ckpt_dir.is_some() || halt.is_some() {
+        let every = match (ckpt_every, halt) {
+            (Some(e), _) => e,
+            // Halt-only runs still need a due boundary at the halt round;
+            // `every > halt` means the halt image is the only one written.
+            (None, Some(h)) => h + 1,
+            (None, None) => {
+                eprintln!("error: --ckpt-dir needs --ckpt-every or --halt");
+                std::process::exit(2);
+            }
+        };
+        let dir = ckpt_dir.unwrap_or_else(|| {
+            eprintln!(
+                "error: --ckpt-every/--halt need --ckpt-dir (images must land somewhere durable)"
+            );
+            std::process::exit(2);
+        });
+        scenario.checkpoint = Some(CheckpointSpec {
+            every,
+            dir,
+            halt_after: halt,
+            keep: scenario.checkpoint.as_ref().and_then(|c| c.keep),
+        });
+    }
+    // A one-line diagnosis (naming the offending scenario key) beats the panic
+    // backtrace every child would otherwise print.
+    if let Err(e) = ensure_supported(&cluster_config(&scenario)) {
+        eprintln!("error: {e}");
         std::process::exit(1);
     }
 
@@ -212,6 +341,8 @@ fn main() {
     std::fs::create_dir_all(&run_dir).expect("create run dir");
     // Children re-parse the resolved scenario from disk, so the file round trip
     // — not argument forwarding — is the single source of configuration truth.
+    // Runtime knobs that are not configuration (--kill, --resume) are forwarded
+    // as child arguments instead.
     let scenario_path = run_dir.join("scenario.toml");
     std::fs::write(&scenario_path, scenario.to_toml_string()).expect("write scenario file");
     let socket = match &scenario.transport {
@@ -226,9 +357,25 @@ fn main() {
         if socket.contains(':') { "tcp" } else { "uds" },
     );
     let mut children = Vec::new();
-    children.push(spawn_role(&scenario_path, &socket, &run_dir, "hub", 0));
+    children.push(spawn_role(
+        &scenario_path,
+        &socket,
+        &run_dir,
+        "hub",
+        0,
+        resume.as_deref(),
+        None,
+    ));
     for w in 0..n {
-        children.push(spawn_role(&scenario_path, &socket, &run_dir, "worker", w));
+        children.push(spawn_role(
+            &scenario_path,
+            &socket,
+            &run_dir,
+            "worker",
+            w,
+            resume.as_deref(),
+            kill,
+        ));
     }
     let mut outputs = Vec::new();
     for (mut child, out) in children {
@@ -256,15 +403,41 @@ fn main() {
     reports.sort_by_key(|r| r.worker);
     let merged = EventLog::merge(shards).encode();
 
-    // Reference: the sequential simulator on the same scenario, in-process.
-    let cfg = cluster_config(&scenario);
-    let sim_report = selsync::algorithms::run(&cfg);
-    let sim_trace = cfg.trace.take_log().encode();
-
     if let Some(path) = &trace_out {
         std::fs::write(path, &merged).expect("write merged trace");
         eprintln!("merged event log written to {path}");
     }
+
+    // A halted run stops at the checkpoint quiescent point — there is no
+    // uninterrupted reference to compare against. Resume from the image to
+    // finish the run and get the parity verdict.
+    if let Some(h) = halt {
+        let ck = scenario.checkpoint.as_ref().expect("--halt built a spec");
+        println!(
+            "# scenario: {} (seed {}) — halted after round {h}",
+            scenario.name, scenario.seed
+        );
+        println!(
+            "checkpoint images under {}; resume with --resume {}/ckpt-{h}",
+            ck.dir, ck.dir
+        );
+        std::fs::remove_dir_all(&run_dir).ok();
+        return;
+    }
+
+    // Reference: the sequential simulator on the same scenario, in-process. A
+    // --kill death must behave exactly like a scheduled no-rejoin crash at the
+    // kill round, so the reference gets that crash.
+    let mut cfg = cluster_config(&scenario);
+    if let Some((w, r)) = kill {
+        cfg.conditions = cfg.conditions.clone().with_fault(FaultEvent::Crash {
+            worker: w,
+            start: r,
+            rejoin: None,
+        });
+    }
+    let sim_report = selsync::algorithms::run(&cfg);
+    let sim_trace = cfg.trace.take_log().encode();
 
     let effective = cfg.effective_conditions();
     let mut divergences = Vec::new();

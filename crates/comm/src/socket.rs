@@ -74,6 +74,15 @@ pub trait RpcService: Send + Sync {
     /// Handle one request from `worker` at logical `round`; the returned bytes
     /// travel back as the reply payload. May block (rendezvous ops do).
     fn handle(&self, worker: u32, round: u64, request: &[u8]) -> Vec<u8>;
+
+    /// The connection identified as `worker` terminated — cleanly (EOF at a
+    /// frame boundary) or abruptly (broken pipe, EOF mid-frame). Called exactly
+    /// once per identified connection, after its last frame was served; the
+    /// default does nothing. Services that model worker death as an eviction
+    /// hook in here.
+    fn connection_closed(&self, worker: u32) {
+        let _ = worker;
+    }
 }
 
 fn wire_to_io(e: WireError) -> std::io::Error {
@@ -130,8 +139,14 @@ pub struct SocketConn {
 impl SocketConn {
     /// Connect to the hub, retrying until `retry_for` elapses — worker
     /// processes race the hub's bind, so the first connects may refuse.
+    /// Retries back off exponentially (2 ms doubling to a 50 ms cap), with
+    /// every sleep clamped to the remaining budget so the deadline is never
+    /// overshot; on expiry the last OS error is wrapped into the returned
+    /// failure instead of being discarded.
     pub fn connect(addr: &SocketAddrSpec, retry_for: Duration) -> std::io::Result<Self> {
+        const BACKOFF_CAP: Duration = Duration::from_millis(50);
         let deadline = Instant::now() + retry_for;
+        let mut backoff = Duration::from_millis(2);
         loop {
             let attempt: std::io::Result<Box<dyn Stream>> = match addr {
                 SocketAddrSpec::Unix(path) => {
@@ -150,11 +165,19 @@ impl SocketConn {
                         })),
                     })
                 }
-                Err(e) if Instant::now() < deadline => {
-                    let _ = e;
-                    std::thread::sleep(Duration::from_millis(20));
+                Err(e) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(std::io::Error::new(
+                            e.kind(),
+                            format!(
+                                "connect to {addr} failed after retrying for {retry_for:?}: {e}"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(backoff.min(deadline - now));
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
                 }
-                Err(e) => return Err(e),
             }
         }
     }
@@ -286,31 +309,77 @@ impl HubServer {
     }
 }
 
+/// Byte offset of the sender id inside an encoded frame (the u32 length, the
+/// kind byte and the u64 round precede it — see [`crate::wire`]).
+const FRAME_SENDER_AT: usize = 4 + 1 + 8;
+
+/// The sender id a frame carries on the wire, if the frame is long enough to
+/// hold one. Reliable even under `[comm_faults]` weather: corruption is applied
+/// worker-side to what the hub echoed, so the bytes the hub *reads* are always
+/// the ones the worker wrote.
+fn frame_sender(frame: &[u8]) -> Option<u32> {
+    frame
+        .get(FRAME_SENDER_AT..FRAME_SENDER_AT + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
 fn serve_connection(stream: Box<dyn Stream>, service: Arc<dyn RpcService>) -> std::io::Result<()> {
     let mut conn = Conn {
         stream,
         decoder: FrameDecoder::new(),
     };
-    while let Some(frame) = conn.read_frame()? {
+    // The worker behind this connection, learned from the first frame's sender
+    // field. Before identification an I/O failure is a hub-fatal error; after
+    // it, any termination — clean EOF, mid-frame EOF, broken pipe — is a worker
+    // death, reported to the service (which models it as a deterministic
+    // eviction) instead of tearing the whole cluster down.
+    let mut worker: Option<u32> = None;
+    let closed = |w: u32| {
+        service.connection_closed(w);
+        Ok(())
+    };
+    loop {
+        let frame = match conn.read_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                return match worker {
+                    Some(w) => closed(w),
+                    None => Err(e),
+                }
+            }
+        };
+        if worker.is_none() {
+            worker = frame_sender(&frame);
+        }
         // Only RPC frames are interpreted; everything else — including frames a
         // worker-side fault decorator corrupted — is echoed back untouched. The
         // worker's message layer does the checksum validation, exactly as it
         // does over the in-memory transports.
         let is_rpc = frame.len() > 4 && frame[4] == MsgKind::Rpc.as_u8();
-        if !is_rpc {
-            conn.write_frame(&frame)?;
-            continue;
-        }
-        let request = Envelope::decode(&frame).map_err(wire_to_io)?;
-        let reply = Envelope {
-            kind: MsgKind::Rpc,
-            round: request.round,
-            sender: HUB_SENDER,
-            payload: service.handle(request.sender, request.round, &request.payload),
+        let reply = if is_rpc {
+            let request = Envelope::decode(&frame).map_err(wire_to_io)?;
+            Envelope {
+                kind: MsgKind::Rpc,
+                round: request.round,
+                sender: HUB_SENDER,
+                payload: service.handle(request.sender, request.round, &request.payload),
+            }
+            .encode()
+        } else {
+            frame
         };
-        conn.write_frame(&reply.encode())?;
+        if let Err(e) = conn.write_frame(&reply) {
+            return match worker {
+                Some(w) => closed(w),
+                None => Err(e),
+            };
+        }
     }
-    Ok(())
+    match worker {
+        Some(w) => closed(w),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +510,96 @@ mod tests {
             }),
             "the drawn weather must exercise the reject path somewhere"
         );
+    }
+
+    #[test]
+    fn connect_failure_reports_the_os_cause_and_respects_the_deadline() {
+        let addr = temp_sock("nobody-listening");
+        let retry_for = Duration::from_millis(60);
+        let started = Instant::now();
+        let err = match SocketConn::connect(&addr, retry_for) {
+            Ok(_) => panic!("no hub is bound there, connect must fail"),
+            Err(e) => e,
+        };
+        let elapsed = started.elapsed();
+        // Clamped sleeps: the deadline may be exceeded only by the cost of the
+        // final connect attempt, not by a whole backoff sleep.
+        assert!(
+            elapsed < retry_for + Duration::from_millis(200),
+            "connect retried past its deadline: {elapsed:?}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("failed after retrying for"),
+            "missing retry context: {msg}"
+        );
+        assert!(
+            msg.contains(&addr.to_string()),
+            "missing target address: {msg}"
+        );
+        // The final OS error must ride along instead of being discarded.
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(
+            msg.to_lowercase().contains("no such file"),
+            "missing the OS cause: {msg}"
+        );
+    }
+
+    #[test]
+    fn worker_hangup_after_identification_fires_connection_closed_once() {
+        struct Recorder {
+            closed: Mutex<Vec<u32>>,
+        }
+        impl RpcService for Recorder {
+            fn handle(&self, _worker: u32, _round: u64, request: &[u8]) -> Vec<u8> {
+                request.to_vec()
+            }
+            fn connection_closed(&self, worker: u32) {
+                self.closed.lock().push(worker);
+            }
+        }
+        let addr = temp_sock("hangup");
+        let server = HubServer::bind(&addr).expect("bind");
+        let service = Arc::new(Recorder {
+            closed: Mutex::new(Vec::new()),
+        });
+        let svc: Arc<dyn RpcService> = Arc::clone(&service) as _;
+        let serving = std::thread::spawn(move || server.serve(3, svc));
+        // Two workers identify themselves over one RPC each, then hang up at a
+        // frame boundary (the clean-EOF death shape).
+        for worker in [7u32, 9] {
+            let conn = SocketConn::connect(&addr, Duration::from_secs(5)).expect("connect");
+            let client = conn.client(worker);
+            assert_eq!(client.rpc(0, vec![worker as u8]), vec![worker as u8]);
+        }
+        // A third identifies itself, then dies mid-frame: the hub maps the
+        // illegal EOF to the same callback instead of a fatal serve error.
+        let SocketAddrSpec::Unix(path) = &addr else {
+            unreachable!()
+        };
+        let mut raw = UnixStream::connect(path).expect("raw connect");
+        let hello = Envelope {
+            kind: MsgKind::Flags,
+            round: 0,
+            sender: 11,
+            payload: vec![0xEE],
+        }
+        .encode();
+        raw.write_all(&hello).expect("raw write");
+        let mut echo = vec![0u8; hello.len()];
+        raw.read_exact(&mut echo).expect("raw echo");
+        assert_eq!(echo, hello);
+        raw.write_all(&[1, 2, 3]).expect("partial frame");
+        drop(raw);
+
+        serving
+            .join()
+            .unwrap()
+            .expect("hub survives worker hangups");
+        let mut closed = service.closed.lock().clone();
+        closed.sort_unstable();
+        assert_eq!(closed, vec![7, 9, 11]);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -289,7 +289,8 @@ impl MessageLayer {
         }
     }
 
-    /// A layer over an arbitrary transport (tests, future multi-process backends).
+    /// A layer over an arbitrary transport — tests, and the multi-process
+    /// backend's per-worker hub view over `selsync-comm::socket`.
     pub fn over(transport: Box<dyn Transport>, retry_budget: u32) -> Self {
         assert!(retry_budget >= 1, "retry budget must be at least 1");
         MessageLayer {

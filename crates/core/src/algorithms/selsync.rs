@@ -81,12 +81,17 @@ pub fn run_resumed(cfg: &TrainConfig, ckpt: &Checkpoint) -> RunReport {
 }
 
 fn run_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> RunReport {
-    // A threaded-backend image is translated into the simulator's layout up
-    // front; everything below sees a native "sim" checkpoint.
+    // A threaded- or process-backend image is translated into the simulator's
+    // layout up front; everything below sees a native "sim" checkpoint.
     let translated;
     let resume = match resume {
         Some(ckpt) if ckpt.backend == "threaded" => {
             translated = crate::resume::threaded_to_sim(cfg, ckpt);
+            Some(&translated)
+        }
+        Some(ckpt) if ckpt.backend == "process" => {
+            translated =
+                crate::resume::threaded_to_sim(cfg, &crate::resume::process_to_threaded(ckpt));
             Some(&translated)
         }
         other => other,

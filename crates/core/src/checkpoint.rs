@@ -223,7 +223,8 @@ impl SectionReader<'_> {
 /// A complete, decoded checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
-    /// Which driver wrote it (`"sim"` / `"threaded"`); resume refuses a mismatch.
+    /// Which driver wrote it (`"sim"` / `"threaded"` / `"process"`); resume
+    /// refuses a mismatch.
     pub backend: String,
     /// [`config_fingerprint`] of the run's configuration; resume refuses a mismatch.
     pub fingerprint: u64,

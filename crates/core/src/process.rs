@@ -38,16 +38,44 @@
 //! events — every canonical event is emitted by exactly one process, so the
 //! sorted concatenation of shards is the single-process log.
 //!
-//! Not supported here (assert early): checkpoint/resume (the durable-image
-//! contract stays with the simulator and threaded backends for now), non-IID
-//! sharding, and algorithms other than SelSync/BSP — the same envelope the
-//! threaded driver enforces.
+//! **Durable checkpoints.** `[checkpoint]` runs ride a hub-coordinated
+//! quiescent-point protocol: at every due round each live worker ships its
+//! recovery section and trace-shard prefix to the hub as an Rpc deposit
+//! (`op::CKPT_DEPOSIT`) and parks; once every deposit is in, the hub
+//! assembles the threaded driver's exact image layout (PS global + snapshot
+//! ring, per-worker sections, board policy state, merged trace prefix), writes
+//! it under the configured `keep` rotation, and releases the cluster. The
+//! image relabels freely across backends through [`crate::resume`], so a
+//! cluster run can resume a simulator or threaded checkpoint — and vice
+//! versa — reproducing the uninterrupted run byte for byte.
+//!
+//! **Worker death.** A connection that terminates after identification —
+//! clean EOF or broken pipe alike — is mapped by the hub to a deterministic
+//! eviction at the dead worker's next scheduled-present round, published to
+//! the survivors through the per-round `op::ROUND_BEGIN` barrier: every
+//! present worker of a round folds the identical frozen eviction prefix, so
+//! membership stays a pure function of the round and the surviving cluster
+//! continues exactly as if the schedule had carried a no-rejoin crash at that
+//! round. Out of contract: a death mid-round after the worker announced it
+//! (in-flight rendezvous may hang), the death of a round's sole present
+//! worker, and a death racing an in-flight checkpoint (that image is voided,
+//! not written).
+//!
+//! Still unsupported — reported as a structured [`UnsupportedConfig`] from
+//! [`ensure_supported`] so orchestrators print a one-line diagnosis instead of
+//! surfacing an opaque child panic: algorithms other than SelSync/BSP, and
+//! data-injection over non-IID shards (the injection draw consumes the
+//! simulator's cluster RNG, which has no cross-process counterpart). Non-IID
+//! label shards themselves run natively via [`sim::worker_traversal`].
 
-use crate::config::{AlgorithmSpec, RejoinPull, TrainConfig};
-use crate::policy::{PolicySpec, RoundSignal, SyncPolicy};
+use crate::checkpoint::{self, Checkpoint, Section};
+use crate::conditions::{ClusterConditions, FaultEvent};
+use crate::config::{AlgorithmSpec, CheckpointSpec, RejoinPull, TrainConfig};
+use crate::policy::{PolicySpec, PolicyState, RoundSignal, SyncPolicy};
 use crate::sim;
-use crate::threaded::{SignalBoard, ThreadedWorkerReport};
-use crate::tracker::{GradStatistic, GradientTracker};
+use crate::threaded::{worker_section, SignalBoard, ThreadedWorkerReport};
+use crate::tracker::{GradStatistic, GradientTracker, TrackerState};
+use parking_lot::{Condvar, Mutex};
 use selsync_comm::cluster::{make_handles, ClusterHandles};
 use selsync_comm::faults::CommFaultSchedule;
 use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
@@ -56,7 +84,9 @@ use selsync_comm::wire::MsgKind;
 use selsync_comm::{MessageLayer, PsExchangeError, ScalarOp};
 use selsync_metrics::lssr::LssrCounter;
 use selsync_nn::model::PaperModel;
-use selsync_tracelog::{Event, PullKind};
+use selsync_nn::OptimizerState;
+use selsync_tracelog::{codec, Event, EventLog, PullKind};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -75,6 +105,8 @@ mod op {
     pub const BOARD_WAIT_CAUGHT_UP: u8 = 8;
     pub const BOARD_DELTA_FOR: u8 = 9;
     pub const BOARD_OBSERVE: u8 = 10;
+    pub const ROUND_BEGIN: u8 = 11;
+    pub const CKPT_DEPOSIT: u8 = 12;
 }
 
 fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
@@ -124,8 +156,224 @@ fn read_f32(bytes: &[u8], at: usize) -> f32 {
 /// hub thread, which is exactly the rendezvous behaviour the threaded workers
 /// get from blocking in-process calls.
 struct HubService {
+    cfg: TrainConfig,
     handles: ClusterHandles,
     board: SignalBoard,
+    /// The *base* effective membership schedule (scheduled crashes plus
+    /// compiled comm-fault evictions); runtime death evictions layer on top in
+    /// the ledger, never mutating this.
+    conditions: ClusterConditions,
+    /// The first round this (possibly resumed) run executes; death evictions
+    /// are never scheduled before it.
+    first_round: usize,
+    ckpt: Option<CheckpointSpec>,
+    /// The image this run resumed from — protected from retention pruning.
+    protect: Option<usize>,
+    ledger: Mutex<Ledger>,
+    cv: Condvar,
+}
+
+/// The hub's runtime membership + checkpoint bookkeeping, all under one lock
+/// so a death atomically updates the barrier, the eviction list and any
+/// in-flight checkpoint gather.
+struct Ledger {
+    /// Per worker: the newest round announced through `op::ROUND_BEGIN`.
+    last_begun: Vec<Option<usize>>,
+    /// Per worker: whether its connection has terminated.
+    dead: Vec<bool>,
+    /// Death evictions in creation order: `(worker, first-absent round)`.
+    evictions: Vec<(usize, usize)>,
+    /// Per released round: the eviction count frozen at its barrier release —
+    /// every `ROUND_BEGIN` reply for that round carries the identical prefix,
+    /// keeping the folded membership a pure function of the round.
+    released: HashMap<usize, usize>,
+    /// The round currently gathering checkpoint deposits, if any.
+    ckpt_round: Option<usize>,
+    ckpt_deposits: Vec<Option<Checkpoint>>,
+    /// The newest round whose checkpoint gate has released (written or voided).
+    ckpt_released: Option<usize>,
+}
+
+impl Ledger {
+    fn new(n: usize) -> Self {
+        Ledger {
+            last_begun: vec![None; n],
+            dead: vec![false; n],
+            evictions: Vec::new(),
+            released: HashMap::new(),
+            ckpt_round: None,
+            ckpt_deposits: (0..n).map(|_| None).collect(),
+            ckpt_released: None,
+        }
+    }
+}
+
+/// Reply wire shape of `op::ROUND_BEGIN`: count, then `(worker, round)` pairs.
+fn encode_evictions(evictions: &[(usize, usize)]) -> Vec<u8> {
+    let mut out = (evictions.len() as u32).to_le_bytes().to_vec();
+    for &(worker, round) in evictions {
+        out.extend((worker as u32).to_le_bytes());
+        out.extend((round as u64).to_le_bytes());
+    }
+    out
+}
+
+impl HubService {
+    /// The round-boundary membership barrier. A present worker announces round
+    /// `it` before any other traffic of the round; the call blocks until every
+    /// base-present worker of the round has either announced it or died, then
+    /// returns the eviction prefix frozen at the barrier's release — identical
+    /// for every present worker of the round.
+    fn round_begin(&self, worker: usize, it: usize) -> Vec<u8> {
+        let n = self.cfg.workers;
+        let mut s = self.ledger.lock();
+        assert!(!s.dead[worker], "dead worker {worker} announced round {it}");
+        assert!(
+            s.last_begun[worker].is_none_or(|r| r < it),
+            "worker {worker} announced round {it} out of order"
+        );
+        s.last_begun[worker] = Some(it);
+        self.cv.notify_all();
+        loop {
+            // Released rounds stay on file: a parked waiter always finds its
+            // round here first, even after faster workers advanced past it.
+            if let Some(&frozen) = s.released.get(&it) {
+                return encode_evictions(&s.evictions[..frozen]);
+            }
+            let complete = self
+                .conditions
+                .present_workers(n, it)
+                .into_iter()
+                .all(|w| s.dead[w] || s.last_begun[w].is_some_and(|r| r >= it));
+            if complete {
+                let frozen = s.evictions.len();
+                s.released.insert(it, frozen);
+                self.cv.notify_all();
+                return encode_evictions(&s.evictions[..frozen]);
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Gather one worker's checkpoint deposit for round `it` and park the
+    /// calling connection until the round's image is written (or voided by a
+    /// death) — the worker resumes only past the quiescent point.
+    fn ckpt_deposit(&self, worker: usize, it: usize, image: &str) {
+        let mini = Checkpoint::decode(image).unwrap_or_else(|e| {
+            panic!("worker {worker}'s checkpoint deposit fails to decode: {e}")
+        });
+        assert_eq!(mini.backend, "deposit", "worker {worker}'s deposit tag");
+        assert_eq!(mini.round, it, "worker {worker}'s deposit round");
+        let mut s = self.ledger.lock();
+        assert!(
+            s.ckpt_round.is_none_or(|r| r == it),
+            "checkpoint rounds interleaved: deposit for {it} while gathering {:?}",
+            s.ckpt_round
+        );
+        s.ckpt_round = Some(it);
+        assert!(
+            s.ckpt_deposits[worker].is_none(),
+            "worker {worker} deposited twice for round {it}"
+        );
+        s.ckpt_deposits[worker] = Some(mini);
+        let mut s = self.finish_checkpoint_if_complete(s);
+        while s.ckpt_released.is_none_or(|r| r < it) {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// If every live worker has deposited for the gathering round, write the
+    /// image and release the gate — the process analogue of the threaded
+    /// gate's writer leg, run by whichever connection completed the set. A
+    /// worker death voids the in-flight image instead (the cluster state is no
+    /// longer the uninterrupted run's) but still releases the survivors.
+    fn finish_checkpoint_if_complete<'a>(
+        &'a self,
+        mut s: parking_lot::MutexGuard<'a, Ledger>,
+    ) -> parking_lot::MutexGuard<'a, Ledger> {
+        let Some(it) = s.ckpt_round else {
+            return s;
+        };
+        let n = self.cfg.workers;
+        if !(0..n).all(|w| s.dead[w] || s.ckpt_deposits[w].is_some()) {
+            return s;
+        }
+        let deposits: Vec<Option<Checkpoint>> =
+            s.ckpt_deposits.iter_mut().map(|d| d.take()).collect();
+        s.ckpt_round = None;
+        let any_dead = s.dead.iter().any(|&d| d);
+        drop(s);
+        if any_dead {
+            eprintln!(
+                "checkpoint after round {it} voided: a worker died mid-run, so the cluster \
+                 state no longer matches the uninterrupted run"
+            );
+        } else {
+            let deposits: Vec<Checkpoint> = deposits
+                .into_iter()
+                .map(|d| d.expect("no worker is dead, so every slot deposited"))
+                .collect();
+            self.write_cluster_checkpoint(it, &deposits);
+        }
+        let mut s = self.ledger.lock();
+        s.ckpt_released = Some(it);
+        self.cv.notify_all();
+        s
+    }
+
+    /// Assemble and write the full recovery image after round `it` — the exact
+    /// layout the threaded driver's `write_threaded_checkpoint` produces, so
+    /// the [`crate::resume`] relabel translators move images freely between
+    /// the two drivers. Runs at the gate's quiescent point: every worker
+    /// parked in its deposit RPC, the round's signals observed, every shard's
+    /// events through `it` shipped.
+    fn write_cluster_checkpoint(&self, it: usize, deposits: &[Checkpoint]) {
+        let ck = self
+            .ckpt
+            .as_ref()
+            .expect("a deposit implies a checkpoint spec");
+        let fingerprint = checkpoint::config_fingerprint(&self.cfg);
+        let mut image = Checkpoint::new("process", fingerprint, it);
+        image.add_section(crate::resume::ps_section(&self.handles.ps.export_state()));
+        let policy_state = self.board.export_policy_state();
+        let mut section = Section::new("board");
+        section.push_ints(&policy_state.ints);
+        section.push_f32s(&policy_state.floats);
+        image.add_section(section);
+        for (w, mini) in deposits.iter().enumerate() {
+            assert_eq!(
+                mini.fingerprint, fingerprint,
+                "worker {w}'s deposit belongs to a different configuration"
+            );
+            let section = mini
+                .section(&format!("worker{w}"))
+                .unwrap_or_else(|| panic!("worker {w}'s deposit is missing its section"));
+            image.add_section(section.clone());
+        }
+        if self.cfg.trace.is_enabled() {
+            // The image's trace prefix is the canonical merge of every
+            // process's shard so far: the hub's (header + regime switches)
+            // plus each worker's deposited events.
+            let mut shards = vec![self.cfg.trace.snapshot_log()];
+            for mini in deposits {
+                let events = mini
+                    .trace
+                    .iter()
+                    .map(|line| codec::decode_event(line).expect("deposited trace line decodes"))
+                    .collect();
+                shards.push(EventLog { events });
+            }
+            let merged = EventLog::merge(shards);
+            image.trace = merged.events.iter().map(codec::encode_event).collect();
+        }
+        let path = ck.path_for(it);
+        image
+            .write_file(&path)
+            .unwrap_or_else(|err| panic!("failed to write checkpoint {}: {err}", path.display()));
+        // Retention runs only after the newer image is durably on disk, and
+        // never removes the image a resume started from.
+        ck.prune(it, self.protect);
+    }
 }
 
 impl RpcService for HubService {
@@ -208,8 +456,39 @@ impl RpcService for HubService {
                 self.board.observe(signal, next_round);
                 Vec::new()
             }
+            op::ROUND_BEGIN => self.round_begin(worker, read_u64(args, 0) as usize),
+            op::CKPT_DEPOSIT => {
+                let it = read_u64(args, 0) as usize;
+                let image =
+                    std::str::from_utf8(&args[8..]).expect("checkpoint deposit payload is UTF-8");
+                self.ckpt_deposit(worker, it, image);
+                Vec::new()
+            }
             other => panic!("unknown rpc op {other} from worker {worker}"),
         }
+    }
+
+    /// A worker's connection terminated — cleanly or not. Record the death and
+    /// schedule a deterministic eviction at the first round boundary the base
+    /// schedule still expects it, so the surviving cluster folds the loss
+    /// exactly like a scheduled no-rejoin crash. A clean run reaches this
+    /// after the worker's last round, where the search finds no remaining
+    /// present round and schedules nothing.
+    fn connection_closed(&self, worker: u32) {
+        let worker = worker as usize;
+        let mut s = self.ledger.lock();
+        if s.dead[worker] {
+            return;
+        }
+        s.dead[worker] = true;
+        let from = s.last_begun[worker].map_or(self.first_round, |r| r + 1);
+        if let Some(round) =
+            (from..self.cfg.iterations).find(|&r| self.conditions.is_present(worker, r))
+        {
+            s.evictions.push((worker, round));
+        }
+        self.cv.notify_all();
+        let _s = self.finish_checkpoint_if_complete(s);
     }
 }
 
@@ -300,6 +579,32 @@ impl RemoteCluster {
         )
     }
 
+    /// Announce round `it` at its boundary and block until the hub releases
+    /// the round's barrier. Returns the full frozen eviction prefix as
+    /// `(worker, first-absent round)` pairs; the caller folds the entries it
+    /// has not seen yet.
+    fn round_begin(&self, it: usize) -> Vec<(usize, usize)> {
+        let reply = self.request(it as u64, op::ROUND_BEGIN, &(it as u64).to_le_bytes());
+        let count = read_u32(&reply, 0) as usize;
+        (0..count)
+            .map(|i| {
+                let at = 4 + i * 12;
+                (
+                    read_u32(&reply, at) as usize,
+                    read_u64(&reply, at + 4) as usize,
+                )
+            })
+            .collect()
+    }
+
+    /// Ship this worker's checkpoint deposit for round `it` and block until
+    /// the hub has written (or voided) the round's image.
+    fn ckpt_deposit(&self, it: usize, image: &str) {
+        let mut args = (it as u64).to_le_bytes().to_vec();
+        args.extend_from_slice(image.as_bytes());
+        self.request(it as u64, op::CKPT_DEPOSIT, &args);
+    }
+
     fn observe(&self, signal: RoundSignal, next_round: usize) {
         let mut args = (signal.iteration as u64).to_le_bytes().to_vec();
         args.extend(signal.max_delta.to_le_bytes());
@@ -312,23 +617,60 @@ impl RemoteCluster {
     }
 }
 
+/// A configuration the process backend cannot run, naming the offending
+/// scenario key so orchestrators can print a one-line diagnosis instead of a
+/// panic backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedConfig {
+    /// The scenario key (or key path) that selects the unsupported feature.
+    pub key: &'static str,
+    /// Why the process backend rejects it.
+    pub message: String,
+}
+
+impl std::fmt::Display for UnsupportedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported by the process backend ({}): {}",
+            self.key, self.message
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedConfig {}
+
 /// The configuration envelope the process backend supports — the threaded
-/// driver's, minus durable checkpoints (which need a cross-process quiescence
-/// gate this backend does not implement).
-fn check_supported(cfg: &TrainConfig) -> (f32, PolicySpec) {
+/// driver's. The only genuinely unsupported shapes left are non-SelSync/BSP
+/// algorithms and data-injection over non-IID shards (whose injection draws
+/// ride the simulator's cluster RNG).
+pub fn ensure_supported(cfg: &TrainConfig) -> Result<(f32, PolicySpec), UnsupportedConfig> {
     let delta = match cfg.algorithm {
         AlgorithmSpec::SelSync { delta, .. } => delta,
         AlgorithmSpec::Bsp => 0.0,
-        _ => panic!("process driver supports SelSync and BSP only"),
+        _ => {
+            return Err(UnsupportedConfig {
+                key: "scenario.algorithm",
+                message: format!(
+                    "the process backend runs SelSync and BSP only, not {}",
+                    cfg.algorithm.name()
+                ),
+            })
+        }
     };
-    assert!(
-        cfg.non_iid_labels_per_worker.is_none(),
-        "process driver supports IID training only"
-    );
-    assert!(
-        cfg.checkpoint.is_none(),
-        "process driver does not support durable checkpoints"
-    );
+    if let AlgorithmSpec::SelSync {
+        injection: Some(_), ..
+    } = cfg.algorithm
+    {
+        if cfg.non_iid_labels_per_worker.is_some() {
+            return Err(UnsupportedConfig {
+                key: "scenario.non_iid_labels_per_worker",
+                message: "data-injection over non-IID shards draws from the simulator's \
+                          cluster RNG and stays simulator-only"
+                    .to_string(),
+            });
+        }
+    }
     let spec = match cfg.algorithm {
         AlgorithmSpec::SelSync { .. } => cfg
             .delta_policy
@@ -336,22 +678,77 @@ fn check_supported(cfg: &TrainConfig) -> (f32, PolicySpec) {
             .unwrap_or(PolicySpec::Fixed { delta }),
         _ => PolicySpec::Fixed { delta },
     };
-    spec.validate().expect("invalid δ-policy configuration");
-    (delta, spec)
+    if let Err(e) = spec.validate() {
+        return Err(UnsupportedConfig {
+            key: "policy",
+            message: e,
+        });
+    }
+    Ok((delta, spec))
+}
+
+fn check_supported(cfg: &TrainConfig) -> (f32, PolicySpec) {
+    ensure_supported(cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Run the hub process: bind `addr`, serve one connection per worker until all
 /// of them hang up, and return the hub's trace shard (the run header plus the
 /// shared policy's regime-switch events) in encoded form.
 pub fn run_process_hub(cfg: &TrainConfig, addr: &SocketAddrSpec) -> String {
+    run_process_hub_with(cfg, addr, None)
+}
+
+/// [`run_process_hub`] with an optional recovery image to resume from.
+/// Accepts images from any backend — `"sim"` and `"threaded"` ones run
+/// through the [`crate::resume`] translators first.
+pub fn run_process_hub_with(
+    cfg: &TrainConfig,
+    addr: &SocketAddrSpec,
+    resume: Option<&Checkpoint>,
+) -> String {
     let (_delta, spec) = check_supported(cfg);
     let n = cfg.workers;
-    crate::tracing::emit_header(
-        &cfg.trace,
-        cfg,
-        &crate::algorithms::selsync::algorithm_label(cfg),
-        &spec.label(),
-    );
+    let translated;
+    let resume = match resume {
+        Some(ckpt) if ckpt.backend == "sim" => {
+            translated = crate::resume::sim_to_process(cfg, ckpt);
+            Some(&translated)
+        }
+        Some(ckpt) if ckpt.backend == "threaded" => {
+            translated = crate::resume::threaded_to_process(ckpt);
+            Some(&translated)
+        }
+        other => other,
+    };
+    if let Some(ckpt) = resume {
+        assert_eq!(ckpt.backend, "process", "resume image backend");
+        assert_eq!(
+            ckpt.fingerprint,
+            checkpoint::config_fingerprint(cfg),
+            "resume image belongs to a different configuration"
+        );
+    }
+    let start = resume.map_or(0, |ckpt| ckpt.round + 1);
+    if let Some(ckpt) = resume {
+        // The hub shard carries the image's merged trace prefix; workers
+        // re-emit nothing before `start`, so the merged result is exactly
+        // prefix + fresh suffix.
+        if cfg.trace.is_enabled() {
+            let events = ckpt
+                .trace
+                .iter()
+                .map(|line| codec::decode_event(line).expect("checkpointed trace line decodes"))
+                .collect();
+            cfg.trace.preload(events);
+        }
+    } else {
+        crate::tracing::emit_header(
+            &cfg.trace,
+            cfg,
+            &crate::algorithms::selsync::algorithm_label(cfg),
+            &spec.label(),
+        );
+    }
     let proto = PaperModel::build(cfg.model, cfg.seed);
     let handles = make_handles(n, proto.params_flat());
     if cfg.rejoin_pull == RejoinPull::Scheduled {
@@ -359,17 +756,53 @@ pub fn run_process_hub(cfg: &TrainConfig, addr: &SocketAddrSpec) -> String {
             .ps
             .enable_scheduled_snapshots(DEFAULT_SNAPSHOT_DEPTH);
     }
+    let mut policy = spec.build();
+    if let Some(ckpt) = resume {
+        handles
+            .ps
+            .restore_state(&crate::resume::read_ps_state(ckpt));
+        let mut reader = ckpt.read_section("board");
+        let ints = reader.ints();
+        let floats = reader.f32s();
+        reader.finish();
+        policy.import_state(&PolicyState { ints, floats });
+    }
     let conditions = cfg.effective_conditions();
     let board = SignalBoard::new(
-        spec.build(),
-        conditions.next_active_iteration(n, 0, cfg.iterations),
+        policy,
+        conditions.next_active_iteration(n, start, cfg.iterations),
         cfg.trace.clone(),
     );
+    let ckpt_spec = cfg.checkpoint.clone();
+    if let Some(ck) = &ckpt_spec {
+        ck.validate().expect("invalid checkpoint configuration");
+    }
     let server = HubServer::bind(addr).unwrap_or_else(|e| panic!("hub failed to bind {addr}: {e}"));
+    let service = HubService {
+        cfg: cfg.clone(),
+        handles,
+        board,
+        conditions,
+        first_round: start,
+        ckpt: ckpt_spec,
+        protect: resume.map(|ckpt| ckpt.round),
+        ledger: Mutex::new(Ledger::new(n)),
+        cv: Condvar::new(),
+    };
     server
-        .serve(n, Arc::new(HubService { handles, board }))
+        .serve(n, Arc::new(service))
         .unwrap_or_else(|e| panic!("hub serve failed: {e}"));
     cfg.trace.take_log().encode()
+}
+
+/// Per-worker knobs for [`run_process_worker_with`] beyond the shared config.
+#[derive(Default)]
+pub struct WorkerOptions<'a> {
+    /// Recovery image to resume from (any backend; translated like the hub's).
+    pub resume: Option<&'a Checkpoint>,
+    /// Die abruptly at the top of this round — no announce, no farewell — to
+    /// exercise the hub's worker-death eviction path deterministically.
+    pub kill_at: Option<usize>,
 }
 
 /// Run one worker process: connect to the hub at `addr` and execute worker
@@ -381,14 +814,51 @@ pub fn run_process_worker(
     worker: usize,
     addr: &SocketAddrSpec,
 ) -> (ThreadedWorkerReport, String) {
+    run_process_worker_with(cfg, worker, addr, WorkerOptions::default())
+}
+
+/// [`run_process_worker`] with resume / kill options.
+pub fn run_process_worker_with(
+    cfg: &TrainConfig,
+    worker: usize,
+    addr: &SocketAddrSpec,
+    opts: WorkerOptions<'_>,
+) -> (ThreadedWorkerReport, String) {
     let (_delta, spec) = check_supported(cfg);
     let n = cfg.workers;
     let exchange_signals = spec.consumes_round_signals();
 
+    let translated;
+    let resume = match opts.resume {
+        Some(ckpt) if ckpt.backend == "sim" => {
+            translated = crate::resume::sim_to_process(cfg, ckpt);
+            Some(&translated)
+        }
+        Some(ckpt) if ckpt.backend == "threaded" => {
+            translated = crate::resume::threaded_to_process(ckpt);
+            Some(&translated)
+        }
+        other => other,
+    };
+    if let Some(ckpt) = resume {
+        assert_eq!(ckpt.backend, "process", "resume image backend");
+        assert_eq!(
+            ckpt.fingerprint,
+            checkpoint::config_fingerprint(cfg),
+            "resume image belongs to a different configuration"
+        );
+    }
+    let start = resume.map_or(0, |ckpt| ckpt.round + 1);
+
     let (train, _test) = sim::build_datasets(cfg);
     let proto = PaperModel::build(cfg.model, cfg.seed);
     let iid_order = sim::iid_sample_order(&train, &proto.task);
-    let conditions = cfg.effective_conditions();
+    // Folded membership: starts as the compiled schedule and accrues the
+    // hub-announced death evictions, so every live worker derives the same
+    // round-keyed membership the reference run computes from a scheduled
+    // no-rejoin crash.
+    let mut conditions = cfg.effective_conditions();
+    let mut known_evictions = 0usize;
     let evictions = cfg.comm_fault_evictions();
 
     let conn = SocketConn::connect(addr, CONNECT_RETRY)
@@ -415,7 +885,7 @@ pub fn run_process_worker(
     // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
     let mut params = hub.pull();
     model.set_params_flat(&params);
-    let traversal = sim::worker_iid_traversal(cfg, &iid_order, worker);
+    let traversal = sim::worker_traversal(cfg, &train, &iid_order, worker);
     let mut cursor = 0usize;
     let new_tracker = || {
         GradientTracker::new(
@@ -431,6 +901,39 @@ pub fn run_process_worker(
     let mut last_loss = 0.0f32;
     let mut was_present = true;
     let mut forwards_before = 0u64;
+    if let Some(ckpt) = resume {
+        // Durable per-worker state comes from the checkpoint; the schedule-pure
+        // cursors (data traversal, forward counter, presence edge) are recomputed
+        // from the same deterministic schedule the uninterrupted run walked.
+        let mut reader = ckpt.read_section(&format!("worker{worker}"));
+        params = reader.f32s();
+        let t = reader.int();
+        let buffer_count = reader.usize();
+        let buffers = (0..buffer_count).map(|_| reader.f32s()).collect();
+        optimizer.load_state(&OptimizerState { t, buffers });
+        let tracker_state = TrackerState {
+            ewma_history: reader.f32s(),
+            ewma_smoothed: reader.opt_f32(),
+            previous_smoothed: reader.opt_f32(),
+            last_delta: reader.f32(),
+            max_delta: reader.f32(),
+            steps: reader.int(),
+        };
+        tracker.restore_state(&tracker_state);
+        counter.sync_steps = reader.int();
+        counter.local_steps = reader.int();
+        sync_rounds = reader.ints().iter().map(|&r| r as usize).collect();
+        last_loss = reader.f32();
+        reader.finish();
+        let done_rounds = (0..start)
+            .filter(|&r| conditions.is_present(worker, r))
+            .count();
+        cursor = (done_rounds * cfg.batch_size) % traversal.len();
+        forwards_before = (0..start)
+            .map(|r| conditions.present_workers(n, r).len() as u64)
+            .sum();
+        was_present = conditions.is_present(worker, start - 1);
+    }
     let mut indices = Vec::with_capacity(cfg.batch_size);
     let exchange = |round: usize, kind: MsgKind, payload: &[u8]| -> u32 {
         layer
@@ -441,7 +944,82 @@ pub fn run_process_worker(
             .attempts
     };
 
-    for it in 0..cfg.iterations {
+    let fingerprint = checkpoint::config_fingerprint(cfg);
+    let ckpt_spec = cfg.checkpoint.clone();
+    if let Some(ck) = &ckpt_spec {
+        ck.validate().expect("invalid checkpoint configuration");
+    }
+    // Checkpoint-gate participation at the end of round `it`: every worker —
+    // present or absent — ships its recovery section (and its trace shard so
+    // far) as a deposit RPC when a checkpoint is due, and parks inside that
+    // RPC until the hub has written the image. Returns whether the run halts
+    // after this round (the simulated kill switch).
+    let end_of_round = |it: usize,
+                        present: &[usize],
+                        params: &[f32],
+                        optimizer: &dyn selsync_nn::Optimizer,
+                        tracker: &GradientTracker,
+                        counter: &LssrCounter,
+                        sync_rounds: &[usize],
+                        last_loss: f32|
+     -> bool {
+        let Some(ck) = &ckpt_spec else {
+            return false;
+        };
+        // The simulator writes nothing at whole-cluster-absent rounds; neither
+        // does this backend (and the kill switch cannot fire there).
+        if present.is_empty() {
+            return false;
+        }
+        if ck.due(it) || ck.halt_after == Some(it) {
+            let mut deposit = Checkpoint::new("deposit", fingerprint, it);
+            deposit.add_section(worker_section(
+                worker,
+                params,
+                optimizer,
+                tracker,
+                counter,
+                sync_rounds,
+                last_loss,
+            ));
+            if cfg.trace.is_enabled() {
+                let log = cfg.trace.snapshot_log();
+                deposit.trace = log.events.iter().map(codec::encode_event).collect();
+            }
+            hub.ckpt_deposit(it, &deposit.encode());
+        }
+        ck.halt_after == Some(it)
+    };
+
+    let mut killed = false;
+    for it in start..cfg.iterations {
+        if opts.kill_at == Some(it) {
+            // Abrupt death: no announce, no farewell — the connection drops at
+            // a frame boundary and the hub maps it to an eviction.
+            killed = true;
+            break;
+        }
+        if conditions.is_present(worker, it) {
+            // Round-boundary barrier: announce the round, learn the frozen
+            // eviction prefix, and fold any entry not seen yet. The recompute
+            // keeps the forward counter a pure function of the (now extended)
+            // fault schedule — evictions can land at rounds this worker sat
+            // out, where it never saw a barrier.
+            let evs = hub.round_begin(it);
+            if evs.len() > known_evictions {
+                for &(w, r) in &evs[known_evictions..] {
+                    conditions = conditions.with_fault(FaultEvent::Crash {
+                        worker: w,
+                        start: r,
+                        rejoin: None,
+                    });
+                }
+                known_evictions = evs.len();
+                forwards_before = (0..it)
+                    .map(|r| conditions.present_workers(n, r).len() as u64)
+                    .sum();
+            }
+        }
         let present = conditions.present_workers(n, it);
         let Some(rank) = present.iter().position(|&p| p == worker) else {
             if evictions.contains(&(worker, it)) {
@@ -455,6 +1033,18 @@ pub fn run_process_worker(
             }
             was_present = false;
             forwards_before += present.len() as u64;
+            if end_of_round(
+                it,
+                &present,
+                &params,
+                optimizer.as_ref(),
+                &tracker,
+                &counter,
+                &sync_rounds,
+                last_loss,
+            ) {
+                break;
+            }
             continue;
         };
         let active = present.len();
@@ -545,6 +1135,18 @@ pub fn run_process_worker(
                     },
                     conditions.next_active_iteration(n, it + 1, cfg.iterations),
                 );
+            }
+            if end_of_round(
+                it,
+                &present,
+                &params,
+                optimizer.as_ref(),
+                &tracker,
+                &counter,
+                &sync_rounds,
+                last_loss,
+            ) {
+                break;
             }
             continue;
         }
@@ -637,15 +1239,34 @@ pub fn run_process_worker(
                 conditions.next_active_iteration(n, it + 1, cfg.iterations),
             );
         }
+        if end_of_round(
+            it,
+            &present,
+            &params,
+            optimizer.as_ref(),
+            &tracker,
+            &counter,
+            &sync_rounds,
+            last_loss,
+        ) {
+            break;
+        }
     }
 
-    let global = hub.pull();
-    let distance: f32 = params
-        .iter()
-        .zip(global.iter())
-        .map(|(a, b)| (a - b).powi(2))
-        .sum::<f32>()
-        .sqrt();
+    // A killed worker dies right here — no final pull, no farewell. Its report
+    // never reaches the orchestrator (the process is gone); the in-process
+    // tests that drive the kill through `WorkerOptions` just discard it.
+    let distance: f32 = if killed {
+        f32::NAN
+    } else {
+        let global = hub.pull();
+        params
+            .iter()
+            .zip(global.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt()
+    };
     let report = ThreadedWorkerReport {
         worker,
         sync_steps: counter.sync_steps,
@@ -745,6 +1366,15 @@ mod tests {
     }
 
     fn run_in_process_cluster(c: &TrainConfig, tag: &str) -> (Vec<ThreadedWorkerReport>, String) {
+        run_in_process_cluster_with(c, tag, None, None)
+    }
+
+    fn run_in_process_cluster_with(
+        c: &TrainConfig,
+        tag: &str,
+        resume: Option<&Checkpoint>,
+        kill: Option<(usize, usize)>,
+    ) -> (Vec<ThreadedWorkerReport>, String) {
         // In-process harness for the process drivers: the hub on one thread,
         // each worker on its own, all over a real UDS. The scenario_cluster
         // binary runs the same entry points in separate OS processes.
@@ -760,7 +1390,9 @@ mod tests {
                 h
             };
             let hub_addr = addr.clone();
-            let hub = scope.spawn(move || run_process_hub(&hub_cfg, &hub_addr));
+            let hub_resume = resume.cloned();
+            let hub =
+                scope.spawn(move || run_process_hub_with(&hub_cfg, &hub_addr, hub_resume.as_ref()));
             let workers: Vec<_> = (0..c.workers)
                 .map(|w| {
                     let worker_cfg = {
@@ -769,7 +1401,14 @@ mod tests {
                         wc
                     };
                     let worker_addr = addr.clone();
-                    scope.spawn(move || run_process_worker(&worker_cfg, w, &worker_addr))
+                    let worker_resume = resume.cloned();
+                    scope.spawn(move || {
+                        let opts = WorkerOptions {
+                            resume: worker_resume.as_ref(),
+                            kill_at: kill.and_then(|(kw, r)| (kw == w).then_some(r)),
+                        };
+                        run_process_worker_with(&worker_cfg, w, &worker_addr, opts)
+                    })
                 })
                 .collect();
             for handle in workers {
@@ -833,6 +1472,140 @@ mod tests {
         for (p, t) in reports.iter().zip(threaded.iter()) {
             assert_eq!(format!("{p:?}"), format!("{t:?}"), "worker {}", p.worker);
         }
+    }
+
+    #[test]
+    fn process_cluster_runs_non_iid_shards_byte_identical_to_the_simulator() {
+        let mut c = cfg(0.05, 3);
+        c.non_iid_labels_per_worker = Some(4);
+        c.trace = TraceSink::capture(TraceGranularity::Full);
+        let _sim_report = crate::algorithms::run(&c);
+        let sim_trace = c.trace.take_log().encode();
+        c.trace = TraceSink::disabled();
+        let threaded = run_threaded_selsync(&c);
+
+        let (reports, merged) = run_in_process_cluster(&c, "noniid");
+        assert_eq!(
+            merged, sim_trace,
+            "non-IID merged shard log diverged from the simulator"
+        );
+        for (p, t) in reports.iter().zip(threaded.iter()) {
+            assert_eq!(format!("{p:?}"), format!("{t:?}"), "worker {}", p.worker);
+        }
+    }
+
+    #[test]
+    fn worker_death_is_trace_identical_to_the_equivalent_scheduled_crash() {
+        use crate::conditions::ClusterConditions;
+        let killed_worker = 2;
+        let kill_round = 10;
+        // Reference: the same cluster where the death is a *scheduled* no-rejoin
+        // crash at the kill round. The hub must map the abrupt connection drop
+        // to exactly this membership schedule.
+        let mut reference = cfg(0.05, 3);
+        reference.conditions = ClusterConditions::uniform().with_fault(FaultEvent::Crash {
+            worker: killed_worker,
+            start: kill_round,
+            rejoin: None,
+        });
+        reference.trace = TraceSink::capture(TraceGranularity::Full);
+        let _ = crate::algorithms::run(&reference);
+        let sim_trace = reference.trace.take_log().encode();
+        reference.trace = TraceSink::disabled();
+        let threaded = run_threaded_selsync(&reference);
+
+        let c = cfg(0.05, 3);
+        let (reports, merged) =
+            run_in_process_cluster_with(&c, "kill", None, Some((killed_worker, kill_round)));
+        assert_eq!(
+            merged, sim_trace,
+            "worker-death eviction diverged from the scheduled-crash reference"
+        );
+        for (p, t) in reports.iter().zip(threaded.iter()) {
+            assert_eq!(p.sync_rounds, t.sync_rounds, "worker {}", p.worker);
+            assert_eq!(p.sync_steps, t.sync_steps);
+            assert_eq!(p.local_steps, t.local_steps);
+            assert_eq!(p.final_loss.to_bits(), t.final_loss.to_bits());
+            if p.worker != killed_worker {
+                // The killed worker dies before its final pull, so its distance
+                // is the one report field with no reference counterpart.
+                assert_eq!(
+                    p.distance_to_global.to_bits(),
+                    t.distance_to_global.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn process_checkpoint_and_resume_reproduce_the_uninterrupted_run() {
+        use crate::config::CheckpointSpec;
+        use selsync_comm::faults::PsFaultSpec;
+        let dir = std::env::temp_dir().join(format!(
+            "selsync-process-resume-test-{}",
+            std::process::id()
+        ));
+        let make = || {
+            let mut c = cfg(0.05, 3);
+            // The outage window straddles the halt round, and the adaptive policy
+            // carries cross-round state through it.
+            c.ps_faults = Some(PsFaultSpec {
+                seed: 11,
+                windows: vec![(9, 3)],
+                flaky: 0.0,
+            });
+            c.delta_policy = Some(PolicySpec::adaptive_default());
+            c
+        };
+        let full_cfg = make();
+        let (full_reports, full_trace) = run_in_process_cluster(&full_cfg, "resume-full");
+
+        let mut halted_cfg = make();
+        halted_cfg.checkpoint = Some(CheckpointSpec {
+            every: 5,
+            dir: dir.to_string_lossy().into_owned(),
+            halt_after: Some(10),
+            keep: Some(1),
+        });
+        let _halted = run_in_process_cluster_with(&halted_cfg, "resume-halt", None, None);
+        let ckpt = Checkpoint::read_file(dir.join("ckpt-10")).expect("halt image reads back");
+        assert_eq!(ckpt.backend, "process");
+        assert!(
+            !dir.join("ckpt-4").exists() && !dir.join("ckpt-9").exists(),
+            "keep = 1 prunes the cadence images once the halt image is durable"
+        );
+
+        let resumed_cfg = make();
+        let (resumed_reports, resumed_trace) =
+            run_in_process_cluster_with(&resumed_cfg, "resume-rest", Some(&ckpt), None);
+        assert_eq!(
+            resumed_trace, full_trace,
+            "resumed merged trace diverged from the uninterrupted run"
+        );
+        for (a, b) in full_reports.iter().zip(resumed_reports.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ensure_supported_names_the_offending_scenario_key() {
+        let mut c = cfg(0.05, 3);
+        c.algorithm = AlgorithmSpec::selsync_injected(0.5, 0.5, 0.3);
+        c.non_iid_labels_per_worker = Some(4);
+        let err = ensure_supported(&c).expect_err("injection over non-IID is simulator-only");
+        assert_eq!(err.key, "scenario.non_iid_labels_per_worker");
+        assert!(err
+            .to_string()
+            .starts_with("unsupported by the process backend"));
+
+        // Plain non-IID, checkpoints and BSP all run natively now.
+        let mut c = cfg(0.05, 3);
+        c.non_iid_labels_per_worker = Some(4);
+        assert!(ensure_supported(&c).is_ok());
+        let mut c = cfg(0.05, 3);
+        c.algorithm = AlgorithmSpec::Bsp;
+        assert!(ensure_supported(&c).is_ok());
     }
 
     #[test]

@@ -34,9 +34,94 @@
 use crate::checkpoint::{Checkpoint, Section};
 use crate::config::{RejoinPull, TrainConfig};
 use crate::sim;
-use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
+use selsync_comm::ps::{PsState, RingState, DEFAULT_SNAPSHOT_DEPTH};
 use selsync_nn::model::PaperModel;
 use selsync_tensor::rng;
+
+/// Pack a parameter server's exported state into the checkpoint `ps` section —
+/// the single packing both the threaded driver and the process hub write, and
+/// the mirror of [`read_ps_state`].
+pub(crate) fn ps_section(state: &PsState) -> Section {
+    let mut section = Section::new("ps");
+    section.push_f32s(&state.global);
+    section.push_opt_int(state.last_global_round);
+    section.push_bool(state.ring.is_some());
+    if let Some(ring) = &state.ring {
+        section.push_usize(ring.depth);
+        section.push_f32s(&ring.initial);
+        section.push_usize(ring.entries.len());
+        for (round, mean) in &ring.entries {
+            section.push_int(*round);
+            section.push_f32s(mean);
+        }
+        section.push_opt_int(ring.evicted_min);
+    }
+    section
+}
+
+/// Read a checkpoint's `ps` section back into a restorable [`PsState`].
+pub(crate) fn read_ps_state(ckpt: &Checkpoint) -> PsState {
+    let mut reader = ckpt.read_section("ps");
+    let global = reader.f32s();
+    let last_global_round = reader.opt_int();
+    let ring = if reader.bool() {
+        let depth = reader.usize();
+        let initial = reader.f32s();
+        let count = reader.usize();
+        let entries = (0..count)
+            .map(|_| {
+                let round = reader.int();
+                let mean = reader.f32s();
+                (round, mean)
+            })
+            .collect();
+        let evicted_min = reader.opt_int();
+        Some(RingState {
+            depth,
+            initial,
+            entries,
+            evicted_min,
+        })
+    } else {
+        None
+    };
+    reader.finish();
+    PsState {
+        global,
+        last_global_round,
+        ring,
+    }
+}
+
+/// Relabel a checkpoint's backend tag. The threaded driver and the process hub
+/// write the *identical* image layout (same `ps`/`board`/`worker{w}` packing,
+/// same quiescent point — a round boundary with the round's signals observed),
+/// so cross-backend translation between them is a pure relabel.
+fn relabel(ckpt: &Checkpoint, from: &str, to: &str) -> Checkpoint {
+    assert_eq!(
+        ckpt.backend, from,
+        "expected a {from:?} checkpoint to relabel as {to:?}, got backend {:?}",
+        ckpt.backend
+    );
+    let mut out = ckpt.clone();
+    out.backend = to.to_string();
+    out
+}
+
+/// Translate a threaded-driver checkpoint for the multi-process backend.
+pub fn threaded_to_process(ckpt: &Checkpoint) -> Checkpoint {
+    relabel(ckpt, "threaded", "process")
+}
+
+/// Translate a process-backend checkpoint for the threaded driver.
+pub fn process_to_threaded(ckpt: &Checkpoint) -> Checkpoint {
+    relabel(ckpt, "process", "threaded")
+}
+
+/// Translate a simulator checkpoint for the multi-process backend.
+pub fn sim_to_process(cfg: &TrainConfig, ckpt: &Checkpoint) -> Checkpoint {
+    threaded_to_process(&sim_to_threaded(cfg, ckpt))
+}
 
 /// The per-worker durable core both backends store (identical field order on
 /// the wire): parameters, optimizer state, tracker state.
@@ -87,13 +172,14 @@ impl WorkerCore {
     }
 }
 
-/// The length of worker `w`'s circular IID data traversal — the modulus the
-/// schedule-pure shard cursor is recomputed under.
+/// The length of worker `w`'s circular data traversal (its IID partition or
+/// its non-IID label shard) — the modulus the schedule-pure shard cursor is
+/// recomputed under.
 fn traversal_len(cfg: &TrainConfig, w: usize) -> usize {
     let (train, _) = sim::build_datasets(cfg);
     let model = PaperModel::build(cfg.model, cfg.seed);
     let iid_order = sim::iid_sample_order(&train, &model.task);
-    sim::worker_iid_traversal(cfg, &iid_order, w).len()
+    sim::worker_traversal(cfg, &train, &iid_order, w).len()
 }
 
 /// Translate a simulator checkpoint into the threaded driver's layout, so

@@ -1173,6 +1173,29 @@ pub fn worker_iid_traversal(cfg: &TrainConfig, iid_order: &[usize], w: usize) ->
     perm.into_iter().map(|p| order[p]).collect()
 }
 
+/// The circular mini-batch traversal worker `w` walks under the configured data
+/// regime: its label shard when `non_iid_labels_per_worker` is set (the exact
+/// per-worker index list [`Simulator::new`] builds through
+/// [`noniid::label_sharded`], walked in shard order like the simulator's
+/// non-IID cursor), its shuffled IID partition otherwise. The threaded and
+/// multi-process drivers derive their batch streams from this, so all three
+/// backends walk identical samples on IID *and* non-IID runs. (Data-injection
+/// draws from the simulator's cluster RNG and stays simulator-only.)
+pub fn worker_traversal(
+    cfg: &TrainConfig,
+    train: &Dataset,
+    iid_order: &[usize],
+    w: usize,
+) -> Vec<usize> {
+    match cfg.non_iid_labels_per_worker {
+        Some(labels) => {
+            let mut split = noniid::label_sharded(train, cfg.workers, labels);
+            split.per_worker.swap_remove(w)
+        }
+        None => worker_iid_traversal(cfg, iid_order, w),
+    }
+}
+
 /// Build the synthetic train/test datasets for the configured workload — the single
 /// source of truth for what every backend trains on (the simulator, the threaded
 /// driver, and the bench harness all share it).

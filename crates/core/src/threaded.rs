@@ -70,7 +70,7 @@ use crate::tracker::{GradStatistic, GradientTracker, TrackerState};
 use parking_lot::{Condvar, Mutex};
 use selsync_comm::cluster::{make_handles, run_cluster_with, ClusterHandles};
 use selsync_comm::faults::CommFaultSchedule;
-use selsync_comm::ps::{PsState, RingState, DEFAULT_SNAPSHOT_DEPTH};
+use selsync_comm::ps::DEFAULT_SNAPSHOT_DEPTH;
 use selsync_comm::wire::MsgKind;
 use selsync_comm::{MessageLayer, PsExchangeError, ScalarOp};
 use selsync_metrics::lssr::LssrCounter;
@@ -176,7 +176,7 @@ impl SignalBoard {
 
     /// The shared policy's durable state, captured at a checkpoint's quiescent
     /// point (every worker parked, the checkpoint round's signals observed).
-    fn export_policy_state(&self) -> PolicyState {
+    pub(crate) fn export_policy_state(&self) -> PolicyState {
         self.state.lock().policy.export_state()
     }
 }
@@ -305,6 +305,10 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
             translated = crate::resume::sim_to_threaded(cfg, ckpt);
             Some(&translated)
         }
+        Some(ckpt) if ckpt.backend == "process" => {
+            translated = crate::resume::process_to_threaded(ckpt);
+            Some(&translated)
+        }
         other => other,
     };
     let delta = match cfg.algorithm {
@@ -312,10 +316,18 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
         AlgorithmSpec::Bsp => 0.0,
         _ => panic!("threaded driver supports SelSync and BSP only"),
     };
-    assert!(
-        cfg.non_iid_labels_per_worker.is_none(),
-        "threaded driver supports IID training only"
-    );
+    // Non-IID label shards are schedule-pure traversals and run natively;
+    // data-injection draws cross-worker samples from the simulator's cluster
+    // RNG, which has no counterpart here.
+    if let AlgorithmSpec::SelSync {
+        injection: Some(_), ..
+    } = cfg.algorithm
+    {
+        assert!(
+            cfg.non_iid_labels_per_worker.is_none(),
+            "threaded driver does not support data-injection on non-IID shards"
+        );
+    }
     let n = cfg.workers;
     // `delta_policy` applies to SelSync only (the simulator's BSP driver ignores it
     // too); a BSP run always uses the fixed δ = 0.
@@ -448,36 +460,9 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
     if let Some(ckpt) = resume {
         // Restore the PS — global vector, newest-global guard and snapshot ring —
         // before any worker pulls from it.
-        let mut reader = ckpt.read_section("ps");
-        let global = reader.f32s();
-        let last_global_round = reader.opt_int();
-        let ring = if reader.bool() {
-            let depth = reader.usize();
-            let initial = reader.f32s();
-            let count = reader.usize();
-            let entries = (0..count)
-                .map(|_| {
-                    let round = reader.int();
-                    let mean = reader.f32s();
-                    (round, mean)
-                })
-                .collect();
-            let evicted_min = reader.opt_int();
-            Some(RingState {
-                depth,
-                initial,
-                entries,
-                evicted_min,
-            })
-        } else {
-            None
-        };
-        reader.finish();
-        handles.ps.restore_state(&PsState {
-            global,
-            last_global_round,
-            ring,
-        });
+        handles
+            .ps
+            .restore_state(&crate::resume::read_ps_state(ckpt));
     }
 
     run_cluster_with(handles, |worker, handles: ClusterHandles| {
@@ -485,8 +470,9 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
         // Every worker starts from the global state on the PS (pullFromPS, Alg. 1 line 3).
         let mut params = handles.ps.pull();
         model.set_params_flat(&params);
-        // The simulator's shuffled circular traversal over this worker's partition.
-        let traversal = sim::worker_iid_traversal(cfg, iid_order, worker);
+        // The simulator's circular traversal over this worker's data: its
+        // shuffled IID partition, or its label shard on non-IID runs.
+        let traversal = sim::worker_traversal(cfg, train, iid_order, worker);
         let mut cursor = 0usize;
         let new_tracker = || {
             GradientTracker::new(
@@ -945,8 +931,9 @@ fn run_threaded_inner(cfg: &TrainConfig, resume: Option<&Checkpoint>) -> Vec<Thr
 /// One worker's durable recovery section: everything that cannot be recomputed
 /// from the schedule — its parameter replica, optimizer and `Δ(g_i)` tracker state,
 /// LSSR counters, synchronization history and last observed loss. The packing order
-/// is the contract `run_threaded_inner`'s resume path reads back.
-fn worker_section(
+/// is the contract `run_threaded_inner`'s resume path reads back (and the one the
+/// multi-process workers ship to their hub as checkpoint deposits).
+pub(crate) fn worker_section(
     worker: usize,
     params: &[f32],
     optimizer: &dyn selsync_nn::Optimizer,
@@ -992,22 +979,7 @@ fn write_threaded_checkpoint(
     protect: Option<usize>,
 ) {
     let mut image = Checkpoint::new("threaded", checkpoint::config_fingerprint(cfg), it);
-    let ps_state = ps.export_state();
-    let mut section = Section::new("ps");
-    section.push_f32s(&ps_state.global);
-    section.push_opt_int(ps_state.last_global_round);
-    section.push_bool(ps_state.ring.is_some());
-    if let Some(ring) = &ps_state.ring {
-        section.push_usize(ring.depth);
-        section.push_f32s(&ring.initial);
-        section.push_usize(ring.entries.len());
-        for (round, mean) in &ring.entries {
-            section.push_int(*round);
-            section.push_f32s(mean);
-        }
-        section.push_opt_int(ring.evicted_min);
-    }
-    image.add_section(section);
+    image.add_section(crate::resume::ps_section(&ps.export_state()));
     let policy_state = board.export_policy_state();
     let mut section = Section::new("board");
     section.push_ints(&policy_state.ints);

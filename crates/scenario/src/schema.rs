@@ -317,6 +317,12 @@ pub struct Scenario {
     /// every `every` rounds under `dir`. The `halt_after` kill switch is a
     /// runtime/CLI knob, not normally part of a scenario file.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Optional non-IID data partitioning (`non_iid_labels_per_worker = K` in the
+    /// `[scenario]` section; IID when omitted): each worker's shard draws from at
+    /// most `K` labels of the label-grouped training set, built once with the
+    /// simulator's shard construction. All backends honor it; data-injection over
+    /// non-IID shards stays simulator-only.
+    pub non_iid_labels_per_worker: Option<usize>,
 }
 
 fn model_name(kind: ModelKind) -> &'static str {
@@ -521,6 +527,7 @@ impl Scenario {
             comm_faults: None,
             ps_faults: None,
             checkpoint: None,
+            non_iid_labels_per_worker: None,
         }
     }
 
@@ -562,6 +569,7 @@ impl Scenario {
         cfg.comm_faults = self.comm_faults;
         cfg.ps_faults = self.ps_faults.clone();
         cfg.checkpoint = self.checkpoint.clone();
+        cfg.non_iid_labels_per_worker = self.non_iid_labels_per_worker;
         cfg
     }
 
@@ -620,6 +628,18 @@ impl Scenario {
         if let Some(ck) = &self.checkpoint {
             ck.validate().map_err(|e| format!("[checkpoint]: {e}"))?;
         }
+        if let Some(labels) = self.non_iid_labels_per_worker {
+            if labels == 0 {
+                return Err("non_iid_labels_per_worker must be at least 1".into());
+            }
+            if self.model == ModelKind::TransformerLike {
+                return Err(
+                    "non_iid_labels_per_worker needs a classification workload; the LM task \
+                     has no label shards"
+                        .into(),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -639,6 +659,11 @@ impl Scenario {
         s.set("eval_every", Value::Int(self.eval_every as i64));
         s.set("eval_samples", Value::Int(self.eval_samples as i64));
         s.set("delta", Value::Float(f32_shortest(self.delta)));
+        // Only serialized when set so pre-existing scenario dumps stay
+        // byte-identical.
+        if let Some(labels) = self.non_iid_labels_per_worker {
+            s.set("non_iid_labels_per_worker", Value::Int(labels as i64));
+        }
         // Only serialized when non-default so pre-existing scenario dumps stay
         // byte-identical.
         if self.rejoin_pull == RejoinPull::Scheduled {
@@ -857,6 +882,16 @@ impl Scenario {
         let eval_every = get_usize(s, "eval_every", ctx)?;
         let eval_samples = get_usize(s, "eval_samples", ctx)?;
         let delta = get_f64(s, "delta", ctx)? as f32;
+        let non_iid_labels_per_worker = match s.get("non_iid_labels_per_worker") {
+            None => None,
+            Some(v) => Some(
+                v.as_int()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .ok_or_else(|| {
+                        format!("{ctx}: non_iid_labels_per_worker must be a non-negative integer")
+                    })?,
+            ),
+        };
         let rejoin_pull = match s.get("rejoin_pull") {
             None => RejoinPull::WallClock,
             Some(v) => match v.as_str() {
@@ -1161,6 +1196,7 @@ impl Scenario {
             comm_faults,
             ps_faults,
             checkpoint,
+            non_iid_labels_per_worker,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -1238,6 +1274,27 @@ mod tests {
         assert_eq!(s, parsed);
         // Canonical serialization is a fixed point.
         assert_eq!(text, parsed.to_toml_string());
+    }
+
+    #[test]
+    fn non_iid_key_round_trips_and_validates() {
+        let mut s = Scenario::base("noniid", 3, 10);
+        s.non_iid_labels_per_worker = Some(4);
+        let text = s.to_toml_string();
+        assert!(text.contains("non_iid_labels_per_worker = 4"));
+        let parsed = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s, parsed);
+        assert_eq!(
+            s.train_config(selsync::config::AlgorithmSpec::selsync(s.delta))
+                .non_iid_labels_per_worker,
+            Some(4)
+        );
+
+        s.non_iid_labels_per_worker = Some(0);
+        assert!(s.validate().is_err(), "zero labels per worker");
+        s.non_iid_labels_per_worker = Some(2);
+        s.model = ModelKind::TransformerLike;
+        assert!(s.validate().is_err(), "the LM task has no label shards");
     }
 
     #[test]

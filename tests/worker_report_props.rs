@@ -1,0 +1,128 @@
+//! Property tests for the worker-report wire codec
+//! (`selsync_repro::core::process::{encode,decode}_worker_report`): round-trip
+//! identity for arbitrary reports — empty and large `sync_rounds`, floats as
+//! raw bit patterns including NaNs and infinities — plus rejection of
+//! truncated and field-reordered report lines.
+
+use proptest::prelude::*;
+use selsync_repro::core::process::{decode_worker_report, encode_worker_report};
+use selsync_repro::core::threaded::ThreadedWorkerReport;
+
+fn build_report(
+    worker: usize,
+    sync_steps: u64,
+    local_steps: u64,
+    sync_rounds: Vec<usize>,
+    loss_bits: u32,
+    distance_bits: u32,
+) -> ThreadedWorkerReport {
+    ThreadedWorkerReport {
+        worker,
+        sync_steps,
+        local_steps,
+        sync_rounds,
+        final_loss: f32::from_bits(loss_bits),
+        distance_to_global: f32::from_bits(distance_bits),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn report_round_trip_is_identity(
+        worker in 0usize..4096,
+        sync_steps in 0u64..u64::MAX,
+        local_steps in 0u64..u64::MAX,
+        sync_rounds in proptest::collection::vec(0usize..1_000_000, 0..512),
+        loss_bits in 0u32..u32::MAX,
+        distance_bits in 0u32..u32::MAX,
+    ) {
+        let report = build_report(
+            worker, sync_steps, local_steps, sync_rounds, loss_bits, distance_bits,
+        );
+        let line = encode_worker_report(&report);
+        let parsed = decode_worker_report(&line)
+            .unwrap_or_else(|e| panic!("round-trip decode failed: {e}\n---\n{line}"));
+        prop_assert_eq!(parsed.worker, report.worker);
+        prop_assert_eq!(parsed.sync_steps, report.sync_steps);
+        prop_assert_eq!(parsed.local_steps, report.local_steps);
+        prop_assert_eq!(&parsed.sync_rounds, &report.sync_rounds);
+        // Bit-exact float comparison: the codec ships `to_bits` hex words, so
+        // NaN payloads, infinities and signed zeros must all survive.
+        prop_assert_eq!(parsed.final_loss.to_bits(), loss_bits);
+        prop_assert_eq!(parsed.distance_to_global.to_bits(), distance_bits);
+        // Canonical encoding is a fixed point.
+        prop_assert_eq!(line, encode_worker_report(&parsed));
+    }
+
+    #[test]
+    fn truncated_report_lines_are_rejected(
+        worker in 0usize..64,
+        sync_rounds in proptest::collection::vec(0usize..1000, 0..8),
+        loss_bits in 0u32..u32::MAX,
+        cut in 0usize..12,
+    ) {
+        let report = build_report(worker, 9, 27, sync_rounds, loss_bits, loss_bits);
+        let line = encode_worker_report(&report);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        prop_assert_eq!(tokens.len(), 12, "report line is six key/value pairs");
+        let truncated = tokens[..cut].join(" ");
+        prop_assert!(
+            decode_worker_report(&truncated).is_err(),
+            "prefix of {} tokens must not decode: {:?}",
+            cut,
+            truncated
+        );
+    }
+
+    #[test]
+    fn reordered_report_fields_are_rejected(
+        worker in 0usize..64,
+        sync_rounds in proptest::collection::vec(0usize..1000, 0..8),
+        loss_bits in 0u32..u32::MAX,
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        let report = build_report(worker, 9, 27, sync_rounds, loss_bits, loss_bits);
+        let line = encode_worker_report(&report);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let mut pairs: Vec<&[&str]> = tokens.chunks(2).collect();
+        // Swap two distinct key/value pairs; every key is position-checked, so
+        // any reordering must fail to decode.
+        let b = if a == b { (b + 1) % 6 } else { b };
+        pairs.swap(a, b);
+        let reordered = pairs.concat().join(" ");
+        prop_assert!(
+            decode_worker_report(&reordered).is_err(),
+            "swapping pairs {} and {} must not decode: {:?}",
+            a,
+            b,
+            reordered
+        );
+    }
+}
+
+/// The non-finite corner cases, pinned explicitly (the property test draws bit
+/// patterns uniformly and may miss the named specials in a short run).
+#[test]
+fn non_finite_floats_round_trip_bit_exactly() {
+    let specials = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0,
+        f32::MIN_POSITIVE,
+        f32::from_bits(0x7fc0_1234), // payload-carrying NaN
+    ];
+    for (i, &value) in specials.iter().enumerate() {
+        let report = build_report(i, 1, 2, vec![0, 3], value.to_bits(), value.to_bits());
+        let parsed = decode_worker_report(&encode_worker_report(&report)).expect("decodes");
+        assert_eq!(
+            parsed.final_loss.to_bits(),
+            value.to_bits(),
+            "{value} must survive bit-exactly"
+        );
+        assert_eq!(parsed.distance_to_global.to_bits(), value.to_bits());
+    }
+}
